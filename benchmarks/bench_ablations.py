@@ -1,0 +1,106 @@
+"""Benchmark E6 — ablations of the happens-before relation.
+
+The paper argues (§1, §4.1, §7) that both prior relation families and
+their naive combination fail on Android.  This benchmark runs every
+relation through the unchanged detection pipeline on the same traces and
+regenerates the comparison:
+
+* multithreaded-only  — misses every single-threaded race;
+* event-driven-only   — false positives on lock/fork-ordered pairs;
+* naive combination   — misses races masked by spurious lock transitivity;
+* no-enable           — false positives on lifecycle-ordered pairs;
+* no-fifo             — spurious races between FIFO-ordered tasks.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.apps.registry import DEMO_APPS
+from repro.apps.specs import SPEC_BY_NAME
+from repro.apps.synthetic import SyntheticApp
+from repro.core import detect_races
+from repro.core.baselines import ALL_CONFIGS
+from repro.core.happens_before import ANDROID_HB
+from repro.explorer import UIExplorer
+
+
+@pytest.fixture(scope="module")
+def ablation_traces(paper_results):
+    names = ("Music Player", "Messenger", "SGTPuzzles")
+    return {
+        name: next(r.trace for r in paper_results if r.spec.name == name)
+        for name in names
+    }
+
+
+def test_ablation_comparison_table(ablation_traces):
+    lines = [
+        "%-14s | %s" % ("relation", " | ".join("%-14s" % n for n in ablation_traces)),
+        "-" * (18 + 17 * len(ablation_traces)),
+    ]
+    counts = {}
+    for config_name, config in ALL_CONFIGS.items():
+        row = []
+        for app_name, trace in ablation_traces.items():
+            report = detect_races(trace, config=config)
+            counts[(config_name, app_name)] = len(report.races)
+            row.append("%-14d" % len(report.races))
+        lines.append("%-14s | %s" % (config_name, " | ".join(row)))
+    publish("ablations.txt", "\n".join(lines))
+
+    for app_name in ablation_traces:
+        android = counts[("android", app_name)]
+        # Event-only reports a superset of pairs (no lock/fork ordering).
+        assert counts[("event-driven-only", app_name)] >= android
+        # The naive combination only ever adds orderings.
+        assert counts[("naive-combined", app_name)] <= android
+        # Dropping enables can only add reports.
+        assert counts[("no-enable", app_name)] >= android
+        # Dropping FIFO can only add reports.
+        assert counts[("no-fifo", app_name)] >= android
+
+
+def test_mt_only_misses_all_single_threaded_races(ablation_traces):
+    from repro.core.baselines import MULTITHREADED_ONLY
+
+    trace = ablation_traces["Music Player"]  # all races single-threaded
+    android = detect_races(trace, config=ANDROID_HB)
+    mt_only = detect_races(trace, config=MULTITHREADED_ONLY)
+    assert len(android.races) == 35
+    single_threaded = [r for r in mt_only.races if r.is_single_threaded]
+    assert single_threaded == []
+
+
+def test_no_enable_flags_lifecycle_pairs(paper_results):
+    """On the live music player with a realistic binder *pool* (lifecycle
+    posts arrive on different binder threads, so binder program order
+    cannot substitute for the enable edges), dropping enables produces
+    lifecycle false positives."""
+    from repro.android import AndroidSystem, UIEvent
+    from repro.apps.music_player import DwFileAct
+    from repro.core.baselines import NO_ENABLE
+
+    # Two binder threads: LAUNCH_ACTIVITY and onDestroy arrive on different
+    # ones, so binder program order cannot stand in for the enable edge.
+    system = AndroidSystem(seed=3, name="music-player", binder_threads=2)
+    system.launch(DwFileAct)
+    system.run_to_quiescence()
+    system.fire(UIEvent("back"))
+    system.run_to_quiescence()
+    trace = system.finish()
+    android = detect_races(trace)
+    without = detect_races(trace, config=NO_ENABLE)
+    assert len(without.races) > len(android.races)
+    # With enables the lifecycle pairs stay ordered: same reports as the
+    # single-binder run.
+    assert len(android.races) == 2
+
+
+def test_ablation_speed(benchmark, ablation_traces):
+    trace = ablation_traces["Messenger"]
+
+    def run_all_relations():
+        return [len(detect_races(trace, config=c).races) for c in ALL_CONFIGS.values()]
+
+    counts = benchmark.pedantic(run_all_relations, rounds=1, iterations=1)
+    assert len(counts) == len(ALL_CONFIGS)

@@ -1,0 +1,67 @@
+"""Benchmark E10 (extension) — detector implementations compared.
+
+Two independent implementations of the classic multithreaded relation —
+the one-pass FastTrack-style vector-clock detector and the graph engine
+in its MULTITHREADED_ONLY configuration — must agree on racy locations;
+the vector-clock pass is asymptotically cheaper (linear-ish vs cubic),
+which this benchmark quantifies.  The android relation itself has no
+vector-clock formulation (FIFO/NOPRE premises quantify over the full
+relation), which is why the paper's tool is graph-based.
+"""
+
+import time
+
+import pytest
+
+from conftest import publish
+from repro.apps.specs import SPEC_BY_NAME
+from repro.apps.synthetic import SyntheticApp
+from repro.core import detect_races, detect_races_vc
+from repro.core.baselines import MULTITHREADED_ONLY
+
+
+@pytest.fixture(scope="module")
+def mt_traces(paper_results):
+    names = ("Aard Dictionary", "Messenger", "SGTPuzzles")
+    return {
+        name: next(r.trace for r in paper_results if r.spec.name == name)
+        for name in names
+    }
+
+
+def test_detectors_agree_on_racy_locations(mt_traces):
+    lines = [
+        "%-16s | %10s | %14s | %14s | %6s"
+        % ("app", "trace len", "vc time (s)", "graph time (s)", "agree"),
+        "-" * 72,
+    ]
+    for name, trace in mt_traces.items():
+        start = time.perf_counter()
+        vc_report = detect_races_vc(trace)
+        vc_time = time.perf_counter() - start
+        start = time.perf_counter()
+        graph_report = detect_races(trace, config=MULTITHREADED_ONLY)
+        graph_time = time.perf_counter() - start
+        vc_locations = set(vc_report.racy_locations())
+        graph_locations = {race.location for race in graph_report.races}
+        agree = vc_locations == graph_locations
+        lines.append(
+            "%-16s | %10d | %14.4f | %14.4f | %6s"
+            % (name, len(trace), vc_time, graph_time, agree)
+        )
+        assert agree, (name, vc_locations, graph_locations)
+    publish("detector_crosscheck.txt", "\n".join(lines))
+
+
+def test_vector_clock_speed(benchmark, mt_traces):
+    trace = mt_traces["SGTPuzzles"]
+    report = benchmark.pedantic(lambda: detect_races_vc(trace), rounds=2, iterations=1)
+    assert report.locations_checked > 0
+
+
+def test_graph_mt_only_speed(benchmark, mt_traces):
+    trace = mt_traces["Aard Dictionary"]
+    report = benchmark.pedantic(
+        lambda: detect_races(trace, config=MULTITHREADED_ONLY), rounds=2, iterations=1
+    )
+    assert report is not None

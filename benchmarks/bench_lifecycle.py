@@ -1,0 +1,83 @@
+"""Benchmark E8 — Figure 8: lifecycle modeling and the enable discipline.
+
+Validates, on live runs, that the runtime drives activities through
+Figure 8's machine only, that every lifecycle post is preceded by its
+enable (the §4.2 instrumentation discipline), and benchmarks systematic
+exploration of lifecycle event sequences.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.android import AndroidSystem, UIEvent
+from repro.apps.music_player import DwFileAct
+from repro.apps.registry import MusicPlayerApp
+from repro.core import HappensBefore
+from repro.core.lifecycle_model import ActivityLifecycle
+from repro.core.operations import OpKind
+from repro.explorer import UIExplorer
+
+
+def drive(events, seed=0):
+    system = AndroidSystem(seed=seed)
+    system.launch(DwFileAct)
+    system.run_to_quiescence()
+    for event in events:
+        system.fire(event)
+        system.run_to_quiescence()
+    return system
+
+
+def test_lifecycle_histories_legal():
+    scenarios = {
+        "back": [UIEvent("back")],
+        "rotate": [UIEvent("rotate")],
+        "rotate-back": [UIEvent("rotate"), UIEvent("back")],
+        "play-back": [UIEvent("click", "playBtn"), UIEvent("back")],
+    }
+    lines = []
+    for name, events in scenarios.items():
+        system = drive(events)
+        for record in system.ams.stack + system.ams.destroyed_records:
+            history = record.activity.lifecycle.history
+            lines.append("%-12s %-20s %s" % (name, record.tag, " -> ".join(history)))
+            # Legality was enforced online by the machine; re-check here.
+            machine = ActivityLifecycle()
+            for node in history[1:]:
+                machine.advance(node)
+    publish("lifecycle_histories.txt", "\n".join(lines))
+
+
+def test_every_lifecycle_post_has_prior_enable():
+    system = drive([UIEvent("back")])
+    trace = system.finish()
+    hb = HappensBefore(trace)
+    enables = {}
+    for op in trace:
+        if op.kind is OpKind.ENABLE:
+            enables.setdefault(op.task, op.index)
+    lifecycle_posts = [
+        op
+        for op in trace
+        if op.kind is OpKind.POST and op.event and op.event.startswith("lifecycle:")
+    ]
+    assert lifecycle_posts
+    for post_op in lifecycle_posts:
+        assert post_op.event in enables, post_op.render()
+        assert hb.ordered(enables[post_op.event], post_op.index)
+
+
+def test_lifecycle_exploration_speed(benchmark):
+    def explore_lifecycle():
+        explorer = UIExplorer(
+            MusicPlayerApp(),
+            depth=2,
+            seed=1,
+            include_kinds=("back", "rotate", "click"),
+            exclude_kinds=(),
+            max_runs=8,
+        )
+        return explorer.explore()
+
+    result = benchmark.pedantic(explore_lifecycle, rounds=1, iterations=1)
+    assert result.runs_executed >= 4

@@ -1,0 +1,81 @@
+"""Benchmark E4/E5 — Figures 3 and 4: the motivating example.
+
+Regenerates the §2.4 analysis on (a) the hand-encoded traces of the
+figures and (b) live runs of the music-player app on the simulated
+runtime, asserting the paper's three claims:
+
+* Figure 3 pairs (7,12) and (7,16) are ordered — no races;
+* Figure 4 pairs (12,21) and (16,21) race (multithreaded and
+  cross-posted respectively);
+* Figure 4 pair (7,21) is ordered through the enable edge.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.apps.paper_traces import (
+    FIGURE3_POSITIONS,
+    FIGURE4_POSITIONS,
+    figure3_trace,
+    figure4_trace,
+)
+from repro.apps.music_player import run_scenario
+from repro.core import HappensBefore, RaceCategory, detect_races
+
+
+def test_figure3_reproduction():
+    trace = figure3_trace()
+    hb = HappensBefore(trace)
+    p = FIGURE3_POSITIONS
+    report = detect_races(trace)
+    lines = [
+        "Figure 3 (PLAY clicked):",
+        "  (7,12) write/read ordered: %s" % hb.ordered(p["write_launch"], p["read_background"]),
+        "  (7,16) write/read ordered: %s" % hb.ordered(p["write_launch"], p["read_post_execute"]),
+        "  races reported: %d" % len(report.races),
+    ]
+    publish("figure3.txt", "\n".join(lines))
+    assert hb.ordered(p["write_launch"], p["read_background"])
+    assert hb.ordered(p["write_launch"], p["read_post_execute"])
+    assert report.races == []
+
+
+def test_figure4_reproduction():
+    trace = figure4_trace()
+    hb = HappensBefore(trace)
+    q = FIGURE4_POSITIONS
+    report = detect_races(trace)
+    lines = ["Figure 4 (BACK pressed):"]
+    for race in report.races:
+        lines.append("  %s" % race)
+    lines.append(
+        "  (7,21) ordered via enable: %s"
+        % hb.ordered(q["write_launch"], q["write_destroy"])
+    )
+    publish("figure4.txt", "\n".join(lines))
+    assert hb.ordered(q["write_launch"], q["write_destroy"])
+    categories = sorted(r.category.value for r in report.races)
+    assert categories == ["cross-posted", "multithreaded"]
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11], ids=lambda s: "seed%d" % s)
+def test_live_music_player_back_scenario(seed):
+    _, trace = run_scenario(press_back=True, seed=seed)
+    report = detect_races(trace)
+    flag = [r for r in report.races if r.field_name == "DwFileAct.isActivityDestroyed"]
+    assert sorted(r.category.value for r in flag) == ["cross-posted", "multithreaded"]
+
+
+def test_live_music_player_play_scenario():
+    _, trace = run_scenario(press_back=False, seed=3)
+    report = detect_races(trace)
+    assert report.races == []
+
+
+def test_motivating_pipeline_speed(benchmark):
+    def pipeline():
+        _, trace = run_scenario(press_back=True, seed=3)
+        return detect_races(trace)
+
+    report = benchmark(pipeline)
+    assert report.count(RaceCategory.MULTITHREADED) == 1

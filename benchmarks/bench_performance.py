@@ -1,0 +1,66 @@
+"""Benchmark E3 — §6 "Performance": the node-coalescing optimization.
+
+The paper: coalescing contiguous memory accesses reduces graph node
+counts to 1.4%–24.8% of the trace length (average 11.1%) without
+sacrificing precision; the Race Detector takes seconds to hours within
+20 MB.  This benchmark regenerates the per-app reduction table, checks
+the band at full scale, verifies precision preservation, and measures
+the speedup coalescing buys.
+"""
+
+import pytest
+
+from conftest import bench_scale, publish
+from repro.apps.specs import SPEC_BY_NAME
+from repro.bench import render_performance
+from repro.core import HappensBefore, detect_races
+
+
+def test_performance_table(paper_results):
+    text = render_performance(paper_results)
+    publish("performance.txt", text)
+
+
+@pytest.mark.skipif(bench_scale() < 1.0, reason="band calibrated at full scale")
+def test_reduction_ratios_in_paper_band(paper_results):
+    ratios = [r.report.reduction_ratio for r in paper_results]
+    assert all(0.012 <= ratio <= 0.26 for ratio in ratios), ratios
+    average = sum(ratios) / len(ratios)
+    assert 0.05 <= average <= 0.20  # paper: 11.1% average
+
+
+def test_coalescing_preserves_precision(paper_results):
+    """'...without sacrificing on the precision' — verified on the two
+    smallest subjects (the dense analysis is quadratically bigger)."""
+    for name in ("Aard Dictionary", "Music Player"):
+        result = next(r for r in paper_results if r.spec.name == name)
+        dense = detect_races(result.trace, coalesce=False)
+        key = lambda rep: sorted((r.location, r.category.value) for r in rep.races)
+        assert key(dense) == key(result.report)
+
+
+def test_coalescing_speedup(paper_results):
+    result = next(r for r in paper_results if r.spec.name == "Aard Dictionary")
+    dense = detect_races(result.trace, coalesce=False)
+    coalesced = detect_races(result.trace, coalesce=True)
+    assert coalesced.node_count < dense.node_count
+    publish(
+        "coalescing_speedup.txt",
+        "Aard Dictionary: %d nodes dense (%.2fs)  ->  %d nodes coalesced (%.2fs)"
+        % (
+            dense.node_count,
+            dense.analysis_seconds,
+            coalesced.node_count,
+            coalesced.analysis_seconds,
+        ),
+    )
+
+
+@pytest.mark.parametrize("coalesce", [True, False], ids=["coalesced", "dense"])
+def test_hb_construction_speed(benchmark, paper_results, coalesce):
+    result = next(r for r in paper_results if r.spec.name == "Music Player")
+    trace = result.trace
+    hb = benchmark.pedantic(
+        lambda: HappensBefore(trace, coalesce=coalesce), rounds=2, iterations=1
+    )
+    assert hb.stats.node_count > 0

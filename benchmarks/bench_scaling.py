@@ -1,0 +1,66 @@
+"""Benchmark E7 — §4.3 complexity: detector cost versus trace length.
+
+The paper's algorithm computes a transitive closure 'cubic in the length
+of the trace' and relies on coalescing to keep node counts small.  This
+benchmark regenerates the scaling series: one subject generated at
+increasing scales, detector wall-clock and node counts per point.
+"""
+
+import time
+
+import pytest
+
+from conftest import publish
+from repro.apps.specs import SPEC_BY_NAME
+from repro.apps.synthetic import SyntheticApp
+from repro.core import detect_races
+
+SCALES = (0.1, 0.2, 0.4, 0.8)
+
+
+@pytest.fixture(scope="module")
+def scaling_series():
+    spec = SPEC_BY_NAME["Messenger"]
+    series = []
+    for scale in SCALES:
+        app = SyntheticApp(spec, scale=scale)
+        _, trace = app.run(seed=5)
+        start = time.perf_counter()
+        report = detect_races(trace)
+        elapsed = time.perf_counter() - start
+        series.append((scale, len(trace), report.node_count, elapsed, len(report.races)))
+    return series
+
+
+def test_scaling_series(scaling_series):
+    lines = [
+        "%6s | %10s | %8s | %10s | %6s" % ("scale", "trace len", "nodes", "detect (s)", "races"),
+        "-" * 56,
+    ]
+    for scale, length, nodes, elapsed, races in scaling_series:
+        lines.append(
+            "%6.2f | %10d | %8d | %10.3f | %6d" % (scale, length, nodes, elapsed, races)
+        )
+    publish("scaling.txt", "\n".join(lines))
+    # Race counts are scale-invariant.
+    assert len({races for *_, races in scaling_series}) == 1
+    # Trace length grows with scale.
+    lengths = [length for _, length, *_ in scaling_series]
+    assert lengths == sorted(lengths) and lengths[0] < lengths[-1]
+
+
+def test_detection_scales_polynomially(scaling_series):
+    """Loose check: time grows no worse than ~cubically in node count."""
+    (_, _, n1, t1, _), (_, _, n2, t2, _) = scaling_series[0], scaling_series[-1]
+    if t1 < 1e-3:
+        pytest.skip("first point too fast to compare")
+    assert t2 / t1 < 8 * (n2 / n1) ** 3
+
+
+@pytest.mark.parametrize("scale", [0.1, 0.4], ids=lambda s: "scale%.1f" % s)
+def test_detector_speed_at_scale(benchmark, scale):
+    spec = SPEC_BY_NAME["Messenger"]
+    app = SyntheticApp(spec, scale=scale)
+    _, trace = app.run(seed=5)
+    report = benchmark.pedantic(lambda: detect_races(trace), rounds=2, iterations=1)
+    assert len(report.races) == spec.total_reported

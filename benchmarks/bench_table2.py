@@ -1,0 +1,46 @@
+"""Benchmark E1 — Table 2: statistics about applications and traces.
+
+Regenerates the paper's Table 2 (trace length, distinct fields, thread
+counts with/without queues, async task count) for all 15 subjects, checks
+the scale-invariant columns exactly against the paper, and benchmarks the
+trace-generation pipeline (UI-driven run of the simulated runtime).
+"""
+
+import pytest
+
+from conftest import bench_scale, publish
+from repro.apps.specs import ALL_SPECS, SPEC_BY_NAME
+from repro.apps.synthetic import SyntheticApp
+from repro.bench import render_table2
+
+
+def test_table2_regeneration(paper_results):
+    text = render_table2(paper_results)
+    publish("table2.txt", text)
+    for result in paper_results:
+        spec, stats = result.spec, result.stats
+        assert stats.fields == spec.fields
+        assert stats.threads_without_queues == spec.threads_plain
+        assert stats.threads_with_queues == spec.threads_looper
+        assert stats.async_tasks == spec.async_tasks
+        if bench_scale() == 1.0:
+            # Trace length tracks the paper's value closely at full scale.
+            assert abs(stats.trace_length - spec.trace_length) / spec.trace_length < 0.10
+
+
+@pytest.mark.parametrize(
+    "name", ["Aard Dictionary", "Messenger", "K-9 Mail"], ids=str
+)
+def test_trace_generation_speed(benchmark, name):
+    """Trace Generator throughput for representative small/medium/large
+    subjects (the paper reports up to 5x instrumentation slowdown on a
+    real device; ours is a simulator, so only the shape matters)."""
+    spec = SPEC_BY_NAME[name]
+
+    def generate():
+        app = SyntheticApp(spec, scale=min(bench_scale(), 0.5))
+        _, trace = app.run(seed=5)
+        return len(trace)
+
+    length = benchmark.pedantic(generate, rounds=3, iterations=1)
+    assert length > 0

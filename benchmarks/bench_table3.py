@@ -1,0 +1,61 @@
+"""Benchmark E2 — Table 3: data races reported by category.
+
+Regenerates the paper's Table 3 with per-category ``X (Y)`` entries
+(reports and true positives), asserts the counts match the paper exactly
+for every subject — including the totals row: 27(15) multithreaded,
+147(44) cross-posted, 32(17) co-enabled, 6(2) delayed on the open-source
+apps, 215 reports / 80 true positives overall — and benchmarks the race
+detector itself.
+"""
+
+import pytest
+
+from conftest import publish
+from repro.apps.specs import SPEC_BY_NAME
+from repro.bench import render_table3, render_table3_expected
+from repro.core import detect_races
+from repro.core.classification import RaceCategory
+
+
+def test_table3_regeneration(paper_results):
+    text = render_table3(paper_results)
+    publish("table3.txt", text)
+    check = render_table3_expected(paper_results)
+    publish("table3_check.txt", check)
+    assert "MISMATCH" not in check
+
+
+def test_table3_exact_counts(paper_results):
+    for result in paper_results:
+        counts = result.category_counts()
+        for category in RaceCategory:
+            reported, true = counts[category]
+            quota = result.spec.quota(category)
+            assert reported == quota.reported, (result.spec.name, category)
+            if not result.spec.proprietary:
+                assert true == quota.true, (result.spec.name, category)
+
+
+def test_open_source_grand_totals(open_source_results):
+    reported = sum(len(r.report.races) for r in open_source_results)
+    true = sum(
+        sum(t for _, t in r.category_counts().values()) for r in open_source_results
+    )
+    assert reported == 215  # §6: "Out of the total 215 reports"
+    assert true == 80  # "80 (37%) were confirmed to be true positives"
+
+
+def test_proprietary_totals(paper_results, open_source_results):
+    proprietary = [r for r in paper_results if r.spec.proprietary]
+    reported = sum(len(r.report.races) for r in proprietary)
+    assert reported == 546  # §6: "we found a total of 546 races"
+
+
+@pytest.mark.parametrize("name", ["Music Player", "Browser", "Flipkart"], ids=str)
+def test_race_detection_speed(benchmark, paper_results, name):
+    """Race Detector runtime on representative traces (the paper reports
+    seconds to hours on a 2.10 GHz Xeon)."""
+    result = next(r for r in paper_results if r.spec.name == name)
+    trace = result.trace
+    report = benchmark.pedantic(lambda: detect_races(trace), rounds=2, iterations=1)
+    assert len(report.races) == result.spec.total_reported

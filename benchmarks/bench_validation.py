@@ -1,0 +1,79 @@
+"""Benchmark E11 (extension) — automated true-positive validation.
+
+The paper's Table 3 true-positive counts came from manual DDMS sessions:
+stalling threads, re-ordering trigger events, altering delays.  Our
+:class:`~repro.explorer.schedule_explorer.ScheduleExplorer` mechanizes the
+same three strategies over the deterministic simulator.  This benchmark
+runs it on the hand-written §6 apps and checks the verdicts against the
+known ground truth:
+
+* Aard-style Service race       → validated (true positive);
+* Messenger Cursor race         → validated (true positive);
+* Browser untracked-post races  → unconfirmed (false positives);
+* Browser favicon race          → validated (true positive).
+"""
+
+import pytest
+
+from conftest import publish
+from repro.apps.browser_app import BrowserApp
+from repro.apps.dictionary_app import DictionaryApp
+from repro.apps.messenger_app import MessengerApp
+from repro.explorer import ScheduleExplorer
+
+SEEDS = range(12)
+
+CASES = [
+    # (app, events, field, expected_validated)
+    (DictionaryApp(), ["click:lookupBtn"], "DictionaryService.loaded", True),
+    (DictionaryApp(), ["click:lookupBtn"], "DictionaryService.entries", True),
+    (MessengerApp(), ["click:deleteBtn"], "ConversationActivity.rows", True),
+    (BrowserApp(), ["click:loadBtn"], "BrowserActivity.favicon", True),
+    (BrowserApp(), ["click:loadBtn"], "BrowserActivity.url", False),
+    (BrowserApp(), ["click:loadBtn"], "BrowserActivity.progress", False),
+    (BrowserApp(), ["click:loadBtn"], "BrowserActivity.title", False),
+]
+
+
+@pytest.fixture(scope="module")
+def validation_results():
+    results = []
+    for app, events, field, expected in CASES:
+        explorer = ScheduleExplorer(app, events=events, seeds=SEEDS)
+        result = explorer.validate_field_adversarially(field)
+        results.append((app.name, field, expected, result))
+    return results
+
+
+def test_validation_verdicts_match_ground_truth(validation_results):
+    lines = [
+        "%-12s | %-32s | %-9s | %-11s | %s"
+        % ("app", "racy field", "expected", "verdict", "orders observed"),
+        "-" * 96,
+    ]
+    for app_name, field, expected, result in validation_results:
+        verdict = "validated" if result.validated else "unconfirmed"
+        lines.append(
+            "%-12s | %-32s | %-9s | %-11s | %d"
+            % (
+                app_name,
+                field,
+                "true-pos" if expected else "false-pos",
+                verdict,
+                len(result.orders_seen),
+            )
+        )
+        assert result.validated == expected, (app_name, field)
+    publish("validation.txt", "\n".join(lines))
+
+
+def test_validation_speed(benchmark):
+    explorer = ScheduleExplorer(
+        DictionaryApp(), events=["click:lookupBtn"], seeds=range(8)
+    )
+    result = benchmark.pedantic(
+        lambda: explorer.validate_field("DictionaryService.loaded"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.validated

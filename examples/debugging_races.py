@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Debugging support: explaining races and proving non-races.
+
+The paper's future work asks "how to provide better debugging support"
+(§8).  This example shows ours on the motivating traces:
+
+* for each reported race — the post chains of both accesses, why the
+  classifier chose the category, and *near misses*: rules that almost
+  ordered the pair (and what change would);
+* for a suspected-but-ordered pair — a happens-before witness path, the
+  chain of operations proving the ordering;
+* the FastTrack-style vector-clock detector as a second opinion for the
+  multithreaded fragment.
+
+Run:  python examples/debugging_races.py
+"""
+
+from repro.apps.paper_traces import FIGURE4_POSITIONS, figure4_trace
+from repro.core import detect_races_vc, explain_race, hb_witness, render_witness
+from repro.core.race_detector import RaceDetector
+
+
+def main() -> None:
+    trace = figure4_trace()
+    detector = RaceDetector(trace)
+    report = detector.detect()
+    hb = detector.hb
+
+    print("=== Explanations for the Figure 4 races ===")
+    for race in report.races:
+        print()
+        print(explain_race(trace, hb, race).render())
+
+    print()
+    print("=== Why (7, 21) is NOT a race: a happens-before witness ===")
+    q = FIGURE4_POSITIONS
+    path = hb_witness(hb, q["write_launch"], q["write_destroy"])
+    assert path is not None
+    print(render_witness(trace, path))
+    print()
+    print(
+        "The chain runs through enable(onDestroy) -> post(onDestroy) -> "
+        "begin(onDestroy): the environment model at work."
+    )
+
+    print()
+    print("=== Second opinion: vector-clock detector (multithreaded fragment) ===")
+    vc = detect_races_vc(trace)
+    for race in vc.races:
+        print("  ", race)
+    print(
+        "(the single-threaded cross-posted race is invisible to the classic"
+    )
+    print(" relation — full program order hides it, as §7 argues)")
+
+
+if __name__ == "__main__":
+    main()

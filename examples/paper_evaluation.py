@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation (Tables 2 and 3, §6 performance).
+
+Runs all 15 calibrated subjects through the pipeline and prints the
+tables in the paper's layout, paper-value next to measured value.  Use
+``--scale`` to shrink trace lengths for a quick look (race counts and
+thread/task/field statistics are scale-invariant by construction).
+
+Run:  python examples/paper_evaluation.py [--scale 0.25]
+"""
+
+import argparse
+
+from repro.apps.specs import ALL_SPECS
+from repro.bench import (
+    render_performance,
+    render_table2,
+    render_table3,
+    run_all,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    results = run_all(ALL_SPECS, scale=args.scale, seed=args.seed)
+
+    print("Table 2: statistics about applications and traces")
+    print(render_table2(results))
+    print()
+    print("Table 3: data races reported (X (Y) = reports (true positives))")
+    print(render_table3(results))
+    print()
+    print("Performance (§6): node coalescing and analysis time")
+    print(render_performance(results))
+
+
+if __name__ == "__main__":
+    main()

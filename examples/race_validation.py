@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Automated race validation — mechanizing the paper's §6 methodology.
+
+The paper confirmed true positives manually: "(1) For multi-threaded and
+cross-posted races, stall certain threads using breakpoints ... (2) For
+co-enabled races, change the order of triggering events. (3) For delayed
+races, alter delay associated with asynchronous posts."
+
+This example runs the automated version on the §6 case-study apps: each
+reported race is re-executed under many schedules plus the adversarial
+strategies (thread stalling, event reordering); a race whose access order
+flips is VALIDATED, one that never flips stays unconfirmed — which is
+exactly where the documented false positives land.
+
+Run:  python examples/race_validation.py
+"""
+
+from repro.apps.browser_app import BrowserApp
+from repro.apps.dictionary_app import DictionaryApp
+from repro.apps.messenger_app import MessengerApp
+from repro.core import detect_races
+from repro.explorer import ScheduleExplorer, find_event
+
+
+def detect_on(app, events, seed=1):
+    system = app.build(seed)
+    system.run_to_quiescence()
+    for key in events:
+        event = find_event(system.enabled_events(), key)
+        if event is not None:
+            system.fire(event)
+            system.run_to_quiescence()
+    return detect_races(system.finish())
+
+
+def main() -> None:
+    cases = [
+        (DictionaryApp(), ["click:lookupBtn"]),
+        (MessengerApp(), ["click:deleteBtn"]),
+        (BrowserApp(), ["click:loadBtn"]),
+    ]
+    for app, events in cases:
+        report = detect_on(app, events)
+        explorer = ScheduleExplorer(app, events=events, seeds=range(12))
+        print("=== %s: %d reports ===" % (app.name, len(report.races)))
+        seen = set()
+        for race in report.races:
+            if race.field_name in seen:
+                continue
+            seen.add(race.field_name)
+            result = explorer.validate_field_adversarially(race.field_name)
+            print("  %-40s %s" % (race.field_name, result.describe()))
+        print()
+
+    print(
+        "Validated races are true positives (both access orders were\n"
+        "observed); unconfirmed ones are exactly the §6 false positives —\n"
+        "their hidden causality (untracked native threads) fixes the order\n"
+        "in every schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

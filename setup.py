@@ -1,0 +1,7 @@
+"""Shim for editable installs on environments without the ``wheel``
+package (PEP 660 editable wheels need it); ``pip install -e . --no-use-pep517``
+falls back to this."""
+
+from setuptools import setup
+
+setup()

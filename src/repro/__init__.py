@@ -1,0 +1,49 @@
+"""repro — a reproduction of *Race Detection for Android Applications*
+(Maiya, Kanade, Majumdar; PLDI 2014), the DroidRacer system.
+
+Public surface:
+
+* :mod:`repro.core` — trace language, Android concurrency semantics,
+  the happens-before relation, race detection + classification;
+* :mod:`repro.android` — a deterministic simulated Android runtime
+  (the Trace Generator substrate);
+* :mod:`repro.explorer` — systematic UI exploration (the UI Explorer);
+* :mod:`repro.apps` — application models used by the evaluation;
+* :mod:`repro.bench` — the harness that regenerates the paper's tables.
+
+Quickstart::
+
+    from repro.apps.paper_traces import figure4_trace
+    from repro.core import detect_races
+
+    report = detect_races(figure4_trace())
+    for race in report.races:
+        print(race)
+"""
+
+from .core import (
+    ANDROID_HB,
+    ExecutionTrace,
+    HappensBefore,
+    HBConfig,
+    Race,
+    RaceCategory,
+    RaceDetector,
+    RaceReport,
+    detect_races,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANDROID_HB",
+    "ExecutionTrace",
+    "HappensBefore",
+    "HBConfig",
+    "Race",
+    "RaceCategory",
+    "RaceDetector",
+    "RaceReport",
+    "detect_races",
+    "__version__",
+]

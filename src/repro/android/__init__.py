@@ -1,0 +1,97 @@
+"""Simulated Android runtime (the substrate DroidRacer instrumented).
+
+Replaces the paper's Android 4.0 emulator + instrumented Dalvik VM with a
+deterministic discrete-step simulator whose every concurrency-relevant
+action is logged as a core-language operation.  See DESIGN.md §2 for why
+this substitution preserves the analysed behaviour.
+"""
+
+from .activity import Activity
+from .asynctask import AsyncTask
+from .binder import BinderPool
+from .broadcast import BroadcastManager, BroadcastReceiver
+from .content_provider import ContentProvider, Cursor, CursorIndexError
+from .env import AndroidEnv, Ctx, invoke, looper_entry
+from .intents import Intent, SYSTEM_ACTIONS
+from .preferences import Editor, SharedPreferences, get_shared_preferences
+from .strictmode import StrictMode, StrictModeViolationError, blocking_io
+from .errors import (
+    AppCrashError,
+    DeadlockError,
+    MainThreadError,
+    PendingCommandError,
+    SchedulerError,
+    SimulationError,
+    ThreadAPIError,
+)
+from .locks import Lock
+from .looper import Handler, fork_handler_thread, new_handler_thread
+from .memory import SharedObject
+from .message_queue import Message, MessageQueue
+from .scheduler import (
+    MainFirstPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    RoundRobinPolicy,
+    SchedulePolicy,
+)
+from .service import Service, ServiceController
+from .system import AndroidSystem, replay_system
+from .threads import SimThread, ThreadState
+from .timers import Timer, add_idle_handler
+from .views import Button, ScreenManager, TextField, UIEvent, Widget
+
+__all__ = [
+    "Activity",
+    "AndroidEnv",
+    "AndroidSystem",
+    "AppCrashError",
+    "AsyncTask",
+    "BinderPool",
+    "BroadcastManager",
+    "BroadcastReceiver",
+    "Button",
+    "ContentProvider",
+    "Ctx",
+    "Cursor",
+    "CursorIndexError",
+    "Editor",
+    "Intent",
+    "SharedPreferences",
+    "get_shared_preferences",
+    "SYSTEM_ACTIONS",
+    "StrictMode",
+    "StrictModeViolationError",
+    "blocking_io",
+    "DeadlockError",
+    "Handler",
+    "Lock",
+    "MainFirstPolicy",
+    "MainThreadError",
+    "Message",
+    "PendingCommandError",
+    "MessageQueue",
+    "RandomPolicy",
+    "ReplayPolicy",
+    "RoundRobinPolicy",
+    "SchedulePolicy",
+    "SchedulerError",
+    "ScreenManager",
+    "Service",
+    "ServiceController",
+    "SharedObject",
+    "SimThread",
+    "SimulationError",
+    "TextField",
+    "ThreadAPIError",
+    "ThreadState",
+    "Timer",
+    "UIEvent",
+    "Widget",
+    "add_idle_handler",
+    "fork_handler_thread",
+    "invoke",
+    "looper_entry",
+    "new_handler_thread",
+    "replay_system",
+]

@@ -1,0 +1,127 @@
+"""Activity — the UI component of the programming model.
+
+Application activities subclass :class:`Activity` and override lifecycle
+callbacks (``on_create`` … ``on_destroy``).  The lifecycle itself is
+*driven by the runtime* (:class:`~repro.android.ams.ActivityManagerService`)
+through binder posts, never by application code — matching the paper's
+observation that control flow between procedures is managed by the Android
+runtime and opaque to the developer (§2.2).
+
+Each activity owns a :class:`~repro.android.memory.SharedObject` for its
+instrumented fields, and a widget dictionary feeding the screen model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.core.lifecycle_model import ActivityLifecycle
+
+from .env import Ctx
+from .memory import SharedObject
+from .views import Button, TextField, Widget
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+class Activity:
+    """Base class for application activities."""
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self.env = system.env
+        self.obj = SharedObject(self.env, type(self).__name__)
+        self.lifecycle = ActivityLifecycle(type(self).__name__)
+        self.widgets: Dict[str, Widget] = {}
+        self.finishing = False
+
+    @property
+    def instance_tag(self) -> str:
+        return self.obj.location_base  # e.g. "DwFileAct@1"
+
+    # -- lifecycle callbacks (override in subclasses) ---------------------------
+
+    def on_create(self, ctx: Ctx) -> None:
+        """First lifecycle callback; register widgets and initialise state
+        here.  May be a generator function."""
+
+    def on_start(self, ctx: Ctx) -> None:
+        pass
+
+    def on_restart(self, ctx: Ctx) -> None:
+        pass
+
+    def on_resume(self, ctx: Ctx) -> None:
+        pass
+
+    def on_pause(self, ctx: Ctx) -> None:
+        pass
+
+    def on_stop(self, ctx: Ctx) -> None:
+        pass
+
+    def on_destroy(self, ctx: Ctx) -> None:
+        pass
+
+    # -- framework services available to the activity ------------------------------
+
+    def register_button(
+        self,
+        ctx: Ctx,
+        widget_id: str,
+        on_click: Optional[Callable] = None,
+        on_long_click: Optional[Callable] = None,
+        enabled: bool = True,
+    ) -> Button:
+        button = Button(self, widget_id)
+        if on_click is not None:
+            button.set_handler("click", on_click)
+        if on_long_click is not None:
+            button.set_handler("long-click", on_long_click)
+        self.widgets[widget_id] = button
+        if enabled:
+            button.set_enabled(ctx, True)
+        return button
+
+    def register_text_field(
+        self,
+        ctx: Ctx,
+        widget_id: str,
+        on_text: Callable,
+        input_format: str = "text",
+        enabled: bool = True,
+    ) -> TextField:
+        text_field = TextField(self, widget_id, input_format)
+        text_field.set_handler("text", on_text)
+        self.widgets[widget_id] = text_field
+        if enabled:
+            text_field.set_enabled(ctx, True)
+        return text_field
+
+    def find_view(self, widget_id: str) -> Widget:
+        return self.widgets[widget_id]
+
+    def start_activity(self, ctx: Ctx, activity_cls) -> None:
+        """``startActivity(intent)`` — pauses this activity and launches a
+        new one (Figure 3, ops 21–23)."""
+        self.system.ams.start_activity_from(ctx, self, activity_cls)
+
+    def finish(self, ctx: Ctx) -> None:
+        """Programmatic finish — the runtime will drive
+        onPause/onStop/onDestroy."""
+        self.finishing = True
+        self.system.ams.finish_activity(ctx, self)
+
+    def run_on_ui_thread(self, ctx: Ctx, callback: Callable, name: str = "uiRunnable"):
+        """``Activity.runOnUiThread`` — post to the main thread (runs
+        synchronously in Android when already on it; we always post, which
+        is the conservative trace shape)."""
+        return ctx.post(callback, name=name, to=self.env.main)
+
+    def __repr__(self) -> str:
+        return "%s(%s, %s)" % (
+            type(self).__name__,
+            self.instance_tag,
+            self.lifecycle.current,
+        )

@@ -1,0 +1,295 @@
+"""ActivityManagerService — the simulated system-process component.
+
+The real AMS runs in the system process and drives component lifecycles
+via binder IPC into the application.  The paper deliberately does *not*
+trace the system process; instead its effects surface in traces as
+``enable`` operations plus the binder-thread posts of lifecycle callbacks
+(§2.2, §4.2).  This model does exactly that:
+
+* every lifecycle callback is dispatched as a task posted to the main
+  thread **by a binder thread** (Figure 2, steps 5 and 12);
+* before a callback can be posted, an ``enable`` operation for it has been
+  emitted at the point that made it possible — at launch completion for
+  ``onPause``/``onDestroy`` (Figure 3, op 9), inside ``startActivity`` for
+  the current activity's ``onPause`` (Figure 3, op 21), inside ``onPause``
+  for ``onStop``, and so on down the Figure 8 machine;
+* consecutive lifecycle steps are chained: each callback, on completion,
+  instructs AMS to submit the next binder post, reproducing the runtime's
+  ordering discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.lifecycle_model import ActivityLifecycle
+
+from .activity import Activity
+from .env import Ctx, invoke
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+class ActivityRecord:
+    """AMS-side bookkeeping for one activity instance."""
+
+    def __init__(self, activity: Activity):
+        self.activity = activity
+        self.destroyed = False
+        self._enable_gen: Dict[str, int] = {}
+        self._enable_current: Dict[str, str] = {}
+
+    @property
+    def tag(self) -> str:
+        return self.activity.instance_tag
+
+    def fresh_enable(self, callback: str) -> str:
+        n = self._enable_gen.get(callback, 0) + 1
+        self._enable_gen[callback] = n
+        name = "lifecycle:%s@%s" % (callback, self.tag)
+        if n > 1:
+            name = "%s!%d" % (name, n)
+        self._enable_current[callback] = name
+        return name
+
+    def current_enable(self, callback: str) -> Optional[str]:
+        return self._enable_current.get(callback)
+
+    def __repr__(self) -> str:
+        return "ActivityRecord(%s, %s)" % (self.tag, self.activity.lifecycle.current)
+
+
+class ActivityManagerService:
+    """Drives activity lifecycles through binder posts and enable ops."""
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self.env = system.env
+        #: back stack; the last entry is the foreground record when resumed.
+        self.stack: List[ActivityRecord] = []
+        self.destroyed_records: List[ActivityRecord] = []
+
+    # -- launching ----------------------------------------------------------------
+
+    def launch(self, activity_cls) -> None:
+        """Schedule the launch of ``activity_cls`` (the application's entry
+        or a test step).  Staged as a main-thread action so the enable op
+        precedes the binder post."""
+        enable_name = "launch:%s!%d" % (
+            activity_cls.__name__,
+            self.env.ids.serial("launch"),
+        )
+        main = self.env.main
+
+        def stage() -> None:
+            self.env.ctx(main).enable(enable_name)
+            self.system.binder.submit_post(
+                main,
+                self._launch_callback(activity_cls),
+                "LAUNCH_ACTIVITY",
+                event=enable_name,
+            )
+
+        main.push_action(stage)
+
+    def _launch_callback(self, activity_cls) -> Callable:
+        def launch():
+            activity = activity_cls(self.system)
+            record = ActivityRecord(activity)
+            self.stack.append(record)
+            ctx = self.env.main_ctx
+            machine = activity.lifecycle
+            machine.advance(ActivityLifecycle.ON_CREATE)
+            yield from invoke(activity.on_create, ctx)
+            machine.advance(ActivityLifecycle.ON_START)
+            yield from invoke(activity.on_start, ctx)
+            machine.advance(ActivityLifecycle.ON_RESUME)
+            yield from invoke(activity.on_resume, ctx)
+            machine.advance(ActivityLifecycle.RUNNING)
+            self.system.screen.set_foreground(activity)
+            # The created activity may be paused or destroyed at any later
+            # point (user action, memory pressure) — made explicit through
+            # enables (Figure 3, op 9 and §2.3).
+            ctx.enable(record.fresh_enable(ActivityLifecycle.ON_PAUSE))
+            ctx.enable(record.fresh_enable(ActivityLifecycle.ON_DESTROY))
+
+        return launch
+
+    # -- user/system-initiated transitions --------------------------------------------
+
+    def press_back(self) -> None:
+        """BACK button on the foreground activity: pause it, resume the one
+        below (if any), then stop and destroy it (Figure 4 scenario)."""
+        record = self.foreground_record()
+        if record is None:
+            return
+        below = self.stack[-2] if len(self.stack) >= 2 else None
+
+        def after_pause() -> None:
+            if below is not None:
+                self._post_resume(below, then=lambda: self._post_stop_destroy(record))
+            else:
+                self._post_stop_destroy(record)
+
+        self._post_pause(record, then=after_pause)
+
+    def rotate(self) -> None:
+        """Configuration change: destroy the foreground activity and
+        relaunch a fresh instance of its class."""
+        record = self.foreground_record()
+        if record is None:
+            return
+        cls = type(record.activity)
+
+        def relaunch() -> None:
+            self.launch(cls)
+
+        self._post_pause(
+            record, then=lambda: self._post_stop_destroy(record, then=relaunch)
+        )
+
+    def start_activity_from(self, ctx: Ctx, current: Activity, activity_cls) -> None:
+        """``startActivity`` from application code: enable + schedule the
+        pause of the caller, then launch the new activity, then stop the
+        caller (Figure 3, ops 21–23)."""
+        record = self.record_of(current)
+        if record is None:
+            raise LookupError("startActivity from unknown activity %s" % current)
+        ctx.enable(record.fresh_enable(ActivityLifecycle.ON_PAUSE))
+
+        def after_pause() -> None:
+            self.launch(activity_cls)
+            self._post_stop(record)
+
+        self._schedule_pause_post(record, then=after_pause)
+
+    def finish_activity(self, ctx: Ctx, activity: Activity) -> None:
+        """Programmatic ``finish()`` — same shape as BACK."""
+        record = self.record_of(activity)
+        if record is None:
+            return
+        ctx.enable(record.fresh_enable(ActivityLifecycle.ON_PAUSE))
+        self._schedule_pause_post(
+            record, then=lambda: self._post_stop_destroy(record)
+        )
+
+    # -- lifecycle post plumbing ----------------------------------------------------------
+
+    def _post_pause(self, record: ActivityRecord, then: Optional[Callable] = None) -> None:
+        self._schedule_pause_post(record, then)
+
+    def _schedule_pause_post(
+        self, record: ActivityRecord, then: Optional[Callable] = None
+    ) -> None:
+        activity = record.activity
+
+        def pause():
+            activity.lifecycle.advance(ActivityLifecycle.ON_PAUSE)
+            ctx = self.env.main_ctx
+            yield from invoke(activity.on_pause, ctx)
+            if self.system.screen.foreground is activity:
+                self.system.screen.set_foreground(None)
+            ctx.enable(record.fresh_enable(ActivityLifecycle.ON_STOP))
+            if then is not None:
+                then()
+
+        self.system.binder.submit_post(
+            self.env.main,
+            pause,
+            "%s.onPause" % type(activity).__name__,
+            event=record.current_enable(ActivityLifecycle.ON_PAUSE),
+        )
+
+    def _post_stop(
+        self, record: ActivityRecord, then: Optional[Callable] = None
+    ) -> None:
+        activity = record.activity
+
+        def stop():
+            activity.lifecycle.advance(ActivityLifecycle.ON_STOP)
+            ctx = self.env.main_ctx
+            yield from invoke(activity.on_stop, ctx)
+            ctx.enable(record.fresh_enable(ActivityLifecycle.ON_DESTROY))
+            ctx.enable(record.fresh_enable(ActivityLifecycle.ON_RESTART))
+            if then is not None:
+                then()
+
+        self.system.binder.submit_post(
+            self.env.main,
+            stop,
+            "%s.onStop" % type(activity).__name__,
+            event=record.current_enable(ActivityLifecycle.ON_STOP),
+        )
+
+    def _post_stop_destroy(
+        self, record: ActivityRecord, then: Optional[Callable] = None
+    ) -> None:
+        self._post_stop(record, then=lambda: self._post_destroy(record, then))
+
+    def _post_destroy(
+        self, record: ActivityRecord, then: Optional[Callable] = None
+    ) -> None:
+        activity = record.activity
+
+        def destroy():
+            activity.lifecycle.advance(ActivityLifecycle.ON_DESTROY)
+            ctx = self.env.main_ctx
+            yield from invoke(activity.on_destroy, ctx)
+            activity.lifecycle.advance(ActivityLifecycle.DESTROYED)
+            record.destroyed = True
+            if record in self.stack:
+                self.stack.remove(record)
+            self.destroyed_records.append(record)
+            if then is not None:
+                then()
+
+        self.system.binder.submit_post(
+            self.env.main,
+            destroy,
+            "%s.onDestroy" % type(activity).__name__,
+            event=record.current_enable(ActivityLifecycle.ON_DESTROY),
+        )
+
+    def _post_resume(
+        self, record: ActivityRecord, then: Optional[Callable] = None
+    ) -> None:
+        """Bring a stopped activity back: onRestart → onStart → onResume,
+        dispatched as one RESUME_ACTIVITY task."""
+        activity = record.activity
+
+        def resume():
+            ctx = self.env.main_ctx
+            machine = activity.lifecycle
+            machine.advance(ActivityLifecycle.ON_RESTART)
+            yield from invoke(activity.on_restart, ctx)
+            machine.advance(ActivityLifecycle.ON_START)
+            yield from invoke(activity.on_start, ctx)
+            machine.advance(ActivityLifecycle.ON_RESUME)
+            yield from invoke(activity.on_resume, ctx)
+            machine.advance(ActivityLifecycle.RUNNING)
+            self.system.screen.set_foreground(activity)
+            ctx.enable(record.fresh_enable(ActivityLifecycle.ON_PAUSE))
+            if then is not None:
+                then()
+
+        self.system.binder.submit_post(
+            self.env.main,
+            resume,
+            "RESUME_%s" % type(activity).__name__,
+            event=record.current_enable(ActivityLifecycle.ON_RESTART),
+        )
+
+    # -- queries ------------------------------------------------------------------------
+
+    def foreground_record(self) -> Optional[ActivityRecord]:
+        foreground = self.system.screen.foreground
+        if foreground is None:
+            return None
+        return self.record_of(foreground)
+
+    def record_of(self, activity: Activity) -> Optional[ActivityRecord]:
+        for record in self.stack:
+            if record.activity is activity:
+                return record
+        return None

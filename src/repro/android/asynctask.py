@@ -1,0 +1,172 @@
+"""AsyncTask — background work with UI-thread callbacks.
+
+Mirrors Android's ``AsyncTask`` protocol as the paper describes it
+(Figure 2, steps 6.4–9):
+
+* ``execute(ctx, *params)`` must be called on the main thread; it runs
+  ``on_pre_execute`` synchronously (inside the caller's task) and *forks*
+  a background thread;
+* ``do_in_background`` runs on the background thread (it may be a
+  generator function — each ``yield`` is a preemption point);
+* ``publish_progress`` posts ``on_progress_update`` to the main thread;
+* on completion the background thread posts ``on_post_execute`` (or
+  ``on_cancelled`` if the task was cancelled) to the main thread and exits.
+
+``execute_on_serial_executor`` instead runs ``do_in_background`` as a task
+posted to a shared worker looper thread — Android ≥3.0's default serial
+executor, under which background bodies of different AsyncTasks are
+FIFO-ordered with each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .env import AndroidEnv, Ctx, invoke, looper_entry
+from .errors import MainThreadError
+from .threads import SimThread
+
+
+class AsyncTask:
+    """Subclass and override the callback methods.
+
+    ``on_pre_execute`` must be a plain (atomic) method — it runs
+    synchronously inside ``execute``.  The other callbacks may be generator
+    functions.
+    """
+
+    #: shared serial-executor worker thread, lazily created per environment
+    _serial_workers = {}
+
+    def __init__(self, env: AndroidEnv, name: Optional[str] = None):
+        self.env = env
+        self.name = name or type(self).__name__
+        self.bg_thread: Optional[SimThread] = None
+        self._cancelled = False
+        self._finished = False
+
+    # -- overridables -----------------------------------------------------------
+
+    def on_pre_execute(self, ctx: Ctx) -> None:
+        """Runs synchronously on the main thread before the background work."""
+
+    def do_in_background(self, ctx: Ctx, *params) -> Any:
+        raise NotImplementedError
+
+    def on_progress_update(self, ctx: Ctx, value) -> None:
+        """Runs on the main thread for each ``publish_progress`` call."""
+
+    def on_post_execute(self, ctx: Ctx, result) -> None:
+        """Runs on the main thread after the background work completes."""
+
+    def on_cancelled(self, ctx: Ctx, result) -> None:
+        """Runs on the main thread instead of ``on_post_execute`` when the
+        task was cancelled."""
+
+    # -- protocol ------------------------------------------------------------------
+
+    def execute(self, ctx: Ctx, *params) -> "AsyncTask":
+        """Start the task: pre-execute now, background body on a fresh
+        forked thread (the paper's Figure 2/3 shape)."""
+        self._require_main(ctx)
+        self.on_pre_execute(ctx)
+        self.bg_thread = ctx.fork(
+            self._background_entry(params), name=self.env.ids.alloc("async")
+        )
+        return self
+
+    def execute_on_serial_executor(self, ctx: Ctx, *params) -> "AsyncTask":
+        """Start the task on the shared serial-executor worker looper."""
+        self._require_main(ctx)
+        self.on_pre_execute(ctx)
+        worker = self._serial_worker()
+        self.env.post_message(
+            ctx.thread,
+            worker,
+            self._serial_body(params),
+            "%s.doInBackground" % self.name,
+        )
+        return self
+
+    def publish_progress(self, bg_ctx: Ctx, value) -> None:
+        """Report progress from ``do_in_background``; the runtime posts
+        ``on_progress_update`` to the main thread (Figure 2, step 8)."""
+        env = self.env
+        env.post_message(
+            bg_ctx.thread,
+            env.main,
+            lambda: self.on_progress_update(env.main_ctx, value),
+            "%s.onProgressUpdate" % self.name,
+        )
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``do_in_background`` observes it through
+        :meth:`is_cancelled` and the completion callback switches to
+        ``on_cancelled``."""
+        if self._finished:
+            return False
+        self._cancelled = True
+        return True
+
+    def is_cancelled(self) -> bool:
+        return self._cancelled
+
+    # -- internals ------------------------------------------------------------------
+
+    def _require_main(self, ctx: Ctx) -> None:
+        if ctx.thread is not self.env.main:
+            raise MainThreadError(
+                "%s.execute must be called on the main thread, not %s"
+                % (self.name, ctx.thread.name)
+            )
+
+    def _background_entry(self, params: Sequence):
+        def entry(bg_ctx: Ctx):
+            yield from self._run_body(bg_ctx, params)
+
+        return entry
+
+    def _serial_body(self, params: Sequence):
+        def body():
+            worker = self._serial_worker()
+            yield from self._run_body(self.env.ctx(worker), params)
+
+        return body
+
+    def _run_body(self, bg_ctx: Ctx, params: Sequence):
+        result_box = {}
+
+        def capture():
+            result_box["result"] = yield from _invoke_value(
+                self.do_in_background, bg_ctx, *params
+            )
+
+        yield from capture()
+        result = result_box.get("result")
+        self._finished = True
+        env = self.env
+        if self._cancelled:
+            callback = lambda: self.on_cancelled(env.main_ctx, result)
+            base = "%s.onCancelled" % self.name
+        else:
+            callback = lambda: self.on_post_execute(env.main_ctx, result)
+            base = "%s.onPostExecute" % self.name
+        env.post_message(bg_ctx.thread, env.main, callback, base)
+
+    def _serial_worker(self) -> SimThread:
+        worker = AsyncTask._serial_workers.get(id(self.env))
+        if worker is None or worker.name not in self.env.threads:
+            worker = self.env.add_thread("serial-executor", entry=looper_entry)
+            AsyncTask._serial_workers[id(self.env)] = worker
+        self.env.ensure_looper_ready(worker)
+        return worker
+
+
+def _invoke_value(fn, *args):
+    """Like :func:`repro.android.env.invoke` but propagates the return
+    value of plain callables and generator functions alike."""
+    result = fn(*args)
+    if hasattr(result, "send") and hasattr(result, "throw"):
+        value = yield from result
+        return value
+    return result

@@ -1,0 +1,60 @@
+"""Binder threads.
+
+Android applications receive IPC from the system process (notably
+``ActivityManagerService``) on binder threads drawn from a pool.  In the
+paper's traces the binder thread's visible actions are the lifecycle posts
+it makes to the main thread on behalf of the system (Figure 2, steps 5 and
+12; Figure 3, ops 5 and 23).
+
+We model a binder thread as a plain simulated thread (no task queue)
+holding a list of *actions* — closures pushed by the simulated
+ActivityManagerService — each executed in one scheduler step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .env import AndroidEnv
+from .threads import SimThread
+
+
+class BinderPool:
+    """A small pool of binder threads; actions are dispatched round-robin,
+    mimicking arbitrary pool assignment."""
+
+    def __init__(self, env: AndroidEnv, size: int = 1):
+        self.env = env
+        self.threads: List[SimThread] = [
+            env.add_thread(env.ids.alloc("binder"), role="binder")
+            for _ in range(size)
+        ]
+        self._next = 0
+
+    def submit(self, action: Callable[[], None]) -> SimThread:
+        """Queue ``action`` on the next binder thread; it runs when that
+        thread is scheduled."""
+        thread = self.threads[self._next % len(self.threads)]
+        self._next += 1
+        thread.push_action(action)
+        return thread
+
+    def submit_post(
+        self,
+        target: SimThread,
+        callback: Callable,
+        base_name: str,
+        event=None,
+        delay=None,
+    ) -> None:
+        """Queue an asynchronous post executed *by* a binder thread — the
+        standard shape of system-originated work."""
+        thread = self.threads[self._next % len(self.threads)]
+        self._next += 1
+
+        def do_post() -> None:
+            self.env.post_message(
+                thread, target, callback, base_name, delay=delay, event=event
+            )
+
+        thread.push_action(do_post)

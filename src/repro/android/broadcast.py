@@ -1,0 +1,83 @@
+"""Broadcast intents and receivers.
+
+Registration of a :class:`BroadcastReceiver` emits an ``enable`` — the
+paper's device for "capturing relations between registering for a callback
+and execution of a callback (as in case of BroadcastReceiver …)" (§5).
+``sendBroadcast`` delivers ``onReceive`` to every registered receiver via
+binder posts tagged with the registration's enable name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from .env import Ctx, invoke
+from .memory import SharedObject
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+class BroadcastReceiver:
+    """Base class for application broadcast receivers."""
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self.env = system.env
+        self.obj = SharedObject(self.env, type(self).__name__)
+
+    @property
+    def instance_tag(self) -> str:
+        return self.obj.location_base
+
+    def on_receive(self, ctx: Ctx, intent: Any) -> None:
+        pass
+
+
+class BroadcastManager:
+    """System-side registry and delivery."""
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self.env = system.env
+        #: action -> [(receiver, enable_name)]
+        self._registry: Dict[str, List[Tuple[BroadcastReceiver, str]]] = {}
+
+    def register(self, ctx: Ctx, receiver: BroadcastReceiver, action: str) -> None:
+        enable_name = "broadcast:%s@%s!%d" % (
+            action,
+            receiver.instance_tag,
+            self.env.ids.serial("bcast-reg"),
+        )
+        ctx.enable(enable_name)
+        self._registry.setdefault(action, []).append((receiver, enable_name))
+
+    def unregister(self, receiver: BroadcastReceiver, action: Optional[str] = None) -> None:
+        for key in list(self._registry) if action is None else [action]:
+            self._registry[key] = [
+                entry for entry in self._registry.get(key, []) if entry[0] is not receiver
+            ]
+
+    def registered_actions(self) -> List[str]:
+        """Actions with at least one live registration (the explorer's
+        injectable intents)."""
+        return sorted(action for action, entries in self._registry.items() if entries)
+
+    def send(self, ctx: Optional[Ctx], action: str, intent: Any = None) -> int:
+        """Deliver to all current registrations; returns the number of
+        receivers that will be invoked.  ``ctx`` is ``None`` for
+        system-originated broadcasts (delivery is via binder posts either
+        way, so the sender leaves no trace footprint here)."""
+        entries = list(self._registry.get(action, ()))
+        for receiver, enable_name in entries:
+
+            def deliver(receiver=receiver):
+                yield from invoke(receiver.on_receive, self.env.main_ctx, intent)
+
+            self.system.binder.submit_post(
+                self.env.main,
+                deliver,
+                "%s.onReceive" % type(receiver).__name__,
+                event=enable_name,
+            )
+        return len(entries)

@@ -1,0 +1,174 @@
+"""ContentProvider + Cursor — the database substrate.
+
+The paper's subjects lean heavily on SQLite through ContentProviders and
+Cursors (the Messenger Cursor race of §6 lives here).  This models the
+structured-storage layer with the same instrumentation discipline as
+fields: a query reads the table's memory location, a mutation writes it,
+and a :class:`Cursor` is itself a shared object whose navigation state
+can race (the ``mDataValid``/``mRowIDColumn`` adapter races the paper
+reports for Messenger).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from .env import AndroidEnv, Ctx
+from .memory import SharedObject
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+class Cursor:
+    """A positional view over a query's result rows.
+
+    Navigation and getters are instrumented accesses to the cursor's own
+    shared object — two asynchronous tasks sharing a cursor race on it
+    exactly like Messenger's ``CursorAdapter`` did.
+    """
+
+    def __init__(self, env: AndroidEnv, rows: List[dict]):
+        self.obj = SharedObject(env, "Cursor")
+        self.obj.raw_write("rows", list(rows))
+        self.obj.raw_write("position", -1)
+        self.obj.raw_write("dataValid", True)
+
+    def count(self, ctx: Ctx) -> int:
+        rows = ctx.read(self.obj, "rows")
+        return len(rows or [])
+
+    def move_to_first(self, ctx: Ctx) -> bool:
+        return self.move_to_position(ctx, 0)
+
+    def move_to_next(self, ctx: Ctx) -> bool:
+        position = ctx.read(self.obj, "position")
+        return self.move_to_position(ctx, (position if position is not None else -1) + 1)
+
+    def move_to_position(self, ctx: Ctx, position: int) -> bool:
+        rows = ctx.read(self.obj, "rows") or []
+        ctx.write(self.obj, "position", position)
+        return 0 <= position < len(rows)
+
+    def get(self, ctx: Ctx, column: str) -> Any:
+        rows = ctx.read(self.obj, "rows") or []
+        position = ctx.read(self.obj, "position")
+        if position is None or not 0 <= position < len(rows):
+            raise CursorIndexError(
+                "index out of bounds: position=%s count=%d" % (position, len(rows))
+            )
+        return rows[position].get(column)
+
+    def requery(self, ctx: Ctx, rows: List[dict]) -> None:
+        """Replace the backing rows (the racy refresh of §6)."""
+        ctx.write(self.obj, "rows", list(rows))
+        ctx.write(self.obj, "dataValid", True)
+
+    def invalidate(self, ctx: Ctx) -> None:
+        ctx.write(self.obj, "dataValid", False)
+        ctx.write(self.obj, "rows", [])
+
+
+class CursorIndexError(IndexError):
+    """The 'index out of bounds runtime exception on the Cursor object'
+    the paper triggered by reordering tasks (§6)."""
+
+
+class ContentProvider:
+    """An in-process provider: named tables of row dictionaries.
+
+    Subclass to define ``TABLES``; mutations and queries go through a
+    :class:`Ctx` so every access is a trace operation on the table's
+    memory location (``<Provider>@n.<table>``).
+    """
+
+    TABLES: tuple = ("main",)
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self.env = system.env
+        self.obj = SharedObject(self.env, type(self).__name__)
+        self._data: Dict[str, List[dict]] = {t: [] for t in self.TABLES}
+        self._next_id = 1
+
+    @property
+    def instance_tag(self) -> str:
+        return self.obj.location_base
+
+    def _table(self, table: str) -> List[dict]:
+        if table not in self._data:
+            raise LookupError("provider %s has no table %r" % (self.instance_tag, table))
+        return self._data[table]
+
+    # -- query side -----------------------------------------------------------
+
+    def query(
+        self,
+        ctx: Ctx,
+        table: str,
+        where: Optional[Callable[[dict], bool]] = None,
+    ) -> Cursor:
+        rows = self._table(table)
+        ctx.read(self.obj, table)
+        selected = [row for row in rows if where is None or where(row)]
+        return Cursor(self.env, selected)
+
+    def count(self, ctx: Ctx, table: str) -> int:
+        ctx.read(self.obj, table)
+        return len(self._table(table))
+
+    # -- mutation side ------------------------------------------------------------
+
+    def insert(self, ctx: Ctx, table: str, values: dict) -> int:
+        rows = self._table(table)
+        row = dict(values)
+        row.setdefault("_id", self._next_id)
+        self._next_id += 1
+        rows.append(row)
+        ctx.write(self.obj, table, len(rows))
+        return row["_id"]
+
+    def update(
+        self,
+        ctx: Ctx,
+        table: str,
+        values: dict,
+        where: Optional[Callable[[dict], bool]] = None,
+    ) -> int:
+        rows = self._table(table)
+        changed = 0
+        for row in rows:
+            if where is None or where(row):
+                row.update(values)
+                changed += 1
+        ctx.write(self.obj, table, len(rows))
+        return changed
+
+    def delete(
+        self,
+        ctx: Ctx,
+        table: str,
+        where: Optional[Callable[[dict], bool]] = None,
+    ) -> int:
+        rows = self._table(table)
+        keep = [row for row in rows if where is not None and not where(row)]
+        removed = len(rows) - len(keep)
+        rows[:] = keep
+        ctx.write(self.obj, table, len(rows))
+        return removed
+
+
+class ProviderRegistry:
+    """System-side registry: one provider instance per class (the
+    ContentResolver role)."""
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self._providers: Dict[type, ContentProvider] = {}
+
+    def get(self, provider_cls) -> ContentProvider:
+        provider = self._providers.get(provider_cls)
+        if provider is None:
+            provider = provider_cls(self.system)
+            self._providers[provider_cls] = provider
+        return provider

@@ -1,0 +1,43 @@
+"""Exception hierarchy of the simulated Android runtime."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for runtime-simulation failures."""
+
+
+class DeadlockError(SimulationError):
+    """All remaining live threads are blocked on locks or joins."""
+
+
+class SchedulerError(SimulationError):
+    """Internal scheduler invariant violated (a bug in the caller or in
+    the simulator)."""
+
+
+class ThreadAPIError(SimulationError):
+    """Application code used the threading API incorrectly (e.g. releasing
+    a lock it does not hold, posting to a thread without a queue)."""
+
+
+class MainThreadError(SimulationError):
+    """An operation that Android restricts to the main (UI) thread was
+    invoked from another thread (e.g. ``AsyncTask.execute``)."""
+
+
+class PendingCommandError(SimulationError):
+    """A blocking command (acquire/join) was created but not yielded before
+    the next runtime call — application code forgot the ``yield``."""
+
+
+class AppCrashError(SimulationError):
+    """Application callback raised; carries the original exception."""
+
+    def __init__(self, thread: str, task: str, original: BaseException):
+        self.thread = thread
+        self.task = task
+        self.original = original
+        super().__init__(
+            "application crash on thread %s in task %s: %r" % (thread, task, original)
+        )

@@ -1,0 +1,45 @@
+"""Intents — typed payloads for component communication.
+
+The paper's DroidRacer "only generates UI events but not intents in the
+testing phase" (§8) and notes that Dynodroid can simulate intents (§7).
+We implement the extension: broadcast intents are first-class events the
+UI Explorer can inject (``UIEvent("intent", action)``), delivered through
+the same binder/enable discipline as app-sent broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Type
+
+
+@dataclass(frozen=True)
+class Intent:
+    """A minimal Android-style intent."""
+
+    action: str
+    extras: Dict[str, Any] = field(default_factory=dict)
+    component: Optional[type] = None  # explicit target (activity/service)
+
+    def get_extra(self, key: str, default: Any = None) -> Any:
+        return self.extras.get(key, default)
+
+    def with_extra(self, key: str, value: Any) -> "Intent":
+        extras = dict(self.extras)
+        extras[key] = value
+        return Intent(self.action, extras, self.component)
+
+    def __str__(self) -> str:
+        target = self.component.__name__ if self.component else self.action
+        if self.extras:
+            return "Intent(%s, %s)" % (target, self.extras)
+        return "Intent(%s)" % target
+
+
+#: System broadcast actions the environment can inject spontaneously —
+#: the explorer offers these once an application registers for them.
+SYSTEM_ACTIONS = (
+    "android.intent.action.BATTERY_LOW",
+    "android.intent.action.TIME_TICK",
+    "android.net.conn.CONNECTIVITY_CHANGE",
+)

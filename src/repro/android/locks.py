@@ -1,0 +1,50 @@
+"""Monitor locks of the simulated runtime.
+
+Java monitors are reentrant; the paper's ACQUIRE rule
+(``l ∉ L(t') for any t' ≠ t``) permits reacquisition by the holder.  The
+trace logs every acquire/release pair, including reentrant ones — the LOCK
+happens-before rule only relates operations on *different* threads, so
+reentrant pairs are harmless.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import ThreadAPIError
+
+
+class Lock:
+    """A reentrant monitor lock."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.holder: Optional[str] = None  # thread name
+        self.depth = 0
+
+    def available_to(self, thread: str) -> bool:
+        return self.holder is None or self.holder == thread
+
+    def acquire(self, thread: str) -> None:
+        if not self.available_to(thread):
+            raise ThreadAPIError(
+                "lock %s acquired by %s while held by %s"
+                % (self.name, thread, self.holder)
+            )
+        self.holder = thread
+        self.depth += 1
+
+    def release(self, thread: str) -> None:
+        if self.holder != thread:
+            raise ThreadAPIError(
+                "thread %s released lock %s held by %s"
+                % (thread, self.name, self.holder)
+            )
+        self.depth -= 1
+        if self.depth == 0:
+            self.holder = None
+
+    def __repr__(self) -> str:
+        if self.holder is None:
+            return "Lock(%s, free)" % self.name
+        return "Lock(%s, held by %s x%d)" % (self.name, self.holder, self.depth)

@@ -1,0 +1,81 @@
+"""Handler — the application-facing posting API.
+
+An Android ``Handler`` is bound to a looper thread and posts runnables or
+messages to its queue.  This wraps the environment's posting primitives in
+the shape application code expects: ``post``, ``postDelayed``,
+``postAtFrontOfQueue``, ``removeCallbacks`` — the §4.2 task-management
+operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .env import AndroidEnv, Ctx
+from .errors import ThreadAPIError
+from .message_queue import Message
+from .threads import SimThread
+
+
+class Handler:
+    """A posting handle bound to one looper thread."""
+
+    def __init__(self, env: AndroidEnv, target: Optional[SimThread] = None):
+        self.env = env
+        self.target = target or env.main
+        self._posted: List[Message] = []
+
+    def post(
+        self, ctx: Ctx, callback: Callable, name: str = "runnable", event=None
+    ) -> Message:
+        message = self.env.post_message(ctx.thread, self.target, callback, name, event=event)
+        self._posted.append(message)
+        return message
+
+    def post_delayed(
+        self, ctx: Ctx, callback: Callable, delay: int, name: str = "runnable", event=None
+    ) -> Message:
+        if delay < 0:
+            raise ThreadAPIError("negative delay %d" % delay)
+        message = self.env.post_message(
+            ctx.thread, self.target, callback, name, delay=delay, event=event
+        )
+        self._posted.append(message)
+        return message
+
+    def post_at_front_of_queue(
+        self, ctx: Ctx, callback: Callable, name: str = "runnable"
+    ) -> Message:
+        message = self.env.post_message(
+            ctx.thread, self.target, callback, name, at_front=True
+        )
+        self._posted.append(message)
+        return message
+
+    def remove_callbacks(self, message: Message) -> bool:
+        """Cancel a pending post (ignored if already dispatched)."""
+        return self.env.cancel_message(message)
+
+    def remove_all_callbacks(self) -> int:
+        """Cancel every still-pending post made through this handler."""
+        removed = 0
+        for message in self._posted:
+            if self.env.cancel_message(message):
+                removed += 1
+        return removed
+
+
+def new_handler_thread(env: AndroidEnv, name: Optional[str] = None) -> SimThread:
+    """Create (framework-level) a looper thread — Android's HandlerThread.
+    The thread attaches its queue and loops once first scheduled."""
+    from .env import looper_entry
+
+    return env.add_thread(name or env.ids.alloc("handler"), entry=looper_entry)
+
+
+def fork_handler_thread(ctx: Ctx, name: Optional[str] = None) -> SimThread:
+    """Fork a looper thread from application code (logs the fork op, so the
+    FORK happens-before edge orders its initialization)."""
+    from .env import looper_entry
+
+    return ctx.fork(looper_entry, name=name or ctx.env.ids.alloc("handler"))

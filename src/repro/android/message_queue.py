@@ -1,0 +1,108 @@
+"""Message queues of looper threads.
+
+Models Android's ``MessageQueue``: FIFO delivery in virtual time, with the
+three §4.2 task-management extensions — delayed posts (``postDelayed``),
+cancellation (``removeCallbacks``) and post-to-the-front
+(``postAtFrontOfQueue``).
+
+Delivery order: at-front messages first (LIFO among themselves, as each
+barges to the head), then by (delivery time, posting sequence).  A message
+is *eligible* once the virtual clock reaches its delivery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Message:
+    """One posted asynchronous task."""
+
+    task: str  # unique task-instance name
+    callback: Callable  # runs with no arguments; may return a generator
+    target: str  # thread the task runs on
+    posted_by: str  # thread that executed the post
+    when: int  # virtual delivery time
+    seq: int  # global posting sequence number
+    delay: Optional[int] = None
+    at_front: bool = False
+    event: Optional[str] = None  # enable-name for environmental events
+    cancelled: bool = False
+    post_index: Optional[int] = None  # trace position of the post op
+
+    def sort_key(self):
+        # At-front messages barge to the head; later barges go before
+        # earlier ones (each was inserted at the very front).
+        if self.at_front:
+            return (0, 0, -self.seq)
+        return (1, self.when, self.seq)
+
+
+class MessageQueue:
+    """A looper thread's task queue (enqueue ⊕ / dequeue ⊖ of Figure 5)."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._messages: List[Message] = []
+
+    def enqueue(self, message: Message) -> None:
+        self._messages.append(message)
+        self._messages.sort(key=Message.sort_key)
+
+    def cancel(self, task: str) -> bool:
+        """Mark the message for ``task`` cancelled; returns True if found
+        and not yet dispatched."""
+        for message in self._messages:
+            if message.task == task and not message.cancelled:
+                message.cancelled = True
+                return True
+        return False
+
+    def cancel_where(self, predicate: Callable[[Message], bool]) -> List[str]:
+        """Cancel all pending messages satisfying ``predicate``; returns the
+        cancelled task names (``Handler.removeCallbacks`` semantics)."""
+        cancelled = []
+        for message in self._messages:
+            if not message.cancelled and predicate(message):
+                message.cancelled = True
+                cancelled.append(message.task)
+        return cancelled
+
+    def _prune(self) -> None:
+        self._messages = [m for m in self._messages if not m.cancelled]
+
+    def eligible(self, clock: int) -> Optional[Message]:
+        """The message that would be dispatched now, or ``None``."""
+        self._prune()
+        if self._messages and self._messages[0].when <= clock:
+            return self._messages[0]
+        return None
+
+    def dequeue(self, clock: int) -> Message:
+        message = self.eligible(clock)
+        if message is None:
+            raise LookupError("no eligible message on %s at clock %d" % (self.owner, clock))
+        self._messages.pop(0)
+        return message
+
+    def next_wakeup(self) -> Optional[int]:
+        """Delivery time of the *head* message (the queue delivers in head
+        order, so this is when the queue can next make progress), or
+        ``None`` if empty."""
+        self._prune()
+        if not self._messages:
+            return None
+        return self._messages[0].when
+
+    def pending(self) -> List[Message]:
+        self._prune()
+        return list(self._messages)
+
+    def __len__(self) -> int:
+        self._prune()
+        return len(self._messages)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,131 @@
+"""SharedPreferences — the key-value storage substrate.
+
+Android's ``SharedPreferences`` is a notorious race source: ``apply()``
+returns immediately and commits to disk on a shared writer thread, while
+getters read the in-memory map.  We model it faithfully:
+
+* getters are instrumented reads of the preference file's object;
+* ``Editor.apply()`` writes the in-memory map *synchronously* (logged on
+  the calling thread) and posts the disk commit to the process-wide
+  ``queued-work`` looper thread, which performs an untracked-to-disk
+  write plus an instrumented ``diskState`` write — racing with any other
+  editor's apply;
+* ``Editor.commit()`` performs both writes on the calling thread
+  (blocking — StrictMode-relevant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from .env import AndroidEnv, Ctx, looper_entry
+from .memory import SharedObject
+from .strictmode import blocking_io
+from .threads import SimThread
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+class SharedPreferences:
+    """One named preferences file."""
+
+    def __init__(self, system: "AndroidSystem", name: str):
+        self.system = system
+        self.env = system.env
+        self.name = name
+        self.obj = SharedObject(self.env, "SharedPreferences")
+        self.obj.raw_write("diskState", "clean")
+        self._values: Dict[str, Any] = {}
+
+    def get(self, ctx: Ctx, key: str, default: Any = None) -> Any:
+        ctx.read(self.obj, "map")
+        return self._values.get(key, default)
+
+    def contains(self, ctx: Ctx, key: str) -> bool:
+        ctx.read(self.obj, "map")
+        return key in self._values
+
+    def edit(self) -> "Editor":
+        return Editor(self)
+
+
+class Editor:
+    """Batched preference mutations."""
+
+    def __init__(self, prefs: SharedPreferences):
+        self.prefs = prefs
+        self._pending: Dict[str, Any] = {}
+        self._clear = False
+
+    def put(self, key: str, value: Any) -> "Editor":
+        self._pending[key] = value
+        return self
+
+    def remove(self, key: str) -> "Editor":
+        self._pending[key] = None
+        return self
+
+    def clear(self) -> "Editor":
+        self._clear = True
+        return self
+
+    def _merge(self, ctx: Ctx) -> None:
+        if self._clear:
+            self.prefs._values.clear()
+        for key, value in self._pending.items():
+            if value is None:
+                self.prefs._values.pop(key, None)
+            else:
+                self.prefs._values[key] = value
+        ctx.write(self.prefs.obj, "map", len(self.prefs._values))
+
+    def apply(self, ctx: Ctx) -> None:
+        """Asynchronous commit: memory now, disk on the queued-work
+        thread (the racy fast path)."""
+        self._merge(ctx)
+        worker = _queued_work_thread(self.prefs.system)
+        prefs = self.prefs
+
+        def disk_commit() -> None:
+            commit_ctx = prefs.env.current_ctx
+            commit_ctx.write(prefs.obj, "diskState", "flushed:%s" % prefs.name)
+
+        self.prefs.env.post_message(
+            ctx.thread, worker, disk_commit, "%s.applyCommit" % self.prefs.name
+        )
+
+    def commit(self, ctx: Ctx) -> bool:
+        """Synchronous commit: memory and disk on the calling thread —
+        blocking I/O, flagged by StrictMode on the main thread."""
+        self._merge(ctx)
+        blocking_io(ctx, "disk-write", "SharedPreferences.commit(%s)" % self.prefs.name)
+        ctx.write(self.prefs.obj, "diskState", "flushed:%s" % self.prefs.name)
+        return True
+
+
+_WORKERS: Dict[int, SimThread] = {}
+
+
+def _queued_work_thread(system: "AndroidSystem") -> SimThread:
+    """The process-wide QueuedWork looper thread (created on first use)."""
+    env = system.env
+    worker = _WORKERS.get(id(env))
+    if worker is None or worker.name not in env.threads:
+        worker = env.add_thread("queued-work", entry=looper_entry)
+        _WORKERS[id(env)] = worker
+    env.ensure_looper_ready(worker)
+    return worker
+
+
+_FILES: Dict[int, Dict[str, SharedPreferences]] = {}
+
+
+def get_shared_preferences(system: "AndroidSystem", name: str = "default") -> SharedPreferences:
+    """``Context.getSharedPreferences`` — one instance per (process, file)."""
+    files = _FILES.setdefault(id(system.env), {})
+    prefs = files.get(name)
+    if prefs is None or prefs.env is not system.env:
+        prefs = SharedPreferences(system, name)
+        files[name] = prefs
+    return prefs

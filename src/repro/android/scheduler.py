@@ -1,0 +1,127 @@
+"""Schedule policies.
+
+The simulator asks a policy to pick one thread from the ready set at every
+step.  Policies are deterministic given their construction arguments, and
+every run records its decision sequence so it can be replayed exactly with
+:class:`ReplayPolicy` — the capability the paper's UI Explorer needs
+("replay events consistently across testing runs", §5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+class SchedulePolicy:
+    """Interface: pick one name from the (sorted) ready list."""
+
+    def choose(self, ready: Sequence[str]) -> str:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return to the initial decision state (start of a fresh run)."""
+
+
+class RoundRobinPolicy(SchedulePolicy):
+    """Cycle through threads in name order — the most FIFO-like schedule."""
+
+    def __init__(self):
+        self._last: Optional[str] = None
+
+    def choose(self, ready: Sequence[str]) -> str:
+        if self._last is not None:
+            for name in ready:
+                if name > self._last:
+                    self._last = name
+                    return name
+        self._last = ready[0]
+        return ready[0]
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class RandomPolicy(SchedulePolicy):
+    """Seeded uniform choice — used to explore distinct interleavings."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, ready: Sequence[str]) -> str:
+        return self._rng.choice(list(ready))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class MainFirstPolicy(SchedulePolicy):
+    """Prefer the main thread when ready, else fall back to a seeded random
+    choice — approximates Android's UI-thread priority."""
+
+    def __init__(self, main: str = "main", seed: int = 0):
+        self.main = main
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, ready: Sequence[str]) -> str:
+        if self.main in ready:
+            return self.main
+        return self._rng.choice(list(ready))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class StallPolicy(SchedulePolicy):
+    """Adversarial wrapper: refuse to schedule ``stall_thread`` until
+    ``release_when(env)`` holds — the automated analogue of §6's "stall
+    certain threads using breakpoints, giving others the opportunity to
+    progress".  Falls through when the stalled thread is the only ready
+    one (no artificial deadlock)."""
+
+    def __init__(self, base: SchedulePolicy, stall_thread: str, release_when):
+        self.base = base
+        self.stall_thread = stall_thread
+        self.release_when = release_when
+        self.env = None  # attached by the driver after construction
+        self._released = False
+
+    def attach(self, env) -> None:
+        self.env = env
+
+    def choose(self, ready: Sequence[str]) -> str:
+        if not self._released and self.env is not None and self.release_when(self.env):
+            self._released = True
+        if not self._released and self.stall_thread in ready:
+            others = [name for name in ready if name != self.stall_thread]
+            if others:
+                return self.base.choose(others)
+        return self.base.choose(ready)
+
+    def reset(self) -> None:
+        self.base.reset()
+        self._released = False
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Replay a recorded decision sequence; once exhausted, fall back to the
+    first ready thread (deterministic)."""
+
+    def __init__(self, decisions: Sequence[str]):
+        self.decisions = list(decisions)
+        self._pos = 0
+
+    def choose(self, ready: Sequence[str]) -> str:
+        while self._pos < len(self.decisions):
+            pick = self.decisions[self._pos]
+            self._pos += 1
+            if pick in ready:
+                return pick
+            # The recorded pick can be stale if the replayed run diverged
+            # (e.g. a different event sequence); skip to stay deterministic.
+        return ready[0]
+
+    def reset(self) -> None:
+        self._pos = 0

@@ -1,0 +1,139 @@
+"""Started Services.
+
+A Service runs on the application's main thread (no separate thread,
+unless the service forks one itself).  ``startService`` from application
+code enables and schedules ``onCreate``/``onStartCommand`` via a binder
+post; ``stopService`` schedules ``onDestroy`` — the Service analogue of
+the Activity lifecycle discipline (§4.2: "Similar lifecycles exist for
+other types of components … Our implementation handles them").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.lifecycle_model import ServiceLifecycle
+
+from .env import Ctx, invoke
+from .memory import SharedObject
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+class Service:
+    """Base class for application services."""
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self.env = system.env
+        self.obj = SharedObject(self.env, type(self).__name__)
+        self.lifecycle = ServiceLifecycle(type(self).__name__)
+
+    @property
+    def instance_tag(self) -> str:
+        return self.obj.location_base
+
+    def on_create(self, ctx: Ctx) -> None:
+        pass
+
+    def on_start_command(self, ctx: Ctx, intent: Any) -> None:
+        pass
+
+    def on_destroy(self, ctx: Ctx) -> None:
+        pass
+
+    def stop_self(self, ctx: Ctx) -> None:
+        self.system.services.stop(ctx, type(self))
+
+
+class ServiceController:
+    """System-side service management (one running instance per class)."""
+
+    def __init__(self, system: "AndroidSystem"):
+        self.system = system
+        self.env = system.env
+        self.running: Dict[type, Service] = {}
+        self._enable_names: Dict[type, str] = {}
+        self.stopped: List[Service] = []
+
+    def start(self, ctx: Ctx, service_cls, intent: Any = None) -> None:
+        """``context.startService(intent)`` from application code.  The
+        system registers the service record immediately (as real AMS
+        does), so a second ``startService`` before the first ``onCreate``
+        runs re-delivers rather than re-creates."""
+        if service_cls in self.running:
+            service = self.running[service_cls]
+            enable_name = "service:onStartCommand@%s!%d" % (
+                service.instance_tag,
+                self.env.ids.serial("svc-start"),
+            )
+            ctx.enable(enable_name)
+            self._post_start_command(service, intent, enable_name)
+            return
+        service = service_cls(self.system)
+        self.running[service_cls] = service
+        enable_name = "service:create:%s!%d" % (
+            service_cls.__name__,
+            self.env.ids.serial("svc-create"),
+        )
+        ctx.enable(enable_name)
+        self._post_create(service, intent, enable_name)
+
+    def stop(self, ctx: Ctx, service_cls) -> None:
+        service = self.running.get(service_cls)
+        if service is None:
+            return
+        # Unregister now: a later startService creates a fresh instance
+        # even while this one's onDestroy is still queued.
+        self.running.pop(service_cls, None)
+        enable_name = "service:onDestroy@%s!%d" % (
+            service.instance_tag,
+            self.env.ids.serial("svc-stop"),
+        )
+        ctx.enable(enable_name)
+
+        def destroy():
+            service.lifecycle.advance(ServiceLifecycle.ON_DESTROY)
+            yield from invoke(service.on_destroy, self.env.main_ctx)
+            service.lifecycle.advance(ServiceLifecycle.DESTROYED)
+            self.stopped.append(service)
+
+        self.system.binder.submit_post(
+            self.env.main,
+            destroy,
+            "%s.onDestroy" % service_cls.__name__,
+            event=enable_name,
+        )
+
+    def _post_create(self, service: Service, intent: Any, enable_name: str) -> None:
+        def create():
+            machine = service.lifecycle
+            ctx = self.env.main_ctx
+            machine.advance(ServiceLifecycle.ON_CREATE)
+            yield from invoke(service.on_create, ctx)
+            machine.advance(ServiceLifecycle.ON_START_COMMAND)
+            yield from invoke(service.on_start_command, ctx, intent)
+            machine.advance(ServiceLifecycle.STARTED)
+
+        self.system.binder.submit_post(
+            self.env.main,
+            create,
+            "CREATE_%s" % type(service).__name__,
+            event=enable_name,
+        )
+
+    def _post_start_command(self, service: Service, intent: Any, enable_name: str) -> None:
+        def start_command():
+            machine = service.lifecycle
+            ctx = self.env.main_ctx
+            machine.advance(ServiceLifecycle.ON_START_COMMAND)
+            yield from invoke(service.on_start_command, ctx, intent)
+            machine.advance(ServiceLifecycle.STARTED)
+
+        self.system.binder.submit_post(
+            self.env.main,
+            start_command,
+            "%s.onStartCommand" % type(service).__name__,
+            event=enable_name,
+        )

@@ -1,0 +1,88 @@
+"""StrictMode — the thread-usage policy checker the paper relates to.
+
+§7: "Android's StrictMode tool dynamically checks that the UI thread does
+not perform I/O or other time-consuming operations."  Our runtime models
+blocking operations explicitly (``ctx`` calls :func:`blocking_io`) and
+StrictMode flags them when they run on the main thread.
+
+This is a *policy* checker, orthogonal to race detection: it catches
+responsiveness bugs, not ordering bugs — included to reproduce the
+related-work comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from .env import AndroidEnv, Ctx
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected policy violation."""
+
+    kind: str  # "disk-read" | "disk-write" | "network"
+    thread: str
+    detail: str
+    op_position: int  # trace position at detection time
+
+    def __str__(self) -> str:
+        return "StrictMode %s violation on %s: %s" % (self.kind, self.thread, self.detail)
+
+
+class StrictMode:
+    """Per-environment policy state (Android's thread policy)."""
+
+    KINDS = ("disk-read", "disk-write", "network")
+
+    def __init__(self, env: AndroidEnv):
+        self.env = env
+        self.enabled = False
+        self.detect_kinds = set(self.KINDS)
+        self.penalty_death = False  # penaltyDeath(): raise instead of log
+        self.violations: List[Violation] = []
+
+    def enable(self, kinds: Optional[List[str]] = None, penalty_death: bool = False) -> None:
+        self.enabled = True
+        self.detect_kinds = set(kinds or self.KINDS)
+        self.penalty_death = penalty_death
+
+    def note_blocking(self, ctx: Ctx, kind: str, detail: str) -> None:
+        if kind not in self.KINDS:
+            raise ValueError("unknown blocking kind %r" % kind)
+        if not self.enabled or kind not in self.detect_kinds:
+            return
+        if ctx.thread is not self.env.main:
+            return  # background threads may block freely
+        violation = Violation(kind, ctx.thread.name, detail, len(self.env.ops))
+        self.violations.append(violation)
+        if self.penalty_death:
+            raise StrictModeViolationError(violation)
+
+
+class StrictModeViolationError(RuntimeError):
+    def __init__(self, violation: Violation):
+        self.violation = violation
+        super().__init__(str(violation))
+
+
+_INSTANCES = {}
+
+
+def strict_mode_of(env: AndroidEnv) -> StrictMode:
+    """The StrictMode instance of an environment (created on demand)."""
+    instance = _INSTANCES.get(id(env))
+    if instance is None or instance.env is not env:
+        instance = StrictMode(env)
+        _INSTANCES[id(env)] = instance
+    return instance
+
+
+def blocking_io(ctx: Ctx, kind: str = "disk-read", detail: str = "") -> None:
+    """Application marker for a blocking operation (file/network access).
+    StrictMode flags it when executed on the main thread."""
+    strict_mode_of(ctx.env).note_blocking(ctx, kind, detail or kind)

@@ -1,0 +1,189 @@
+"""AndroidSystem — one bootable simulated device running one application.
+
+Composes the environment (threads, queues, trace generation), binder
+pool, ActivityManagerService, screen, service controller, and broadcast
+manager.  The test harness and the UI Explorer interact with applications
+exclusively through this façade:
+
+    system = AndroidSystem(seed=7)
+    system.boot()
+    system.launch(DwFileAct)
+    system.run_to_quiescence()
+    system.fire(UIEvent("click", "playBtn"))
+    system.run_to_quiescence()
+    trace = system.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.trace import ExecutionTrace
+
+from .ams import ActivityManagerService
+from .binder import BinderPool
+from .broadcast import BroadcastManager, BroadcastReceiver
+from .content_provider import ContentProvider, ProviderRegistry
+from .env import AndroidEnv, Ctx
+from .errors import SchedulerError
+from .intents import Intent
+from .scheduler import MainFirstPolicy, RandomPolicy, ReplayPolicy, SchedulePolicy
+from .service import ServiceController
+from .strictmode import StrictMode, strict_mode_of
+from .views import ScreenManager, UIEvent
+
+
+class AndroidSystem:
+    """A simulated device/process pair hosting one application."""
+
+    def __init__(
+        self,
+        policy: Optional[SchedulePolicy] = None,
+        seed: Optional[int] = None,
+        name: str = "app",
+        binder_threads: int = 1,
+    ):
+        if policy is None:
+            policy = RandomPolicy(seed or 0) if seed is not None else MainFirstPolicy()
+        self.env = AndroidEnv(policy, name=name)
+        self.binder = BinderPool(self.env, binder_threads)
+        self.screen = ScreenManager(self)
+        self.ams = ActivityManagerService(self)
+        self.services = ServiceController(self)
+        self.broadcasts = BroadcastManager(self)
+        self.providers = ProviderRegistry(self)
+        self._booted = False
+
+    # -- run control ----------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Initialize the main thread up to its event loop (steps 1–3 of
+        Figure 2)."""
+        if self._booted:
+            return
+        self.env.run_until(lambda: self.env.main.looping)
+        self._booted = True
+
+    def launch(self, activity_cls) -> None:
+        """Schedule the launch of the application's (or next) activity."""
+        self.boot()
+        self.ams.launch(activity_cls)
+
+    def run_to_quiescence(self, max_steps: int = 2_000_000) -> int:
+        """Run until no thread can make progress — the paper's discipline of
+        triggering an event only after the previous one is consumed (§5)."""
+        return self.env.run(max_steps=max_steps)
+
+    def finish(self, trace_name: Optional[str] = None) -> ExecutionTrace:
+        """Shut the system down and return the generated execution trace."""
+        self.env.shutdown()
+        return self.env.build_trace(trace_name)
+
+    # -- event injection (UI Explorer interface) ----------------------------------------
+
+    def enabled_events(self, include_intents: bool = True) -> List[UIEvent]:
+        """Events the environment can fire now: the foreground widgets'
+        events, BACK/rotate, and (extension, §8) one intent event per
+        broadcast action the application is registered for."""
+        events = self.screen.enabled_events()
+        if include_intents:
+            for action in self.broadcasts.registered_actions():
+                events.append(UIEvent("intent", action))
+        return events
+
+    def fire(self, event: UIEvent) -> None:
+        """Inject one UI event.  Widget events are posted by the main
+        thread itself (the looper dispatches input — Figure 3, op 19);
+        BACK and rotation go through ActivityManagerService; intents are
+        system-sent broadcasts."""
+        if event.kind == "back":
+            self.ams.press_back()
+            return
+        if event.kind == "rotate":
+            self.ams.rotate()
+            return
+        if event.kind == "intent":
+            self.send_system_broadcast(event.widget_id)
+            return
+        widget = self.screen.widget(event.widget_id)
+        handler = widget.handler_for(event.kind)
+        if handler is None:
+            raise LookupError(
+                "widget %s has no %s handler" % (event.widget_id, event.kind)
+            )
+        enable_name = widget.enable_name_for(event.kind)
+        if enable_name is None:
+            raise SchedulerError(
+                "event %s fired but never enabled" % event.describe()
+            )
+        main = self.env.main
+        activity = widget.activity
+
+        if event.kind == "text":
+            callback = lambda: handler(self.env.main_ctx, event.payload)
+        else:
+            callback = lambda: handler(self.env.main_ctx)
+
+        def dispatch() -> None:
+            self.env.post_message(
+                main,
+                main,
+                callback,
+                "%s.%s" % (activity.instance_tag, _handler_base(event)),
+                event=enable_name,
+            )
+
+        main.push_action(dispatch)
+
+    # -- application-facing context services ----------------------------------------------
+
+    def start_service(self, ctx: Ctx, service_cls, intent: Any = None) -> None:
+        self.services.start(ctx, service_cls, intent)
+
+    def stop_service(self, ctx: Ctx, service_cls) -> None:
+        self.services.stop(ctx, service_cls)
+
+    def register_receiver(self, ctx: Ctx, receiver: BroadcastReceiver, action: str) -> None:
+        self.broadcasts.register(ctx, receiver, action)
+
+    def send_broadcast(self, ctx: Ctx, action: str, intent: Any = None) -> int:
+        return self.broadcasts.send(ctx, action, intent)
+
+    def send_system_broadcast(self, action: str, intent: Any = None) -> int:
+        """A broadcast originated by the environment (battery, clock, …) —
+        the Dynodroid-style intent injection the paper lists as future
+        work (§8)."""
+        if intent is None:
+            intent = Intent(action)
+        return self.broadcasts.send(None, action, intent)
+
+    def content_resolver(self, provider_cls) -> ContentProvider:
+        """The ContentResolver role: the process-wide provider instance."""
+        return self.providers.get(provider_cls)
+
+    @property
+    def strict_mode(self) -> StrictMode:
+        return strict_mode_of(self.env)
+
+    def __repr__(self) -> str:
+        return "AndroidSystem(%s)" % self.env
+
+
+def _handler_base(event: UIEvent) -> str:
+    if event.kind == "click":
+        return "onClick:%s" % event.widget_id
+    if event.kind == "long-click":
+        return "onLongClick:%s" % event.widget_id
+    if event.kind == "text":
+        return "onText:%s" % event.widget_id
+    return "on%s" % event.kind.capitalize()
+
+
+def replay_system(
+    decisions: List[str], name: str = "app", binder_threads: int = 1
+) -> AndroidSystem:
+    """Build a system that replays a recorded scheduling-decision sequence
+    (deterministic re-execution of a previous run)."""
+    return AndroidSystem(
+        policy=ReplayPolicy(decisions), name=name, binder_threads=binder_threads
+    )

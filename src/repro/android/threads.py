@@ -1,0 +1,147 @@
+"""Simulated threads.
+
+A :class:`SimThread` is a cooperative thread of the simulator.  Its body
+is a stack of *frames* (Python generators): the scheduler advances the top
+frame one step at a time, so interleavings happen exactly at the points
+where application code ``yield``\\ s (or between atomic callbacks).
+
+Blocking operations — lock acquisition and joins — are *commands*:
+application code yields an :class:`Acquire`/:class:`Join` object and the
+scheduler parks the thread until the command can complete.  Everything
+else (reads, writes, posts, forks, releases) executes synchronously inside
+the owning thread's step and is logged immediately.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from .errors import SchedulerError
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"  # created (set C of Figure 5)
+    RUNNABLE = "runnable"  # running (set R)
+    BLOCKED = "blocked"  # parked on a command
+    FINISHED = "finished"  # exited (set F)
+
+
+class Command:
+    """Base class of blocking commands yielded by application code."""
+
+
+@dataclass
+class Acquire(Command):
+    lock: Any  # a Lock from repro.android.locks
+
+    def __repr__(self) -> str:
+        return "Acquire(%s)" % self.lock
+
+
+@dataclass
+class Join(Command):
+    thread: "SimThread"
+
+    def __repr__(self) -> str:
+        return "Join(%s)" % self.thread.name
+
+
+@dataclass
+class WaitUntil(Command):
+    """Park the thread until ``predicate()`` holds.  Used for framework
+    synchronization that leaves no trace footprint (e.g. waiting for a
+    HandlerThread's looper to come up before posting to it)."""
+
+    predicate: Callable[[], bool]
+    reason: str = ""
+
+    def __repr__(self) -> str:
+        return "WaitUntil(%s)" % (self.reason or "<predicate>")
+
+
+@dataclass
+class Frame:
+    """One entry of a thread's frame stack."""
+
+    gen: Generator
+    task: Optional[str] = None  # task instance this frame executes, if any
+    on_done: Optional[Callable[[], None]] = None
+
+
+class SimThread:
+    """One simulated thread."""
+
+    def __init__(self, name: str, entry: Optional[Callable] = None):
+        self.name = name
+        self.entry = entry
+        self.state = ThreadState.NEW
+        self.frames: List[Frame] = []
+        self.queue = None  # MessageQueue once attachQ'd
+        self.looping = False
+        self.current_task: Optional[str] = None
+        self.blocked_on: Optional[Command] = None
+        self.held_locks: List[Any] = []
+        #: closures the thread runs when otherwise idle (binder-style work).
+        self.actions: List[Callable[[], None]] = []
+        #: free-form tag ("main", "binder", "background") for reporting.
+        self.role: str = "background"
+        #: threads with no happens-before provenance for their posts (models
+        #: untracked natively-created threads, §6 "False positives").
+        self.untracked: bool = False
+        #: one-shot MessageQueue.IdleHandler registrations:
+        #: (base_name, callback, enable_name) triples.
+        self.idle_handlers: List[tuple] = []
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def has_queue(self) -> bool:
+        return self.queue is not None
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ThreadState.NEW, ThreadState.RUNNABLE, ThreadState.BLOCKED)
+
+    @property
+    def idle(self) -> bool:
+        """Running but with nothing on the frame stack (⊥ in Figure 5)."""
+        return (
+            self.state is ThreadState.RUNNABLE
+            and not self.frames
+            and not self.actions
+        )
+
+    def push_frame(self, frame: Frame) -> None:
+        self.frames.append(frame)
+
+    def top_frame(self) -> Frame:
+        if not self.frames:
+            raise SchedulerError("thread %s has no frame to run" % self.name)
+        return self.frames[-1]
+
+    def pop_frame(self) -> Frame:
+        frame = self.frames.pop()
+        if frame.on_done is not None:
+            frame.on_done()
+        return frame
+
+    def push_action(self, action: Callable[[], None]) -> None:
+        self.actions.append(action)
+
+    def __repr__(self) -> str:
+        return "SimThread(%s, %s%s)" % (
+            self.name,
+            self.state.value,
+            ", looping" if self.looping else "",
+        )
+
+
+def as_generator(result: Any) -> Optional[Generator]:
+    """Callbacks may be plain callables (atomic) or generator functions
+    (preemptible).  Normalize a call result: a generator is driven stepwise,
+    anything else means the callback already ran to completion."""
+    if isinstance(result, Generator):
+        return result
+    return None

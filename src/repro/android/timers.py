@@ -1,0 +1,65 @@
+"""Timers and idle handlers.
+
+* :class:`Timer` — Java's ``java.util.Timer``: tasks run periodically on a
+  dedicated timer thread.  Each execution emits an ``enable`` for the next,
+  "connect[ing] periodic execution of Java's TimerTask objects" (§5).
+* ``add_idle_handler`` — Android's ``MessageQueue.IdleHandler``: a one-shot
+  callback the looper runs when its queue goes idle; registration emits the
+  enable, execution is a posted task tagged with it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from .env import AndroidEnv, Ctx, invoke
+
+if TYPE_CHECKING:
+    from .system import AndroidSystem
+
+
+class Timer:
+    """A timer with its own thread, running scheduled tasks on it."""
+
+    def __init__(self, ctx: Ctx, name: Optional[str] = None):
+        self.env = ctx.env
+        self.name = name or self.env.ids.alloc("timer")
+        self._jobs = []
+        self.thread = ctx.fork(self._entry, name=self.name)
+
+    def schedule(
+        self,
+        callback: Callable,
+        period: int,
+        runs: int,
+        task_name: str = "timerTask",
+    ) -> None:
+        """Schedule ``callback`` to run ``runs`` times, ``period`` apart.
+        Must be called before the timer thread drains its job list (i.e.
+        right after construction, as with Java's Timer idiom)."""
+        self._jobs.append((callback, period, runs, task_name))
+
+    def _entry(self, ctx: Ctx):
+        for callback, period, runs, task_name in self._jobs:
+            enable_name = "timer:%s:%s!1" % (self.name, task_name)
+            ctx.enable(enable_name)
+            for i in range(runs):
+                yield  # period boundary (virtual; timer thread sleeps)
+                yield from invoke(callback, ctx)
+                if i + 1 < runs:
+                    next_enable = "timer:%s:%s!%d" % (self.name, task_name, i + 2)
+                    ctx.enable(next_enable)
+
+
+def add_idle_handler(
+    ctx: Ctx, callback: Callable, name: str = "idleHandler"
+) -> None:
+    """Register a one-shot idle handler on the calling thread's looper
+    queue.  When the queue goes idle the handler is posted (by the looper
+    thread itself) and executed as a task carrying the registration's
+    enable tag."""
+    env = ctx.env
+    thread = ctx.thread
+    enable_name = "idle:%s!%d" % (name, env.ids.serial("idle"))
+    ctx.enable(enable_name)
+    thread.idle_handlers.append((name, callback, enable_name))

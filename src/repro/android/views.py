@@ -1,0 +1,180 @@
+"""UI widgets and the screen model.
+
+Widgets are registered by activities (normally in ``on_create``).  A
+widget event (click, long-click, text input) can fire only while the
+widget is *enabled*; enabling emits an ``enable`` operation, and every
+subsequent dispatch posts the handler with an ``event`` tag naming that
+enable — giving the ENABLE-ST/ENABLE-MT edges the paper uses to order UI
+callbacks after the code that made them possible (Figure 3, edge d).
+
+The UI Explorer inspects :meth:`ScreenManager.enabled_events` — the
+analogue of DroidRacer inspecting ``WindowManagerImpl`` for the events
+enabled on a screen (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from .env import Ctx
+
+if TYPE_CHECKING:
+    from .activity import Activity
+
+
+@dataclass(frozen=True)
+class UIEvent:
+    """One fireable event, as offered to the UI Explorer."""
+
+    kind: str  # "click" | "long-click" | "text" | "back" | "rotate"
+    widget_id: Optional[str] = None
+    payload: Optional[str] = None  # text for input events
+
+    def describe(self) -> str:
+        if self.widget_id is None:
+            return self.kind
+        if self.payload is not None:
+            return "%s:%s=%r" % (self.kind, self.widget_id, self.payload)
+        return "%s:%s" % (self.kind, self.widget_id)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class Widget:
+    """Base widget: identity, owner activity, enabled state and per-event
+    handler/enable bookkeeping."""
+
+    #: event kinds this widget type supports
+    EVENT_KINDS: tuple = ()
+
+    def __init__(self, activity: "Activity", widget_id: str):
+        self.activity = activity
+        self.widget_id = widget_id
+        self.enabled = False
+        self._handlers: Dict[str, Callable] = {}
+        self._enable_names: Dict[str, str] = {}
+        self._enable_generation = 0
+
+    # -- enablement -------------------------------------------------------------
+
+    def set_enabled(self, ctx: Ctx, enabled: bool, silent: bool = False) -> None:
+        """Enable/disable the widget.  Enabling emits one ``enable``
+        operation per handled event kind; the emitting operation is
+        whatever task/thread calls this — exactly where the ordering
+        constraint originates.
+
+        ``silent=True`` enables the widget *without* logging the enable
+        operations — modeling a missed instrumentation point, the paper's
+        documented source of false positives ("Missing enable operations
+        might result in false positives", §6).
+        """
+        if enabled and not self.enabled:
+            self.enabled = True
+            self._enable_generation += 1
+            for kind in self._handlers:
+                name = self._fresh_enable_name(kind)
+                self._enable_names[kind] = name
+                if not silent:
+                    ctx.enable(name)
+        elif not enabled:
+            self.enabled = False
+
+    def _fresh_enable_name(self, kind: str) -> str:
+        base = "%s:%s@%s" % (kind, self.widget_id, self.activity.instance_tag)
+        if self._enable_generation > 1:
+            return "%s!%d" % (base, self._enable_generation)
+        return base
+
+    def set_handler(self, kind: str, handler: Callable) -> None:
+        if kind not in self.EVENT_KINDS:
+            raise ValueError(
+                "%s does not support %r events" % (type(self).__name__, kind)
+            )
+        self._handlers[kind] = handler
+
+    def handler_for(self, kind: str) -> Optional[Callable]:
+        return self._handlers.get(kind)
+
+    def enable_name_for(self, kind: str) -> Optional[str]:
+        return self._enable_names.get(kind)
+
+    def fireable_events(self) -> List[UIEvent]:
+        if not self.enabled:
+            return []
+        return [
+            UIEvent(kind, self.widget_id)
+            for kind in self.EVENT_KINDS
+            if kind in self._handlers and kind in self._enable_names
+        ]
+
+    def __repr__(self) -> str:
+        return "%s(%s%s)" % (
+            type(self).__name__,
+            self.widget_id,
+            "" if self.enabled else ", disabled",
+        )
+
+
+class Button(Widget):
+    EVENT_KINDS = ("click", "long-click")
+
+
+class TextField(Widget):
+    """A text-input field with an input format (§5: DroidRacer inspects
+    text-field flags to supply appropriately formatted input)."""
+
+    EVENT_KINDS = ("text",)
+
+    #: manually constructed data inputs per format, as in the paper.
+    DATA_INPUTS = {
+        "text": ("hello", "lorem ipsum"),
+        "email": ("[email protected]",),
+        "number": ("42",),
+        "url": ("http://example.com/song.mp3",),
+    }
+
+    def __init__(self, activity: "Activity", widget_id: str, input_format: str = "text"):
+        super().__init__(activity, widget_id)
+        if input_format not in self.DATA_INPUTS:
+            raise ValueError("unknown input format %r" % input_format)
+        self.input_format = input_format
+
+    def fireable_events(self) -> List[UIEvent]:
+        if not self.enabled or "text" not in self._handlers:
+            return []
+        if "text" not in self._enable_names:
+            return []
+        return [
+            UIEvent("text", self.widget_id, payload)
+            for payload in self.DATA_INPUTS[self.input_format]
+        ]
+
+
+class ScreenManager:
+    """Tracks the resumed (foreground) activity and exposes its enabled
+    events, plus the intrinsic BACK and rotate events."""
+
+    def __init__(self, system):
+        self.system = system
+        self.foreground: Optional["Activity"] = None
+
+    def set_foreground(self, activity: Optional["Activity"]) -> None:
+        self.foreground = activity
+
+    def enabled_events(self, include_intrinsic: bool = True) -> List[UIEvent]:
+        events: List[UIEvent] = []
+        activity = self.foreground
+        if activity is not None:
+            for widget in activity.widgets.values():
+                events.extend(widget.fireable_events())
+            if include_intrinsic:
+                events.append(UIEvent("back"))
+                events.append(UIEvent("rotate"))
+        return events
+
+    def widget(self, widget_id: str) -> Widget:
+        if self.foreground is None:
+            raise LookupError("no foreground activity")
+        return self.foreground.widgets[widget_id]

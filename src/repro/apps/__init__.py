@@ -1,0 +1,1 @@
+"""Application models used by the evaluation (the paper's 15 subjects)."""

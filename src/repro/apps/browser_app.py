@@ -1,0 +1,81 @@
+"""A browser app with the paper's Browser false-positive mechanism (§6).
+
+"The high number of false positives reported for Browser is due to
+asynchronous posts by untracked natively-created (non-binder) threads."
+
+The LOAD button's handler records the URL, then hands rendering to a
+*native* renderer thread whose creation is invisible to the Trace
+Generator (no ``fork`` operation).  The renderer posts ``onPageFinished``
+back to the main thread.  In reality every renderer action is causally
+after the click handler; in the trace the renderer and its posts float
+free, so the detector reports races that cannot actually occur — plus one
+genuine race on the favicon cache shared with a tracked prefetch thread.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android import Activity, AndroidSystem, Ctx
+from repro.explorer import AppModel
+
+
+class BrowserActivity(Activity):
+    def __init__(self, system: AndroidSystem):
+        super().__init__(system)
+        self.pages_loaded: List[str] = []
+
+    def on_create(self, ctx: Ctx) -> None:
+        ctx.write(self.obj, "url", "about:blank")
+        ctx.write(self.obj, "title", "")
+        ctx.write(self.obj, "progress", 0)
+        self.register_text_field(ctx, "addressBar", on_text=self.on_url_entered, input_format="url")
+        self.register_button(ctx, "loadBtn", on_click=self.on_load)
+
+    def on_resume(self, ctx: Ctx) -> None:
+        # A tracked prefetch thread warms the favicon cache: its write
+        # races (genuinely) with the renderer's favicon update.
+        def prefetch(tctx: Ctx):
+            yield
+            tctx.write(self.obj, "favicon", "default.ico")
+
+        ctx.fork(prefetch, name="favicon-prefetch")
+
+    def on_url_entered(self, ctx: Ctx, text: str) -> None:
+        ctx.write(self.obj, "pendingUrl", text)
+
+    def on_load(self, ctx: Ctx) -> None:
+        url = ctx.read(self.obj, "pendingUrl") or "http://example.com/"
+        ctx.write(self.obj, "url", url)
+        ctx.write(self.obj, "progress", 0)
+
+        def renderer(tctx: Ctx):
+            # Natively-created: its ops are logged but carry no provenance.
+            tctx.write(self.obj, "favicon", url + "/favicon.ico")
+            tctx.post(self._page_finished(url), name="onPageFinished")
+
+        # The fork of the native renderer is NOT logged (untracked=True):
+        # everything it does looks causally disconnected to the detector.
+        ctx.fork(renderer, name="native-render", untracked=True)
+
+    def _page_finished(self, url: str):
+        def callback() -> None:
+            ctx = self.env.current_ctx
+            # Really ordered after on_load (the renderer ran in between),
+            # but the trace has no happens-before path: false positives on
+            # url/progress between this task and the click handler.
+            ctx.write(self.obj, "title", "Loaded " + url)
+            ctx.write(self.obj, "progress", 100)
+            current = ctx.read(self.obj, "url")
+            self.pages_loaded.append(current)
+
+        return callback
+
+
+class BrowserApp(AppModel):
+    name = "browser"
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        system = AndroidSystem(seed=seed, name=self.name)
+        system.launch(BrowserActivity)
+        return system

@@ -1,0 +1,84 @@
+"""A dictionary app with the Aard Dictionary race (§6, "A multi-threaded race").
+
+The paper reports a race on a ``Service`` object responsible for loading
+dictionaries: the service populates the dictionary list on one thread
+while a background lookup thread reads it without synchronization.  In
+the bad interleaving the lookup observes the (empty) dictionaries before
+they are loaded and the user's word cannot be retrieved.
+
+This model reproduces the shape: ``DictionaryService.on_start_command``
+forks a loader thread that writes ``loaded``/``entries``; the LOOKUP
+button forks a lookup thread that reads them.  DroidRacer-style detection
+reports one multithreaded race on the Service object, and running the two
+schedules (loader first vs lookup first) exhibits the bad behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.android import Activity, AndroidSystem, Ctx, Service
+from repro.explorer import AppModel
+
+
+class DictionaryService(Service):
+    """Loads dictionaries on a background thread once started."""
+
+    WORDS = {"race": "a contest of speed", "lock": "a fastening mechanism"}
+
+    def on_create(self, ctx: Ctx) -> None:
+        ctx.write(self.obj, "loaded", False)
+        ctx.write(self.obj, "entries", {})
+
+    def on_start_command(self, ctx: Ctx, intent) -> None:
+        def loader(tctx: Ctx):
+            yield  # simulate I/O latency before the dictionaries arrive
+            tctx.write(self.obj, "entries", dict(self.WORDS))
+            tctx.write(self.obj, "loaded", True)
+
+        ctx.fork(loader, name="dict-loader")
+
+
+class LookupActivity(Activity):
+    """UI: a text field for the word and a LOOKUP button."""
+
+    def __init__(self, system: AndroidSystem):
+        super().__init__(system)
+        self.results = []  # lookup outcomes, for assertions in tests
+
+    def on_create(self, ctx: Ctx) -> None:
+        self.register_text_field(ctx, "word", on_text=self.on_word_entered)
+        self.register_button(ctx, "lookupBtn", on_click=self.on_lookup)
+
+    def on_resume(self, ctx: Ctx) -> None:
+        self.system.start_service(ctx, DictionaryService)
+
+    def on_word_entered(self, ctx: Ctx, text: str) -> None:
+        ctx.write(self.obj, "query", text)
+
+    def on_lookup(self, ctx: Ctx) -> None:
+        service = self.system.services.running.get(DictionaryService)
+        if service is None:
+            self.results.append(("error", "service not running"))
+            return
+        query = ctx.read(self.obj, "query") or "race"
+
+        def lookup(tctx: Ctx):
+            # The §6 bug: no synchronization with the loader thread.
+            loaded = tctx.read(service.obj, "loaded")
+            entries = tctx.read(service.obj, "entries") or {}
+            if loaded and query in entries:
+                self.results.append(("hit", entries[query]))
+            else:
+                self.results.append(("miss", query))
+
+        ctx.fork(lookup, name="dict-lookup")
+
+
+class DictionaryApp(AppModel):
+    """Explorer-ready app model."""
+
+    name = "dictionary"
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        system = AndroidSystem(seed=seed, name=self.name)
+        system.launch(LookupActivity)
+        return system

@@ -1,0 +1,114 @@
+"""An email client (K-9-Mail-like): heavy asynchronous-task churn.
+
+K-9 Mail's Table 2 row stands out for its 689 asynchronous tasks; its
+Table 3 row for multithreaded races (9 reported, 2 true).  This model
+exercises the same machinery shapes:
+
+* a folder-sync AsyncTask per folder, each publishing progress;
+* an unread-count badge updated **without synchronization** from sync
+  threads and from the mark-read handler (the seeded multithreaded race);
+* a message-list ContentProvider, refreshed cross-posted;
+* SharedPreferences for the signature (apply/commit mix);
+* an IdleHandler prefetching message bodies once the queue drains.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.android import (
+    Activity,
+    AndroidSystem,
+    AsyncTask,
+    Ctx,
+    add_idle_handler,
+    get_shared_preferences,
+)
+from repro.android.content_provider import ContentProvider
+from repro.explorer import AppModel
+
+FOLDERS = ("inbox", "sent", "spam")
+
+
+class MailProvider(ContentProvider):
+    TABLES = ("messages",)
+
+
+class FolderSyncTask(AsyncTask):
+    """Synchronizes one folder; bumps the shared unread badge racily."""
+
+    def __init__(self, env, activity: "MailboxActivity", folder: str):
+        super().__init__(env, name="FolderSync_%s" % folder)
+        self.activity = activity
+        self.folder = folder
+
+    def do_in_background(self, ctx: Ctx, *params):
+        provider = self.activity.system.content_resolver(MailProvider)
+        fetched = 0
+        for i in range(2):
+            provider.insert(
+                ctx, "messages", {"folder": self.folder, "subject": "mail-%d" % i}
+            )
+            fetched += 1
+            # The bug: read-modify-write of the badge with no lock, from
+            # several sync threads at once (multithreaded race).
+            unread = ctx.read(self.activity.obj, "unread") or 0
+            ctx.write(self.activity.obj, "unread", unread + 1)
+            self.publish_progress(ctx, fetched)
+            yield
+        return fetched
+
+    def on_progress_update(self, ctx: Ctx, value) -> None:
+        ctx.write(self.activity.obj, "syncProgress:%s" % self.folder, value)
+
+    def on_post_execute(self, ctx: Ctx, result) -> None:
+        ctx.write(self.activity.obj, "lastSync:%s" % self.folder, result)
+        self.activity.refresh_list(ctx)
+
+
+class MailboxActivity(Activity):
+    def __init__(self, system: AndroidSystem):
+        super().__init__(system)
+        self.prefetched: List[str] = []
+
+    def on_create(self, ctx: Ctx) -> None:
+        ctx.write(self.obj, "unread", 0)
+        prefs = get_shared_preferences(self.system, "mail")
+        prefs.edit().put("signature", "sent from repro").apply(ctx)
+        self.register_button(ctx, "syncBtn", on_click=self.on_sync_all)
+        self.register_button(ctx, "markReadBtn", on_click=self.on_mark_read)
+        self.register_button(ctx, "signatureBtn", on_click=self.on_edit_signature)
+
+    def on_resume(self, ctx: Ctx) -> None:
+        add_idle_handler(ctx, self._prefetch_bodies, name="prefetchBodies")
+
+    def on_sync_all(self, ctx: Ctx) -> None:
+        for folder in FOLDERS:
+            FolderSyncTask(self.env, self, folder).execute(ctx, folder)
+
+    def on_mark_read(self, ctx: Ctx) -> None:
+        # Races with the sync threads' increments (no common lock).
+        ctx.write(self.obj, "unread", 0)
+
+    def on_edit_signature(self, ctx: Ctx) -> None:
+        prefs = get_shared_preferences(self.system, "mail")
+        prefs.edit().put("signature", "brief").apply(ctx)
+
+    def refresh_list(self, ctx: Ctx) -> None:
+        provider = self.system.content_resolver(MailProvider)
+        cursor = provider.query(ctx, "messages")
+        ctx.write(self.obj, "listRevision", cursor.count(ctx))
+
+    def _prefetch_bodies(self) -> None:
+        ctx = self.env.current_ctx
+        revision = ctx.read(self.obj, "listRevision")
+        self.prefetched.append("revision-%s" % revision)
+
+
+class EmailApp(AppModel):
+    name = "email"
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        system = AndroidSystem(seed=seed, name=self.name)
+        system.launch(MailboxActivity)
+        return system

@@ -1,0 +1,113 @@
+"""A messenger app with the paper's Messenger findings (§6).
+
+Two mechanisms are modelled:
+
+* **The Cursor race** ("A single-threaded race"): a background sync thread
+  posts an ``updateCursor`` task to the main thread; the DELETE button's
+  handler mutates the same ``Cursor`` rows.  The two main-thread tasks
+  have no happens-before order (the update was cross-posted), and
+  reordering them yields an index-out-of-bounds on the deleted row —
+  DroidRacer's confirmed cross-posted true positive.
+
+* **A custom task queue** (§6, "False positives and negatives"): the app
+  runs its own list-of-Runnables queue on a dedicated thread.  DroidRacer
+  sees an ordinary thread and applies NO-Q-PO, deriving spurious
+  happens-before between the runnables — so a genuine race between two
+  queued runnables is *missed* (a documented false negative, reproduced
+  here and asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.android import Activity, AndroidSystem, Ctx
+from repro.explorer import AppModel
+
+
+class CustomQueue:
+    """An application-level task queue: a plain list of runnables drained
+    by a dedicated (ordinary) thread — opaque to the Trace Generator."""
+
+    def __init__(self, ctx: Ctx, expected_jobs: int, name: str = "custom-queue"):
+        self._jobs: List[Callable[[Ctx], None]] = []
+        self._expected = expected_jobs
+        self.thread = ctx.fork(self._entry, name=name)
+
+    def submit(self, job: Callable[[Ctx], None]) -> None:
+        """No instrumentation: this is just a Python list append, exactly
+        like the ``List<Runnable>`` queues in Messenger/FBReader."""
+        self._jobs.append(job)
+
+    def _entry(self, tctx: Ctx):
+        done = 0
+        while done < self._expected:
+            yield tctx.wait_until(lambda: bool(self._jobs), "custom queue job")
+            job = self._jobs.pop(0)
+            job(tctx)
+            done += 1
+            yield
+
+
+class ConversationActivity(Activity):
+    """Message list backed by a Cursor; a sync thread refreshes it."""
+
+    ROWS = ["hello", "how are you", "bye"]
+
+    def __init__(self, system: AndroidSystem):
+        super().__init__(system)
+        self.crashes: List[str] = []  # observed bad behaviours
+
+    def on_create(self, ctx: Ctx) -> None:
+        ctx.write(self.obj, "rows", list(self.ROWS))
+        ctx.write(self.obj, "rowCount", len(self.ROWS))
+        self.register_button(ctx, "deleteBtn", on_click=self.on_delete)
+        self.register_button(ctx, "draftBtn", on_click=self.on_draft)
+
+    def on_resume(self, ctx: Ctx) -> None:
+        # Background sync: re-reads the DB and cross-posts a cursor update.
+        def sync(tctx: Ctx):
+            yield  # network latency
+            tctx.post(self._update_cursor, name="updateCursor")
+
+        ctx.fork(sync, name="msg-sync")
+        # The custom queue receives two draft-saving runnables: one from
+        # the main thread now, one from a worker later (genuine race on
+        # the draft field that NO-Q-PO hides from the detector).
+        self.queue = CustomQueue(ctx, expected_jobs=2)
+        self.queue.submit(lambda qctx: qctx.write(self.obj, "draft", "from-main"))
+
+        def draft_worker(tctx: Ctx) -> None:
+            self.queue.submit(lambda qctx: qctx.write(self.obj, "draft", "from-worker"))
+
+        ctx.fork(draft_worker, name="draft-worker")
+
+    def _update_cursor(self) -> None:
+        ctx = self.env.current_ctx
+        rows = ctx.read(self.obj, "rows") or []
+        count = ctx.read(self.obj, "rowCount") or 0
+        # Adapter walks rows [0, count): if a concurrent delete shrank the
+        # list, this is the "index out of bounds" the paper triggered.
+        if count > len(rows):
+            self.crashes.append("IndexOutOfBounds: count=%d rows=%d" % (count, len(rows)))
+            return
+        ctx.write(self.obj, "rendered", list(rows[:count]))
+
+    def on_delete(self, ctx: Ctx) -> None:
+        rows = list(ctx.read(self.obj, "rows") or [])
+        if rows:
+            rows.pop()
+        ctx.write(self.obj, "rows", rows)
+        # Bug: rowCount is written by the update task, not refreshed here.
+
+    def on_draft(self, ctx: Ctx) -> None:
+        ctx.read(self.obj, "draft")
+
+
+class MessengerApp(AppModel):
+    name = "messenger"
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        system = AndroidSystem(seed=seed, name=self.name)
+        system.launch(ConversationActivity)
+        return system

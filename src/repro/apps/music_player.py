@@ -1,0 +1,108 @@
+"""The paper's motivating music-player application (Figure 1).
+
+``DwFileAct`` downloads a music file in a background ``FileDwTask`` and
+enables a PLAY button when the download completes.  ``onDestroy`` sets the
+``isActivityDestroyed`` flag that the background task and the completion
+callback assert on (lines 41 and 53 of Figure 1) — the two assertions that
+fail when the Figure 4 races fire.
+
+Running this app with a BACK press reproduces the Figure 4 trace shape;
+clicking PLAY reproduces Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.android import Activity, AndroidSystem, AsyncTask, Ctx
+
+
+class FileDwTask(AsyncTask):
+    """Downloads the file, reporting progress (Figure 1, lines 20–59)."""
+
+    #: number of simulated download chunks
+    CHUNKS = 3
+
+    def __init__(self, env, act: "DwFileAct"):
+        super().__init__(env, name="FileDwTask")
+        self.act = act
+
+    def on_pre_execute(self, ctx: Ctx) -> None:
+        # dialog = new ProgressDialog(act); dialog.show()
+        ctx.write(self.act.obj, "dialog", "progress-dialog")
+
+    def do_in_background(self, ctx: Ctx, *params):
+        progress = 0
+        for chunk in range(self.CHUNKS):
+            progress += 1024
+            # assertTrue(!act.isActivityDestroyed)  — Figure 1, line 41
+            destroyed = ctx.read(self.act.obj, "isActivityDestroyed")
+            self.act.background_assertions.append(not destroyed)
+            self.publish_progress(ctx, progress)
+            yield  # preemption point: the download loop is interleavable
+        return None
+
+    def on_progress_update(self, ctx: Ctx, value) -> None:
+        ctx.write(self.act.obj, "progressBar", value)
+
+    def on_post_execute(self, ctx: Ctx, result) -> None:
+        # assertTrue(!act.isActivityDestroyed)  — Figure 1, line 53
+        destroyed = ctx.read(self.act.obj, "isActivityDestroyed")
+        self.act.post_execute_assertions.append(not destroyed)
+        ctx.write(self.act.obj, "dialog", None)  # dialog.dismiss()
+        play = self.act.find_view("playBtn")
+        play.set_enabled(ctx, True)  # btn.setEnabled(true) — line 56
+
+
+class MusicPlayActivity(Activity):
+    """The playback activity started by the PLAY button (Figure 1, line 8)."""
+
+    def on_create(self, ctx: Ctx) -> None:
+        ctx.write(self.obj, "playing", True)
+
+
+class DwFileAct(Activity):
+    """The download activity (Figure 1, lines 1–18)."""
+
+    def __init__(self, system: AndroidSystem):
+        super().__init__(system)
+        self.background_assertions = []
+        self.post_execute_assertions = []
+        self.task = None
+
+    def on_create(self, ctx: Ctx) -> None:
+        # boolean isActivityDestroyed = false  — field init, Figure 1 line 2
+        ctx.write(self.obj, "isActivityDestroyed", False)
+        # The PLAY button starts disabled; onPostExecute enables it.
+        self.register_button(ctx, "playBtn", on_click=self.on_play_click, enabled=False)
+
+    def on_resume(self, ctx: Ctx) -> None:
+        # new FileDwTask(this).execute("http://abc/song.mp3") — line 6
+        self.task = FileDwTask(self.env, self)
+        self.task.execute(ctx, "http://abc/song.mp3")
+
+    def on_play_click(self, ctx: Ctx) -> None:
+        # startActivity(intent) — line 11
+        self.start_activity(ctx, MusicPlayActivity)
+
+    def on_destroy(self, ctx: Ctx) -> None:
+        # isActivityDestroyed = true — line 15
+        ctx.write(self.obj, "isActivityDestroyed", True)
+
+
+def run_scenario(press_back: bool, seed: int = 0):
+    """Run the motivating scenario; returns (system, trace).
+
+    ``press_back=False`` is the Figure 3 scenario (click PLAY after the
+    download); ``press_back=True`` is Figure 4 (BACK instead of PLAY).
+    """
+    from repro.android import UIEvent
+
+    system = AndroidSystem(seed=seed, name="music-player")
+    system.launch(DwFileAct)
+    system.run_to_quiescence()
+    if press_back:
+        system.fire(UIEvent("back"))
+    else:
+        system.fire(UIEvent("click", "playBtn"))
+    system.run_to_quiescence()
+    trace = system.finish()
+    return system, trace

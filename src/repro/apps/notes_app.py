@@ -1,0 +1,143 @@
+"""A note-taking app (Tomdroid-like) exercising the structured-storage
+substrate: ContentProvider + Cursor, a sync Service, periodic autosave,
+system intents and StrictMode.
+
+Seeded concurrency findings:
+
+* a **cross-posted Cursor race**: the sync service cross-posts a list
+  refresh (``requery``) that races with the ADD button's insert-and-
+  refresh on the same cursor — the Messenger ``CursorAdapter`` pattern;
+* a **multithreaded provider race**: the autosave timer writes the notes
+  table from its own thread while the main thread inserts;
+* a **StrictMode violation**: the SAVE button does disk I/O on the main
+  thread.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.android import Activity, AndroidSystem, BroadcastReceiver, Ctx, Service, Timer
+from repro.android.content_provider import ContentProvider, Cursor, CursorIndexError
+from repro.android.strictmode import blocking_io
+from repro.explorer import AppModel
+
+
+class NotesProvider(ContentProvider):
+    TABLES = ("notes",)
+
+
+class NoteSyncService(Service):
+    """Pulls remote notes on a background thread, then cross-posts the
+    cursor refresh to the main thread."""
+
+    REMOTE_NOTES = ({"title": "groceries"}, {"title": "pldi deadline"})
+
+    def __init__(self, system):
+        super().__init__(system)
+        self.activity: Optional["NotesActivity"] = None
+
+    def on_start_command(self, ctx: Ctx, intent) -> None:
+        activity = self.activity
+
+        def sync(tctx: Ctx):
+            provider = self.system.content_resolver(NotesProvider)
+            yield  # network latency
+            for note in self.REMOTE_NOTES:
+                provider.insert(tctx, "notes", dict(note))
+            if activity is not None:
+                tctx.post(activity.refresh_list, name="refreshNotesList")
+
+        ctx.fork(sync, name="note-sync")
+
+
+class ConnectivityReceiver(BroadcastReceiver):
+    """Re-syncs when connectivity returns (registered for a system
+    intent, so the explorer can inject it)."""
+
+    def __init__(self, system, activity: "NotesActivity"):
+        super().__init__(system)
+        self.activity = activity
+
+    def on_receive(self, ctx: Ctx, intent) -> None:
+        ctx.write(self.activity.obj, "online", True)
+        self.activity.system.start_service(ctx, NoteSyncService)
+
+
+class NotesActivity(Activity):
+    AUTOSAVE_RUNS = 2
+
+    def __init__(self, system: AndroidSystem):
+        super().__init__(system)
+        self.cursor: Optional[Cursor] = None
+        self.render_log: List[int] = []
+        self.cursor_errors: List[str] = []
+
+    def on_create(self, ctx: Ctx) -> None:
+        provider = self.system.content_resolver(NotesProvider)
+        provider.insert(ctx, "notes", {"title": "welcome"})
+        self.cursor = provider.query(ctx, "notes")
+        self.register_button(ctx, "addBtn", on_click=self.on_add)
+        self.register_button(ctx, "saveBtn", on_click=self.on_save)
+        self.register_button(ctx, "listBtn", on_click=self.on_show_list)
+
+    def on_resume(self, ctx: Ctx) -> None:
+        self.receiver = ConnectivityReceiver(self.system, self)
+        self.system.register_receiver(
+            ctx, self.receiver, "android.net.conn.CONNECTIVITY_CHANGE"
+        )
+        sync = self.system.services
+        NoteSyncService_instance = None
+        self.system.start_service(ctx, NoteSyncService)
+        service = self.system.services.running.get(NoteSyncService)
+        if service is not None:
+            service.activity = self
+        # Periodic autosave on a Timer thread: races with main-thread
+        # inserts on the notes table (multithreaded provider race).
+        timer = Timer(ctx, name="autosave")
+        timer.schedule(self._autosave, period=200, runs=self.AUTOSAVE_RUNS)
+
+    def _autosave(self, tctx: Ctx) -> None:
+        provider = self.system.content_resolver(NotesProvider)
+        provider.update(tctx, "notes", {"saved": True})
+
+    def refresh_list(self) -> None:
+        """Runs as a main-thread task cross-posted by the sync thread."""
+        ctx = self.env.current_ctx
+        provider = self.system.content_resolver(NotesProvider)
+        fresh = provider.query(ctx, "notes")
+        rows = fresh.obj.raw_read("rows")
+        if self.cursor is not None:
+            self.cursor.requery(ctx, rows)
+
+    def on_add(self, ctx: Ctx) -> None:
+        provider = self.system.content_resolver(NotesProvider)
+        provider.insert(ctx, "notes", {"title": "new note"})
+        rows = provider.query(ctx, "notes").obj.raw_read("rows")
+        self.cursor.requery(ctx, rows)
+
+    def on_show_list(self, ctx: Ctx) -> None:
+        try:
+            shown = 0
+            if self.cursor.move_to_first(ctx):
+                shown += 1
+                while self.cursor.move_to_next(ctx):
+                    shown += 1
+            self.render_log.append(shown)
+        except CursorIndexError as exc:
+            self.cursor_errors.append(str(exc))
+
+    def on_save(self, ctx: Ctx) -> None:
+        # Disk write on the main thread: a StrictMode violation.
+        blocking_io(ctx, "disk-write", "flush notes database")
+        provider = self.system.content_resolver(NotesProvider)
+        provider.update(ctx, "notes", {"flushed": True})
+
+
+class NotesApp(AppModel):
+    name = "notes"
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        system = AndroidSystem(seed=seed, name=self.name)
+        system.launch(NotesActivity)
+        return system

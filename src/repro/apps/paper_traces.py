@@ -1,0 +1,118 @@
+"""Hand-encoded execution traces from the paper (Figures 3 and 4).
+
+These traces reproduce §2.3–§2.4 verbatim: the music-player scenario in
+which the user clicks PLAY (Figure 3, no races among the discussed pairs)
+and the variant in which the user presses BACK (Figure 4, two races).
+
+Operation numbering in comments matches the paper's figures (1-based).
+"""
+
+from __future__ import annotations
+
+from repro.core import ExecutionTrace
+from repro.core.operations import (
+    attachq,
+    begin,
+    enable,
+    end,
+    fork,
+    looponq,
+    post,
+    read,
+    threadexit,
+    threadinit,
+    write,
+)
+
+#: Threads of the scenario (paper: binder, main, background).
+T0, T1, T2 = "t0", "t1", "t2"
+
+#: The single memory location discussed in the paper's figures.
+DW_FILE_ACT = "DwFileAct@1.isActivityDestroyed"
+
+
+def figure3_trace() -> ExecutionTrace:
+    """Figure 3: user clicks the PLAY button.
+
+    Conflicting pairs (7, 12) and (7, 16) are happens-before ordered
+    through the fork edge (a), post edges (b), the thread-local task
+    ordering (c) and the enable edges (d, e) — no races.
+    """
+    ops = [
+        threadinit(T0),  # 1 (binder thread; shown first for a valid replay)
+        threadinit(T1),  # 2
+        attachq(T1),  # 3
+        looponq(T1),  # 4
+        enable(T1, "LAUNCH_ACTIVITY"),  # 5
+        post(T0, "LAUNCH_ACTIVITY", T1),  # 6
+        begin(T1, "LAUNCH_ACTIVITY"),  # 7
+        write(T1, DW_FILE_ACT),  # 8  (field init, line 2 of Figure 1)
+        fork(T1, T2),  # 9
+        enable(T1, "onDestroy"),  # 10
+        end(T1, "LAUNCH_ACTIVITY"),  # 11
+        threadinit(T2),  # 12
+        read(T2, DW_FILE_ACT),  # 13 (assert in doInBackground, line 41)
+        post(T2, "onPostExecute", T1),  # 14
+        threadexit(T2),  # 15
+        begin(T1, "onPostExecute"),  # 16
+        read(T1, DW_FILE_ACT),  # 17 (assert in onPostExecute, line 53)
+        enable(T1, "onPlayClick"),  # 18 (PLAY button enabled, line 56)
+        end(T1, "onPostExecute"),  # 19
+        post(T1, "onPlayClick", T1, event="onPlayClick"),  # 20
+        begin(T1, "onPlayClick"),  # 21
+        enable(T1, "onPause"),  # 22 (startActivity, line 11)
+        end(T1, "onPlayClick"),  # 23
+        post(T0, "onPause", T1, event="onPause"),  # 24
+    ]
+    return ExecutionTrace(ops, name="figure3")
+
+
+#: Trace positions (0-based) of the operations §2.4 discusses, keyed by the
+#: paper's operation numbers in Figure 3.
+FIGURE3_POSITIONS = {
+    "write_launch": 7,  # paper op 7  — write in LAUNCH_ACTIVITY
+    "read_background": 12,  # paper op 12 — read on thread t2
+    "read_post_execute": 16,  # paper op 16 — read in onPostExecute
+}
+
+
+def figure4_trace() -> ExecutionTrace:
+    """Figure 4: user presses BACK instead of PLAY.
+
+    ``onDestroy`` writes the flag; pairs (12, 21) and (16, 21) race, while
+    (7, 21) is ordered through ENABLE (op 9) → POST (op 19) → BEGIN (op 20).
+    """
+    ops = [
+        threadinit(T0),
+        threadinit(T1),
+        attachq(T1),
+        looponq(T1),
+        enable(T1, "LAUNCH_ACTIVITY"),
+        post(T0, "LAUNCH_ACTIVITY", T1),
+        begin(T1, "LAUNCH_ACTIVITY"),  # paper op 6
+        write(T1, DW_FILE_ACT),  # paper op 7
+        fork(T1, T2),  # paper op 8
+        enable(T1, "onDestroy"),  # paper op 9
+        end(T1, "LAUNCH_ACTIVITY"),  # paper op 10
+        threadinit(T2),  # paper op 11
+        read(T2, DW_FILE_ACT),  # paper op 12
+        post(T2, "onPostExecute", T1),  # paper op 13
+        threadexit(T2),  # paper op 14
+        begin(T1, "onPostExecute"),  # paper op 15
+        read(T1, DW_FILE_ACT),  # paper op 16
+        enable(T1, "onPlayClick"),  # paper op 17
+        end(T1, "onPostExecute"),  # paper op 18
+        post(T0, "onDestroy", T1, event="onDestroy"),  # paper op 19
+        begin(T1, "onDestroy"),  # paper op 20
+        write(T1, DW_FILE_ACT),  # paper op 21 (line 15 of Figure 1)
+        end(T1, "onDestroy"),  # paper op 22
+    ]
+    return ExecutionTrace(ops, name="figure4")
+
+
+FIGURE4_POSITIONS = {
+    "write_launch": 7,  # paper op 7
+    "read_background": 12,  # paper op 12
+    "read_post_execute": 16,  # paper op 16
+    "write_destroy": 21,  # paper op 21
+}

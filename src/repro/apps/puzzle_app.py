@@ -1,0 +1,80 @@
+"""A puzzle game (SGTPuzzles-like): native game engine + UI shell.
+
+SGTPuzzles tops Table 3's multithreaded column (11 reported, 10 true):
+the C game engine runs on its own threads while the Java shell touches
+shared state.  This model has a *tracked* solver thread (its races are
+genuine — the 10 true positives' mechanism) and an *untracked* native
+render thread (false positives — the remaining report), plus delayed
+redraw posts for the timer-driven animation.
+"""
+
+from __future__ import annotations
+
+from repro.android import Activity, AndroidSystem, Ctx
+from repro.explorer import AppModel
+
+
+class PuzzleActivity(Activity):
+    BOARD_FIELDS = ("board", "selection", "undoStack", "clock")
+
+    def on_create(self, ctx: Ctx) -> None:
+        for field in self.BOARD_FIELDS:
+            ctx.write(self.obj, field, 0)
+        self.register_button(ctx, "moveBtn", on_click=self.on_move)
+        self.register_button(ctx, "undoBtn", on_click=self.on_undo)
+        self.register_button(ctx, "newGameBtn", on_click=self.on_new_game)
+
+    def on_resume(self, ctx: Ctx) -> None:
+        # The solver computes hints concurrently with UI edits — genuine
+        # multithreaded races on the board state.
+        def solver(tctx: Ctx):
+            for _ in range(2):
+                board = tctx.read(self.obj, "board")
+                tctx.write(self.obj, "hint", (board or 0) + 1)
+                tctx.write(self.obj, "selection", -1)
+                yield
+
+        ctx.fork(solver, name="solver")
+        # Animation: delayed redraw posts (timer-driven).
+        ctx.post_delayed(self._redraw, 50, name="redrawTick")
+        ctx.post_delayed(self._redraw, 150, name="redrawTick")
+
+    def _redraw(self) -> None:
+        rctx = self.env.current_ctx
+        rctx.write(self.obj, "clock", self.env.clock)
+
+    def on_move(self, ctx: Ctx) -> None:
+        board = ctx.read(self.obj, "board") or 0
+        ctx.write(self.obj, "board", board + 1)
+        ctx.write(self.obj, "undoStack", board)
+        ctx.write(self.obj, "selection", board % 9)
+
+    def on_undo(self, ctx: Ctx) -> None:
+        previous = ctx.read(self.obj, "undoStack")
+        ctx.write(self.obj, "board", previous)
+
+    def on_new_game(self, ctx: Ctx) -> None:
+        ctx.write(self.obj, "board", 0)
+        ctx.write(self.obj, "frameBuffer", "clear")
+        # The native renderer repaints; its thread creation is invisible,
+        # so its frameBuffer write looks concurrent with the clear above
+        # (the one false-positive mechanism in this app).
+        def renderer(tctx: Ctx):
+            tctx.write(self.obj, "frameBuffer", "repaint")
+            tctx.post(self._frame_done, name="frameDone")
+
+        ctx.fork(renderer, name="native-paint", untracked=True)
+
+    def _frame_done(self) -> None:
+        fctx = self.env.current_ctx
+        fctx.read(self.obj, "frameBuffer")
+        fctx.write(self.obj, "fps", 60)
+
+
+class PuzzleApp(AppModel):
+    name = "puzzle"
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        system = AndroidSystem(seed=seed, name=self.name)
+        system.launch(PuzzleActivity)
+        return system

@@ -1,0 +1,69 @@
+"""Registry of all application models.
+
+* ``paper_app(name)`` — the synthetic model calibrated to one of the 15
+  evaluation subjects (Tables 2/3);
+* ``DEMO_APPS`` — the hand-written models: the paper's motivating
+  music player (Figures 1–4) and the §6 case studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.explorer import AppModel
+
+from .browser_app import BrowserApp
+from .dictionary_app import DictionaryApp
+from .email_app import EmailApp
+from .messenger_app import MessengerApp
+from .music_player import DwFileAct
+from .notes_app import NotesApp
+from .puzzle_app import PuzzleApp
+from .specs import ALL_SPECS, OPEN_SOURCE_SPECS, PROPRIETARY_SPECS, SPEC_BY_NAME, AppSpec
+from .synthetic import SyntheticApp
+
+
+class MusicPlayerApp(AppModel):
+    """Explorer-ready model of the motivating example."""
+
+    name = "music-player"
+
+    def build(self, seed: int = 0):
+        from repro.android import AndroidSystem
+
+        system = AndroidSystem(seed=seed, name=self.name)
+        system.launch(DwFileAct)
+        return system
+
+
+def paper_app(name: str, scale: float = 1.0) -> SyntheticApp:
+    """The calibrated synthetic model for one Table 2/3 subject."""
+    spec = SPEC_BY_NAME.get(name)
+    if spec is None:
+        raise KeyError(
+            "unknown paper app %r (have: %s)" % (name, ", ".join(SPEC_BY_NAME))
+        )
+    return SyntheticApp(spec, scale=scale)
+
+
+def all_paper_apps(scale: float = 1.0, open_source_only: bool = False) -> List[SyntheticApp]:
+    specs = OPEN_SOURCE_SPECS if open_source_only else ALL_SPECS
+    return [SyntheticApp(spec, scale=scale) for spec in specs]
+
+
+DEMO_APPS: Dict[str, AppModel] = {
+    "music-player": MusicPlayerApp(),
+    "dictionary": DictionaryApp(),
+    "messenger": MessengerApp(),
+    "browser": BrowserApp(),
+    "notes": NotesApp(),
+    "email": EmailApp(),
+    "puzzle": PuzzleApp(),
+}
+
+
+def demo_app(name: str) -> AppModel:
+    app = DEMO_APPS.get(name)
+    if app is None:
+        raise KeyError("unknown demo app %r (have: %s)" % (name, ", ".join(DEMO_APPS)))
+    return app

@@ -1,0 +1,196 @@
+"""Calibration data for the 15 evaluation subjects (paper, Tables 2 and 3).
+
+We cannot run the original binaries (ten open-source apps of 2013 vintage
+and five proprietary ones), so each subject is modelled by a synthetic
+application (:mod:`repro.apps.synthetic`) calibrated to its published
+statistics:
+
+* Table 2 — trace length, distinct fields, thread counts (with/without
+  task queues), asynchronous task count;
+* Table 3 — race reports per category, with true-positive counts for the
+  open-source subjects (``None`` for proprietary ones, where the paper
+  could not validate).
+
+``RaceQuota(reported, true)`` drives the synthetic app's race *gadgets*:
+``true`` gadget instances are genuinely reorderable; the remainder use the
+paper's documented false-positive mechanisms (untracked native threads,
+missing enables, timing-separated delayed posts, invisible causality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.classification import RaceCategory
+
+
+@dataclass(frozen=True)
+class RaceQuota:
+    """Reported race count and (for open-source apps) true positives."""
+
+    reported: int
+    true: Optional[int] = None  # None: not validated (proprietary)
+
+    @property
+    def false(self) -> Optional[int]:
+        if self.true is None:
+            return None
+        return self.reported - self.true
+
+    def __post_init__(self):
+        if self.true is not None and not 0 <= self.true <= self.reported:
+            raise ValueError("true positives out of range: %r" % (self,))
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One row of Tables 2 and 3."""
+
+    name: str
+    loc: Optional[int]  # paper's LOC (None for proprietary apps)
+    trace_length: int
+    fields: int
+    threads_plain: int  # Table 2 "Threads (w/o Qs)"
+    threads_looper: int  # Table 2 "Threads (w/ Qs)", including main
+    async_tasks: int
+    multithreaded: RaceQuota = RaceQuota(0, 0)
+    cross_posted: RaceQuota = RaceQuota(0, 0)
+    co_enabled: RaceQuota = RaceQuota(0, 0)
+    delayed: RaceQuota = RaceQuota(0, 0)
+    unknown: RaceQuota = RaceQuota(0, 0)
+    proprietary: bool = False
+    #: target happens-before-graph reduction ratio (nodes / trace length);
+    #: the paper reports a 1.4%–24.8% band with 11.1% average (§6).
+    target_ratio: float = 0.11
+
+    def quota(self, category: RaceCategory) -> RaceQuota:
+        return {
+            RaceCategory.MULTITHREADED: self.multithreaded,
+            RaceCategory.CROSS_POSTED: self.cross_posted,
+            RaceCategory.CO_ENABLED: self.co_enabled,
+            RaceCategory.DELAYED: self.delayed,
+            RaceCategory.UNKNOWN: self.unknown,
+        }[category]
+
+    @property
+    def total_reported(self) -> int:
+        return (
+            self.multithreaded.reported
+            + self.cross_posted.reported
+            + self.co_enabled.reported
+            + self.delayed.reported
+            + self.unknown.reported
+        )
+
+    @property
+    def total_true(self) -> Optional[int]:
+        if self.proprietary:
+            return None
+        return sum(
+            quota.true or 0
+            for quota in (
+                self.multithreaded,
+                self.cross_posted,
+                self.co_enabled,
+                self.delayed,
+                self.unknown,
+            )
+        )
+
+
+def _q(reported: int, true: Optional[int] = None) -> RaceQuota:
+    return RaceQuota(reported, true)
+
+
+#: The ten open-source subjects (Tables 2 and 3, upper halves).
+OPEN_SOURCE_SPECS = (
+    AppSpec(
+        "Aard Dictionary", 4044, 1355, 189, 2, 1, 58,
+        multithreaded=_q(1, 1), target_ratio=0.22,
+    ),
+    AppSpec(
+        "Music Player", 11012, 5532, 521, 3, 2, 62,
+        cross_posted=_q(17, 4), co_enabled=_q(11, 10), delayed=_q(4, 0),
+        unknown=_q(3, 2), target_ratio=0.18,
+    ),
+    AppSpec(
+        "My Tracks", 26146, 7305, 573, 11, 7, 164,
+        multithreaded=_q(1, 0), cross_posted=_q(2, 1), co_enabled=_q(1, 0),
+        target_ratio=0.16,
+    ),
+    AppSpec(
+        "Messenger", 27593, 10106, 845, 11, 4, 99,
+        multithreaded=_q(1, 1), cross_posted=_q(15, 5), co_enabled=_q(4, 3),
+        delayed=_q(2, 2), target_ratio=0.14,
+    ),
+    AppSpec(
+        "Tomdroid Notes", 3215, 10120, 413, 3, 1, 348,
+        cross_posted=_q(5, 2), co_enabled=_q(1, 0), target_ratio=0.20,
+    ),
+    AppSpec(
+        "FBReader", 50042, 10723, 322, 14, 1, 119,
+        multithreaded=_q(1, 0), cross_posted=_q(22, 22), co_enabled=_q(14, 4),
+        target_ratio=0.10,
+    ),
+    AppSpec(
+        "Browser", 30874, 19062, 963, 13, 4, 103,
+        multithreaded=_q(2, 1), cross_posted=_q(64, 2), target_ratio=0.10,
+    ),
+    AppSpec(
+        "OpenSudoku", 6151, 24901, 334, 5, 1, 45,
+        multithreaded=_q(1, 0), cross_posted=_q(1, 0), target_ratio=0.04,
+    ),
+    AppSpec(
+        "K-9 Mail", 54119, 29662, 1296, 7, 2, 689,
+        multithreaded=_q(9, 2), co_enabled=_q(1, 0), target_ratio=0.12,
+    ),
+    AppSpec(
+        "SGTPuzzles", 2368, 38864, 566, 4, 1, 80,
+        multithreaded=_q(11, 10), cross_posted=_q(21, 8), target_ratio=0.03,
+    ),
+)
+
+#: The five proprietary subjects (no source; true positives unvalidated).
+PROPRIETARY_SPECS = (
+    AppSpec(
+        "Remind Me", None, 10348, 348, 3, 1, 176,
+        cross_posted=_q(21), co_enabled=_q(33), proprietary=True,
+        target_ratio=0.14,
+    ),
+    AppSpec(
+        "Twitter", None, 16975, 1362, 21, 5, 97,
+        cross_posted=_q(20), co_enabled=_q(7), delayed=_q(4),
+        proprietary=True, target_ratio=0.12,
+    ),
+    AppSpec(
+        "Adobe Reader", None, 33866, 1267, 17, 4, 226,
+        multithreaded=_q(34), cross_posted=_q(73), delayed=_q(9),
+        unknown=_q(9), proprietary=True, target_ratio=0.08,
+    ),
+    AppSpec(
+        "Facebook", None, 52146, 801, 16, 3, 16,
+        multithreaded=_q(12), cross_posted=_q(10), proprietary=True,
+        target_ratio=0.02,
+    ),
+    AppSpec(
+        "Flipkart", None, 157539, 2065, 36, 3, 105,
+        multithreaded=_q(12), cross_posted=_q(152), co_enabled=_q(84),
+        delayed=_q(30), unknown=_q(36), proprietary=True, target_ratio=0.022,
+    ),
+)
+
+ALL_SPECS = OPEN_SOURCE_SPECS + PROPRIETARY_SPECS
+
+SPEC_BY_NAME: Dict[str, AppSpec] = {spec.name: spec for spec in ALL_SPECS}
+
+
+def open_source_totals() -> Dict[str, Tuple[int, int]]:
+    """Aggregate (reported, true) per category for the open-source apps —
+    the 'Total' row of Table 3."""
+    totals: Dict[str, Tuple[int, int]] = {}
+    for attr in ("multithreaded", "cross_posted", "co_enabled", "delayed", "unknown"):
+        reported = sum(getattr(s, attr).reported for s in OPEN_SOURCE_SPECS)
+        true = sum(getattr(s, attr).true or 0 for s in OPEN_SOURCE_SPECS)
+        totals[attr] = (reported, true)
+    return totals

@@ -1,0 +1,622 @@
+"""Synthetic application models calibrated to the paper's subjects.
+
+Each of the paper's 15 evaluation apps is modelled by a
+:class:`SyntheticApp` built from its :class:`~repro.apps.specs.AppSpec`.
+The app consists of one activity plus *race gadgets* and *filler*:
+
+Race gadgets (one per Table 3 category, each instance touching a group of
+dedicated ``Racy`` fields so report counts are exact):
+
+* **multithreaded, true** — a worker thread and the ``probe`` click
+  handler write the same fields with no synchronization;
+* **multithreaded, false** — the worker writes fields, then forks an
+  *untracked* native thread (its fork is invisible to the Trace Generator,
+  §6) which posts a main-thread task reading them: really ordered,
+  invisibly so;
+* **cross-posted, true** — the worker posts a main-thread task whose
+  writes race with the ``probe`` handler's writes (two main-thread tasks,
+  one cross-posted);
+* **cross-posted, false** — the ``probe`` handler writes fields and forks
+  an untracked relay that posts a main-thread task writing them;
+* **co-enabled, true** — two always-enabled buttons whose handlers write
+  the same fields;
+* **co-enabled, false** — button ``ceD`` is enabled *silently* (a missed
+  enable instrumentation point) by ``ceC``'s handler; their handlers share
+  fields;
+* **delayed, true** — a delayed post followed by an undelayed post to the
+  same thread (no FIFO ordering derivable);
+* **delayed, false** — two delayed posts with the longer delay posted
+  first (δ₁ > δ₂ defeats the §4.2 rule; in practice the timing separation
+  always orders them);
+* **unknown** — framework-level posts with no event, delay, or
+  cross-thread provenance in their chains.
+
+For proprietary apps (true-positive counts unvalidated in the paper) all
+gadget instances use the "true" mechanisms and the ground truth records
+``None``.
+
+Filler reproduces the remaining Table 2 statistics exactly (threads with
+and without queues, async tasks, distinct fields) and approximately
+(trace length, node-reduction ratio): private-field access runs separated
+by private-lock operations, so no filler access ever races.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.android import Activity, AndroidSystem, Ctx, SharedObject, looper_entry
+from repro.core.classification import RaceCategory
+from repro.core.trace import ExecutionTrace
+from repro.explorer import AppModel
+
+from .specs import AppSpec, RaceQuota
+
+
+@dataclass(frozen=True)
+class GroundTruthEntry:
+    """Expected detector output for one racy field."""
+
+    field_name: str  # Class.field identity ("Racy.mt_t0")
+    category: RaceCategory
+    is_true: Optional[bool]  # None for proprietary (unvalidated)
+
+
+@dataclass
+class BuildPlan:
+    """Derived construction counts for one spec (validated up front)."""
+
+    spec: AppSpec
+    scale: float
+
+    mt_tp: int = 0
+    mt_fp: int = 0
+    cp_tp: int = 0
+    cp_fp: int = 0
+    ce_tp: int = 0
+    ce_fp: int = 0
+    dl_tp: int = 0
+    dl_fp: int = 0
+    un_tp: int = 0
+    un_fp: int = 0
+
+    events: Tuple[str, ...] = ()
+    worker_needed: bool = False
+    gadget_plain_threads: int = 0
+    gadget_tasks: int = 0
+    filler_plain: int = 0
+    filler_loopers: int = 0
+    filler_tasks: int = 0
+    filler_fields: int = 0
+    target_length: int = 0
+    filler_runs: int = 0
+    run_length: int = 1
+    runs_per_thread: int = 0
+    task_run_lengths: List[int] = field(default_factory=list)
+    thread_run_lengths: List[List[int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        spec = self.spec
+        self.mt_tp, self.mt_fp = _split(spec.multithreaded, spec.proprietary)
+        self.cp_tp, self.cp_fp = _split(spec.cross_posted, spec.proprietary)
+        self.ce_tp, self.ce_fp = _split(spec.co_enabled, spec.proprietary)
+        self.dl_tp, self.dl_fp = _split(spec.delayed, spec.proprietary)
+        self.un_tp, self.un_fp = _split(spec.unknown, spec.proprietary)
+
+        events = ["probe"]
+        if self.ce_tp:
+            events += ["ceA", "ceB"]
+        if self.ce_fp:
+            events += ["ceC", "ceD"]
+        self.events = tuple(events)
+
+        self.worker_needed = bool(self.mt_tp or self.mt_fp or self.cp_tp)
+        self.gadget_plain_threads = (
+            int(self.worker_needed) + int(bool(self.mt_fp)) + int(bool(self.cp_fp))
+        )
+        self.gadget_tasks = (
+            int(bool(self.cp_tp))
+            + int(bool(self.cp_fp))
+            + int(bool(self.mt_fp))
+            + (2 if self.dl_tp else 0)
+            + (2 if self.dl_fp else 0)
+            + (2 if self.un_tp else 0)
+            + (2 if self.un_fp else 0)
+        )
+
+        self.filler_plain = spec.threads_plain - self.gadget_plain_threads
+        self.filler_loopers = spec.threads_looper - 1
+        framework_tasks = 1 + len(self.events)  # LAUNCH + event dispatches
+        self.filler_tasks = spec.async_tasks - framework_tasks - self.gadget_tasks
+        racy_fields = spec.total_reported
+        self.filler_fields = spec.fields - racy_fields
+        for name, value in (
+            ("filler threads without queues", self.filler_plain),
+            ("filler looper threads", self.filler_loopers),
+            ("filler async tasks", self.filler_tasks),
+            ("filler fields", self.filler_fields),
+        ):
+            if value < 0:
+                raise ValueError(
+                    "%s: spec leaves %d %s" % (spec.name, value, name)
+                )
+
+        self._plan_filler_volume()
+
+    def _plan_filler_volume(self) -> None:
+        spec = self.spec
+        self.target_length = max(200, round(spec.trace_length * self.scale))
+
+        widget_enables = 1 + (2 if self.ce_tp else 0) + (1 if self.ce_fp else 0)
+        fixed_ops = (
+            4  # main: threadinit, attachQ, loopOnQ, threadexit
+            + 2  # binder: threadinit, threadexit
+            + 3 * (self.gadget_plain_threads + self.filler_plain)  # fork/init/exit
+            + 5 * self.filler_loopers  # fork/init/attachQ/loopOnQ/exit
+            + 3 * spec.async_tasks  # post + begin + end per task
+            + 1  # launch enable
+            + widget_enables
+            + 3  # lifecycle enables around launch (onPause, onDestroy, ...)
+            + 2 * spec.total_reported  # gadget accesses (two sides per field)
+        )
+        budget = max(0, self.target_length - fixed_ops)
+        # Graph-node accounting (after per-thread coalescing):
+        #   sync nodes  = fixed_ops - gadget-access runs collapse (small)
+        #   access nodes: one per filler task + one per plain-thread run,
+        #   and each plain-thread run adds acquire+release (two more nodes).
+        nodes_target = max(1, round(spec.target_ratio * self.target_length))
+        avail = nodes_target - fixed_ops - self.filler_tasks
+        if self.filler_plain:
+            thread_runs = max(self.filler_plain, avail // 3)
+            self.runs_per_thread = math.ceil(thread_runs / self.filler_plain)
+        else:
+            self.runs_per_thread = 0
+        self.filler_runs = self.filler_tasks + self.runs_per_thread * self.filler_plain
+        lock_ops = 2 * self.runs_per_thread * self.filler_plain
+        # Floor: every filler field must be touched at least once, so the
+        # Fields column stays exact at any scale (the trace can only track
+        # the paper's length at scale 1.0 anyway).
+        accesses = max(
+            self.filler_runs,
+            budget - lock_ops,
+            math.ceil(self.filler_fields * 1.6),
+        )
+        total_runs = max(1, self.filler_runs)
+        base = accesses // total_runs
+        extra = accesses - base * total_runs
+        # Exact per-run lengths: the first ``extra`` runs get one more access.
+        lengths = [base + 1] * extra + [base] * (total_runs - extra)
+        self.task_run_lengths = lengths[: self.filler_tasks]
+        per_thread = lengths[self.filler_tasks :]
+        self.thread_run_lengths = [
+            per_thread[i :: self.filler_plain] for i in range(self.filler_plain)
+        ]
+        self.run_length = max(1, base)
+
+
+def _split(quota: RaceQuota, proprietary: bool) -> Tuple[int, int]:
+    """(true-mechanism count, false-mechanism count) for a quota."""
+    if proprietary or quota.true is None:
+        return quota.reported, 0
+    return quota.true, quota.reported - quota.true
+
+
+class FieldPool:
+    """A cyclic pool of (object, field) entries owned by one group of
+    same-thread filler units; ``take(n)`` hands out the next ``n`` entries,
+    wrapping around so every field gets accessed."""
+
+    def __init__(self, entries: List[Tuple[SharedObject, str]]):
+        self.entries = entries
+        self._offset = 0
+
+    def take(self, n: int) -> List[Tuple[SharedObject, str]]:
+        out = []
+        for _ in range(n):
+            out.append(self.entries[self._offset % len(self.entries)])
+            self._offset += 1
+        return out
+
+
+class _BuildState:
+    """Per-run mutable state (fresh for every build)."""
+
+    def __init__(self):
+        self.racy: Optional[SharedObject] = None
+        self.pools: Dict[str, FieldPool] = {}
+        self.activity = None
+
+
+class SyntheticApp(AppModel):
+    """A synthetic application calibrated to one :class:`AppSpec`."""
+
+    def __init__(self, spec: AppSpec, scale: float = 1.0):
+        self.spec = spec
+        self.scale = scale
+        self.plan = BuildPlan(spec, scale)
+        self.name = spec.name
+        self._state = _BuildState()
+        self._activity_cls = _make_activity_class(self)
+
+    # -- field naming ---------------------------------------------------------
+
+    def _fields(self, prefix: str, count: int) -> List[str]:
+        return ["%s%d" % (prefix, i) for i in range(count)]
+
+    @property
+    def mt_tp_fields(self) -> List[str]:
+        return self._fields("mt_t", self.plan.mt_tp)
+
+    @property
+    def mt_fp_fields(self) -> List[str]:
+        return self._fields("mt_f", self.plan.mt_fp)
+
+    @property
+    def cp_tp_fields(self) -> List[str]:
+        return self._fields("cp_t", self.plan.cp_tp)
+
+    @property
+    def cp_fp_fields(self) -> List[str]:
+        return self._fields("cp_f", self.plan.cp_fp)
+
+    @property
+    def ce_tp_fields(self) -> List[str]:
+        return self._fields("ce_t", self.plan.ce_tp)
+
+    @property
+    def ce_fp_fields(self) -> List[str]:
+        return self._fields("ce_f", self.plan.ce_fp)
+
+    @property
+    def dl_tp_fields(self) -> List[str]:
+        return self._fields("dl_t", self.plan.dl_tp)
+
+    @property
+    def dl_fp_fields(self) -> List[str]:
+        return self._fields("dl_f", self.plan.dl_fp)
+
+    @property
+    def un_tp_fields(self) -> List[str]:
+        return self._fields("un_t", self.plan.un_tp)
+
+    @property
+    def un_fp_fields(self) -> List[str]:
+        return self._fields("un_f", self.plan.un_fp)
+
+    def ground_truth(self) -> Dict[str, GroundTruthEntry]:
+        """Expected race reports, keyed by field identity (``Racy.xxx``)."""
+        validated = not self.spec.proprietary
+        entries: Dict[str, GroundTruthEntry] = {}
+
+        def add(fields: List[str], category: RaceCategory, is_true: Optional[bool]):
+            for name in fields:
+                key = "Racy.%s" % name
+                entries[key] = GroundTruthEntry(
+                    key, category, is_true if validated else None
+                )
+
+        add(self.mt_tp_fields, RaceCategory.MULTITHREADED, True)
+        add(self.mt_fp_fields, RaceCategory.MULTITHREADED, False)
+        add(self.cp_tp_fields, RaceCategory.CROSS_POSTED, True)
+        add(self.cp_fp_fields, RaceCategory.CROSS_POSTED, False)
+        add(self.ce_tp_fields, RaceCategory.CO_ENABLED, True)
+        add(self.ce_fp_fields, RaceCategory.CO_ENABLED, False)
+        add(self.dl_tp_fields, RaceCategory.DELAYED, True)
+        add(self.dl_fp_fields, RaceCategory.DELAYED, False)
+        add(self.un_tp_fields, RaceCategory.UNKNOWN, True)
+        add(self.un_fp_fields, RaceCategory.UNKNOWN, False)
+        return entries
+
+    # -- AppModel interface --------------------------------------------------------
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        self._state = _BuildState()
+        system = AndroidSystem(seed=seed, name=self.spec.name)
+        system.launch(self._activity_cls)
+        return system
+
+    def scripted_events(self) -> List[str]:
+        return ["click:%s" % widget for widget in self.plan.events]
+
+    def run(self, seed: int = 0) -> Tuple[AndroidSystem, ExecutionTrace]:
+        """One representative test: launch, fire the scripted events, and
+        return the finished system and trace (the Table 2/3 pipeline)."""
+        from repro.explorer import find_event
+
+        system = self.build(seed)
+        system.run_to_quiescence()
+        for key in self.scripted_events():
+            event = find_event(system.enabled_events(), key)
+            if event is None:
+                raise RuntimeError(
+                    "%s: scripted event %s not enabled" % (self.spec.name, key)
+                )
+            system.fire(event)
+            system.run_to_quiescence()
+        trace = system.finish(self.spec.name)
+        return system, trace
+
+    # -- activity callbacks (invoked by the generated Activity class) --------------
+
+    def _on_create(self, activity: Activity, ctx: Ctx) -> None:
+        state = self._state
+        state.activity = activity
+        state.racy = SharedObject(self.env(), "Racy")
+        plan = self.plan
+        activity.register_button(ctx, "probe", on_click=self._probe_click)
+        if plan.ce_tp:
+            activity.register_button(ctx, "ceA", on_click=self._ce_a_click)
+            activity.register_button(ctx, "ceB", on_click=self._ce_b_click)
+        if plan.ce_fp:
+            activity.register_button(ctx, "ceC", on_click=self._ce_c_click)
+            activity.register_button(
+                ctx, "ceD", on_click=self._ce_d_click, enabled=False
+            )
+
+    def env(self):
+        return self._state.activity.env
+
+    def _on_resume(self, activity: Activity, ctx: Ctx):
+        plan = self.plan
+        env = activity.env
+        racy = self._state.racy
+
+        # -- gadget threads -------------------------------------------------
+        if plan.worker_needed:
+            ctx.fork(self._worker_entry(racy), name="worker")
+
+        # -- delayed gadgets (§4.2 postDelayed) -----------------------------
+        if plan.dl_tp:
+            ctx.post_delayed(
+                self._writer(racy, self.dl_tp_fields, 1), 120, name="DelayedTask"
+            )
+            ctx.post(self._writer(racy, self.dl_tp_fields, 2), name="PromptTask")
+        if plan.dl_fp:
+            ctx.post_delayed(
+                self._writer(racy, self.dl_fp_fields, 1), 500, name="SlowDelayed"
+            )
+            ctx.post_delayed(
+                self._writer(racy, self.dl_fp_fields, 2), 10, name="FastDelayed"
+            )
+
+        # -- unknown-category gadgets ----------------------------------------
+        main = env.main
+        if plan.un_tp:
+            main.push_action(
+                self._frame_post(main, self._writer(racy, self.un_tp_fields, 1))
+            )
+            main.push_action(
+                self._frame_post(main, self._writer(racy, self.un_tp_fields, 2))
+            )
+        if plan.un_fp:
+
+            def first_then_chain():
+                mctx = env.main_ctx
+                for name in self.un_fp_fields:
+                    mctx.write(racy, name, 1)
+                main.push_action(
+                    self._frame_post(main, self._reader(racy, self.un_fp_fields))
+                )
+
+            main.push_action(self._frame_post(main, first_then_chain))
+
+        # -- filler ------------------------------------------------------------
+        loopers = [
+            ctx.fork(looper_entry, name="looper-%d" % i)
+            for i in range(plan.filler_loopers)
+        ]
+        if loopers:
+            yield ctx.wait_until(
+                lambda: all(t.looping for t in loopers), "loopers up"
+            )
+        self._state.pools = self._filler_field_pools(env)
+        for i in range(plan.filler_plain):
+            pool = self._state.pools["plain-%d" % i]
+            ctx.fork(self._filler_thread_entry(pool, i), name="filler-%d" % i)
+        targets = [env.main] + loopers
+        for i in range(plan.filler_tasks):
+            target_index = i % len(targets)
+            pool = self._state.pools["task-target-%d" % target_index]
+            length = plan.task_run_lengths[i] if i < len(plan.task_run_lengths) else 1
+            ctx.post(
+                self._filler_task(pool, length),
+                name="fillerTask",
+                to=targets[target_index],
+            )
+
+    def _filler_field_pools(self, env) -> Dict[str, FieldPool]:
+        """Partition the filler fields among the access-unit groups so no
+        field is shared across threads (hence no filler races).  Groups:
+        one per plain filler thread, one per posting target (units in one
+        group always run on the same thread).  Fields are split
+        proportionally to each group's access volume, so cycling through a
+        pool covers every field."""
+        plan = self.plan
+        # (group name, access volume in runs)
+        groups: List[Tuple[str, int]] = [
+            ("plain-%d" % i, plan.runs_per_thread) for i in range(plan.filler_plain)
+        ]
+        target_count = 1 + plan.filler_loopers
+        if plan.filler_tasks:
+            for i in range(target_count):
+                tasks_here = len(range(i, plan.filler_tasks, target_count))
+                groups.append(("task-target-%d" % i, tasks_here))
+        if not groups:
+            groups = [("spare", 1)]
+        obj = SharedObject(env, "Filler")
+        total_volume = sum(max(1, volume) for _, volume in groups)
+        raw: Dict[str, List[Tuple[SharedObject, str]]] = {}
+        next_field = 0
+        for index, (group, volume) in enumerate(groups):
+            if index == len(groups) - 1:
+                count = plan.filler_fields - next_field
+            else:
+                count = round(plan.filler_fields * max(1, volume) / total_volume)
+                count = min(count, plan.filler_fields - next_field)
+            # Cap at the accesses the group will actually perform.
+            count = min(count, max(1, volume) * plan.run_length)
+            entries = [
+                (obj, "f%d" % i) for i in range(next_field, next_field + max(0, count))
+            ]
+            next_field += max(0, count)
+            if not entries:
+                entries = [(obj, "spare_%s" % group)]
+            raw[group] = entries
+        # Any remainder (from caps) goes to the largest group.
+        if next_field < plan.filler_fields:
+            largest = max(raw, key=lambda g: len(raw[g]))
+            raw[largest].extend(
+                (obj, "f%d" % i) for i in range(next_field, plan.filler_fields)
+            )
+        return {group: FieldPool(entries) for group, entries in raw.items()}
+
+    # -- gadget bodies ------------------------------------------------------------
+
+    def _worker_entry(self, racy: SharedObject):
+        plan = self.plan
+        app = self
+
+        def entry(wctx: Ctx):
+            for name in app.mt_tp_fields:
+                wctx.write(racy, name, "worker")
+            yield
+            if plan.mt_fp:
+                for name in app.mt_fp_fields:
+                    wctx.write(racy, name, "worker")
+                # Hand off to an untracked native thread: the fork is not
+                # logged, so the causal order worker-write -> relay-post ->
+                # main-read is invisible (the Browser false positives, §6).
+                wctx.fork(app._relay_entry(racy, app.mt_fp_fields), untracked=True)
+            if plan.cp_tp:
+                wctx.post(
+                    app._writer(racy, app.cp_tp_fields, "cp-task"), name="CpTask"
+                )
+
+        return entry
+
+    def _relay_entry(self, racy: SharedObject, fields: List[str]):
+        app = self
+
+        def entry(rctx: Ctx):
+            rctx.post(app._reader(racy, fields), name="RelayTask")
+
+        return entry
+
+    def _cp_fp_relay_entry(self, racy: SharedObject):
+        app = self
+
+        def entry(rctx: Ctx):
+            rctx.post(
+                app._writer(racy, app.cp_fp_fields, "relay"), name="NativeCallback"
+            )
+
+        return entry
+
+    def _writer(self, racy: SharedObject, fields: List[str], value) -> Callable:
+        env_getter = self.env
+
+        def write_all():
+            ctx = env_getter().current_ctx
+            for name in fields:
+                ctx.write(racy, name, value)
+
+        return write_all
+
+    def _reader(self, racy: SharedObject, fields: List[str]) -> Callable:
+        env_getter = self.env
+
+        def read_all():
+            ctx = env_getter().current_ctx
+            for name in fields:
+                ctx.read(racy, name)
+
+        return read_all
+
+    def _frame_post(self, main, callback: Callable) -> Callable[[], None]:
+        def action() -> None:
+            self.env().post_message(main, main, callback, "FrameworkTask")
+
+        return action
+
+    # -- event handlers ---------------------------------------------------------------
+
+    def _probe_click(self, ctx: Ctx) -> None:
+        racy = self._state.racy
+        for name in self.mt_tp_fields:
+            ctx.write(racy, name, "probe")
+        for name in self.cp_tp_fields:
+            ctx.write(racy, name, "probe")
+        if self.plan.cp_fp:
+            for name in self.cp_fp_fields:
+                ctx.write(racy, name, "probe")
+            ctx.fork(self._cp_fp_relay_entry(racy), untracked=True)
+
+    def _ce_a_click(self, ctx: Ctx) -> None:
+        racy = self._state.racy
+        for name in self.ce_tp_fields:
+            ctx.write(racy, name, "A")
+
+    def _ce_b_click(self, ctx: Ctx) -> None:
+        racy = self._state.racy
+        for name in self.ce_tp_fields:
+            ctx.write(racy, name, "B")
+
+    def _ce_c_click(self, ctx: Ctx) -> None:
+        racy = self._state.racy
+        for name in self.ce_fp_fields:
+            ctx.write(racy, name, "C")
+        # Missed instrumentation point: ceD becomes clickable but no enable
+        # operation is logged (the paper's co-enabled false positives).
+        self._state.activity.find_view("ceD").set_enabled(ctx, True, silent=True)
+
+    def _ce_d_click(self, ctx: Ctx) -> None:
+        racy = self._state.racy
+        for name in self.ce_fp_fields:
+            ctx.write(racy, name, "D")
+
+    # -- filler bodies ------------------------------------------------------------------
+
+    def _filler_thread_entry(self, pool: FieldPool, thread_index: int):
+        plan = self.plan
+        lengths = (
+            plan.thread_run_lengths[thread_index]
+            if thread_index < len(plan.thread_run_lengths)
+            else [plan.run_length] * plan.runs_per_thread
+        )
+
+        def entry(tctx: Ctx):
+            lock = tctx.env.new_lock()
+            for length in lengths:
+                yield tctx.acquire(lock)
+                for i, (obj, name) in enumerate(pool.take(length)):
+                    tctx.write(obj, name, i)
+                tctx.release(lock)
+                yield
+
+        return entry
+
+    def _filler_task(self, pool: FieldPool, run_length: int) -> Callable:
+        env_getter = self.env
+
+        def body():
+            # Runs on whichever looper the message was posted to.
+            ctx = env_getter().current_ctx
+            for i, (obj, name) in enumerate(pool.take(run_length)):
+                ctx.write(obj, name, i)
+
+        return body
+
+
+def _make_activity_class(app: SyntheticApp):
+    class SyntheticMain(Activity):
+        def on_create(self, ctx: Ctx) -> None:
+            app._on_create(self, ctx)
+
+        def on_resume(self, ctx: Ctx):
+            return app._on_resume(self, ctx)
+
+    SyntheticMain.__name__ = "Main_%s" % app.spec.name.replace(" ", "").replace("-", "")
+    SyntheticMain.__qualname__ = SyntheticMain.__name__
+    return SyntheticMain

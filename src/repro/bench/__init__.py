@@ -1,0 +1,26 @@
+"""Benchmark harness: the app → trace → detect pipeline and the paper's
+table renderers."""
+
+from .runner import AppRunResult, run_all, run_paper_app
+from .reporting import (
+    render_performance,
+    render_table2,
+    render_table3,
+    render_table3_expected,
+)
+from .stats import TraceStats
+from .timeline import render_race_context, render_task_summary, render_timeline
+
+__all__ = [
+    "AppRunResult",
+    "TraceStats",
+    "render_performance",
+    "render_race_context",
+    "render_table2",
+    "render_table3",
+    "render_table3_expected",
+    "render_task_summary",
+    "render_timeline",
+    "run_all",
+    "run_paper_app",
+]

@@ -1,0 +1,148 @@
+"""Table rendering in the layout of the paper's Tables 2 and 3."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.classification import RaceCategory
+
+from .runner import AppRunResult
+
+
+def _fmt_xy(reported: int, true: Optional[int]) -> str:
+    if true is None:
+        return str(reported)
+    return "%d (%d)" % (reported, true)
+
+
+def render_table2(results: Sequence[AppRunResult]) -> str:
+    """Table 2: statistics about applications and traces — paper value
+    alongside the measured value for every column."""
+    header = (
+        "Application          | Trace length      | Fields        | Thr w/o Q | Thr w/ Q  | Async tasks"
+    )
+    rule = "-" * len(header)
+    lines = [header, rule, "                     |  paper /  ours    | paper/ ours  | ppr/ours  | ppr/ours  | paper/ ours"]
+    lines.append(rule)
+    for result in results:
+        spec, stats = result.spec, result.stats
+        lines.append(
+            "%-20s | %6d / %6d   | %4d / %4d   | %2d / %2d   | %2d / %2d   | %4d / %4d"
+            % (
+                spec.name,
+                spec.trace_length,
+                stats.trace_length,
+                spec.fields,
+                stats.fields,
+                spec.threads_plain,
+                stats.threads_without_queues,
+                spec.threads_looper,
+                stats.threads_with_queues,
+                spec.async_tasks,
+                stats.async_tasks,
+            )
+        )
+    return "\n".join(lines)
+
+
+#: Table 3 column order (multithreaded, then single-threaded categories).
+TABLE3_CATEGORIES = (
+    RaceCategory.MULTITHREADED,
+    RaceCategory.CROSS_POSTED,
+    RaceCategory.CO_ENABLED,
+    RaceCategory.DELAYED,
+)
+
+
+def render_table3(results: Sequence[AppRunResult], include_unknown: bool = True) -> str:
+    """Table 3: data races reported, ``X (Y)`` = reports (true positives).
+    The unknown-category counts the paper reports in prose are appended as
+    an extra column."""
+    categories = list(TABLE3_CATEGORIES)
+    if include_unknown:
+        categories.append(RaceCategory.UNKNOWN)
+    header = "%-20s | %s" % (
+        "Application",
+        " | ".join("%-18s" % c.value for c in categories),
+    )
+    rule = "-" * len(header)
+    lines = [header, rule]
+    totals = {c: [0, 0, True] for c in categories}  # reported, true, validated
+    for result in results:
+        counts = result.category_counts()
+        cells = []
+        for category in categories:
+            reported, true = counts[category]
+            cells.append("%-18s" % _fmt_xy(reported, true))
+            totals[category][0] += reported
+            if true is None:
+                totals[category][2] = False
+            else:
+                totals[category][1] += true
+        lines.append("%-20s | %s" % (result.spec.name, " | ".join(cells)))
+    lines.append(rule)
+    total_cells = []
+    for category in categories:
+        reported, true, validated = totals[category]
+        total_cells.append("%-18s" % _fmt_xy(reported, true if validated else None))
+    lines.append("%-20s | %s" % ("Total", " | ".join(total_cells)))
+    return "\n".join(lines)
+
+
+def render_table3_expected(results: Sequence[AppRunResult]) -> str:
+    """Side-by-side check: measured X(Y) against the paper's X(Y)."""
+    lines = [
+        "%-20s | %-13s | %-22s | %-22s" % ("Application", "category", "paper X(Y)", "measured X(Y)"),
+        "-" * 86,
+    ]
+    for result in results:
+        counts = result.category_counts()
+        for category in list(TABLE3_CATEGORIES) + [RaceCategory.UNKNOWN]:
+            quota = result.spec.quota(category)
+            measured = counts[category]
+            if quota.reported == 0 and measured[0] == 0:
+                continue
+            match = "" if (quota.reported, quota.true) == measured else "   <- MISMATCH"
+            lines.append(
+                "%-20s | %-13s | %-22s | %-22s%s"
+                % (
+                    result.spec.name,
+                    category.value,
+                    _fmt_xy(quota.reported, quota.true),
+                    _fmt_xy(*measured),
+                    match,
+                )
+            )
+    return "\n".join(lines)
+
+
+def render_performance(results: Sequence[AppRunResult]) -> str:
+    """§6 'Performance': node-coalescing reduction and analysis time."""
+    lines = [
+        "%-20s | %10s | %8s | %10s | %10s" % ("Application", "trace len", "nodes", "nodes/len", "detect (s)"),
+        "-" * 72,
+    ]
+    ratios = []
+    for result in results:
+        report = result.report
+        ratios.append(report.reduction_ratio)
+        lines.append(
+            "%-20s | %10d | %8d | %9.1f%% | %10.2f"
+            % (
+                result.spec.name,
+                report.trace_length,
+                report.node_count,
+                100.0 * report.reduction_ratio,
+                report.analysis_seconds,
+            )
+        )
+    lines.append("-" * 72)
+    lines.append(
+        "reduction ratio: min %.1f%%  avg %.1f%%  max %.1f%%   (paper: 1.4%% - 24.8%%, avg 11.1%%)"
+        % (
+            100 * min(ratios),
+            100 * sum(ratios) / len(ratios),
+            100 * max(ratios),
+        )
+    )
+    return "\n".join(lines)

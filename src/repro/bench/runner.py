@@ -1,0 +1,63 @@
+"""The app → trace → detection pipeline used by every benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.specs import AppSpec
+from repro.apps.synthetic import GroundTruthEntry, SyntheticApp
+from repro.core.classification import RaceCategory
+from repro.core.race_detector import RaceReport, detect_races
+from repro.core.trace import ExecutionTrace
+
+from .stats import TraceStats
+
+
+@dataclass
+class AppRunResult:
+    """Everything one representative test of one subject produces."""
+
+    spec: AppSpec
+    trace: ExecutionTrace
+    stats: TraceStats
+    report: RaceReport
+    ground_truth: Dict[str, GroundTruthEntry]
+
+    def category_counts(self) -> Dict[RaceCategory, Tuple[int, Optional[int]]]:
+        """(reported, true-positive) per category, matching Table 3's
+        ``X(Y)`` entries.  True positives are counted by matching reports
+        against the app's ground-truth registry (the paper used manual
+        debugger-assisted validation)."""
+        out: Dict[RaceCategory, Tuple[int, Optional[int]]] = {}
+        for category in RaceCategory:
+            races = [r for r in self.report.races if r.category is category]
+            if self.spec.proprietary:
+                out[category] = (len(races), None)
+                continue
+            true = sum(
+                1
+                for race in races
+                if (entry := self.ground_truth.get(race.field_name)) is not None
+                and entry.is_true
+            )
+            out[category] = (len(races), true)
+        return out
+
+
+def run_paper_app(spec: AppSpec, scale: float = 1.0, seed: int = 5) -> AppRunResult:
+    """Run one calibrated subject through the full pipeline."""
+    app = SyntheticApp(spec, scale=scale)
+    _, trace = app.run(seed=seed)
+    report = detect_races(trace)
+    return AppRunResult(
+        spec=spec,
+        trace=trace,
+        stats=TraceStats.of(trace, spec.name),
+        report=report,
+        ground_truth=app.ground_truth(),
+    )
+
+
+def run_all(specs, scale: float = 1.0, seed: int = 5) -> List[AppRunResult]:
+    return [run_paper_app(spec, scale=scale, seed=seed) for spec in specs]

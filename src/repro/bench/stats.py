@@ -1,0 +1,40 @@
+"""Trace statistics (the columns of Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """One row of Table 2, computed from a trace."""
+
+    app: str
+    trace_length: int
+    fields: int
+    threads_without_queues: int
+    threads_with_queues: int
+    async_tasks: int
+
+    @classmethod
+    def of(cls, trace: ExecutionTrace, app: str = "") -> "TraceStats":
+        return cls(
+            app=app or trace.name,
+            trace_length=len(trace),
+            fields=len(trace.fields()),
+            threads_without_queues=len(
+                [t for t in trace.threads_without_queue() if not _is_system(t)]
+            ),
+            threads_with_queues=len(trace.threads_with_queue()),
+            async_tasks=trace.async_task_count(),
+        )
+
+
+def _is_system(thread: str) -> bool:
+    """The paper excludes binder and other system threads from Table 2
+    ('These numbers do not include the count of binder threads and other
+    system threads created by the Android runtime')."""
+    return thread.startswith("binder")

@@ -1,0 +1,136 @@
+"""Timeline rendering — traces in the paper's Figure 3 layout.
+
+Renders an execution trace as one column per thread, one row per
+operation, with task brackets and optional happens-before edge
+annotations for a chosen memory location — the visualization the paper
+uses to explain its examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.happens_before import HappensBefore
+from repro.core.operations import OpKind
+from repro.core.trace import ExecutionTrace, field_of_location
+
+
+def render_timeline(
+    trace: ExecutionTrace,
+    threads: Optional[Sequence[str]] = None,
+    focus_location: Optional[str] = None,
+    max_ops: int = 200,
+    column_width: int = 34,
+) -> str:
+    """Render ``trace`` with one column per thread.
+
+    ``focus_location`` (a location or ``Class.field`` identity) marks the
+    accesses to it with ``*``; other accesses can be elided by passing
+    the threads of interest.
+    """
+    threads = list(threads or trace.threads)
+    lines: List[str] = []
+    header = "  op# " + "".join("%-*s" % (column_width, t) for t in threads)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    shown = 0
+    for op in trace:
+        if op.thread not in threads:
+            continue
+        if shown >= max_ops:
+            lines.append("  ... (%d more operations)" % (len(trace) - op.index))
+            break
+        column = threads.index(op.thread)
+        marker = ""
+        if focus_location and op.is_memory_access:
+            if (
+                op.location == focus_location
+                or field_of_location(op.location) == focus_location
+            ):
+                marker = " *"
+        text = op.render() + marker
+        pad = " " * (column_width * column)
+        lines.append("%5d %s%s" % (op.index + 1, pad, text))
+        shown += 1
+    return "\n".join(lines)
+
+
+def render_task_summary(trace: ExecutionTrace) -> str:
+    """One line per asynchronous task: poster, target, span, provenance."""
+    lines = [
+        "%-28s | %-10s | %-10s | %-13s | %s"
+        % ("task", "posted by", "runs on", "ops [beg,end]", "provenance"),
+        "-" * 92,
+    ]
+    infos = sorted(
+        (info for info in trace.tasks.values() if info.post_index is not None),
+        key=lambda info: info.post_index,
+    )
+    for info in infos:
+        provenance = []
+        if info.event:
+            provenance.append("event=%s" % info.event)
+        if info.is_delayed:
+            provenance.append("delay=%dms" % info.delay)
+        if info.at_front:
+            provenance.append("at-front")
+        if info.posted_in_task:
+            provenance.append("from task %s" % info.posted_in_task)
+        span = (
+            "[%s, %s]" % (info.begin_index, info.end_index)
+            if info.begin_index is not None
+            else "(never ran)"
+        )
+        lines.append(
+            "%-28s | %-10s | %-10s | %-13s | %s"
+            % (
+                info.name[:28],
+                info.poster_thread or "?",
+                info.thread or "?",
+                span,
+                "; ".join(provenance) or "-",
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_race_context(
+    trace: ExecutionTrace,
+    hb: HappensBefore,
+    location: str,
+    context: int = 3,
+) -> str:
+    """The accesses to one location with surrounding operations and their
+    pairwise ordering matrix — the developer's view of a report."""
+    accesses = [
+        op
+        for op in trace.memory_accesses()
+        if op.location == location or field_of_location(op.location) == location
+    ]
+    if not accesses:
+        return "no accesses to %s" % location
+    lines = ["accesses to %s:" % location]
+    for op in accesses:
+        task = trace.task_name_of(op.index) or "(no task)"
+        lines.append(
+            "  op %4d  %-40s in %s" % (op.index, op.render(), task)
+        )
+    lines.append("")
+    lines.append("pairwise happens-before (rows ≺ columns):")
+    ids = [op.index for op in accesses]
+    header = "        " + " ".join("%6d" % j for j in ids)
+    lines.append(header)
+    for i in ids:
+        row = ["%6d" % i]
+        for j in ids:
+            if i == j:
+                cell = "-"
+            elif i < j and hb.ordered(i, j):
+                cell = "≺"
+            elif j < i and hb.ordered(j, i):
+                cell = "≻"
+            else:
+                cell = "RACE" if trace[i].conflicts_with(trace[j]) else "·"
+            row.append("%6s" % cell)
+        lines.append(" ".join(row))
+    return "\n".join(lines)

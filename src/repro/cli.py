@@ -1,0 +1,186 @@
+"""Command-line interface: ``droidracer``.
+
+Subcommands mirror the tool's workflow:
+
+* ``droidracer table2`` / ``table3`` / ``performance`` — regenerate the
+  paper's evaluation artifacts;
+* ``droidracer run <app>`` — run one subject (calibrated synthetic model)
+  and print its race report;
+* ``droidracer explore <demo-app>`` — systematic UI exploration of a
+  hand-written demo app with race detection on every trace;
+* ``droidracer analyze <trace.jsonl>`` — offline detection on a trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.registry import DEMO_APPS, demo_app, paper_app
+from repro.apps.specs import ALL_SPECS, OPEN_SOURCE_SPECS, SPEC_BY_NAME
+from repro.bench import (
+    render_performance,
+    render_table2,
+    render_table3,
+    run_all,
+)
+from repro.core import detect_races
+from repro.core.trace import ExecutionTrace
+from repro.explorer import UIExplorer
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="trace-length scale factor (1.0 = the paper's full lengths)",
+    )
+    parser.add_argument("--seed", type=int, default=5, help="schedule seed")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="droidracer",
+        description="DroidRacer reproduction: race detection for (simulated) Android applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table in ("table2", "table3", "performance"):
+        p = sub.add_parser(table, help="regenerate %s of the paper" % table)
+        p.add_argument(
+            "--open-source-only",
+            action="store_true",
+            help="only the 10 open-source subjects",
+        )
+        _add_scale(p)
+
+    p_run = sub.add_parser("run", help="run one calibrated subject")
+    p_run.add_argument("app", choices=sorted(SPEC_BY_NAME))
+    p_run.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        help="write the generated execution trace as JSONL for offline analysis",
+    )
+    _add_scale(p_run)
+
+    p_demo = sub.add_parser("demo", help="run a hand-written demo app scenario")
+    p_demo.add_argument("app", choices=sorted(DEMO_APPS))
+    p_demo.add_argument("--seed", type=int, default=0)
+    p_demo.add_argument("--events", nargs="*", default=None, metavar="EVENT",
+                        help="event keys to fire (default: every enabled click)")
+    p_demo.add_argument("--save-trace", metavar="PATH")
+
+    p_explore = sub.add_parser("explore", help="systematically explore a demo app")
+    p_explore.add_argument("app", choices=sorted(DEMO_APPS))
+    p_explore.add_argument("--depth", type=int, default=2)
+    p_explore.add_argument("--seed", type=int, default=0)
+    p_explore.add_argument("--max-runs", type=int, default=25)
+
+    p_analyze = sub.add_parser("analyze", help="detect races in a trace file (JSONL)")
+    p_analyze.add_argument("trace", help="path to a trace in JSONL format")
+    p_analyze.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a structured explanation for every reported race",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command in ("table2", "table3", "performance"):
+        specs = OPEN_SOURCE_SPECS if args.open_source_only else ALL_SPECS
+        results = run_all(specs, scale=args.scale, seed=args.seed)
+        renderer = {
+            "table2": render_table2,
+            "table3": render_table3,
+            "performance": render_performance,
+        }[args.command]
+        print(renderer(results))
+        return 0
+
+    if args.command == "run":
+        app = paper_app(args.app, scale=args.scale)
+        _, trace = app.run(seed=args.seed)
+        if args.save_trace:
+            with open(args.save_trace, "w") as handle:
+                handle.write(trace.to_jsonl())
+            print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
+        report = detect_races(trace)
+        print(report.summary())
+        for race in report.races:
+            print("  ", race)
+        return 0
+
+    if args.command == "demo":
+        from repro.explorer import find_event
+
+        app = demo_app(args.app)
+        system = app.build(args.seed)
+        system.run_to_quiescence()
+        if args.events is None:
+            events = [
+                e for e in system.enabled_events() if e.kind == "click"
+            ]
+        else:
+            events = []
+            for key in args.events:
+                event = find_event(system.enabled_events(), key)
+                if event is None:
+                    print("event %r not enabled; available: %s" % (
+                        key,
+                        ", ".join(e.describe() for e in system.enabled_events()),
+                    ))
+                    return 1
+                events.append(event)
+        for event in events:
+            system.fire(event)
+            system.run_to_quiescence()
+        trace = system.finish()
+        if args.save_trace:
+            with open(args.save_trace, "w") as handle:
+                handle.write(trace.to_jsonl())
+            print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
+        report = detect_races(trace)
+        print(report.summary())
+        for race in report.races:
+            print("  ", race)
+        return 0
+
+    if args.command == "explore":
+        explorer = UIExplorer(
+            demo_app(args.app), depth=args.depth, seed=args.seed, max_runs=args.max_runs
+        )
+        result = explorer.explore()
+        print(
+            "%s: %d runs at depth <= %d" % (args.app, result.runs_executed, args.depth)
+        )
+        for run in result.store.runs:
+            report = detect_races(run.trace)
+            print("  %s -> %s" % (run.describe(), report.summary()))
+            for race in report.races:
+                print("      ", race)
+        return 0
+
+    if args.command == "analyze":
+        from repro.core.explain import explain_race
+        from repro.core.race_detector import RaceDetector
+
+        with open(args.trace) as handle:
+            trace = ExecutionTrace.from_jsonl(handle.read(), name=args.trace)
+        detector = RaceDetector(trace)
+        report = detector.detect()
+        print(report.summary())
+        for race in report.races:
+            if args.explain:
+                print()
+                print(explain_race(detector.trace, detector.hb, race).render())
+            else:
+                print("  ", race)
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

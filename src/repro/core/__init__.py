@@ -1,0 +1,65 @@
+"""Core analysis: the paper's primary contribution.
+
+* :mod:`repro.core.operations` — the core trace language (Table 1);
+* :mod:`repro.core.trace` — execution traces and metadata;
+* :mod:`repro.core.semantics` — the operational semantics (Figure 5);
+* :mod:`repro.core.happens_before` — the Android happens-before relation
+  (Figures 6, 7) and its closure engine;
+* :mod:`repro.core.graph` — happens-before graph + coalescing (§6);
+* :mod:`repro.core.race_detector` — race detection (§4.3);
+* :mod:`repro.core.classification` — race classification (§4.3);
+* :mod:`repro.core.baselines` — ablation relations (§4.1, §7);
+* :mod:`repro.core.lifecycle_model` — lifecycle machines (Figure 8).
+"""
+
+from .classification import RaceCategory, classify_race
+from .explain import RaceExplanation, explain_race, hb_witness, render_witness
+from .graph import HBGraph, HBNode
+from .happens_before import ANDROID_HB, HappensBefore, HBConfig, HBStats
+from .lifecycle_model import (
+    ActivityLifecycle,
+    LifecycleError,
+    ReceiverLifecycle,
+    ServiceLifecycle,
+)
+from .operations import OpKind, Operation
+from .race_detector import Race, RaceDetector, RaceReport, detect_races
+from .semantics import ApplicationState, SemanticsError, is_valid_trace, validate_trace
+from .trace import ExecutionTrace, InvalidTraceError, TraceBuilder
+from .vector_clock import VCRace, VCReport, VectorClockRaceDetector, detect_races_vc
+
+__all__ = [
+    "ANDROID_HB",
+    "ActivityLifecycle",
+    "ApplicationState",
+    "ExecutionTrace",
+    "HappensBefore",
+    "HBConfig",
+    "HBGraph",
+    "HBNode",
+    "HBStats",
+    "InvalidTraceError",
+    "LifecycleError",
+    "OpKind",
+    "Operation",
+    "Race",
+    "RaceCategory",
+    "RaceDetector",
+    "RaceExplanation",
+    "RaceReport",
+    "ReceiverLifecycle",
+    "SemanticsError",
+    "ServiceLifecycle",
+    "TraceBuilder",
+    "VCRace",
+    "VCReport",
+    "VectorClockRaceDetector",
+    "classify_race",
+    "detect_races",
+    "detect_races_vc",
+    "explain_race",
+    "hb_witness",
+    "is_valid_trace",
+    "render_witness",
+    "validate_trace",
+]

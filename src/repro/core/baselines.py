@@ -1,0 +1,114 @@
+"""Baseline and ablation happens-before relations.
+
+The paper positions its relation against two prior families and a naive
+combination (§1, §4.1 "Specializations", §7):
+
+* **multithreaded-only** (FastTrack-style): classic happens-before with
+  full per-thread program order, fork/join and lock edges.  Applied to
+  Android it misses every *single-threaded* race — full program order
+  spuriously orders asynchronous tasks sharing a looper thread.
+* **event-driven-only** (WebRacer/EventRacer-style): the thread-local rules
+  alone, with post edges but no fork/join/lock reasoning — applied to
+  Android it reports false positives for accesses ordered only through
+  multithreaded synchronization.
+* **naive combination**: all rules thrown together with unrestricted
+  transitivity and lock edges regardless of thread.  Locks then induce a
+  spurious ordering between two tasks on the same thread that merely use
+  the same lock, masking real races (false negatives).
+
+Two further ablations isolate runtime-environment modeling (§4.2):
+
+* **no-enable**: drop ENABLE-ST/ENABLE-MT — the paper's Figure 4 lifecycle
+  pair (write in LAUNCH_ACTIVITY vs write in onDestroy) then becomes a
+  false positive.
+* **no-fifo**: drop the FIFO rule — the non-deterministic async-program
+  semantics; tasks on one thread become unordered unless NOPRE applies.
+
+Every baseline is an :class:`~repro.core.happens_before.HBConfig`; they run
+through the unmodified detection pipeline so differences in reported races
+are attributable purely to the relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .happens_before import (
+    ANDROID_HB,
+    HBConfig,
+    LOCKS_ALL,
+    LOCKS_CROSS_THREAD,
+    LOCKS_NONE,
+    PO_ANDROID,
+    PO_FULL,
+    TRANS_DECOMPOSED,
+    TRANS_PLAIN,
+)
+
+#: Classic multithreaded happens-before (threads without task queues).
+MULTITHREADED_ONLY = HBConfig(
+    program_order=PO_FULL,
+    enable_edges=False,
+    post_edges=True,  # posts modelled like forks of the handler
+    attach_q_edge=False,
+    fifo=False,
+    delayed_fifo=False,
+    nopre=False,
+    fork_join=True,
+    lock_edges=LOCKS_CROSS_THREAD,
+    transitivity=TRANS_PLAIN,
+)
+
+#: Single-threaded event-driven happens-before (web-application detectors).
+EVENT_DRIVEN_ONLY = HBConfig(
+    program_order=PO_ANDROID,
+    enable_edges=True,
+    post_edges=True,
+    attach_q_edge=True,
+    fifo=True,
+    delayed_fifo=True,
+    nopre=True,
+    fork_join=False,
+    lock_edges=LOCKS_NONE,
+    transitivity=TRANS_DECOMPOSED,
+)
+
+#: Naive combination: everything, unrestricted (the relation the paper's
+#: decomposition exists to avoid).
+NAIVE_COMBINED = HBConfig(
+    program_order=PO_ANDROID,
+    enable_edges=True,
+    post_edges=True,
+    attach_q_edge=True,
+    fifo=True,
+    delayed_fifo=True,
+    nopre=True,
+    fork_join=True,
+    lock_edges=LOCKS_ALL,
+    transitivity=TRANS_PLAIN,
+)
+
+#: Runtime-environment ablation: no lifecycle/UI enable modeling.
+NO_ENABLE = HBConfig(enable_edges=False)
+
+#: Non-deterministic asynchronous-call semantics (drop FIFO).
+NO_FIFO = HBConfig(fifo=False, delayed_fifo=False)
+
+#: Drop the no-preemption rule.
+NO_NOPRE = HBConfig(nopre=False)
+
+#: EXTENSION: the paper's relation plus the at-front post rule (§4.2
+#: defers post-to-the-front to future work; we implement the sound case).
+ANDROID_WITH_FRONT_POSTS = HBConfig(front_post_rule=True)
+
+#: All named relations, keyed for the benchmark harness.
+ALL_CONFIGS: Dict[str, HBConfig] = {
+    "android": ANDROID_HB,
+    "multithreaded-only": MULTITHREADED_ONLY,
+    "event-driven-only": EVENT_DRIVEN_ONLY,
+    "naive-combined": NAIVE_COMBINED,
+    "no-enable": NO_ENABLE,
+    "no-fifo": NO_FIFO,
+    "no-nopre": NO_NOPRE,
+    "android+front-posts": ANDROID_WITH_FRONT_POSTS,
+}

@@ -1,0 +1,127 @@
+"""Race classification (paper, §4.3).
+
+To help developers find root causes, DroidRacer classifies each reported
+race by analysing the *post chains* leading to the two racy operations.
+For an operation ``α`` executed inside an asynchronous task,
+``chain(α) = ⟨β1, …, βm⟩`` is the maximal sub-sequence of post operations
+with ``callee(βk) = task(βk+1)`` and ``callee(βm) = task(α)`` — i.e. the
+causal chain of posts that led to the task containing ``α``.
+
+Categories (checked in this order; first match wins):
+
+* **multithreaded** — the two operations run on different threads;
+* **co-enabled** — the most recent *environmental-event* posts in the two
+  chains are not happens-before ordered: two events (UI events, lifecycle
+  callbacks of distinct objects, …) that can fire in parallel;
+* **delayed** — the most recent *delayed* posts differ (or only one chain
+  has one): the race hinges on timing constraints of ``postDelayed``;
+* **cross-posted** — the most recent posts made *from another thread*
+  differ (or only one chain has one): resolving the race needs combined
+  thread-local and inter-thread reasoning;
+* **unknown** — none of the above criteria applies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from .happens_before import HappensBefore
+from .operations import Operation
+from .trace import ExecutionTrace
+
+
+class RaceCategory(enum.Enum):
+    MULTITHREADED = "multithreaded"
+    CO_ENABLED = "co-enabled"
+    DELAYED = "delayed"
+    CROSS_POSTED = "cross-posted"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The single-threaded categories, in the paper's checking order.
+SINGLE_THREADED_ORDER = (
+    RaceCategory.CO_ENABLED,
+    RaceCategory.DELAYED,
+    RaceCategory.CROSS_POSTED,
+)
+
+
+def classify_race(
+    trace: ExecutionTrace, hb: HappensBefore, i: int, j: int
+) -> RaceCategory:
+    """Classify the race between trace positions ``i < j``."""
+    if i > j:
+        i, j = j, i
+    op_i, op_j = trace[i], trace[j]
+    if op_i.thread != op_j.thread:
+        return RaceCategory.MULTITHREADED
+
+    chain_i = trace.post_chain(i)
+    chain_j = trace.post_chain(j)
+
+    if _is_co_enabled(trace, hb, chain_i, chain_j):
+        return RaceCategory.CO_ENABLED
+    if _is_delayed(trace, chain_i, chain_j):
+        return RaceCategory.DELAYED
+    if _is_cross_posted(trace, op_i.thread, chain_i, chain_j):
+        return RaceCategory.CROSS_POSTED
+    return RaceCategory.UNKNOWN
+
+
+def _most_recent(
+    trace: ExecutionTrace, chain: List[int], predicate: Callable[[Operation], bool]
+) -> Optional[int]:
+    """Index of the most recent post in ``chain`` satisfying ``predicate``."""
+    for index in reversed(chain):
+        if predicate(trace[index]):
+            return index
+    return None
+
+
+def _is_co_enabled(
+    trace: ExecutionTrace,
+    hb: HappensBefore,
+    chain_i: List[int],
+    chain_j: List[int],
+) -> bool:
+    is_event = lambda op: op.event is not None
+    beta_i = _most_recent(trace, chain_i, is_event)
+    beta_j = _most_recent(trace, chain_j, is_event)
+    if beta_i is None or beta_j is None:
+        return False
+    if beta_i == beta_j:
+        return False  # β ≺ β reflexively: ordered
+    return not hb.ordered(*sorted((beta_i, beta_j)))
+
+
+def _is_delayed(
+    trace: ExecutionTrace, chain_i: List[int], chain_j: List[int]
+) -> bool:
+    is_delayed = lambda op: op.is_delayed_post
+    beta_i = _most_recent(trace, chain_i, is_delayed)
+    beta_j = _most_recent(trace, chain_j, is_delayed)
+    if beta_i is None and beta_j is None:
+        return False
+    if beta_i is None or beta_j is None:
+        return True  # only one chain involves a delayed post
+    return beta_i != beta_j
+
+
+def _is_cross_posted(
+    trace: ExecutionTrace,
+    racy_thread: str,
+    chain_i: List[int],
+    chain_j: List[int],
+) -> bool:
+    from_other_thread = lambda op: op.thread != racy_thread
+    beta_i = _most_recent(trace, chain_i, from_other_thread)
+    beta_j = _most_recent(trace, chain_j, from_other_thread)
+    if beta_i is None and beta_j is None:
+        return False
+    if beta_i is None or beta_j is None:
+        return True
+    return beta_i != beta_j

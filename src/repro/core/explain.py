@@ -1,0 +1,280 @@
+"""Race explanation — debugging support for reported races.
+
+The paper closes with "we also wish to investigate how to provide better
+debugging support" (§8).  This module implements it for our detector:
+
+* :func:`explain_race` — a structured explanation of one report: the two
+  accesses, the asynchronous tasks containing them, their post chains
+  (with enable provenance and delays), the classification rationale, and
+  the *near-miss* analysis: which happens-before rules almost ordered the
+  pair and what broke them;
+* :func:`hb_witness` — for an *ordered* pair, a shortest chain of
+  happens-before edges proving the ordering (useful to understand why a
+  suspected race is not reported).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .classification import RaceCategory
+from .graph import bits
+from .happens_before import HappensBefore
+from .operations import OpKind, Operation
+from .race_detector import Race
+from .trace import ExecutionTrace, TaskInfo
+
+
+@dataclass
+class ChainStep:
+    """One post in a racy operation's causal chain."""
+
+    post_index: int
+    task: str
+    poster_thread: str
+    target_thread: str
+    event: Optional[str]
+    delay: Optional[int]
+
+    def describe(self) -> str:
+        extra = []
+        if self.event:
+            extra.append("event %s" % self.event)
+        if self.delay:
+            extra.append("delayed %dms" % self.delay)
+        suffix = (" [%s]" % ", ".join(extra)) if extra else ""
+        return "op %d: %s posts %s to %s%s" % (
+            self.post_index,
+            self.poster_thread,
+            self.task,
+            self.target_thread,
+            suffix,
+        )
+
+
+@dataclass
+class RaceExplanation:
+    """Structured debugging output for one race report."""
+
+    race: Race
+    chain_i: List[ChainStep]
+    chain_j: List[ChainStep]
+    rationale: str
+    near_misses: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [self.race.describe(), "", "why these operations are unordered:"]
+        lines.append("  " + self.rationale)
+        for label, chain, op in (
+            ("first", self.chain_i, self.race.op_i),
+            ("second", self.chain_j, self.race.op_j),
+        ):
+            lines.append("")
+            lines.append(
+                "%s access: op %d %s" % (label, op.index, op.render())
+            )
+            if chain:
+                lines.append("  post chain:")
+                for step in chain:
+                    lines.append("    " + step.describe())
+            else:
+                lines.append("  (outside any asynchronous task)")
+        if self.near_misses:
+            lines.append("")
+            lines.append("near misses (rules that almost ordered the pair):")
+            for miss in self.near_misses:
+                lines.append("  - " + miss)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _chain_steps(trace: ExecutionTrace, op_index: int) -> List[ChainStep]:
+    steps = []
+    for post_index in trace.post_chain(op_index):
+        op = trace[post_index]
+        steps.append(
+            ChainStep(
+                post_index=post_index,
+                task=op.task,
+                poster_thread=op.thread,
+                target_thread=op.target,
+                event=op.event,
+                delay=op.delay,
+            )
+        )
+    return steps
+
+
+def _category_rationale(
+    trace: ExecutionTrace, race: Race, chain_i: List[ChainStep], chain_j: List[ChainStep]
+) -> str:
+    category = race.category
+    if category is RaceCategory.MULTITHREADED:
+        return (
+            "the accesses run on different threads (%s vs %s) with no "
+            "fork/join, lock, or post path between them"
+            % (race.op_i.thread, race.op_j.thread)
+        )
+    if category is RaceCategory.CO_ENABLED:
+        ev_i = next((s for s in reversed(chain_i) if s.event), None)
+        ev_j = next((s for s in reversed(chain_j) if s.event), None)
+        return (
+            "both accesses descend from environmental events (%s and %s) "
+            "that are co-enabled: nothing orders their dispatches, so the "
+            "handler tasks may run in either order"
+            % (ev_i.event if ev_i else "?", ev_j.event if ev_j else "?")
+        )
+    if category is RaceCategory.DELAYED:
+        dl_i = next((s for s in reversed(chain_i) if s.delay), None)
+        dl_j = next((s for s in reversed(chain_j) if s.delay), None)
+        described = " / ".join(
+            "op %d (delay %dms)" % (s.post_index, s.delay)
+            for s in (dl_i, dl_j)
+            if s is not None
+        )
+        return (
+            "the chains involve delayed posts (%s); FIFO ordering does not "
+            "apply across these timeouts — check the timing constraints to "
+            "rule the race out" % described
+        )
+    if category is RaceCategory.CROSS_POSTED:
+        cp_i = next(
+            (s for s in reversed(chain_i) if s.poster_thread != race.op_i.thread), None
+        )
+        cp_j = next(
+            (s for s in reversed(chain_j) if s.poster_thread != race.op_j.thread), None
+        )
+        sources = ", ".join(
+            "op %d from %s" % (s.post_index, s.poster_thread)
+            for s in (cp_i, cp_j)
+            if s is not None
+        )
+        return (
+            "at least one task was posted from another thread (%s); the "
+            "posts are unordered, so the FIFO rule cannot order the tasks "
+            "— resolving this needs combined thread-local and inter-thread "
+            "reasoning" % sources
+        )
+    return (
+        "the tasks' post chains carry no event, delay, or cross-thread "
+        "provenance that the classifier recognizes (framework-internal "
+        "posts); inspect the posts manually"
+    )
+
+
+def _near_misses(
+    trace: ExecutionTrace, hb: HappensBefore, race: Race
+) -> List[str]:
+    """Rules that would have ordered the pair had one premise held."""
+    out: List[str] = []
+    i, j = race.op_i.index, race.op_j.index
+    task_i = trace.task_name_of(i)
+    task_j = trace.task_name_of(j)
+    if race.is_single_threaded and task_i and task_j and task_i != task_j:
+        info_i, info_j = trace.tasks[task_i], trace.tasks[task_j]
+        if info_i.post_index is not None and info_j.post_index is not None:
+            first, second = sorted(
+                (info_i, info_j), key=lambda info: info.begin_index
+            )
+            ordered_posts = hb.ordered(
+                *sorted((first.post_index, second.post_index))
+            ) and first.post_index < second.post_index
+            if not ordered_posts:
+                out.append(
+                    "FIFO: post of %s (op %d) and post of %s (op %d) are "
+                    "not happens-before ordered; ordering the posts (e.g. "
+                    "posting both from one task) would serialize the tasks"
+                    % (
+                        first.name,
+                        first.post_index,
+                        second.name,
+                        second.post_index,
+                    )
+                )
+            elif first.is_delayed or second.is_delayed:
+                out.append(
+                    "FIFO: the posts are ordered but the delayed-post "
+                    "condition fails (δ=%s then δ=%s); aligning the delays "
+                    "restores the ordering"
+                    % (first.delay, second.delay)
+                )
+            if info_j.event is None and info_i.event is None:
+                out.append(
+                    "ENABLE: neither task is tied to an enable operation; "
+                    "a missed instrumentation point would make this a "
+                    "false positive"
+                )
+    if not race.is_single_threaded:
+        out.append(
+            "LOCK: guarding both accesses with a common lock would create "
+            "a release→acquire edge"
+        )
+        out.append(
+            "JOIN: joining the background thread before the later access "
+            "would create an exit→join edge"
+        )
+    return out
+
+
+def explain_race(
+    trace: ExecutionTrace, hb: HappensBefore, race: Race
+) -> RaceExplanation:
+    """Produce the structured explanation for one reported race."""
+    chain_i = _chain_steps(trace, race.op_i.index)
+    chain_j = _chain_steps(trace, race.op_j.index)
+    return RaceExplanation(
+        race=race,
+        chain_i=chain_i,
+        chain_j=chain_j,
+        rationale=_category_rationale(trace, race, chain_i, chain_j),
+        near_misses=_near_misses(trace, hb, race),
+    )
+
+
+def hb_witness(hb: HappensBefore, i: int, j: int) -> Optional[List[int]]:
+    """A shortest node-level happens-before path from ``α_i`` to ``α_j``
+    (operation indices), or ``None`` if the pair is unordered.  BFS over
+    the closed edge relation restricted to edges that remain valid —
+    every step of the returned path is itself an HB fact."""
+    graph = hb.graph
+    src = graph.node_of_op[i]
+    dst = graph.node_of_op[j]
+    if src == dst:
+        return [i, j] if i <= j else None
+    if not graph.ordered(src, dst):
+        return None
+    # BFS over hb successors, but only through nodes that still reach dst.
+    parents: Dict[int, int] = {src: -1}
+    frontier = deque([src])
+    while frontier:
+        node = frontier.popleft()
+        if node == dst:
+            break
+        for succ in bits(graph.hb_row(node)):
+            if succ in parents:
+                continue
+            if succ == dst or graph.ordered(succ, dst):
+                parents[succ] = node
+                frontier.append(succ)
+    if dst not in parents:
+        return None  # unreachable under the restricted relation
+    path = []
+    node = dst
+    while node != -1:
+        path.append(node)
+        node = parents[node]
+    path.reverse()
+    return [graph.node(n).first_index for n in path]
+
+
+def render_witness(trace: ExecutionTrace, path: List[int]) -> str:
+    """Human-readable rendering of an HB witness path."""
+    lines = []
+    for op_index in path:
+        op = trace[op_index]
+        lines.append("op %4d  %s" % (op_index, op.render()))
+    return "\n   ≺ ".join(lines) if lines else "(empty path)"

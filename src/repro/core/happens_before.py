@@ -1,0 +1,467 @@
+"""The happens-before relation for Android traces (paper, Figures 6 and 7).
+
+The relation ``≺`` is the union of two mutually recursive relations:
+
+* ``≺st`` — *thread-local* happens-before, relating operations on the same
+  thread (rules NO-Q-PO, ASYNC-PO, ENABLE-ST, POST-ST, FIFO, NOPRE,
+  TRANS-ST);
+* ``≺mt`` — *inter-thread* happens-before, relating operations on different
+  threads (rules ATTACH-Q-MT, ENABLE-MT, POST-MT, FORK, JOIN, LOCK,
+  TRANS-MT).
+
+The decomposition is the paper's key precision device: TRANS-ST composes
+only thread-local facts, and TRANS-MT only ever *emits* different-thread
+pairs, so two asynchronous tasks on the same looper thread can never be
+ordered through a lock-induced detour via another thread — locks record
+*observed* order, not *necessary* order.  Cross-thread knowledge flows back
+into the thread-local relation only through the FIFO and NOPRE rules, whose
+premises quantify over the full ``≺``.
+
+All rule instances point forward in trace order, so the graph is a DAG
+compatible with the trace; we saturate the two transitivity rules in a
+single high-to-low sweep over node rows (each row depends only on higher
+rows) and re-run FIFO/NOPRE in an outer fixpoint until no new edges
+appear.  Worst case matches the paper's cubic bound; bitmask rows make the
+constant small.
+
+:class:`HBConfig` exposes every rule as a switch; the presets in
+:mod:`repro.core.baselines` turn the same engine into the classic
+multithreaded detector, the single-threaded event-driven detector, and the
+naive combination the paper argues against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from .graph import HBGraph, HBNode, bits
+from .operations import OpKind, Operation
+from .trace import ExecutionTrace, TaskInfo
+
+#: ``program_order`` settings.
+PO_ANDROID = "android"  # NO-Q-PO + ASYNC-PO (the paper's rules)
+PO_FULL = "full"  # classic per-thread total program order
+PO_NONE = "none"
+
+#: ``lock_edges`` settings.
+LOCKS_CROSS_THREAD = "cross_thread"  # the paper's LOCK rule (t ≠ t')
+LOCKS_ALL = "all"  # naive: also order same-thread critical sections
+LOCKS_NONE = "none"
+
+#: ``transitivity`` settings.
+TRANS_DECOMPOSED = "decomposed"  # TRANS-ST / TRANS-MT as in the paper
+TRANS_PLAIN = "plain"  # plain closure of the edge union
+
+
+@dataclass(frozen=True)
+class HBConfig:
+    """Rule switches for the happens-before engine.
+
+    The default value of every field reproduces the paper's relation.
+    """
+
+    program_order: str = PO_ANDROID
+    enable_edges: bool = True  # ENABLE-ST + ENABLE-MT
+    post_edges: bool = True  # POST-ST + POST-MT
+    attach_q_edge: bool = True  # ATTACH-Q-MT
+    fifo: bool = True  # FIFO
+    delayed_fifo: bool = True  # §4.2 delayed-post refinement of FIFO
+    nopre: bool = True  # NOPRE
+    fork_join: bool = True  # FORK + JOIN
+    lock_edges: str = LOCKS_CROSS_THREAD
+    transitivity: str = TRANS_DECOMPOSED
+    #: EXTENSION (off by default — the paper defers post-to-the-front to
+    #: future work): when a task K running on thread t posts p_o normally
+    #: and later posts p_f at the front of t's own queue, p_f is ahead of
+    #: the still-pending p_o in every schedule (t is busy running K while
+    #: both are enqueued), so end(p_f) ≺st begin(p_o) is sound.
+    front_post_rule: bool = False
+
+    def __post_init__(self) -> None:
+        if self.program_order not in (PO_ANDROID, PO_FULL, PO_NONE):
+            raise ValueError("bad program_order %r" % self.program_order)
+        if self.lock_edges not in (LOCKS_CROSS_THREAD, LOCKS_ALL, LOCKS_NONE):
+            raise ValueError("bad lock_edges %r" % self.lock_edges)
+        if self.transitivity not in (TRANS_DECOMPOSED, TRANS_PLAIN):
+            raise ValueError("bad transitivity %r" % self.transitivity)
+
+
+#: The paper's relation.
+ANDROID_HB = HBConfig()
+
+
+@dataclass
+class HBStats:
+    """Bookkeeping the benchmarks report (§6 'Performance')."""
+
+    trace_length: int = 0
+    node_count: int = 0
+    reduction_ratio: float = 1.0
+    st_edges: int = 0
+    mt_edges: int = 0
+    fifo_edges: int = 0
+    nopre_edges: int = 0
+    outer_iterations: int = 0
+
+
+class HappensBefore:
+    """Computes ``≺ = ≺st ∪ ≺mt`` over a trace and answers ordering queries.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace to analyse.
+    config:
+        Rule switches; defaults to the paper's relation.
+    coalesce:
+        Apply the node-coalescing optimization (§6).  Disable to measure its
+        effect (benchmark E3) — results are identical either way.
+    """
+
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        config: HBConfig = ANDROID_HB,
+        coalesce: bool = True,
+    ):
+        self.trace = trace
+        self.config = config
+        self.graph = HBGraph(trace, coalesce=coalesce)
+        self.stats = HBStats(
+            trace_length=len(trace),
+            node_count=len(self.graph),
+            reduction_ratio=self.graph.reduction_ratio,
+        )
+        self._task_ops = _index_task_ops(trace, self.graph)
+        self._compute()
+
+    # -- public queries -------------------------------------------------------
+
+    def ordered(self, i: int, j: int) -> bool:
+        """``α_i ≺ α_j`` for trace positions ``i``, ``j``."""
+        return self.graph.ordered_ops(i, j)
+
+    def unordered(self, i: int, j: int) -> bool:
+        """Neither ``α_i ≺ α_j`` nor ``α_j ≺ α_i`` (the race condition)."""
+        return not self.ordered(i, j) and not self.ordered(j, i)
+
+    def ordered_nodes(self, a: int, b: int) -> bool:
+        return self.graph.ordered(a, b)
+
+    # -- rule application -------------------------------------------------------
+
+    def _compute(self) -> None:
+        self._add_static_edges()
+        self._saturate()
+        # FIFO and NOPRE premises consult the full ≺, so they are applied in
+        # an outer fixpoint: each round may enable further rounds.
+        for iteration in itertools.count(1):
+            self.stats.outer_iterations = iteration
+            changed = False
+            if self.config.fifo:
+                changed |= self._apply_fifo()
+            if self.config.nopre:
+                changed |= self._apply_nopre()
+            if self.config.front_post_rule:
+                changed |= self._apply_front_posts()
+            if not changed:
+                break
+            self._saturate()
+        self.stats.st_edges, self.stats.mt_edges = self.graph.edge_count()
+
+    def _add_static_edges(self) -> None:
+        cfg = self.config
+        graph = self.graph
+        trace = self.trace
+
+        self._add_program_order()
+
+        enables: Dict[str, List[int]] = {}  # enable name -> enable nodes
+        forks: Dict[str, int] = {}
+        exits: Dict[str, int] = {}
+        releases: Dict[str, List[int]] = {}  # lock -> release nodes
+
+        for node in graph.nodes:
+            kind = node.kind
+            if kind is None:
+                continue
+            op = node.op
+            nid = node.node_id
+            if kind is OpKind.ENABLE and cfg.enable_edges:
+                enables.setdefault(op.task, []).append(nid)
+            elif kind is OpKind.POST:
+                if cfg.enable_edges:
+                    # ENABLE-ST / ENABLE-MT: every prior enable of this
+                    # task — matched by task-instance name, or by the
+                    # ``event`` tag naming the enabling operation.
+                    keys = {op.task}
+                    if op.event:
+                        keys.add(op.event)
+                    for key in keys:
+                        for src in enables.get(key, ()):
+                            self._add_edge(src, nid)
+                info = trace.tasks.get(op.task)
+                if cfg.post_edges and info and info.begin_index is not None:
+                    self._add_edge(nid, graph.node_of_op[info.begin_index])
+                if cfg.attach_q_edge:
+                    attach = trace.attach_index.get(op.target)
+                    if attach is not None and attach < op.index:
+                        src = graph.node_of_op[attach]
+                        if graph.node(src).thread != node.thread:
+                            self._add_edge(src, nid)
+            elif kind is OpKind.FORK and cfg.fork_join:
+                forks[op.target] = nid
+            elif kind is OpKind.THREAD_INIT and cfg.fork_join:
+                src = forks.get(op.thread)
+                if src is not None:
+                    self._add_edge(src, nid)
+            elif kind is OpKind.THREAD_EXIT and cfg.fork_join:
+                exits[op.thread] = nid
+            elif kind is OpKind.JOIN and cfg.fork_join:
+                src = exits.get(op.target)
+                if src is not None:
+                    self._add_edge(src, nid)
+            elif kind is OpKind.RELEASE and cfg.lock_edges != LOCKS_NONE:
+                releases.setdefault(op.lock, []).append(nid)
+            elif kind is OpKind.ACQUIRE and cfg.lock_edges != LOCKS_NONE:
+                for rel in releases.get(op.lock, ()):  # all earlier releases
+                    rel_thread = graph.node(rel).thread
+                    if cfg.lock_edges == LOCKS_ALL or rel_thread != node.thread:
+                        self._add_edge(rel, nid)
+
+    def _add_program_order(self) -> None:
+        """NO-Q-PO and ASYNC-PO (or classic total program order).
+
+        Only *adjacent* edges are inserted; transitivity supplies the rest.
+        NO-Q-PO relates a pre-``loopOnQ`` operation to **every** later
+        operation of its thread, so the last pre-loop node gets an edge to
+        each subsequent task's begin (adjacency within a task then covers
+        the task bodies via TRANS-ST).
+        """
+        mode = self.config.program_order
+        if mode == PO_NONE:
+            return
+        graph = self.graph
+        trace = self.trace
+        last_on_thread: Dict[str, int] = {}
+        last_preloop: Dict[str, int] = {}
+        last_in_task: Dict[Tuple[str, str], int] = {}
+        for node in graph.nodes:
+            nid = node.node_id
+            thread = node.thread
+            if mode == PO_FULL:
+                prev = last_on_thread.get(thread)
+                if prev is not None:
+                    self._add_edge(prev, nid, force_st=True)
+                last_on_thread[thread] = nid
+                continue
+            # PO_ANDROID
+            looped = trace.looped_before(thread, node.first_index)
+            if not looped:
+                prev = last_preloop.get(thread)
+                if prev is not None:
+                    self._add_edge(prev, nid, force_st=True)
+                last_preloop[thread] = nid
+            else:
+                pre = last_preloop.get(thread)
+                if pre is not None:
+                    # NO-Q-PO: every pre-loop op precedes every later op on
+                    # the thread.  Adjacency: edge from the last pre-loop
+                    # node to each task entry suffices via transitivity.
+                    self._add_edge(pre, nid, force_st=True)
+                if node.task is not None:
+                    key = (thread, node.task)
+                    prev = last_in_task.get(key)
+                    if prev is not None:
+                        self._add_edge(prev, nid, force_st=True)
+                    last_in_task[key] = nid
+
+    def _apply_fifo(self) -> bool:
+        """FIFO (Figure 6) with the §4.2 delayed-post refinement."""
+        changed = False
+        for end_node, begin_node, t1, t2 in self._task_pairs():
+            if self.graph.ordered(end_node, begin_node):
+                continue
+            if not self._fifo_applicable(t1, t2):
+                continue
+            p1, p2 = self.graph.node_of_op[t1.post_index], self.graph.node_of_op[
+                t2.post_index
+            ]
+            if p1 == p2 or self.graph.ordered(p1, p2):
+                if self._add_edge_checked_st(end_node, begin_node):
+                    self.stats.fifo_edges += 1
+                    changed = True
+        return changed
+
+    def _fifo_applicable(self, t1: TaskInfo, t2: TaskInfo) -> bool:
+        if t1.post_index is None or t2.post_index is None:
+            return False
+        if t1.at_front or t2.at_front:
+            # Post-to-the-front overrides FIFO; the paper defers its
+            # treatment to future work, so we conservatively derive nothing.
+            return False
+        if not self.config.delayed_fifo:
+            return not t1.is_delayed and not t2.is_delayed
+        if not t1.is_delayed:
+            return True  # (base FIFO) or (a): β_j may or may not be delayed
+        return t2.is_delayed and (t1.delay or 0) <= (t2.delay or 0)  # (b)
+
+    def _apply_nopre(self) -> bool:
+        """NOPRE (Figure 6): ``end(t,p1) ≺st begin(t,p2)`` if some operation
+        of task ``p1`` happens-before ``post(_,p2,t)``."""
+        changed = False
+        graph = self.graph
+        for end_node, begin_node, t1, t2 in self._task_pairs():
+            if graph.ordered(end_node, begin_node):
+                continue
+            if t2.post_index is None:
+                continue
+            post_node = graph.node_of_op[t2.post_index]
+            for k in self._task_ops.get(t1.name, ()):  # nodes of task p1
+                # ``≺`` is reflexive, so the post op itself (when executed
+                # inside p1) witnesses the rule.
+                if k == post_node or graph.ordered(k, post_node):
+                    if self._add_edge_checked_st(end_node, begin_node):
+                        self.stats.nopre_edges += 1
+                        changed = True
+                    break
+        return changed
+
+    def _apply_front_posts(self) -> bool:
+        """AT-FRONT (extension, see :class:`HBConfig.front_post_rule`).
+
+        Premises for ``end(t, p_f) ≺st begin(t, p_o)``:
+
+        * ``p_f`` posted at the front, ``p_o`` posted normally,
+        * both posts executed *inside the same task K running on t* with
+          ``post(p_o)`` before ``post(p_f)`` (program order) — so while
+          both are pending, ``t`` is busy running K, and the barged
+          ``p_f`` is dequeued first in every schedule.
+        """
+        changed = False
+        graph = self.graph
+        trace = self.trace
+        for end_node, begin_node, t1, t2 in self._task_pairs():
+            # t1 = the earlier-ending task (p_f), t2 = the later one (p_o).
+            if not t1.at_front or t2.at_front:
+                continue
+            if t1.post_index is None or t2.post_index is None:
+                continue
+            if t2.post_index > t1.post_index:
+                continue  # p_o must already be pending when p_f barges
+            poster_task = trace.task_name_of(t1.post_index)
+            if poster_task is None or trace.task_name_of(t2.post_index) != poster_task:
+                continue
+            if trace[t1.post_index].thread != t1.thread:
+                continue  # the posting task must run on the target thread
+            if graph.ordered(end_node, begin_node):
+                continue
+            if self._add_edge_checked_st(end_node, begin_node):
+                changed = True
+        return changed
+
+    def _task_pairs(self):
+        """Yield ``(end-node(p1), begin-node(p2), info1, info2)`` for ordered
+        pairs of distinct tasks on the same looper thread with
+        ``index(end(p1)) < index(begin(p2))``."""
+        per_thread: Dict[str, List[TaskInfo]] = {}
+        for info in self.trace.tasks.values():
+            if info.begin_index is not None and info.thread is not None:
+                per_thread.setdefault(info.thread, []).append(info)
+        for infos in per_thread.values():
+            infos.sort(key=lambda info: info.begin_index)
+            for a, b in itertools.combinations(infos, 2):
+                if a.end_index is None or a.end_index > b.begin_index:
+                    continue
+                yield (
+                    self.graph.node_of_op[a.end_index],
+                    self.graph.node_of_op[b.begin_index],
+                    a,
+                    b,
+                )
+
+    # -- edge insertion and closure --------------------------------------------
+
+    def _add_edge(self, i: int, j: int, force_st: bool = False) -> bool:
+        """Insert a base edge, classifying it as st or mt by thread equality
+        (plain mode stores everything in one relation via st)."""
+        if i == j:
+            return False
+        if i > j:
+            raise AssertionError(
+                "HB rule produced a backward edge %d -> %d; every rule "
+                "requires i < j" % (i, j)
+            )
+        same = self.graph.node(i).thread == self.graph.node(j).thread
+        if self.config.transitivity == TRANS_PLAIN:
+            return self.graph.add_st(i, j)
+        if force_st or same:
+            return self.graph.add_st(i, j)
+        return self.graph.add_mt(i, j)
+
+    def _add_edge_checked_st(self, i: int, j: int) -> bool:
+        if self.graph.node(i).thread != self.graph.node(j).thread:
+            raise AssertionError("FIFO/NOPRE edges are thread-local by rule")
+        return self.graph.add_st(i, j)
+
+    def _saturate(self) -> None:
+        if self.config.transitivity == TRANS_PLAIN:
+            self._saturate_plain()
+        else:
+            self._saturate_decomposed()
+
+    def _saturate_plain(self) -> None:
+        """Plain reachability closure of the edge union (naive baseline)."""
+        st = self.graph.st
+        for i in range(len(st) - 1, -1, -1):
+            row = st[i]
+            closure = row
+            for k in bits(row):
+                closure |= st[k]
+            st[i] = closure
+
+    def _saturate_decomposed(self) -> None:
+        """Saturate TRANS-ST and TRANS-MT.
+
+        Because every edge points forward, row ``i`` depends only on rows
+        ``k > i``; one high-to-low sweep with a small per-row fixpoint
+        yields the least closure:
+
+        * TRANS-ST: ``st[i] |= ⋃ st[k] for k ∈ st[i]``;
+        * TRANS-MT: ``mt[i] |= (⋃ hb[k] for k ∈ hb[i]) ∩ diff-thread(i)``.
+        """
+        graph = self.graph
+        st, mt = graph.st, graph.mt
+        n = len(graph)
+        for i in range(n - 1, -1, -1):
+            diff = graph.diff_thread_mask(graph.node(i).thread)
+            while True:
+                st_row, mt_row = st[i], mt[i]
+                st_new = st_row
+                for k in bits(st_row):
+                    st_new |= st[k]
+                hb_row = st_new | mt_row
+                comp = 0
+                for k in bits(hb_row):
+                    comp |= st[k] | mt[k]
+                mt_new = mt_row | (comp & diff)
+                if st_new == st_row and mt_new == mt_row:
+                    break
+                st[i], mt[i] = st_new, mt_new
+
+
+def _index_task_ops(trace: ExecutionTrace, graph: HBGraph) -> Dict[str, List[int]]:
+    """Map each task instance to the (deduplicated, ordered) node ids of the
+    operations executed inside it — NOPRE quantifies over these."""
+    out: Dict[str, List[int]] = {}
+    for op in trace:
+        name = trace.task_name_of(op.index)
+        if name is None:
+            continue
+        nodes = out.setdefault(name, [])
+        nid = graph.node_of_op[op.index]
+        if not nodes or nodes[-1] != nid:
+            nodes.append(nid)
+    return out

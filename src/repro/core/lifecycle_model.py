@@ -1,0 +1,219 @@
+"""Component lifecycle state machines (paper, Figure 8 and §4.2).
+
+The Android runtime invokes lifecycle callbacks of application components
+in a specific order; the paper models this with a state machine per
+component type (Figure 8 shows the Activity machine) and exploits it to
+place ``enable`` operations: if callback ``C2`` may happen after ``C1``,
+the trace of ``C1`` contains ``enable(_, C2)``.
+
+``MUST`` edges are taken in every execution that leaves the source state;
+``MAY`` edges are taken in some executions — and there is no execution in
+which the target occurs before the source.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+
+class EdgeKind(enum.Enum):
+    MUST = "must"
+    MAY = "may"
+
+
+@dataclass(frozen=True)
+class LifecycleEdge:
+    source: str
+    target: str
+    kind: EdgeKind
+
+
+class LifecycleError(RuntimeError):
+    """An attempted callback violates the component's lifecycle machine."""
+
+
+class LifecycleMachine:
+    """A lifecycle state machine instance.
+
+    States and callbacks share one namespace (as in Figure 8, where the
+    gray nodes are states and the rest are callbacks); the machine tracks
+    the current node and validates each advance.
+    """
+
+    def __init__(self, name: str, initial: str, edges: Iterable[LifecycleEdge]):
+        self.name = name
+        self.initial = initial
+        self.current = initial
+        self.history: List[str] = [initial]
+        self._edges: Dict[str, List[LifecycleEdge]] = {}
+        for edge in edges:
+            self._edges.setdefault(edge.source, []).append(edge)
+
+    def successors(self, node: Optional[str] = None) -> List[str]:
+        """Nodes reachable in one step from ``node`` (default: current)."""
+        source = self.current if node is None else node
+        return [edge.target for edge in self._edges.get(source, ())]
+
+    def enabled_callbacks(self) -> List[str]:
+        """Callbacks the environment may now schedule — exactly the set for
+        which ``enable`` operations are emitted (§4.2), skipping over
+        non-callback states."""
+        out: List[str] = []
+        stack = [self.current]
+        seen = set(stack)
+        while stack:
+            node = stack.pop()
+            for target in self.successors(node):
+                if target in seen:
+                    continue
+                seen.add(target)
+                if target in self.states:
+                    stack.append(target)  # look through pure states
+                else:
+                    out.append(target)
+        return out
+
+    def can_advance(self, node: str) -> bool:
+        return node in self.successors()
+
+    def advance(self, node: str) -> None:
+        if not self.can_advance(node):
+            raise LifecycleError(
+                "%s: %s cannot follow %s (allowed: %s)"
+                % (self.name, node, self.current, ", ".join(self.successors()))
+            )
+        self.current = node
+        self.history.append(node)
+
+    def advance_through(self, *nodes: str) -> None:
+        for node in nodes:
+            self.advance(node)
+
+    @property
+    def states(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    @property
+    def is_terminal(self) -> bool:
+        return not self.successors()
+
+
+class ActivityLifecycle(LifecycleMachine):
+    """The Activity machine of Figure 8 (partial lifecycle)."""
+
+    LAUNCHED = "Launched"
+    RUNNING = "Running"
+    DESTROYED = "Destroyed"
+    ON_CREATE = "onCreate"
+    ON_START = "onStart"
+    ON_RESTART = "onRestart"
+    ON_RESUME = "onResume"
+    ON_PAUSE = "onPause"
+    ON_STOP = "onStop"
+    ON_DESTROY = "onDestroy"
+
+    _STATES = frozenset({LAUNCHED, RUNNING, DESTROYED})
+
+    EDGES = (
+        LifecycleEdge(LAUNCHED, ON_CREATE, EdgeKind.MUST),
+        LifecycleEdge(ON_CREATE, ON_START, EdgeKind.MUST),
+        LifecycleEdge(ON_START, ON_RESUME, EdgeKind.MAY),
+        LifecycleEdge(ON_START, ON_STOP, EdgeKind.MAY),
+        LifecycleEdge(ON_RESUME, RUNNING, EdgeKind.MUST),
+        LifecycleEdge(RUNNING, ON_PAUSE, EdgeKind.MUST),
+        LifecycleEdge(ON_PAUSE, ON_RESUME, EdgeKind.MAY),
+        LifecycleEdge(ON_PAUSE, ON_STOP, EdgeKind.MAY),
+        LifecycleEdge(ON_STOP, ON_RESTART, EdgeKind.MAY),
+        LifecycleEdge(ON_STOP, ON_DESTROY, EdgeKind.MAY),
+        LifecycleEdge(ON_RESTART, ON_START, EdgeKind.MUST),
+        LifecycleEdge(ON_DESTROY, DESTROYED, EdgeKind.MUST),
+    )
+
+    #: Callback order for a full foreground launch.
+    LAUNCH_SEQUENCE = (ON_CREATE, ON_START, ON_RESUME)
+    #: Callback order for leaving the screen for good (BACK button).
+    FINISH_SEQUENCE = (ON_PAUSE, ON_STOP, ON_DESTROY)
+
+    def __init__(self, name: str = "activity"):
+        super().__init__(name, self.LAUNCHED, self.EDGES)
+
+    @property
+    def states(self) -> FrozenSet[str]:
+        return self._STATES
+
+
+class ServiceLifecycle(LifecycleMachine):
+    """Started-Service lifecycle (simplified, §4.2 mentions Services)."""
+
+    CREATED = "Created"
+    STARTED = "Started"
+    DESTROYED = "Destroyed"
+    ON_CREATE = "onCreate"
+    ON_START_COMMAND = "onStartCommand"
+    ON_DESTROY = "onDestroy"
+
+    _STATES = frozenset({CREATED, STARTED, DESTROYED})
+
+    EDGES = (
+        LifecycleEdge(CREATED, ON_CREATE, EdgeKind.MUST),
+        LifecycleEdge(ON_CREATE, ON_START_COMMAND, EdgeKind.MUST),
+        LifecycleEdge(ON_START_COMMAND, STARTED, EdgeKind.MUST),
+        LifecycleEdge(STARTED, ON_START_COMMAND, EdgeKind.MAY),  # re-delivery
+        LifecycleEdge(STARTED, ON_DESTROY, EdgeKind.MAY),
+        LifecycleEdge(ON_DESTROY, DESTROYED, EdgeKind.MUST),
+    )
+
+    def __init__(self, name: str = "service"):
+        super().__init__(name, self.CREATED, self.EDGES)
+
+    @property
+    def states(self) -> FrozenSet[str]:
+        return self._STATES
+
+
+class ReceiverLifecycle(LifecycleMachine):
+    """BroadcastReceiver: registration enables onReceive (§5)."""
+
+    UNREGISTERED = "Unregistered"
+    REGISTERED = "Registered"
+    ON_RECEIVE = "onReceive"
+
+    _STATES = frozenset({UNREGISTERED, REGISTERED})
+
+    EDGES = (
+        LifecycleEdge(UNREGISTERED, REGISTERED, EdgeKind.MUST),
+        LifecycleEdge(REGISTERED, ON_RECEIVE, EdgeKind.MAY),
+        LifecycleEdge(ON_RECEIVE, REGISTERED, EdgeKind.MUST),  # stays registered
+    )
+
+    def __init__(self, name: str = "receiver"):
+        super().__init__(name, self.UNREGISTERED, self.EDGES)
+        # Registration is an application action, not a callback; model it
+        # as an immediate advance once register() is called.
+
+    @property
+    def states(self) -> FrozenSet[str]:
+        return self._STATES
+
+
+def may_happen_after(
+    machine_cls, earlier: str, later: str, max_depth: int = 32
+) -> bool:
+    """Whether ``later`` is reachable from ``earlier`` in the machine —
+    the dashed/solid reachability of Figure 8 used to place enables."""
+    machine = machine_cls()
+    edges: Dict[str, List[str]] = {}
+    for edge in machine_cls.EDGES:
+        edges.setdefault(edge.source, []).append(edge.target)
+    stack, seen = [earlier], {earlier}
+    while stack:
+        node = stack.pop()
+        for target in edges.get(node, ()):
+            if target == later:
+                return True
+            if target not in seen and len(seen) < max_depth:
+                seen.add(target)
+                stack.append(target)
+    return False

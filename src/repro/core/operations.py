@@ -1,0 +1,243 @@
+"""Core trace language of the paper (Table 1).
+
+An execution of an Android application is abstracted as a sequence of
+*operations* drawn from a small core language.  Every operation names the
+thread executing it; the remaining fields depend on the op-code:
+
+==============  =====================================================
+op-code         meaning
+==============  =====================================================
+threadinit      start executing the current thread
+threadexit      complete executing the current thread
+fork            create a new thread (``target``)
+join            consume a completed thread (``target``)
+attachQ         attach a task queue to the current thread
+loopOnQ         begin executing tasks from the current thread's queue
+post            post task ``task`` asynchronously to thread ``target``
+begin           start executing the posted task ``task``
+end             finish executing the posted task ``task``
+acquire         acquire lock ``lock``
+release         release lock ``lock``
+read            read memory location ``location``
+write           write memory location ``location``
+enable          enable posting of task ``task``
+==============  =====================================================
+
+Posts additionally carry a ``delay`` (for ``postDelayed``, §4.2 of the
+paper), an ``at_front`` flag (post-to-the-front, which the paper defers to
+future work) and an ``event`` tag marking posts that inject *environmental
+events* (UI events, lifecycle callbacks) — the tag is consumed by race
+classification (§4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class OpKind(enum.Enum):
+    """Op-codes of the core language (paper, Table 1)."""
+
+    THREAD_INIT = "threadinit"
+    THREAD_EXIT = "threadexit"
+    FORK = "fork"
+    JOIN = "join"
+    ATTACH_Q = "attachQ"
+    LOOP_ON_Q = "loopOnQ"
+    POST = "post"
+    BEGIN = "begin"
+    END = "end"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    READ = "read"
+    WRITE = "write"
+    ENABLE = "enable"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Op kinds that access memory.  Only these participate in data races.
+MEMORY_OPS = frozenset({OpKind.READ, OpKind.WRITE})
+
+#: Op kinds that carry a task name (asynchronous-call machinery).
+TASK_OPS = frozenset({OpKind.POST, OpKind.BEGIN, OpKind.END, OpKind.ENABLE})
+
+#: Op kinds that carry a lock.
+LOCK_OPS = frozenset({OpKind.ACQUIRE, OpKind.RELEASE})
+
+#: Op kinds that carry a target thread.
+THREAD_TARGET_OPS = frozenset({OpKind.FORK, OpKind.JOIN, OpKind.POST})
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of an execution trace.
+
+    ``index`` is the position in the trace (assigned by
+    :class:`repro.core.trace.ExecutionTrace`); ``task`` is the unique task
+    instance this operation *refers to* (for post/begin/end/enable), while
+    ``in_task`` is the task instance whose handler *executed* the operation
+    (``None`` for operations outside any asynchronous task, e.g. before
+    ``loopOnQ`` or on a thread without a queue).
+    """
+
+    kind: OpKind
+    thread: str
+    index: int = -1
+    task: Optional[str] = None
+    target: Optional[str] = None
+    lock: Optional[str] = None
+    location: Optional[str] = None
+    in_task: Optional[str] = None
+    delay: Optional[int] = None
+    at_front: bool = False
+    event: Optional[str] = None
+    source: Optional[str] = None  # free-form provenance (file:line, callback)
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        _validate(self)
+
+    # -- convenience predicates -------------------------------------------
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.kind in MEMORY_OPS
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    @property
+    def is_delayed_post(self) -> bool:
+        return self.kind is OpKind.POST and bool(self.delay)
+
+    def conflicts_with(self, other: "Operation") -> bool:
+        """Two operations *conflict* if they access the same memory location
+        and at least one is a write (paper, §2.4)."""
+        return (
+            self.is_memory_access
+            and other.is_memory_access
+            and self.location == other.location
+            and (self.is_write or other.is_write)
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Render in the paper's concrete syntax, e.g. ``post(t0,p,t1)``."""
+        args = [self.thread]
+        if self.kind in (OpKind.FORK, OpKind.JOIN):
+            args.append(self.target or "?")
+        elif self.kind is OpKind.POST:
+            args.append(self.task or "?")
+            args.append(self.target or "?")
+            if self.delay:
+                args.append("delay=%d" % self.delay)
+            if self.at_front:
+                args.append("at_front")
+        elif self.kind in (OpKind.BEGIN, OpKind.END, OpKind.ENABLE):
+            args.append(self.task or "?")
+        elif self.kind in LOCK_OPS:
+            args.append(self.lock or "?")
+        elif self.kind in MEMORY_OPS:
+            args.append(self.location or "?")
+        return "%s(%s)" % (self.kind.value, ",".join(args))
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class MalformedOperationError(ValueError):
+    """Raised when an :class:`Operation` is constructed with missing or
+    contradictory fields for its op-code."""
+
+
+def _validate(op: Operation) -> None:
+    kind = op.kind
+    if not op.thread:
+        raise MalformedOperationError("operation %s has no thread" % kind)
+    if kind in TASK_OPS and not op.task:
+        raise MalformedOperationError("%s requires a task" % kind)
+    if kind in THREAD_TARGET_OPS and not op.target:
+        raise MalformedOperationError("%s requires a target thread" % kind)
+    if kind in LOCK_OPS and not op.lock:
+        raise MalformedOperationError("%s requires a lock" % kind)
+    if kind in MEMORY_OPS and not op.location:
+        raise MalformedOperationError("%s requires a memory location" % kind)
+    if op.delay is not None and kind is not OpKind.POST:
+        raise MalformedOperationError("delay is only meaningful on post")
+    if op.at_front and kind is not OpKind.POST:
+        raise MalformedOperationError("at_front is only meaningful on post")
+    if op.delay is not None and op.delay < 0:
+        raise MalformedOperationError("negative post delay")
+
+
+# -- constructors ------------------------------------------------------------
+#
+# Thin factories mirroring the paper's notation.  They keep call sites in the
+# runtime and in hand-written traces close to the paper's syntax:
+# ``post(t0, "LAUNCH_ACTIVITY", t1)``.
+
+
+def threadinit(thread: str, **kw) -> Operation:
+    return Operation(OpKind.THREAD_INIT, thread, **kw)
+
+
+def threadexit(thread: str, **kw) -> Operation:
+    return Operation(OpKind.THREAD_EXIT, thread, **kw)
+
+
+def fork(thread: str, child: str, **kw) -> Operation:
+    return Operation(OpKind.FORK, thread, target=child, **kw)
+
+
+def join(thread: str, child: str, **kw) -> Operation:
+    return Operation(OpKind.JOIN, thread, target=child, **kw)
+
+
+def attachq(thread: str, **kw) -> Operation:
+    return Operation(OpKind.ATTACH_Q, thread, **kw)
+
+
+def looponq(thread: str, **kw) -> Operation:
+    return Operation(OpKind.LOOP_ON_Q, thread, **kw)
+
+
+def post(thread: str, task: str, target: str, **kw) -> Operation:
+    return Operation(OpKind.POST, thread, task=task, target=target, **kw)
+
+
+def begin(thread: str, task: str, **kw) -> Operation:
+    return Operation(OpKind.BEGIN, thread, task=task, **kw)
+
+
+def end(thread: str, task: str, **kw) -> Operation:
+    return Operation(OpKind.END, thread, task=task, **kw)
+
+
+def acquire(thread: str, lock: str, **kw) -> Operation:
+    return Operation(OpKind.ACQUIRE, thread, lock=lock, **kw)
+
+
+def release(thread: str, lock: str, **kw) -> Operation:
+    return Operation(OpKind.RELEASE, thread, lock=lock, **kw)
+
+
+def read(thread: str, location: str, **kw) -> Operation:
+    return Operation(OpKind.READ, thread, location=location, **kw)
+
+
+def write(thread: str, location: str, **kw) -> Operation:
+    return Operation(OpKind.WRITE, thread, location=location, **kw)
+
+
+def enable(thread: str, task: str, **kw) -> Operation:
+    return Operation(OpKind.ENABLE, thread, task=task, **kw)

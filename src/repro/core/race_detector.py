@@ -1,0 +1,203 @@
+"""The offline race detection algorithm (paper, §4.3).
+
+A *data race* exists between trace operations ``α_i`` and ``α_j`` (``i<j``)
+iff they conflict (same memory location, at least one write) and
+``α_i ⊀ α_j`` with respect to the trace's happens-before relation.
+
+The detector builds the happens-before graph (with node coalescing),
+enumerates conflicting node pairs per memory location, reports unordered
+pairs, and classifies each report (:mod:`repro.core.classification`).
+As in the paper, when several races of the same category hit the same
+memory location only one representative is reported (races on different
+objects of the same class count separately — locations are per-object).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .classification import RaceCategory, classify_race
+from .graph import HBNode
+from .happens_before import ANDROID_HB, HappensBefore, HBConfig
+from .operations import Operation
+from .trace import ExecutionTrace, field_of_location
+
+
+@dataclass(frozen=True)
+class Race:
+    """One reported data race."""
+
+    location: str
+    field_name: str
+    op_i: Operation
+    op_j: Operation
+    category: RaceCategory
+
+    @property
+    def threads(self) -> Tuple[str, str]:
+        return (self.op_i.thread, self.op_j.thread)
+
+    @property
+    def is_single_threaded(self) -> bool:
+        return self.op_i.thread == self.op_j.thread
+
+    def describe(self) -> str:
+        return "%s race on %s: op %d %s  <->  op %d %s" % (
+            self.category,
+            self.location,
+            self.op_i.index,
+            self.op_i.render(),
+            self.op_j.index,
+            self.op_j.render(),
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass
+class RaceReport:
+    """Everything a detection run produces."""
+
+    trace_name: str
+    races: List[Race] = field(default_factory=list)  # deduplicated reports
+    racy_pair_count: int = 0  # all unordered conflicting pairs pre-dedup
+    analysis_seconds: float = 0.0
+    node_count: int = 0
+    trace_length: int = 0
+    reduction_ratio: float = 1.0
+
+    def by_category(self) -> Dict[RaceCategory, List[Race]]:
+        out: Dict[RaceCategory, List[Race]] = {cat: [] for cat in RaceCategory}
+        for race in self.races:
+            out[race.category].append(race)
+        return out
+
+    def count(self, category: RaceCategory) -> int:
+        return sum(1 for race in self.races if race.category is category)
+
+    def racy_fields(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for race in self.races:
+            seen.setdefault(race.field_name, None)
+        return list(seen)
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            "%s: %d" % (cat.value, len(races))
+            for cat, races in self.by_category().items()
+            if races
+        )
+        return "%s: %d race reports (%s)" % (
+            self.trace_name,
+            len(self.races),
+            counts or "none",
+        )
+
+
+class RaceDetector:
+    """Graph-based happens-before race detector.
+
+    Parameters mirror :class:`~repro.core.happens_before.HappensBefore`;
+    ``config`` lets the baselines of :mod:`repro.core.baselines` reuse the
+    detection pipeline unchanged.
+    """
+
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        config: HBConfig = ANDROID_HB,
+        coalesce: bool = True,
+        cancelled_tasks: Iterable[str] = (),
+    ):
+        cancelled = list(cancelled_tasks)
+        if cancelled:
+            # §4.2: cancellation is handled by removing the corresponding
+            # post operations from the trace.
+            trace = trace.without_cancelled_posts(cancelled)
+        self.trace = trace
+        self.config = config
+        self.coalesce = coalesce
+        self.hb: Optional[HappensBefore] = None
+
+    def detect(self) -> RaceReport:
+        start = time.perf_counter()
+        hb = HappensBefore(self.trace, config=self.config, coalesce=self.coalesce)
+        self.hb = hb
+        report = RaceReport(
+            trace_name=self.trace.name,
+            trace_length=len(self.trace),
+            node_count=len(hb.graph),
+            reduction_ratio=hb.graph.reduction_ratio,
+        )
+
+        accessors = self._accessors_by_location(hb)
+        seen: set = set()  # (location, category) dedup keys
+        for location, nodes in accessors.items():
+            for a_pos, a in enumerate(nodes):
+                a_writes = a.writes_to(location)
+                for b in nodes[a_pos + 1 :]:
+                    if a.thread == b.thread and a.task == b.task:
+                        continue  # program order within a task (or pre-loop)
+                    if not a_writes and not b.writes_to(location):
+                        continue
+                    if hb.ordered_nodes(a.node_id, b.node_id):
+                        continue
+                    report.racy_pair_count += 1
+                    op_i, op_j = _representative_pair(a, b, location)
+                    category = classify_race(self.trace, hb, op_i.index, op_j.index)
+                    key = (location, category)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    report.races.append(
+                        Race(
+                            location=location,
+                            field_name=field_of_location(location),
+                            op_i=op_i,
+                            op_j=op_j,
+                            category=category,
+                        )
+                    )
+        report.races.sort(key=lambda race: (race.op_i.index, race.op_j.index))
+        report.analysis_seconds = time.perf_counter() - start
+        return report
+
+    def _accessors_by_location(
+        self, hb: HappensBefore
+    ) -> Dict[str, List[HBNode]]:
+        out: Dict[str, List[HBNode]] = {}
+        for node in hb.graph.nodes:
+            if not node.is_access_block:
+                continue
+            for location in node.locations():
+                out.setdefault(location, []).append(node)
+        return out
+
+
+def _representative_pair(
+    a: HBNode, b: HBNode, location: str
+) -> Tuple[Operation, Operation]:
+    """Pick one conflicting (op_i, op_j) pair from two racy nodes, ensuring
+    at least one side is a write."""
+    a_ops = a.accesses_to(location)
+    b_ops = b.accesses_to(location)
+    a_write = next((op for op in a_ops if op.is_write), None)
+    b_write = next((op for op in b_ops if op.is_write), None)
+    if a_write is not None:
+        return a_write, (b_write or b_ops[0])
+    return a_ops[0], b_write  # b must write if a does not
+
+
+def detect_races(
+    trace: ExecutionTrace,
+    config: HBConfig = ANDROID_HB,
+    coalesce: bool = True,
+    cancelled_tasks: Iterable[str] = (),
+) -> RaceReport:
+    """One-call convenience wrapper: build, run, and return the report."""
+    return RaceDetector(
+        trace, config=config, coalesce=coalesce, cancelled_tasks=cancelled_tasks
+    ).detect()

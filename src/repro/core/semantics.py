@@ -1,0 +1,254 @@
+"""Operational semantics of the core language (paper, Figure 5).
+
+The paper defines a transition system ``S_A = (Σ, →, σ0)`` over application
+states ``σ = (C, R, F, B, E, Q, L)``:
+
+* ``C`` — threads created but not yet scheduled,
+* ``R`` — running threads,
+* ``F`` — finished threads,
+* ``B`` — threads that have begun processing their task queues,
+* ``E`` — which task each thread is executing (⊥ when idle),
+* ``Q`` — task queue of each thread (ε when none attached),
+* ``L`` — locks held by each thread.
+
+This module implements the transition system as an executable *validator*:
+:func:`validate_trace` replays a trace, checking the antecedents of the rule
+for every operation and applying its consequents.  A sequence of operations
+is an execution trace of the semantics iff replay succeeds.
+
+The simulated runtime (``repro.android``) generates traces, and the test
+suite checks that every generated trace is accepted here — the semantics is
+the contract between trace generation and race detection.
+
+Delayed and at-front posts (§4.2) are extensions over Figure 5; in
+``strict_fifo`` mode the BEGIN rule insists on exact FIFO order (Figure 5
+verbatim), otherwise delivery order must merely be consistent with the
+pending set (delays and at-front posts legally reorder the queue).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .operations import OpKind, Operation
+from .trace import ExecutionTrace
+
+
+class SemanticsError(ValueError):
+    """A trace violated the transition rules of Figure 5."""
+
+    def __init__(self, op: Operation, reason: str):
+        self.op = op
+        self.reason = reason
+        super().__init__(
+            "op %d %s violates the semantics: %s" % (op.index, op.render(), reason)
+        )
+
+
+class ApplicationState:
+    """The state ``σ`` of Figure 5 (START rule initialises it)."""
+
+    def __init__(self, initial_threads: Iterable[str] = ()):  # START
+        self.created: Set[str] = set(initial_threads)
+        self.running: Set[str] = set()
+        self.finished: Set[str] = set()
+        self.looping: Set[str] = set()
+        self.executing: Dict[str, Optional[str]] = {t: None for t in self.created}
+        self.queues: Dict[str, Optional[List[str]]] = {t: None for t in self.created}
+        self.locks: Dict[str, Dict[str, int]] = {t: {} for t in self.created}
+
+    # -- helpers -------------------------------------------------------------
+
+    def known(self, thread: str) -> bool:
+        return (
+            thread in self.created
+            or thread in self.running
+            or thread in self.finished
+        )
+
+    def ensure_created(self, thread: str) -> None:
+        """Threads appearing without a prior fork are framework-created
+        (the paper's ``Threads`` set): admit them lazily into ``C``."""
+        if not self.known(thread):
+            self.created.add(thread)
+            self.executing[thread] = None
+            self.queues[thread] = None
+            self.locks[thread] = {}
+
+    def lock_holder(self, lock: str) -> Optional[str]:
+        for thread, held in self.locks.items():
+            if held.get(lock):
+                return thread
+        return None
+
+
+def step(state: ApplicationState, op: Operation, strict_fifo: bool = True) -> None:
+    """Apply one operation to ``state``, raising :class:`SemanticsError`
+    if its rule's antecedents do not hold."""
+    kind = op.kind
+    t = op.thread
+
+    if kind is OpKind.THREAD_INIT:  # INIT
+        state.ensure_created(t)
+        if t not in state.created:
+            raise SemanticsError(op, "thread %s is not in the created set" % t)
+        state.created.discard(t)
+        state.running.add(t)
+        return
+
+    if kind is OpKind.FORK:  # FORK
+        _require_running(state, op)
+        child = op.target
+        if state.known(child):
+            raise SemanticsError(op, "forked thread id %s is not fresh" % child)
+        state.created.add(child)
+        state.executing[child] = None
+        state.queues[child] = None
+        state.locks[child] = {}
+        return
+
+    if kind is OpKind.THREAD_EXIT:  # EXIT
+        _require_running(state, op)
+        if state.executing.get(t) is not None:
+            raise SemanticsError(
+                op, "thread exits while task %s is still running" % state.executing[t]
+            )
+        state.running.discard(t)
+        state.finished.add(t)
+        return
+
+    if kind is OpKind.JOIN:  # JOIN
+        _require_running(state, op)
+        if op.target not in state.finished:
+            raise SemanticsError(op, "joined thread %s has not finished" % op.target)
+        return
+
+    if kind is OpKind.ACQUIRE:  # ACQUIRE
+        _require_running(state, op)
+        holder = state.lock_holder(op.lock)
+        if holder is not None and holder != t:
+            raise SemanticsError(
+                op, "lock %s is held by thread %s" % (op.lock, holder)
+            )
+        held = state.locks[t]
+        held[op.lock] = held.get(op.lock, 0) + 1
+        return
+
+    if kind is OpKind.RELEASE:  # RELEASE
+        _require_running(state, op)
+        held = state.locks[t]
+        if not held.get(op.lock):
+            raise SemanticsError(op, "releasing lock %s not held" % op.lock)
+        held[op.lock] -= 1
+        if held[op.lock] == 0:
+            del held[op.lock]
+        return
+
+    if kind is OpKind.ATTACH_Q:  # ATTACHQ
+        _require_running(state, op)
+        if state.queues.get(t) is not None:
+            raise SemanticsError(op, "thread %s already has a task queue" % t)
+        state.queues[t] = []
+        return
+
+    if kind is OpKind.POST:  # POST
+        _require_running(state, op)
+        target = op.target
+        if target not in state.running and target not in state.created:
+            raise SemanticsError(op, "post target %s is not alive" % target)
+        queue = state.queues.get(target)
+        if queue is None:
+            raise SemanticsError(op, "post target %s has no task queue" % target)
+        if op.at_front:
+            queue.insert(0, op.task)
+        else:
+            queue.append(op.task)
+        return
+
+    if kind is OpKind.LOOP_ON_Q:  # LOOPONQ
+        _require_running(state, op)
+        if t in state.looping:
+            raise SemanticsError(op, "thread %s is already looping" % t)
+        if state.queues.get(t) is None:
+            raise SemanticsError(op, "thread %s has no task queue" % t)
+        state.looping.add(t)
+        state.executing[t] = None
+        return
+
+    if kind is OpKind.BEGIN:  # BEGIN
+        _require_running(state, op)
+        if t not in state.looping:
+            raise SemanticsError(op, "thread %s has not begun looping" % t)
+        if state.executing.get(t) is not None:
+            raise SemanticsError(
+                op,
+                "thread %s is still executing task %s" % (t, state.executing[t]),
+            )
+        queue = state.queues[t]
+        if not queue:
+            raise SemanticsError(op, "task queue of %s is empty" % t)
+        if strict_fifo:
+            front = queue[0]
+            if front != op.task:
+                raise SemanticsError(
+                    op, "task %s is not at the front (front is %s)" % (op.task, front)
+                )
+            queue.pop(0)
+        else:
+            if op.task not in queue:
+                raise SemanticsError(op, "task %s was never posted to %s" % (op.task, t))
+            queue.remove(op.task)
+        state.executing[t] = op.task
+        return
+
+    if kind is OpKind.END:  # END
+        _require_running(state, op)
+        if state.executing.get(t) != op.task:
+            raise SemanticsError(
+                op,
+                "end(%s) but thread %s is executing %s"
+                % (op.task, t, state.executing.get(t)),
+            )
+        state.executing[t] = None
+        return
+
+    if kind in (OpKind.READ, OpKind.WRITE, OpKind.ENABLE):
+        # These do not change the application state (paper, §3), but they
+        # must still be executed by a running thread.
+        _require_running(state, op)
+        return
+
+    raise SemanticsError(op, "unknown op-code %s" % kind)
+
+
+def _require_running(state: ApplicationState, op: Operation) -> None:
+    if op.thread not in state.running:
+        raise SemanticsError(op, "thread %s is not running" % op.thread)
+
+
+def validate_trace(
+    trace: ExecutionTrace,
+    initial_threads: Iterable[str] = (),
+    strict_fifo: bool = False,
+) -> ApplicationState:
+    """Replay ``trace`` through the transition system; return the final
+    state, or raise :class:`SemanticsError` at the first violating step.
+
+    ``strict_fifo=True`` additionally enforces the verbatim FIFO dequeue of
+    Figure 5 (appropriate only for traces without delayed/at-front posts).
+    """
+    state = ApplicationState(initial_threads)
+    for op in trace:
+        if op.kind is OpKind.THREAD_INIT:
+            state.ensure_created(op.thread)
+        step(state, op, strict_fifo=strict_fifo)
+    return state
+
+
+def is_valid_trace(trace: ExecutionTrace, strict_fifo: bool = False) -> bool:
+    """Boolean wrapper around :func:`validate_trace`."""
+    try:
+        validate_trace(trace, strict_fifo=strict_fifo)
+    except SemanticsError:
+        return False
+    return True

@@ -1,0 +1,307 @@
+"""A vector-clock race detector for the classic multithreaded relation.
+
+The paper contrasts its graph-based algorithm with the dynamic detectors
+of the multithreaded world — DJIT+/MultiRace and FastTrack [7, 21, 22].
+This module implements that family faithfully over our trace language:
+
+* full per-thread program order (each thread's clock advances),
+* fork/join edges,
+* lock release→acquire edges (a clock per lock),
+* post→begin edges (an asynchronous call modelled like a fork of its
+  handler — how one would "simulate asynchronous calls through additional
+  threads", §7).
+
+Per memory location it keeps the per-thread clocks of the last read and
+last write (the full-vector DJIT+ scheme), with FastTrack's *epoch*
+optimization as the fast path: while all accesses are totally ordered a
+single (thread, clock) epoch represents the access history, inflating to
+a full vector only on concurrent reads.
+
+This detector is intentionally *not* Android-aware: it misses every
+single-threaded race (full program order hides them) — exactly the
+paper's argument.  The test suite cross-checks its racy-location set
+against the graph engine running the ``MULTITHREADED_ONLY`` configuration:
+two independent implementations of the same relation must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .operations import OpKind, Operation
+from .trace import ExecutionTrace
+
+
+class VectorClock:
+    """A mutable vector clock: thread name → logical time."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Optional[Dict[str, int]] = None):
+        self.clocks = dict(clocks) if clocks else {}
+
+    def time_of(self, thread: str) -> int:
+        return self.clocks.get(thread, 0)
+
+    def tick(self, thread: str) -> None:
+        self.clocks[thread] = self.clocks.get(thread, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        for thread, time in other.clocks.items():
+            if time > self.clocks.get(thread, 0):
+                self.clocks[thread] = time
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self.clocks)
+
+    def dominates(self, thread: str, time: int) -> bool:
+        """Does this clock know about (thread, time)? — the HB test."""
+        return self.clocks.get(thread, 0) >= time
+
+    def __repr__(self) -> str:
+        inner = ", ".join("%s:%d" % kv for kv in sorted(self.clocks.items()))
+        return "VC{%s}" % inner
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """FastTrack's compressed access history: one (thread, time) pair."""
+
+    thread: str
+    time: int
+
+    def happens_before(self, clock: VectorClock) -> bool:
+        return clock.dominates(self.thread, self.time)
+
+
+class AccessHistory:
+    """Per-location access state: write epoch-or-vector, read
+    epoch-or-vector (the FastTrack adaptive representation)."""
+
+    __slots__ = ("write_epoch", "write_vector", "read_epoch", "read_vector")
+
+    def __init__(self):
+        self.write_epoch: Optional[Epoch] = None
+        self.write_vector: Optional[Dict[str, int]] = None
+        self.read_epoch: Optional[Epoch] = None
+        self.read_vector: Optional[Dict[str, int]] = None
+
+    # -- write history -----------------------------------------------------
+
+    def write_races_with(self, clock: VectorClock) -> Optional[Epoch]:
+        if self.write_vector is not None:
+            for thread, time in self.write_vector.items():
+                if not clock.dominates(thread, time):
+                    return Epoch(thread, time)
+            return None
+        if self.write_epoch is not None and not self.write_epoch.happens_before(clock):
+            return self.write_epoch
+        return None
+
+    def record_write(self, thread: str, clock: VectorClock, ordered: bool) -> None:
+        time = clock.time_of(thread)
+        if ordered and self.write_vector is None:
+            self.write_epoch = Epoch(thread, time)
+            return
+        # Inflate: concurrent writes need the full vector.
+        if self.write_vector is None:
+            self.write_vector = {}
+            if self.write_epoch is not None:
+                self.write_vector[self.write_epoch.thread] = self.write_epoch.time
+            self.write_epoch = None
+        self.write_vector[thread] = time
+
+    # -- read history -------------------------------------------------------
+
+    def read_races_with(self, clock: VectorClock) -> Optional[Epoch]:
+        if self.read_vector is not None:
+            for thread, time in self.read_vector.items():
+                if not clock.dominates(thread, time):
+                    return Epoch(thread, time)
+            return None
+        if self.read_epoch is not None and not self.read_epoch.happens_before(clock):
+            return self.read_epoch
+        return None
+
+    def record_read(self, thread: str, clock: VectorClock) -> None:
+        time = clock.time_of(thread)
+        if self.read_vector is not None:
+            self.read_vector[thread] = time
+            return
+        if self.read_epoch is None or self.read_epoch.happens_before(clock):
+            # Ordered after the previous read: the epoch suffices.
+            self.read_epoch = Epoch(thread, time)
+            return
+        # Concurrent reads: inflate to a vector (FastTrack's read share).
+        self.read_vector = {self.read_epoch.thread: self.read_epoch.time}
+        self.read_vector[thread] = time
+        self.read_epoch = None
+
+
+@dataclass(frozen=True)
+class VCRace:
+    """A race found by the vector-clock detector."""
+
+    location: str
+    prior_thread: str
+    prior_time: int
+    access: Operation
+    kind: str  # "write-write" | "read-write" | "write-read"
+
+    def __str__(self) -> str:
+        return "%s race on %s: (%s@%d) <-> op %d %s" % (
+            self.kind,
+            self.location,
+            self.prior_thread,
+            self.prior_time,
+            self.access.index,
+            self.access.render(),
+        )
+
+
+@dataclass
+class VCReport:
+    races: List[VCRace] = field(default_factory=list)
+    locations_checked: int = 0
+    epochs_inflated: int = 0
+
+    def racy_locations(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for race in self.races:
+            seen.setdefault(race.location, None)
+        return list(seen)
+
+
+class VectorClockRaceDetector:
+    """One-pass online detection over a trace (classic multithreaded HB)."""
+
+    def __init__(self, trace: ExecutionTrace):
+        self.trace = trace
+        self.thread_clocks: Dict[str, VectorClock] = {}
+        self.lock_clocks: Dict[str, VectorClock] = {}
+        self.fork_snapshots: Dict[str, VectorClock] = {}
+        self.exit_snapshots: Dict[str, VectorClock] = {}
+        self.post_snapshots: Dict[str, VectorClock] = {}
+        self.histories: Dict[str, AccessHistory] = {}
+
+    def _clock(self, thread: str) -> VectorClock:
+        clock = self.thread_clocks.get(thread)
+        if clock is None:
+            clock = VectorClock({thread: 1})
+            self.thread_clocks[thread] = clock
+        return clock
+
+    def detect(self) -> VCReport:
+        report = VCReport()
+        for op in self.trace:
+            self._step(op, report)
+        report.locations_checked = len(self.histories)
+        return report
+
+    def _step(self, op: Operation, report: VCReport) -> None:
+        kind = op.kind
+        thread = op.thread
+
+        if kind is OpKind.THREAD_INIT:
+            clock = self._clock(thread)
+            snapshot = self.fork_snapshots.pop(thread, None)
+            if snapshot is not None:
+                clock.join(snapshot)
+            return
+        if kind is OpKind.FORK:
+            clock = self._clock(thread)
+            self.fork_snapshots[op.target] = clock.copy()
+            clock.tick(thread)
+            return
+        if kind is OpKind.THREAD_EXIT:
+            self.exit_snapshots[thread] = self._clock(thread).copy()
+            return
+        if kind is OpKind.JOIN:
+            snapshot = self.exit_snapshots.get(op.target)
+            if snapshot is not None:
+                self._clock(thread).join(snapshot)
+            return
+        if kind is OpKind.ACQUIRE:
+            lock_clock = self.lock_clocks.get(op.lock)
+            if lock_clock is not None:
+                self._clock(thread).join(lock_clock)
+            return
+        if kind is OpKind.RELEASE:
+            clock = self._clock(thread)
+            self.lock_clocks[op.lock] = clock.copy()
+            clock.tick(thread)
+            return
+        if kind is OpKind.POST:
+            clock = self._clock(thread)
+            self.post_snapshots[op.task] = clock.copy()
+            clock.tick(thread)
+            return
+        if kind is OpKind.BEGIN:
+            snapshot = self.post_snapshots.pop(op.task, None)
+            if snapshot is not None:
+                self._clock(thread).join(snapshot)
+            return
+        if kind is OpKind.READ:
+            self._on_read(op, report)
+            return
+        if kind is OpKind.WRITE:
+            self._on_write(op, report)
+            return
+        # end / attachQ / loopOnQ / enable: no effect in the classic model.
+
+    def _history(self, location: str) -> AccessHistory:
+        history = self.histories.get(location)
+        if history is None:
+            history = AccessHistory()
+            self.histories[location] = history
+        return history
+
+    def _on_read(self, op: Operation, report: VCReport) -> None:
+        clock = self._clock(op.thread)
+        history = self._history(op.location)
+        conflict = history.write_races_with(clock)
+        if conflict is not None and conflict.thread != op.thread:
+            report.races.append(
+                VCRace(op.location, conflict.thread, conflict.time, op, "write-read")
+            )
+        before = history.read_vector is not None
+        history.record_read(op.thread, clock)
+        if not before and history.read_vector is not None:
+            report.epochs_inflated += 1
+
+    def _on_write(self, op: Operation, report: VCReport) -> None:
+        clock = self._clock(op.thread)
+        history = self._history(op.location)
+        write_conflict = history.write_races_with(clock)
+        if write_conflict is not None and write_conflict.thread != op.thread:
+            report.races.append(
+                VCRace(
+                    op.location,
+                    write_conflict.thread,
+                    write_conflict.time,
+                    op,
+                    "write-write",
+                )
+            )
+        read_conflict = history.read_races_with(clock)
+        if read_conflict is not None and read_conflict.thread != op.thread:
+            report.races.append(
+                VCRace(
+                    op.location,
+                    read_conflict.thread,
+                    read_conflict.time,
+                    op,
+                    "read-write",
+                )
+            )
+        ordered = write_conflict is None or write_conflict.thread == op.thread
+        before = history.write_vector is not None
+        history.record_write(op.thread, clock, ordered)
+        if not before and history.write_vector is not None:
+            report.epochs_inflated += 1
+
+
+def detect_races_vc(trace: ExecutionTrace) -> VCReport:
+    """One-call vector-clock detection (classic multithreaded relation)."""
+    return VectorClockRaceDetector(trace).detect()

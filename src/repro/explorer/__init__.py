@@ -1,0 +1,37 @@
+"""UI Explorer: systematic depth-first testing of simulated applications
+with backtracking and replay (paper, §5)."""
+
+from .events import SUPPORTED_KINDS, event_key, filter_events, find_event
+from .random_explorer import (
+    DynodroidExplorer,
+    MonkeyExplorer,
+    RandomRunResult,
+    compare_strategies,
+)
+from .schedule_explorer import (
+    OrderObservation,
+    ScheduleExplorer,
+    ValidationResult,
+)
+from .sequence_store import RunRecord, SequenceStore
+from .ui_explorer import AppModel, ExplorationResult, UIExplorer, explore
+
+__all__ = [
+    "AppModel",
+    "DynodroidExplorer",
+    "ExplorationResult",
+    "MonkeyExplorer",
+    "OrderObservation",
+    "RandomRunResult",
+    "RunRecord",
+    "SUPPORTED_KINDS",
+    "ScheduleExplorer",
+    "SequenceStore",
+    "UIExplorer",
+    "ValidationResult",
+    "compare_strategies",
+    "event_key",
+    "explore",
+    "filter_events",
+    "find_event",
+]

@@ -1,0 +1,48 @@
+"""Event vocabulary of the UI Explorer.
+
+The explorer fires the event kinds DroidRacer generates (§5): click,
+long-click, text input (with format-appropriate data), screen rotation and
+the BACK button.  Events are exchanged with the runtime as
+:class:`repro.android.views.UIEvent`; across replays they are identified
+by their stable description strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.android.views import UIEvent
+
+#: Kinds the paper's UI Explorer can generate.
+SUPPORTED_KINDS = ("click", "long-click", "text", "rotate", "back")
+
+
+def event_key(event: UIEvent) -> str:
+    """Stable identity of an event across runs."""
+    return event.describe()
+
+
+def find_event(enabled: Iterable[UIEvent], key: str) -> Optional[UIEvent]:
+    """Locate the enabled event matching a stored key, or ``None`` if the
+    replayed run diverged and the event is no longer available."""
+    for event in enabled:
+        if event_key(event) == key:
+            return event
+    return None
+
+
+def filter_events(
+    events: Sequence[UIEvent],
+    include_kinds: Optional[Sequence[str]] = None,
+    exclude_kinds: Sequence[str] = (),
+) -> List[UIEvent]:
+    """Restrict the branching vocabulary (e.g. skip rotation to keep the
+    exploration tree small)."""
+    out = []
+    for event in events:
+        if include_kinds is not None and event.kind not in include_kinds:
+            continue
+        if event.kind in exclude_kinds:
+            continue
+        out.append(event)
+    return out

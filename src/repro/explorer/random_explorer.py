@@ -1,0 +1,154 @@
+"""Random-testing baselines for the UI Explorer comparison (§7).
+
+The paper positions its systematic depth-first explorer against:
+
+* **Android Monkey** — "a random event generator [that] lacks the ability
+  to systematically explore the UI": uniform random choice among events,
+  one long run, no replay support;
+* **Dynodroid** — "randomly explores the UI events and unlike ours, does
+  not provide easy replay.  However, ... Dynodroid can simulate intents":
+  frequency-aware random selection (its BiasedRandom strategy prefers
+  least-recently-selected events) including injectable broadcast intents.
+
+Both produce a single continuous trace per run; the comparison benchmark
+measures how many events each strategy needs before race detection first
+reports something.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.android.system import AndroidSystem
+from repro.android.views import UIEvent
+from repro.core.race_detector import RaceReport, detect_races
+from repro.core.trace import ExecutionTrace
+
+from .events import event_key, filter_events
+from .ui_explorer import AppModel
+
+
+@dataclass
+class RandomRunResult:
+    """Outcome of one random-testing session."""
+
+    app_name: str
+    strategy: str
+    events_fired: List[str]
+    trace: ExecutionTrace
+    report: RaceReport
+    events_to_first_race: Optional[int]  # None if no race was ever found
+
+    def describe(self) -> str:
+        found = (
+            "first race after %d events" % self.events_to_first_race
+            if self.events_to_first_race is not None
+            else "no race in %d events" % len(self.events_fired)
+        )
+        return "%s/%s: %s" % (self.app_name, self.strategy, found)
+
+
+class RandomExplorerBase:
+    """One continuous run firing randomly chosen events."""
+
+    strategy = "random"
+    #: event kinds the strategy can generate
+    include_kinds: Optional[Sequence[str]] = None
+    exclude_kinds: Sequence[str] = ("rotate",)
+
+    def __init__(self, app: AppModel, budget: int = 10, seed: int = 0):
+        self.app = app
+        self.budget = budget
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def choose(self, events: List[UIEvent]) -> UIEvent:
+        raise NotImplementedError
+
+    def run(self, check_every: int = 1) -> RandomRunResult:
+        """Fire up to ``budget`` events; detect races on the growing trace
+        every ``check_every`` events (to compute events-to-first-race)."""
+        system = self.app.build(self.seed)
+        system.run_to_quiescence()
+        fired: List[str] = []
+        first_race_at: Optional[int] = None
+        for step in range(self.budget):
+            events = filter_events(
+                system.enabled_events(),
+                include_kinds=self.include_kinds,
+                exclude_kinds=self.exclude_kinds,
+            )
+            if not events:
+                break
+            event = self.choose(events)
+            system.fire(event)
+            system.run_to_quiescence()
+            fired.append(event_key(event))
+            if first_race_at is None and (step + 1) % check_every == 0:
+                snapshot = system.env.build_trace("%s-snapshot" % self.app.name)
+                if detect_races(snapshot).races:
+                    first_race_at = step + 1
+        trace = system.finish("%s[%s]" % (self.app.name, self.strategy))
+        report = detect_races(trace)
+        if first_race_at is None and report.races:
+            first_race_at = len(fired)
+        return RandomRunResult(
+            app_name=self.app.name,
+            strategy=self.strategy,
+            events_fired=fired,
+            trace=trace,
+            report=report,
+            events_to_first_race=first_race_at,
+        )
+
+
+class MonkeyExplorer(RandomExplorerBase):
+    """Uniform random events, UI only (no intents — Monkey cannot inject
+    them), no state: the weakest baseline."""
+
+    strategy = "monkey"
+    include_kinds = ("click", "long-click", "text", "back")
+
+    def choose(self, events: List[UIEvent]) -> UIEvent:
+        return self.rng.choice(events)
+
+
+class DynodroidExplorer(RandomExplorerBase):
+    """Dynodroid's BiasedRandom: prefer events selected least often so
+    far; can inject broadcast intents."""
+
+    strategy = "dynodroid"
+    include_kinds = ("click", "long-click", "text", "back", "intent")
+
+    def __init__(self, app: AppModel, budget: int = 10, seed: int = 0):
+        super().__init__(app, budget, seed)
+        self._frequency: Dict[str, int] = {}
+
+    def choose(self, events: List[UIEvent]) -> UIEvent:
+        least = min(self._frequency.get(event_key(e), 0) for e in events)
+        candidates = [
+            e for e in events if self._frequency.get(event_key(e), 0) == least
+        ]
+        chosen = self.rng.choice(candidates)
+        key = event_key(chosen)
+        self._frequency[key] = self._frequency.get(key, 0) + 1
+        return chosen
+
+
+def compare_strategies(
+    app: AppModel,
+    budget: int = 8,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Dict[str, List[RandomRunResult]]:
+    """Run each random strategy over several seeds (the systematic
+    explorer is compared separately — it enumerates, rather than samples,
+    sequences)."""
+    out: Dict[str, List[RandomRunResult]] = {}
+    for explorer_cls in (MonkeyExplorer, DynodroidExplorer):
+        runs = [
+            explorer_cls(app, budget=budget, seed=seed).run() for seed in seeds
+        ]
+        out[explorer_cls.strategy] = runs
+    return out

@@ -1,0 +1,281 @@
+"""Automated race validation by schedule perturbation.
+
+The paper validated reported races manually: "For multi-threaded and
+cross-posted races, stall certain threads using breakpoints, giving
+others the opportunity to progress or to enforce a different ordering of
+asynchronous procedure calls" (§6).  We automate the idea: re-run the
+application under many schedules (seeds) and record the *order* in which
+the two racy accesses hit memory.  A report is **validated** when both
+orders are observed across schedules — direct evidence the pair is
+reorderable (a true positive); a report whose order never flips across
+the budget is *unconfirmed* (false positives land here, since their
+hidden causality fixes the order in every run).
+
+This replaces the paper's debugger sessions with the determinism of the
+simulator: every run is replayable by seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.android.system import AndroidSystem
+from repro.core.race_detector import Race
+from repro.core.trace import ExecutionTrace, field_of_location
+
+from .events import find_event
+from .ui_explorer import AppModel
+
+
+@dataclass
+class OrderObservation:
+    """Access order of one location's first racy pair in one run."""
+
+    seed: int
+    first_thread: str
+    first_task: Optional[str]
+    order_key: Tuple[str, str]  # (kind@thread/task of 1st, of 2nd)
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one reported race."""
+
+    field_name: str
+    observations: List[OrderObservation]
+    orders_seen: List[Tuple[str, str]]
+
+    @property
+    def validated(self) -> bool:
+        """True when at least two distinct access orders were observed —
+        the §6 criterion ('we could produce alternate ordering of racey
+        memory accesses than the reported order')."""
+        return len(self.orders_seen) >= 2
+
+    def describe(self) -> str:
+        status = "VALIDATED" if self.validated else "unconfirmed"
+        return "%s: %s (%d orders across %d runs)" % (
+            self.field_name,
+            status,
+            len(self.orders_seen),
+            len(self.observations),
+        )
+
+
+class ScheduleExplorer:
+    """Re-runs an app model under many schedules to validate races."""
+
+    def __init__(
+        self,
+        app: AppModel,
+        events: Sequence[str] = (),
+        seeds: Sequence[int] = tuple(range(12)),
+        eager_events: bool = True,
+    ):
+        self.app = app
+        self.events = list(events)
+        self.seeds = list(seeds)
+        #: fire events as soon as the UI is up (racy windows stay open)
+        self.eager_events = eager_events
+
+    # -- running ------------------------------------------------------------
+
+    def _run(self, seed: int) -> ExecutionTrace:
+        system = self.app.build(seed)
+        if self.eager_events:
+            system.env.run_until(
+                lambda: system.screen.foreground is not None
+            )
+        else:
+            system.run_to_quiescence()
+        for key in self.events:
+            event = find_event(system.enabled_events(), key)
+            if event is not None:
+                system.fire(event)
+                if not self.eager_events:
+                    system.run_to_quiescence()
+        system.run_to_quiescence()
+        return system.finish("%s@seed%d" % (self.app.name, seed))
+
+    # -- order extraction ------------------------------------------------------
+
+    @staticmethod
+    def _access_signature(trace: ExecutionTrace, index: int) -> str:
+        op = trace[index]
+        task = trace.task_name_of(index)
+        base_task = (task or "-").split("#", 1)[0]
+        return "%s@%s/%s" % (op.kind.value, op.thread, base_task)
+
+    def _first_conflicting_order(
+        self, trace: ExecutionTrace, field_name: str
+    ) -> Optional[Tuple[str, str, str, Optional[str]]]:
+        """Signatures of the first conflicting access pair on the field
+        (distinct signatures, at least one write)."""
+        accesses = [
+            op
+            for op in trace.memory_accesses()
+            if field_of_location(op.location) == field_name
+        ]
+        for i, first in enumerate(accesses):
+            sig_first = self._access_signature(trace, first.index)
+            for second in accesses[i + 1 :]:
+                if not (first.is_write or second.is_write):
+                    continue
+                sig_second = self._access_signature(trace, second.index)
+                if sig_second == sig_first:
+                    continue
+                return (
+                    sig_first,
+                    sig_second,
+                    first.thread,
+                    trace.task_name_of(first.index),
+                )
+        return None
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate_field(self, field_name: str) -> ValidationResult:
+        observations: List[OrderObservation] = []
+        orders: Dict[Tuple[str, str], None] = {}
+        for seed in self.seeds:
+            trace = self._run(seed)
+            found = self._first_conflicting_order(trace, field_name)
+            if found is None:
+                continue
+            sig_first, sig_second, thread, task = found
+            key = (sig_first, sig_second)
+            orders.setdefault(key, None)
+            observations.append(
+                OrderObservation(
+                    seed=seed,
+                    first_thread=thread,
+                    first_task=task,
+                    order_key=key,
+                )
+            )
+        return ValidationResult(
+            field_name=field_name,
+            observations=observations,
+            orders_seen=list(orders),
+        )
+
+    def validate_race(self, race: Race) -> ValidationResult:
+        return self.validate_field(race.field_name)
+
+    def validate_report(self, races: Sequence[Race]) -> Dict[str, ValidationResult]:
+        out: Dict[str, ValidationResult] = {}
+        for race in races:
+            if race.field_name not in out:
+                out[race.field_name] = self.validate_race(race)
+        return out
+
+    # -- adversarial strategies (the three §6 bullet points) ----------------------
+
+    def validate_field_adversarially(self, field_name: str) -> ValidationResult:
+        """Seed sweep plus the paper's targeted perturbations:
+
+        1. *stall threads* — rerun with the first access's thread (and, if
+           inside a task, its posting thread) held back until the second
+           access lands (multithreaded / cross-posted races);
+        2. *change the order of triggering events* — rerun with the event
+           sequence reversed (co-enabled races).
+        """
+        result = self.validate_field(field_name)
+        if result.validated or not result.observations:
+            return result
+        orders = {key: None for key in result.orders_seen}
+        observations = list(result.observations)
+
+        baseline = result.observations[0]
+        stall_targets = [baseline.first_thread]
+        if baseline.first_task is not None:
+            trace = self._run(baseline.seed)
+            info = trace.tasks.get(baseline.first_task)
+            if info is not None and info.poster_thread not in stall_targets:
+                stall_targets.append(info.poster_thread)
+        second_sig = baseline.order_key[1]
+
+        for stall_thread in stall_targets:
+            if stall_thread is None:
+                continue
+            found = self._run_stalled(
+                baseline.seed, field_name, stall_thread, second_sig
+            )
+            if found is not None:
+                observations.append(found)
+                orders.setdefault(found.order_key, None)
+
+        if len(orders) < 2 and self.events:
+            reversed_explorer = ScheduleExplorer(
+                self.app,
+                events=list(reversed(self.events)),
+                seeds=self.seeds[:4],
+                eager_events=self.eager_events,
+            )
+            for seed in reversed_explorer.seeds:
+                trace = reversed_explorer._run(seed)
+                found = self._first_conflicting_order(trace, field_name)
+                if found is not None:
+                    sig_first, sig_second, thread, task = found
+                    key = (sig_first, sig_second)
+                    orders.setdefault(key, None)
+                    observations.append(
+                        OrderObservation(seed, thread, task, key)
+                    )
+
+        return ValidationResult(
+            field_name=field_name,
+            observations=observations,
+            orders_seen=list(orders),
+        )
+
+    def _run_stalled(
+        self,
+        seed: int,
+        field_name: str,
+        stall_thread: str,
+        release_signature: str,
+    ) -> Optional[OrderObservation]:
+        """One run with ``stall_thread`` held until an access matching the
+        second signature is logged."""
+        from repro.android.scheduler import RandomPolicy, StallPolicy
+        from repro.core.operations import OpKind
+
+        kind_name, rest = release_signature.split("@", 1)
+        release_thread = rest.split("/", 1)[0]
+        want_kind = OpKind(kind_name)
+
+        def release_when(env) -> bool:
+            for op in reversed(env.ops):
+                if (
+                    op.kind is want_kind
+                    and op.thread == release_thread
+                    and op.location is not None
+                    and field_of_location(op.location) == field_name
+                ):
+                    return True
+            return False
+
+        policy = StallPolicy(RandomPolicy(seed), stall_thread, release_when)
+        system = self.app.build(seed)
+        # Rebuild with the adversarial policy driving the same app.
+        system.env.policy = policy
+        policy.attach(system.env)
+        if self.eager_events:
+            system.env.run_until(lambda: system.screen.foreground is not None)
+        else:
+            system.run_to_quiescence()
+        for key in self.events:
+            event = find_event(system.enabled_events(), key)
+            if event is not None:
+                system.fire(event)
+                if not self.eager_events:
+                    system.run_to_quiescence()
+        system.run_to_quiescence()
+        trace = system.finish("%s@stall-%s" % (self.app.name, stall_thread))
+        found = self._first_conflicting_order(trace, field_name)
+        if found is None:
+            return None
+        sig_first, sig_second, thread, task = found
+        return OrderObservation(seed, thread, task, (sig_first, sig_second))

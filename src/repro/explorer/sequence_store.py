@@ -1,0 +1,110 @@
+"""The explored-sequence database.
+
+DroidRacer stores generated event sequences "in a database … used for
+backtracking and replay" (§5).  This is that database: every run is
+recorded with its event sequence, the scheduling decisions (for exact
+replay), and summary statistics; the explorer consults it to avoid
+re-exploring prefixes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.trace import ExecutionTrace
+
+
+@dataclass
+class RunRecord:
+    """One completed testing run."""
+
+    run_id: int
+    sequence: Tuple[str, ...]  # event keys, in firing order
+    trace: Optional[ExecutionTrace]
+    decisions: Tuple[str, ...] = ()  # scheduler decisions, for replay
+    enabled_after: Tuple[str, ...] = ()  # events enabled at the end
+
+    @property
+    def depth(self) -> int:
+        return len(self.sequence)
+
+    def describe(self) -> str:
+        seq = " -> ".join(self.sequence) if self.sequence else "<empty>"
+        return "run %d [%s]" % (self.run_id, seq)
+
+
+class SequenceStore:
+    """In-memory store of explored event sequences."""
+
+    def __init__(self):
+        self._runs: List[RunRecord] = []
+        self._by_sequence: Dict[Tuple[str, ...], int] = {}
+
+    def record(
+        self,
+        sequence: Sequence[str],
+        trace: Optional[ExecutionTrace],
+        decisions: Sequence[str] = (),
+        enabled_after: Sequence[str] = (),
+    ) -> RunRecord:
+        run = RunRecord(
+            run_id=len(self._runs),
+            sequence=tuple(sequence),
+            trace=trace,
+            decisions=tuple(decisions),
+            enabled_after=tuple(enabled_after),
+        )
+        self._runs.append(run)
+        self._by_sequence[run.sequence] = run.run_id
+        return run
+
+    def explored(self, sequence: Sequence[str]) -> bool:
+        return tuple(sequence) in self._by_sequence
+
+    def lookup(self, sequence: Sequence[str]) -> Optional[RunRecord]:
+        run_id = self._by_sequence.get(tuple(sequence))
+        return None if run_id is None else self._runs[run_id]
+
+    @property
+    def runs(self) -> List[RunRecord]:
+        return list(self._runs)
+
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def frontier(self, depth: int) -> List[RunRecord]:
+        """Runs whose sequences can still be extended (shorter than the
+        bound and with events enabled afterwards)."""
+        return [
+            run
+            for run in self._runs
+            if run.depth < depth and run.enabled_after
+        ]
+
+    # -- persistence (sequence metadata only; traces are separate) --------------
+
+    def to_json(self) -> str:
+        records = [
+            {
+                "run_id": run.run_id,
+                "sequence": list(run.sequence),
+                "decisions": list(run.decisions),
+                "enabled_after": list(run.enabled_after),
+            }
+            for run in self._runs
+        ]
+        return json.dumps(records, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SequenceStore":
+        store = cls()
+        for rec in json.loads(text):
+            store.record(
+                rec["sequence"],
+                trace=None,
+                decisions=rec.get("decisions", ()),
+                enabled_after=rec.get("enabled_after", ()),
+            )
+        return store

@@ -1,0 +1,156 @@
+"""The UI Explorer — systematic testing of simulated applications.
+
+Implements the paper's §5 component: depth-first generation of UI event
+sequences up to a bound ``k``, one fresh run per sequence (backtracking is
+re-execution from scratch, replaying the stored prefix), firing each event
+only after the previous one is fully consumed (quiescence).
+
+An application is anything implementing :class:`AppModel`: a factory that
+builds a booted :class:`~repro.android.system.AndroidSystem` with the app
+launched.  Determinism of the runtime (fixed seed) makes prefix replay
+exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.android.system import AndroidSystem
+from repro.android.views import UIEvent
+from repro.core.trace import ExecutionTrace
+
+from .events import event_key, filter_events, find_event
+from .sequence_store import RunRecord, SequenceStore
+
+
+class AppModel:
+    """Interface the explorer drives."""
+
+    #: application name (used in reports and trace names)
+    name: str = "app"
+
+    def build(self, seed: int = 0) -> AndroidSystem:
+        """Create a fresh system with the application launched (but not yet
+        run — the explorer runs it to quiescence)."""
+        raise NotImplementedError
+
+
+@dataclass
+class ExplorationResult:
+    """Everything an exploration produced."""
+
+    app_name: str
+    store: SequenceStore
+    depth: int
+    runs_executed: int
+
+    @property
+    def traces(self) -> List[ExecutionTrace]:
+        return [run.trace for run in self.store.runs if run.trace is not None]
+
+    def deepest_run(self) -> Optional[RunRecord]:
+        runs = [r for r in self.store.runs if r.trace is not None]
+        if not runs:
+            return None
+        return max(runs, key=lambda r: len(r.trace))
+
+    def run_with_longest_trace(self) -> Optional[RunRecord]:
+        return self.deepest_run()
+
+
+class UIExplorer:
+    """Bounded depth-first systematic explorer."""
+
+    def __init__(
+        self,
+        app: AppModel,
+        depth: int = 3,
+        seed: int = 0,
+        max_runs: Optional[int] = None,
+        max_branching: Optional[int] = None,
+        include_kinds: Optional[Sequence[str]] = None,
+        exclude_kinds: Sequence[str] = ("rotate",),
+    ):
+        self.app = app
+        self.depth = depth
+        self.seed = seed
+        self.max_runs = max_runs
+        self.max_branching = max_branching
+        self.include_kinds = include_kinds
+        self.exclude_kinds = tuple(exclude_kinds)
+        self.store = SequenceStore()
+        self._runs_executed = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def explore(self) -> ExplorationResult:
+        """Run the depth-first exploration; returns all recorded runs."""
+        self._runs_executed = 0
+        self._explore_from(())
+        return ExplorationResult(
+            app_name=self.app.name,
+            store=self.store,
+            depth=self.depth,
+            runs_executed=self._runs_executed,
+        )
+
+    def run_sequence(self, sequence: Sequence[str]) -> RunRecord:
+        """Execute (or replay) one event sequence and record it."""
+        system = self.app.build(self.seed)
+        system.run_to_quiescence()
+        fired: List[str] = []
+        for key in sequence:
+            event = find_event(system.enabled_events(), key)
+            if event is None:
+                break  # divergence: the stored event is no longer enabled
+            system.fire(event)
+            system.run_to_quiescence()
+            fired.append(key)
+        enabled = self._candidate_events(system)
+        trace = system.finish("%s[%s]" % (self.app.name, ",".join(fired) or "-"))
+        self._runs_executed += 1
+        return self.store.record(
+            fired,
+            trace,
+            decisions=system.env.decisions,
+            enabled_after=[event_key(e) for e in enabled],
+        )
+
+    # -- DFS -----------------------------------------------------------------------
+
+    def _explore_from(self, prefix: Tuple[str, ...]) -> None:
+        if self.max_runs is not None and self._runs_executed >= self.max_runs:
+            return
+        run = self.run_sequence(prefix)
+        if tuple(run.sequence) != prefix:
+            return  # replay diverged; do not extend a broken prefix
+        if len(prefix) >= self.depth:
+            return
+        for key in run.enabled_after:
+            if self.max_runs is not None and self._runs_executed >= self.max_runs:
+                return
+            extended = prefix + (key,)
+            if not self.store.explored(extended):
+                self._explore_from(extended)
+
+    def _candidate_events(self, system: AndroidSystem) -> List[UIEvent]:
+        events = filter_events(
+            system.enabled_events(),
+            include_kinds=self.include_kinds,
+            exclude_kinds=self.exclude_kinds,
+        )
+        if self.max_branching is not None:
+            events = events[: self.max_branching]
+        return events
+
+
+def explore(
+    app: AppModel,
+    depth: int = 3,
+    seed: int = 0,
+    max_runs: Optional[int] = None,
+    **kwargs,
+) -> ExplorationResult:
+    """One-call exploration."""
+    return UIExplorer(app, depth=depth, seed=seed, max_runs=max_runs, **kwargs).explore()

@@ -1,0 +1,15 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.apps.paper_traces import figure3_trace, figure4_trace
+
+
+@pytest.fixture
+def fig3():
+    return figure3_trace()
+
+
+@pytest.fixture
+def fig4():
+    return figure4_trace()

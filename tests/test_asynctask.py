@@ -1,0 +1,201 @@
+"""Tests for the AsyncTask protocol."""
+
+import pytest
+
+from repro.android import AndroidSystem, AsyncTask, Ctx, MainThreadError, UIEvent
+from repro.android.activity import Activity
+from repro.core import detect_races, validate_trace
+from repro.core.operations import OpKind
+
+
+class RecordingTask(AsyncTask):
+    """Records which thread each callback ran on."""
+
+    def __init__(self, env, log):
+        super().__init__(env, name="RecordingTask")
+        self.log = log
+
+    def on_pre_execute(self, ctx: Ctx) -> None:
+        self.log.append(("pre", ctx.thread.name))
+
+    def do_in_background(self, ctx: Ctx, *params):
+        self.log.append(("bg", ctx.thread.name, params))
+        self.publish_progress(ctx, 50)
+        yield
+        return "result"
+
+    def on_progress_update(self, ctx: Ctx, value) -> None:
+        self.log.append(("progress", ctx.thread.name, value))
+
+    def on_post_execute(self, ctx: Ctx, result) -> None:
+        self.log.append(("post", ctx.thread.name, result))
+
+    def on_cancelled(self, ctx: Ctx, result) -> None:
+        self.log.append(("cancelled", ctx.thread.name))
+
+
+class HostActivity(Activity):
+    task_factory = None
+
+    def on_resume(self, ctx: Ctx) -> None:
+        type(self).task_instance = type(self).task_factory(self.env)
+        type(self).task_instance.execute(ctx, "arg1")
+
+
+def run_with_task(factory, seed=0):
+    HostActivity.task_factory = staticmethod(factory)
+    system = AndroidSystem(seed=seed, name="async-test")
+    system.launch(HostActivity)
+    system.run_to_quiescence()
+    trace = system.finish()
+    return system, trace
+
+
+class TestProtocol:
+    def test_callbacks_run_on_correct_threads_in_order(self):
+        log = []
+        system, trace = run_with_task(lambda env: RecordingTask(env, log))
+        validate_trace(trace)
+        stages = [entry[0] for entry in log]
+        assert stages == ["pre", "bg", "progress", "post"]
+        assert log[0][1] == "main"
+        assert log[1][1] != "main"  # background thread
+        assert log[2][1] == "main" and log[2][2] == 50
+        assert log[3][1] == "main" and log[3][2] == "result"
+
+    def test_background_thread_forked_and_exits(self):
+        log = []
+        system, trace = run_with_task(lambda env: RecordingTask(env, log))
+        bg = log[1][1]
+        kinds = [(op.kind, op.thread) for op in trace]
+        assert (OpKind.FORK, "main") in kinds
+        assert (OpKind.THREAD_INIT, bg) in kinds
+        assert (OpKind.THREAD_EXIT, bg) in kinds
+
+    def test_progress_and_completion_are_posts_to_main(self):
+        log = []
+        system, trace = run_with_task(lambda env: RecordingTask(env, log))
+        posts = [op for op in trace if op.kind is OpKind.POST]
+        names = [op.task for op in posts]
+        assert any("onProgressUpdate" in n for n in names)
+        assert any("onPostExecute" in n for n in names)
+
+    def test_execute_off_main_thread_rejected(self):
+        class BadActivity(Activity):
+            def on_resume(self, ctx: Ctx) -> None:
+                task = RecordingTask(self.env, [])
+
+                def off_main(tctx: Ctx):
+                    task.execute(tctx)
+
+                ctx.fork(off_main, name="rogue")
+
+        system = AndroidSystem(seed=0)
+        system.launch(BadActivity)
+        from repro.android.errors import AppCrashError
+
+        with pytest.raises(AppCrashError) as info:
+            system.run_to_quiescence()
+        assert isinstance(info.value.original, MainThreadError)
+
+
+class TestCancellation:
+    def test_cancelled_task_runs_on_cancelled_instead(self):
+        class CancellableTask(RecordingTask):
+            def do_in_background(self, ctx: Ctx, *params):
+                self.log.append(("bg", ctx.thread.name, params))
+                self.cancel()
+                yield
+                return None
+
+        log = []
+        system, trace = run_with_task(lambda env: CancellableTask(env, log))
+        stages = [entry[0] for entry in log]
+        assert "cancelled" in stages
+        assert "post" not in stages
+
+    def test_cancel_after_finish_returns_false(self):
+        log = []
+        system, trace = run_with_task(lambda env: RecordingTask(env, log))
+        assert not HostActivity.task_instance.cancel()
+
+
+class TestSerialExecutor:
+    def test_serial_executor_orders_backgrounds(self):
+        order = []
+
+        class SerialTask(AsyncTask):
+            def __init__(self, env, tag):
+                super().__init__(env, name="Serial%s" % tag)
+                self.tag = tag
+
+            def do_in_background(self, ctx: Ctx, *params):
+                order.append(("start", self.tag))
+                yield
+                order.append(("finish", self.tag))
+                return None
+
+        class SerialActivity(Activity):
+            def on_resume(self, ctx: Ctx) -> None:
+                SerialTask(self.env, "A").execute_on_serial_executor(ctx)
+                SerialTask(self.env, "B").execute_on_serial_executor(ctx)
+
+        system = AndroidSystem(seed=3, name="serial")
+        system.launch(SerialActivity)
+        system.run_to_quiescence()
+        trace = system.finish()
+        validate_trace(trace)
+        assert order == [
+            ("start", "A"),
+            ("finish", "A"),
+            ("start", "B"),
+            ("finish", "B"),
+        ]
+
+    def test_serial_tasks_fifo_ordered_no_race(self):
+        """Bodies run as tasks on one looper with ordered posts — a shared
+        field written by both is FIFO-ordered, not racy."""
+        class WriterTask(AsyncTask):
+            def __init__(self, env, obj):
+                super().__init__(env, name="Writer")
+                self.obj = obj
+
+            def do_in_background(self, ctx: Ctx, *params):
+                ctx.write(self.obj, "shared", self.name)
+
+        class TwoWriters(Activity):
+            def on_resume(self, ctx: Ctx) -> None:
+                WriterTask(self.env, self.obj).execute_on_serial_executor(ctx)
+                WriterTask(self.env, self.obj).execute_on_serial_executor(ctx)
+
+        system = AndroidSystem(seed=1, name="serial-race")
+        system.launch(TwoWriters)
+        system.run_to_quiescence()
+        trace = system.finish()
+        report = detect_races(trace)
+        shared = [r for r in report.races if r.location.endswith("shared")]
+        assert shared == []
+
+    def test_forked_backgrounds_do_race(self):
+        """The same two writers with plain execute (fresh thread each) DO
+        race — the serial executor is the ordering."""
+        class WriterTask(AsyncTask):
+            def __init__(self, env, obj):
+                super().__init__(env, name="Writer")
+                self.obj = obj
+
+            def do_in_background(self, ctx: Ctx, *params):
+                ctx.write(self.obj, "shared", self.name)
+
+        class TwoWriters(Activity):
+            def on_resume(self, ctx: Ctx) -> None:
+                WriterTask(self.env, self.obj).execute(ctx)
+                WriterTask(self.env, self.obj).execute(ctx)
+
+        system = AndroidSystem(seed=1, name="forked-race")
+        system.launch(TwoWriters)
+        system.run_to_quiescence()
+        trace = system.finish()
+        report = detect_races(trace)
+        shared = [r for r in report.races if r.location.endswith("shared")]
+        assert len(shared) == 1

@@ -1,0 +1,233 @@
+"""Ablation tests: the baseline relations behave as the paper argues
+(§1, §4.1 'Specializations', §7)."""
+
+import pytest
+
+from repro.core.baselines import (
+    ALL_CONFIGS,
+    EVENT_DRIVEN_ONLY,
+    MULTITHREADED_ONLY,
+    NAIVE_COMBINED,
+    NO_ENABLE,
+    NO_FIFO,
+)
+from repro.core.happens_before import ANDROID_HB, HappensBefore
+from repro.core.operations import (
+    acquire,
+    attachq,
+    begin,
+    enable,
+    end,
+    fork,
+    looponq,
+    post,
+    read,
+    release,
+    threadinit,
+    write,
+)
+from repro.core.race_detector import detect_races
+from repro.core.trace import ExecutionTrace
+
+PRELUDE = [threadinit("t"), attachq("t"), looponq("t")]
+
+
+def single_threaded_race_trace():
+    """Two unordered tasks on the main thread writing one location — the
+    race class only event-aware analyses can see."""
+    return ExecutionTrace(
+        PRELUDE
+        + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),
+            begin("t", "p1"),
+            write("t", "O@1.x"),
+            end("t", "p1"),
+            begin("t", "p2"),
+            write("t", "O@1.x"),
+            end("t", "p2"),
+        ]
+    )
+
+
+def lock_masked_race_trace():
+    """Two same-thread tasks sharing a lock also used by another thread —
+    really racy; the naive combination spuriously orders them."""
+    return ExecutionTrace(
+        PRELUDE
+        + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),
+            begin("t", "p1"),
+            acquire("t", "l"),
+            write("t", "O@1.x"),
+            release("t", "l"),
+            end("t", "p1"),
+            acquire("u", "l"),
+            release("u", "l"),
+            begin("t", "p2"),
+            acquire("t", "l"),
+            write("t", "O@1.x"),
+            release("t", "l"),
+            end("t", "p2"),
+        ]
+    )
+
+
+def lock_protected_mt_trace():
+    """A cross-thread pair correctly ordered by a lock — event-only
+    analysis reports a false positive here."""
+    return ExecutionTrace(
+        [
+            threadinit("t"),
+            threadinit("u"),
+            acquire("t", "l"),
+            write("t", "O@1.x"),
+            release("t", "l"),
+            acquire("u", "l"),
+            write("u", "O@1.x"),
+            release("u", "l"),
+        ]
+    )
+
+
+class TestMultithreadedOnly:
+    def test_misses_single_threaded_races(self):
+        """Full program order on the looper thread hides event races —
+        'they ... filter away races among procedures running on the same
+        thread, and thereby, miss single-threaded races' (§7)."""
+        trace = single_threaded_race_trace()
+        android = detect_races(trace, config=ANDROID_HB)
+        mt_only = detect_races(trace, config=MULTITHREADED_ONLY)
+        assert len(android.races) == 1
+        assert mt_only.races == []
+
+    def test_still_finds_multithreaded_races(self):
+        trace = ExecutionTrace(
+            [threadinit("t"), threadinit("u"), write("t", "x"), write("u", "x")]
+        )
+        assert len(detect_races(trace, config=MULTITHREADED_ONLY).races) == 1
+
+    def test_respects_locks(self):
+        assert detect_races(lock_protected_mt_trace(), config=MULTITHREADED_ONLY).races == []
+
+
+class TestEventDrivenOnly:
+    def test_false_positive_on_lock_protected_pair(self):
+        trace = lock_protected_mt_trace()
+        android = detect_races(trace, config=ANDROID_HB)
+        event_only = detect_races(trace, config=EVENT_DRIVEN_ONLY)
+        assert android.races == []
+        assert len(event_only.races) == 1
+
+    def test_false_positive_on_fork_ordered_pair(self):
+        trace = ExecutionTrace(
+            [
+                threadinit("t"),
+                write("t", "x"),
+                fork("t", "u"),
+                threadinit("u"),
+                write("u", "x"),
+            ]
+        )
+        assert detect_races(trace, config=ANDROID_HB).races == []
+        assert len(detect_races(trace, config=EVENT_DRIVEN_ONLY).races) == 1
+
+    def test_still_finds_single_threaded_races(self):
+        assert len(detect_races(single_threaded_race_trace(), config=EVENT_DRIVEN_ONLY).races) == 1
+
+
+class TestNaiveCombined:
+    def test_misses_lock_masked_single_threaded_race(self):
+        """The §1 motivation: the naive combination induces an ordering
+        between two same-thread tasks that merely share a lock."""
+        trace = lock_masked_race_trace()
+        android = detect_races(trace, config=ANDROID_HB)
+        naive = detect_races(trace, config=NAIVE_COMBINED)
+        assert len(android.races) == 1  # the real race is reported
+        assert naive.races == []  # the naive relation masks it
+
+    def test_agrees_on_plain_multithreaded_race(self):
+        trace = ExecutionTrace(
+            [threadinit("t"), threadinit("u"), write("t", "x"), write("u", "x")]
+        )
+        assert len(detect_races(trace, config=NAIVE_COMBINED).races) == 1
+
+
+class TestNoEnable:
+    def test_lifecycle_false_positive_without_enables(self):
+        trace = ExecutionTrace(
+            [
+                threadinit("b1"),
+                threadinit("b2"),
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                post("b1", "LAUNCH", "t"),
+                begin("t", "LAUNCH"),
+                write("t", "act.flag"),
+                enable("t", "onDestroy"),
+                end("t", "LAUNCH"),
+                post("b2", "onDestroy", "t"),
+                begin("t", "onDestroy"),
+                write("t", "act.flag"),
+                end("t", "onDestroy"),
+            ]
+        )
+        assert detect_races(trace, config=ANDROID_HB).races == []
+        assert len(detect_races(trace, config=NO_ENABLE).races) == 1
+
+
+class TestNoFifo:
+    def test_fifo_ordered_tasks_race_without_the_rule(self):
+        trace = ExecutionTrace(
+            PRELUDE
+            + [
+                threadinit("u"),
+                post("u", "p1", "t"),
+                post("u", "p2", "t"),
+                begin("t", "p1"),
+                write("t", "x"),
+                end("t", "p1"),
+                begin("t", "p2"),
+                write("t", "x"),
+                end("t", "p2"),
+            ]
+        )
+        assert detect_races(trace, config=ANDROID_HB).races == []
+        assert len(detect_races(trace, config=NO_FIFO).races) == 1
+
+
+class TestConfigRegistry:
+    def test_all_configs_run_on_figure4(self):
+        from repro.apps.paper_traces import figure4_trace
+
+        for name, config in ALL_CONFIGS.items():
+            report = detect_races(figure4_trace(), config=config)
+            assert report is not None, name
+
+    def test_android_config_is_default(self):
+        from repro.core.happens_before import HBConfig
+
+        assert ALL_CONFIGS["android"] == HBConfig()
+
+
+class TestInclusionProperties:
+    """Structural sanity: the android relation orders everything the
+    event-only relation orders (event rules are a subset), so its race
+    *pairs* are a subset of event-only's."""
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_android_races_subset_of_event_only(self, seed):
+        from repro.apps.music_player import run_scenario
+
+        _, trace = run_scenario(press_back=True, seed=seed)
+        android = detect_races(trace, config=ANDROID_HB)
+        event_only = detect_races(trace, config=EVENT_DRIVEN_ONLY)
+        android_keys = {(r.location, r.category) for r in android.races}
+        event_keys = {(r.location, r.category) for r in event_only.races}
+        assert android_keys <= event_keys

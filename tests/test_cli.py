@@ -1,0 +1,86 @@
+"""Tests for the droidracer command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_table3_open_source(self, capsys):
+        assert main(["table3", "--open-source-only", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "Aard Dictionary" in out
+        assert "Total" in out
+        assert "27 (15)" in out  # paper's multithreaded total
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--open-source-only", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "K-9 Mail" in out
+
+    def test_performance(self, capsys):
+        assert main(["performance", "--open-source-only", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction ratio" in out
+
+
+class TestRun:
+    def test_run_single_app(self, capsys):
+        assert main(["run", "Music Player", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-posted: 17" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "Nonexistent"])
+
+
+class TestDemo:
+    def test_demo_with_save_trace_roundtrips(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["demo", "dictionary", "--save-trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "race report" in out
+
+    def test_demo_with_explicit_events(self, capsys):
+        assert main(["demo", "music-player", "--events", "back"]) == 0
+        out = capsys.readouterr().out
+        assert "2 race reports" in out
+
+    def test_demo_unknown_event_lists_available(self, capsys):
+        assert main(["demo", "music-player", "--events", "click:nope"]) == 1
+        out = capsys.readouterr().out
+        assert "not enabled" in out and "back" in out
+
+
+class TestExplore:
+    def test_explore_demo(self, capsys):
+        assert main(["explore", "music-player", "--depth", "1", "--max-runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "music-player" in out
+        assert "race report" in out
+
+
+class TestAnalyze:
+    def test_analyze_trace_file(self, tmp_path, capsys):
+        from repro.apps.paper_traces import figure4_trace
+
+        path = tmp_path / "fig4.jsonl"
+        path.write_text(figure4_trace().to_jsonl())
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 race reports" in out
+        assert "multithreaded" in out and "cross-posted" in out
+
+    def test_analyze_with_explanations(self, tmp_path, capsys):
+        from repro.apps.paper_traces import figure4_trace
+
+        path = tmp_path / "fig4.jsonl"
+        path.write_text(figure4_trace().to_jsonl())
+        assert main(["analyze", str(path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "why these operations are unordered" in out
+        assert "post chain" in out

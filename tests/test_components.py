@@ -1,0 +1,272 @@
+"""Tests for component plumbing: activities via AMS, services,
+broadcasts, timers, idle handlers, handlers."""
+
+import pytest
+
+from repro.android import (
+    Activity,
+    AndroidSystem,
+    BroadcastReceiver,
+    Ctx,
+    Handler,
+    Service,
+    Timer,
+    UIEvent,
+    add_idle_handler,
+    fork_handler_thread,
+)
+from repro.core import HappensBefore, detect_races, validate_trace
+from repro.core.operations import OpKind
+
+
+class TestActivityStack:
+    class Second(Activity):
+        log = []
+
+        def on_create(self, ctx: Ctx) -> None:
+            TestActivityStack.Second.log.append("second-created")
+
+    class First(Activity):
+        log = []
+
+        def on_create(self, ctx: Ctx) -> None:
+            self.register_button(ctx, "go", on_click=self.on_go)
+
+        def on_go(self, ctx: Ctx) -> None:
+            self.start_activity(ctx, TestActivityStack.Second)
+
+        def on_stop(self, ctx: Ctx) -> None:
+            TestActivityStack.First.log.append("first-stopped")
+
+        def on_restart(self, ctx: Ctx) -> None:
+            TestActivityStack.First.log.append("first-restarted")
+
+    def test_start_activity_pauses_launches_stops(self):
+        TestActivityStack.First.log.clear()
+        TestActivityStack.Second.log.clear()
+        system = AndroidSystem(seed=2)
+        system.launch(TestActivityStack.First)
+        system.run_to_quiescence()
+        first = system.screen.foreground
+        system.fire(UIEvent("click", "go"))
+        system.run_to_quiescence()
+        assert TestActivityStack.Second.log == ["second-created"]
+        assert TestActivityStack.First.log == ["first-stopped"]
+        assert isinstance(system.screen.foreground, TestActivityStack.Second)
+        assert len(system.ams.stack) == 2
+
+    def test_back_returns_to_previous_activity(self):
+        TestActivityStack.First.log.clear()
+        system = AndroidSystem(seed=2)
+        system.launch(TestActivityStack.First)
+        system.run_to_quiescence()
+        system.fire(UIEvent("click", "go"))
+        system.run_to_quiescence()
+        system.fire(UIEvent("back"))
+        system.run_to_quiescence()
+        assert "first-restarted" in TestActivityStack.First.log
+        assert isinstance(system.screen.foreground, TestActivityStack.First)
+        assert len(system.ams.stack) == 1
+        trace = system.finish()
+        validate_trace(trace)
+
+    def test_programmatic_finish(self):
+        class SelfClosing(Activity):
+            def on_create(self, ctx: Ctx) -> None:
+                self.register_button(ctx, "close", on_click=self.on_close)
+
+            def on_close(self, ctx: Ctx) -> None:
+                self.finish(ctx)
+
+        system = AndroidSystem(seed=0)
+        system.launch(SelfClosing)
+        system.run_to_quiescence()
+        system.fire(UIEvent("click", "close"))
+        system.run_to_quiescence()
+        assert system.screen.foreground is None
+        assert system.ams.stack == []
+
+
+class TestServices:
+    class PingService(Service):
+        events = []
+
+        def on_create(self, ctx: Ctx) -> None:
+            type(self).events.append("create")
+
+        def on_start_command(self, ctx: Ctx, intent) -> None:
+            type(self).events.append(("start", intent))
+
+        def on_destroy(self, ctx: Ctx) -> None:
+            type(self).events.append("destroy")
+
+    class ServiceHost(Activity):
+        def on_resume(self, ctx: Ctx) -> None:
+            self.system.start_service(ctx, TestServices.PingService, intent="first")
+            self.system.start_service(ctx, TestServices.PingService, intent="again")
+            self.system.stop_service(ctx, TestServices.PingService)
+
+    def test_service_lifecycle_sequence(self):
+        TestServices.PingService.events = []
+        system = AndroidSystem(seed=0)
+        system.launch(TestServices.ServiceHost)
+        system.run_to_quiescence()
+        trace = system.finish()
+        validate_trace(trace)
+        assert TestServices.PingService.events == [
+            "create",
+            ("start", "first"),
+            ("start", "again"),
+            "destroy",
+        ]
+
+    def test_service_callbacks_enabled_before_posted(self):
+        TestServices.PingService.events = []
+        system = AndroidSystem(seed=0)
+        system.launch(TestServices.ServiceHost)
+        system.run_to_quiescence()
+        trace = system.finish()
+        hb = HappensBefore(trace)
+        posts = [op for op in trace if op.kind is OpKind.POST and op.event]
+        svc_posts = [op for op in posts if "Service" in (op.task or "")]
+        enables = {op.task: op.index for op in trace if op.kind is OpKind.ENABLE}
+        for post_op in svc_posts:
+            assert post_op.event in enables
+            assert hb.ordered(enables[post_op.event], post_op.index)
+
+
+class TestBroadcasts:
+    class Tick(BroadcastReceiver):
+        def __init__(self, system, log):
+            super().__init__(system)
+            self.log = log
+
+        def on_receive(self, ctx: Ctx, intent) -> None:
+            self.log.append(intent)
+
+    class BroadcastHost(Activity):
+        received = []
+
+        def on_resume(self, ctx: Ctx) -> None:
+            self.receiver = TestBroadcasts.Tick(self.system, type(self).received)
+            self.system.register_receiver(ctx, self.receiver, "TICK")
+            self.register_button(ctx, "send", on_click=self.on_send)
+
+        def on_send(self, ctx: Ctx) -> None:
+            self.system.send_broadcast(ctx, "TICK", intent="payload")
+
+    def test_broadcast_delivery(self):
+        TestBroadcasts.BroadcastHost.received = []
+        system = AndroidSystem(seed=0)
+        system.launch(TestBroadcasts.BroadcastHost)
+        system.run_to_quiescence()
+        system.fire(UIEvent("click", "send"))
+        system.run_to_quiescence()
+        assert TestBroadcasts.BroadcastHost.received == ["payload"]
+        trace = system.finish()
+        validate_trace(trace)
+
+    def test_unregistered_receiver_not_delivered(self):
+        TestBroadcasts.BroadcastHost.received = []
+        system = AndroidSystem(seed=0)
+        system.launch(TestBroadcasts.BroadcastHost)
+        system.run_to_quiescence()
+        activity = system.screen.foreground
+        system.broadcasts.unregister(activity.receiver)
+        system.fire(UIEvent("click", "send"))
+        system.run_to_quiescence()
+        assert TestBroadcasts.BroadcastHost.received == []
+
+    def test_send_returns_receiver_count(self):
+        system = AndroidSystem(seed=0)
+        system.launch(TestBroadcasts.BroadcastHost)
+        system.run_to_quiescence()
+
+        counts = []
+
+        def count_send():
+            counts.append(system.send_broadcast(system.env.main_ctx, "TICK"))
+
+        system.env.main.push_action(count_send)
+        system.run_to_quiescence()
+        assert counts == [1]
+
+
+class TestTimers:
+    class TimerHost(Activity):
+        ticks = []
+
+        def on_resume(self, ctx: Ctx) -> None:
+            timer = Timer(ctx, name="metronome")
+            timer.schedule(self._tick, period=100, runs=3)
+
+        def _tick(self, tctx: Ctx) -> None:
+            type(self).ticks.append(tctx.thread.name)
+
+    def test_timer_runs_on_its_own_thread(self):
+        TestTimers.TimerHost.ticks = []
+        system = AndroidSystem(seed=0)
+        system.launch(TestTimers.TimerHost)
+        system.run_to_quiescence()
+        assert TestTimers.TimerHost.ticks == ["metronome"] * 3
+        trace = system.finish()
+        validate_trace(trace)
+        enables = [op for op in trace if op.kind is OpKind.ENABLE and "timer" in op.task]
+        assert len(enables) == 3  # one per periodic execution
+
+
+class TestIdleHandlers:
+    class IdleHost(Activity):
+        order = []
+
+        def on_resume(self, ctx: Ctx) -> None:
+            add_idle_handler(ctx, self._on_idle, name="warmup")
+            ctx.post(self._busy, name="busyTask")
+
+        def _busy(self) -> None:
+            type(self).order.append("busy")
+
+        def _on_idle(self) -> None:
+            type(self).order.append("idle")
+
+    def test_idle_handler_runs_after_queue_drains(self):
+        TestIdleHandlers.IdleHost.order = []
+        system = AndroidSystem(seed=0)
+        system.launch(TestIdleHandlers.IdleHost)
+        system.run_to_quiescence()
+        assert TestIdleHandlers.IdleHost.order == ["busy", "idle"]
+        trace = system.finish()
+        validate_trace(trace)
+        idle_posts = [
+            op for op in trace if op.kind is OpKind.POST and op.event and "idle" in op.event
+        ]
+        assert len(idle_posts) == 1
+
+
+class TestHandlerAPI:
+    class HandlerHost(Activity):
+        results = []
+
+        def on_resume(self, ctx: Ctx):
+            worker = fork_handler_thread(ctx, "handler-worker")
+            yield ctx.wait_until(lambda: worker.looping)
+            handler = Handler(self.env, worker)
+            handler.post(ctx, lambda: type(self).results.append("a"), name="a")
+            doomed = handler.post_delayed(
+                ctx, lambda: type(self).results.append("zombie"), 500, name="zombie"
+            )
+            handler.post_delayed(ctx, lambda: type(self).results.append("b"), 100, name="b")
+            handler.remove_callbacks(doomed)
+            handler.post_at_front_of_queue(
+                ctx, lambda: type(self).results.append("front"), name="front"
+            )
+
+    def test_handler_post_variants(self):
+        TestHandlerAPI.HandlerHost.results = []
+        system = AndroidSystem(seed=0)
+        system.launch(TestHandlerAPI.HandlerHost)
+        system.run_to_quiescence()
+        assert TestHandlerAPI.HandlerHost.results == ["front", "a", "b"]
+        trace = system.finish()
+        validate_trace(trace)
+        assert all(op.task != "zombie" for op in trace)

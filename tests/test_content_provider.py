@@ -1,0 +1,154 @@
+"""Tests for the ContentProvider/Cursor substrate."""
+
+import pytest
+
+from repro.android import Activity, AndroidSystem, ContentProvider, Ctx, Cursor, CursorIndexError
+from repro.android.content_provider import ProviderRegistry
+from repro.core import detect_races, validate_trace
+from repro.core.operations import OpKind
+
+
+class TodoProvider(ContentProvider):
+    TABLES = ("todos", "tags")
+
+
+class ProviderHost(Activity):
+    def on_create(self, ctx: Ctx) -> None:
+        provider = self.system.content_resolver(TodoProvider)
+        provider.insert(ctx, "todos", {"title": "a"})
+        provider.insert(ctx, "todos", {"title": "b"})
+
+
+def booted():
+    system = AndroidSystem(seed=0)
+    system.launch(ProviderHost)
+    system.run_to_quiescence()
+    return system, system.content_resolver(TodoProvider), system.env.main_ctx
+
+
+class TestCrud:
+    def test_insert_assigns_ids(self):
+        system, provider, ctx = booted()
+        new_id = provider.insert(ctx, "todos", {"title": "c"})
+        assert new_id == 3
+        assert provider.count(ctx, "todos") == 3
+
+    def test_query_with_filter(self):
+        system, provider, ctx = booted()
+        cursor = provider.query(ctx, "todos", where=lambda r: r["title"] == "a")
+        assert cursor.count(ctx) == 1
+
+    def test_update(self):
+        system, provider, ctx = booted()
+        changed = provider.update(
+            ctx, "todos", {"done": True}, where=lambda r: r["title"] == "a"
+        )
+        assert changed == 1
+        cursor = provider.query(ctx, "todos", where=lambda r: r.get("done"))
+        assert cursor.count(ctx) == 1
+
+    def test_delete(self):
+        system, provider, ctx = booted()
+        removed = provider.delete(ctx, "todos", where=lambda r: r["title"] == "b")
+        assert removed == 1
+        assert provider.count(ctx, "todos") == 1
+
+    def test_unknown_table_rejected(self):
+        system, provider, ctx = booted()
+        with pytest.raises(LookupError):
+            provider.query(ctx, "nope")
+
+    def test_registry_one_instance_per_class(self):
+        system, provider, ctx = booted()
+        assert system.content_resolver(TodoProvider) is provider
+
+
+class TestInstrumentation:
+    def test_query_logs_read_mutation_logs_write(self):
+        system, provider, ctx = booted()
+        before = len(system.env.ops)
+        provider.query(ctx, "todos")
+        provider.insert(ctx, "todos", {"title": "x"})
+        new_ops = system.env.ops[before:]
+        kinds = [op.kind for op in new_ops if op.is_memory_access]
+        assert OpKind.READ in kinds and OpKind.WRITE in kinds
+        locations = {op.location for op in new_ops if op.is_memory_access}
+        assert any(loc.endswith(".todos") for loc in locations)
+
+    def test_table_location_per_provider_instance(self):
+        system, provider, ctx = booted()
+        assert provider.instance_tag.startswith("TodoProvider@")
+
+
+class TestCursor:
+    def test_navigation(self):
+        system, provider, ctx = booted()
+        cursor = provider.query(ctx, "todos")
+        assert cursor.move_to_first(ctx)
+        assert cursor.get(ctx, "title") == "a"
+        assert cursor.move_to_next(ctx)
+        assert cursor.get(ctx, "title") == "b"
+        assert not cursor.move_to_next(ctx)
+
+    def test_out_of_bounds_get_raises(self):
+        system, provider, ctx = booted()
+        cursor = provider.query(ctx, "todos")
+        with pytest.raises(CursorIndexError):
+            cursor.get(ctx, "title")  # position -1
+
+    def test_requery_replaces_rows(self):
+        system, provider, ctx = booted()
+        cursor = provider.query(ctx, "todos")
+        cursor.requery(ctx, [{"title": "only"}])
+        assert cursor.count(ctx) == 1
+
+    def test_invalidate(self):
+        system, provider, ctx = booted()
+        cursor = provider.query(ctx, "todos")
+        cursor.invalidate(ctx)
+        assert cursor.count(ctx) == 0
+        assert cursor.obj.raw_read("dataValid") is False
+
+    def test_shrunk_rows_after_positioning_raises(self):
+        """The §6 'index out of bounds' shape: position set while rows
+        were longer, rows shrink, get() explodes."""
+        system, provider, ctx = booted()
+        cursor = provider.query(ctx, "todos")
+        cursor.move_to_position(ctx, 1)
+        cursor.requery(ctx, [{"title": "only"}])
+        with pytest.raises(CursorIndexError):
+            cursor.get(ctx, "title")
+
+
+class TestProviderRaces:
+    def test_unsynchronized_cross_thread_table_access_races(self):
+        class RacyHost(Activity):
+            def on_create(self, ctx: Ctx) -> None:
+                provider = self.system.content_resolver(TodoProvider)
+                provider.insert(ctx, "todos", {"title": "seed"})
+
+            def on_resume(self, ctx: Ctx) -> None:
+                provider = self.system.content_resolver(TodoProvider)
+
+                def writer(tctx: Ctx):
+                    yield
+                    provider.insert(tctx, "todos", {"title": "bg"})
+
+                ctx.fork(writer, name="db-writer")
+                self.register_button(ctx, "readBtn", on_click=self.on_read)
+
+            def on_read(self, ctx: Ctx) -> None:
+                provider = self.system.content_resolver(TodoProvider)
+                provider.query(ctx, "todos")
+
+        from repro.android import UIEvent
+
+        system = AndroidSystem(seed=1)
+        system.launch(RacyHost)
+        system.run_to_quiescence()
+        system.fire(UIEvent("click", "readBtn"))
+        system.run_to_quiescence()
+        trace = system.finish()
+        validate_trace(trace)
+        report = detect_races(trace)
+        assert any(r.field_name == "TodoProvider.todos" for r in report.races)

@@ -1,0 +1,149 @@
+"""Integration tests for the hand-written application models: each app
+reproduces its §6 finding, including the documented false-negative and
+false-positive mechanisms."""
+
+import pytest
+
+from repro.android import AndroidSystem, UIEvent
+from repro.apps.browser_app import BrowserApp
+from repro.apps.dictionary_app import DictionaryApp, DictionaryService, LookupActivity
+from repro.apps.messenger_app import ConversationActivity, MessengerApp
+from repro.core import RaceCategory, detect_races, validate_trace
+from repro.explorer import UIExplorer
+
+
+def run_events(app, events, seed=0):
+    system = app.build(seed)
+    system.run_to_quiescence()
+    for event in events:
+        system.fire(event)
+        system.run_to_quiescence()
+    trace = system.finish()
+    return system, trace
+
+
+def run_events_eagerly(app, events, seed=0):
+    """Fire the events as soon as the UI is up, while background work from
+    the launch is still in flight — the adversarial interleaving the §6
+    debugger sessions constructed by stalling threads."""
+    system = app.build(seed)
+    system.env.run_until(lambda: system.screen.foreground is not None)
+    for event in events:
+        system.fire(event)
+    system.run_to_quiescence()
+    trace = system.finish()
+    return system, trace
+
+
+class TestDictionaryApp:
+    def test_service_race_detected(self):
+        """The Aard Dictionary finding: a multithreaded race on the
+        dictionary-loading Service object."""
+        system, trace = run_events(DictionaryApp(), [UIEvent("click", "lookupBtn")])
+        validate_trace(trace)
+        report = detect_races(trace)
+        service_races = [
+            r
+            for r in report.races
+            if r.field_name.startswith("DictionaryService.")
+            and r.category is RaceCategory.MULTITHREADED
+        ]
+        assert service_races, report.summary()
+
+    def test_bad_behaviour_reproducible(self):
+        """§6: 'This temporarily permitted the background thread to access
+        the (empty) dictionaries even before they were loaded' — some
+        schedule exhibits the miss, another the hit."""
+        outcomes = set()
+        for seed in range(16):
+            for runner in (run_events, run_events_eagerly):
+                system, _ = runner(
+                    DictionaryApp(), [UIEvent("click", "lookupBtn")], seed=seed
+                )
+                activity = next(
+                    r.activity for r in system.ams.stack + system.ams.destroyed_records
+                    if isinstance(r.activity, LookupActivity)
+                )
+                outcomes.update(kind for kind, _ in activity.results)
+        assert "hit" in outcomes and "miss" in outcomes, outcomes
+
+
+class TestMessengerApp:
+    def test_cursor_race_cross_posted(self):
+        system, trace = run_events(MessengerApp(), [UIEvent("click", "deleteBtn")])
+        validate_trace(trace)
+        report = detect_races(trace)
+        cursor_races = [
+            r for r in report.races if r.field_name == "ConversationActivity.rows"
+        ]
+        assert cursor_races
+        assert cursor_races[0].category is RaceCategory.CROSS_POSTED
+
+    def test_index_out_of_bounds_on_some_schedule(self):
+        """Reordering the delete and the cursor update produces the
+        'index out of bounds' bad behaviour."""
+        crashes = []
+        for seed in range(16):
+            system, _ = run_events_eagerly(
+                MessengerApp(), [UIEvent("click", "deleteBtn")], seed=seed
+            )
+            activity = system.ams.stack[0].activity if system.ams.stack else None
+            if activity and activity.crashes:
+                crashes.extend(activity.crashes)
+        assert any("IndexOutOfBounds" in c for c in crashes), crashes
+
+    def test_custom_queue_race_is_a_false_negative(self):
+        """The two draft runnables genuinely race (either may run first on
+        the custom-queue thread) but NO-Q-PO orders them — DroidRacer's
+        documented false negative, faithfully reproduced."""
+        system, trace = run_events(MessengerApp(), [])
+        report = detect_races(trace)
+        draft_races = [
+            r for r in report.races if r.field_name == "ConversationActivity.draft"
+        ]
+        assert draft_races == []
+        # ...yet the accesses really happen on the custom queue thread in
+        # submission-dependent order: both writes exist in the trace.
+        draft_writes = [
+            op
+            for op in trace
+            if op.is_write and op.location.endswith(".draft")
+        ]
+        assert len(draft_writes) == 2
+        assert all(op.thread == "custom-queue" for op in draft_writes)
+
+
+class TestBrowserApp:
+    def test_untracked_posts_cause_false_positives(self):
+        system, trace = run_events(BrowserApp(), [UIEvent("click", "loadBtn")])
+        validate_trace(trace)
+        report = detect_races(trace)
+        by_field = {r.field_name: r.category for r in report.races}
+        # False positives from the untracked native renderer:
+        assert "BrowserActivity.url" in by_field
+        assert by_field["BrowserActivity.url"] is RaceCategory.CROSS_POSTED
+        assert "BrowserActivity.progress" in by_field
+        # The one genuine race (favicon prefetch vs renderer):
+        assert "BrowserActivity.favicon" in by_field
+        assert by_field["BrowserActivity.favicon"] is RaceCategory.MULTITHREADED
+
+    def test_no_fork_op_for_native_thread(self):
+        from repro.core.operations import OpKind
+
+        system, trace = run_events(BrowserApp(), [UIEvent("click", "loadBtn")])
+        fork_targets = {op.target for op in trace if op.kind is OpKind.FORK}
+        native = [t for t in trace.threads if t.startswith("native-render")]
+        assert native and not (set(native) & fork_targets)
+
+
+class TestMusicPlayerAssertions:
+    def test_assertions_hold_in_observed_schedules(self):
+        """In the traced schedules the assertions hold (the race is latent;
+        §6 exercised it with a debugger — we exercise it by construction in
+        the HB analysis instead)."""
+        from repro.apps.music_player import run_scenario
+
+        for seed in range(4):
+            system, trace = run_scenario(press_back=True, seed=seed)
+            activity = system.ams.destroyed_records[0].activity
+            assert all(activity.background_assertions)

@@ -1,0 +1,100 @@
+"""Integration tests for the email (K-9-like) and puzzle (SGTPuzzles-like)
+application models."""
+
+import pytest
+
+from repro.android import UIEvent, get_shared_preferences
+from repro.apps.email_app import EmailApp, MailProvider
+from repro.apps.puzzle_app import PuzzleApp
+from repro.core import RaceCategory, detect_races, validate_trace
+from repro.explorer import ScheduleExplorer, find_event
+
+
+def run(app, keys, seed=1):
+    system = app.build(seed)
+    system.run_to_quiescence()
+    for key in keys:
+        event = find_event(system.enabled_events(), key)
+        assert event is not None, (key, [e.describe() for e in system.enabled_events()])
+        system.fire(event)
+        system.run_to_quiescence()
+    return system, system.finish()
+
+
+class TestEmailApp:
+    def test_sync_creates_one_task_per_folder(self):
+        system, trace = run(EmailApp(), ["click:syncBtn"])
+        validate_trace(trace)
+        syncs = [
+            name for name in trace.tasks if name.startswith("FolderSync")
+        ]
+        # onProgressUpdate + onPostExecute per folder, at least.
+        assert len([n for n in syncs if "onPostExecute" in n]) == 3
+
+    def test_unread_badge_race_multithreaded(self):
+        system, trace = run(EmailApp(), ["click:syncBtn", "click:markReadBtn"])
+        report = detect_races(trace)
+        badge = [r for r in report.races if r.field_name == "MailboxActivity.unread"]
+        assert badge
+        assert any(r.category is RaceCategory.MULTITHREADED for r in badge)
+
+    def test_badge_race_validates_dynamically(self):
+        explorer = ScheduleExplorer(
+            EmailApp(), events=["click:syncBtn", "click:markReadBtn"], seeds=range(10)
+        )
+        result = explorer.validate_field_adversarially("MailboxActivity.unread")
+        assert result.validated
+
+    def test_messages_inserted_into_provider(self):
+        system, trace = run(EmailApp(), ["click:syncBtn"])
+        provider = system.content_resolver(MailProvider)
+        assert len(provider._data["messages"]) == 6  # 2 per folder
+
+    def test_idle_prefetch_ran(self):
+        system, trace = run(EmailApp(), [])
+        activity = system.ams.stack[0].activity
+        assert activity.prefetched
+
+    def test_signature_preferences(self):
+        system, trace = run(EmailApp(), ["click:signatureBtn"])
+        prefs = get_shared_preferences(system, "mail")
+        assert prefs._values["signature"] == "brief"
+
+
+class TestPuzzleApp:
+    def test_solver_races_with_moves(self):
+        system, trace = run(PuzzleApp(), ["click:moveBtn"])
+        validate_trace(trace)
+        report = detect_races(trace)
+        fields = {r.field_name for r in report.races}
+        assert "PuzzleActivity.board" in fields or "PuzzleActivity.selection" in fields
+        assert any(not r.is_single_threaded for r in report.races)
+
+    def test_untracked_renderer_produces_report(self):
+        system, trace = run(PuzzleApp(), ["click:newGameBtn"])
+        report = detect_races(trace)
+        assert any(r.field_name == "PuzzleActivity.frameBuffer" for r in report.races)
+
+    def test_renderer_report_is_unconfirmable(self):
+        explorer = ScheduleExplorer(
+            PuzzleApp(), events=["click:newGameBtn"], seeds=range(8)
+        )
+        result = explorer.validate_field_adversarially("PuzzleActivity.frameBuffer")
+        assert not result.validated  # causally fixed: false positive
+
+    def test_solver_race_validates(self):
+        explorer = ScheduleExplorer(
+            PuzzleApp(), events=["click:moveBtn"], seeds=range(10)
+        )
+        result = explorer.validate_field_adversarially("PuzzleActivity.selection")
+        assert result.validated
+
+    def test_delayed_redraws_run_in_order(self):
+        system, trace = run(PuzzleApp(), [])
+        ticks = [
+            info
+            for name, info in trace.tasks.items()
+            if name.startswith("redrawTick")
+        ]
+        assert len(ticks) == 2
+        assert all(info.is_delayed for info in ticks)

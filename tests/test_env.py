@@ -1,0 +1,428 @@
+"""Tests for the simulated runtime environment: scheduling, threads,
+locks, joins, blocking commands, crash handling, determinism."""
+
+import pytest
+
+from repro.android import (
+    AndroidEnv,
+    Ctx,
+    DeadlockError,
+    PendingCommandError,
+    RandomPolicy,
+    ReplayPolicy,
+    RoundRobinPolicy,
+    SchedulerError,
+    SharedObject,
+    ThreadAPIError,
+    ThreadState,
+    looper_entry,
+)
+from repro.android.errors import AppCrashError
+from repro.core import validate_trace
+from repro.core.operations import OpKind
+
+
+def fresh_env(seed=0):
+    return AndroidEnv(RandomPolicy(seed), name="test")
+
+
+class TestBootstrap:
+    def test_main_thread_attaches_and_loops(self):
+        env = fresh_env()
+        env.run()
+        assert env.main.looping
+        kinds = [op.kind for op in env.ops]
+        assert kinds[:3] == [OpKind.THREAD_INIT, OpKind.ATTACH_Q, OpKind.LOOP_ON_Q]
+
+    def test_build_trace_validates(self):
+        env = fresh_env()
+        env.run()
+        env.shutdown()
+        validate_trace(env.build_trace())
+
+    def test_shutdown_exits_idle_threads(self):
+        env = fresh_env()
+        env.run()
+        env.shutdown()
+        assert env.main.state is ThreadState.FINISHED
+        assert env.ops[-1].kind is OpKind.THREAD_EXIT
+
+
+class TestForkAndJoin:
+    def test_forked_thread_runs_entry(self):
+        env = fresh_env()
+        obj = SharedObject(env, "O")
+        done = []
+
+        def child(ctx: Ctx):
+            ctx.write(obj, "x", 1)
+            done.append(True)
+
+        env.main.push_action(lambda: env.ctx(env.main).fork(child, name="kid"))
+        env.run()
+        assert done == [True]
+        kid = env.threads["kid"]
+        assert kid.state is ThreadState.FINISHED
+
+    def test_join_waits_for_child(self):
+        env = fresh_env()
+        order = []
+
+        def child(ctx: Ctx):
+            yield
+            order.append("child-done")
+
+        def parent_work():
+            ctx = env.current_ctx
+            kid = ctx.fork(child, name="kid")
+
+            def joiner(jctx: Ctx):
+                yield jctx.join(kid)
+                order.append("joined")
+
+            ctx.fork(joiner, name="joiner")
+
+        env.main.push_action(parent_work)
+        env.run()
+        assert order == ["child-done", "joined"]
+
+    def test_untracked_fork_not_logged(self):
+        env = fresh_env()
+
+        def child(ctx: Ctx):
+            pass
+
+        env.main.push_action(
+            lambda: env.ctx(env.main).fork(child, name="ghost", untracked=True)
+        )
+        env.run()
+        forks = [op for op in env.ops if op.kind is OpKind.FORK]
+        assert forks == []
+        inits = [op for op in env.ops if op.kind is OpKind.THREAD_INIT]
+        assert any(op.thread == "ghost" for op in inits)
+
+    def test_duplicate_fork_names_uniquified(self):
+        env = fresh_env()
+
+        def spawn_twice():
+            ctx = env.current_ctx
+            a = ctx.fork(lambda c: None, name="twin")
+            b = ctx.fork(lambda c: None, name="twin")
+            assert a.name != b.name
+
+        env.main.push_action(spawn_twice)
+        env.run()
+
+
+class TestLocks:
+    def test_blocking_acquire_waits_for_holder(self):
+        env = fresh_env(seed=3)
+        lock = env.new_lock("L")
+        order = []
+
+        def holder(ctx: Ctx):
+            yield ctx.acquire(lock)
+            order.append("holder-in")
+            yield
+            yield
+            ctx.release(lock)
+            order.append("holder-out")
+
+        def waiter(ctx: Ctx):
+            yield ctx.acquire(lock)
+            order.append("waiter-in")
+            ctx.release(lock)
+
+        def setup():
+            ctx = env.current_ctx
+            ctx.fork(holder, name="a-holder")  # name order: scheduled first
+            ctx.fork(waiter, name="b-waiter")
+
+        env.main.push_action(setup)
+        env.run()
+        assert order.index("holder-out") < order.index("waiter-in")
+        assert order[0] == "holder-in"
+
+    def test_reentrant_acquire(self):
+        env = fresh_env()
+        lock = env.new_lock("L")
+
+        def worker(ctx: Ctx):
+            yield ctx.acquire(lock)
+            yield ctx.acquire(lock)
+            ctx.release(lock)
+            ctx.release(lock)
+
+        env.main.push_action(lambda: env.current_ctx.fork(worker, name="w"))
+        env.run()
+        ops = [op.kind for op in env.ops if op.kind in (OpKind.ACQUIRE, OpKind.RELEASE)]
+        assert ops == [OpKind.ACQUIRE, OpKind.ACQUIRE, OpKind.RELEASE, OpKind.RELEASE]
+
+    def test_release_without_hold_raises(self):
+        env = fresh_env()
+        lock = env.new_lock("L")
+
+        def worker(ctx: Ctx):
+            ctx.release(lock)
+
+        env.main.push_action(lambda: env.current_ctx.fork(worker, name="w"))
+        with pytest.raises(AppCrashError):
+            env.run()
+
+    def test_deadlock_detected(self):
+        env = fresh_env(seed=1)
+        l1, l2 = env.new_lock("L1"), env.new_lock("L2")
+        holding = {"w1": False, "w2": False}
+
+        def worker(first, second, me):
+            def body(ctx: Ctx):
+                yield ctx.acquire(first)
+                holding[me] = True
+                # Barrier: both workers hold their first lock before either
+                # requests its second — the classic ABBA deadlock.
+                yield ctx.wait_until(lambda: all(holding.values()))
+                yield ctx.acquire(second)
+                ctx.release(second)
+                ctx.release(first)
+
+            return body
+
+        def setup():
+            ctx = env.current_ctx
+            ctx.fork(worker(l1, l2, "w1"), name="w1")
+            ctx.fork(worker(l2, l1, "w2"), name="w2")
+
+        env.main.push_action(setup)
+        with pytest.raises(DeadlockError):
+            env.run()
+
+    def test_exit_holding_lock_raises(self):
+        env = fresh_env()
+        lock = env.new_lock("L")
+
+        def worker(ctx: Ctx):
+            yield ctx.acquire(lock)
+            # exits without releasing
+
+        env.main.push_action(lambda: env.current_ctx.fork(worker, name="w"))
+        with pytest.raises(ThreadAPIError):
+            env.run()
+
+    def test_unyielded_command_detected(self):
+        env = fresh_env()
+        lock = env.new_lock("L")
+
+        def worker(ctx: Ctx):
+            ctx.acquire(lock)  # missing yield!
+            ctx.acquire(lock)
+            yield
+
+        env.main.push_action(lambda: env.current_ctx.fork(worker, name="w"))
+        with pytest.raises(AppCrashError) as info:
+            env.run()
+        assert isinstance(info.value.original, PendingCommandError)
+
+
+class TestPosting:
+    def test_post_runs_on_target(self):
+        env = fresh_env()
+        ran = []
+        env.main.push_action(
+            lambda: env.post_message(
+                env.main, env.main, lambda: ran.append(env._current.name), "task"
+            )
+        )
+        env.run()
+        assert ran == ["main"]
+
+    def test_post_to_thread_without_queue_raises(self):
+        env = fresh_env()
+
+        def bad():
+            plain = env.current_ctx.fork(lambda c: None, name="plain")
+            env.post_message(env.main, plain, lambda: None, "task")
+
+        # Actions are framework code: the error propagates undecorated.
+        env.main.push_action(bad)
+        with pytest.raises(ThreadAPIError, match="no task queue"):
+            env.run()
+
+    def test_task_instance_names_unique(self):
+        env = fresh_env()
+
+        def post_twice():
+            env.post_message(env.main, env.main, lambda: None, "job")
+            env.post_message(env.main, env.main, lambda: None, "job")
+
+        env.main.push_action(post_twice)
+        env.run()
+        posts = [op.task for op in env.ops if op.kind is OpKind.POST]
+        assert posts == ["job", "job#2"]
+
+    def test_cancelled_message_never_runs_and_post_removed(self):
+        env = fresh_env()
+        ran = []
+
+        def post_and_cancel():
+            msg = env.post_message(env.main, env.main, lambda: ran.append(1), "doomed")
+            assert env.cancel_message(msg)
+
+        env.main.push_action(post_and_cancel)
+        env.run()
+        env.shutdown()
+        assert ran == []
+        trace = env.build_trace()
+        assert all(op.task != "doomed" for op in trace)
+
+    def test_cancel_after_dispatch_fails(self):
+        env = fresh_env()
+        holder = {}
+
+        def post_it():
+            holder["msg"] = env.post_message(env.main, env.main, lambda: None, "quick")
+
+        env.main.push_action(post_it)
+        env.run()
+        assert not env.cancel_message(holder["msg"])
+
+
+class TestDelayedPosts:
+    def test_virtual_clock_advances_for_delayed_messages(self):
+        env = fresh_env()
+        order = []
+
+        def setup():
+            env.post_message(env.main, env.main, lambda: order.append("slow"), "slow", delay=100)
+            env.post_message(env.main, env.main, lambda: order.append("fast"), "fast")
+
+        env.main.push_action(setup)
+        env.run()
+        assert order == ["fast", "slow"]
+        assert env.clock >= 100
+
+    def test_delay_ordering_among_delayed(self):
+        env = fresh_env()
+        order = []
+
+        def setup():
+            env.post_message(env.main, env.main, lambda: order.append("c"), "c", delay=300)
+            env.post_message(env.main, env.main, lambda: order.append("a"), "a", delay=10)
+            env.post_message(env.main, env.main, lambda: order.append("b"), "b", delay=20)
+
+        env.main.push_action(setup)
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_at_front_post_barges(self):
+        env = fresh_env()
+        order = []
+
+        def setup():
+            env.post_message(env.main, env.main, lambda: order.append("first"), "first")
+            env.post_message(
+                env.main, env.main, lambda: order.append("urgent"), "urgent", at_front=True
+            )
+
+        env.main.push_action(setup)
+        env.run()
+        assert order == ["urgent", "first"]
+
+
+class TestCrash:
+    def test_app_exception_wrapped_with_context(self):
+        env = fresh_env()
+
+        def boom():
+            raise ValueError("kaboom")
+
+        env.main.push_action(lambda: env.post_message(env.main, env.main, boom, "boom"))
+        with pytest.raises(AppCrashError) as info:
+            env.run()
+        assert info.value.thread == "main"
+        assert info.value.task == "boom"
+        assert isinstance(info.value.original, ValueError)
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        env = AndroidEnv(RandomPolicy(seed), name="det")
+        obj = SharedObject(env, "O")
+
+        def setup():
+            ctx = env.current_ctx
+            for i in range(3):
+                ctx.fork(self._worker(obj, i), name="w%d" % i)
+            env.post_message(env.main, env.main, lambda: None, "tick")
+
+        env.main.push_action(setup)
+        env.run()
+        env.shutdown()
+        return env
+
+    @staticmethod
+    def _worker(obj, i):
+        def body(ctx: Ctx):
+            ctx.write(obj, "f%d" % i, 0)
+            yield
+            ctx.write(obj, "f%d" % i, 1)
+
+        return body
+
+    def test_same_seed_same_trace(self):
+        a, b = self._run_once(42), self._run_once(42)
+        assert [op.render() for op in a.ops] == [op.render() for op in b.ops]
+
+    def test_different_seed_may_differ_but_valid(self):
+        a = self._run_once(1)
+        validate_trace(a.build_trace())
+
+    def test_replay_policy_reproduces_run(self):
+        original = self._run_once(7)
+        env = AndroidEnv(ReplayPolicy(original.decisions), name="det")
+        obj = SharedObject(env, "O")
+
+        def setup():
+            ctx = env.current_ctx
+            for i in range(3):
+                ctx.fork(self._worker(obj, i), name="w%d" % i)
+            env.post_message(env.main, env.main, lambda: None, "tick")
+
+        env.main.push_action(setup)
+        env.run()
+        env.shutdown()
+        assert [op.render() for op in env.ops] == [op.render() for op in original.ops]
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        policy = RoundRobinPolicy()
+        picks = [policy.choose(["a", "b", "c"]) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_random_policy_reset(self):
+        policy = RandomPolicy(5)
+        first = [policy.choose(["a", "b", "c"]) for _ in range(10)]
+        policy.reset()
+        second = [policy.choose(["a", "b", "c"]) for _ in range(10)]
+        assert first == second
+
+    def test_replay_policy_skips_stale_picks(self):
+        policy = ReplayPolicy(["x", "a"])
+        assert policy.choose(["a", "b"]) == "a"  # "x" skipped
+        assert policy.choose(["a", "b"]) == "a"  # exhausted -> first ready
+
+    def test_run_until_raises_when_quiescent(self):
+        env = fresh_env()
+        with pytest.raises(SchedulerError):
+            env.run_until(lambda: False, max_steps=1000)
+
+    def test_runaway_guard(self):
+        env = fresh_env()
+
+        def spinner(ctx: Ctx):
+            while True:
+                yield
+
+        env.main.push_action(lambda: env.current_ctx.fork(spinner, name="spin"))
+        with pytest.raises(SchedulerError, match="runaway"):
+            env.run(max_steps=500)

@@ -1,0 +1,134 @@
+"""Tests for race explanation and HB witnesses (debugging support)."""
+
+import pytest
+
+from repro.apps.paper_traces import (
+    FIGURE4_POSITIONS,
+    figure3_trace,
+    figure4_trace,
+)
+from repro.core import HappensBefore, detect_races
+from repro.core.classification import RaceCategory
+from repro.core.explain import explain_race, hb_witness, render_witness
+
+
+@pytest.fixture(scope="module")
+def fig4_analysis():
+    trace = figure4_trace()
+    report = detect_races(trace)
+    from repro.core.race_detector import RaceDetector
+
+    detector = RaceDetector(trace)
+    report = detector.detect()
+    return trace, detector.hb, report
+
+
+class TestExplanations:
+    def test_multithreaded_explanation(self, fig4_analysis):
+        trace, hb, report = fig4_analysis
+        race = next(r for r in report.races if r.category is RaceCategory.MULTITHREADED)
+        explanation = explain_race(trace, hb, race)
+        text = explanation.render()
+        assert "different threads" in text
+        assert "t2" in text and "t1" in text
+        assert "LOCK" in text or "JOIN" in text  # near-miss suggestions
+
+    def test_cross_posted_explanation_shows_chains(self, fig4_analysis):
+        trace, hb, report = fig4_analysis
+        race = next(r for r in report.races if r.category is RaceCategory.CROSS_POSTED)
+        explanation = explain_race(trace, hb, race)
+        assert explanation.chain_i, "the onPostExecute access has a post chain"
+        assert any("t2 posts onPostExecute" in s.describe() for s in explanation.chain_i)
+        text = explanation.render()
+        assert "post chain" in text
+        assert "posted from another thread" in text
+
+    def test_co_enabled_explanation(self):
+        from repro.core.operations import (
+            attachq, begin, enable, end, looponq, post, threadinit, write,
+        )
+        from repro.core.race_detector import RaceDetector
+        from repro.core.trace import ExecutionTrace
+
+        trace = ExecutionTrace(
+            [
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                enable("t", "click:a"),
+                enable("t", "click:b"),
+                post("t", "onA", "t", event="click:a"),
+                post("t", "onB", "t", event="click:b"),
+                begin("t", "onA"),
+                write("t", "x"),
+                end("t", "onA"),
+                begin("t", "onB"),
+                write("t", "x"),
+                end("t", "onB"),
+            ]
+        )
+        detector = RaceDetector(trace)
+        report = detector.detect()
+        (race,) = report.races
+        text = explain_race(trace, detector.hb, race).render()
+        assert "co-enabled" in text
+        assert "click:a" in text and "click:b" in text
+
+    def test_delayed_explanation_mentions_delays(self):
+        from repro.core.operations import (
+            attachq, begin, end, looponq, post, threadinit, write,
+        )
+        from repro.core.race_detector import RaceDetector
+        from repro.core.trace import ExecutionTrace
+
+        trace = ExecutionTrace(
+            [
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                post("t", "slow", "t", delay=100),
+                post("t", "fast", "t"),
+                begin("t", "fast"),
+                write("t", "x"),
+                end("t", "fast"),
+                begin("t", "slow"),
+                write("t", "x"),
+                end("t", "slow"),
+            ]
+        )
+        detector = RaceDetector(trace)
+        report = detector.detect()
+        (race,) = report.races
+        text = explain_race(trace, detector.hb, race).render()
+        assert "delay 100ms" in text
+        assert "timing constraints" in text
+
+
+class TestWitness:
+    def test_witness_for_ordered_pair(self):
+        trace = figure3_trace()
+        hb = HappensBefore(trace)
+        # write in LAUNCH (7) is ordered before read in onPostExecute (16).
+        path = hb_witness(hb, 7, 16)
+        assert path is not None
+        assert path[0] == 7 and path[-1] == 16
+        # Every adjacent step on the path is itself an HB fact.
+        for a, b in zip(path, path[1:]):
+            assert hb.ordered(a, b)
+        rendered = render_witness(trace, path)
+        assert "op    7" in rendered and "≺" in rendered
+
+    def test_no_witness_for_racy_pair(self, fig4_analysis):
+        trace, hb, report = fig4_analysis
+        q = FIGURE4_POSITIONS
+        assert hb_witness(hb, q["read_background"], q["write_destroy"]) is None
+
+    def test_same_node_witness(self):
+        trace = figure3_trace()
+        hb = HappensBefore(trace)
+        assert hb_witness(hb, 7, 7) == [7, 7]
+
+    def test_witness_respects_direction(self):
+        trace = figure3_trace()
+        hb = HappensBefore(trace)
+        assert hb_witness(hb, 16, 7) is None

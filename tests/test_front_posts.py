@@ -1,0 +1,171 @@
+"""Tests for the at-front post extension rule (HBConfig.front_post_rule).
+
+The paper defers post-to-the-front to future work (§4.2); our extension
+derives the sound case: a task K running on thread t posts p_o normally
+and then p_f at the front of t's own queue — p_f always runs before p_o.
+"""
+
+import pytest
+
+from repro.core.baselines import ANDROID_WITH_FRONT_POSTS
+from repro.core.happens_before import ANDROID_HB, HappensBefore, HBConfig
+from repro.core.operations import (
+    attachq,
+    begin,
+    end,
+    looponq,
+    post,
+    read,
+    threadinit,
+    write,
+)
+from repro.core.race_detector import detect_races
+from repro.core.trace import ExecutionTrace
+
+PRELUDE = [threadinit("t"), attachq("t"), looponq("t")]
+
+
+def barge_trace():
+    """Task K posts p_o then barges p_f: p_f runs first."""
+    return ExecutionTrace(
+        PRELUDE
+        + [
+            post("t", "K", "t"),
+            begin("t", "K"),
+            post("t", "p_o", "t"),  # 5: normal post
+            post("t", "p_f", "t", at_front=True),  # 6: barge
+            end("t", "K"),
+            begin("t", "p_f"),
+            write("t", "x"),  # 9
+            end("t", "p_f"),  # 10
+            begin("t", "p_o"),  # 11
+            write("t", "x"),  # 12
+            end("t", "p_o"),
+        ]
+    )
+
+
+class TestExtensionRule:
+    def test_paper_semantics_reports_a_race(self):
+        """Without the extension the barged pair is conservatively
+        unordered — the paper's (sound but imprecise) treatment."""
+        report = detect_races(barge_trace(), config=ANDROID_HB)
+        assert len(report.races) == 1
+
+    def test_extension_orders_the_barged_pair(self):
+        hb = HappensBefore(barge_trace(), config=ANDROID_WITH_FRONT_POSTS)
+        assert hb.ordered(10, 11)  # end(p_f) ≺ begin(p_o)
+        assert hb.ordered(9, 12)
+        report = detect_races(barge_trace(), config=ANDROID_WITH_FRONT_POSTS)
+        assert report.races == []
+
+    def test_rule_needs_same_posting_task(self):
+        """Barges from different tasks derive nothing (p_o might already
+        have run before p_f was posted)."""
+        ops = PRELUDE + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "K1", "t"),
+            post("v", "K2", "t"),
+            begin("t", "K1"),
+            post("t", "p_o", "t"),
+            end("t", "K1"),
+            begin("t", "K2"),
+            post("t", "p_f", "t", at_front=True),
+            end("t", "K2"),
+            begin("t", "p_f"),
+            write("t", "x"),
+            end("t", "p_f"),
+            begin("t", "p_o"),
+            write("t", "x"),
+            end("t", "p_o"),
+        ]
+        report = detect_races(
+            ExecutionTrace(ops), config=ANDROID_WITH_FRONT_POSTS
+        )
+        assert len(report.races) == 1
+
+    def test_rule_needs_poster_on_target_thread(self):
+        """If the posting task runs on another looper, t may have run p_o
+        before the barge — no ordering."""
+        ops = [
+            threadinit("t"),
+            attachq("t"),
+            looponq("t"),
+            threadinit("u"),
+            attachq("u"),
+            looponq("u"),
+            threadinit("w"),
+            post("w", "K", "u"),
+            begin("u", "K"),
+            post("u", "p_o", "t"),
+            post("u", "p_f", "t", at_front=True),
+            end("u", "K"),
+            begin("t", "p_f"),
+            write("t", "x"),
+            end("t", "p_f"),
+            begin("t", "p_o"),
+            write("t", "x"),
+            end("t", "p_o"),
+        ]
+        report = detect_races(
+            ExecutionTrace(ops), config=ANDROID_WITH_FRONT_POSTS
+        )
+        assert len(report.races) == 1
+
+    def test_barge_order_requirement(self):
+        """p_o must already be pending: a normal post AFTER the barge is
+        ordered by plain FIFO reasoning instead? No — the barged task ran
+        first, and the normal post came later; the pair needs no new edge
+        when posts are in barge-then-normal order (FIFO cannot apply, and
+        the extension must not fire either)."""
+        ops = PRELUDE + [
+            post("t", "K", "t"),
+            begin("t", "K"),
+            post("t", "p_f", "t", at_front=True),  # barge first
+            post("t", "p_o", "t"),  # then the normal post
+            end("t", "K"),
+            begin("t", "p_f"),
+            write("t", "x"),  # 9
+            end("t", "p_f"),
+            begin("t", "p_o"),
+            write("t", "x"),  # 12
+            end("t", "p_o"),
+        ]
+        hb = HappensBefore(ExecutionTrace(ops), config=ANDROID_WITH_FRONT_POSTS)
+        # Here the extension premise t2.post_index < t1.post_index fails
+        # (p_o posted after p_f), so the edge must come from... nothing:
+        # at-front posts are excluded from FIFO. Conservatively unordered.
+        assert hb.unordered(9, 12)
+
+    def test_live_runtime_barge(self):
+        """End-to-end: a handler barges a cleanup task ahead of pending
+        work; with the extension the detector proves them ordered."""
+        from repro.android import Activity, AndroidSystem, Ctx, UIEvent
+
+        class BargeActivity(Activity):
+            def on_create(self, ctx: Ctx) -> None:
+                self.register_button(ctx, "go", on_click=self.on_go)
+
+            def on_go(self, ctx: Ctx) -> None:
+                ctx.post(self._work, name="work")
+                ctx.post_at_front(self._urgent, name="urgent")
+
+            def _work(self) -> None:
+                c = self.env.current_ctx
+                c.read(self.obj, "state")
+
+            def _urgent(self) -> None:
+                c = self.env.current_ctx
+                c.write(self.obj, "state", "reset")
+
+        system = AndroidSystem(seed=1)
+        system.launch(BargeActivity)
+        system.run_to_quiescence()
+        system.fire(UIEvent("click", "go"))
+        system.run_to_quiescence()
+        trace = system.finish()
+        paper = detect_races(trace, config=ANDROID_HB)
+        extended = detect_races(trace, config=ANDROID_WITH_FRONT_POSTS)
+        assert len(paper.races) == 1  # conservative report
+        assert extended.races == []  # the extension proves the order

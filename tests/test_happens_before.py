@@ -1,0 +1,528 @@
+"""Rule-by-rule tests of the happens-before relation (Figures 6 and 7)."""
+
+import pytest
+
+from repro.core.happens_before import ANDROID_HB, HappensBefore, HBConfig
+from repro.core.operations import (
+    acquire,
+    attachq,
+    begin,
+    enable,
+    end,
+    fork,
+    join,
+    looponq,
+    post,
+    read,
+    release,
+    threadexit,
+    threadinit,
+    write,
+)
+from repro.core.trace import ExecutionTrace
+
+
+def hb_of(*ops, config=ANDROID_HB, coalesce=True):
+    return HappensBefore(ExecutionTrace(list(ops)), config=config, coalesce=coalesce)
+
+
+LOOPER_PRELUDE = [threadinit("t"), attachq("t"), looponq("t")]
+
+
+class TestProgramOrderRules:
+    def test_no_q_po_plain_thread_total_order(self):
+        hb = hb_of(threadinit("t"), write("t", "a"), write("t", "b"), read("t", "a"))
+        assert hb.ordered(1, 2) and hb.ordered(2, 3) and hb.ordered(1, 3)
+
+    def test_no_q_po_pre_loop_ops_precede_everything_on_thread(self):
+        ops = [
+            threadinit("t"),
+            write("t", "pre"),  # 1: before attachQ
+            attachq("t"),
+            looponq("t"),
+            post("t", "p", "t"),
+            begin("t", "p"),
+            write("t", "in"),  # 6
+            end("t", "p"),
+        ]
+        hb = hb_of(*ops)
+        assert hb.ordered(1, 6)
+
+    def test_async_po_within_task(self):
+        ops = LOOPER_PRELUDE + [
+            post("t", "p", "t"),
+            begin("t", "p"),
+            write("t", "a"),  # 5
+            read("t", "b"),  # 6
+            end("t", "p"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.ordered(5, 6)
+        assert hb.ordered(4, 7)  # begin before end
+
+    def test_no_order_across_tasks_without_rule(self):
+        """Two tasks whose posts are unordered (posted from two plain
+        threads) are unordered — program order does not apply across
+        asynchronous tasks (the paper's key departure from classic HB)."""
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),
+            begin("t", "p1"),
+            write("t", "x"),  # 8
+            end("t", "p1"),
+            begin("t", "p2"),
+            write("t", "x"),  # 11
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.unordered(8, 11)
+
+
+class TestEnableRules:
+    def test_enable_st_same_thread(self):
+        ops = LOOPER_PRELUDE + [
+            enable("t", "p"),  # 3
+            post("t", "p", "t"),  # 4
+            begin("t", "p"),
+            end("t", "p"),
+        ]
+        hb = hb_of(*ops)
+        assert hb.ordered(3, 4)
+
+    def test_enable_mt_cross_thread(self):
+        ops = LOOPER_PRELUDE + [
+            enable("t", "p"),  # 3
+            threadinit("u"),
+            post("u", "p", "t"),  # 5
+            begin("t", "p"),
+            end("t", "p"),
+        ]
+        hb = hb_of(*ops)
+        assert hb.ordered(3, 5)
+
+    def test_enable_matches_event_tag(self):
+        """Posts of event-handler instances reference their enable by the
+        ``event`` tag (runtime-generated traces)."""
+        ops = LOOPER_PRELUDE + [
+            enable("t", "click:btn"),  # 3
+            post("t", "onClick#1", "t", event="click:btn"),  # 4
+            begin("t", "onClick#1"),
+            end("t", "onClick#1"),
+        ]
+        hb = hb_of(*ops)
+        assert hb.ordered(3, 4)
+
+    def test_enable_after_post_gives_no_edge(self):
+        ops = LOOPER_PRELUDE + [
+            post("t", "p", "t"),  # 3
+            enable("t", "p"),  # 4 (too late)
+            begin("t", "p"),
+            end("t", "p"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        # No ENABLE edge backwards; 3 and 4 are still both pre-task ops on
+        # t... the post is outside any task, enable too: NO-Q-PO does not
+        # apply (loop started). They are unordered.
+        assert not hb.ordered(4, 3)
+
+
+class TestPostRules:
+    def test_post_st_self_post(self):
+        ops = LOOPER_PRELUDE + [post("t", "p", "t"), begin("t", "p"), end("t", "p")]
+        hb = hb_of(*ops)
+        assert hb.ordered(3, 4)
+
+    def test_post_mt_cross_thread(self):
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            post("u", "p", "t"),  # 4
+            begin("t", "p"),  # 5
+            end("t", "p"),
+        ]
+        hb = hb_of(*ops)
+        assert hb.ordered(4, 5)
+
+    def test_attach_q_mt(self):
+        ops = [
+            threadinit("t"),
+            attachq("t"),  # 1
+            looponq("t"),
+            threadinit("u"),
+            post("u", "p", "t"),  # 4
+            begin("t", "p"),
+            end("t", "p"),
+        ]
+        hb = hb_of(*ops)
+        assert hb.ordered(1, 4)
+
+
+class TestForkJoinLock:
+    def test_fork_edge(self):
+        hb = hb_of(threadinit("t"), fork("t", "u"), threadinit("u"), write("u", "x"))
+        assert hb.ordered(1, 2)
+        assert hb.ordered(0, 3)  # transitively across threads
+
+    def test_join_edge(self):
+        hb = hb_of(
+            threadinit("t"),
+            fork("t", "u"),
+            threadinit("u"),
+            write("u", "x"),  # 3
+            threadexit("u"),  # 4
+            join("t", "u"),  # 5
+            read("t", "x"),  # 6
+        )
+        assert hb.ordered(4, 5)
+        assert hb.ordered(3, 6)
+
+    def test_lock_edge_cross_thread(self):
+        hb = hb_of(
+            threadinit("t"),
+            threadinit("u"),
+            acquire("t", "l"),
+            write("t", "x"),  # 3
+            release("t", "l"),  # 4
+            acquire("u", "l"),  # 5
+            read("u", "x"),  # 6
+        )
+        assert hb.ordered(4, 5)
+        assert hb.ordered(3, 6)
+
+    def test_no_lock_edge_same_thread_tasks(self):
+        """Restriction (2): acquire/release on the same thread derive no
+        ordering — locks cannot order tasks running sequentially on one
+        thread."""
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),
+            begin("t", "p1"),
+            acquire("t", "l"),
+            write("t", "x"),  # 9
+            release("t", "l"),
+            end("t", "p1"),
+            begin("t", "p2"),
+            acquire("t", "l"),
+            write("t", "x"),  # 14
+            release("t", "l"),
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.unordered(9, 14)
+
+    def test_spurious_lock_transitivity_excluded(self):
+        """Restriction (3), the paper's motivating subtlety: two tasks on t
+        using lock l must NOT become ordered through another thread u that
+        also uses l (release(t,l) -> acquire(u,l) -> release(u,l) ->
+        acquire(t,l) would order them under naive transitivity)."""
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),
+            begin("t", "p1"),
+            acquire("t", "l"),
+            write("t", "x"),  # 9
+            release("t", "l"),  # 10
+            end("t", "p1"),
+            acquire("u", "l"),  # 12  (u's critical section interleaves)
+            release("u", "l"),  # 13
+            begin("t", "p2"),
+            acquire("t", "l"),  # 15
+            write("t", "x"),  # 16
+            release("t", "l"),
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        # The chain 10 -> 12 -> 13 -> 15 exists edge-wise...
+        assert hb.ordered(10, 12)
+        assert hb.ordered(13, 15)
+        # ...but the same-thread pair stays unordered: no TRANS-ST applies
+        # and TRANS-MT only emits cross-thread pairs.
+        assert hb.unordered(9, 16)
+
+    def test_naive_transitivity_would_order_them(self):
+        """The same trace under plain transitivity + same-thread lock edges
+        (the naive combination) derives the spurious ordering."""
+        from repro.core.baselines import NAIVE_COMBINED
+
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),
+            begin("t", "p1"),
+            acquire("t", "l"),
+            write("t", "x"),  # 9
+            release("t", "l"),
+            end("t", "p1"),
+            acquire("u", "l"),
+            release("u", "l"),
+            begin("t", "p2"),
+            acquire("t", "l"),
+            write("t", "x"),  # 16
+            release("t", "l"),
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, config=NAIVE_COMBINED, coalesce=False)
+        assert hb.ordered(9, 16)
+
+
+class TestFifoRule:
+    def _two_tasks(self, post1, post2):
+        return LOOPER_PRELUDE + [
+            threadinit("u"),
+            post1,
+            post2,
+            begin("t", "p1"),
+            write("t", "x"),  # 7
+            end("t", "p1"),  # 8
+            begin("t", "p2"),  # 9
+            write("t", "x"),  # 10
+            end("t", "p2"),
+        ]
+
+    def test_fifo_orders_tasks_with_ordered_posts(self):
+        ops = self._two_tasks(post("u", "p1", "t"), post("u", "p2", "t"))
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.ordered(8, 9)  # end(p1) -> begin(p2)
+        assert hb.ordered(7, 10)  # transitively, the writes
+
+    def test_fifo_needs_post_ordering(self):
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),  # unordered with the first post
+            begin("t", "p1"),
+            write("t", "x"),  # 8
+            end("t", "p1"),
+            begin("t", "p2"),
+            write("t", "x"),  # 11
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.unordered(8, 11)
+
+    def test_fifo_disabled_by_config(self):
+        from repro.core.baselines import NO_FIFO
+
+        ops = self._two_tasks(post("u", "p1", "t"), post("u", "p2", "t"))
+        hb = hb_of(*ops, config=NO_FIFO, coalesce=False)
+        assert hb.unordered(7, 10)
+
+    def test_delayed_post_after_plain_post_ordered(self):
+        """(a) of §4.2: βi not delayed, βj delayed -> ordered."""
+        ops = self._two_tasks(
+            post("u", "p1", "t"), post("u", "p2", "t", delay=100)
+        )
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.ordered(8, 9)
+
+    def test_delayed_pair_ordered_when_delays_increase(self):
+        """(b): both delayed with δi <= δj -> ordered."""
+        ops = self._two_tasks(
+            post("u", "p1", "t", delay=10), post("u", "p2", "t", delay=50)
+        )
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.ordered(8, 9)
+
+    def test_delayed_first_plain_second_not_ordered(self):
+        """A delayed post followed by a plain post derives nothing — the
+        plain task may run before the delayed one fires."""
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            post("u", "p1", "t", delay=100),
+            post("u", "p2", "t"),
+            begin("t", "p2"),  # the plain task runs first
+            write("t", "x"),  # 7
+            end("t", "p2"),
+            begin("t", "p1"),
+            write("t", "x"),  # 10
+            end("t", "p1"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.unordered(7, 10)
+
+    def test_delays_decreasing_not_ordered(self):
+        ops = LOOPER_PRELUDE + [
+            threadinit("u"),
+            post("u", "p1", "t", delay=500),
+            post("u", "p2", "t", delay=10),
+            begin("t", "p2"),
+            write("t", "x"),  # 7
+            end("t", "p2"),
+            begin("t", "p1"),
+            write("t", "x"),  # 10
+            end("t", "p1"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.unordered(7, 10)
+
+    def test_at_front_posts_derive_no_fifo(self):
+        """Post-to-the-front is future work in the paper; we conservatively
+        derive no FIFO edge when either post barged."""
+        ops = self._two_tasks(
+            post("u", "p1", "t"), post("u", "p2", "t", at_front=True)
+        )
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.unordered(7, 10)
+
+
+class TestNoPreRule:
+    def test_nopre_orders_task_before_task_posted_during_it(self):
+        """If task p1 posts p2 (or otherwise happens-before p2's post),
+        run-to-completion means all of p1 precedes p2."""
+        ops = LOOPER_PRELUDE + [
+            post("t", "p1", "t"),
+            begin("t", "p1"),
+            write("t", "x"),  # 5
+            post("t", "p2", "t"),  # posted from within p1
+            write("t", "y"),  # 7: after the post, still inside p1
+            end("t", "p1"),
+            begin("t", "p2"),
+            read("t", "y"),  # 10
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.ordered(8, 9)  # end(p1) -> begin(p2) via NOPRE (and FIFO)
+        assert hb.ordered(7, 10)  # the post-subsequent write too
+
+    def test_nopre_via_cross_thread_chain(self):
+        """p1 forks u; u posts p2: an op of p1 (the fork) happens-before
+        post(p2), so NOPRE orders end(p1) before begin(p2) even though the
+        posts themselves are on different threads."""
+        ops = LOOPER_PRELUDE + [
+            post("t", "p1", "t"),
+            begin("t", "p1"),
+            write("t", "x"),  # 5
+            fork("t", "u"),  # 6
+            write("t", "y"),  # 7
+            end("t", "p1"),  # 8
+            threadinit("u"),
+            post("u", "p2", "t"),  # 10
+            begin("t", "p2"),  # 11
+            read("t", "y"),  # 12
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, coalesce=False)
+        assert hb.ordered(8, 11)
+        assert hb.ordered(7, 12)
+
+    def test_nopre_disabled_loses_ordering(self):
+        from repro.core.baselines import NO_NOPRE
+        from repro.core.happens_before import HBConfig
+
+        config = HBConfig(nopre=False, fifo=False)
+        ops = LOOPER_PRELUDE + [
+            post("t", "p1", "t"),
+            begin("t", "p1"),
+            fork("t", "u"),
+            write("t", "y"),  # 6
+            end("t", "p1"),
+            threadinit("u"),
+            post("u", "p2", "t"),
+            begin("t", "p2"),
+            read("t", "y"),  # 11
+            end("t", "p2"),
+        ]
+        hb = hb_of(*ops, config=config, coalesce=False)
+        assert hb.unordered(6, 11)
+
+
+class TestFigureTraces:
+    def test_figure3_pairs_ordered(self):
+        from repro.apps.paper_traces import FIGURE3_POSITIONS, figure3_trace
+
+        hb = HappensBefore(figure3_trace())
+        p = FIGURE3_POSITIONS
+        assert hb.ordered(p["write_launch"], p["read_background"])
+        assert hb.ordered(p["write_launch"], p["read_post_execute"])
+
+    def test_figure4_two_races_one_ordering(self):
+        from repro.apps.paper_traces import FIGURE4_POSITIONS, figure4_trace
+
+        hb = HappensBefore(figure4_trace())
+        q = FIGURE4_POSITIONS
+        assert hb.ordered(q["write_launch"], q["write_destroy"])
+        assert hb.unordered(q["read_background"], q["write_destroy"])
+        assert hb.unordered(q["read_post_execute"], q["write_destroy"])
+
+    def test_figure4_without_enable_is_false_positive(self):
+        """§2.4: 'Without the enable operation ... we could not have derived
+        the required happens-before ordering between operations 7 and 21'.
+
+        In the paper's simplified trace both system posts go through the
+        same binder thread t0, whose program order alone yields the FIFO
+        edge.  Real binder posts come from a pool; with LAUNCH_ACTIVITY and
+        onDestroy posted by *different* binder threads, the enable edge is
+        the only source of the ordering."""
+        from repro.core.baselines import NO_ENABLE
+
+        def variant():
+            return ExecutionTrace(
+                [
+                    threadinit("b1"),
+                    threadinit("b2"),
+                    threadinit("t1"),
+                    attachq("t1"),
+                    looponq("t1"),
+                    post("b1", "LAUNCH_ACTIVITY", "t1"),
+                    begin("t1", "LAUNCH_ACTIVITY"),
+                    write("t1", "act.flag"),  # 7
+                    enable("t1", "onDestroy"),  # 8
+                    end("t1", "LAUNCH_ACTIVITY"),
+                    post("b2", "onDestroy", "t1"),  # different binder thread
+                    begin("t1", "onDestroy"),
+                    write("t1", "act.flag"),  # 12
+                    end("t1", "onDestroy"),
+                ]
+            )
+
+        with_enable = HappensBefore(variant())
+        assert with_enable.ordered(7, 12)
+        without = HappensBefore(variant(), config=NO_ENABLE)
+        assert without.unordered(7, 12)
+
+
+class TestRelationStructure:
+    def test_reflexive_by_convention(self):
+        hb = hb_of(threadinit("t"), write("t", "x"))
+        assert hb.ordered(1, 1)
+
+    def test_antisymmetric_forward_only(self):
+        hb = hb_of(threadinit("t"), write("t", "x"), write("t", "y"))
+        assert hb.ordered(1, 2)
+        assert not hb.ordered(2, 1)
+
+    def test_stats_populated(self):
+        from repro.apps.paper_traces import figure4_trace
+
+        hb = HappensBefore(figure4_trace())
+        assert hb.stats.trace_length == len(figure4_trace())
+        assert hb.stats.node_count == len(hb.graph)
+        assert hb.stats.outer_iterations >= 1
+        assert hb.stats.st_edges + hb.stats.mt_edges > 0
+
+    def test_coalescing_does_not_change_ordering_answers(self):
+        from repro.apps.music_player import run_scenario
+
+        _, trace = run_scenario(press_back=True, seed=9)
+        dense = HappensBefore(trace, coalesce=False)
+        coalesced = HappensBefore(trace, coalesce=True)
+        accesses = [op.index for op in trace.memory_accesses()]
+        for i in accesses:
+            for j in accesses:
+                if i < j:
+                    assert dense.ordered(i, j) == coalesced.ordered(i, j), (i, j)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HBConfig(program_order="bogus")
+        with pytest.raises(ValueError):
+            HBConfig(lock_edges="bogus")
+        with pytest.raises(ValueError):
+            HBConfig(transitivity="bogus")

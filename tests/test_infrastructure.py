@@ -1,0 +1,156 @@
+"""Unit tests for small infrastructure: id allocation, shared objects,
+binder pools, and failure injection."""
+
+import pytest
+
+from repro.android import AndroidEnv, AndroidSystem, BinderPool, Ctx, SharedObject
+from repro.android.errors import AppCrashError
+from repro.android.ids import IdAllocator
+from repro.core import validate_trace
+from repro.core.operations import OpKind
+
+
+class TestIdAllocator:
+    def test_alloc_prefixed_counters(self):
+        ids = IdAllocator()
+        assert ids.alloc("bg") == "bg-1"
+        assert ids.alloc("bg") == "bg-2"
+        assert ids.alloc("timer") == "timer-1"
+
+    def test_alloc_instance_renaming(self):
+        ids = IdAllocator()
+        assert ids.alloc_instance("onClick") == "onClick"
+        assert ids.alloc_instance("onClick") == "onClick#2"
+        assert ids.alloc_instance("other") == "other"
+
+    def test_serial(self):
+        ids = IdAllocator()
+        assert ids.serial("obj") == 1
+        assert ids.serial("obj") == 2
+
+    def test_reset(self):
+        ids = IdAllocator()
+        ids.alloc("bg")
+        ids.reset()
+        assert ids.alloc("bg") == "bg-1"
+
+
+class TestSharedObject:
+    def test_location_naming(self):
+        env = AndroidEnv(name="t")
+        a = SharedObject(env, "Widget")
+        b = SharedObject(env, "Widget")
+        assert a.location_base == "Widget@1"
+        assert b.location_base == "Widget@2"
+        assert a.location_of("x") == "Widget@1.x"
+
+    def test_raw_access_unlogged(self):
+        env = AndroidEnv(name="t")
+        obj = SharedObject(env, "O", seeded=1)
+        before = len(env.ops)
+        assert obj.raw_read("seeded") == 1
+        obj.raw_write("y", 2)
+        assert obj.raw_read("y") == 2
+        assert len(env.ops) == before
+
+    def test_instrumented_access_logged(self):
+        env = AndroidEnv(name="t")
+        obj = SharedObject(env, "O")
+        env.main.push_action(lambda: env.current_ctx.write(obj, "x", 5))
+        env.run()
+        writes = [op for op in env.ops if op.kind is OpKind.WRITE]
+        assert [op.location for op in writes] == ["O@1.x"]
+        assert obj.raw_read("x") == 5
+
+    def test_fields_listing(self):
+        env = AndroidEnv(name="t")
+        obj = SharedObject(env, "O", a=1, b=2)
+        assert sorted(obj.fields()) == ["a", "b"]
+
+
+class TestBinderPool:
+    def test_round_robin_dispatch(self):
+        env = AndroidEnv(name="t")
+        pool = BinderPool(env, size=3)
+        ran = []
+        for i in range(6):
+            pool.submit(lambda i=i: ran.append(i))
+        env.run()
+        assert sorted(ran) == list(range(6))
+        names = {t.name for t in pool.threads}
+        assert len(names) == 3
+
+    def test_submit_post_targets_main(self):
+        env = AndroidEnv(name="t")
+        pool = BinderPool(env, size=2)
+        ran = []
+        env.run()  # main looper up
+        pool.submit_post(env.main, lambda: ran.append("x"), "sysTask")
+        env.run()
+        assert ran == ["x"]
+        posts = [op for op in env.ops if op.kind is OpKind.POST]
+        assert posts[0].thread.startswith("binder-")
+
+
+class TestFailureInjection:
+    def test_crash_in_lifecycle_callback_reports_task(self):
+        from repro.android import Activity
+
+        class Broken(Activity):
+            def on_resume(self, ctx: Ctx) -> None:
+                raise RuntimeError("resume exploded")
+
+        system = AndroidSystem(seed=0)
+        system.launch(Broken)
+        with pytest.raises(AppCrashError) as info:
+            system.run_to_quiescence()
+        assert "LAUNCH_ACTIVITY" in info.value.task
+        assert isinstance(info.value.original, RuntimeError)
+
+    def test_trace_up_to_crash_is_analyzable(self):
+        from repro.android import Activity
+
+        class Broken(Activity):
+            def on_create(self, ctx: Ctx) -> None:
+                ctx.write(self.obj, "x", 1)
+
+            def on_resume(self, ctx: Ctx) -> None:
+                raise RuntimeError("boom")
+
+        system = AndroidSystem(seed=0)
+        system.launch(Broken)
+        with pytest.raises(AppCrashError):
+            system.run_to_quiescence()
+        # The partial trace (task still open) is still a valid prefix.
+        trace = system.env.build_trace("partial")
+        validate_trace(trace)
+        assert any(op.kind is OpKind.WRITE for op in trace)
+
+    def test_crash_in_background_thread(self):
+        from repro.android import Activity
+
+        class Broken(Activity):
+            def on_resume(self, ctx: Ctx) -> None:
+                def worker(tctx: Ctx):
+                    yield
+                    raise ValueError("bg boom")
+
+                ctx.fork(worker, name="doomed")
+
+        system = AndroidSystem(seed=0)
+        system.launch(Broken)
+        with pytest.raises(AppCrashError) as info:
+            system.run_to_quiescence()
+        assert info.value.thread == "doomed"
+
+    def test_env_refuses_to_continue_after_crash(self):
+        env = AndroidEnv(name="t")
+
+        def boom():
+            raise ValueError("x")
+
+        env.main.push_action(lambda: env.post_message(env.main, env.main, boom, "b"))
+        with pytest.raises(AppCrashError):
+            env.run()
+        with pytest.raises(AppCrashError):
+            env.step()

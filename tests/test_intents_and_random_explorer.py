@@ -1,0 +1,119 @@
+"""Tests for intent injection (§8 future work) and the random-exploration
+baselines (§7: Monkey, Dynodroid)."""
+
+import pytest
+
+from repro.android import AndroidSystem, Intent, UIEvent
+from repro.apps.notes_app import NotesActivity, NotesApp
+from repro.core import detect_races, validate_trace
+from repro.explorer import (
+    DynodroidExplorer,
+    MonkeyExplorer,
+    UIExplorer,
+    compare_strategies,
+    event_key,
+)
+
+
+class TestIntent:
+    def test_extras(self):
+        intent = Intent("ACTION", {"k": 1})
+        assert intent.get_extra("k") == 1
+        assert intent.get_extra("missing", "d") == "d"
+        richer = intent.with_extra("j", 2)
+        assert richer.get_extra("j") == 2
+        assert intent.get_extra("j") is None  # immutable
+
+    def test_str(self):
+        assert "ACTION" in str(Intent("ACTION"))
+        assert "{'k': 1}" in str(Intent("ACTION", {"k": 1}))
+
+
+class TestIntentInjection:
+    def test_registered_action_becomes_event(self):
+        system = NotesApp().build(seed=0)
+        system.run_to_quiescence()
+        keys = {event_key(e) for e in system.enabled_events()}
+        assert "intent:android.net.conn.CONNECTIVITY_CHANGE" in keys
+
+    def test_intent_event_delivers_broadcast(self):
+        system = NotesApp().build(seed=0)
+        system.run_to_quiescence()
+        activity = system.screen.foreground
+        system.fire(UIEvent("intent", "android.net.conn.CONNECTIVITY_CHANGE"))
+        system.run_to_quiescence()
+        assert activity.obj.raw_read("online") is True
+        trace = system.finish()
+        validate_trace(trace)
+
+    def test_unregistered_intent_is_not_offered(self):
+        from repro.apps.music_player import DwFileAct
+
+        system = AndroidSystem(seed=0)
+        system.launch(DwFileAct)
+        system.run_to_quiescence()
+        assert not any(e.kind == "intent" for e in system.enabled_events())
+
+    def test_systematic_explorer_reaches_intent_races(self):
+        """With intent events in the vocabulary, the DFS explorer can
+        drive re-sync scenarios."""
+        explorer = UIExplorer(
+            NotesApp(),
+            depth=1,
+            seed=2,
+            include_kinds=("intent", "click"),
+            exclude_kinds=(),
+        )
+        result = explorer.explore()
+        sequences = {run.sequence for run in result.store.runs}
+        assert any(
+            seq and seq[0].startswith("intent:") for seq in sequences
+        )
+
+
+class TestRandomExplorers:
+    def test_monkey_cannot_inject_intents(self):
+        explorer = MonkeyExplorer(NotesApp(), budget=5, seed=1)
+        result = explorer.run()
+        assert all(not key.startswith("intent:") for key in result.events_fired)
+
+    def test_dynodroid_prefers_unfired_events(self):
+        # Keep the vocabulary constant (no BACK, which would empty the
+        # screen): then biased-random is round-robin-fair.
+        explorer = DynodroidExplorer(NotesApp(), budget=6, seed=1)
+        explorer.include_kinds = ("click", "intent")
+        result = explorer.run()
+        counts = {}
+        for key in result.events_fired:
+            counts[key] = counts.get(key, 0) + 1
+        assert max(counts.values()) <= min(counts.values()) + 1
+
+    def test_runs_are_deterministic_per_seed(self):
+        a = MonkeyExplorer(NotesApp(), budget=5, seed=7).run()
+        b = MonkeyExplorer(NotesApp(), budget=5, seed=7).run()
+        assert a.events_fired == b.events_fired
+        assert [op.render() for op in a.trace] == [op.render() for op in b.trace]
+
+    def test_events_to_first_race_recorded(self):
+        result = DynodroidExplorer(NotesApp(), budget=6, seed=3).run()
+        validate_trace(result.trace)
+        if result.report.races:
+            assert result.events_to_first_race is not None
+            assert 1 <= result.events_to_first_race <= len(result.events_fired)
+        assert result.describe().startswith("notes/dynodroid")
+
+    def test_compare_strategies_structure(self):
+        comparison = compare_strategies(NotesApp(), budget=4, seeds=(0, 1))
+        assert set(comparison) == {"monkey", "dynodroid"}
+        for runs in comparison.values():
+            assert len(runs) == 2
+            for run in runs:
+                validate_trace(run.trace)
+
+    def test_back_ends_run_gracefully(self):
+        """Monkey may press BACK and kill the activity; the run ends when
+        nothing is enabled."""
+        from repro.apps.registry import MusicPlayerApp
+
+        result = MonkeyExplorer(MusicPlayerApp(), budget=30, seed=5).run()
+        assert len(result.events_fired) <= 30

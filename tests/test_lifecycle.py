@@ -1,0 +1,196 @@
+"""Tests for the lifecycle state machines (Figure 8)."""
+
+import pytest
+
+from repro.core.lifecycle_model import (
+    ActivityLifecycle,
+    LifecycleError,
+    ReceiverLifecycle,
+    ServiceLifecycle,
+    may_happen_after,
+)
+
+
+class TestActivityMachine:
+    def test_full_foreground_launch(self):
+        m = ActivityLifecycle()
+        m.advance_through(
+            ActivityLifecycle.ON_CREATE,
+            ActivityLifecycle.ON_START,
+            ActivityLifecycle.ON_RESUME,
+            ActivityLifecycle.RUNNING,
+        )
+        assert m.current == ActivityLifecycle.RUNNING
+
+    def test_finish_sequence(self):
+        m = ActivityLifecycle()
+        m.advance_through(*ActivityLifecycle.LAUNCH_SEQUENCE)
+        m.advance(ActivityLifecycle.RUNNING)
+        m.advance_through(*ActivityLifecycle.FINISH_SEQUENCE)
+        m.advance(ActivityLifecycle.DESTROYED)
+        assert m.is_terminal
+
+    def test_restart_loop(self):
+        m = ActivityLifecycle()
+        m.advance_through(
+            ActivityLifecycle.ON_CREATE,
+            ActivityLifecycle.ON_START,
+            ActivityLifecycle.ON_RESUME,
+            ActivityLifecycle.RUNNING,
+            ActivityLifecycle.ON_PAUSE,
+            ActivityLifecycle.ON_STOP,
+            ActivityLifecycle.ON_RESTART,
+            ActivityLifecycle.ON_START,
+            ActivityLifecycle.ON_RESUME,
+            ActivityLifecycle.RUNNING,
+        )
+        assert m.current == ActivityLifecycle.RUNNING
+
+    def test_pause_resume_cycle(self):
+        m = ActivityLifecycle()
+        m.advance_through(
+            ActivityLifecycle.ON_CREATE,
+            ActivityLifecycle.ON_START,
+            ActivityLifecycle.ON_RESUME,
+            ActivityLifecycle.RUNNING,
+            ActivityLifecycle.ON_PAUSE,
+            ActivityLifecycle.ON_RESUME,
+            ActivityLifecycle.RUNNING,
+        )
+
+    def test_on_start_may_go_straight_to_stop(self):
+        m = ActivityLifecycle()
+        m.advance_through(
+            ActivityLifecycle.ON_CREATE,
+            ActivityLifecycle.ON_START,
+            ActivityLifecycle.ON_STOP,
+        )
+        assert m.current == ActivityLifecycle.ON_STOP
+
+    def test_destroy_before_create_rejected(self):
+        m = ActivityLifecycle()
+        with pytest.raises(LifecycleError):
+            m.advance(ActivityLifecycle.ON_DESTROY)
+
+    def test_resume_before_start_rejected(self):
+        m = ActivityLifecycle()
+        m.advance(ActivityLifecycle.ON_CREATE)
+        with pytest.raises(LifecycleError):
+            m.advance(ActivityLifecycle.ON_RESUME)
+
+    def test_pause_while_launched_rejected(self):
+        m = ActivityLifecycle()
+        with pytest.raises(LifecycleError, match="cannot follow"):
+            m.advance(ActivityLifecycle.ON_PAUSE)
+
+    def test_history_recorded(self):
+        m = ActivityLifecycle()
+        m.advance_through(ActivityLifecycle.ON_CREATE, ActivityLifecycle.ON_START)
+        assert m.history == [
+            ActivityLifecycle.LAUNCHED,
+            ActivityLifecycle.ON_CREATE,
+            ActivityLifecycle.ON_START,
+        ]
+
+    def test_enabled_callbacks_skip_pure_states(self):
+        m = ActivityLifecycle()
+        m.advance_through(
+            ActivityLifecycle.ON_CREATE,
+            ActivityLifecycle.ON_START,
+            ActivityLifecycle.ON_RESUME,
+        )
+        # current = onResume; next node is the Running state, looked
+        # through to the onPause callback.
+        assert m.enabled_callbacks() == [ActivityLifecycle.ON_PAUSE]
+
+
+class TestMayHappenAfter:
+    def test_destroy_reachable_from_create(self):
+        assert may_happen_after(
+            ActivityLifecycle, ActivityLifecycle.ON_CREATE, ActivityLifecycle.ON_DESTROY
+        )
+
+    def test_create_not_reachable_from_destroy(self):
+        assert not may_happen_after(
+            ActivityLifecycle, ActivityLifecycle.ON_DESTROY, ActivityLifecycle.ON_CREATE
+        )
+
+    def test_start_reachable_from_stop_via_restart(self):
+        assert may_happen_after(
+            ActivityLifecycle, ActivityLifecycle.ON_STOP, ActivityLifecycle.ON_START
+        )
+
+
+class TestServiceMachine:
+    def test_start_and_redeliver(self):
+        m = ServiceLifecycle()
+        m.advance_through(
+            ServiceLifecycle.ON_CREATE,
+            ServiceLifecycle.ON_START_COMMAND,
+            ServiceLifecycle.STARTED,
+            ServiceLifecycle.ON_START_COMMAND,
+            ServiceLifecycle.STARTED,
+            ServiceLifecycle.ON_DESTROY,
+            ServiceLifecycle.DESTROYED,
+        )
+        assert m.is_terminal
+
+    def test_destroy_before_create_rejected(self):
+        with pytest.raises(LifecycleError):
+            ServiceLifecycle().advance(ServiceLifecycle.ON_DESTROY)
+
+
+class TestReceiverMachine:
+    def test_receive_requires_registration(self):
+        m = ReceiverLifecycle()
+        with pytest.raises(LifecycleError):
+            m.advance(ReceiverLifecycle.ON_RECEIVE)
+        m.advance(ReceiverLifecycle.REGISTERED)
+        m.advance(ReceiverLifecycle.ON_RECEIVE)
+        m.advance(ReceiverLifecycle.REGISTERED)  # stays registered
+        m.advance(ReceiverLifecycle.ON_RECEIVE)
+
+
+class TestRuntimeRespectsLifecycle:
+    """The simulated AMS must drive activities through legal sequences."""
+
+    def test_launch_back_history(self):
+        from repro.android import AndroidSystem, UIEvent
+        from repro.apps.music_player import DwFileAct
+
+        system = AndroidSystem(seed=1)
+        system.launch(DwFileAct)
+        system.run_to_quiescence()
+        (record,) = system.ams.stack
+        machine = record.activity.lifecycle
+        assert machine.current == ActivityLifecycle.RUNNING
+        system.fire(UIEvent("back"))
+        system.run_to_quiescence()
+        assert machine.current == ActivityLifecycle.DESTROYED
+        assert machine.history == [
+            ActivityLifecycle.LAUNCHED,
+            ActivityLifecycle.ON_CREATE,
+            ActivityLifecycle.ON_START,
+            ActivityLifecycle.ON_RESUME,
+            ActivityLifecycle.RUNNING,
+            ActivityLifecycle.ON_PAUSE,
+            ActivityLifecycle.ON_STOP,
+            ActivityLifecycle.ON_DESTROY,
+            ActivityLifecycle.DESTROYED,
+        ]
+
+    def test_rotation_destroys_and_relaunches(self):
+        from repro.android import AndroidSystem, UIEvent
+        from repro.apps.music_player import DwFileAct
+
+        system = AndroidSystem(seed=1)
+        system.launch(DwFileAct)
+        system.run_to_quiescence()
+        first = system.ams.stack[0].activity
+        system.fire(UIEvent("rotate"))
+        system.run_to_quiescence()
+        assert first.lifecycle.current == ActivityLifecycle.DESTROYED
+        second = system.screen.foreground
+        assert second is not None and second is not first
+        assert type(second) is DwFileAct
+        assert second.lifecycle.current == ActivityLifecycle.RUNNING

@@ -1,0 +1,106 @@
+"""Tests for MessageQueue: FIFO, delays, at-front, cancellation."""
+
+import pytest
+
+from repro.android.message_queue import Message, MessageQueue
+
+
+def msg(task, when=0, seq=0, at_front=False, delay=None):
+    return Message(
+        task=task,
+        callback=lambda: None,
+        target="t",
+        posted_by="u",
+        when=when,
+        seq=seq,
+        delay=delay,
+        at_front=at_front,
+    )
+
+
+class TestFifo:
+    def test_fifo_order_by_sequence(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("a", seq=1))
+        q.enqueue(msg("b", seq=2))
+        assert q.dequeue(0).task == "a"
+        assert q.dequeue(0).task == "b"
+
+    def test_len_and_bool(self):
+        q = MessageQueue("t")
+        assert not q and len(q) == 0
+        q.enqueue(msg("a", seq=1))
+        assert q and len(q) == 1
+
+
+class TestDelays:
+    def test_not_eligible_before_delivery_time(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("slow", when=100, seq=1, delay=100))
+        assert q.eligible(0) is None
+        assert q.eligible(99) is None
+        assert q.eligible(100).task == "slow"
+
+    def test_next_wakeup(self):
+        q = MessageQueue("t")
+        assert q.next_wakeup() is None
+        q.enqueue(msg("a", when=50, seq=1))
+        q.enqueue(msg("b", when=20, seq=2))
+        assert q.next_wakeup() == 20
+
+    def test_delivery_order_by_time_then_seq(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("late", when=100, seq=1))
+        q.enqueue(msg("early", when=10, seq=2))
+        q.enqueue(msg("early2", when=10, seq=3))
+        assert q.dequeue(1000).task == "early"
+        assert q.dequeue(1000).task == "early2"
+        assert q.dequeue(1000).task == "late"
+
+    def test_dequeue_without_eligible_raises(self):
+        q = MessageQueue("t")
+        with pytest.raises(LookupError):
+            q.dequeue(0)
+
+
+class TestAtFront:
+    def test_at_front_beats_pending(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("normal", seq=1))
+        q.enqueue(msg("urgent", seq=2, at_front=True))
+        assert q.dequeue(0).task == "urgent"
+
+    def test_later_barge_goes_first(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("barge1", seq=1, at_front=True))
+        q.enqueue(msg("barge2", seq=2, at_front=True))
+        assert q.dequeue(0).task == "barge2"
+        assert q.dequeue(0).task == "barge1"
+
+
+class TestCancellation:
+    def test_cancel_removes_from_delivery(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("doomed", seq=1))
+        q.enqueue(msg("kept", seq=2))
+        assert q.cancel("doomed")
+        assert q.dequeue(0).task == "kept"
+
+    def test_cancel_missing_returns_false(self):
+        q = MessageQueue("t")
+        assert not q.cancel("ghost")
+
+    def test_cancel_where_predicate(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("a1", seq=1))
+        q.enqueue(msg("a2", seq=2))
+        q.enqueue(msg("b", seq=3))
+        cancelled = q.cancel_where(lambda m: m.task.startswith("a"))
+        assert cancelled == ["a1", "a2"]
+        assert [m.task for m in q.pending()] == ["b"]
+
+    def test_cancelled_not_in_wakeup(self):
+        q = MessageQueue("t")
+        q.enqueue(msg("slow", when=100, seq=1))
+        q.cancel("slow")
+        assert q.next_wakeup() is None

@@ -1,0 +1,116 @@
+"""Integration tests for the motivating example (Figures 1–4)."""
+
+import pytest
+
+from repro.android import AndroidSystem, ReplayPolicy, UIEvent
+from repro.apps.music_player import DwFileAct, MusicPlayActivity, run_scenario
+from repro.core import RaceCategory, detect_races, validate_trace
+from repro.core.operations import OpKind
+
+
+class TestPlayScenario:
+    def test_no_races_on_the_flag(self):
+        _, trace = run_scenario(press_back=False, seed=2)
+        validate_trace(trace)
+        report = detect_races(trace)
+        flag_races = [
+            r for r in report.races if r.field_name == "DwFileAct.isActivityDestroyed"
+        ]
+        assert flag_races == []
+
+    def test_play_button_enabled_only_after_download(self):
+        system, trace = run_scenario(press_back=False, seed=2)
+        enables = [
+            op.index
+            for op in trace
+            if op.kind is OpKind.ENABLE and op.task.startswith("click:playBtn")
+        ]
+        post_exec = [
+            info
+            for name, info in trace.tasks.items()
+            if "onPostExecute" in name and info.begin_index is not None
+        ]
+        assert enables and post_exec
+        # The enable is emitted inside onPostExecute (Figure 3, op 17).
+        (enable_idx,), (info,) = enables, post_exec
+        assert info.begin_index < enable_idx < info.end_index
+
+    def test_second_activity_launched(self):
+        system, trace = run_scenario(press_back=False, seed=2)
+        names = [type(r.activity).__name__ for r in system.ams.stack]
+        assert "MusicPlayActivity" in names
+
+    def test_progress_updates_ran_on_main(self):
+        system, trace = run_scenario(press_back=False, seed=2)
+        progress = [
+            info
+            for name, info in trace.tasks.items()
+            if "onProgressUpdate" in name
+        ]
+        assert len(progress) == 3  # one per download chunk
+        assert all(info.thread == "main" for info in progress)
+
+
+class TestBackScenario:
+    def test_exactly_the_two_paper_races(self):
+        _, trace = run_scenario(press_back=True, seed=2)
+        report = detect_races(trace)
+        flag_races = [
+            r for r in report.races if r.field_name == "DwFileAct.isActivityDestroyed"
+        ]
+        categories = sorted(r.category.value for r in flag_races)
+        assert categories == ["cross-posted", "multithreaded"]
+
+    def test_race_endpoints_match_paper(self):
+        _, trace = run_scenario(press_back=True, seed=2)
+        report = detect_races(trace)
+        by_cat = {r.category: r for r in report.races}
+        mt = by_cat[RaceCategory.MULTITHREADED]
+        # background read (doInBackground assert) vs main-thread write
+        # (onDestroy) — the paper's (12, 21).
+        assert mt.op_i.thread != "main" and mt.op_j.thread == "main"
+        cp = by_cat[RaceCategory.CROSS_POSTED]
+        # onPostExecute read vs onDestroy write, both on main — (16, 21).
+        assert cp.op_i.thread == "main" and cp.op_j.thread == "main"
+        assert "onPostExecute" in trace.task_name_of(cp.op_i.index)
+        assert "onDestroy" in trace.task_name_of(cp.op_j.index)
+
+    def test_launch_write_is_not_racy(self):
+        """(7, 21) is ordered via enable — the paper's precision claim."""
+        _, trace = run_scenario(press_back=True, seed=2)
+        report = detect_races(trace)
+        launch_writes = [
+            op.index
+            for op in trace
+            if op.is_write
+            and op.location.endswith("isActivityDestroyed")
+            and "LAUNCH" in (trace.task_name_of(op.index) or "")
+        ]
+        assert launch_writes
+        racy_ops = {r.op_i.index for r in report.races} | {
+            r.op_j.index for r in report.races
+        }
+        assert not (set(launch_writes) & racy_ops)
+
+
+class TestReplay:
+    def test_trace_replay_byte_identical(self):
+        system, trace = run_scenario(press_back=True, seed=6)
+        replay = AndroidSystem(policy=ReplayPolicy(system.env.decisions), name="music-player")
+        replay.launch(DwFileAct)
+        replay.run_to_quiescence()
+        replay.fire(UIEvent("back"))
+        replay.run_to_quiescence()
+        replayed = replay.finish()
+        assert [op.render() for op in trace] == [op.render() for op in replayed]
+
+
+class TestAcrossSeeds:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_races_found_regardless_of_schedule(self, seed):
+        """The offline analysis sees the races in *every* observed schedule
+        — the point of happens-before reasoning over a single trace."""
+        _, trace = run_scenario(press_back=True, seed=seed)
+        report = detect_races(trace)
+        assert report.count(RaceCategory.MULTITHREADED) == 1
+        assert report.count(RaceCategory.CROSS_POSTED) == 1

@@ -1,0 +1,68 @@
+"""Integration tests for the notes app (ContentProvider substrate demo)."""
+
+import pytest
+
+from repro.android import UIEvent
+from repro.apps.notes_app import NotesActivity, NotesApp, NotesProvider
+from repro.core import RaceCategory, detect_races, validate_trace
+from repro.explorer import event_key, find_event
+
+
+def run_notes(events, seed=2):
+    system = NotesApp().build(seed)
+    system.run_to_quiescence()
+    for key in events:
+        event = find_event(system.enabled_events(), key)
+        assert event is not None, key
+        system.fire(event)
+        system.run_to_quiescence()
+    trace = system.finish()
+    return system, trace
+
+
+class TestNotesRaces:
+    def test_cursor_adapter_pattern_detected(self):
+        """ADD's requery races with the sync service's cross-posted
+        refresh — the Messenger CursorAdapter finding (mDataValid etc.)."""
+        system, trace = run_notes(["click:addBtn"])
+        validate_trace(trace)
+        report = detect_races(trace)
+        cursor_races = {
+            r.field_name: r.category
+            for r in report.races
+            if r.field_name.startswith("Cursor.")
+        }
+        assert "Cursor.rows" in cursor_races
+        assert "Cursor.dataValid" in cursor_races
+        assert cursor_races["Cursor.rows"] is RaceCategory.CROSS_POSTED
+
+    def test_provider_table_race_multithreaded(self):
+        """Autosave timer thread vs sync thread on the notes table."""
+        system, trace = run_notes([])
+        report = detect_races(trace)
+        table_races = [
+            r for r in report.races if r.field_name == "NotesProvider.notes"
+        ]
+        assert any(r.category is RaceCategory.MULTITHREADED for r in table_races)
+
+    def test_intent_triggered_resync_adds_races(self):
+        system, trace = run_notes(
+            ["intent:android.net.conn.CONNECTIVITY_CHANGE", "click:addBtn"]
+        )
+        report = detect_races(trace)
+        assert any(r.field_name == "Cursor.rows" for r in report.races)
+
+    def test_list_rendering_works_in_observed_schedule(self):
+        system, trace = run_notes(["click:addBtn", "click:listBtn"])
+        activity = system.ams.stack[0].activity
+        assert activity.render_log, "list was rendered"
+        assert not activity.cursor_errors
+
+    def test_strictmode_flags_save(self):
+        system = NotesApp().build(seed=2)
+        system.strict_mode.enable()
+        system.run_to_quiescence()
+        system.fire(UIEvent("click", "saveBtn"))
+        system.run_to_quiescence()
+        kinds = [v.kind for v in system.strict_mode.violations]
+        assert kinds == ["disk-write"]

@@ -1,0 +1,131 @@
+"""Unit tests for the core trace language (Table 1)."""
+
+import pytest
+
+from repro.core.operations import (
+    MalformedOperationError,
+    OpKind,
+    Operation,
+    acquire,
+    attachq,
+    begin,
+    enable,
+    end,
+    fork,
+    join,
+    looponq,
+    post,
+    read,
+    release,
+    threadexit,
+    threadinit,
+    write,
+)
+
+
+class TestConstruction:
+    def test_all_factories_produce_their_kind(self):
+        cases = [
+            (threadinit("t"), OpKind.THREAD_INIT),
+            (threadexit("t"), OpKind.THREAD_EXIT),
+            (fork("t", "u"), OpKind.FORK),
+            (join("t", "u"), OpKind.JOIN),
+            (attachq("t"), OpKind.ATTACH_Q),
+            (looponq("t"), OpKind.LOOP_ON_Q),
+            (post("t", "p", "u"), OpKind.POST),
+            (begin("t", "p"), OpKind.BEGIN),
+            (end("t", "p"), OpKind.END),
+            (acquire("t", "l"), OpKind.ACQUIRE),
+            (release("t", "l"), OpKind.RELEASE),
+            (read("t", "m"), OpKind.READ),
+            (write("t", "m"), OpKind.WRITE),
+            (enable("t", "p"), OpKind.ENABLE),
+        ]
+        for op, kind in cases:
+            assert op.kind is kind
+            assert op.thread == "t"
+
+    def test_post_carries_task_target_delay_front_event(self):
+        op = post("t", "p", "u", delay=25, event="click:x")
+        assert op.task == "p" and op.target == "u"
+        assert op.delay == 25 and op.is_delayed_post
+        assert op.event == "click:x"
+        front = post("t", "p2", "u", at_front=True)
+        assert front.at_front
+
+    def test_missing_task_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            Operation(OpKind.BEGIN, "t")
+
+    def test_missing_thread_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            Operation(OpKind.READ, "", location="m")
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            Operation(OpKind.FORK, "t")
+
+    def test_missing_lock_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            Operation(OpKind.ACQUIRE, "t")
+
+    def test_missing_location_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            Operation(OpKind.WRITE, "t")
+
+    def test_delay_only_on_post(self):
+        with pytest.raises(MalformedOperationError):
+            Operation(OpKind.READ, "t", location="m", delay=5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(MalformedOperationError):
+            post("t", "p", "u", delay=-1)
+
+    def test_at_front_only_on_post(self):
+        with pytest.raises(MalformedOperationError):
+            Operation(OpKind.BEGIN, "t", task="p", at_front=True)
+
+
+class TestConflicts:
+    def test_write_write_same_location_conflicts(self):
+        assert write("t", "m").conflicts_with(write("u", "m"))
+
+    def test_read_write_conflicts_both_directions(self):
+        assert read("t", "m").conflicts_with(write("u", "m"))
+        assert write("t", "m").conflicts_with(read("u", "m"))
+
+    def test_read_read_does_not_conflict(self):
+        assert not read("t", "m").conflicts_with(read("u", "m"))
+
+    def test_different_locations_do_not_conflict(self):
+        assert not write("t", "m").conflicts_with(write("u", "n"))
+
+    def test_non_memory_ops_never_conflict(self):
+        assert not begin("t", "p").conflicts_with(write("t", "m"))
+
+
+class TestRendering:
+    def test_paper_syntax(self):
+        assert post("t0", "LAUNCH_ACTIVITY", "t1").render() == "post(t0,LAUNCH_ACTIVITY,t1)"
+        assert begin("t1", "p").render() == "begin(t1,p)"
+        assert fork("t1", "t2").render() == "fork(t1,t2)"
+        assert read("t2", "obj.f").render() == "read(t2,obj.f)"
+        assert enable("t1", "onDestroy").render() == "enable(t1,onDestroy)"
+        assert attachq("t1").render() == "attachQ(t1)"
+
+    def test_delayed_post_rendering_includes_delay(self):
+        assert "delay=10" in post("t", "p", "u", delay=10).render()
+
+    def test_at_front_rendering(self):
+        assert "at_front" in post("t", "p", "u", at_front=True).render()
+
+
+class TestPredicates:
+    def test_memory_access_predicates(self):
+        r, w = read("t", "m"), write("t", "m")
+        assert r.is_memory_access and r.is_read and not r.is_write
+        assert w.is_memory_access and w.is_write and not w.is_read
+        assert not begin("t", "p").is_memory_access
+
+    def test_zero_delay_post_is_not_delayed(self):
+        assert not post("t", "p", "u", delay=0).is_delayed_post

@@ -1,0 +1,147 @@
+"""Tests for SharedPreferences and the timeline renderers."""
+
+import pytest
+
+from repro.android import (
+    Activity,
+    AndroidSystem,
+    Ctx,
+    UIEvent,
+    get_shared_preferences,
+)
+from repro.bench.timeline import render_race_context, render_task_summary, render_timeline
+from repro.core import HappensBefore, detect_races, validate_trace
+from repro.core.race_detector import RaceDetector
+
+
+class PrefsActivity(Activity):
+    def on_create(self, ctx: Ctx) -> None:
+        prefs = get_shared_preferences(self.system, "settings")
+        prefs.edit().put("launches", 1).apply(ctx)
+        self.register_button(ctx, "applyBtn", on_click=self.on_apply)
+        self.register_button(ctx, "commitBtn", on_click=self.on_commit)
+        self.register_button(ctx, "readBtn", on_click=self.on_read)
+
+    def on_apply(self, ctx: Ctx) -> None:
+        prefs = get_shared_preferences(self.system, "settings")
+        count = prefs.get(ctx, "launches", 0)
+        prefs.edit().put("launches", count + 1).apply(ctx)
+
+    def on_commit(self, ctx: Ctx) -> None:
+        prefs = get_shared_preferences(self.system, "settings")
+        prefs.edit().put("theme", "dark").commit(ctx)
+
+    def on_read(self, ctx: Ctx) -> None:
+        prefs = get_shared_preferences(self.system, "settings")
+        self.last_theme = prefs.get(ctx, "theme")
+
+
+def run_prefs(events, seed=0, strict=False):
+    system = AndroidSystem(seed=seed)
+    if strict:
+        system.strict_mode.enable()
+    system.launch(PrefsActivity)
+    system.run_to_quiescence()
+    for event in events:
+        system.fire(event)
+        system.run_to_quiescence()
+    return system, system.finish()
+
+
+class TestSharedPreferences:
+    def test_get_put_roundtrip(self):
+        system, trace = run_prefs([UIEvent("click", "readBtn")])
+        validate_trace(trace)
+        prefs = get_shared_preferences(system, "settings")
+        assert prefs._values["launches"] == 1
+
+    def test_apply_commits_on_queued_work_thread(self):
+        system, trace = run_prefs([])
+        assert "queued-work" in trace.threads
+        disk_writes = [
+            op
+            for op in trace
+            if op.is_write and op.location.endswith("diskState")
+        ]
+        assert any(op.thread == "queued-work" for op in disk_writes)
+
+    def test_commit_blocks_on_calling_thread_and_strictmode_flags_it(self):
+        system, trace = run_prefs([UIEvent("click", "commitBtn")], strict=True)
+        kinds = [v.kind for v in system.strict_mode.violations]
+        assert "disk-write" in kinds
+
+    def test_concurrent_applies_race_on_disk_state(self):
+        """Two apply() disk commits from different contexts race with a
+        commit() disk write — the classic SharedPreferences hazard."""
+        system, trace = run_prefs(
+            [UIEvent("click", "applyBtn"), UIEvent("click", "commitBtn")]
+        )
+        report = detect_races(trace)
+        disk_races = [
+            r for r in report.races if r.field_name == "SharedPreferences.diskState"
+        ]
+        assert disk_races
+
+    def test_same_instance_per_file(self):
+        system, _ = run_prefs([])
+        a = get_shared_preferences(system, "settings")
+        b = get_shared_preferences(system, "settings")
+        c = get_shared_preferences(system, "other")
+        assert a is b and a is not c
+
+    def test_editor_remove_and_clear(self):
+        system, _ = run_prefs([])
+        prefs = get_shared_preferences(system, "settings")
+        ctx = system.env.main_ctx
+        editor = prefs.edit().put("a", 1).put("b", 2)
+        editor._merge(ctx)
+        prefs.edit().remove("a")._merge(ctx)
+        assert "a" not in prefs._values and prefs._values["b"] == 2
+        prefs.edit().clear()._merge(ctx)
+        assert prefs._values == {}
+
+
+class TestTimelineRendering:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        from repro.apps.paper_traces import figure4_trace
+
+        trace = figure4_trace()
+        detector = RaceDetector(trace)
+        detector.detect()
+        return trace, detector.hb
+
+    def test_timeline_columns_per_thread(self, fig4):
+        trace, _ = fig4
+        text = render_timeline(trace)
+        lines = text.splitlines()
+        assert "t0" in lines[0] and "t1" in lines[0] and "t2" in lines[0]
+        # The write in LAUNCH_ACTIVITY sits in t1's column.
+        write_line = next(l for l in lines if "write(t1" in l)
+        assert write_line.index("write") > 30
+
+    def test_timeline_focus_marks_accesses(self, fig4):
+        trace, _ = fig4
+        text = render_timeline(trace, focus_location="DwFileAct.isActivityDestroyed")
+        assert text.count(" *") == 4  # 2 writes + 2 reads on the flag
+
+    def test_timeline_truncation(self, fig4):
+        trace, _ = fig4
+        text = render_timeline(trace, max_ops=5)
+        assert "more operations" in text
+
+    def test_task_summary(self, fig4):
+        trace, _ = fig4
+        text = render_task_summary(trace)
+        assert "LAUNCH_ACTIVITY" in text
+        assert "onDestroy" in text and "event=onDestroy" in text
+
+    def test_race_context_matrix(self, fig4):
+        trace, hb = fig4
+        text = render_race_context(trace, hb, "DwFileAct.isActivityDestroyed")
+        assert "RACE" in text
+        assert "≺" in text
+
+    def test_race_context_no_accesses(self, fig4):
+        trace, hb = fig4
+        assert "no accesses" in render_race_context(trace, hb, "Ghost.x")

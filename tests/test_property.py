@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on the core data structures and on
+whole-system invariants driven by randomly generated applications."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.android import AndroidEnv, Ctx, RandomPolicy, ReplayPolicy, SharedObject
+from repro.android.message_queue import Message, MessageQueue
+from repro.core import HappensBefore, detect_races, validate_trace
+from repro.core.baselines import EVENT_DRIVEN_ONLY, NAIVE_COMBINED
+from repro.core.graph import bits
+from repro.core.happens_before import ANDROID_HB
+from repro.core.operations import OpKind
+from repro.core.trace import ExecutionTrace
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+class TestBitsProperties:
+    @given(st.integers(min_value=0, max_value=2**512 - 1))
+    def test_bits_roundtrip(self, mask):
+        assert sum(1 << b for b in bits(mask)) == mask
+
+    @given(st.integers(min_value=0, max_value=2**512 - 1))
+    def test_bits_sorted_unique(self, mask):
+        out = bits(mask)
+        assert out == sorted(set(out))
+
+
+class TestMessageQueueProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=300),  # delay
+                st.booleans(),  # at_front
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_delivery_respects_time_and_fifo(self, posts):
+        queue = MessageQueue("t")
+        for seq, (delay, at_front) in enumerate(posts, start=1):
+            if at_front:
+                delay = 0  # postAtFrontOfQueue takes no delay
+            queue.enqueue(
+                Message(
+                    task="p%d" % seq,
+                    callback=lambda: None,
+                    target="t",
+                    posted_by="u",
+                    when=delay,
+                    seq=seq,
+                    delay=delay or None,
+                    at_front=at_front,
+                )
+            )
+        clock = 0
+        delivered = []
+        while queue:
+            message = queue.eligible(clock)
+            if message is None:
+                clock = queue.next_wakeup()
+                continue
+            delivered.append(queue.dequeue(clock))
+        # All messages delivered exactly once.
+        assert sorted(m.task for m in delivered) == sorted(
+            "p%d" % i for i in range(1, len(posts) + 1)
+        )
+        # Among non-barging messages, delivery is (when, seq)-monotone.
+        plain = [m for m in delivered if not m.at_front]
+        keys = [(m.when, m.seq) for m in plain]
+        assert keys == sorted(keys)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20))
+    def test_next_wakeup_is_minimum(self, whens):
+        queue = MessageQueue("t")
+        for seq, when in enumerate(whens, start=1):
+            queue.enqueue(
+                Message("p%d" % seq, lambda: None, "t", "u", when=when, seq=seq)
+            )
+        assert queue.next_wakeup() == min(whens)
+
+
+def build_random_app(env: AndroidEnv, rng: random.Random):
+    """Construct a small random application exercising forks, loopers,
+    posts (plain/delayed/at-front), locks and shared accesses."""
+    objects = [SharedObject(env, "Obj") for _ in range(3)]
+    locks = [env.new_lock() for _ in range(2)]
+    n_threads = rng.randint(1, 3)
+    n_posts = rng.randint(1, 5)
+
+    def task_body(obj, field, lock):
+        def body():
+            ctx = env.current_ctx
+            if lock is not None:
+                return locked_body(ctx)
+            ctx.write(obj, field, 1)
+            ctx.read(obj, field)
+
+        def locked_body(ctx):
+            yield ctx.acquire(lock)
+            ctx.write(obj, field, 1)
+            ctx.release(lock)
+
+        return body
+
+    def worker(obj, field, lock, post_back):
+        def entry(ctx: Ctx):
+            if lock is not None:
+                yield ctx.acquire(lock)
+            ctx.write(obj, field, 2)
+            if lock is not None:
+                ctx.release(lock)
+            yield
+            if post_back:
+                ctx.post(task_body(obj, field, None), name="callback")
+
+        return entry
+
+    def setup():
+        ctx = env.current_ctx
+        for i in range(n_threads):
+            obj = rng.choice(objects)
+            lock = rng.choice(locks + [None])
+            ctx.fork(
+                worker(obj, "f%d" % rng.randint(0, 2), lock, rng.random() < 0.5),
+                name="w%d" % i,
+            )
+        for i in range(n_posts):
+            obj = rng.choice(objects)
+            delay = rng.choice([None, None, 10, 50])
+            at_front = delay is None and rng.random() < 0.1
+            env.post_message(
+                env.main,
+                env.main,
+                task_body(obj, "f%d" % rng.randint(0, 2), rng.choice(locks + [None])),
+                "job",
+                delay=delay,
+                at_front=at_front,
+            )
+
+    env.main.push_action(setup)
+
+
+def run_random_app(seed: int) -> AndroidEnv:
+    rng = random.Random(seed)
+    env = AndroidEnv(RandomPolicy(seed), name="random-app")
+    build_random_app(env, rng)
+    env.run()
+    env.shutdown()
+    return env
+
+
+class TestRandomAppInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+    def test_generated_traces_satisfy_the_semantics(self, seed):
+        env = run_random_app(seed)
+        validate_trace(env.build_trace())
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    def test_coalescing_preserves_detection(self, seed):
+        trace = run_random_app(seed).build_trace()
+        key = lambda rep: sorted((r.location, r.category.value) for r in rep.races)
+        assert key(detect_races(trace, coalesce=True)) == key(
+            detect_races(trace, coalesce=False)
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    def test_hb_edges_point_forward_and_are_antisymmetric(self, seed):
+        trace = run_random_app(seed).build_trace()
+        hb = HappensBefore(trace)
+        graph = hb.graph
+        for i in range(len(graph)):
+            for j in bits(graph.hb_row(i)):
+                assert i < j
+                assert not graph.ordered(j, i) or i == j
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    def test_android_hb_contains_event_only_hb(self, seed):
+        """The paper's relation extends the event-driven relation with
+        fork/join/lock edges, so it orders strictly more pairs; hence its
+        racy-pair set is a subset."""
+        trace = run_random_app(seed).build_trace()
+        android = HappensBefore(trace, config=ANDROID_HB)
+        event_only = HappensBefore(trace, config=EVENT_DRIVEN_ONLY)
+        n = min(len(trace), 120)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if event_only.ordered(i, j):
+                    assert android.ordered(i, j), (i, j)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+    def test_naive_combination_contains_android_hb(self, seed):
+        """Unrestricted transitivity + same-thread lock edges only ever add
+        orderings — the android relation is contained in the naive one (so
+        naive misses races; it never finds more)."""
+        trace = run_random_app(seed).build_trace()
+        android = HappensBefore(trace, config=ANDROID_HB)
+        naive = HappensBefore(trace, config=NAIVE_COMBINED)
+        n = min(len(trace), 120)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if android.ordered(i, j):
+                    assert naive.ordered(i, j), (i, j)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=SUPPRESS)
+    def test_replay_reproduces_trace(self, seed):
+        original = run_random_app(seed)
+        rng = random.Random(seed)
+        env = AndroidEnv(ReplayPolicy(original.decisions), name="random-app")
+        build_random_app(env, rng)
+        env.run()
+        env.shutdown()
+        assert [op.render() for op in env.ops] == [
+            op.render() for op in original.ops
+        ]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=SUPPRESS)
+    def test_serialization_roundtrip(self, seed):
+        trace = run_random_app(seed).build_trace()
+        restored = ExecutionTrace.from_jsonl(trace.to_jsonl())
+        assert [op.render() for op in restored] == [op.render() for op in trace]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=SUPPRESS)
+    def test_detection_deterministic(self, seed):
+        trace = run_random_app(seed).build_trace()
+        a = detect_races(trace)
+        b = detect_races(trace)
+        assert [str(r) for r in a.races] == [str(r) for r in b.races]
+
+
+class TestLifecycleProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_walks_respect_figure8(self, seed):
+        """Random legal walks never reach onDestroy before onCreate, never
+        revisit onCreate, and only terminate in Destroyed."""
+        from repro.core.lifecycle_model import ActivityLifecycle
+
+        rng = random.Random(seed)
+        machine = ActivityLifecycle()
+        for _ in range(30):
+            nxt = machine.successors()
+            if not nxt:
+                break
+            machine.advance(rng.choice(nxt))
+        history = machine.history
+        if ActivityLifecycle.ON_DESTROY in history:
+            assert history.index(ActivityLifecycle.ON_CREATE) < history.index(
+                ActivityLifecycle.ON_DESTROY
+            )
+        assert history.count(ActivityLifecycle.ON_CREATE) <= 1
+        if machine.is_terminal:
+            assert machine.current == ActivityLifecycle.DESTROYED

@@ -1,0 +1,106 @@
+"""Tests for automated race validation via schedule perturbation —
+the mechanized version of the paper's §6 DDMS debugger sessions."""
+
+import pytest
+
+from repro.apps.browser_app import BrowserApp
+from repro.apps.dictionary_app import DictionaryApp
+from repro.apps.messenger_app import MessengerApp
+from repro.core import detect_races
+from repro.explorer import ScheduleExplorer
+
+
+SEEDS = range(14)
+
+
+class TestTruePositivesValidate:
+    def test_dictionary_service_race_flips_order(self):
+        explorer = ScheduleExplorer(
+            DictionaryApp(), events=["click:lookupBtn"], seeds=SEEDS
+        )
+        result = explorer.validate_field("DictionaryService.loaded")
+        assert result.validated
+        assert len(result.observations) >= 2
+        assert "VALIDATED" in result.describe()
+
+    def test_browser_genuine_favicon_race_validates(self):
+        explorer = ScheduleExplorer(
+            BrowserApp(), events=["click:loadBtn"], seeds=SEEDS
+        )
+        assert explorer.validate_field("BrowserActivity.favicon").validated
+
+
+class TestFalsePositivesStayUnconfirmed:
+    def test_browser_untracked_relay_never_flips(self):
+        """The url/progress 'races' are causally fixed by the invisible
+        native relay: every schedule produces the same access order."""
+        explorer = ScheduleExplorer(
+            BrowserApp(), events=["click:loadBtn"], seeds=SEEDS
+        )
+        for field in ("BrowserActivity.url", "BrowserActivity.progress"):
+            result = explorer.validate_field(field)
+            assert not result.validated, field
+            assert len(result.orders_seen) <= 1
+
+
+class TestValidateReport:
+    def test_validate_full_report(self):
+        app = MessengerApp()
+        system = app.build(seed=1)
+        system.run_to_quiescence()
+        from repro.explorer import find_event
+
+        event = find_event(system.enabled_events(), "click:deleteBtn")
+        system.fire(event)
+        system.run_to_quiescence()
+        report = detect_races(system.finish())
+        assert report.races
+        explorer = ScheduleExplorer(
+            app, events=["click:deleteBtn"], seeds=SEEDS
+        )
+        results = explorer.validate_report(report.races)
+        assert set(results) == {r.field_name for r in report.races}
+        # The Cursor race is a §6-confirmed true positive: it validates.
+        rows = results.get("ConversationActivity.rows")
+        assert rows is not None and rows.validated
+
+    def test_field_never_accessed_yields_no_observations(self):
+        explorer = ScheduleExplorer(DictionaryApp(), seeds=range(3))
+        result = explorer.validate_field("Ghost.field")
+        assert not result.validated
+        assert result.observations == []
+
+
+class TestSyntheticGroundTruthSpotCheck:
+    """The synthetic apps' ground-truth registry agrees with dynamic
+    validation on representative gadgets (full-matrix validation would be
+    slow; the registry is by-construction)."""
+
+    def test_mt_true_gadget_validates(self):
+        from repro.apps.specs import SPEC_BY_NAME
+        from repro.apps.synthetic import SyntheticApp
+
+        app = SyntheticApp(SPEC_BY_NAME["Aard Dictionary"], scale=0.15)
+
+        class Wrapper:
+            name = "aard-wrapper"
+
+            def build(self, seed=0):
+                return app.build(seed)
+
+        explorer = ScheduleExplorer(
+            Wrapper(), events=app.scripted_events(), seeds=range(6)
+        )
+        # Seed sweeps alone cannot flip this pair (the probe task sits
+        # behind a deep message queue), exactly why the paper resorted to
+        # breakpoints; the adversarial stall strategy flips it.
+        assert not explorer.validate_field("Racy.mt_t0").validated
+        result = explorer.validate_field_adversarially("Racy.mt_t0")
+        assert result.validated
+
+    def test_adversarial_does_not_confirm_false_positive(self):
+        explorer = ScheduleExplorer(
+            BrowserApp(), events=["click:loadBtn"], seeds=range(6)
+        )
+        result = explorer.validate_field_adversarially("BrowserActivity.url")
+        assert not result.validated

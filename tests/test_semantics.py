@@ -1,0 +1,246 @@
+"""Tests for the operational semantics (Figure 5) replay validator."""
+
+import pytest
+
+from repro.core.operations import (
+    acquire,
+    attachq,
+    begin,
+    enable,
+    end,
+    fork,
+    join,
+    looponq,
+    post,
+    read,
+    release,
+    threadexit,
+    threadinit,
+    write,
+)
+from repro.core.semantics import (
+    ApplicationState,
+    SemanticsError,
+    is_valid_trace,
+    step,
+    validate_trace,
+)
+from repro.core.trace import ExecutionTrace
+
+
+def trace_of(*ops):
+    return ExecutionTrace(list(ops))
+
+
+class TestInitExit:
+    def test_framework_thread_admitted_lazily(self):
+        assert is_valid_trace(trace_of(threadinit("t")))
+
+    def test_ops_before_threadinit_rejected(self):
+        with pytest.raises(SemanticsError):
+            validate_trace(trace_of(read("t", "m"), threadinit("t")))
+
+    def test_exit_while_task_running_rejected(self):
+        ops = [
+            threadinit("t"),
+            attachq("t"),
+            looponq("t"),
+            post("t", "p", "t"),
+            begin("t", "p"),
+            threadexit("t"),
+        ]
+        with pytest.raises(SemanticsError, match="still running"):
+            validate_trace(trace_of(*ops))
+
+    def test_ops_after_exit_rejected(self):
+        with pytest.raises(SemanticsError):
+            validate_trace(trace_of(threadinit("t"), threadexit("t"), read("t", "m")))
+
+
+class TestForkJoin:
+    def test_fork_then_init_then_join(self):
+        assert is_valid_trace(
+            trace_of(
+                threadinit("t"),
+                fork("t", "u"),
+                threadinit("u"),
+                threadexit("u"),
+                join("t", "u"),
+            )
+        )
+
+    def test_fork_of_existing_thread_rejected(self):
+        with pytest.raises(SemanticsError, match="not fresh"):
+            validate_trace(trace_of(threadinit("t"), threadinit("u"), fork("t", "u")))
+
+    def test_join_before_exit_rejected(self):
+        with pytest.raises(SemanticsError, match="has not finished"):
+            validate_trace(
+                trace_of(threadinit("t"), fork("t", "u"), threadinit("u"), join("t", "u"))
+            )
+
+
+class TestLocks:
+    def test_acquire_release_cycle(self):
+        assert is_valid_trace(
+            trace_of(threadinit("t"), acquire("t", "l"), release("t", "l"))
+        )
+
+    def test_reentrant_acquire_allowed(self):
+        assert is_valid_trace(
+            trace_of(
+                threadinit("t"),
+                acquire("t", "l"),
+                acquire("t", "l"),
+                release("t", "l"),
+                release("t", "l"),
+            )
+        )
+
+    def test_acquire_of_held_lock_rejected(self):
+        with pytest.raises(SemanticsError, match="held by"):
+            validate_trace(
+                trace_of(
+                    threadinit("t"),
+                    threadinit("u"),
+                    acquire("t", "l"),
+                    acquire("u", "l"),
+                )
+            )
+
+    def test_release_of_unheld_lock_rejected(self):
+        with pytest.raises(SemanticsError, match="not held"):
+            validate_trace(trace_of(threadinit("t"), release("t", "l")))
+
+    def test_release_after_other_thread_releases(self):
+        assert is_valid_trace(
+            trace_of(
+                threadinit("t"),
+                threadinit("u"),
+                acquire("t", "l"),
+                release("t", "l"),
+                acquire("u", "l"),
+                release("u", "l"),
+            )
+        )
+
+
+class TestQueues:
+    def test_post_to_thread_without_queue_rejected(self):
+        with pytest.raises(SemanticsError, match="no task queue"):
+            validate_trace(
+                trace_of(threadinit("t"), threadinit("u"), post("t", "p", "u"))
+            )
+
+    def test_post_allowed_before_loop(self):
+        # Figure 5: the queue receives posts immediately after attachQ.
+        assert is_valid_trace(
+            trace_of(threadinit("t"), attachq("t"), post("t", "p", "t"))
+        )
+
+    def test_begin_before_loop_rejected(self):
+        with pytest.raises(SemanticsError, match="has not begun looping"):
+            validate_trace(
+                trace_of(
+                    threadinit("t"), attachq("t"), post("t", "p", "t"), begin("t", "p")
+                )
+            )
+
+    def test_begin_of_unposted_task_rejected(self):
+        with pytest.raises(SemanticsError):
+            validate_trace(
+                trace_of(threadinit("t"), attachq("t"), looponq("t"), begin("t", "p"))
+            )
+
+    def test_strict_fifo_enforced(self):
+        ops = [
+            threadinit("t"),
+            attachq("t"),
+            looponq("t"),
+            post("t", "p1", "t"),
+            post("t", "p2", "t"),
+            begin("t", "p2"),  # out of FIFO order
+        ]
+        assert is_valid_trace(trace_of(*ops), strict_fifo=False)
+        with pytest.raises(SemanticsError, match="not at the front"):
+            validate_trace(trace_of(*ops), strict_fifo=True)
+
+    def test_begin_while_executing_rejected(self):
+        # Run-to-completion: a second begin without end is invalid at the
+        # trace-structure level already.
+        from repro.core.trace import InvalidTraceError
+
+        with pytest.raises(InvalidTraceError):
+            trace_of(
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                post("t", "p1", "t"),
+                post("t", "p2", "t"),
+                begin("t", "p1"),
+                begin("t", "p2"),
+            )
+
+    def test_end_of_non_running_task_rejected_by_trace(self):
+        from repro.core.trace import InvalidTraceError
+
+        with pytest.raises(InvalidTraceError):
+            trace_of(
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                post("t", "p1", "t"),
+                post("t", "p2", "t"),
+                begin("t", "p1"),
+                end("t", "p2"),
+            )
+
+
+class TestMemoryAndEnable:
+    def test_read_write_enable_need_running_thread(self):
+        state = ApplicationState()
+        with pytest.raises(SemanticsError):
+            step(state, read("ghost", "m", index=0))
+
+    def test_full_figure_style_trace_validates(self):
+        from repro.apps.paper_traces import figure3_trace, figure4_trace
+
+        validate_trace(figure3_trace(), strict_fifo=True)
+        validate_trace(figure4_trace(), strict_fifo=True)
+
+
+class TestAtFront:
+    def test_at_front_post_dequeues_first_in_relaxed_mode(self):
+        ops = [
+            threadinit("t"),
+            attachq("t"),
+            looponq("t"),
+            post("t", "p1", "t"),
+            post("t", "p2", "t", at_front=True),
+            begin("t", "p2"),
+            end("t", "p2"),
+            begin("t", "p1"),
+            end("t", "p1"),
+        ]
+        assert is_valid_trace(trace_of(*ops), strict_fifo=False)
+
+
+class TestRuntimeTracesAreValid:
+    """The semantics is the contract between trace generation and analysis:
+    every trace the simulated runtime produces must replay cleanly."""
+
+    def test_music_player_traces_valid(self):
+        from repro.apps.music_player import run_scenario
+
+        for back in (False, True):
+            _, trace = run_scenario(press_back=back, seed=13)
+            validate_trace(trace)
+
+    def test_demo_app_traces_valid(self):
+        from repro.apps.registry import DEMO_APPS
+        from repro.explorer import UIExplorer
+
+        for app in DEMO_APPS.values():
+            result = UIExplorer(app, depth=1, seed=4, max_runs=4).explore()
+            for run in result.store.runs:
+                validate_trace(run.trace)

@@ -1,0 +1,99 @@
+"""Tests for the StrictMode thread-policy checker (§7 related work)."""
+
+import pytest
+
+from repro.android import (
+    Activity,
+    AndroidSystem,
+    Ctx,
+    StrictModeViolationError,
+    UIEvent,
+    blocking_io,
+)
+from repro.android.errors import AppCrashError
+
+
+class IOActivity(Activity):
+    def on_create(self, ctx: Ctx) -> None:
+        self.register_button(ctx, "mainIO", on_click=self.on_main_io)
+        self.register_button(ctx, "bgIO", on_click=self.on_bg_io)
+
+    def on_main_io(self, ctx: Ctx) -> None:
+        blocking_io(ctx, "disk-read", "load thumbnails")
+
+    def on_bg_io(self, ctx: Ctx) -> None:
+        def worker(tctx: Ctx):
+            blocking_io(tctx, "network", "fetch feed")
+
+        ctx.fork(worker, name="io-worker")
+
+
+def booted(enable=True, **kwargs):
+    system = AndroidSystem(seed=0)
+    if enable:
+        system.strict_mode.enable(**kwargs)
+    system.launch(IOActivity)
+    system.run_to_quiescence()
+    return system
+
+
+class TestStrictMode:
+    def test_disabled_by_default(self):
+        system = booted(enable=False)
+        system.fire(UIEvent("click", "mainIO"))
+        system.run_to_quiescence()
+        assert system.strict_mode.violations == []
+
+    def test_main_thread_io_flagged(self):
+        system = booted()
+        system.fire(UIEvent("click", "mainIO"))
+        system.run_to_quiescence()
+        (violation,) = system.strict_mode.violations
+        assert violation.kind == "disk-read"
+        assert violation.thread == "main"
+        assert "thumbnails" in violation.detail
+        assert "StrictMode" in str(violation)
+
+    def test_background_io_allowed(self):
+        system = booted()
+        system.fire(UIEvent("click", "bgIO"))
+        system.run_to_quiescence()
+        assert system.strict_mode.violations == []
+
+    def test_kind_filter(self):
+        system = booted(kinds=["network"])
+        system.fire(UIEvent("click", "mainIO"))  # disk-read: not detected
+        system.run_to_quiescence()
+        assert system.strict_mode.violations == []
+
+    def test_penalty_death_raises(self):
+        system = booted(penalty_death=True)
+        system.fire(UIEvent("click", "mainIO"))
+        with pytest.raises(AppCrashError) as info:
+            system.run_to_quiescence()
+        assert isinstance(info.value.original, StrictModeViolationError)
+
+    def test_unknown_kind_rejected(self):
+        system = booted()
+        with pytest.raises(ValueError):
+            blocking_io(system.env.main_ctx, "telepathy")
+
+    def test_orthogonal_to_race_detection(self):
+        """StrictMode violations are a policy report, not trace content:
+        the generated trace is unchanged."""
+        from repro.core import validate_trace
+
+        flagged = booted()
+        flagged.fire(UIEvent("click", "mainIO"))
+        flagged.run_to_quiescence()
+        trace_flagged = flagged.finish()
+
+        silent = booted(enable=False)
+        silent.fire(UIEvent("click", "mainIO"))
+        silent.run_to_quiescence()
+        trace_silent = silent.finish()
+
+        validate_trace(trace_flagged)
+        assert [op.render() for op in trace_flagged] == [
+            op.render() for op in trace_silent
+        ]

@@ -1,0 +1,231 @@
+"""Tests for the vector-clock detector and its cross-check against the
+graph engine running the same (classic multithreaded) relation."""
+
+import pytest
+
+from repro.core.baselines import MULTITHREADED_ONLY
+from repro.core.operations import (
+    acquire,
+    attachq,
+    begin,
+    end,
+    fork,
+    join,
+    looponq,
+    post,
+    read,
+    release,
+    threadexit,
+    threadinit,
+    write,
+)
+from repro.core.race_detector import detect_races
+from repro.core.trace import ExecutionTrace
+from repro.core.vector_clock import (
+    Epoch,
+    VectorClock,
+    detect_races_vc,
+)
+
+
+def trace_of(*ops):
+    return ExecutionTrace(list(ops))
+
+
+class TestVectorClockType:
+    def test_tick_and_time(self):
+        vc = VectorClock()
+        assert vc.time_of("t") == 0
+        vc.tick("t")
+        vc.tick("t")
+        assert vc.time_of("t") == 2
+
+    def test_join_takes_pointwise_max(self):
+        a = VectorClock({"t": 3, "u": 1})
+        b = VectorClock({"u": 5, "v": 2})
+        a.join(b)
+        assert a.clocks == {"t": 3, "u": 5, "v": 2}
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"t": 1})
+        b = a.copy()
+        b.tick("t")
+        assert a.time_of("t") == 1
+
+    def test_dominates(self):
+        vc = VectorClock({"t": 3})
+        assert vc.dominates("t", 3) and vc.dominates("t", 2)
+        assert not vc.dominates("t", 4)
+        assert not vc.dominates("u", 1)
+
+    def test_epoch_happens_before(self):
+        assert Epoch("t", 2).happens_before(VectorClock({"t": 2}))
+        assert not Epoch("t", 3).happens_before(VectorClock({"t": 2}))
+
+
+class TestDetection:
+    def test_plain_write_write_race(self):
+        report = detect_races_vc(
+            trace_of(threadinit("t"), threadinit("u"), write("t", "x"), write("u", "x"))
+        )
+        assert report.racy_locations() == ["x"]
+        assert report.races[0].kind == "write-write"
+
+    def test_write_read_race(self):
+        report = detect_races_vc(
+            trace_of(threadinit("t"), threadinit("u"), write("t", "x"), read("u", "x"))
+        )
+        assert [r.kind for r in report.races] == ["write-read"]
+
+    def test_read_write_race(self):
+        report = detect_races_vc(
+            trace_of(threadinit("t"), threadinit("u"), read("t", "x"), write("u", "x"))
+        )
+        assert [r.kind for r in report.races] == ["read-write"]
+
+    def test_fork_orders(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                write("t", "x"),
+                fork("t", "u"),
+                threadinit("u"),
+                write("u", "x"),
+            )
+        )
+        assert report.races == []
+
+    def test_join_orders(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                fork("t", "u"),
+                threadinit("u"),
+                write("u", "x"),
+                threadexit("u"),
+                join("t", "u"),
+                read("t", "x"),
+            )
+        )
+        assert report.races == []
+
+    def test_lock_orders(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                threadinit("u"),
+                acquire("t", "l"),
+                write("t", "x"),
+                release("t", "l"),
+                acquire("u", "l"),
+                write("u", "x"),
+                release("u", "l"),
+            )
+        )
+        assert report.races == []
+
+    def test_post_orders_like_fork(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                threadinit("u"),
+                write("u", "x"),
+                post("u", "p", "t"),
+                begin("t", "p"),
+                read("t", "x"),
+                end("t", "p"),
+            )
+        )
+        assert report.races == []
+
+    def test_misses_single_threaded_races(self):
+        """The defining blind spot: full program order on looper threads."""
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                threadinit("u"),
+                threadinit("v"),
+                post("u", "p1", "t"),
+                post("v", "p2", "t"),
+                begin("t", "p1"),
+                write("t", "x"),
+                end("t", "p1"),
+                begin("t", "p2"),
+                write("t", "x"),
+                end("t", "p2"),
+            )
+        )
+        assert report.races == []
+
+    def test_concurrent_reads_inflate_to_vector(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                threadinit("u"),
+                threadinit("v"),
+                read("t", "x"),
+                read("u", "x"),
+                write("v", "x"),
+            )
+        )
+        assert report.epochs_inflated >= 1
+        assert report.racy_locations() == ["x"]
+
+    def test_three_thread_stale_write_found(self):
+        """w1(t) ∥ r(v) even though w2(u) ≺ r(v): the full-vector history
+        still catches the stale-thread component."""
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                threadinit("u"),
+                write("t", "x"),  # concurrent with everything on u,v
+                write("u", "x"),  # races with t's write
+                fork("u", "v"),
+                threadinit("v"),
+                read("v", "x"),  # ordered after u's write, not t's
+            )
+        )
+        kinds = sorted(r.kind for r in report.races)
+        assert "write-write" in kinds
+        assert "write-read" in kinds  # the stale t-write vs v-read
+
+
+class TestCrossCheck:
+    """Two independent implementations of classic multithreaded HB — the
+    vector-clock detector and the graph engine with MULTITHREADED_ONLY —
+    must agree on racy locations."""
+
+    def locations_agree(self, trace):
+        vc = set(detect_races_vc(trace).racy_locations())
+        graph = {r.location for r in detect_races(trace, config=MULTITHREADED_ONLY).races}
+        assert vc == graph, (vc, graph)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_apps(self, seed):
+        from tests.test_property import run_random_app
+
+        self.locations_agree(run_random_app(seed).build_trace())
+
+    @pytest.mark.parametrize("name", ["dictionary", "browser", "notes"])
+    def test_demo_apps(self, name):
+        from repro.apps.registry import DEMO_APPS
+
+        app = DEMO_APPS[name]
+        system = app.build(seed=3)
+        system.run_to_quiescence()
+        for event in list(system.enabled_events()):
+            if event.kind == "click":
+                system.fire(event)
+                system.run_to_quiescence()
+        self.locations_agree(system.finish())
+
+    def test_music_player(self):
+        from repro.apps.music_player import run_scenario
+
+        for back in (False, True):
+            _, trace = run_scenario(press_back=back, seed=8)
+            self.locations_agree(trace)

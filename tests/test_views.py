@@ -1,0 +1,152 @@
+"""Tests for widgets, enablement and the screen model."""
+
+import pytest
+
+from repro.android import Activity, AndroidSystem, Ctx, UIEvent
+from repro.android.views import Button, TextField
+from repro.core.operations import OpKind
+
+
+class WidgetHost(Activity):
+    clicks = []
+
+    def on_create(self, ctx: Ctx) -> None:
+        self.register_button(
+            ctx,
+            "multi",
+            on_click=lambda c: type(self).clicks.append("click"),
+            on_long_click=lambda c: type(self).clicks.append("long"),
+        )
+        self.register_button(
+            ctx, "hidden", on_click=lambda c: None, enabled=False
+        )
+        self.register_text_field(
+            ctx, "email", on_text=lambda c, text: type(self).clicks.append(text),
+            input_format="email",
+        )
+
+
+def booted_system():
+    system = AndroidSystem(seed=0)
+    system.launch(WidgetHost)
+    system.run_to_quiescence()
+    return system
+
+
+class TestEnablement:
+    def test_enabled_events_listed(self):
+        system = booted_system()
+        events = {e.describe() for e in system.enabled_events()}
+        assert "click:multi" in events
+        assert "long-click:multi" in events
+        assert any(e.startswith("text:email=") for e in events)
+        assert "back" in events and "rotate" in events
+        assert not any("hidden" in e for e in events)
+
+    def test_enable_ops_logged_per_event_kind(self):
+        system = booted_system()
+        enables = [op.task for op in system.env.ops if op.kind is OpKind.ENABLE]
+        assert any(e.startswith("click:multi@") for e in enables)
+        assert any(e.startswith("long-click:multi@") for e in enables)
+        assert not any("hidden" in e for e in enables)
+
+    def test_silent_enable_skips_logging_but_enables(self):
+        system = booted_system()
+        activity = system.screen.foreground
+        before = len([op for op in system.env.ops if op.kind is OpKind.ENABLE])
+        activity.find_view("hidden").set_enabled(system.env.main_ctx, True, silent=True)
+        after = len([op for op in system.env.ops if op.kind is OpKind.ENABLE])
+        assert before == after
+        assert any(
+            e.describe() == "click:hidden" for e in system.enabled_events()
+        )
+
+    def test_reenable_bumps_generation(self):
+        system = booted_system()
+        activity = system.screen.foreground
+        widget = activity.find_view("multi")
+        first = widget.enable_name_for("click")
+        widget.set_enabled(system.env.main_ctx, False)
+        widget.set_enabled(system.env.main_ctx, True)
+        second = widget.enable_name_for("click")
+        assert first != second and second.endswith("!2")
+
+
+class TestDispatch:
+    def test_click_and_long_click_routed(self):
+        WidgetHost.clicks = []
+        system = booted_system()
+        system.fire(UIEvent("click", "multi"))
+        system.run_to_quiescence()
+        system.fire(UIEvent("long-click", "multi"))
+        system.run_to_quiescence()
+        assert WidgetHost.clicks == ["click", "long"]
+
+    def test_text_event_carries_payload(self):
+        WidgetHost.clicks = []
+        system = booted_system()
+        system.fire(UIEvent("text", "email", "[email protected]"))
+        system.run_to_quiescence()
+        assert WidgetHost.clicks == ["[email protected]"]
+
+    def test_dispatch_post_tagged_with_enable_name(self):
+        system = booted_system()
+        system.fire(UIEvent("click", "multi"))
+        system.run_to_quiescence()
+        posts = [op for op in system.env.ops if op.kind is OpKind.POST and op.event]
+        assert any(op.event.startswith("click:multi@") for op in posts)
+
+    def test_firing_disabled_event_rejected(self):
+        system = booted_system()
+        with pytest.raises(KeyError):
+            system.fire(UIEvent("click", "nonexistent"))
+
+    def test_no_handler_rejected(self):
+        system = booted_system()
+        with pytest.raises(LookupError):
+            system.fire(UIEvent("long-click", "hidden"))
+
+
+class TestWidgetTypes:
+    def test_text_field_formats(self):
+        system = AndroidSystem(seed=0)
+
+        class Host(Activity):
+            def on_create(self, ctx):
+                self.register_text_field(ctx, "num", on_text=lambda c, t: None, input_format="number")
+
+        system.launch(Host)
+        system.run_to_quiescence()
+        events = [e for e in system.enabled_events() if e.kind == "text"]
+        assert [e.payload for e in events] == ["42"]
+
+    def test_unknown_format_rejected(self):
+        system = AndroidSystem(seed=0)
+
+        class Host(Activity):
+            def on_create(self, ctx):
+                self.register_text_field(ctx, "x", on_text=lambda c, t: None, input_format="martian")
+
+        system.launch(Host)
+        from repro.android.errors import AppCrashError
+
+        with pytest.raises(AppCrashError):
+            system.run_to_quiescence()
+
+    def test_unsupported_event_kind_rejected(self):
+        button = Button.__new__(Button)
+        button.activity = None
+        button.widget_id = "b"
+        button.enabled = False
+        button._handlers = {}
+        button._enable_names = {}
+        button._enable_generation = 0
+        with pytest.raises(ValueError):
+            button.set_handler("text", lambda c: None)
+
+    def test_no_foreground_no_events(self):
+        system = AndroidSystem(seed=0)
+        system.boot()
+        assert system.enabled_events() == []
+        with pytest.raises(LookupError):
+            system.screen.widget("any")
