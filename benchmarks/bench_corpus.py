@@ -1,0 +1,126 @@
+"""Benchmark E8 — corpus batch analysis: throughput and cache speedup.
+
+Builds a corpus of 24 stored traces (4 subjects x 6 schedule seeds),
+then measures:
+
+* batch throughput (traces/second) serial vs. a 4-worker pool;
+* cold-vs-warm wall clock through the result cache — the second pass
+  over an unchanged corpus must be >= 95% cache hits and measurably
+  faster.
+
+Parallel speedup depends on available cores (a 1-core container shows
+none — the numbers are published either way); the cache speedup
+assertion is hardware-independent.
+"""
+
+import time
+
+import pytest
+
+from conftest import publish
+from repro.apps.specs import OPEN_SOURCE_SPECS
+from repro.apps.synthetic import SyntheticApp
+from repro.corpus import BatchAnalyzer, ResultCache, TraceStore, aggregate
+
+SUBJECTS = 4
+SEEDS = 6
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def corpus_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("corpus")
+    store = TraceStore(root)
+    for spec in OPEN_SOURCE_SPECS[:SUBJECTS]:
+        for seed in range(SEEDS):
+            app = SyntheticApp(spec, scale=SCALE)
+            _, trace = app.run(seed=seed)
+            store.ingest(trace, app=spec.name)
+    assert len(store) >= 20, "corpus too small for a meaningful batch"
+    return root
+
+
+def test_batch_throughput(corpus_root):
+    store = TraceStore(corpus_root)
+    timings = []
+    for jobs in (1, 4):
+        start = time.perf_counter()
+        batch = BatchAnalyzer(store, cache=None, jobs=jobs).analyze()
+        elapsed = time.perf_counter() - start
+        assert not batch.errors()
+        timings.append((jobs, batch.parallel, len(batch.results), elapsed))
+    lines = [
+        "%6s | %8s | %7s | %10s | %12s"
+        % ("jobs", "mode", "traces", "wall (s)", "traces/sec"),
+        "-" * 56,
+    ]
+    for jobs, parallel, count, elapsed in timings:
+        lines.append(
+            "%6d | %8s | %7d | %10.3f | %12.1f"
+            % (jobs, "pool" if parallel else "serial", count, elapsed, count / elapsed)
+        )
+    publish("corpus_throughput.txt", "\n".join(lines))
+
+
+def test_cache_hit_speedup(corpus_root):
+    store = TraceStore(corpus_root)
+    cache = ResultCache(corpus_root)
+    cache.clear()
+    analyzer = BatchAnalyzer(store, cache=cache, jobs=1)
+
+    cold = analyzer.analyze()
+    warm = analyzer.analyze()
+
+    assert warm.hit_rate() >= 0.95
+    assert warm.wall_seconds < cold.wall_seconds
+    cold_report = aggregate(cold)
+    warm_report = aggregate(warm)
+    assert [r.to_dict() for r in warm_report.races] == [
+        r.to_dict() for r in cold_report.races
+    ]
+    publish(
+        "corpus_cache.txt",
+        "\n".join(
+            [
+                "%6s | %10s | %6s | %8s" % ("pass", "wall (s)", "hits", "misses"),
+                "-" * 40,
+                "%6s | %10.3f | %6d | %8d"
+                % ("cold", cold.wall_seconds, cold.cache_hits, cold.cache_misses),
+                "%6s | %10.3f | %6d | %8d"
+                % ("warm", warm.wall_seconds, warm.cache_hits, warm.cache_misses),
+                "",
+                "speedup: %.1fx, warm hit rate %.0f%%"
+                % (
+                    cold.wall_seconds / max(warm.wall_seconds, 1e-9),
+                    100.0 * warm.hit_rate(),
+                ),
+            ]
+        ),
+    )
+
+
+def test_parallel_matches_serial(corpus_root):
+    store = TraceStore(corpus_root)
+    serial = BatchAnalyzer(store, cache=None, jobs=1).analyze()
+    parallel = BatchAnalyzer(store, cache=None, jobs=4).analyze()
+    assert not serial.errors() and not parallel.errors()
+
+    def race_dicts(batch):
+        return [
+            [race.to_dict() for race in result.report.races]
+            for result in batch.results
+        ]
+
+    assert race_dicts(serial) == race_dicts(parallel)
+    serial_agg = aggregate(serial)
+    parallel_agg = aggregate(parallel)
+    assert serial_agg.per_category() == parallel_agg.per_category()
+
+
+def test_warm_corpus_analysis_speed(corpus_root, benchmark):
+    store = TraceStore(corpus_root)
+    cache = ResultCache(corpus_root)
+    analyzer = BatchAnalyzer(store, cache=cache, jobs=1)
+    analyzer.analyze()  # prime
+    batch = benchmark.pedantic(analyzer.analyze, rounds=3, iterations=1)
+    assert batch.hit_rate() >= 0.95

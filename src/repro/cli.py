@@ -8,12 +8,16 @@ Subcommands mirror the tool's workflow:
   and print its race report;
 * ``droidracer explore <demo-app>`` — systematic UI exploration of a
   hand-written demo app with race detection on every trace;
-* ``droidracer analyze <trace.jsonl>`` — offline detection on a trace file.
+* ``droidracer analyze <trace.jsonl>`` — offline detection on a trace file;
+* ``droidracer corpus ingest|analyze|report`` — the persistent trace
+  corpus: content-addressed store, parallel cached batch analysis, and
+  corpus-level aggregated race reports.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -30,6 +34,10 @@ from repro.core.trace import ExecutionTrace
 from repro.explorer import UIExplorer
 
 
+#: Default corpus location (relative to the working directory).
+DEFAULT_STORE = ".droidracer/corpus"
+
+
 def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -38,6 +46,15 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         help="trace-length scale factor (1.0 = the paper's full lengths)",
     )
     parser.add_argument("--seed", type=int, default=5, help="schedule seed")
+
+
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        metavar="DIR",
+        help="trace corpus directory (default: %(default)s)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -63,6 +80,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write the generated execution trace as JSONL for offline analysis",
     )
+    p_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the race report as machine-readable JSON",
+    )
     _add_scale(p_run)
 
     p_demo = sub.add_parser("demo", help="run a hand-written demo app scenario")
@@ -77,6 +99,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_explore.add_argument("--depth", type=int, default=2)
     p_explore.add_argument("--seed", type=int, default=0)
     p_explore.add_argument("--max-runs", type=int, default=25)
+    p_explore.add_argument(
+        "--store",
+        metavar="DIR",
+        help="also ingest every generated trace into this corpus store",
+    )
 
     p_analyze = sub.add_parser("analyze", help="detect races in a trace file (JSONL)")
     p_analyze.add_argument("trace", help="path to a trace in JSONL format")
@@ -85,6 +112,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print a structured explanation for every reported race",
     )
+    p_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the race report as machine-readable JSON",
+    )
+
+    p_corpus = sub.add_parser(
+        "corpus", help="persistent trace corpus: ingest, batch-analyze, report"
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_command", required=True)
+
+    p_ingest = corpus_sub.add_parser(
+        "ingest", help="store traces (JSONL files or directories) in the corpus"
+    )
+    p_ingest.add_argument("paths", nargs="+", metavar="PATH")
+    _add_store(p_ingest)
+    p_ingest.add_argument("--app", help="override app attribution for these traces")
+    p_ingest.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip malformed trace lines (with a warning) instead of failing",
+    )
+
+    p_canalyze = corpus_sub.add_parser(
+        "analyze", help="run race detection over every stored trace"
+    )
+    _add_store(p_canalyze)
+    p_canalyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: os.cpu_count(); 1 = serial)",
+    )
+    p_canalyze.add_argument(
+        "--no-cache", action="store_true", help="ignore and do not write the result cache"
+    )
+    p_canalyze.add_argument("--json", action="store_true")
+
+    p_creport = corpus_sub.add_parser(
+        "report", help="corpus-level aggregated race report (deduplicated)"
+    )
+    _add_store(p_creport)
+    p_creport.add_argument("--jobs", type=int, default=None, metavar="N")
+    p_creport.add_argument("--json", action="store_true")
 
     args = parser.parse_args(argv)
 
@@ -100,6 +172,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        from repro.corpus import report_to_json
+
         app = paper_app(args.app, scale=args.scale)
         _, trace = app.run(seed=args.seed)
         if args.save_trace:
@@ -107,6 +181,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 handle.write(trace.to_jsonl())
             print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
         report = detect_races(trace)
+        if args.json:
+            print(report_to_json(report))
+            return 0
         print(report.summary())
         for race in report.races:
             print("  ", race)
@@ -148,13 +225,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "explore":
+        trace_store = None
+        if args.store:
+            from repro.corpus import TraceStore
+
+            trace_store = TraceStore(args.store)
         explorer = UIExplorer(
-            demo_app(args.app), depth=args.depth, seed=args.seed, max_runs=args.max_runs
+            demo_app(args.app),
+            depth=args.depth,
+            seed=args.seed,
+            max_runs=args.max_runs,
+            trace_store=trace_store,
         )
         result = explorer.explore()
         print(
             "%s: %d runs at depth <= %d" % (args.app, result.runs_executed, args.depth)
         )
+        if trace_store is not None:
+            print(
+                "corpus %s now holds %d trace(s)" % (args.store, len(trace_store))
+            )
         for run in result.store.runs:
             report = detect_races(run.trace)
             print("  %s -> %s" % (run.describe(), report.summary()))
@@ -165,11 +255,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "analyze":
         from repro.core.explain import explain_race
         from repro.core.race_detector import RaceDetector
+        from repro.corpus import report_to_json
 
-        with open(args.trace) as handle:
-            trace = ExecutionTrace.from_jsonl(handle.read(), name=args.trace)
+        try:
+            trace = ExecutionTrace.load(args.trace, name=args.trace)
+        except (OSError, ValueError) as exc:
+            print("cannot load %s: %s" % (args.trace, exc), file=sys.stderr)
+            return 1
         detector = RaceDetector(trace)
         report = detector.detect()
+        if args.json:
+            print(report_to_json(report))
+            return 0
         print(report.summary())
         for race in report.races:
             if args.explain:
@@ -179,7 +276,83 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print("  ", race)
         return 0
 
+    if args.command == "corpus":
+        return _corpus_main(args)
+
     return 1
+
+
+def _corpus_main(args: argparse.Namespace) -> int:
+    from repro.corpus import (
+        BatchAnalyzer,
+        ResultCache,
+        TraceStore,
+        aggregate,
+        corpus_report_to_json,
+    )
+
+    store = TraceStore(args.store)
+
+    if args.corpus_command == "ingest":
+        try:
+            entries = []
+            for path in args.paths:
+                entries.extend(
+                    store.ingest(path, app=args.app, strict=not args.lenient)
+                )
+        except (OSError, ValueError) as exc:
+            print("ingest failed: %s" % exc, file=sys.stderr)
+            return 1
+        print(
+            "%d trace(s) ingested; corpus %s now holds %d"
+            % (len(entries), args.store, len(store))
+        )
+        for entry in entries:
+            print("  %s" % entry.describe())
+        return 0
+
+    if len(store) == 0:
+        print(
+            "corpus %s is empty — ingest traces first "
+            "(droidracer corpus ingest, run --save-trace, explore --store)"
+            % args.store,
+            file=sys.stderr,
+        )
+        return 1
+
+    use_cache = not getattr(args, "no_cache", False)
+    cache = ResultCache(args.store) if use_cache else None
+    analyzer = BatchAnalyzer(store, cache=cache, jobs=args.jobs)
+    batch = analyzer.analyze()
+    corpus_report = aggregate(batch)
+
+    if args.corpus_command == "analyze":
+        if args.json:
+            payload = corpus_report.to_dict()
+            payload["traces"] = [
+                {
+                    "digest": result.entry.digest,
+                    "name": result.entry.name,
+                    "app": result.entry.app,
+                    "cached": result.cached,
+                    "error": result.error,
+                    "report": result.report.to_dict() if result.report else None,
+                }
+                for result in batch.results
+            ]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for result in batch.results:
+                print("  %s" % result.describe())
+            print(batch.summary())
+        return 0
+
+    # corpus report
+    if args.json:
+        print(corpus_report_to_json(corpus_report))
+    else:
+        print(corpus_report.render())
+    return 0
 
 
 if __name__ == "__main__":

@@ -23,15 +23,16 @@ from .lifecycle_model import (
     ServiceLifecycle,
 )
 from .operations import OpKind, Operation
-from .race_detector import Race, RaceDetector, RaceReport, detect_races
+from .race_detector import DetectorConfig, Race, RaceDetector, RaceReport, detect_races
 from .semantics import ApplicationState, SemanticsError, is_valid_trace, validate_trace
-from .trace import ExecutionTrace, InvalidTraceError, TraceBuilder
+from .trace import ExecutionTrace, InvalidTraceError, TraceBuilder, TraceFormatError
 from .vector_clock import VCRace, VCReport, VectorClockRaceDetector, detect_races_vc
 
 __all__ = [
     "ANDROID_HB",
     "ActivityLifecycle",
     "ApplicationState",
+    "DetectorConfig",
     "ExecutionTrace",
     "HappensBefore",
     "HBConfig",
@@ -51,6 +52,7 @@ __all__ = [
     "SemanticsError",
     "ServiceLifecycle",
     "TraceBuilder",
+    "TraceFormatError",
     "VCRace",
     "VCReport",
     "VectorClockRaceDetector",

@@ -14,15 +14,56 @@ objects of the same class count separately — locations are per-object).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .classification import RaceCategory, classify_race
 from .graph import HBNode
 from .happens_before import ANDROID_HB, HappensBefore, HBConfig
 from .operations import Operation
-from .trace import ExecutionTrace, field_of_location
+from .trace import (
+    ExecutionTrace,
+    field_of_location,
+    operation_from_record,
+    operation_to_record,
+)
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Everything that determines a detection run besides the trace itself.
+
+    A plain (picklable) value object: worker processes of the corpus
+    batch pipeline receive one, and the result cache keys on its
+    :meth:`digest` — any rule switch, the coalescing toggle, or the
+    cancelled-task set changing invalidates cached reports.
+    """
+
+    hb: HBConfig = ANDROID_HB
+    coalesce: bool = True
+    cancelled_tasks: Tuple[str, ...] = ()
+
+    def canonical_dict(self) -> dict:
+        return {
+            "hb": asdict(self.hb),
+            "coalesce": self.coalesce,
+            "cancelled_tasks": sorted(self.cancelled_tasks),
+        }
+
+    def digest(self) -> str:
+        blob = json.dumps(self.canonical_dict(), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def build_detector(self, trace: ExecutionTrace) -> "RaceDetector":
+        return RaceDetector(
+            trace,
+            config=self.hb,
+            coalesce=self.coalesce,
+            cancelled_tasks=self.cancelled_tasks,
+        )
 
 
 @dataclass(frozen=True)
@@ -55,6 +96,25 @@ class Race:
 
     def __str__(self) -> str:
         return self.describe()
+
+    def to_dict(self) -> dict:
+        return {
+            "location": self.location,
+            "field": self.field_name,
+            "category": self.category.value,
+            "op_i": dict(operation_to_record(self.op_i), index=self.op_i.index),
+            "op_j": dict(operation_to_record(self.op_j), index=self.op_j.index),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Race":
+        return cls(
+            location=data["location"],
+            field_name=data["field"],
+            op_i=operation_from_record(data["op_i"]),
+            op_j=operation_from_record(data["op_j"]),
+            category=RaceCategory(data["category"]),
+        )
 
 
 @dataclass
@@ -94,6 +154,29 @@ class RaceReport:
             self.trace_name,
             len(self.races),
             counts or "none",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_name": self.trace_name,
+            "races": [race.to_dict() for race in self.races],
+            "racy_pair_count": self.racy_pair_count,
+            "analysis_seconds": self.analysis_seconds,
+            "node_count": self.node_count,
+            "trace_length": self.trace_length,
+            "reduction_ratio": self.reduction_ratio,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RaceReport":
+        return cls(
+            trace_name=data["trace_name"],
+            races=[Race.from_dict(rec) for rec in data["races"]],
+            racy_pair_count=data["racy_pair_count"],
+            analysis_seconds=data["analysis_seconds"],
+            node_count=data["node_count"],
+            trace_length=data["trace_length"],
+            reduction_ratio=data["reduction_ratio"],
         )
 
 

@@ -19,14 +19,38 @@ for convenience when encoding traces by hand.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+import os
+import warnings
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from .operations import OpKind, Operation
+from .operations import MalformedOperationError, OpKind, Operation
 
 
 class InvalidTraceError(ValueError):
     """Raised when a sequence of operations is not a well-formed trace."""
+
+
+class TraceFormatError(InvalidTraceError):
+    """A JSONL trace record could not be parsed.
+
+    Carries the 1-based ``line_number`` of the offending record and the
+    underlying ``reason`` so batch tooling can report *which* line of
+    *which* file is broken instead of an opaque ``KeyError``.
+    """
+
+    def __init__(self, line_number: int, reason: str, line: str = ""):
+        self.line_number = line_number
+        self.reason = reason
+        self.line = line
+        shown = line.strip()
+        if len(shown) > 80:
+            shown = shown[:77] + "..."
+        message = "line %d: %s" % (line_number, reason)
+        if shown:
+            message += " in %r" % shown
+        super().__init__(message)
 
 
 class TaskInfo:
@@ -282,29 +306,64 @@ class ExecutionTrace:
     # -- (de)serialization ----------------------------------------------------
 
     def to_jsonl(self) -> str:
-        lines = []
-        for op in self.ops:
-            rec = {"kind": op.kind.value, "thread": op.thread}
-            for key in ("task", "target", "lock", "location", "delay", "event", "source"):
-                value = getattr(op, key)
-                if value is not None:
-                    rec[key] = value
-            if op.at_front:
-                rec["at_front"] = True
-            lines.append(json.dumps(rec, sort_keys=True))
+        """Canonical JSONL serialization: one record per operation, keys
+        sorted, no trace name — byte-identical for equal operation
+        sequences, which is what :meth:`canonical_digest` keys on."""
+        lines = [json.dumps(operation_to_record(op), sort_keys=True) for op in self.ops]
         return "\n".join(lines) + "\n"
 
+    def canonical_digest(self) -> str:
+        """SHA-256 hex digest of the canonical serialization.
+
+        Content-addressed identity for trace stores and result caches:
+        two traces with the same operations share a digest regardless of
+        their (display) names.
+        """
+        return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
+
     @classmethod
-    def from_jsonl(cls, text: str, name: str = "trace") -> "ExecutionTrace":
+    def from_jsonl(
+        cls, text: str, name: str = "trace", strict: bool = True
+    ) -> "ExecutionTrace":
+        return cls.from_lines(text.splitlines(), name=name, strict=strict)
+
+    @classmethod
+    def from_lines(
+        cls, lines: Iterable[str], name: str = "trace", strict: bool = True
+    ) -> "ExecutionTrace":
+        """Build a trace from an iterable of JSONL lines (streaming — a
+        file handle works and is never read into memory at once).
+
+        With ``strict=True`` (default) a malformed record raises
+        :class:`TraceFormatError` naming the offending line; with
+        ``strict=False`` bad lines are skipped with a warning — the mode
+        corpus batch analysis uses so one broken record degrades one
+        trace instead of failing a batch.
+        """
         ops = []
-        for line in text.splitlines():
-            line = line.strip()
-            if not line or line.startswith("#"):
+        for line_number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
                 continue
-            rec = dict(json.loads(line))
-            kind = OpKind(rec.pop("kind"))
-            ops.append(Operation(kind, rec.pop("thread"), **rec))
+            try:
+                ops.append(operation_from_record(json.loads(stripped)))
+            except (ValueError, KeyError, TypeError) as exc:
+                error = TraceFormatError(line_number, _format_reason(exc), stripped)
+                if strict:
+                    raise error from exc
+                warnings.warn("skipping bad trace record: %s" % error, stacklevel=2)
         return cls(ops, name=name)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, "os.PathLike[str]"],
+        name: Optional[str] = None,
+        strict: bool = True,
+    ) -> "ExecutionTrace":
+        """Stream a JSONL trace file from disk."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_lines(handle, name=name or str(path), strict=strict)
 
     def render(self) -> str:
         """Human-readable rendering in the style of the paper's Figure 3."""
@@ -322,6 +381,62 @@ class ExecutionTrace:
             len(self.threads),
             len(self.tasks),
         )
+
+
+#: Optional operation fields serialized when present, in record order.
+_RECORD_FIELDS = ("task", "target", "lock", "location", "delay", "event", "source")
+
+
+def operation_to_record(op: Operation) -> dict:
+    """The JSON-serializable record of one operation (canonical form:
+    ``kind``/``thread`` always present, optional fields only when set)."""
+    rec = {"kind": op.kind.value, "thread": op.thread}
+    for key in _RECORD_FIELDS:
+        value = getattr(op, key)
+        if value is not None:
+            rec[key] = value
+    if op.at_front:
+        rec["at_front"] = True
+    return rec
+
+
+def operation_from_record(rec: dict) -> Operation:
+    """Inverse of :func:`operation_to_record`.
+
+    Raises ``ValueError`` with a meaningful message for records missing
+    required keys or naming unknown op kinds (instead of a bare
+    ``KeyError``).
+    """
+    if not isinstance(rec, dict):
+        raise ValueError("record is not a JSON object: %r" % (rec,))
+    rec = dict(rec)
+    try:
+        kind_value = rec.pop("kind")
+    except KeyError:
+        raise ValueError("record is missing the 'kind' field")
+    try:
+        kind = OpKind(kind_value)
+    except ValueError:
+        raise ValueError(
+            "unknown op kind %r (expected one of: %s)"
+            % (kind_value, ", ".join(k.value for k in OpKind))
+        )
+    try:
+        thread = rec.pop("thread")
+    except KeyError:
+        raise ValueError("record is missing the 'thread' field")
+    try:
+        return Operation(kind, thread, **rec)
+    except TypeError as exc:
+        raise ValueError("bad operation field: %s" % exc)
+
+
+def _format_reason(exc: BaseException) -> str:
+    if isinstance(exc, json.JSONDecodeError):
+        return "invalid JSON (%s)" % exc.msg
+    if isinstance(exc, MalformedOperationError):
+        return "malformed operation (%s)" % exc
+    return str(exc) or exc.__class__.__name__
 
 
 def field_of_location(location: str) -> str:

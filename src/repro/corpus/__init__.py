@@ -1,0 +1,45 @@
+"""Trace corpus subsystem: persistent store, parallel batch analysis,
+and cached race reports.
+
+The paper's workflow (§5) is corpus-shaped — the UI Explorer generates
+many bounded event sequences, persists them, and the Race Detector
+analyzes every resulting trace offline.  This package is that offline
+half at scale:
+
+* :mod:`repro.corpus.store` — content-addressed on-disk trace store;
+* :mod:`repro.corpus.cache` — result cache keyed by
+  ``(trace_digest, detector_config_digest)``;
+* :mod:`repro.corpus.pipeline` — ``multiprocessing`` batch analyzer
+  with per-trace error isolation;
+* :mod:`repro.corpus.report` — corpus-level deduplicated aggregation
+  (Table 3 style) with human-readable and JSON rendering.
+"""
+
+from .cache import ResultCache
+from .pipeline import BatchAnalyzer, BatchResult, TraceResult
+from .report import (
+    CATEGORY_ORDER,
+    CorpusRace,
+    CorpusReport,
+    aggregate,
+    corpus_report_to_json,
+    report_to_json,
+)
+from .store import CorpusError, TraceEntry, TraceStore, app_of_trace_name
+
+__all__ = [
+    "BatchAnalyzer",
+    "BatchResult",
+    "CATEGORY_ORDER",
+    "CorpusError",
+    "CorpusRace",
+    "CorpusReport",
+    "ResultCache",
+    "TraceEntry",
+    "TraceResult",
+    "TraceStore",
+    "aggregate",
+    "app_of_trace_name",
+    "corpus_report_to_json",
+    "report_to_json",
+]

@@ -1,0 +1,84 @@
+"""Result cache for corpus analysis.
+
+Detection is pure: the report is a function of (trace, detector config).
+The cache keys on exactly that pair —
+``(trace_digest, detector_config_digest)`` — so re-analyzing an
+unchanged corpus is a near-no-op, while flipping any happens-before rule
+switch, the coalescing toggle, or the cancelled-task set invalidates
+every cached report (the config digest changes).
+
+Cached reports live as JSON under
+``<root>/results/<trace_digest>/<config_digest>.json``; hit/miss
+counters are kept per cache instance and surfaced in corpus reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.race_detector import RaceReport
+
+RESULTS_DIR = "results"
+
+
+class ResultCache:
+    """On-disk cache of :class:`RaceReport` keyed by content digests."""
+
+    def __init__(self, root: Union[str, "os.PathLike[str]"]):
+        self.root = Path(root) / RESULTS_DIR
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, trace_digest: str, config_digest: str) -> Path:
+        return self.root / trace_digest / ("%s.json" % config_digest)
+
+    def get(self, trace_digest: str, config_digest: str) -> Optional[RaceReport]:
+        path = self.path_for(trace_digest, config_digest)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            report = RaceReport.from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # A corrupt entry is a miss; drop it so it gets rewritten.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return report
+
+    def put(self, trace_digest: str, config_digest: str, report: RaceReport) -> None:
+        path = self.path_for(trace_digest, config_digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(report.to_dict(), sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cached report; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,201 @@
+"""Parallel batch analysis over a trace corpus.
+
+Fans race detection out over a ``multiprocessing`` pool (``jobs=N``,
+default ``os.cpu_count()``), degrading gracefully to serial in-process
+execution when ``jobs=1``, when there is only one trace to analyze, or
+when a worker pool cannot be created (restricted environments).  Each
+trace is isolated: a malformed trace or a detector crash fails that
+entry with a recorded error, never the batch.
+
+Workers receive ``(digest, path, name, DetectorConfig)`` and return
+plain dictionaries — every payload crossing the process boundary is
+picklable by construction.  Results are cached through
+:class:`repro.corpus.cache.ResultCache` keyed on
+``(trace_digest, config_digest)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.race_detector import DetectorConfig, RaceReport
+from repro.core.trace import ExecutionTrace
+
+from .cache import ResultCache
+from .store import TraceEntry, TraceStore
+
+
+@dataclass
+class TraceResult:
+    """Outcome of analyzing one stored trace."""
+
+    entry: TraceEntry
+    report: Optional[RaceReport] = None
+    error: Optional[str] = None
+    cached: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+    def describe(self) -> str:
+        if self.error is not None:
+            return "%s: ERROR %s" % (self.entry.name, self.error)
+        status = " [cached]" if self.cached else ""
+        return "%s%s" % (self.report.summary(), status)
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch run produced."""
+
+    results: List[TraceResult] = field(default_factory=list)
+    jobs: int = 1
+    parallel: bool = False
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def ok(self) -> List[TraceResult]:
+        return [r for r in self.results if r.ok]
+
+    def errors(self) -> List[TraceResult]:
+        return [r for r in self.results if r.error is not None]
+
+    def reports(self) -> List[RaceReport]:
+        return [r.report for r in self.results if r.report is not None]
+
+    def hit_rate(self) -> float:
+        requests = self.cache_hits + self.cache_misses
+        return self.cache_hits / requests if requests else 0.0
+
+    def summary(self) -> str:
+        races = sum(len(report.races) for report in self.reports())
+        return (
+            "%d traces analyzed (%d errors), %d race reports, "
+            "%d cache hits / %d misses, %.3fs wall (%s, jobs=%d)"
+            % (
+                len(self.results),
+                len(self.errors()),
+                races,
+                self.cache_hits,
+                self.cache_misses,
+                self.wall_seconds,
+                "parallel" if self.parallel else "serial",
+                self.jobs,
+            )
+        )
+
+
+#: Worker argument / result shapes (kept as plain tuples for pickling).
+_WorkerArgs = Tuple[str, str, str, DetectorConfig]
+_WorkerResult = Tuple[str, Optional[dict], Optional[str], float]
+
+
+def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
+    """Load one stored trace and run detection on it.
+
+    Module-level so ``multiprocessing`` can pickle it; also the serial
+    fallback path, so both modes share one code path per trace.  All
+    failures are converted into an error string — isolation guarantee.
+    """
+    digest, path, name, config = args
+    start = time.perf_counter()
+    try:
+        trace = ExecutionTrace.load(path, name=name, strict=True)
+        report = config.build_detector(trace).detect()
+        return (digest, report.to_dict(), None, time.perf_counter() - start)
+    except Exception as exc:  # noqa: BLE001 — isolation boundary
+        reason = "%s: %s" % (exc.__class__.__name__, exc)
+        return (digest, None, reason, time.perf_counter() - start)
+
+
+class BatchAnalyzer:
+    """Analyze every trace in a store, through the cache, in parallel."""
+
+    def __init__(
+        self,
+        store: TraceStore,
+        cache: Optional[ResultCache] = None,
+        config: Optional[DetectorConfig] = None,
+        jobs: Optional[int] = None,
+    ):
+        self.store = store
+        self.cache = cache
+        self.config = config or DetectorConfig()
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def analyze(self, digests: Optional[Sequence[str]] = None) -> BatchResult:
+        start = time.perf_counter()
+        if digests is None:
+            entries = self.store.entries()
+        else:
+            entries = [self.store.get(d) for d in digests]
+        config_digest = self.config.digest()
+
+        batch = BatchResult(jobs=max(1, self.jobs))
+        by_digest: Dict[str, TraceResult] = {}
+        todo: List[TraceEntry] = []
+        hits0 = self.cache.hits if self.cache else 0
+        misses0 = self.cache.misses if self.cache else 0
+        for entry in entries:
+            cached = (
+                self.cache.get(entry.digest, config_digest) if self.cache else None
+            )
+            if cached is not None:
+                by_digest[entry.digest] = TraceResult(
+                    entry=entry, report=cached, cached=True
+                )
+            else:
+                todo.append(entry)
+
+        raw, parallel = self._run(todo)
+        batch.parallel = parallel
+        for digest, report_dict, error, seconds in raw:
+            entry = self.store.get(digest)
+            if report_dict is not None:
+                report = RaceReport.from_dict(report_dict)
+                if self.cache is not None:
+                    self.cache.put(digest, config_digest, report)
+                by_digest[digest] = TraceResult(
+                    entry=entry, report=report, seconds=seconds
+                )
+            else:
+                by_digest[digest] = TraceResult(
+                    entry=entry, error=error, seconds=seconds
+                )
+
+        batch.results = [by_digest[entry.digest] for entry in entries]
+        if self.cache is not None:
+            batch.cache_hits = self.cache.hits - hits0
+            batch.cache_misses = self.cache.misses - misses0
+        batch.wall_seconds = time.perf_counter() - start
+        return batch
+
+    # -- execution strategies ------------------------------------------------
+
+    def _run(self, todo: Sequence[TraceEntry]) -> Tuple[List[_WorkerResult], bool]:
+        args = [
+            (e.digest, str(self.store.path_for(e.digest)), e.name, self.config)
+            for e in todo
+        ]
+        if not args:
+            return [], False
+        if self.jobs <= 1 or len(args) == 1:
+            return [_analyze_one(a) for a in args], False
+        try:
+            with multiprocessing.Pool(processes=min(self.jobs, len(args))) as pool:
+                return pool.map(_analyze_one, args), True
+        except (OSError, ValueError, ImportError) as exc:
+            warnings.warn(
+                "worker pool unavailable (%s); falling back to serial analysis"
+                % exc,
+                stacklevel=2,
+            )
+            return [_analyze_one(a) for a in args], False

@@ -1,0 +1,224 @@
+"""Corpus-level race reporting.
+
+Aggregates a :class:`~repro.corpus.pipeline.BatchResult` across traces:
+races are deduplicated by ``(location, classification)`` — the same
+racy field/location pair reported from twenty generated executions of
+the same app is one finding — then tallied per app and per category in
+the layout of the paper's Table 3.  Renders both a human-readable table
+and machine-readable JSON; the single-trace serializer here is also what
+``droidracer analyze --json`` and ``run --json`` emit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.classification import RaceCategory
+from repro.core.race_detector import RaceReport
+
+from .pipeline import BatchResult
+
+#: Table 3 column order (multithreaded first, then single-threaded).
+CATEGORY_ORDER = (
+    RaceCategory.MULTITHREADED,
+    RaceCategory.CROSS_POSTED,
+    RaceCategory.CO_ENABLED,
+    RaceCategory.DELAYED,
+    RaceCategory.UNKNOWN,
+)
+
+
+@dataclass(frozen=True)
+class CorpusRace:
+    """One deduplicated corpus-level finding."""
+
+    location: str
+    field_name: str
+    category: RaceCategory
+    apps: Tuple[str, ...]  # sorted apps the race was seen in
+    trace_count: int  # traces it appeared in
+    example: str  # one representative description
+
+    def describe(self) -> str:
+        return "%s race on %s (%d traces: %s)" % (
+            self.category,
+            self.location,
+            self.trace_count,
+            ", ".join(self.apps),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "location": self.location,
+            "field": self.field_name,
+            "category": self.category.value,
+            "apps": list(self.apps),
+            "trace_count": self.trace_count,
+            "example": self.example,
+        }
+
+
+@dataclass
+class CorpusReport:
+    """Aggregated findings over one batch run."""
+
+    traces_total: int = 0
+    traces_analyzed: int = 0
+    traces_failed: int = 0
+    races: List[CorpusRace] = field(default_factory=list)
+    per_app: Dict[str, Dict[RaceCategory, int]] = field(default_factory=dict)
+    errors: List[Tuple[str, str]] = field(default_factory=list)  # (name, error)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+    parallel: bool = False
+
+    def per_category(self) -> Dict[RaceCategory, int]:
+        out = {category: 0 for category in CATEGORY_ORDER}
+        for race in self.races:
+            out[race.category] += 1
+        return out
+
+    def hit_rate(self) -> float:
+        requests = self.cache_hits + self.cache_misses
+        return self.cache_hits / requests if requests else 0.0
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        header = "%-20s | %s | %5s" % (
+            "Application",
+            " | ".join("%-13s" % c.value for c in CATEGORY_ORDER),
+            "total",
+        )
+        rule = "-" * len(header)
+        lines = [
+            "Corpus race report: %d traces, %d apps, %d distinct races"
+            % (self.traces_total, len(self.per_app), len(self.races)),
+            "",
+            header,
+            rule,
+        ]
+        for app in sorted(self.per_app):
+            counts = self.per_app[app]
+            cells = ["%-13d" % counts.get(c, 0) for c in CATEGORY_ORDER]
+            lines.append(
+                "%-20s | %s | %5d" % (app, " | ".join(cells), sum(counts.values()))
+            )
+        lines.append(rule)
+        totals = self.per_category()
+        lines.append(
+            "%-20s | %s | %5d"
+            % (
+                "Total",
+                " | ".join("%-13d" % totals[c] for c in CATEGORY_ORDER),
+                len(self.races),
+            )
+        )
+        if self.errors:
+            lines.append("")
+            lines.append("%d trace(s) failed:" % len(self.errors))
+            for name, error in self.errors:
+                lines.append("  %s: %s" % (name, error))
+        lines.append("")
+        lines.append(
+            "analyzed %d/%d traces in %.3fs (%s, jobs=%d); cache: "
+            "%d hits / %d misses (%.0f%% hit rate)"
+            % (
+                self.traces_analyzed,
+                self.traces_total,
+                self.wall_seconds,
+                "parallel" if self.parallel else "serial",
+                self.jobs,
+                self.cache_hits,
+                self.cache_misses,
+                100.0 * self.hit_rate(),
+            )
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "traces_total": self.traces_total,
+            "traces_analyzed": self.traces_analyzed,
+            "traces_failed": self.traces_failed,
+            "distinct_races": len(self.races),
+            "races": [race.to_dict() for race in self.races],
+            "per_app": {
+                app: {c.value: n for c, n in counts.items() if n}
+                for app, counts in sorted(self.per_app.items())
+            },
+            "per_category": {
+                c.value: n for c, n in self.per_category().items()
+            },
+            "errors": [
+                {"trace": name, "error": error} for name, error in self.errors
+            ],
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.hit_rate(),
+            },
+            "wall_seconds": self.wall_seconds,
+            "jobs": self.jobs,
+            "parallel": self.parallel,
+        }
+
+
+def aggregate(batch: BatchResult) -> CorpusReport:
+    """Fold one batch run into a deduplicated corpus report."""
+    report = CorpusReport(
+        traces_total=len(batch.results),
+        traces_analyzed=len(batch.ok()),
+        traces_failed=len(batch.errors()),
+        cache_hits=batch.cache_hits,
+        cache_misses=batch.cache_misses,
+        wall_seconds=batch.wall_seconds,
+        jobs=batch.jobs,
+        parallel=batch.parallel,
+    )
+    # (location, category) -> [field, apps set, trace digests set, example]
+    merged: Dict[Tuple[str, RaceCategory], list] = {}
+    for result in batch.results:
+        if result.error is not None:
+            report.errors.append((result.entry.name, result.error))
+            continue
+        app = result.entry.app
+        report.per_app.setdefault(app, {c: 0 for c in CATEGORY_ORDER})
+        for race in result.report.races:
+            key = (race.location, race.category)
+            slot = merged.get(key)
+            if slot is None:
+                merged[key] = [race.field_name, {app}, {result.entry.digest}, race.describe()]
+            else:
+                slot[1].add(app)
+                slot[2].add(result.entry.digest)
+    for (location, category), (field_name, apps, digests, example) in sorted(
+        merged.items(), key=lambda kv: (kv[0][1].value, kv[0][0])
+    ):
+        report.races.append(
+            CorpusRace(
+                location=location,
+                field_name=field_name,
+                category=category,
+                apps=tuple(sorted(apps)),
+                trace_count=len(digests),
+                example=example,
+            )
+        )
+        for app in apps:
+            report.per_app[app][category] += 1
+    return report
+
+
+def report_to_json(report: RaceReport) -> str:
+    """Machine-readable serialization of one trace's race report — shared
+    by ``corpus analyze --json``, ``analyze --json``, and ``run --json``."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def corpus_report_to_json(report: CorpusReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,206 @@
+"""The on-disk trace corpus: a content-addressed store of execution traces.
+
+DroidRacer's workflow (paper, §5) generates *many* bounded event
+sequences and analyzes every resulting trace offline.  This store is the
+persistence layer of that corpus:
+
+* traces are saved as canonical JSONL under
+  ``<root>/traces/<d0d1>/<digest>.jsonl`` where ``digest`` is the
+  SHA-256 of the canonical serialization
+  (:meth:`repro.core.trace.ExecutionTrace.canonical_digest`) — ingesting
+  the same operations twice is a no-op, regardless of trace names;
+* ``<root>/manifest.json`` indexes every stored trace: display name,
+  originating app, length, thread count, async-task count.
+
+``ingest()`` accepts live :class:`ExecutionTrace` objects (the explorer
+hook), JSONL files, and directories of JSONL files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from repro.core.trace import ExecutionTrace
+
+#: What ``ingest`` accepts: a trace, a path, or an iterable of either.
+Ingestible = Union[ExecutionTrace, str, "os.PathLike[str]", Iterable]
+
+MANIFEST_NAME = "manifest.json"
+TRACES_DIR = "traces"
+
+
+class CorpusError(ValueError):
+    """Raised for malformed stores or unknown digests."""
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One manifest row."""
+
+    digest: str
+    name: str
+    app: str
+    length: int
+    threads: int
+    tasks: int
+
+    def describe(self) -> str:
+        return "%s  %-28s app=%-16s %6d ops, %d threads, %d tasks" % (
+            self.digest[:12],
+            self.name,
+            self.app,
+            self.length,
+            self.threads,
+            self.tasks,
+        )
+
+
+def app_of_trace_name(name: str) -> str:
+    """Infer the originating app from a trace name.
+
+    Explorer traces are named ``app[event,event,...]`` and run traces
+    after their subject; everything up to the first ``[`` is the app.
+    """
+    return name.split("[", 1)[0].strip() or "unknown"
+
+
+class TraceStore:
+    """Persistent, content-addressed corpus of execution traces."""
+
+    def __init__(self, root: Union[str, "os.PathLike[str]"]):
+        self.root = Path(root)
+        self.traces_dir = self.root / TRACES_DIR
+        self.manifest_path = self.root / MANIFEST_NAME
+        self._entries: dict = {}  # digest -> TraceEntry
+        if self.manifest_path.exists():
+            self._load_manifest()
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(
+        self,
+        source: Ingestible,
+        app: Optional[str] = None,
+        name: Optional[str] = None,
+        strict: bool = True,
+    ) -> List[TraceEntry]:
+        """Store traces from ``source``; returns the (possibly pre-existing)
+        entries, one per ingested trace.
+
+        ``source`` may be an :class:`ExecutionTrace`, a JSONL file path, a
+        directory (every ``*.jsonl`` file under it, recursively), or an
+        iterable mixing any of these.  ``app`` overrides app attribution;
+        ``name`` overrides the display name (single-trace sources only).
+        """
+        if isinstance(source, ExecutionTrace):
+            return [self._ingest_trace(source, app=app, name=name)]
+        if isinstance(source, (str, os.PathLike)):
+            path = Path(source)
+            if path.is_dir():
+                files = sorted(path.rglob("*.jsonl"))
+                if not files:
+                    raise CorpusError("no *.jsonl traces under %s" % path)
+                return [
+                    self._ingest_file(f, app=app, strict=strict) for f in files
+                ]
+            return [self._ingest_file(path, app=app, name=name, strict=strict)]
+        entries: List[TraceEntry] = []
+        for item in source:
+            entries.extend(self.ingest(item, app=app, strict=strict))
+        return entries
+
+    def _ingest_file(
+        self,
+        path: Path,
+        app: Optional[str] = None,
+        name: Optional[str] = None,
+        strict: bool = True,
+    ) -> TraceEntry:
+        trace = ExecutionTrace.load(path, name=name or path.stem, strict=strict)
+        return self._ingest_trace(trace, app=app)
+
+    def _ingest_trace(
+        self,
+        trace: ExecutionTrace,
+        app: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> TraceEntry:
+        digest = trace.canonical_digest()
+        existing = self._entries.get(digest)
+        if existing is not None:
+            return existing
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(trace.to_jsonl(), encoding="utf-8")
+        tmp.replace(path)
+        entry = TraceEntry(
+            digest=digest,
+            name=name or trace.name,
+            app=app or app_of_trace_name(trace.name),
+            length=len(trace),
+            threads=len(trace.threads),
+            tasks=len(trace.tasks),
+        )
+        self._entries[digest] = entry
+        self._save_manifest()
+        return entry
+
+    # -- retrieval -----------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        return self.traces_dir / digest[:2] / ("%s.jsonl" % digest)
+
+    def get(self, digest: str) -> TraceEntry:
+        entry = self._entries.get(digest)
+        if entry is None:
+            raise CorpusError("unknown trace digest %s" % digest)
+        return entry
+
+    def load(self, digest: str, strict: bool = True) -> ExecutionTrace:
+        entry = self.get(digest)
+        return ExecutionTrace.load(
+            self.path_for(digest), name=entry.name, strict=strict
+        )
+
+    def entries(self) -> List[TraceEntry]:
+        """All manifest rows, sorted by (app, name, digest) for stable
+        iteration order across runs and platforms."""
+        return sorted(
+            self._entries.values(), key=lambda e: (e.app, e.name, e.digest)
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries())
+
+    # -- manifest ------------------------------------------------------------
+
+    def _load_manifest(self) -> None:
+        try:
+            records = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CorpusError(
+                "corrupt corpus manifest %s: %s" % (self.manifest_path, exc)
+            )
+        for rec in records:
+            entry = TraceEntry(**rec)
+            self._entries[entry.digest] = entry
+
+    def _save_manifest(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        records = [asdict(entry) for entry in self.entries()]
+        tmp = self.manifest_path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(records, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(self.manifest_path)

@@ -85,16 +85,46 @@ class SequenceStore:
 
     # -- persistence (sequence metadata only; traces are separate) --------------
 
+    def save(self, path) -> None:
+        """Write the store as JSONL (one run record per line), so explored
+        event sequences survive across runs — the paper's 'database of
+        event sequences' used for backtracking and replay (§5)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for run in self._runs:
+                handle.write(json.dumps(self._record_dict(run), sort_keys=True))
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "SequenceStore":
+        """Read a store written by :meth:`save`.  Traces are not persisted
+        here (the trace corpus owns them); loaded records have
+        ``trace=None`` and are replayable through their sequences."""
+        store = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                store.record(
+                    rec["sequence"],
+                    trace=None,
+                    decisions=rec.get("decisions", ()),
+                    enabled_after=rec.get("enabled_after", ()),
+                )
+        return store
+
+    @staticmethod
+    def _record_dict(run: RunRecord) -> dict:
+        return {
+            "run_id": run.run_id,
+            "sequence": list(run.sequence),
+            "decisions": list(run.decisions),
+            "enabled_after": list(run.enabled_after),
+        }
+
     def to_json(self) -> str:
-        records = [
-            {
-                "run_id": run.run_id,
-                "sequence": list(run.sequence),
-                "decisions": list(run.decisions),
-                "enabled_after": list(run.enabled_after),
-            }
-            for run in self._runs
-        ]
+        records = [self._record_dict(run) for run in self._runs]
         return json.dumps(records, indent=2)
 
     @classmethod

@@ -49,6 +49,14 @@ class ExplorationResult:
     def traces(self) -> List[ExecutionTrace]:
         return [run.trace for run in self.store.runs if run.trace is not None]
 
+    def ingest_into(self, trace_store) -> List:
+        """Persist every generated trace into a
+        :class:`repro.corpus.TraceStore`; returns the store entries."""
+        entries = []
+        for trace in self.traces:
+            entries.extend(trace_store.ingest(trace, app=self.app_name))
+        return entries
+
     def deepest_run(self) -> Optional[RunRecord]:
         runs = [r for r in self.store.runs if r.trace is not None]
         if not runs:
@@ -71,6 +79,7 @@ class UIExplorer:
         max_branching: Optional[int] = None,
         include_kinds: Optional[Sequence[str]] = None,
         exclude_kinds: Sequence[str] = ("rotate",),
+        trace_store=None,
     ):
         self.app = app
         self.depth = depth
@@ -80,6 +89,10 @@ class UIExplorer:
         self.include_kinds = include_kinds
         self.exclude_kinds = tuple(exclude_kinds)
         self.store = SequenceStore()
+        #: optional :class:`repro.corpus.TraceStore` — every generated
+        #: trace is ingested into it as runs complete (the §5 "database"
+        #: the offline Race Detector consumes).
+        self.trace_store = trace_store
         self._runs_executed = 0
 
     # -- public API ---------------------------------------------------------------
@@ -109,6 +122,8 @@ class UIExplorer:
             fired.append(key)
         enabled = self._candidate_events(system)
         trace = system.finish("%s[%s]" % (self.app.name, ",".join(fired) or "-"))
+        if self.trace_store is not None:
+            self.trace_store.ingest(trace, app=self.app.name)
         self._runs_executed += 1
         return self.store.record(
             fired,

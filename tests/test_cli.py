@@ -84,3 +84,112 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "why these operations are unordered" in out
         assert "post chain" in out
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "Music Player", "--scale", "0.15", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trace_name"] == "Music Player"
+        assert len(data["races"]) == 35
+        assert all("category" in race and "op_i" in race for race in data["races"])
+
+    def test_analyze_json(self, tmp_path, capsys):
+        import json
+
+        from repro.apps.paper_traces import figure4_trace
+
+        path = tmp_path / "fig4.jsonl"
+        path.write_text(figure4_trace().to_jsonl())
+        assert main(["analyze", str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["races"]) == 2
+        assert {r["category"] for r in data["races"]} == {
+            "multithreaded",
+            "cross-posted",
+        }
+
+
+class TestCorpusCommands:
+    @staticmethod
+    def _seed_corpus(tmp_path, capsys):
+        store = str(tmp_path / "corpus")
+        trace = tmp_path / "mp.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "Music Player",
+                    "--scale",
+                    "0.1",
+                    "--save-trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        assert main(["corpus", "ingest", str(trace), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s) ingested" in out
+        return store
+
+    def test_ingest_analyze_report(self, tmp_path, capsys):
+        store = self._seed_corpus(tmp_path, capsys)
+        assert main(["corpus", "analyze", "--store", store, "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 traces analyzed (0 errors)" in out
+        assert "0 cache hits / 1 misses" in out
+
+        # Second pass is served from the cache.
+        assert main(["corpus", "analyze", "--store", store, "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits / 0 misses" in out
+        assert "[cached]" in out
+
+        assert main(["corpus", "report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "Corpus race report" in out and "Total" in out
+
+    def test_corpus_json(self, tmp_path, capsys):
+        import json
+
+        store = self._seed_corpus(tmp_path, capsys)
+        assert main(["corpus", "report", "--store", store, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["traces_total"] == 1
+        assert data["cache"]["misses"] == 1
+
+        assert main(["corpus", "analyze", "--store", store, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["traces"][0]["cached"] is True
+        assert data["traces"][0]["report"]["races"]
+
+    def test_empty_corpus_is_an_error(self, tmp_path, capsys):
+        store = str(tmp_path / "nothing")
+        assert main(["corpus", "analyze", "--store", store]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_explore_with_store(self, tmp_path, capsys):
+        store = str(tmp_path / "corpus")
+        assert (
+            main(
+                [
+                    "explore",
+                    "music-player",
+                    "--depth",
+                    "1",
+                    "--max-runs",
+                    "3",
+                    "--store",
+                    store,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "now holds" in out
+        assert main(["corpus", "report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "music-player" in out

@@ -1,0 +1,347 @@
+"""Tests for the trace corpus subsystem: store, cache, pipeline, report."""
+
+import json
+
+import pytest
+
+from repro.apps.paper_traces import figure4_trace
+from repro.core import DetectorConfig, HBConfig, detect_races
+from repro.core.operations import (
+    attachq,
+    begin,
+    end,
+    looponq,
+    post,
+    read,
+    threadinit,
+    write,
+)
+from repro.core.trace import ExecutionTrace, TraceBuilder, TraceFormatError
+from repro.corpus import (
+    BatchAnalyzer,
+    CorpusError,
+    ResultCache,
+    TraceStore,
+    aggregate,
+    app_of_trace_name,
+)
+
+
+def small_trace(name="small", location="Obj@1.field"):
+    b = TraceBuilder(name)
+    b.extend(
+        [
+            threadinit("t0"),
+            attachq("t0"),
+            looponq("t0"),
+            post("t0", "p1", "t0"),
+            post("t0", "p2", "t0"),
+            begin("t0", "p1"),
+            write("t0", location),
+            end("t0", "p1"),
+            begin("t0", "p2"),
+            write("t0", location),
+            end("t0", "p2"),
+        ]
+    )
+    return b.build()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(tmp_path / "corpus")
+
+
+class TestDigest:
+    def test_digest_ignores_trace_name(self):
+        assert (
+            small_trace("a").canonical_digest() == small_trace("b").canonical_digest()
+        )
+
+    def test_digest_is_content_sensitive(self):
+        assert (
+            small_trace(location="X@1.f").canonical_digest()
+            != small_trace(location="X@1.g").canonical_digest()
+        )
+
+    def test_digest_stable_across_serialization(self):
+        trace = figure4_trace()
+        again = ExecutionTrace.from_jsonl(trace.to_jsonl())
+        assert trace.canonical_digest() == again.canonical_digest()
+
+
+class TestTraceStore:
+    def test_ingest_trace_object(self, store):
+        (entry,) = store.ingest(small_trace())
+        assert entry.digest == small_trace().canonical_digest()
+        assert entry.name == "small"
+        assert entry.length == 11 and entry.threads == 1 and entry.tasks == 2
+
+    def test_ingest_is_idempotent(self, store):
+        store.ingest(small_trace())
+        store.ingest(small_trace("renamed"))  # same content
+        assert len(store) == 1
+
+    def test_ingest_file_and_directory(self, store, tmp_path):
+        d = tmp_path / "traces"
+        d.mkdir()
+        (d / "one.jsonl").write_text(small_trace().to_jsonl())
+        (d / "two.jsonl").write_text(small_trace(location="Y@1.f").to_jsonl())
+        entries = store.ingest(d)
+        assert len(entries) == 2 and len(store) == 2
+        assert {e.name for e in entries} == {"one", "two"}
+
+    def test_ingest_empty_directory_rejected(self, store, tmp_path):
+        with pytest.raises(CorpusError):
+            store.ingest(tmp_path)
+
+    def test_roundtrip_through_disk(self, store):
+        trace = figure4_trace()
+        (entry,) = store.ingest(trace, app="figure4")
+        loaded = store.load(entry.digest)
+        assert loaded.to_jsonl() == trace.to_jsonl()
+        assert loaded.name == trace.name
+
+    def test_manifest_survives_reopen(self, store):
+        (entry,) = store.ingest(small_trace(), app="demo")
+        reopened = TraceStore(store.root)
+        assert len(reopened) == 1
+        assert reopened.get(entry.digest).app == "demo"
+
+    def test_unknown_digest(self, store):
+        with pytest.raises(CorpusError):
+            store.get("deadbeef")
+
+    def test_app_attribution_from_trace_name(self):
+        assert app_of_trace_name("music-player[back,click:x]") == "music-player"
+        assert app_of_trace_name("plain") == "plain"
+
+
+class TestStrictLoading:
+    def test_missing_kind_names_line(self):
+        text = '{"kind": "threadinit", "thread": "t0"}\n{"thread": "t0"}\n'
+        with pytest.raises(TraceFormatError, match="line 2.*missing the 'kind'"):
+            ExecutionTrace.from_jsonl(text)
+
+    def test_unknown_kind_names_line(self):
+        text = '{"kind": "warp", "thread": "t0"}\n'
+        with pytest.raises(TraceFormatError, match="line 1.*unknown op kind 'warp'"):
+            ExecutionTrace.from_jsonl(text)
+
+    def test_missing_thread_and_bad_json(self):
+        with pytest.raises(TraceFormatError, match="line 1.*missing the 'thread'"):
+            ExecutionTrace.from_jsonl('{"kind": "threadinit"}\n')
+        with pytest.raises(TraceFormatError, match="line 1.*invalid JSON"):
+            ExecutionTrace.from_jsonl("not json\n")
+
+    def test_unexpected_field_reported(self):
+        text = '{"kind": "threadinit", "thread": "t0", "bogus": 1}\n'
+        with pytest.raises(TraceFormatError, match="line 1"):
+            ExecutionTrace.from_jsonl(text)
+
+    def test_lenient_mode_skips_bad_lines(self):
+        good = small_trace().to_jsonl()
+        text = good + '{"thread": "t0"}\nnot json\n'
+        with pytest.warns(UserWarning, match="skipping bad trace record"):
+            trace = ExecutionTrace.from_jsonl(text, strict=False)
+        assert len(trace) == len(small_trace())
+
+    def test_streaming_load_from_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(small_trace().to_jsonl())
+        trace = ExecutionTrace.load(path)
+        assert len(trace) == len(small_trace())
+
+
+class TestDetectorConfig:
+    def test_digest_changes_with_rules(self):
+        base = DetectorConfig()
+        assert base.digest() == DetectorConfig().digest()
+        assert base.digest() != DetectorConfig(coalesce=False).digest()
+        assert base.digest() != DetectorConfig(hb=HBConfig(fifo=False)).digest()
+        assert base.digest() != DetectorConfig(cancelled_tasks=("p1",)).digest()
+
+    def test_build_detector_matches_detect_races(self):
+        trace = figure4_trace()
+        report = DetectorConfig().build_detector(trace).detect()
+        expected = detect_races(trace)
+        assert [r.to_dict() for r in report.races] == [
+            r.to_dict() for r in expected.races
+        ]
+
+
+class TestReportSerialization:
+    def test_report_roundtrip(self):
+        report = detect_races(figure4_trace())
+        again = type(report).from_dict(report.to_dict())
+        assert again.to_dict() == report.to_dict()
+        assert [str(r) for r in again.races] == [str(r) for r in report.races]
+
+
+class TestResultCache:
+    def test_second_pass_hits(self, store, tmp_path):
+        store.ingest(figure4_trace())
+        store.ingest(small_trace())
+        cache = ResultCache(store.root)
+        analyzer = BatchAnalyzer(store, cache=cache, jobs=1)
+        cold = analyzer.analyze()
+        warm = analyzer.analyze()
+        assert cold.cache_hits == 0 and cold.cache_misses == 2
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert [r.report.to_dict()["races"] for r in warm.results] == [
+            r.report.to_dict()["races"] for r in cold.results
+        ]
+
+    def test_config_change_invalidates(self, store):
+        store.ingest(figure4_trace())
+        cache = ResultCache(store.root)
+        BatchAnalyzer(store, cache=cache, jobs=1).analyze()
+        other = DetectorConfig(hb=HBConfig(fifo=False, nopre=False))
+        batch = BatchAnalyzer(store, cache=cache, config=other, jobs=1).analyze()
+        assert batch.cache_hits == 0 and batch.cache_misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, store):
+        (entry,) = store.ingest(figure4_trace())
+        cache = ResultCache(store.root)
+        analyzer = BatchAnalyzer(store, cache=cache, jobs=1)
+        analyzer.analyze()
+        config_digest = analyzer.config.digest()
+        cache.path_for(entry.digest, config_digest).write_text("{broken")
+        batch = analyzer.analyze()
+        assert batch.cache_misses == 1 and not batch.errors()
+        # and the entry was repaired:
+        assert cache.get(entry.digest, config_digest) is not None
+
+    def test_clear(self, store):
+        store.ingest(figure4_trace())
+        cache = ResultCache(store.root)
+        BatchAnalyzer(store, cache=cache, jobs=1).analyze()
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+
+class TestPipeline:
+    def corpus(self, store, n=6):
+        for i in range(n):
+            store.ingest(small_trace("t%d" % i, location="Obj@%d.field" % i))
+        store.ingest(figure4_trace())
+
+    def test_parallel_equals_serial(self, store):
+        self.corpus(store)
+        serial = BatchAnalyzer(store, jobs=1).analyze()
+        parallel = BatchAnalyzer(store, jobs=2).analyze()
+        assert parallel.parallel and not serial.parallel
+        assert [r.entry.digest for r in serial.results] == [
+            r.entry.digest for r in parallel.results
+        ]
+        assert [
+            [race.to_dict() for race in r.report.races] for r in serial.results
+        ] == [[race.to_dict() for race in r.report.races] for r in parallel.results]
+
+    def test_error_isolation(self, store):
+        self.corpus(store, n=2)
+        victim = store.entries()[0]
+        store.path_for(victim.digest).write_text('{"thread": "t0"}\n')
+        batch = BatchAnalyzer(store, jobs=1).analyze()
+        failures = batch.errors()
+        assert len(failures) == 1
+        assert failures[0].entry.digest == victim.digest
+        assert "line 1" in failures[0].error
+        assert len(batch.ok()) == len(store) - 1
+
+    def test_jobs_one_or_single_trace_stays_serial(self, store):
+        store.ingest(figure4_trace())
+        batch = BatchAnalyzer(store, jobs=4).analyze()
+        assert not batch.parallel  # one trace — no pool spin-up
+        assert len(batch.ok()) == 1
+
+    def test_analyze_subset_by_digest(self, store):
+        self.corpus(store, n=3)
+        digests = [e.digest for e in store.entries()[:2]]
+        batch = BatchAnalyzer(store, jobs=1).analyze(digests)
+        assert [r.entry.digest for r in batch.results] == digests
+
+
+class TestAggregation:
+    def test_dedup_across_traces(self, store):
+        # Same racy location+category in two different traces of one app.
+        store.ingest(small_trace("a"), app="demo")
+        b = TraceBuilder("b")
+        b.extend(
+            [
+                threadinit("t0"),
+                attachq("t0"),
+                looponq("t0"),
+                post("t0", "q1", "t0"),
+                post("t0", "q2", "t0"),
+                begin("t0", "q1"),
+                write("t0", "Obj@1.field"),
+                read("t0", "Other@1.x"),
+                end("t0", "q1"),
+                begin("t0", "q2"),
+                write("t0", "Obj@1.field"),
+                end("t0", "q2"),
+            ]
+        )
+        store.ingest(b.build(), app="demo")
+        batch = BatchAnalyzer(store, jobs=1).analyze()
+        report = aggregate(batch)
+        assert report.traces_total == 2
+        merged = [r for r in report.races if r.location == "Obj@1.field"]
+        assert len(merged) == 1 and merged[0].trace_count == 2
+        assert merged[0].apps == ("demo",)
+        total = sum(report.per_app["demo"].values())
+        assert total == len(report.races)
+
+    def test_render_and_json(self, store):
+        store.ingest(figure4_trace(), app="figure4")
+        batch = BatchAnalyzer(store, jobs=1).analyze()
+        report = aggregate(batch)
+        text = report.render()
+        assert "figure4" in text and "Total" in text
+        data = report.to_dict()
+        assert data["traces_total"] == 1
+        assert data["distinct_races"] == len(report.races)
+        json.dumps(data)  # must be JSON-serializable
+
+    def test_errors_surface_in_report(self, store):
+        (entry,) = store.ingest(small_trace())
+        store.path_for(entry.digest).write_text("garbage\n")
+        report = aggregate(BatchAnalyzer(store, jobs=1).analyze())
+        assert report.traces_failed == 1
+        assert report.errors and report.errors[0][0] == entry.name
+        assert "failed" in report.render()
+
+
+class TestExplorerIngestHook:
+    def test_explorer_feeds_store(self, tmp_path):
+        from repro.apps.registry import demo_app
+        from repro.explorer import UIExplorer
+
+        store = TraceStore(tmp_path / "corpus")
+        explorer = UIExplorer(
+            demo_app("music-player"), depth=1, max_runs=3, trace_store=store
+        )
+        result = explorer.explore()
+        assert len(store) > 0
+        assert all(entry.app == "music-player" for entry in store)
+        # ingest_into is idempotent with the live hook (same digests).
+        before = len(store)
+        result.ingest_into(store)
+        assert len(store) == before
+
+
+class TestSequenceStorePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.explorer import SequenceStore
+
+        store = SequenceStore()
+        store.record(["a", "b"], trace=None, decisions=["d1"], enabled_after=["c"])
+        store.record([], trace=None)
+        path = tmp_path / "sequences.jsonl"
+        store.save(path)
+        loaded = SequenceStore.load(path)
+        assert len(loaded) == 2
+        assert loaded.explored(["a", "b"]) and loaded.explored([])
+        run = loaded.lookup(["a", "b"])
+        assert run.decisions == ("d1",) and run.enabled_after == ("c",)

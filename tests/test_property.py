@@ -263,3 +263,105 @@ class TestLifecycleProperties:
         assert history.count(ActivityLifecycle.ON_CREATE) <= 1
         if machine.is_terminal:
             assert machine.current == ActivityLifecycle.DESTROYED
+
+
+class TestJsonlRoundTripProperties:
+    """Satellite: the JSONL round-trip over structured traces covering
+    every OpKind — including at_front posts and non-ASCII locations."""
+
+    # Non-empty location/event strings over a deliberately wide alphabet:
+    # ASCII, combining marks, CJK, emoji, and the field separator dots.
+    _names = st.text(
+        alphabet=st.characters(
+            codec="utf-8", exclude_characters="\x00"
+        ),
+        min_size=1,
+        max_size=12,
+    ).filter(lambda s: s.strip())
+
+    @staticmethod
+    def _full_coverage_trace(locations, delays, at_fronts, events):
+        """A valid trace exercising every op kind with drawn payloads."""
+        from repro.core.operations import (
+            acquire,
+            attachq,
+            begin,
+            enable,
+            end,
+            fork,
+            join,
+            looponq,
+            post,
+            read,
+            release,
+            threadexit,
+            threadinit,
+            write,
+        )
+        from repro.core.trace import TraceBuilder
+
+        b = TraceBuilder("prop")
+        b.extend([threadinit("t0"), attachq("t0"), looponq("t0")])
+        b.extend([fork("t0", "w"), threadinit("w")])
+        b.extend(
+            [
+                acquire("w", "L"),
+                write("w", locations[0]),
+                release("w", "L"),
+                threadexit("w"),
+            ]
+        )
+        tasks = []
+        for k, (delay, at_front, event) in enumerate(zip(delays, at_fronts, events)):
+            name = b.unique_task("p")
+            tasks.append(name)
+            b.add(enable("t0", name))
+            b.add(
+                post(
+                    "t0",
+                    name,
+                    "t0",
+                    delay=delay,
+                    at_front=at_front,
+                    event=event,
+                )
+            )
+        for k, name in enumerate(tasks):
+            b.add(begin("t0", name))
+            b.add(read("t0", locations[k % len(locations)]))
+            b.add(write("t0", locations[(k + 1) % len(locations)]))
+            b.add(end("t0", name))
+        b.add(join("t0", "w"))
+        b.add(threadexit("t0"))
+        return b.build()
+
+    @given(
+        locations=st.lists(_names, min_size=1, max_size=4, unique=True),
+        payloads=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+                st.booleans(),
+                st.one_of(st.none(), _names),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=60, deadline=None, suppress_health_check=SUPPRESS)
+    def test_roundtrip_identity(self, locations, payloads):
+        from repro.core.trace import operation_to_record
+
+        delays = [p[0] for p in payloads]
+        at_fronts = [p[1] for p in payloads]
+        events = [p[2] for p in payloads]
+        trace = self._full_coverage_trace(locations, delays, at_fronts, events)
+        kinds = {op.kind for op in trace}
+        assert kinds == set(OpKind)  # every op kind is exercised
+
+        restored = ExecutionTrace.from_jsonl(trace.to_jsonl())
+        assert [operation_to_record(op) for op in restored] == [
+            operation_to_record(op) for op in trace
+        ]
+        assert restored.canonical_digest() == trace.canonical_digest()
+        # a second round-trip is byte-identical (canonical form is a fixpoint)
+        assert restored.to_jsonl() == trace.to_jsonl()
