@@ -1,0 +1,188 @@
+"""Closure-engine benchmark: full re-sweep vs incremental delta saturation.
+
+Measures the two halves of the PR-2 optimisation on ladder traces
+(:mod:`repro.apps.ladder` — adversarial inputs needing one outer
+FIFO/NOPRE round per level):
+
+* **saturation** — :class:`HappensBefore` construction with
+  ``saturation="full"`` (re-sweep every row each round) vs
+  ``saturation="incremental"`` (delta propagation through the closure
+  predecessor index);
+* **detection** — end-to-end :func:`detect_races` with the slow pair
+  (``full`` + ``pairwise``) vs the fast pair (``incremental`` +
+  ``batched``).
+
+Every measurement double-checks equivalence (identical ``st``/``mt``
+rows, identical reports) before recording a time, so the numbers can
+never come from diverging analyses.
+
+This is a plain script, not a pytest file (the pytest benchmark suite in
+this directory regenerates the paper's tables; this one guards a code
+path).  Run it from the repository root:
+
+    python benchmarks/bench_closure.py            # full run, writes JSON
+    python benchmarks/bench_closure.py --smoke    # tiny sizes, CI gate
+
+The full run writes ``benchmarks/results/BENCH_closure.json`` and fails
+if the largest configuration's saturation speedup drops below 5x; the
+smoke run uses second-sized traces and only asserts the incremental path
+is not slower than the full sweep on the largest smoke trace.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.ladder import ladder_trace  # noqa: E402
+from repro.core import (  # noqa: E402
+    HappensBefore,
+    SAT_FULL,
+    SAT_INCREMENTAL,
+    detect_races,
+)
+from repro.core.race_detector import ENUM_BATCHED, ENUM_PAIRWISE  # noqa: E402
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+#: (levels, width) ladder sizes.  The full list tops out above 2000 graph
+#: nodes; the smoke list keeps CI under a few seconds.
+FULL_SIZES = [(14, 8), (20, 12), (30, 17), (34, 19)]
+SMOKE_SIZES = [(5, 3), (8, 4), (10, 5)]
+
+#: Acceptance floor for the full run, checked on the largest config.
+MIN_SPEEDUP = 5.0
+
+
+def _best_of(runs, fn):
+    best = None
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _report_key(report):
+    return (report.racy_pair_count, [race.to_dict() for race in report.races])
+
+
+def measure(levels, width, runs):
+    trace = ladder_trace(levels, width)
+    ops = len(trace)
+
+    full_sat, hb_full = _best_of(
+        runs, lambda: HappensBefore(trace, saturation=SAT_FULL)
+    )
+    inc_sat, hb_inc = _best_of(
+        runs, lambda: HappensBefore(trace, saturation=SAT_INCREMENTAL)
+    )
+    if hb_full.graph.st != hb_inc.graph.st or hb_full.graph.mt != hb_inc.graph.mt:
+        raise AssertionError("closure mismatch at levels=%d width=%d" % (levels, width))
+
+    full_det, rep_full = _best_of(
+        runs,
+        lambda: detect_races(trace, saturation=SAT_FULL, enumeration=ENUM_PAIRWISE),
+    )
+    inc_det, rep_inc = _best_of(
+        runs,
+        lambda: detect_races(
+            trace, saturation=SAT_INCREMENTAL, enumeration=ENUM_BATCHED
+        ),
+    )
+    if _report_key(rep_full) != _report_key(rep_inc):
+        raise AssertionError("report mismatch at levels=%d width=%d" % (levels, width))
+
+    return {
+        "levels": levels,
+        "width": width,
+        "trace_length": ops,
+        "nodes": len(hb_full.graph),
+        "outer_rounds": hb_full.stats.outer_iterations,
+        "races": len(rep_inc.races),
+        "saturation": {
+            "full_seconds": full_sat,
+            "incremental_seconds": inc_sat,
+            "full_ops_per_sec": ops / full_sat,
+            "incremental_ops_per_sec": ops / inc_sat,
+            "speedup": full_sat / inc_sat,
+        },
+        "detection": {
+            "full_pairwise_seconds": full_det,
+            "incremental_batched_seconds": inc_det,
+            "full_pairwise_ops_per_sec": ops / full_det,
+            "incremental_batched_ops_per_sec": ops / inc_det,
+            "speedup": full_det / inc_det,
+        },
+    }
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    runs = 3 if smoke else 1
+
+    rows = []
+    for levels, width in sizes:
+        row = measure(levels, width, runs)
+        rows.append(row)
+        print(
+            "ladder %2dx%-2d  %5d ops  %4d nodes  %2d rounds  "
+            "saturation %.3fs -> %.3fs (%.1fx)  detection %.3fs -> %.3fs (%.1fx)"
+            % (
+                levels,
+                width,
+                row["trace_length"],
+                row["nodes"],
+                row["outer_rounds"],
+                row["saturation"]["full_seconds"],
+                row["saturation"]["incremental_seconds"],
+                row["saturation"]["speedup"],
+                row["detection"]["full_pairwise_seconds"],
+                row["detection"]["incremental_batched_seconds"],
+                row["detection"]["speedup"],
+            )
+        )
+
+    largest = rows[-1]
+    if smoke:
+        # CI gate: the incremental path must not lose to the full sweep on
+        # the largest smoke trace (best-of-3 timings absorb runner noise).
+        assert (
+            largest["saturation"]["incremental_seconds"]
+            <= largest["saturation"]["full_seconds"]
+        ), "incremental saturation slower than full on the smoke trace"
+        print("smoke OK: incremental not slower than full")
+        return 0
+
+    assert largest["saturation"]["speedup"] >= MIN_SPEEDUP, (
+        "saturation speedup %.2fx below the %.1fx floor"
+        % (largest["saturation"]["speedup"], MIN_SPEEDUP)
+    )
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_closure.json"
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "closure-engine",
+                "trace_family": "repro.apps.ladder",
+                "min_speedup_floor": MIN_SPEEDUP,
+                "configs": rows,
+                "largest_saturation_speedup": largest["saturation"]["speedup"],
+                "largest_detection_speedup": largest["detection"]["speedup"],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print("wrote %s" % out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

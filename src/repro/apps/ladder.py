@@ -1,0 +1,109 @@
+"""Closure-ladder traces: worst-case inputs for the outer FIFO/NOPRE fixpoint.
+
+The happens-before engine's outer loop re-runs FIFO and NOPRE until no new
+edge appears; each round pays a closure re-saturation.  Most app traces
+settle in two or three rounds, which hides the cost of the re-saturation
+strategy.  This generator builds traces that *provably* need one outer
+round per ladder level, so the incremental-vs-full saturation gap scales
+with trace size (``benchmarks/bench_closure.py``).
+
+The construction chains tasks across ``loopers`` looper threads:
+
+* level 0 tasks are posted back-to-back by a single driver thread, so
+  their posts are program-order related and FIFO orders them in round 1;
+* each level-``ℓ`` task posts its level-``ℓ+1`` successor *from inside its
+  body* to the next looper (round-robin).  The successors' posts only
+  become happens-before ordered once the level-``ℓ`` tasks are ordered
+  end-to-begin — i.e. after round ``ℓ+1`` — so every level adds exactly
+  one more FIFO round, and NOPRE keeps firing for the same-looper levels
+  above it.
+
+Each task writes a per-looper hot location (totally ordered once the
+ladder saturates — a large *non*-racy candidate set exercising the
+enumeration fast path), plus a per-chain location ordered by the post
+chain.  Optional ``rogues`` are tasks posted by an independent driver
+thread, unordered against the entire ladder: they write the shared
+locations and produce genuine races.
+"""
+
+from __future__ import annotations
+
+from .. import core  # noqa: F401  (package import order)
+from ..core.operations import (
+    attachq,
+    begin,
+    end,
+    looponq,
+    post,
+    threadinit,
+    write,
+)
+from ..core.trace import ExecutionTrace, TraceBuilder
+
+
+def ladder_trace(
+    levels: int,
+    width: int,
+    loopers: int = 2,
+    rogues: int = 1,
+    shared_every: int = 4,
+    name: str = None,
+) -> ExecutionTrace:
+    """Build a closure ladder.
+
+    Parameters
+    ----------
+    levels:
+        Ladder height — the trace needs roughly this many outer
+        FIFO/NOPRE rounds to saturate.
+    width:
+        Independent chains climbing the ladder in parallel.
+    loopers:
+        Looper threads the chains round-robin across.
+    rogues:
+        Per looper, tasks posted by an unordered second driver; each
+        writes the shared locations, creating real races.
+    shared_every:
+        Every ``shared_every``-th chain also writes ``app.shared``.
+    """
+    if levels < 1 or width < 1 or loopers < 1:
+        raise ValueError("levels, width, and loopers must be positive")
+    b = TraceBuilder(name or "ladder-%dx%d" % (levels, width))
+
+    looper = lambda level: "looper%d" % (level % loopers)
+    task = lambda level, chain: "p%d_%d" % (level, chain)
+
+    b.add(threadinit("driver"))
+    for k in range(loopers):
+        t = "looper%d" % k
+        b.extend([threadinit(t), attachq(t), looponq(t)])
+
+    # Level-0 posts from the driver: program order makes FIFO applicable
+    # between every level-0 pair in the first round.
+    for chain in range(width):
+        b.add(post("driver", task(0, chain), looper(0)))
+
+    for level in range(levels):
+        t = looper(level)
+        for chain in range(width):
+            b.add(begin(t, task(level, chain)))
+            b.add(write(t, "%s.state" % t))
+            b.add(write(t, "chain%d.v" % chain))
+            if shared_every and chain % shared_every == 0:
+                b.add(write(t, "app.shared"))
+            if level + 1 < levels:
+                b.add(post(t, task(level + 1, chain), looper(level + 1)))
+            b.add(end(t, task(level, chain)))
+
+    if rogues:
+        b.add(threadinit("rogue-driver"))
+        for k in range(loopers):
+            t = "looper%d" % k
+            for r in range(rogues):
+                rtask = "rogue%d_%d" % (k, r)
+                b.add(post("rogue-driver", rtask, t))
+                b.add(begin(t, rtask))
+                b.add(write(t, "%s.state" % t))
+                b.add(write(t, "app.shared"))
+                b.add(end(t, rtask))
+    return b.build()

@@ -15,7 +15,14 @@
 from .classification import RaceCategory, classify_race
 from .explain import RaceExplanation, explain_race, hb_witness, render_witness
 from .graph import HBGraph, HBNode
-from .happens_before import ANDROID_HB, HappensBefore, HBConfig, HBStats
+from .happens_before import (
+    ANDROID_HB,
+    SAT_FULL,
+    SAT_INCREMENTAL,
+    HappensBefore,
+    HBConfig,
+    HBStats,
+)
 from .lifecycle_model import (
     ActivityLifecycle,
     LifecycleError,
@@ -49,6 +56,8 @@ __all__ = [
     "RaceExplanation",
     "RaceReport",
     "ReceiverLifecycle",
+    "SAT_FULL",
+    "SAT_INCREMENTAL",
     "SemanticsError",
     "ServiceLifecycle",
     "TraceBuilder",

@@ -114,7 +114,11 @@ class HBGraph:
         n = len(self.nodes)
         self.st: List[int] = [0] * n  # thread-local successors
         self.mt: List[int] = [0] * n  # inter-thread successors
+        #: All node bits set — the universe every per-thread mask complements
+        #: against (hot in the closure inner loop, so computed exactly once).
+        self.all_mask: int = (1 << n) - 1
         self._same_thread_mask: Dict[str, int] = {}
+        self._diff_thread_mask: Dict[str, int] = {}
         self._build_masks()
 
     # -- node construction -----------------------------------------------
@@ -154,6 +158,10 @@ class HBGraph:
                 1 << node.node_id
             )
         self._same_thread_mask = per_thread
+        all_mask = self.all_mask
+        self._diff_thread_mask = {
+            thread: all_mask & ~mask for thread, mask in per_thread.items()
+        }
 
     # -- structure queries --------------------------------------------------
 
@@ -170,8 +178,7 @@ class HBGraph:
         return self._same_thread_mask.get(thread, 0)
 
     def diff_thread_mask(self, thread: str) -> int:
-        all_mask = (1 << len(self.nodes)) - 1
-        return all_mask & ~self.same_thread_mask(thread)
+        return self._diff_thread_mask.get(thread, self.all_mask)
 
     @property
     def reduction_ratio(self) -> float:

@@ -24,6 +24,20 @@ rows) and re-run FIFO/NOPRE in an outer fixpoint until no new edges
 appear.  Worst case matches the paper's cubic bound; bitmask rows make the
 constant small.
 
+The re-saturation after each outer round comes in two flavours,
+selected by the ``saturation`` argument:
+
+* ``"full"`` — re-sweep all ``n`` rows high-to-low (the original
+  engine, kept as the differential-testing and ablation baseline);
+* ``"incremental"`` (default) — after the one initial sweep, maintain a
+  *closure predecessor index* (``pred[j]`` = bitmask of rows whose
+  closure contains ``j``).  When FIFO/NOPRE/AT-FRONT insert an edge
+  ``i → j``, only ``j``'s already-closed reachability is folded into
+  row ``i`` and the resulting delta walks the dirty frontier backward
+  through predecessors, touching exactly the rows whose closure
+  actually changes.  Both flavours compute the same least fixpoint, so
+  the ``st``/``mt`` rows are bit-for-bit identical.
+
 :class:`HBConfig` exposes every rule as a switch; the presets in
 :mod:`repro.core.baselines` turn the same engine into the classic
 multithreaded detector, the single-threaded event-driven detector, and the
@@ -32,6 +46,7 @@ naive combination the paper argues against.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
@@ -53,6 +68,10 @@ LOCKS_NONE = "none"
 #: ``transitivity`` settings.
 TRANS_DECOMPOSED = "decomposed"  # TRANS-ST / TRANS-MT as in the paper
 TRANS_PLAIN = "plain"  # plain closure of the edge union
+
+#: ``saturation`` settings (a performance knob — results are identical).
+SAT_INCREMENTAL = "incremental"  # delta propagation via the predecessor index
+SAT_FULL = "full"  # re-sweep every row after each outer round
 
 
 @dataclass(frozen=True)
@@ -118,6 +137,11 @@ class HappensBefore:
     coalesce:
         Apply the node-coalescing optimization (§6).  Disable to measure its
         effect (benchmark E3) — results are identical either way.
+    saturation:
+        ``"incremental"`` (default) re-closes only the dirty frontier after
+        each FIFO/NOPRE round; ``"full"`` re-sweeps every row.  Both produce
+        bit-for-bit identical ``st``/``mt`` rows — the switch exists so
+        differential tests and ablation benchmarks can compare the paths.
     """
 
     def __init__(
@@ -125,9 +149,13 @@ class HappensBefore:
         trace: ExecutionTrace,
         config: HBConfig = ANDROID_HB,
         coalesce: bool = True,
+        saturation: str = SAT_INCREMENTAL,
     ):
+        if saturation not in (SAT_INCREMENTAL, SAT_FULL):
+            raise ValueError("bad saturation %r" % saturation)
         self.trace = trace
         self.config = config
+        self.saturation = saturation
         self.graph = HBGraph(trace, coalesce=coalesce)
         self.stats = HBStats(
             trace_length=len(trace),
@@ -135,6 +163,12 @@ class HappensBefore:
             reduction_ratio=self.graph.reduction_ratio,
         )
         self._task_ops = _index_task_ops(trace, self.graph)
+        self._task_pair_list = self._build_task_pairs()
+        self._round_edges: List[Tuple[int, int]] = []
+        self._pred_st: List[int] = []
+        self._pred_mt: List[int] = []
+        self._diff_by_node: List[int] = []
+        self._build_rule_pendings()
         self._compute()
 
     # -- public queries -------------------------------------------------------
@@ -155,10 +189,14 @@ class HappensBefore:
     def _compute(self) -> None:
         self._add_static_edges()
         self._saturate()
+        incremental = self.saturation == SAT_INCREMENTAL
+        if incremental:
+            self._build_pred_index()
         # FIFO and NOPRE premises consult the full ≺, so they are applied in
         # an outer fixpoint: each round may enable further rounds.
         for iteration in itertools.count(1):
             self.stats.outer_iterations = iteration
+            self._round_edges.clear()
             changed = False
             if self.config.fifo:
                 changed |= self._apply_fifo()
@@ -168,7 +206,10 @@ class HappensBefore:
                 changed |= self._apply_front_posts()
             if not changed:
                 break
-            self._saturate()
+            if incremental:
+                self._saturate_delta(self._round_edges)
+            else:
+                self._saturate()
         self.stats.st_edges, self.stats.mt_edges = self.graph.edge_count()
 
     def _add_static_edges(self) -> None:
@@ -278,21 +319,75 @@ class HappensBefore:
                         self._add_edge(prev, nid, force_st=True)
                     last_in_task[key] = nid
 
+    def _build_rule_pendings(self) -> None:
+        """Hoist every trace-static rule premise out of the outer loop.
+
+        FIFO applicability (delay/at-front compatibility), NOPRE's post
+        node and task-operation list, and all of AT-FRONT's structural
+        premises depend only on the trace, so each rule gets a precomputed
+        work list.  The lists shrink as the fixpoint runs: once a pair is
+        happens-before ordered it stays ordered (the relation only grows),
+        so satisfied entries are dropped instead of being re-checked every
+        round."""
+        cfg = self.config
+        trace = self.trace
+        node_of_op = self.graph.node_of_op
+        fifo: List[Tuple[int, int, int, int]] = []
+        nopre: List[Tuple[int, int, int, Tuple[int, ...], int]] = []
+        front: List[Tuple[int, int]] = []
+        ops_masks: Dict[str, int] = {}
+        for end_node, begin_node, t1, t2 in self._task_pair_list:
+            if cfg.fifo and self._fifo_applicable(t1, t2):
+                p1 = node_of_op[t1.post_index]
+                p2 = node_of_op[t2.post_index]
+                # Edges only ever point forward, so ``post(p1) ≺ post(p2)``
+                # is unsatisfiable when ``p1 > p2`` — drop such pairs now.
+                if p1 <= p2:
+                    fifo.append((end_node, begin_node, p1, p2))
+            if cfg.nopre and t2.post_index is not None:
+                task_ops = tuple(self._task_ops.get(t1.name, ()))
+                mask = ops_masks.get(t1.name)
+                if mask is None:
+                    mask = 0
+                    for k in task_ops:
+                        mask |= 1 << k
+                    ops_masks[t1.name] = mask
+                nopre.append(
+                    (end_node, begin_node, node_of_op[t2.post_index], task_ops, mask)
+                )
+            if cfg.front_post_rule and self._front_post_applicable(t1, t2):
+                front.append((end_node, begin_node))
+        self._fifo_pending = fifo
+        self._nopre_pending = nopre
+        self._front_pending = front
+
     def _apply_fifo(self) -> bool:
         """FIFO (Figure 6) with the §4.2 delayed-post refinement."""
         changed = False
-        for end_node, begin_node, t1, t2 in self._task_pairs():
-            if self.graph.ordered(end_node, begin_node):
-                continue
-            if not self._fifo_applicable(t1, t2):
-                continue
-            p1, p2 = self.graph.node_of_op[t1.post_index], self.graph.node_of_op[
-                t2.post_index
-            ]
-            if p1 == p2 or self.graph.ordered(p1, p2):
+        st, mt = self.graph.st, self.graph.mt
+        still: List[Tuple[int, int, int, int]] = []
+        last_end = -1
+        end_row = 0
+        for pair in self._fifo_pending:
+            end_node, begin_node, p1, p2 = pair
+            # ``end < begin`` and ``p1 <= p2`` by construction, so the
+            # ``ordered`` queries reduce to inlined row-bit tests (hot loop).
+            # Pairs sharing an end node are adjacent, so its row is fetched
+            # once per run — but refetched after every insertion, which may
+            # extend the very row under test.
+            if end_node != last_end:
+                last_end = end_node
+                end_row = st[end_node] | mt[end_node]
+            if end_row >> begin_node & 1:
+                continue  # already ordered — and orderings never retract
+            if p1 == p2 or (st[p1] | mt[p1]) >> p2 & 1:
                 if self._add_edge_checked_st(end_node, begin_node):
                     self.stats.fifo_edges += 1
                     changed = True
+                    last_end = -1
+                continue
+            still.append(pair)
+        self._fifo_pending = still
         return changed
 
     def _fifo_applicable(self, t1: TaskInfo, t2: TaskInfo) -> bool:
@@ -310,29 +405,73 @@ class HappensBefore:
 
     def _apply_nopre(self) -> bool:
         """NOPRE (Figure 6): ``end(t,p1) ≺st begin(t,p2)`` if some operation
-        of task ``p1`` happens-before ``post(_,p2,t)``."""
+        of task ``p1`` happens-before ``post(_,p2,t)``.
+
+        With the predecessor index available (incremental saturation), the
+        existential premise collapses to one bitmask intersection:
+        ``ops(p1) ∩ pred(post)`` plus the reflexive ``post ∈ ops(p1)`` case.
+        Both tests read the closure as of the start of the round — edges
+        inserted earlier in the same round always target *begin* nodes, so
+        they can never satisfy a premise about a *post* node, and the two
+        code paths agree bit for bit.
+        """
         changed = False
-        graph = self.graph
-        for end_node, begin_node, t1, t2 in self._task_pairs():
-            if graph.ordered(end_node, begin_node):
+        st, mt = self.graph.st, self.graph.mt
+        use_pred = self.saturation == SAT_INCREMENTAL and bool(self._pred_st)
+        pred_st, pred_mt = self._pred_st, self._pred_mt
+        pred_union: Dict[int, int] = {}  # post node -> pred_st | pred_mt
+        still: List[Tuple[int, int, int, Tuple[int, ...], int]] = []
+        last_end = -1
+        end_row = 0
+        for entry in self._nopre_pending:
+            end_node, begin_node, post_node, task_ops, ops_mask = entry
+            if end_node != last_end:
+                last_end = end_node
+                end_row = st[end_node] | mt[end_node]
+            if end_row >> begin_node & 1:
+                continue  # already ordered — and orderings never retract
+            if use_pred:
+                preds = pred_union.get(post_node)
+                if preds is None:
+                    preds = pred_st[post_node] | pred_mt[post_node]
+                    pred_union[post_node] = preds
+                derived = bool(ops_mask >> post_node & 1 or ops_mask & preds)
+            else:
+                derived = False
+                for k in task_ops:  # nodes of task p1
+                    # ``≺`` is reflexive, so the post op itself (when
+                    # executed inside p1) witnesses the rule.
+                    if k == post_node or (
+                        k < post_node and (st[k] | mt[k]) >> post_node & 1
+                    ):
+                        derived = True
+                        break
+            if derived:
+                if self._add_edge_checked_st(end_node, begin_node):
+                    self.stats.nopre_edges += 1
+                    changed = True
+                    last_end = -1
                 continue
-            if t2.post_index is None:
-                continue
-            post_node = graph.node_of_op[t2.post_index]
-            for k in self._task_ops.get(t1.name, ()):  # nodes of task p1
-                # ``≺`` is reflexive, so the post op itself (when executed
-                # inside p1) witnesses the rule.
-                if k == post_node or graph.ordered(k, post_node):
-                    if self._add_edge_checked_st(end_node, begin_node):
-                        self.stats.nopre_edges += 1
-                        changed = True
-                    break
+            still.append(entry)
+        self._nopre_pending = still
         return changed
 
     def _apply_front_posts(self) -> bool:
-        """AT-FRONT (extension, see :class:`HBConfig.front_post_rule`).
+        """AT-FRONT (extension, see :class:`HBConfig.front_post_rule`)."""
+        changed = False
+        graph = self.graph
+        for end_node, begin_node in self._front_pending:
+            if graph.ordered(end_node, begin_node):
+                continue
+            if self._add_edge_checked_st(end_node, begin_node):
+                changed = True
+        # All premises are static, so every edge is derived on the first
+        # application; nothing is ever worth retrying.
+        self._front_pending = []
+        return changed
 
-        Premises for ``end(t, p_f) ≺st begin(t, p_o)``:
+    def _front_post_applicable(self, t1: TaskInfo, t2: TaskInfo) -> bool:
+        """Premises for ``end(t, p_f) ≺st begin(t, p_o)``:
 
         * ``p_f`` posted at the front, ``p_o`` posted normally,
         * both posts executed *inside the same task K running on t* with
@@ -340,47 +479,44 @@ class HappensBefore:
           both are pending, ``t`` is busy running K, and the barged
           ``p_f`` is dequeued first in every schedule.
         """
-        changed = False
-        graph = self.graph
         trace = self.trace
-        for end_node, begin_node, t1, t2 in self._task_pairs():
-            # t1 = the earlier-ending task (p_f), t2 = the later one (p_o).
-            if not t1.at_front or t2.at_front:
-                continue
-            if t1.post_index is None or t2.post_index is None:
-                continue
-            if t2.post_index > t1.post_index:
-                continue  # p_o must already be pending when p_f barges
-            poster_task = trace.task_name_of(t1.post_index)
-            if poster_task is None or trace.task_name_of(t2.post_index) != poster_task:
-                continue
-            if trace[t1.post_index].thread != t1.thread:
-                continue  # the posting task must run on the target thread
-            if graph.ordered(end_node, begin_node):
-                continue
-            if self._add_edge_checked_st(end_node, begin_node):
-                changed = True
-        return changed
+        # t1 = the earlier-ending task (p_f), t2 = the later one (p_o).
+        if not t1.at_front or t2.at_front:
+            return False
+        if t1.post_index is None or t2.post_index is None:
+            return False
+        if t2.post_index > t1.post_index:
+            return False  # p_o must already be pending when p_f barges
+        poster_task = trace.task_name_of(t1.post_index)
+        if poster_task is None or trace.task_name_of(t2.post_index) != poster_task:
+            return False
+        if trace[t1.post_index].thread != t1.thread:
+            return False  # the posting task must run on the target thread
+        return True
 
-    def _task_pairs(self):
-        """Yield ``(end-node(p1), begin-node(p2), info1, info2)`` for ordered
-        pairs of distinct tasks on the same looper thread with
-        ``index(end(p1)) < index(begin(p2))``."""
+    def _build_task_pairs(self) -> List[Tuple[int, int, TaskInfo, TaskInfo]]:
+        """``(end-node(p1), begin-node(p2), info1, info2)`` for ordered pairs
+        of distinct tasks on the same looper thread with
+        ``index(end(p1)) < index(begin(p2))``.
+
+        The list depends only on the trace and the node map, so it is built
+        once here — FIFO, NOPRE, and AT-FRONT previously re-derived and
+        re-sorted it on every application in every outer iteration."""
         per_thread: Dict[str, List[TaskInfo]] = {}
         for info in self.trace.tasks.values():
             if info.begin_index is not None and info.thread is not None:
                 per_thread.setdefault(info.thread, []).append(info)
+        pairs: List[Tuple[int, int, TaskInfo, TaskInfo]] = []
+        node_of_op = self.graph.node_of_op
         for infos in per_thread.values():
             infos.sort(key=lambda info: info.begin_index)
             for a, b in itertools.combinations(infos, 2):
                 if a.end_index is None or a.end_index > b.begin_index:
                     continue
-                yield (
-                    self.graph.node_of_op[a.end_index],
-                    self.graph.node_of_op[b.begin_index],
-                    a,
-                    b,
+                pairs.append(
+                    (node_of_op[a.end_index], node_of_op[b.begin_index], a, b)
                 )
+        return pairs
 
     # -- edge insertion and closure --------------------------------------------
 
@@ -404,7 +540,10 @@ class HappensBefore:
     def _add_edge_checked_st(self, i: int, j: int) -> bool:
         if self.graph.node(i).thread != self.graph.node(j).thread:
             raise AssertionError("FIFO/NOPRE edges are thread-local by rule")
-        return self.graph.add_st(i, j)
+        if self.graph.add_st(i, j):
+            self._round_edges.append((i, j))
+            return True
+        return False
 
     def _saturate(self) -> None:
         if self.config.transitivity == TRANS_PLAIN:
@@ -450,6 +589,182 @@ class HappensBefore:
                 if st_new == st_row and mt_new == mt_row:
                     break
                 st[i], mt[i] = st_new, mt_new
+
+    # -- incremental delta saturation ------------------------------------------
+
+    def _build_pred_index(self) -> None:
+        """Invert the closed rows: ``pred_st[j]``/``pred_mt[j]`` hold the
+        rows whose st/mt closure contains ``j``.  Built once after the
+        initial sweep; kept up to date by :meth:`_saturate_delta`."""
+        graph = self.graph
+        st, mt = graph.st, graph.mt
+        n = len(graph)
+        pred_st = [0] * n
+        pred_mt = [0] * n
+        for i in range(n):
+            ibit = 1 << i
+            row = st[i]
+            while row:
+                low = row & -row
+                pred_st[low.bit_length() - 1] |= ibit
+                row ^= low
+            row = mt[i]
+            while row:
+                low = row & -row
+                pred_mt[low.bit_length() - 1] |= ibit
+                row ^= low
+        self._pred_st = pred_st
+        self._pred_mt = pred_mt
+        self._diff_by_node = [
+            graph.diff_thread_mask(node.thread) for node in graph.nodes
+        ]
+
+    def _saturate_delta(self, edges: List[Tuple[int, int]]) -> None:
+        """Re-close the relation after the outer round inserted ``edges``.
+
+        Rather than re-sweeping all ``n`` rows, the new facts are propagated
+        backward through the closure predecessor index:
+
+        * *seed* — each new edge ``u → v`` marks bit ``v`` as an unexpanded
+          ("fresh") member of row ``u`` (the rule application already set the
+          raw bit);
+        * *expand* — a dirty row folds in the reachability of its fresh
+          members.  Members reached through ``st`` are on the row's own
+          thread, so their rows contribute wholesale (``st[m]`` to st,
+          ``mt[m]`` to mt); members reached through ``mt`` contribute
+          ``(st[m] | mt[m]) & diff-thread`` and may surface further members
+          that need expanding — the same inner fixpoint the full sweep runs,
+          restricted to the frontier;
+        * *propagate* — the row's accumulated delta is pushed into every
+          closure predecessor that lacks any of it, which dirties those rows
+          in turn.
+
+        Rows are processed highest-first: all edges point forward, so a
+        row's members are final by the time it expands, and each row is
+        processed at most once per round.  The result is the same least
+        fixpoint the full sweep computes — bit-for-bit identical rows.
+        """
+        graph = self.graph
+        st, mt = graph.st, graph.mt
+        pred_st, pred_mt = self._pred_st, self._pred_mt
+        diff_by_node = self._diff_by_node
+        n = len(graph.nodes)
+        fresh = [0] * n  # row -> member bits not yet expanded
+        delta_st = [0] * n  # row -> st bits gained this round
+        delta_mt = [0] * n
+        heap: List[int] = []
+        queued = bytearray(n)
+
+        def touch(w: int, st_gain: int, mt_gain: int) -> None:
+            # ``w``'s rows already contain the gains; register them for
+            # expansion/propagation and keep the predecessor index current.
+            wbit = 1 << w
+            if st_gain:
+                delta_st[w] |= st_gain
+                row = st_gain
+                while row:
+                    low = row & -row
+                    pred_st[low.bit_length() - 1] |= wbit
+                    row ^= low
+            if mt_gain:
+                delta_mt[w] |= mt_gain
+                row = mt_gain
+                while row:
+                    low = row & -row
+                    pred_mt[low.bit_length() - 1] |= wbit
+                    row ^= low
+            fresh[w] |= st_gain | mt_gain
+            if not queued[w]:
+                queued[w] = 1
+                heapq.heappush(heap, -w)
+
+        for u, v in edges:
+            touch(u, 1 << v, 0)
+
+        while heap:
+            x = -heapq.heappop(heap)
+            if not queued[x]:
+                continue  # stale duplicate entry
+            queued[x] = 0
+
+            # Expand: close row x over its fresh members.  Only additions to
+            # the mt row can surface members whose own reachability is not
+            # already covered (an st member's rows are folded in wholesale,
+            # and everything an st member reaches through st is inside its
+            # already-closed row), hence only mt gains re-enter ``pending``.
+            pending = fresh[x]
+            fresh[x] = 0
+            st_row, mt_row = st[x], mt[x]
+            diff = diff_by_node[x]
+            st_gain_total = 0
+            mt_gain_total = 0
+            expanded = 0
+            while pending:
+                comp_st = 0
+                comp_hb = 0
+                members = pending
+                while members:
+                    low = members & -members
+                    members ^= low
+                    m = low.bit_length() - 1
+                    if st_row & low:
+                        comp_st |= st[m]
+                        comp_hb |= mt[m]
+                    else:
+                        comp_hb |= st[m] | mt[m]
+                expanded |= pending
+                st_new = comp_st & ~st_row
+                mt_new = comp_hb & diff & ~mt_row
+                st_row |= st_new
+                mt_row |= mt_new
+                st_gain_total |= st_new
+                mt_gain_total |= mt_new
+                pending = mt_new & ~expanded
+            if st_gain_total or mt_gain_total:
+                st[x], mt[x] = st_row, mt_row
+                xbit = 1 << x
+                row = st_gain_total
+                while row:
+                    low = row & -row
+                    pred_st[low.bit_length() - 1] |= xbit
+                    row ^= low
+                row = mt_gain_total
+                while row:
+                    low = row & -row
+                    pred_mt[low.bit_length() - 1] |= xbit
+                    row ^= low
+
+            dst = delta_st[x] | st_gain_total
+            dmt = delta_mt[x] | mt_gain_total
+            delta_st[x] = delta_mt[x] = 0
+            dhb = dst | dmt
+            if not dhb:
+                continue
+
+            # Propagate: fold x's delta into every closure predecessor.  An
+            # st predecessor shares x's thread, so ``dmt`` is already inside
+            # its diff-thread mask; an mt predecessor takes the whole delta
+            # through its own mask.
+            preds = pred_st[x]
+            while preds:
+                low = preds & -preds
+                preds ^= low
+                w = low.bit_length() - 1
+                st_gain = dst & ~st[w]
+                mt_gain = dmt & ~mt[w]
+                if st_gain or mt_gain:
+                    st[w] |= st_gain
+                    mt[w] |= mt_gain
+                    touch(w, st_gain, mt_gain)
+            preds = pred_mt[x]
+            while preds:
+                low = preds & -preds
+                preds ^= low
+                w = low.bit_length() - 1
+                gain = dhb & diff_by_node[w] & ~mt[w]
+                if gain:
+                    mt[w] |= gain
+                    touch(w, 0, gain)
 
 
 def _index_task_ops(trace: ExecutionTrace, graph: HBGraph) -> Dict[str, List[int]]:

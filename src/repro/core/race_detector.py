@@ -10,6 +10,16 @@ pairs, and classifies each report (:mod:`repro.core.classification`).
 As in the paper, when several races of the same category hit the same
 memory location only one representative is reported (races on different
 objects of the same class count separately — locations are per-object).
+
+Because every closure edge points forward in node order, two accessors
+``a < b`` race exactly when ``b``'s bit is **absent** from ``hb_row(a)``.
+The default ``"batched"`` enumeration exploits this: per location it
+precomputes an accessor mask, a writer mask, and per-``(thread, task)``
+scope masks, so each accessor answers *all* of its racy partners with a
+couple of big-integer operations (``candidates & ~hb_row(a)``) and only
+surviving bits materialize :class:`Race` objects.  The original
+one-query-per-pair loop remains available as ``enumeration="pairwise"``
+for differential tests and benchmarks; both produce identical reports.
 """
 
 from __future__ import annotations
@@ -22,7 +32,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .classification import RaceCategory, classify_race
 from .graph import HBNode
-from .happens_before import ANDROID_HB, HappensBefore, HBConfig
+from .happens_before import (
+    ANDROID_HB,
+    SAT_FULL,
+    SAT_INCREMENTAL,
+    HappensBefore,
+    HBConfig,
+)
 from .operations import Operation
 from .trace import (
     ExecutionTrace,
@@ -30,6 +46,10 @@ from .trace import (
     operation_from_record,
     operation_to_record,
 )
+
+#: ``enumeration`` settings (a performance knob — reports are identical).
+ENUM_BATCHED = "batched"  # per-location bitmask candidate filtering
+ENUM_PAIRWISE = "pairwise"  # one ordering query per conflicting pair
 
 
 @dataclass(frozen=True)
@@ -185,7 +205,9 @@ class RaceDetector:
 
     Parameters mirror :class:`~repro.core.happens_before.HappensBefore`;
     ``config`` lets the baselines of :mod:`repro.core.baselines` reuse the
-    detection pipeline unchanged.
+    detection pipeline unchanged.  ``saturation`` and ``enumeration`` pick
+    the closure and enumeration strategies — performance knobs whose
+    settings never change the report.
     """
 
     def __init__(
@@ -194,7 +216,13 @@ class RaceDetector:
         config: HBConfig = ANDROID_HB,
         coalesce: bool = True,
         cancelled_tasks: Iterable[str] = (),
+        saturation: str = SAT_INCREMENTAL,
+        enumeration: str = ENUM_BATCHED,
     ):
+        if enumeration not in (ENUM_BATCHED, ENUM_PAIRWISE):
+            raise ValueError("bad enumeration %r" % enumeration)
+        if saturation not in (SAT_INCREMENTAL, SAT_FULL):
+            raise ValueError("bad saturation %r" % saturation)
         cancelled = list(cancelled_tasks)
         if cancelled:
             # §4.2: cancellation is handled by removing the corresponding
@@ -203,11 +231,18 @@ class RaceDetector:
         self.trace = trace
         self.config = config
         self.coalesce = coalesce
+        self.saturation = saturation
+        self.enumeration = enumeration
         self.hb: Optional[HappensBefore] = None
 
     def detect(self) -> RaceReport:
         start = time.perf_counter()
-        hb = HappensBefore(self.trace, config=self.config, coalesce=self.coalesce)
+        hb = HappensBefore(
+            self.trace,
+            config=self.config,
+            coalesce=self.coalesce,
+            saturation=self.saturation,
+        )
         self.hb = hb
         report = RaceReport(
             trace_name=self.trace.name,
@@ -215,49 +250,119 @@ class RaceDetector:
             node_count=len(hb.graph),
             reduction_ratio=hb.graph.reduction_ratio,
         )
-
-        accessors = self._accessors_by_location(hb)
         seen: set = set()  # (location, category) dedup keys
-        for location, nodes in accessors.items():
-            for a_pos, a in enumerate(nodes):
-                a_writes = a.writes_to(location)
-                for b in nodes[a_pos + 1 :]:
-                    if a.thread == b.thread and a.task == b.task:
-                        continue  # program order within a task (or pre-loop)
-                    if not a_writes and not b.writes_to(location):
-                        continue
-                    if hb.ordered_nodes(a.node_id, b.node_id):
-                        continue
-                    report.racy_pair_count += 1
-                    op_i, op_j = _representative_pair(a, b, location)
-                    category = classify_race(self.trace, hb, op_i.index, op_j.index)
-                    key = (location, category)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    report.races.append(
-                        Race(
-                            location=location,
-                            field_name=field_of_location(location),
-                            op_i=op_i,
-                            op_j=op_j,
-                            category=category,
-                        )
-                    )
+        if self.enumeration == ENUM_BATCHED:
+            self._enumerate_batched(hb, report, seen)
+        else:
+            self._enumerate_pairwise(hb, report, seen)
         report.races.sort(key=lambda race: (race.op_i.index, race.op_j.index))
         report.analysis_seconds = time.perf_counter() - start
         return report
 
-    def _accessors_by_location(
+    def _enumerate_batched(
+        self, hb: HappensBefore, report: RaceReport, seen: set
+    ) -> None:
+        """Answer each accessor's racy partners with mask arithmetic.
+
+        Node ids ascend in trace order and all closure edges point forward,
+        so for accessors ``a < b`` the pair is racy iff ``b``'s bit is
+        absent from ``hb_row(a)`` — later accessors of the location that
+        conflict, run in a different (thread, task) scope, and survive
+        ``& ~hb_row(a)`` are exactly the racy partners.
+        """
+        graph = hb.graph
+        st, mt = graph.st, graph.mt
+        nodes = graph.nodes
+        for location, entry in self._location_index(hb).items():
+            accessors, access_mask, write_mask, scope_masks = entry
+            rest = access_mask  # accessors strictly after the current one
+            for a, a_writes in accessors:
+                rest &= ~(1 << a.node_id)
+                if not rest:
+                    break
+                candidates = rest if a_writes else rest & write_mask
+                candidates &= ~scope_masks[(a.thread, a.task)]
+                racy = candidates & ~(st[a.node_id] | mt[a.node_id])
+                while racy:
+                    low = racy & -racy
+                    racy ^= low
+                    self._record(
+                        hb, report, seen, location, a, nodes[low.bit_length() - 1]
+                    )
+
+    def _enumerate_pairwise(
+        self, hb: HappensBefore, report: RaceReport, seen: set
+    ) -> None:
+        """The original per-pair loop (one ordering query per candidate)."""
+        for location, entry in self._location_index(hb).items():
+            accessors = entry[0]
+            for a_pos, (a, a_writes) in enumerate(accessors):
+                for b, b_writes in accessors[a_pos + 1 :]:
+                    if a.thread == b.thread and a.task == b.task:
+                        continue  # program order within a task (or pre-loop)
+                    if not a_writes and not b_writes:
+                        continue
+                    if hb.ordered_nodes(a.node_id, b.node_id):
+                        continue
+                    self._record(hb, report, seen, location, a, b)
+
+    def _record(
+        self,
+        hb: HappensBefore,
+        report: RaceReport,
+        seen: set,
+        location: str,
+        a: HBNode,
+        b: HBNode,
+    ) -> None:
+        report.racy_pair_count += 1
+        op_i, op_j = _representative_pair(a, b, location)
+        category = classify_race(self.trace, hb, op_i.index, op_j.index)
+        key = (location, category)
+        if key in seen:
+            return
+        seen.add(key)
+        report.races.append(
+            Race(
+                location=location,
+                field_name=field_of_location(location),
+                op_i=op_i,
+                op_j=op_j,
+                category=category,
+            )
+        )
+
+    def _location_index(
         self, hb: HappensBefore
-    ) -> Dict[str, List[HBNode]]:
-        out: Dict[str, List[HBNode]] = {}
+    ) -> Dict[str, Tuple[List[Tuple[HBNode, bool]], int, int, Dict]]:
+        """Per location: ``(accessors, access_mask, write_mask, scope_masks)``.
+
+        ``accessors`` lists ``(node, writes_here)`` in ascending node order;
+        the masks carry the same information as node-id bitmasks, with
+        ``scope_masks`` grouping accessors by ``(thread, task)`` — pairs
+        inside one scope are ordered by program order and never race.
+        """
+        index: Dict[str, list] = {}
         for node in hb.graph.nodes:
             if not node.is_access_block:
                 continue
+            bit = 1 << node.node_id
+            scope = (node.thread, node.task)
             for location in node.locations():
-                out.setdefault(location, []).append(node)
-        return out
+                entry = index.get(location)
+                if entry is None:
+                    entry = index[location] = [[], 0, 0, {}]
+                writes = node.writes_to(location)
+                entry[0].append((node, writes))
+                entry[1] |= bit
+                if writes:
+                    entry[2] |= bit
+                scopes = entry[3]
+                scopes[scope] = scopes.get(scope, 0) | bit
+        return {
+            location: (entry[0], entry[1], entry[2], entry[3])
+            for location, entry in index.items()
+        }
 
 
 def _representative_pair(
@@ -279,8 +384,15 @@ def detect_races(
     config: HBConfig = ANDROID_HB,
     coalesce: bool = True,
     cancelled_tasks: Iterable[str] = (),
+    saturation: str = SAT_INCREMENTAL,
+    enumeration: str = ENUM_BATCHED,
 ) -> RaceReport:
     """One-call convenience wrapper: build, run, and return the report."""
     return RaceDetector(
-        trace, config=config, coalesce=coalesce, cancelled_tasks=cancelled_tasks
+        trace,
+        config=config,
+        coalesce=coalesce,
+        cancelled_tasks=cancelled_tasks,
+        saturation=saturation,
+        enumeration=enumeration,
     ).detect()

@@ -1,0 +1,118 @@
+"""Differential tests: incremental saturation and batched enumeration are
+*performance knobs* — for every trace and every configuration they must
+produce bit-for-bit the same closure and report-for-report the same races
+as the reference full sweep / pairwise enumeration.
+
+The inputs come from two generators:
+
+* :func:`tests.test_property.run_random_app` — whole random applications
+  exercising forks, loopers, delayed/at-front posts, and locks;
+* :func:`repro.apps.ladder.ladder_trace` — adversarial multi-round
+  traces whose outer FIFO/NOPRE fixpoint needs one round per ladder
+  level, so the incremental path's frontier logic is stressed across
+  many delta rounds (not just the 2–3 rounds typical app traces need).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ladder import ladder_trace
+from repro.core import HappensBefore, SAT_FULL, SAT_INCREMENTAL, detect_races
+from repro.core.baselines import ALL_CONFIGS
+from repro.core.race_detector import ENUM_BATCHED, ENUM_PAIRWISE, RaceDetector
+from tests.test_property import run_random_app
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+def report_key(report):
+    """Everything observable about a report except wall-clock timing."""
+    return (
+        report.racy_pair_count,
+        report.node_count,
+        report.trace_length,
+        [race.to_dict() for race in report.races],
+    )
+
+
+def assert_same_closure(trace, config, coalesce):
+    full = HappensBefore(trace, config, coalesce=coalesce, saturation=SAT_FULL)
+    inc = HappensBefore(trace, config, coalesce=coalesce, saturation=SAT_INCREMENTAL)
+    assert full.graph.st == inc.graph.st
+    assert full.graph.mt == inc.graph.mt
+    assert full.stats.outer_iterations == inc.stats.outer_iterations
+    assert full.stats.fifo_edges == inc.stats.fifo_edges
+    assert full.stats.nopre_edges == inc.stats.nopre_edges
+    assert full.stats.st_edges == inc.stats.st_edges
+    assert full.stats.mt_edges == inc.stats.mt_edges
+    return inc
+
+
+class TestClosureEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_all_presets(self, seed):
+        trace = run_random_app(seed).build_trace()
+        for config in ALL_CONFIGS.values():
+            for coalesce in (True, False):
+                assert_same_closure(trace, config, coalesce)
+
+    @pytest.mark.parametrize("preset", sorted(ALL_CONFIGS))
+    def test_ladder_all_presets(self, preset):
+        trace = ladder_trace(6, 3)
+        assert_same_closure(trace, ALL_CONFIGS[preset], True)
+
+    def test_ladder_needs_many_outer_rounds(self):
+        # The equivalence above is only meaningful if the delta path really
+        # runs multiple rounds: ladders need ~one outer round per level.
+        hb = HappensBefore(ladder_trace(6, 3), saturation=SAT_INCREMENTAL)
+        assert hb.stats.outer_iterations >= 4
+
+    def test_ladder_uncoalesced(self):
+        assert_same_closure(ladder_trace(5, 2), ALL_CONFIGS["android"], False)
+
+
+class TestDetectionEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_all_strategy_combos(self, seed):
+        trace = run_random_app(seed).build_trace()
+        reference = detect_races(
+            trace, saturation=SAT_FULL, enumeration=ENUM_PAIRWISE
+        )
+        for saturation in (SAT_FULL, SAT_INCREMENTAL):
+            for enumeration in (ENUM_PAIRWISE, ENUM_BATCHED):
+                report = detect_races(
+                    trace, saturation=saturation, enumeration=enumeration
+                )
+                assert report_key(report) == report_key(reference)
+
+    def test_ladder_reports_identical_and_nonempty(self):
+        trace = ladder_trace(6, 4, rogues=2)
+        reference = detect_races(
+            trace, saturation=SAT_FULL, enumeration=ENUM_PAIRWISE
+        )
+        assert reference.races  # rogue tasks race against the ladder
+        fast = detect_races(
+            trace, saturation=SAT_INCREMENTAL, enumeration=ENUM_BATCHED
+        )
+        assert report_key(fast) == report_key(reference)
+
+
+class TestStrategyValidation:
+    def test_bad_saturation_rejected(self):
+        trace = ladder_trace(2, 1)
+        with pytest.raises(ValueError):
+            HappensBefore(trace, saturation="magic")
+        with pytest.raises(ValueError):
+            RaceDetector(trace, saturation="magic")
+
+    def test_bad_enumeration_rejected(self):
+        with pytest.raises(ValueError):
+            RaceDetector(ladder_trace(2, 1), enumeration="magic")
+
+    def test_defaults_are_the_fast_path(self):
+        detector = RaceDetector(ladder_trace(2, 1))
+        assert detector.saturation == SAT_INCREMENTAL
+        assert detector.enumeration == ENUM_BATCHED
