@@ -16,28 +16,43 @@ Every measurement double-checks equivalence (identical ``st``/``mt``
 rows, identical reports) before recording a time, so the numbers can
 never come from diverging analyses.
 
+A second sweep compares the two *reachability backends* (``bitmask``
+vs ``chains``, see :mod:`repro.core.reachability`) across trace sizes,
+reporting wall time and peak/steady-state closure memory — the chains
+backend trades O(n²) bits for O(n·C) ints, so its advantage grows with
+the node-per-chain ratio (the ``body`` ladder parameter).
+
 This is a plain script, not a pytest file (the pytest benchmark suite in
 this directory regenerates the paper's tables; this one guards a code
 path).  Run it from the repository root:
 
-    python benchmarks/bench_closure.py            # full run, writes JSON
-    python benchmarks/bench_closure.py --smoke    # tiny sizes, CI gate
+    python benchmarks/bench_closure.py                      # saturation sweep
+    python benchmarks/bench_closure.py --smoke              # tiny sizes, CI gate
+    python benchmarks/bench_closure.py --reachability       # backend sweep
+    python benchmarks/bench_closure.py --reachability-smoke # CI backend gate
 
-The full run writes ``benchmarks/results/BENCH_closure.json`` and fails
-if the largest configuration's saturation speedup drops below 5x; the
-smoke run uses second-sized traces and only asserts the incremental path
-is not slower than the full sweep on the largest smoke trace.
+The full runs write ``benchmarks/results/BENCH_closure.json`` /
+``BENCH_reachability.json`` and fail if the largest configuration's
+saturation speedup (resp. closure-memory reduction) drops below 5x; the
+smoke runs use second-sized traces: ``--smoke`` asserts the incremental
+path is not slower than the full sweep, ``--reachability-smoke`` asserts
+the chains backend is bit-identical to bitmask on a mid-size ladder and
+stays within 2x of its O(n·C) memory budget.
 """
 
 import json
 import pathlib
+import subprocess
 import sys
 import time
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, SRC_DIR)
 
 from repro.apps.ladder import ladder_trace  # noqa: E402
 from repro.core import (  # noqa: E402
+    BACKEND_BITMASK,
+    BACKEND_CHAINS,
     HappensBefore,
     SAT_FULL,
     SAT_INCREMENTAL,
@@ -52,8 +67,25 @@ RESULTS = pathlib.Path(__file__).resolve().parent / "results"
 FULL_SIZES = [(14, 8), (20, 12), (30, 17), (34, 19)]
 SMOKE_SIZES = [(5, 3), (8, 4), (10, 5)]
 
+#: (levels, width, body) sizes for the backend sweep.  ``body`` inflates
+#: the per-task node count without adding chains, sweeping the node-per-
+#: chain ratio the backends trade on; the smallest size sits near the
+#: memory crossover, the largest exceeds 10k nodes.
+REACH_SIZES = [(4, 3, 6), (8, 4, 20), (10, 5, 30), (14, 6, 40)]
+REACH_SMOKE_SIZE = (6, 3, 8)
+
 #: Acceptance floor for the full run, checked on the largest config.
 MIN_SPEEDUP = 5.0
+
+#: Acceptance floor for the backend sweep: closure-memory reduction of
+#: chains vs bitmask on the largest (>= 10k node) ladder.
+MIN_MEMORY_RATIO = 5.0
+
+#: The chains backend's own budget: the reach table is ``4·n·C`` bytes
+#: and every other structure is O(n) with a small constant; exceeding
+#: twice this envelope means the O(n·C) bound is broken in practice.
+def _chains_budget_bytes(nodes, chains):
+    return nodes * (4 * chains + 256)
 
 
 def _best_of(runs, fn):
@@ -122,7 +154,213 @@ def measure(levels, width, runs):
     }
 
 
+def _stat_key(stats):
+    return (
+        stats.st_edges,
+        stats.mt_edges,
+        stats.fifo_edges,
+        stats.nopre_edges,
+        stats.outer_iterations,
+    )
+
+
+#: Run in a fresh interpreter per backend (see ``_measure_backend``).
+#: argv[1] is ``[levels, width, body, backend]`` as JSON, argv[2] the src
+#: path.  Emits one JSON object on stdout.
+_CHILD_SRC = r"""
+import hashlib, json, resource, sys, time
+
+levels, width, body, backend = json.loads(sys.argv[1])
+sys.path.insert(0, sys.argv[2])
+from repro.apps.ladder import ladder_trace
+from repro.core import HappensBefore
+
+trace = ladder_trace(levels, width, body=body)
+start = time.perf_counter()
+hb = HappensBefore(trace, backend=backend)
+elapsed = time.perf_counter() - start
+
+# Deterministic ~200k-pair sample of the ordering relation, hashed so the
+# parent can compare backends without holding both closures in one process.
+graph = hb.graph
+n = len(graph)
+step = max(1, (n * (n - 1) // 2) // 200_000)
+digest = hashlib.sha256()
+k = 0
+for i in range(n):
+    for j in range(i + 1, n, 7):
+        k += 1
+        if k % step:
+            continue
+        digest.update(b"\x01" if graph.ordered(i, j) else b"\x00")
+
+stats = hb.stats
+print(json.dumps({
+    "seconds": elapsed,
+    "peak_rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+    "closure_memory_bytes": stats.closure_memory_bytes,
+    "nodes": stats.node_count,
+    "chains": stats.chain_count,
+    "trace_length": len(trace),
+    "outer_rounds": stats.outer_iterations,
+    "stat_key": [stats.st_edges, stats.mt_edges, stats.fifo_edges,
+                 stats.nopre_edges, stats.outer_iterations],
+    "ordering_digest": digest.hexdigest(),
+}))
+"""
+
+
+def _measure_backend(levels, width, body, backend):
+    """Measure one backend in a fresh interpreter: the wall time is
+    unperturbed by instrumentation (an in-process tracemalloc run slows
+    the bitmask big-int churn by an order of magnitude) and ``ru_maxrss``
+    reports the true process peak.  The child also hashes a deterministic
+    200k-pair ``ordered()`` sample; the parent cross-checks the digests
+    (the hypothesis suite covers full matrices on small traces)."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _CHILD_SRC,
+            json.dumps([levels, width, body, backend]),
+            SRC_DIR,
+        ],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            "%s measurement child failed:\n%s" % (backend, proc.stderr)
+        )
+    return json.loads(proc.stdout)
+
+
+def measure_reachability(levels, width, body):
+    bit = _measure_backend(levels, width, body, BACKEND_BITMASK)
+    chain = _measure_backend(levels, width, body, BACKEND_CHAINS)
+
+    if bit["stat_key"] != chain["stat_key"]:
+        raise AssertionError(
+            "closure statistics diverge at levels=%d width=%d body=%d"
+            % (levels, width, body)
+        )
+    if bit["ordering_digest"] != chain["ordering_digest"]:
+        raise AssertionError(
+            "sampled orderings diverge at levels=%d width=%d body=%d"
+            % (levels, width, body)
+        )
+
+    bit_mem = bit["closure_memory_bytes"]
+    chain_mem = chain["closure_memory_bytes"]
+    return {
+        "levels": levels,
+        "width": width,
+        "body": body,
+        "trace_length": bit["trace_length"],
+        "nodes": bit["nodes"],
+        "chains": chain["chains"],
+        "outer_rounds": bit["outer_rounds"],
+        "bitmask": {
+            "seconds": bit["seconds"],
+            "closure_memory_bytes": bit_mem,
+            "peak_rss_bytes": bit["peak_rss_bytes"],
+        },
+        "chains_backend": {
+            "seconds": chain["seconds"],
+            "closure_memory_bytes": chain_mem,
+            "peak_rss_bytes": chain["peak_rss_bytes"],
+        },
+        "memory_ratio": bit_mem / chain_mem,
+        "peak_rss_ratio": bit["peak_rss_bytes"] / chain["peak_rss_bytes"],
+        "time_ratio": bit["seconds"] / chain["seconds"],
+    }
+
+
+def run_reachability(smoke):
+    if smoke:
+        levels, width, body = REACH_SMOKE_SIZE
+        trace = ladder_trace(levels, width, body=body)
+        hb_bit = HappensBefore(trace, backend=BACKEND_BITMASK)
+        hb_chain = HappensBefore(trace, backend=BACKEND_CHAINS)
+        assert _stat_key(hb_bit.stats) == _stat_key(hb_chain.stats), (
+            "rule statistics diverge between backends on the smoke ladder"
+        )
+        n = len(hb_bit.graph)
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert hb_bit.graph.ordered(i, j) == hb_chain.graph.ordered(i, j), (
+                    "ordered(%d, %d) diverges between backends" % (i, j)
+                )
+        rep_bit = detect_races(trace, backend=BACKEND_BITMASK)
+        rep_chain = detect_races(trace, backend=BACKEND_CHAINS)
+        assert _report_key(rep_bit) == _report_key(rep_chain), (
+            "race reports diverge between backends on the smoke ladder"
+        )
+        budget = _chains_budget_bytes(n, hb_chain.stats.chain_count)
+        used = hb_chain.stats.closure_memory_bytes
+        assert used <= 2 * budget, (
+            "chains closure memory %d bytes exceeds 2x the O(n*C) budget %d"
+            % (used, budget)
+        )
+        print(
+            "reachability smoke OK: %d nodes, %d chains, backends identical, "
+            "%.0f KB of %.0f KB budget" % (n, hb_chain.stats.chain_count,
+                                           used / 1024.0, 2 * budget / 1024.0)
+        )
+        return 0
+
+    rows = []
+    for levels, width, body in REACH_SIZES:
+        row = measure_reachability(levels, width, body)
+        rows.append(row)
+        print(
+            "ladder %2dx%-2d body=%-3d %5d nodes %3d chains  "
+            "bitmask %7.2fs %7.2fMB  chains %6.2fs %6.2fMB  mem x%.1f"
+            % (
+                levels,
+                width,
+                body,
+                row["nodes"],
+                row["chains"],
+                row["bitmask"]["seconds"],
+                row["bitmask"]["closure_memory_bytes"] / 1e6,
+                row["chains_backend"]["seconds"],
+                row["chains_backend"]["closure_memory_bytes"] / 1e6,
+                row["memory_ratio"],
+            )
+        )
+
+    largest = rows[-1]
+    assert largest["nodes"] >= 10_000, (
+        "largest backend-sweep ladder has only %d nodes" % largest["nodes"]
+    )
+    assert largest["memory_ratio"] >= MIN_MEMORY_RATIO, (
+        "closure-memory reduction %.2fx below the %.1fx floor"
+        % (largest["memory_ratio"], MIN_MEMORY_RATIO)
+    )
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_reachability.json"
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "reachability-backends",
+                "trace_family": "repro.apps.ladder",
+                "min_memory_ratio_floor": MIN_MEMORY_RATIO,
+                "configs": rows,
+                "largest_memory_ratio": largest["memory_ratio"],
+                "largest_time_ratio": largest["time_ratio"],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print("wrote %s" % out)
+    return 0
+
+
 def main(argv):
+    if "--reachability" in argv or "--reachability-smoke" in argv:
+        return run_reachability("--reachability-smoke" in argv)
     smoke = "--smoke" in argv
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     runs = 3 if smoke else 1

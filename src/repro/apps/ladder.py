@@ -30,11 +30,13 @@ from __future__ import annotations
 
 from .. import core  # noqa: F401  (package import order)
 from ..core.operations import (
+    acquire,
     attachq,
     begin,
     end,
     looponq,
     post,
+    release,
     threadinit,
     write,
 )
@@ -47,6 +49,7 @@ def ladder_trace(
     loopers: int = 2,
     rogues: int = 1,
     shared_every: int = 4,
+    body: int = 0,
     name: str = None,
 ) -> ExecutionTrace:
     """Build a closure ladder.
@@ -65,6 +68,14 @@ def ladder_trace(
         writes the shared locations, creating real races.
     shared_every:
         Every ``shared_every``-th chain also writes ``app.shared``.
+    body:
+        Extra acquire/write/release cycles per task on a lock and
+        location private to the task's (level, chain) cell.  The cycles
+        inflate the per-task node count (the lock operations break access
+        coalescing) without adding lock edges or changing which pairs
+        race, so benchmarks can scale node count and task count
+        independently — the node-per-chain ratio is what the chain
+        reachability backend's memory is sensitive to.
     """
     if levels < 1 or width < 1 or loopers < 1:
         raise ValueError("levels, width, and loopers must be positive")
@@ -89,6 +100,11 @@ def ladder_trace(
             b.add(begin(t, task(level, chain)))
             b.add(write(t, "%s.state" % t))
             b.add(write(t, "chain%d.v" % chain))
+            for _ in range(body):
+                cell = "cell%d_%d" % (level, chain)
+                b.add(acquire(t, "%s.lock" % cell))
+                b.add(write(t, "%s.v" % cell))
+                b.add(release(t, "%s.lock" % cell))
             if shared_every and chain % shared_every == 0:
                 b.add(write(t, "app.shared"))
             if level + 1 < levels:

@@ -29,7 +29,7 @@ from repro.bench import (
     render_table3,
     run_all,
 )
-from repro.core import detect_races
+from repro.core import BACKEND_BITMASK, BACKEND_CHAINS, detect_races
 from repro.core.trace import ExecutionTrace
 from repro.explorer import UIExplorer
 
@@ -46,6 +46,17 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         help="trace-length scale factor (1.0 = the paper's full lengths)",
     )
     parser.add_argument("--seed", type=int, default=5, help="schedule seed")
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=(BACKEND_BITMASK, BACKEND_CHAINS),
+        default=BACKEND_BITMASK,
+        help="happens-before reachability backend: dense bitmask rows "
+        "(default) or the O(n*C) chain index for large traces "
+        "(results are identical)",
+    )
 
 
 def _add_store(parser: argparse.ArgumentParser) -> None:
@@ -85,6 +96,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="emit the race report as machine-readable JSON",
     )
+    _add_backend(p_run)
     _add_scale(p_run)
 
     p_demo = sub.add_parser("demo", help="run a hand-written demo app scenario")
@@ -117,6 +129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="emit the race report as machine-readable JSON",
     )
+    _add_backend(p_analyze)
 
     p_corpus = sub.add_parser(
         "corpus", help="persistent trace corpus: ingest, batch-analyze, report"
@@ -150,6 +163,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache", action="store_true", help="ignore and do not write the result cache"
     )
     p_canalyze.add_argument("--json", action="store_true")
+    _add_backend(p_canalyze)
 
     p_creport = corpus_sub.add_parser(
         "report", help="corpus-level aggregated race report (deduplicated)"
@@ -157,6 +171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_store(p_creport)
     p_creport.add_argument("--jobs", type=int, default=None, metavar="N")
     p_creport.add_argument("--json", action="store_true")
+    _add_backend(p_creport)
 
     args = parser.parse_args(argv)
 
@@ -180,7 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.save_trace, "w") as handle:
                 handle.write(trace.to_jsonl())
             print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
-        report = detect_races(trace)
+        report = detect_races(trace, backend=args.backend)
         if args.json:
             print(report_to_json(report))
             return 0
@@ -262,7 +277,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (OSError, ValueError) as exc:
             print("cannot load %s: %s" % (args.trace, exc), file=sys.stderr)
             return 1
-        detector = RaceDetector(trace)
+        detector = RaceDetector(trace, backend=args.backend)
         report = detector.detect()
         if args.json:
             print(report_to_json(report))
@@ -283,6 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _corpus_main(args: argparse.Namespace) -> int:
+    from repro.core.race_detector import DetectorConfig
     from repro.corpus import (
         BatchAnalyzer,
         ResultCache,
@@ -322,7 +338,8 @@ def _corpus_main(args: argparse.Namespace) -> int:
 
     use_cache = not getattr(args, "no_cache", False)
     cache = ResultCache(args.store) if use_cache else None
-    analyzer = BatchAnalyzer(store, cache=cache, jobs=args.jobs)
+    config = DetectorConfig(backend=args.backend)
+    analyzer = BatchAnalyzer(store, cache=cache, jobs=args.jobs, config=config)
     batch = analyzer.analyze()
     corpus_report = aggregate(batch)
 

@@ -14,15 +14,19 @@
 
 from .classification import RaceCategory, classify_race
 from .explain import RaceExplanation, explain_race, hb_witness, render_witness
-from .graph import HBGraph, HBNode
+from .graph import HBGraph, HBNode, iter_bits
 from .happens_before import (
     ANDROID_HB,
+    BACKEND_BITMASK,
+    BACKEND_CHAINS,
     SAT_FULL,
     SAT_INCREMENTAL,
+    ClosureStats,
     HappensBefore,
     HBConfig,
     HBStats,
 )
+from .reachability import ChainIndex
 from .lifecycle_model import (
     ActivityLifecycle,
     LifecycleError,
@@ -39,6 +43,10 @@ __all__ = [
     "ANDROID_HB",
     "ActivityLifecycle",
     "ApplicationState",
+    "BACKEND_BITMASK",
+    "BACKEND_CHAINS",
+    "ChainIndex",
+    "ClosureStats",
     "DetectorConfig",
     "ExecutionTrace",
     "HappensBefore",
@@ -71,6 +79,7 @@ __all__ = [
     "explain_race",
     "hb_witness",
     "is_valid_trace",
+    "iter_bits",
     "render_witness",
     "validate_trace",
 ]

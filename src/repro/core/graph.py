@@ -27,10 +27,12 @@ program order (same thread, same task), so no intra-run races exist.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .operations import OpKind, Operation
+from .reachability import BACKEND_BITMASK, BACKEND_CHAINS
 from .trace import ExecutionTrace
 
 
@@ -103,23 +105,49 @@ class HBGraph:
     Edges always point forward in trace order (every rule of Figures 6/7
     requires ``i < j``), so the graph is a DAG topologically sorted by
     node id.
+
+    ``backend`` selects the closure representation: ``"bitmask"``
+    (default) keeps the dense ``st``/``mt`` rows; ``"chains"`` leaves
+    them unallocated and delegates every edge/query operation to a
+    :class:`~repro.core.reachability.ChainIndex` attached later via
+    :meth:`attach_index` (the index needs the rule configuration, which
+    the graph does not know).
     """
 
-    def __init__(self, trace: ExecutionTrace, coalesce: bool = True):
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        coalesce: bool = True,
+        backend: str = BACKEND_BITMASK,
+    ):
+        if backend not in (BACKEND_BITMASK, BACKEND_CHAINS):
+            raise ValueError("bad backend %r" % backend)
         self.trace = trace
         self.coalesce = coalesce
+        self.backend = backend
+        self.reach = None  # ChainIndex, attached in chains mode
         self.nodes: List[HBNode] = []
         self.node_of_op: List[int] = [0] * len(trace)
         self._build_nodes()
         n = len(self.nodes)
-        self.st: List[int] = [0] * n  # thread-local successors
-        self.mt: List[int] = [0] * n  # inter-thread successors
+        if backend == BACKEND_BITMASK:
+            self.st: List[int] = [0] * n  # thread-local successors
+            self.mt: List[int] = [0] * n  # inter-thread successors
+        else:
+            # O(n²) rows never exist in chains mode; any stray bitmask
+            # access fails loudly instead of silently diverging.
+            self.st = self.mt = None  # type: ignore[assignment]
         #: All node bits set — the universe every per-thread mask complements
         #: against (hot in the closure inner loop, so computed exactly once).
         self.all_mask: int = (1 << n) - 1
         self._same_thread_mask: Dict[str, int] = {}
         self._diff_thread_mask: Dict[str, int] = {}
         self._build_masks()
+
+    def attach_index(self, index) -> None:
+        """Install the chains-backend reachability index (see
+        :mod:`repro.core.reachability`)."""
+        self.reach = index
 
     # -- node construction -----------------------------------------------
 
@@ -192,6 +220,8 @@ class HBGraph:
 
     def add_st(self, i: int, j: int) -> bool:
         """Add a thread-local edge ``i ≺st j``; returns True if new."""
+        if self.reach is not None:
+            return self.reach.add_st(i, j)
         if i == j:
             return False
         bit = 1 << j
@@ -202,6 +232,8 @@ class HBGraph:
 
     def add_mt(self, i: int, j: int) -> bool:
         """Add an inter-thread edge ``i ≺mt j``; returns True if new."""
+        if self.reach is not None:
+            return self.reach.add_mt(i, j)
         if i == j:
             return False
         bit = 1 << j
@@ -211,6 +243,8 @@ class HBGraph:
         return True
 
     def hb_row(self, i: int) -> int:
+        if self.reach is not None:
+            return self.reach.row_mask(i)
         return self.st[i] | self.mt[i]
 
     def ordered(self, i: int, j: int) -> bool:
@@ -219,6 +253,8 @@ class HBGraph:
             return True  # the paper's relation is reflexive
         if i > j:
             return False  # all edges point forward
+        if self.reach is not None:
+            return self.reach.ordered(i, j)
         return bool(self.hb_row(i) & (1 << j))
 
     def ordered_ops(self, op_i: int, op_j: int) -> bool:
@@ -231,12 +267,29 @@ class HBGraph:
         return self.ordered(a, b)
 
     def edge_count(self) -> Tuple[int, int]:
+        if self.reach is not None:
+            return self.reach.edge_count()
         st_edges = sum(row.bit_count() for row in self.st)
         mt_edges = sum(row.bit_count() for row in self.mt)
         return st_edges, mt_edges
 
     def successors(self, i: int) -> List[int]:
+        if self.reach is not None:
+            return list(self.reach.successors(i))
         return _bits(self.hb_row(i))
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the closure representation (the quantity the
+        backend switch trades: dense rows are O(n²) bits, the chain index
+        O(n·C) ints)."""
+        if self.reach is not None:
+            return self.reach.memory_bytes()
+        total = sys.getsizeof(self.st) + sys.getsizeof(self.mt)
+        for row in self.st:
+            total += sys.getsizeof(row)
+        for row in self.mt:
+            total += sys.getsizeof(row)
+        return total
 
     def to_dot(self, max_nodes: int = 200) -> str:
         """Graphviz rendering (for debugging small traces)."""
@@ -250,6 +303,17 @@ class HBGraph:
             lines.append('  n%d [label="%d: %s"];' % (node.node_id, node.node_id, label))
         limit = min(len(self.nodes), max_nodes)
         for i in range(limit):
+            if self.reach is not None:
+                thread = self.nodes[i].thread
+                for j in self.successors(i):
+                    if j < limit:
+                        style = (
+                            " [style=dashed]"
+                            if self.nodes[j].thread == thread
+                            else ""
+                        )
+                        lines.append("  n%d -> n%d%s;" % (i, j, style))
+                continue
             for j in _bits(self.st[i]):
                 if j < limit:
                     lines.append("  n%d -> n%d [style=dashed];" % (i, j))
@@ -273,3 +337,14 @@ def _bits(mask: int) -> List[int]:
 def bits(mask: int) -> List[int]:
     """Public alias of :func:`_bits` for the closure engine and tests."""
     return _bits(mask)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of set bits, ascending, as a generator — the hot-loop
+    variant of :func:`bits` (no list is materialized; the closure sweeps
+    and race enumeration iterate rows orders of magnitude more often than
+    anything keeps the indices around)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low

@@ -48,11 +48,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
-from .graph import HBGraph, HBNode, bits
+from .graph import HBGraph, HBNode, iter_bits
 from .operations import OpKind, Operation
+from .reachability import BACKEND_BITMASK, BACKEND_CHAINS, ChainIndex
 from .trace import ExecutionTrace, TaskInfo
 
 #: ``program_order`` settings.
@@ -72,6 +74,13 @@ TRANS_PLAIN = "plain"  # plain closure of the edge union
 #: ``saturation`` settings (a performance knob — results are identical).
 SAT_INCREMENTAL = "incremental"  # delta propagation via the predecessor index
 SAT_FULL = "full"  # re-sweep every row after each outer round
+
+#: ``backend`` settings (a memory/performance knob — results are identical;
+#: re-exported from :mod:`repro.core.reachability`).
+#: ``"bitmask"`` stores the closure as dense per-node successor bitmasks,
+#: O(n²) bits; ``"chains"`` stores a per-node earliest-reachable-member
+#: vector over the chain decomposition, O(n·C) ints.
+BACKENDS = (BACKEND_BITMASK, BACKEND_CHAINS)
 
 
 @dataclass(frozen=True)
@@ -123,6 +132,19 @@ class HBStats:
     fifo_edges: int = 0
     nopre_edges: int = 0
     outer_iterations: int = 0
+    #: Reachability-backend observability (satellite of the chains backend):
+    #: which representation computed the closure, how many chains the
+    #: decomposition produced (0 for bitmask), and how many bytes the final
+    #: closure representation holds.
+    backend: str = BACKEND_BITMASK
+    chain_count: int = 0
+    closure_memory_bytes: int = 0
+
+
+#: The closure-statistics record under the name the detector/CLI layers
+#: use for it ("closure stats" — :class:`HBStats` is the engine-internal
+#: name kept for backward compatibility).
+ClosureStats = HBStats
 
 
 class HappensBefore:
@@ -142,6 +164,13 @@ class HappensBefore:
         each FIFO/NOPRE round; ``"full"`` re-sweeps every row.  Both produce
         bit-for-bit identical ``st``/``mt`` rows — the switch exists so
         differential tests and ablation benchmarks can compare the paths.
+    backend:
+        ``"bitmask"`` (default) stores the closure as dense per-node
+        successor bitmasks; ``"chains"`` stores the O(n·C) chain
+        reachability index of :mod:`repro.core.reachability`.  Both answer
+        every ordering query identically and derive the same rule edges in
+        the same rounds — the switch trades closure memory (O(n²) bits vs
+        O(n·C) ints) against per-query constants.
     """
 
     def __init__(
@@ -150,21 +179,36 @@ class HappensBefore:
         config: HBConfig = ANDROID_HB,
         coalesce: bool = True,
         saturation: str = SAT_INCREMENTAL,
+        backend: str = BACKEND_BITMASK,
     ):
         if saturation not in (SAT_INCREMENTAL, SAT_FULL):
             raise ValueError("bad saturation %r" % saturation)
+        if backend not in BACKENDS:
+            raise ValueError("bad backend %r" % backend)
         self.trace = trace
         self.config = config
         self.saturation = saturation
-        self.graph = HBGraph(trace, coalesce=coalesce)
+        self.backend = backend
+        self.graph = HBGraph(trace, coalesce=coalesce, backend=backend)
+        self._index: Optional[ChainIndex] = None
+        if backend == BACKEND_CHAINS:
+            self._index = ChainIndex(
+                self.graph,
+                config.program_order,
+                plain=config.transitivity == TRANS_PLAIN,
+            )
+            self.graph.attach_index(self._index)
         self.stats = HBStats(
             trace_length=len(trace),
             node_count=len(self.graph),
             reduction_ratio=self.graph.reduction_ratio,
+            backend=backend,
+            chain_count=self._index.chain_count if self._index else 0,
         )
         self._task_ops = _index_task_ops(trace, self.graph)
         self._task_pair_list = self._build_task_pairs()
         self._round_edges: List[Tuple[int, int]] = []
+        self._round_new: Set[Tuple[int, int]] = set()  # chains-mode round edges
         self._pred_st: List[int] = []
         self._pred_mt: List[int] = []
         self._diff_by_node: List[int] = []
@@ -190,13 +234,15 @@ class HappensBefore:
         self._add_static_edges()
         self._saturate()
         incremental = self.saturation == SAT_INCREMENTAL
-        if incremental:
+        index = self._index
+        if incremental and index is None:
             self._build_pred_index()
         # FIFO and NOPRE premises consult the full ≺, so they are applied in
         # an outer fixpoint: each round may enable further rounds.
         for iteration in itertools.count(1):
             self.stats.outer_iterations = iteration
             self._round_edges.clear()
+            self._round_new.clear()
             changed = False
             if self.config.fifo:
                 changed |= self._apply_fifo()
@@ -206,11 +252,36 @@ class HappensBefore:
                 changed |= self._apply_front_posts()
             if not changed:
                 break
-            if incremental:
+            if index is not None:
+                # Rule applications deferred their index writes (premise
+                # queries must read the start-of-round closure); seed the
+                # round's edges now and re-close.
+                if incremental:
+                    index.saturate_delta(self._round_edges)
+                else:
+                    index.apply_edges(self._round_edges)
+                    index.saturate()
+            elif incremental:
                 self._saturate_delta(self._round_edges)
             else:
                 self._saturate()
         self.stats.st_edges, self.stats.mt_edges = self.graph.edge_count()
+        self.stats.closure_memory_bytes = self._closure_memory_bytes()
+
+    def _closure_memory_bytes(self) -> int:
+        """Resident bytes of the closure representation *and* the indexes
+        kept alive to maintain it: the bitmask-incremental engine retains
+        the closure predecessor rows (another O(n²) bits) alongside the
+        ``st``/``mt`` rows; the chain index's total is its reach table
+        plus adjacency/chain bookkeeping."""
+        total = self.graph.memory_bytes()
+        if self._pred_st:
+            total += sys.getsizeof(self._pred_st) + sys.getsizeof(self._pred_mt)
+            for row in self._pred_st:
+                total += sys.getsizeof(row)
+            for row in self._pred_mt:
+                total += sys.getsizeof(row)
+        return total
 
     def _add_static_edges(self) -> None:
         cfg = self.config
@@ -363,6 +434,8 @@ class HappensBefore:
 
     def _apply_fifo(self) -> bool:
         """FIFO (Figure 6) with the §4.2 delayed-post refinement."""
+        if self._index is not None:
+            return self._apply_fifo_chains(self._index)
         changed = False
         st, mt = self.graph.st, self.graph.mt
         still: List[Tuple[int, int, int, int]] = []
@@ -385,6 +458,34 @@ class HappensBefore:
                     self.stats.fifo_edges += 1
                     changed = True
                     last_end = -1
+                continue
+            still.append(pair)
+        self._fifo_pending = still
+        return changed
+
+    def _apply_fifo_chains(self, index: ChainIndex) -> bool:
+        """FIFO over the chain index.  Premise queries read the
+        start-of-round closure (``index.ordered`` — round edges are not
+        seeded until the round ends); the skip check additionally consults
+        ``_round_new``, which plays the role the raw in-round row bits play
+        in the bitmask loop.  The two loops derive identical edges: an
+        in-round raw bit always targets a *begin* node, and premise pairs
+        always target *post* nodes, so only the skip check can ever observe
+        the current round."""
+        changed = False
+        round_new = self._round_new
+        still: List[Tuple[int, int, int, int]] = []
+        for pair in self._fifo_pending:
+            end_node, begin_node, p1, p2 = pair
+            if (
+                index.ordered(end_node, begin_node)
+                or (end_node, begin_node) in round_new
+            ):
+                continue  # already ordered — and orderings never retract
+            if p1 == p2 or index.ordered(p1, p2):
+                if self._add_edge_checked_st(end_node, begin_node):
+                    self.stats.fifo_edges += 1
+                    changed = True
                 continue
             still.append(pair)
         self._fifo_pending = still
@@ -415,6 +516,8 @@ class HappensBefore:
         they can never satisfy a premise about a *post* node, and the two
         code paths agree bit for bit.
         """
+        if self._index is not None:
+            return self._apply_nopre_chains(self._index)
         changed = False
         st, mt = self.graph.st, self.graph.mt
         use_pred = self.saturation == SAT_INCREMENTAL and bool(self._pred_st)
@@ -456,12 +559,50 @@ class HappensBefore:
         self._nopre_pending = still
         return changed
 
+    def _apply_nopre_chains(self, index: ChainIndex) -> bool:
+        """NOPRE over the chain index: the existential premise is one O(1)
+        ``index.ordered`` query per task operation (no predecessor index is
+        needed — or maintained — in chains mode).  Same round discipline as
+        :meth:`_apply_fifo_chains`."""
+        changed = False
+        round_new = self._round_new
+        still: List[Tuple[int, int, int, Tuple[int, ...], int]] = []
+        for entry in self._nopre_pending:
+            end_node, begin_node, post_node, task_ops, _ops_mask = entry
+            if (
+                index.ordered(end_node, begin_node)
+                or (end_node, begin_node) in round_new
+            ):
+                continue  # already ordered — and orderings never retract
+            derived = False
+            for k in task_ops:  # nodes of task p1
+                # ``≺`` is reflexive, so the post op itself (when executed
+                # inside p1) witnesses the rule.
+                if k == post_node or (k < post_node and index.ordered(k, post_node)):
+                    derived = True
+                    break
+            if derived:
+                if self._add_edge_checked_st(end_node, begin_node):
+                    self.stats.nopre_edges += 1
+                    changed = True
+                continue
+            still.append(entry)
+        self._nopre_pending = still
+        return changed
+
     def _apply_front_posts(self) -> bool:
         """AT-FRONT (extension, see :class:`HBConfig.front_post_rule`)."""
         changed = False
         graph = self.graph
+        round_new = self._round_new
         for end_node, begin_node in self._front_pending:
-            if graph.ordered(end_node, begin_node):
+            if self._index is not None:
+                if (
+                    self._index.ordered(end_node, begin_node)
+                    or (end_node, begin_node) in round_new
+                ):
+                    continue
+            elif graph.ordered(end_node, begin_node):
                 continue
             if self._add_edge_checked_st(end_node, begin_node):
                 changed = True
@@ -540,13 +681,25 @@ class HappensBefore:
     def _add_edge_checked_st(self, i: int, j: int) -> bool:
         if self.graph.node(i).thread != self.graph.node(j).thread:
             raise AssertionError("FIFO/NOPRE edges are thread-local by rule")
+        if self._index is not None:
+            # Defer the index write to the end of the round (premise
+            # queries must read the start-of-round closure); the rule
+            # loops' skip checks already guarantee the edge is new.
+            key = (i, j)
+            if self._index.ordered(i, j) or key in self._round_new:
+                return False
+            self._round_new.add(key)
+            self._round_edges.append(key)
+            return True
         if self.graph.add_st(i, j):
             self._round_edges.append((i, j))
             return True
         return False
 
     def _saturate(self) -> None:
-        if self.config.transitivity == TRANS_PLAIN:
+        if self._index is not None:
+            self._index.saturate()
+        elif self.config.transitivity == TRANS_PLAIN:
             self._saturate_plain()
         else:
             self._saturate_decomposed()
@@ -557,7 +710,7 @@ class HappensBefore:
         for i in range(len(st) - 1, -1, -1):
             row = st[i]
             closure = row
-            for k in bits(row):
+            for k in iter_bits(row):
                 closure |= st[k]
             st[i] = closure
 
@@ -579,11 +732,11 @@ class HappensBefore:
             while True:
                 st_row, mt_row = st[i], mt[i]
                 st_new = st_row
-                for k in bits(st_row):
+                for k in iter_bits(st_row):
                     st_new |= st[k]
                 hb_row = st_new | mt_row
                 comp = 0
-                for k in bits(hb_row):
+                for k in iter_bits(hb_row):
                     comp |= st[k] | mt[k]
                 mt_new = mt_row | (comp & diff)
                 if st_new == st_row and mt_new == mt_row:

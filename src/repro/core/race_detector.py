@@ -27,13 +27,17 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+from bisect import bisect_left, bisect_right
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .classification import RaceCategory, classify_race
-from .graph import HBNode
+from .graph import HBNode, iter_bits
 from .happens_before import (
     ANDROID_HB,
+    BACKEND_BITMASK,
+    BACKEND_CHAINS,
+    BACKENDS,
     SAT_FULL,
     SAT_INCREMENTAL,
     HappensBefore,
@@ -65,12 +69,14 @@ class DetectorConfig:
     hb: HBConfig = ANDROID_HB
     coalesce: bool = True
     cancelled_tasks: Tuple[str, ...] = ()
+    backend: str = BACKEND_BITMASK
 
     def canonical_dict(self) -> dict:
         return {
             "hb": asdict(self.hb),
             "coalesce": self.coalesce,
             "cancelled_tasks": sorted(self.cancelled_tasks),
+            "backend": self.backend,
         }
 
     def digest(self) -> str:
@@ -83,6 +89,7 @@ class DetectorConfig:
             config=self.hb,
             coalesce=self.coalesce,
             cancelled_tasks=self.cancelled_tasks,
+            backend=self.backend,
         )
 
 
@@ -148,6 +155,10 @@ class RaceReport:
     node_count: int = 0
     trace_length: int = 0
     reduction_ratio: float = 1.0
+    #: Closure-engine observability (backend name, chain count, memory,
+    #: rule-edge statistics) — absent in reports cached before the field
+    #: existed, hence Optional.
+    closure: Optional[dict] = None
 
     def by_category(self) -> Dict[RaceCategory, List[Race]]:
         out: Dict[RaceCategory, List[Race]] = {cat: [] for cat in RaceCategory}
@@ -185,6 +196,7 @@ class RaceReport:
             "node_count": self.node_count,
             "trace_length": self.trace_length,
             "reduction_ratio": self.reduction_ratio,
+            "closure": self.closure,
         }
 
     @classmethod
@@ -197,6 +209,7 @@ class RaceReport:
             node_count=data["node_count"],
             trace_length=data["trace_length"],
             reduction_ratio=data["reduction_ratio"],
+            closure=data.get("closure"),
         )
 
 
@@ -218,11 +231,14 @@ class RaceDetector:
         cancelled_tasks: Iterable[str] = (),
         saturation: str = SAT_INCREMENTAL,
         enumeration: str = ENUM_BATCHED,
+        backend: str = BACKEND_BITMASK,
     ):
         if enumeration not in (ENUM_BATCHED, ENUM_PAIRWISE):
             raise ValueError("bad enumeration %r" % enumeration)
         if saturation not in (SAT_INCREMENTAL, SAT_FULL):
             raise ValueError("bad saturation %r" % saturation)
+        if backend not in BACKENDS:
+            raise ValueError("bad backend %r" % backend)
         cancelled = list(cancelled_tasks)
         if cancelled:
             # §4.2: cancellation is handled by removing the corresponding
@@ -233,6 +249,7 @@ class RaceDetector:
         self.coalesce = coalesce
         self.saturation = saturation
         self.enumeration = enumeration
+        self.backend = backend
         self.hb: Optional[HappensBefore] = None
 
     def detect(self) -> RaceReport:
@@ -242,6 +259,7 @@ class RaceDetector:
             config=self.config,
             coalesce=self.coalesce,
             saturation=self.saturation,
+            backend=self.backend,
         )
         self.hb = hb
         report = RaceReport(
@@ -252,10 +270,23 @@ class RaceDetector:
         )
         seen: set = set()  # (location, category) dedup keys
         if self.enumeration == ENUM_BATCHED:
-            self._enumerate_batched(hb, report, seen)
+            if self.backend == BACKEND_CHAINS:
+                self._enumerate_chains(hb, report, seen)
+            else:
+                self._enumerate_batched(hb, report, seen)
         else:
             self._enumerate_pairwise(hb, report, seen)
         report.races.sort(key=lambda race: (race.op_i.index, race.op_j.index))
+        report.closure = {
+            "backend": hb.stats.backend,
+            "chain_count": hb.stats.chain_count,
+            "memory_bytes": hb.stats.closure_memory_bytes,
+            "st_edges": hb.stats.st_edges,
+            "mt_edges": hb.stats.mt_edges,
+            "fifo_edges": hb.stats.fifo_edges,
+            "nopre_edges": hb.stats.nopre_edges,
+            "outer_iterations": hb.stats.outer_iterations,
+        }
         report.analysis_seconds = time.perf_counter() - start
         return report
 
@@ -283,12 +314,54 @@ class RaceDetector:
                 candidates = rest if a_writes else rest & write_mask
                 candidates &= ~scope_masks[(a.thread, a.task)]
                 racy = candidates & ~(st[a.node_id] | mt[a.node_id])
-                while racy:
-                    low = racy & -racy
-                    racy ^= low
-                    self._record(
-                        hb, report, seen, location, a, nodes[low.bit_length() - 1]
-                    )
+                for b_id in iter_bits(racy):
+                    self._record(hb, report, seen, location, a, nodes[b_id])
+
+    def _enumerate_chains(
+        self, hb: HappensBefore, report: RaceReport, seen: set
+    ) -> None:
+        """Chains-backend enumeration: each accessor's racy partners fall
+        out of the reach vector directly.
+
+        Per location the accessors are grouped by chain; for accessor ``a``
+        and chain ``c``, the unordered later accessors on ``c`` are exactly
+        the ids in the open interval ``(a.node_id, reach[a][c])`` — two
+        bisects per (accessor, chain) replace the bitmask arithmetic, and
+        only conflict/scope checks run per candidate.  Partners are emitted
+        in ascending node order, so reports match the batched path
+        pair-for-pair.
+        """
+        index = hb.graph.reach
+        reach = index.reach
+        chain_of = index.chain_of
+        for location, entry in self._location_index(hb).items():
+            accessors = entry[0]
+            by_chain: Dict[int, Tuple[List[int], List[Tuple[HBNode, bool]]]] = {}
+            for node, writes in accessors:
+                ids, infos = by_chain.setdefault(chain_of[node.node_id], ([], []))
+                ids.append(node.node_id)  # accessors ascend, so ids ascend
+                infos.append((node, writes))
+            chain_groups = list(by_chain.values())
+            for a, a_writes in accessors:
+                a_id = a.node_id
+                scope = (a.thread, a.task)
+                row = reach[a_id]
+                partners: List[HBNode] = []
+                for ids, infos in chain_groups:
+                    start = bisect_right(ids, a_id)
+                    if start == len(ids):
+                        continue
+                    stop = bisect_left(ids, row[chain_of[ids[start]]], start)
+                    for pos in range(start, stop):
+                        b, b_writes = infos[pos]
+                        if not a_writes and not b_writes:
+                            continue
+                        if (b.thread, b.task) == scope:
+                            continue
+                        partners.append(b)
+                partners.sort(key=lambda node: node.node_id)
+                for b in partners:
+                    self._record(hb, report, seen, location, a, b)
 
     def _enumerate_pairwise(
         self, hb: HappensBefore, report: RaceReport, seen: set
@@ -386,6 +459,7 @@ def detect_races(
     cancelled_tasks: Iterable[str] = (),
     saturation: str = SAT_INCREMENTAL,
     enumeration: str = ENUM_BATCHED,
+    backend: str = BACKEND_BITMASK,
 ) -> RaceReport:
     """One-call convenience wrapper: build, run, and return the report."""
     return RaceDetector(
@@ -395,4 +469,5 @@ def detect_races(
         cancelled_tasks=cancelled_tasks,
         saturation=saturation,
         enumeration=enumeration,
+        backend=backend,
     ).detect()

@@ -1,0 +1,383 @@
+"""Chain-decomposition reachability index: O(n·C) happens-before storage.
+
+The default closure engine stores the happens-before relation as dense
+per-node successor bitmasks — O(n²) bits — which caps the trace sizes the
+corpus pipeline can handle regardless of how fast the incremental
+saturation runs.  This module provides the alternative ``"chains"``
+backend: it exploits the fact that every graph node lives on exactly one
+*chain* — a set of nodes that is totally ordered by the thread-local
+relation at all times — so reachability into a chain is fully described
+by the **lowest chain member reached**.
+
+Chain construction (:func:`_build_chains`) follows the program-order
+mode of the active :class:`~repro.core.happens_before.HBConfig`:
+
+* ``android`` — per thread, the pre-``loopOnQ`` segment is one chain
+  (NO-Q-PO totally orders it) and every asynchronous task is its own
+  chain (ASYNC-PO totally orders a task's operations).  Tasks are *not*
+  merged per looper thread: two tasks on one looper may be unordered —
+  that is the paper's precision device — so posts must not collapse
+  unordered tasks into one chain;
+* ``full`` — classic per-thread program order: one chain per thread;
+* ``none`` — no program order, so no two nodes are guaranteed ordered:
+  every node is its own chain (the index degenerates to O(n²) — only
+  the ablation baselines use this mode).
+
+The index keeps one vector per node, ``reach[i][c]`` = lowest node id on
+chain ``c`` reachable from ``i`` (``n`` as the +∞ sentinel), stored as
+``array('i')`` rows — O(n·C) machine ints instead of O(n²) bits.
+``ordered(i, j)`` is then one comparison: ``reach[i][chain(j)] <= j``.
+
+The subtlety is that the paper's relation is *not* plain reachability:
+``≺st`` composes only thread-local facts and ``≺mt`` only ever emits
+different-thread pairs (TRANS-ST / TRANS-MT).  The index mirrors the
+decomposition through its *fold filter*: because chains are per-thread,
+``reach[i][c]`` for a chain on ``i``'s own thread is exactly the ≺st
+reachability and for any other thread's chain exactly ≺mt, and when row
+``i`` absorbs the row of a reached member ``m``:
+
+* ``m`` on ``i``'s own thread (``m ∈ st[i]``): every entry of ``m``'s
+  row is taken — same-thread chains by TRANS-ST, different-thread
+  chains by TRANS-MT (the endpoints differ);
+* ``m`` on another thread (``m ∈ mt[i]``): only entries for chains on
+  threads other than ``i``'s are taken — TRANS-MT's different-thread
+  side condition, the exact analogue of the bitmask engine's
+  ``comp & diff_thread_mask`` step.
+
+Saturation sweeps rows high-to-low (every rule instance points forward
+in trace order, so row ``i`` depends only on rows ``k > i``): each row
+seeds from its direct edges, absorbs the closed rows of its direct
+successors, and then runs a small *expansion* fixpoint folding the rows
+of newly reached different-thread chain minima — the vector analogue of
+the bitmask sweep's inner ``mt`` loop, needed because the mt relation is
+left-recursive (a member reached through another thread can contribute
+facts no single direct successor knows).  Incremental re-closure after a
+FIFO/NOPRE round reuses PR 2's dirty-frontier discipline: the rows whose
+closure can change are exactly the closure predecessors of the round's
+edge sources, found with one O(1) index query per row, and are re-closed
+highest-first on top of their existing entries.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: ``backend`` settings for the closure engine (performance/memory knob —
+#: results are identical; see :class:`repro.core.happens_before.HappensBefore`).
+BACKEND_BITMASK = "bitmask"
+BACKEND_CHAINS = "chains"
+
+
+def _build_chains(graph, program_order: str) -> Tuple[array, List[List[int]], List[str]]:
+    """Assign every node to a chain; returns ``(chain_of, chains, chain_threads)``.
+
+    A chain must be totally ordered by the thread-local relation from the
+    moment program-order edges are inserted, which is what makes the
+    lowest-reached-member representation exact: reaching a member implies
+    reaching every later member of the same chain.
+    """
+    trace = graph.trace
+    chain_of = array("i", bytes(4 * len(graph.nodes)))
+    chains: List[List[int]] = []
+    chain_threads: List[str] = []
+    keys: Dict[object, int] = {}
+    for node in graph.nodes:
+        nid = node.node_id
+        if program_order == "none":
+            key = ("node", nid)  # no PO edges: nothing is totally ordered
+        elif program_order == "full":
+            key = ("thread", node.thread)
+        elif not trace.looped_before(node.thread, node.first_index):
+            key = ("pre", node.thread)  # NO-Q-PO orders the pre-loop segment
+        elif node.task is not None:
+            key = ("task", node.thread, node.task)  # ASYNC-PO orders the task
+        else:
+            key = ("node", nid)  # post-loop, outside any task: unordered
+        c = keys.get(key)
+        if c is None:
+            c = keys[key] = len(chains)
+            chains.append([])
+            chain_threads.append(node.thread)
+        chain_of[nid] = c
+        chains[c].append(nid)  # nodes visited in id order: lists ascend
+    return chain_of, chains, chain_threads
+
+
+class ChainIndex:
+    """Earliest-reachable-member-per-chain happens-before index.
+
+    Drop-in reachability backend for :class:`~repro.core.graph.HBGraph`:
+    the graph delegates ``add_st``/``add_mt``/``ordered``/``hb_row`` here
+    when built with ``backend="chains"``.
+    """
+
+    def __init__(self, graph, program_order: str, plain: bool):
+        self.graph = graph
+        self.plain = plain  # TRANS_PLAIN: single relation, no fold filter
+        n = len(graph.nodes)
+        self.n = n
+        self.INF = n  # sentinel: larger than any node id
+        self.chain_of, self.chains, self.chain_threads = _build_chains(
+            graph, program_order
+        )
+        self.chain_count = len(self.chains)
+        # Thread identity as small ints so the fold filter compares ints.
+        tids: Dict[str, int] = {}
+        for node in graph.nodes:
+            tids.setdefault(node.thread, len(tids))
+        self._chain_tid = array("i", (tids[t] for t in self.chain_threads))
+        self._node_tid = array("i", (tids[node.thread] for node in graph.nodes))
+        inf_row = array("i", [n]) * self.chain_count if self.chain_count else array("i")
+        self.reach: List[array] = [array("i", inf_row) for _ in range(n)]
+        self.succ_st: List[List[int]] = [[] for _ in range(n)]
+        self.succ_mt: List[List[int]] = [[] for _ in range(n)]
+
+    # -- edge insertion ------------------------------------------------------
+
+    def add_st(self, i: int, j: int) -> bool:
+        """Record a thread-local base edge; returns True if it was not
+        already implied (mirrors the bitmask ``add_st`` bit test — in the
+        closed state the row entry covers ``j`` exactly when the closure
+        bit would be set)."""
+        if i == j:
+            return False
+        c = self.chain_of[j]
+        row = self.reach[i]
+        if row[c] <= j:
+            return False
+        row[c] = j
+        self.succ_st[i].append(j)
+        return True
+
+    def add_mt(self, i: int, j: int) -> bool:
+        """Record an inter-thread base edge; returns True if new."""
+        if i == j:
+            return False
+        c = self.chain_of[j]
+        row = self.reach[i]
+        if row[c] <= j:
+            return False
+        row[c] = j
+        self.succ_mt[i].append(j)
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def ordered(self, i: int, j: int) -> bool:
+        """Node-level ``i ≺ j`` in O(1) (meaningful after closure)."""
+        if i == j:
+            return True
+        if i > j:
+            return False
+        return self.reach[i][self.chain_of[j]] <= j
+
+    def successors(self, i: int) -> Iterator[int]:
+        """All nodes reachable from ``i``, ascending."""
+        out: List[int] = []
+        row = self.reach[i]
+        chains = self.chains
+        for c in range(self.chain_count):
+            v = row[c]
+            if v < self.INF:
+                members = chains[c]
+                out.extend(members[bisect_left(members, v) :])
+        out.sort()
+        return iter(out)
+
+    def row_mask(self, i: int) -> int:
+        """The bitmask-row equivalent of row ``i`` (materialized on demand
+        for the explanation/debug paths that walk successor masks)."""
+        mask = 0
+        for j in self.successors(i):
+            mask |= 1 << j
+        return mask
+
+    def edge_count(self) -> Tuple[int, int]:
+        """Closure sizes ``(st, mt)`` — the numbers the bitmask backend's
+        popcounts report.  Same-thread chains hold ≺st facts, other-thread
+        chains ≺mt facts; in plain mode everything counts as st."""
+        st_edges = 0
+        mt_edges = 0
+        chains = self.chains
+        chain_tid = self._chain_tid
+        node_tid = self._node_tid
+        INF = self.INF
+        for i in range(self.n):
+            row = self.reach[i]
+            ti = node_tid[i]
+            for c in range(self.chain_count):
+                v = row[c]
+                if v >= INF:
+                    continue
+                members = chains[c]
+                count = len(members) - bisect_left(members, v)
+                if self.plain or chain_tid[c] == ti:
+                    st_edges += count
+                else:
+                    mt_edges += count
+        return st_edges, mt_edges
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the index: the reach table plus adjacency and
+        chain bookkeeping (the backend's answer to the bitmask rows'
+        ``memory_bytes``)."""
+        total = sys.getsizeof(self.reach)
+        for row in self.reach:
+            total += sys.getsizeof(row)
+        for adj in (self.succ_st, self.succ_mt):
+            total += sys.getsizeof(adj)
+            for lst in adj:
+                total += sys.getsizeof(lst) + 8 * len(lst)
+        total += sys.getsizeof(self.chain_of)
+        total += sys.getsizeof(self.chains)
+        for members in self.chains:
+            total += sys.getsizeof(members) + 8 * len(members)
+        total += sys.getsizeof(self._chain_tid) + sys.getsizeof(self._node_tid)
+        return total
+
+    # -- saturation ----------------------------------------------------------
+
+    def _fold(self, row: array, mrow: array, allow_all: bool, ti: int) -> List[int]:
+        """Take the min of ``row`` and ``mrow`` per chain; returns the
+        chains lowered.  ``allow_all`` folds every chain (st member or
+        plain mode); otherwise only chains on threads other than ``ti``
+        (mt member — TRANS-MT's different-thread side condition)."""
+        lowered: List[int] = []
+        chain_tid = self._chain_tid
+        for c in range(self.chain_count):
+            v = mrow[c]
+            if v < row[c] and (allow_all or chain_tid[c] != ti):
+                row[c] = v
+                lowered.append(c)
+        return lowered
+
+    def _close_row(self, i: int, gained: Optional[bytearray]) -> bool:
+        """(Re-)close row ``i`` against the already-closed higher rows.
+
+        Returns True if any entry lowered.  ``gained`` (delta mode) marks
+        rows whose vectors changed this round: existing different-thread
+        chain minima pointing at such rows are re-expanded, because their
+        new facts need not be visible through any direct successor (the
+        mt relation is left-recursive).
+        """
+        row = self.reach[i]
+        ti = self._node_tid[i]
+        plain = self.plain
+        reach = self.reach
+        chain_of = self.chain_of
+        chain_tid = self._chain_tid
+        changed = False
+        pending: List[int] = []
+
+        for j in self.succ_st[i]:
+            c = chain_of[j]
+            if j < row[c]:
+                row[c] = j
+                changed = True
+        for j in self.succ_mt[i]:
+            c = chain_of[j]
+            if j < row[c]:
+                row[c] = j
+                changed = True
+        # Absorb closed rows of direct successors.  An st successor shares
+        # the thread, so its whole row folds (and chains it lowers carry
+        # already-expanded facts — same filter — so they need no re-fold);
+        # an mt successor folds through the different-thread filter, and
+        # chains it lowers were closed relative to *its* thread, so they
+        # join the expansion frontier.
+        for j in self.succ_st[i]:
+            if self._fold(row, reach[j], True, ti):
+                changed = True
+        for j in self.succ_mt[i]:
+            lowered = self._fold(row, reach[j], plain, ti)
+            if lowered:
+                changed = True
+                if not plain:
+                    pending.extend(lowered)
+        if gained is not None and not plain:
+            INF = self.INF
+            for c in range(self.chain_count):
+                v = row[c]
+                if v < INF and chain_tid[c] != ti and gained[v]:
+                    pending.append(c)
+        # Expansion fixpoint over different-thread chain minima (plain
+        # reachability is right-recursive and never needs it).
+        expanded: Dict[int, int] = {}
+        while pending:
+            nxt: List[int] = []
+            for c in pending:
+                m = row[c]
+                if expanded.get(c) == m:
+                    continue
+                expanded[c] = m
+                lowered = self._fold(row, reach[m], False, ti)
+                if lowered:
+                    changed = True
+                    nxt.extend(lowered)
+            pending = nxt
+        return changed
+
+    def saturate(self) -> None:
+        """Full sweep: reset every row to its direct-edge seeds and close
+        high-to-low (the analogue of the bitmask full re-sweep)."""
+        n = self.n
+        if not n:
+            return
+        inf_row = array("i", [self.INF]) * self.chain_count
+        reach = self.reach
+        for i in range(n):
+            reach[i] = array("i", inf_row)
+        for i in range(n - 1, -1, -1):
+            self._close_row(i, None)
+
+    def apply_edges(self, edges: List[Tuple[int, int]]) -> None:
+        """Record a round's new base edges (rule applications defer index
+        writes until the round ends so premise queries read the closure
+        as of the start of the round, exactly like the bitmask engine)."""
+        for u, v in edges:
+            self.add_st(u, v)
+
+    def saturate_delta(self, edges: List[Tuple[int, int]]) -> None:
+        """Re-close after a FIFO/NOPRE round inserted ``edges``.
+
+        Any row whose closure changes must reach some edge source through
+        pre-round facts (the prefix of a derivation before its first new
+        edge is pre-round), so the dirty frontier is exactly the closure
+        predecessors of the sources — one O(1) query per row per source
+        chain — plus the sources themselves.  Dirty rows re-close
+        highest-first on their existing entries; ``gained`` marks rows
+        that actually changed so lower rows re-expand stale minima.
+        """
+        if not edges:
+            return
+        self.apply_edges(edges)
+        chain_of = self.chain_of
+        reach = self.reach
+        # Per source chain, the highest source: reaching any member at or
+        # below it marks the row dirty (conservative for lower sources —
+        # extra dirty rows simply re-close to no effect).
+        source_bound: Dict[int, int] = {}
+        for u, _v in edges:
+            c = chain_of[u]
+            if u > source_bound.get(c, -1):
+                source_bound[c] = u
+        sources = sorted(source_bound.items())
+        gained = bytearray(self.n)
+        for u, _v in edges:
+            gained[u] = 1
+        dirty: List[int] = []
+        for i in range(self.n):
+            row = reach[i]
+            if gained[i]:
+                dirty.append(i)
+                continue
+            for c, bound in sources:
+                if row[c] <= bound:
+                    dirty.append(i)
+                    break
+        for i in reversed(dirty):
+            if self._close_row(i, gained):
+                gained[i] = 1

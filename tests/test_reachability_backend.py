@@ -1,0 +1,249 @@
+"""Differential tests: the ``chains`` reachability backend is a
+*memory/performance knob* — for every trace and every configuration it
+must agree with the dense ``bitmask`` backend on every ordering query,
+derive the same rule edges in the same outer rounds, and report the same
+races in the same order.
+
+Inputs mirror :mod:`tests.test_incremental_closure`: whole random
+applications from :func:`tests.test_property.run_random_app` (forks,
+loopers, delayed/at-front posts, locks) and the adversarial multi-round
+ladders of :mod:`repro.apps.ladder` — the latter stress the chains
+backend's deferred-seed round discipline and delta re-closure across
+many FIFO/NOPRE rounds.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ladder import ladder_trace
+from repro.core import (
+    BACKEND_BITMASK,
+    BACKEND_CHAINS,
+    HappensBefore,
+    SAT_FULL,
+    SAT_INCREMENTAL,
+    detect_races,
+)
+from repro.core.baselines import ALL_CONFIGS
+from repro.core.graph import bits, iter_bits
+from repro.core.race_detector import (
+    ENUM_BATCHED,
+    ENUM_PAIRWISE,
+    DetectorConfig,
+    RaceDetector,
+    RaceReport,
+)
+from repro.core.reachability import ChainIndex
+from tests.test_property import run_random_app
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+def report_key(report):
+    """Everything observable about a report except timing and the
+    backend-specific closure statistics."""
+    return (
+        report.racy_pair_count,
+        report.node_count,
+        report.trace_length,
+        [race.to_dict() for race in report.races],
+    )
+
+
+def assert_same_relation(trace, config, coalesce, saturation=SAT_INCREMENTAL):
+    """Full ordered-matrix, rule-statistics, and edge-count agreement."""
+    bit = HappensBefore(
+        trace, config, coalesce=coalesce, saturation=saturation
+    )
+    chain = HappensBefore(
+        trace,
+        config,
+        coalesce=coalesce,
+        saturation=saturation,
+        backend=BACKEND_CHAINS,
+    )
+    n = len(bit.graph)
+    assert len(chain.graph) == n
+    for i in range(n):
+        assert bit.graph.hb_row(i) == chain.graph.hb_row(i), "row %d differs" % i
+    for stat in (
+        "st_edges",
+        "mt_edges",
+        "fifo_edges",
+        "nopre_edges",
+        "outer_iterations",
+    ):
+        assert getattr(bit.stats, stat) == getattr(chain.stats, stat), stat
+    assert chain.stats.backend == BACKEND_CHAINS
+    assert chain.stats.chain_count == chain.graph.reach.chain_count > 0
+    return chain
+
+
+class TestClosureEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_all_presets(self, seed):
+        trace = run_random_app(seed).build_trace()
+        for config in ALL_CONFIGS.values():
+            for coalesce in (True, False):
+                assert_same_relation(trace, config, coalesce)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_full_saturation(self, seed):
+        # The chains backend also honours the saturation knob (full
+        # re-sweep vs delta re-closure after each round).
+        trace = run_random_app(seed).build_trace()
+        for config in ALL_CONFIGS.values():
+            assert_same_relation(trace, config, True, saturation=SAT_FULL)
+
+    @pytest.mark.parametrize("preset", sorted(ALL_CONFIGS))
+    def test_ladder_all_presets(self, preset):
+        assert_same_relation(ladder_trace(6, 3), ALL_CONFIGS[preset], True)
+
+    @pytest.mark.parametrize("preset", sorted(ALL_CONFIGS))
+    def test_ladder_uncoalesced_with_body(self, preset):
+        trace = ladder_trace(4, 2, body=3)
+        assert_same_relation(trace, ALL_CONFIGS[preset], False)
+
+    def test_ladder_needs_many_outer_rounds(self):
+        # The equivalence above is only meaningful if the chains delta
+        # path really runs multiple rounds: ladders need ~one per level.
+        hb = HappensBefore(ladder_trace(6, 3), backend=BACKEND_CHAINS)
+        assert hb.stats.outer_iterations >= 4
+
+    def test_ordered_ops_agree(self):
+        trace = ladder_trace(4, 3, rogues=2)
+        bit = HappensBefore(trace)
+        chain = HappensBefore(trace, backend=BACKEND_CHAINS)
+        for i in range(0, len(trace), 3):
+            for j in range(0, len(trace), 5):
+                assert bit.ordered(i, j) == chain.ordered(i, j)
+                assert bit.unordered(i, j) == chain.unordered(i, j)
+
+
+class TestDetectionEquivalence:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_all_strategy_combos(self, seed):
+        trace = run_random_app(seed).build_trace()
+        reference = detect_races(
+            trace, saturation=SAT_FULL, enumeration=ENUM_PAIRWISE
+        )
+        for saturation in (SAT_FULL, SAT_INCREMENTAL):
+            for enumeration in (ENUM_PAIRWISE, ENUM_BATCHED):
+                report = detect_races(
+                    trace,
+                    saturation=saturation,
+                    enumeration=enumeration,
+                    backend=BACKEND_CHAINS,
+                )
+                assert report_key(report) == report_key(reference)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=6, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_all_presets_chains_enumeration(self, seed):
+        trace = run_random_app(seed).build_trace()
+        for config in ALL_CONFIGS.values():
+            reference = detect_races(trace, config=config)
+            report = detect_races(trace, config=config, backend=BACKEND_CHAINS)
+            assert report_key(report) == report_key(reference)
+
+    def test_ladder_reports_identical_and_nonempty(self):
+        trace = ladder_trace(6, 4, rogues=2)
+        reference = detect_races(trace)
+        assert reference.races  # rogue tasks race against the ladder
+        chain = detect_races(trace, backend=BACKEND_CHAINS)
+        assert report_key(chain) == report_key(reference)
+
+    def test_ladder_body_does_not_change_races(self):
+        # The benchmark's ``body`` knob must inflate node counts without
+        # perturbing the race population it measures enumeration on (op
+        # indices shift, so compare the deduplicated population, not ops).
+        plain = detect_races(ladder_trace(4, 3))
+        bodied = detect_races(ladder_trace(4, 3, body=5), backend=BACKEND_CHAINS)
+        assert plain.racy_pair_count == bodied.racy_pair_count
+        population = lambda report: sorted(
+            (race.location, race.category.value) for race in report.races
+        )
+        assert population(plain) == population(bodied)
+
+
+class TestObservability:
+    def test_closure_stats_surfaced_in_report(self):
+        report = detect_races(ladder_trace(3, 2), backend=BACKEND_CHAINS)
+        assert report.closure is not None
+        assert report.closure["backend"] == BACKEND_CHAINS
+        assert report.closure["chain_count"] > 0
+        assert report.closure["memory_bytes"] > 0
+        data = report.to_dict()
+        assert data["closure"]["backend"] == BACKEND_CHAINS
+        roundtrip = RaceReport.from_dict(data)
+        assert roundtrip.closure == report.closure
+
+    def test_report_from_dict_tolerates_missing_closure(self):
+        data = detect_races(ladder_trace(3, 2)).to_dict()
+        del data["closure"]  # reports cached before the field existed
+        assert RaceReport.from_dict(data).closure is None
+
+    def test_memory_bytes_positive_both_backends(self):
+        trace = ladder_trace(4, 3)
+        bit = HappensBefore(trace)
+        chain = HappensBefore(trace, backend=BACKEND_CHAINS)
+        assert bit.graph.memory_bytes() > 0
+        assert chain.graph.memory_bytes() > 0
+        assert bit.stats.closure_memory_bytes >= bit.graph.memory_bytes()
+        assert chain.stats.backend == BACKEND_CHAINS
+        assert bit.stats.backend == BACKEND_BITMASK
+        assert bit.stats.chain_count == 0
+
+    def test_chain_count_matches_decomposition(self):
+        hb = HappensBefore(ladder_trace(3, 2), backend=BACKEND_CHAINS)
+        index = hb.graph.reach
+        assert isinstance(index, ChainIndex)
+        assert index.chain_count == len(index.chains)
+        members = sorted(nid for chain in index.chains for nid in chain)
+        assert members == list(range(len(hb.graph)))  # a true partition
+
+
+class TestDetectorConfig:
+    def test_backend_in_digest(self):
+        base = DetectorConfig()
+        chains = DetectorConfig(backend=BACKEND_CHAINS)
+        assert base.digest() != chains.digest()
+        assert chains.canonical_dict()["backend"] == BACKEND_CHAINS
+
+    def test_build_detector_propagates_backend(self):
+        detector = DetectorConfig(backend=BACKEND_CHAINS).build_detector(
+            ladder_trace(2, 1)
+        )
+        assert detector.backend == BACKEND_CHAINS
+        assert detector.detect().closure["backend"] == BACKEND_CHAINS
+
+
+class TestValidation:
+    def test_bad_backend_rejected(self):
+        trace = ladder_trace(2, 1)
+        with pytest.raises(ValueError):
+            HappensBefore(trace, backend="magic")
+        with pytest.raises(ValueError):
+            RaceDetector(trace, backend="magic")
+
+    def test_default_backend_is_bitmask(self):
+        detector = RaceDetector(ladder_trace(2, 1))
+        assert detector.backend == BACKEND_BITMASK
+
+
+class TestIterBits:
+    @given(st.integers(min_value=0, max_value=1 << 200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bits(self, mask):
+        assert list(iter_bits(mask)) == bits(mask)
+
+    def test_is_lazy(self):
+        gen = iter_bits((1 << 5) | (1 << 63))
+        assert next(gen) == 5
+        assert next(gen) == 63
+        with pytest.raises(StopIteration):
+            next(gen)
