@@ -49,7 +49,7 @@ import time
 SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
 sys.path.insert(0, SRC_DIR)
 
-from repro.apps.ladder import ladder_trace  # noqa: E402
+from repro.apps.ladder import ladder_trace, lock_handoff_trace  # noqa: E402
 from repro.core import (  # noqa: E402
     BACKEND_BITMASK,
     BACKEND_CHAINS,
@@ -276,8 +276,33 @@ def measure_reachability(levels, width, body):
     }
 
 
+def _check_handoff_counterexample():
+    """Directed divergence check the ladder sweep cannot provide: the
+    fork/lock hand-off topology whose delta gains are invisible to any
+    edge source (see :func:`repro.apps.ladder.lock_handoff_trace`) — the
+    class of trace on which the source-only dirty frontier shipped green
+    through both the random differential suite and the ladder smoke."""
+    trace = lock_handoff_trace()
+    reference = HappensBefore(trace, saturation=SAT_FULL)
+    n = len(reference.graph)
+    for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+        for saturation in (SAT_FULL, SAT_INCREMENTAL):
+            hb = HappensBefore(trace, saturation=saturation, backend=backend)
+            for i in range(n):
+                assert reference.graph.hb_row(i) == hb.graph.hb_row(i), (
+                    "hb row %d diverges on the hand-off trace (%s, %s)"
+                    % (i, backend, saturation)
+                )
+            report = detect_races(trace, saturation=saturation, backend=backend)
+            assert not report.races, (
+                "false race on the hand-off trace (%s, %s)"
+                % (backend, saturation)
+            )
+
+
 def run_reachability(smoke):
     if smoke:
+        _check_handoff_counterexample()
         levels, width, body = REACH_SMOKE_SIZE
         trace = ladder_trace(levels, width, body=body)
         hb_bit = HappensBefore(trace, backend=BACKEND_BITMASK)

@@ -34,9 +34,11 @@ from ..core.operations import (
     attachq,
     begin,
     end,
+    fork,
     looponq,
     post,
     release,
+    threadexit,
     threadinit,
     write,
 )
@@ -122,4 +124,57 @@ def ladder_trace(
                 b.add(write(t, "%s.state" % t))
                 b.add(write(t, "app.shared"))
                 b.add(end(t, rtask))
+    return b.build()
+
+
+def lock_handoff_trace(name: str = "lock-handoff") -> ExecutionTrace:
+    """Adversarial input for *incremental* re-closure: a gain that no edge
+    source can see.
+
+    A looper task ``t0`` writes ``X`` and forks thread ``B``; ``B``
+    releases a lock that the FIFO-ordered task ``t1`` acquires (LOCK's
+    cross-thread edge points from ``B`` into the middle of ``t1``); the
+    driver posts ``t1``/``t2`` back-to-back, so the first outer round
+    derives ``end(t1) ≺st begin(t2)``; ``t2`` posts ``tc`` to a second
+    looper, where ``tc`` writes ``X`` again.  (``t0`` is posted at the
+    front, so FIFO never relates it to ``t1``/``t2`` directly.)
+
+    After the FIFO round, ``t0``'s nodes gain the ordering into ``tc``
+    only through ``B``: ``t0 ≺mt B`` composed with ``B``'s freshly gained
+    ``B ≺ tc`` (TRANS-MT — ``tc`` runs on the second looper).  ``t0``
+    itself never reaches the round's edge source ``end(t1)``, because
+    ``t0 ≺ B ≺ end(t1)`` has same-thread endpoints and TRANS-MT's side
+    condition blocks it — the paper's same-looper precision device.  Any
+    dirty frontier computed solely from the *sources* of the round's
+    edges therefore skips ``t0``, leaves ``t0 ⊀ tc`` stale, and reports a
+    false write/write race on ``X``; propagating gains transitively (rows
+    that changed become sources in turn) closes the gap.  The correct
+    analysis reports **no** races on this trace under every backend and
+    saturation mode.
+    """
+    b = TraceBuilder(name)
+    b.add(threadinit("driver"))
+    for t in ("main", "side"):
+        b.extend([threadinit(t), attachq(t), looponq(t)])
+    b.add(post("driver", "t0", "main", at_front=True))
+    b.add(post("driver", "t1", "main"))
+    b.add(post("driver", "t2", "main"))
+    b.add(begin("main", "t0"))
+    b.add(write("main", "X"))
+    b.add(fork("main", "B"))
+    b.add(end("main", "t0"))
+    b.add(threadinit("B"))
+    b.add(acquire("B", "L"))
+    b.add(release("B", "L"))
+    b.add(threadexit("B"))
+    b.add(begin("main", "t1"))
+    b.add(acquire("main", "L"))
+    b.add(release("main", "L"))
+    b.add(end("main", "t1"))
+    b.add(begin("main", "t2"))
+    b.add(post("main", "tc", "side"))
+    b.add(end("main", "t2"))
+    b.add(begin("side", "tc"))
+    b.add(write("side", "X"))
+    b.add(end("side", "tc"))
     return b.build()

@@ -52,10 +52,14 @@ of newly reached different-thread chain minima — the vector analogue of
 the bitmask sweep's inner ``mt`` loop, needed because the mt relation is
 left-recursive (a member reached through another thread can contribute
 facts no single direct successor knows).  Incremental re-closure after a
-FIFO/NOPRE round reuses PR 2's dirty-frontier discipline: the rows whose
-closure can change are exactly the closure predecessors of the round's
-edge sources, found with one O(1) index query per row, and are re-closed
-highest-first on top of their existing entries.
+FIFO/NOPRE round reuses PR 2's dirty-frontier discipline, iterated to a
+fixpoint: the first pass re-closes the closure predecessors of the
+round's edge sources (one O(1) index query per row), highest-first on
+top of their existing entries, and every row that actually changed
+becomes a source for the next pass — necessary because TRANS-MT's
+different-thread side condition lets a row gain facts through an
+intermediate changed row without reaching any edge source (see
+:meth:`ChainIndex.saturate_delta`).
 """
 
 from __future__ import annotations
@@ -343,41 +347,66 @@ class ChainIndex:
     def saturate_delta(self, edges: List[Tuple[int, int]]) -> None:
         """Re-close after a FIFO/NOPRE round inserted ``edges``.
 
-        Any row whose closure changes must reach some edge source through
-        pre-round facts (the prefix of a derivation before its first new
-        edge is pre-round), so the dirty frontier is exactly the closure
-        predecessors of the sources — one O(1) query per row per source
-        chain — plus the sources themselves.  Dirty rows re-close
-        highest-first on their existing entries; ``gained`` marks rows
-        that actually changed so lower rows re-expand stale minima.
+        A row whose closure changes need *not* reach an edge source: the
+        TRANS-MT side condition can block the composition ``i ≺ k ≺ u``
+        (when ``thread(i) == thread(u)``) while ``i`` still gains the
+        facts ``k`` itself gained from ``u`` (``i ≺ k ≺ w`` with
+        ``thread(w) ≠ thread(i)``).  So the dirty frontier is computed to
+        a fixpoint: the first pass dirties the closure predecessors of
+        the edge sources (one O(1) query per row per source chain) plus
+        the sources themselves; every pass re-closes its dirty rows
+        highest-first, and each row that actually changed becomes a
+        source for the next pass, until a pass changes nothing.
+
+        Within one pass, highest-first order keeps every row current with
+        respect to that pass's gains (gains only flow from higher rows to
+        lower ones): by the time row ``i`` re-closes, every changed row
+        above it carries a ``gained`` mark, which makes ``_close_row``
+        re-expand stale chain minima.  Rows outside the pass's dirty set
+        that reach a changed row are exactly what the next pass picks up.
+        A pass's dirty scan skips rows the previous pass re-closed — they
+        already absorbed the very gains that seed the new frontier.
         """
         if not edges:
             return
         self.apply_edges(edges)
         chain_of = self.chain_of
         reach = self.reach
-        # Per source chain, the highest source: reaching any member at or
-        # below it marks the row dirty (conservative for lower sources —
-        # extra dirty rows simply re-close to no effect).
-        source_bound: Dict[int, int] = {}
-        for u, _v in edges:
-            c = chain_of[u]
-            if u > source_bound.get(c, -1):
-                source_bound[c] = u
-        sources = sorted(source_bound.items())
+        n = self.n
         gained = bytearray(self.n)
         for u, _v in edges:
             gained[u] = 1
-        dirty: List[int] = []
-        for i in range(self.n):
-            row = reach[i]
-            if gained[i]:
-                dirty.append(i)
-                continue
-            for c, bound in sources:
-                if row[c] <= bound:
+        # Per frontier chain, the highest frontier row: reaching any
+        # member at or below it marks the row dirty (conservative for
+        # lower frontier rows — extra dirty rows re-close to no effect).
+        frontier: Dict[int, int] = {}
+        for u, _v in edges:
+            c = chain_of[u]
+            if u > frontier.get(c, -1):
+                frontier[c] = u
+        first = True
+        closed = bytearray(n)  # re-closed in the pass that built frontier
+        while frontier:
+            bounds = sorted(frontier.items())
+            dirty: List[int] = []
+            for i in range(n):
+                if closed[i]:
+                    continue
+                if first and gained[i]:
                     dirty.append(i)
-                    break
-        for i in reversed(dirty):
-            if self._close_row(i, gained):
-                gained[i] = 1
+                    continue
+                row = reach[i]
+                for c, bound in bounds:
+                    if row[c] <= bound:
+                        dirty.append(i)
+                        break
+            first = False
+            frontier = {}
+            closed = bytearray(n)
+            for i in reversed(dirty):
+                closed[i] = 1
+                if self._close_row(i, gained):
+                    gained[i] = 1
+                    c = chain_of[i]
+                    if i > frontier.get(c, -1):
+                        frontier[c] = i

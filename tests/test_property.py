@@ -6,7 +6,14 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.android import AndroidEnv, Ctx, RandomPolicy, ReplayPolicy, SharedObject
+from repro.android import (
+    AndroidEnv,
+    Ctx,
+    RandomPolicy,
+    ReplayPolicy,
+    SharedObject,
+    looper_entry,
+)
 from repro.android.message_queue import Message, MessageQueue
 from repro.core import HappensBefore, detect_races, validate_trace
 from repro.core.baselines import EVENT_DRIVEN_ONLY, NAIVE_COMBINED
@@ -120,6 +127,64 @@ def build_random_app(env: AndroidEnv, rng: random.Random):
 
         return entry
 
+    def handoff_worker(obj, field, lock):
+        def entry(ctx: Ctx):
+            yield ctx.acquire(lock)
+            ctx.write(obj, field, 3)
+            ctx.release(lock)
+
+        return entry
+
+    def forker_task(obj, field, lock):
+        # A looper task that forks a lock hand-off thread: later
+        # FIFO-ordered tasks acquire the lock, so the forked thread's
+        # post-round closure gains reach this task only through TRANS-MT
+        # — the class of topology the incremental dirty frontier of
+        # ChainIndex.saturate_delta must propagate transitively.
+        def body():
+            ctx = env.current_ctx
+            ctx.write(obj, field, 2)
+            ctx.fork(handoff_worker(obj, field, lock), name="hand")
+
+        return body
+
+    def acquirer_task(obj, field, lock):
+        def body():
+            ctx = env.current_ctx
+
+            def locked(ctx):
+                yield ctx.acquire(lock)
+                ctx.write(obj, field, 4)
+                ctx.release(lock)
+
+            return locked(ctx)
+
+        return body
+
+    def relay_task(obj, field, target):
+        def body():
+            ctx = env.current_ctx
+            env.ensure_looper_ready(target)
+            ctx.post(task_body(obj, field, None), name="relay", to=target)
+
+        return body
+
+    def handoff_driver(obj, field, lock, target, at_front):
+        # Runs on a plain forked thread: NO-Q-PO program-orders its
+        # posts, so FIFO relates the acquirer and relay tasks in the
+        # first outer round.  (Posts made from the main looper's setup
+        # action land after loopOnQ outside any task and are never
+        # program-ordered, so they cannot arm FIFO at all.)
+        def entry(ctx: Ctx):
+            if at_front:
+                ctx.post_at_front(forker_task(obj, field, lock), name="forker")
+            else:
+                ctx.post_delayed(forker_task(obj, field, lock), 25, name="forker")
+            ctx.post(acquirer_task(obj, field, lock), name="handoff-acq")
+            ctx.post(relay_task(obj, field, target), name="handoff-relay")
+
+        return entry
+
     def setup():
         ctx = env.current_ctx
         for i in range(n_threads):
@@ -140,6 +205,24 @@ def build_random_app(env: AndroidEnv, rng: random.Random):
                 "job",
                 delay=delay,
                 at_front=at_front,
+            )
+        if rng.random() < 0.5:
+            # Fork/lock hand-off from inside a looper task, with a relay
+            # into a second looper: the forker is posted at the front (or
+            # delayed), so FIFO never orders it against the acquirer and
+            # relay tasks directly, and the orderings it does gain arrive
+            # only through the forked thread's lock edge.
+            obj = rng.choice(objects)
+            field = "h%d" % rng.randint(0, 2)
+            lock = rng.choice(locks)
+            target = (
+                ctx.fork(looper_entry, name="second-looper")
+                if rng.random() < 0.7
+                else env.main
+            )
+            at_front = rng.random() < 0.7
+            ctx.fork(
+                handoff_driver(obj, field, lock, target, at_front), name="hdrv"
             )
 
     env.main.push_action(setup)

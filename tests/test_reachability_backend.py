@@ -16,7 +16,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.apps.ladder import ladder_trace
+from repro.apps.ladder import ladder_trace, lock_handoff_trace
 from repro.core import (
     BACKEND_BITMASK,
     BACKEND_CHAINS,
@@ -121,6 +121,56 @@ class TestClosureEquivalence:
             for j in range(0, len(trace), 5):
                 assert bit.ordered(i, j) == chain.ordered(i, j)
                 assert bit.unordered(i, j) == chain.unordered(i, j)
+
+
+class TestDeltaGainPropagation:
+    """Regression for the unsound incremental dirty frontier (reported in
+    review): ``ChainIndex.saturate_delta`` once dirtied only the closure
+    predecessors of the round's edge *sources*, but a row can gain facts
+    through an intermediate changed row without reaching any source —
+    TRANS-MT's different-thread side condition blocks ``t0 ≺ B ≺ end(t1)``
+    while ``t0 ≺ B ≺ tc`` is newly derivable.  The topology lives in
+    :func:`repro.apps.ladder.lock_handoff_trace`."""
+
+    def test_topology_exercises_the_gap(self):
+        # Meaningful only if a FIFO round actually fires and the forked
+        # thread's detour is the sole path from t0 into tc.
+        hb = HappensBefore(lock_handoff_trace())
+        assert hb.stats.fifo_edges >= 1
+        assert hb.stats.outer_iterations >= 2
+
+    @pytest.mark.parametrize("saturation", [SAT_FULL, SAT_INCREMENTAL])
+    def test_hb_rows_identical_across_backends(self, saturation):
+        trace = lock_handoff_trace()
+        reference = HappensBefore(trace, saturation=SAT_FULL)
+        hb = HappensBefore(
+            trace, saturation=saturation, backend=BACKEND_CHAINS
+        )
+        for i in range(len(reference.graph)):
+            assert reference.graph.hb_row(i) == hb.graph.hb_row(i), (
+                "row %d differs under %s" % (i, saturation)
+            )
+
+    def test_no_false_race_in_any_mode(self):
+        # t0's write is ordered into tc's write through the forked thread,
+        # so the correct report is empty — the buggy frontier produced a
+        # write/write race on X under chains+incremental only.
+        trace = lock_handoff_trace()
+        for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+            for saturation in (SAT_FULL, SAT_INCREMENTAL):
+                report = detect_races(
+                    trace, saturation=saturation, backend=backend
+                )
+                assert not report.races, (backend, saturation)
+
+    def test_all_presets_and_coalescing_modes_agree(self):
+        trace = lock_handoff_trace()
+        for config in ALL_CONFIGS.values():
+            for coalesce in (True, False):
+                assert_same_relation(trace, config, coalesce)
+                assert_same_relation(
+                    trace, config, coalesce, saturation=SAT_FULL
+                )
 
 
 class TestDetectionEquivalence:
