@@ -44,7 +44,6 @@ import json
 import pathlib
 import subprocess
 import sys
-import time
 
 SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
 sys.path.insert(0, SRC_DIR)
@@ -59,6 +58,7 @@ from repro.core import (  # noqa: E402
     detect_races,
 )
 from repro.core.race_detector import ENUM_BATCHED, ENUM_PAIRWISE  # noqa: E402
+from repro.obs import Tracer  # noqa: E402
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
 
@@ -88,15 +88,15 @@ def _chains_budget_bytes(nodes, chains):
     return nodes * (4 * chains + 256)
 
 
-def _best_of(runs, fn):
-    best = None
+def _best_of(runs, fn, label="bench.run"):
+    # Timing comes from the same span machinery the pipeline reports
+    # through ``--metrics`` (repro.obs), not a bespoke perf_counter pair.
+    tracer = Tracer()
     result = None
     for _ in range(runs):
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
+        with tracer.span(label) as span:
+            result = fn()
+    best = min(s.wall_seconds for s in tracer.spans if s.name == label)
     return best, result
 
 
@@ -168,17 +168,19 @@ def _stat_key(stats):
 #: argv[1] is ``[levels, width, body, backend]`` as JSON, argv[2] the src
 #: path.  Emits one JSON object on stdout.
 _CHILD_SRC = r"""
-import hashlib, json, resource, sys, time
+import hashlib, json, resource, sys
 
 levels, width, body, backend = json.loads(sys.argv[1])
 sys.path.insert(0, sys.argv[2])
 from repro.apps.ladder import ladder_trace
 from repro.core import HappensBefore
+from repro.obs import Tracer
 
 trace = ladder_trace(levels, width, body=body)
-start = time.perf_counter()
-hb = HappensBefore(trace, backend=backend)
-elapsed = time.perf_counter() - start
+tracer = Tracer()
+with tracer.span("closure.build", backend=backend) as span:
+    hb = HappensBefore(trace, backend=backend)
+elapsed = span.wall_seconds
 
 # Deterministic ~200k-pair sample of the ordering relation, hashed so the
 # parent can compare backends without holding both closures in one process.

@@ -10,6 +10,7 @@ from repro.apps.synthetic import GroundTruthEntry, SyntheticApp
 from repro.core.classification import RaceCategory
 from repro.core.race_detector import RaceReport, detect_races
 from repro.core.trace import ExecutionTrace
+from repro.obs import current_tracer
 
 from .stats import TraceStats
 
@@ -47,9 +48,13 @@ class AppRunResult:
 
 def run_paper_app(spec: AppSpec, scale: float = 1.0, seed: int = 5) -> AppRunResult:
     """Run one calibrated subject through the full pipeline."""
-    app = SyntheticApp(spec, scale=scale)
-    _, trace = app.run(seed=seed)
-    report = detect_races(trace)
+    tracer = current_tracer()
+    with tracer.span("bench.app", app=spec.name, scale=scale) as span:
+        app = SyntheticApp(spec, scale=scale)
+        with tracer.span("bench.generate", app=spec.name):
+            _, trace = app.run(seed=seed)
+        report = detect_races(trace)
+        span.set(ops=len(trace), races=len(report.races))
     return AppRunResult(
         spec=spec,
         trace=trace,

@@ -12,6 +12,13 @@ Subcommands mirror the tool's workflow:
 * ``droidracer corpus ingest|analyze|report`` — the persistent trace
   corpus: content-addressed store, parallel cached batch analysis, and
   corpus-level aggregated race reports.
+
+Observability (``run``, ``analyze``, ``corpus analyze``; see
+``docs/observability.md``): ``--metrics`` prints a per-span summary
+table to stderr, ``--trace-out FILE`` writes Chrome ``trace_event``
+JSON for ``chrome://tracing`` / Perfetto, and ``--json`` reports gain a
+``metrics`` block whenever either flag is active.  Instrumentation
+never changes race reports.
 """
 
 from __future__ import annotations
@@ -68,6 +75,21 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect pipeline spans/counters and print a summary table "
+        "to stderr (adds a 'metrics' block to --json reports)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the pipeline's span tree as Chrome trace_event JSON "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="droidracer",
@@ -98,6 +120,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_backend(p_run)
     _add_scale(p_run)
+    _add_obs(p_run)
 
     p_demo = sub.add_parser("demo", help="run a hand-written demo app scenario")
     p_demo.add_argument("app", choices=sorted(DEMO_APPS))
@@ -130,6 +153,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="emit the race report as machine-readable JSON",
     )
     _add_backend(p_analyze)
+    _add_obs(p_analyze)
 
     p_corpus = sub.add_parser(
         "corpus", help="persistent trace corpus: ingest, batch-analyze, report"
@@ -164,6 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_canalyze.add_argument("--json", action="store_true")
     _add_backend(p_canalyze)
+    _add_obs(p_canalyze)
 
     p_creport = corpus_sub.add_parser(
         "report", help="corpus-level aggregated race report (deduplicated)"
@@ -175,6 +200,35 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
 
+    metrics = getattr(args, "metrics", False)
+    trace_out = getattr(args, "trace_out", None)
+    if not (metrics or trace_out):
+        return _dispatch(args)
+
+    # Observability requested: run the whole command under a real tracer
+    # inside one top-level span (so the exported Chrome trace covers the
+    # full command wall time), then flush the sinks.
+    from repro.obs import ChromeTraceSink, MemorySink, SummarySink, Tracer, use_tracer
+
+    sinks: list = [MemorySink()]
+    if trace_out:
+        sinks.append(ChromeTraceSink(trace_out))
+    if metrics:
+        sinks.append(SummarySink())
+    tracer = Tracer(sinks=sinks)
+    command = args.command
+    if command == "corpus":
+        command = "corpus.%s" % args.corpus_command
+    with use_tracer(tracer):
+        with tracer.span("cli.%s" % command):
+            code = _dispatch(args)
+    tracer.finish()
+    if trace_out:
+        print("pipeline trace written to %s" % trace_out, file=sys.stderr)
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("table2", "table3", "performance"):
         specs = OPEN_SOURCE_SPECS if args.open_source_only else ALL_SPECS
         results = run_all(specs, scale=args.scale, seed=args.seed)
@@ -187,8 +241,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        from repro.corpus import report_to_json
-
         app = paper_app(args.app, scale=args.scale)
         _, trace = app.run(seed=args.seed)
         if args.save_trace:
@@ -197,7 +249,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
         report = detect_races(trace, backend=args.backend)
         if args.json:
-            print(report_to_json(report))
+            print(_report_json(report))
             return 0
         print(report.summary())
         for race in report.races:
@@ -270,7 +322,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "analyze":
         from repro.core.explain import explain_race
         from repro.core.race_detector import RaceDetector
-        from repro.corpus import report_to_json
 
         try:
             trace = ExecutionTrace.load(args.trace, name=args.trace)
@@ -280,7 +331,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         detector = RaceDetector(trace, backend=args.backend)
         report = detector.detect()
         if args.json:
-            print(report_to_json(report))
+            print(_report_json(report))
             return 0
         print(report.summary())
         for race in report.races:
@@ -295,6 +346,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _corpus_main(args)
 
     return 1
+
+
+def _report_json(report) -> str:
+    """One trace's report as JSON — byte-identical to the historical
+    ``report_to_json`` output unless observability is on, in which case a
+    ``metrics`` block (span/counter aggregates) is added."""
+    from repro.corpus import report_to_json
+    from repro.obs import current_tracer
+
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return report_to_json(report)
+    payload = dict(report.to_dict(), metrics=tracer.metrics_dict())
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _corpus_main(args: argparse.Namespace) -> int:
@@ -345,7 +410,11 @@ def _corpus_main(args: argparse.Namespace) -> int:
 
     if args.corpus_command == "analyze":
         if args.json:
+            from repro.obs import current_tracer
+
             payload = corpus_report.to_dict()
+            if current_tracer().enabled:
+                payload["metrics"] = current_tracer().metrics_dict()
             payload["traces"] = [
                 {
                     "digest": result.entry.digest,

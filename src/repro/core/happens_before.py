@@ -55,6 +55,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from .graph import HBGraph, HBNode, iter_bits
 from .operations import OpKind, Operation
 from .reachability import BACKEND_BITMASK, BACKEND_CHAINS, ChainIndex
+from repro.obs import current_tracer
 from .trace import ExecutionTrace, TaskInfo
 
 #: ``program_order`` settings.
@@ -189,15 +190,18 @@ class HappensBefore:
         self.config = config
         self.saturation = saturation
         self.backend = backend
-        self.graph = HBGraph(trace, coalesce=coalesce, backend=backend)
-        self._index: Optional[ChainIndex] = None
-        if backend == BACKEND_CHAINS:
-            self._index = ChainIndex(
-                self.graph,
-                config.program_order,
-                plain=config.transitivity == TRANS_PLAIN,
-            )
-            self.graph.attach_index(self._index)
+        tracer = current_tracer()
+        with tracer.span("closure.graph", coalesce=coalesce, backend=backend) as sp:
+            self.graph = HBGraph(trace, coalesce=coalesce, backend=backend)
+            self._index: Optional[ChainIndex] = None
+            if backend == BACKEND_CHAINS:
+                self._index = ChainIndex(
+                    self.graph,
+                    config.program_order,
+                    plain=config.transitivity == TRANS_PLAIN,
+                )
+                self.graph.attach_index(self._index)
+            sp.set(nodes=len(self.graph), ops=len(trace))
         self.stats = HBStats(
             trace_length=len(trace),
             node_count=len(self.graph),
@@ -205,14 +209,15 @@ class HappensBefore:
             backend=backend,
             chain_count=self._index.chain_count if self._index else 0,
         )
-        self._task_ops = _index_task_ops(trace, self.graph)
-        self._task_pair_list = self._build_task_pairs()
-        self._round_edges: List[Tuple[int, int]] = []
-        self._round_new: Set[Tuple[int, int]] = set()  # chains-mode round edges
-        self._pred_st: List[int] = []
-        self._pred_mt: List[int] = []
-        self._diff_by_node: List[int] = []
-        self._build_rule_pendings()
+        with tracer.span("closure.premises"):
+            self._task_ops = _index_task_ops(trace, self.graph)
+            self._task_pair_list = self._build_task_pairs()
+            self._round_edges: List[Tuple[int, int]] = []
+            self._round_new: Set[Tuple[int, int]] = set()  # chains round edges
+            self._pred_st: List[int] = []
+            self._pred_mt: List[int] = []
+            self._diff_by_node: List[int] = []
+            self._build_rule_pendings()
         self._compute()
 
     # -- public queries -------------------------------------------------------
@@ -231,12 +236,18 @@ class HappensBefore:
     # -- rule application -------------------------------------------------------
 
     def _compute(self) -> None:
-        self._add_static_edges()
-        self._saturate()
+        tracer = current_tracer()
+        with tracer.span("closure.static_edges"):
+            self._add_static_edges()
+        with tracer.span(
+            "closure.saturate", backend=self.backend, saturation=self.saturation
+        ):
+            self._saturate()
         incremental = self.saturation == SAT_INCREMENTAL
         index = self._index
         if incremental and index is None:
-            self._build_pred_index()
+            with tracer.span("closure.pred_index"):
+                self._build_pred_index()
         # FIFO and NOPRE premises consult the full ≺, so they are applied in
         # an outer fixpoint: each round may enable further rounds.
         for iteration in itertools.count(1):
@@ -244,29 +255,36 @@ class HappensBefore:
             self._round_edges.clear()
             self._round_new.clear()
             changed = False
-            if self.config.fifo:
-                changed |= self._apply_fifo()
-            if self.config.nopre:
-                changed |= self._apply_nopre()
-            if self.config.front_post_rule:
-                changed |= self._apply_front_posts()
-            if not changed:
-                break
-            if index is not None:
-                # Rule applications deferred their index writes (premise
-                # queries must read the start-of-round closure); seed the
-                # round's edges now and re-close.
-                if incremental:
-                    index.saturate_delta(self._round_edges)
-                else:
-                    index.apply_edges(self._round_edges)
-                    index.saturate()
-            elif incremental:
-                self._saturate_delta(self._round_edges)
-            else:
-                self._saturate()
+            with tracer.span("closure.round", iteration=iteration) as round_span:
+                if self.config.fifo:
+                    changed |= self._apply_fifo()
+                if self.config.nopre:
+                    changed |= self._apply_nopre()
+                if self.config.front_post_rule:
+                    changed |= self._apply_front_posts()
+                round_span.set(edges=len(self._round_edges))
+                if not changed:
+                    break
+                with tracer.span("closure.resaturate", iteration=iteration):
+                    if index is not None:
+                        # Rule applications deferred their index writes
+                        # (premise queries must read the start-of-round
+                        # closure); seed the round's edges now and re-close.
+                        if incremental:
+                            index.saturate_delta(self._round_edges)
+                        else:
+                            index.apply_edges(self._round_edges)
+                            index.saturate()
+                    elif incremental:
+                        self._saturate_delta(self._round_edges)
+                    else:
+                        self._saturate()
         self.stats.st_edges, self.stats.mt_edges = self.graph.edge_count()
         self.stats.closure_memory_bytes = self._closure_memory_bytes()
+        tracer.count("closure.builds")
+        tracer.count("closure.rounds", self.stats.outer_iterations)
+        tracer.count("closure.fifo_edges", self.stats.fifo_edges)
+        tracer.count("closure.nopre_edges", self.stats.nopre_edges)
 
     def _closure_memory_bytes(self) -> int:
         """Resident bytes of the closure representation *and* the indexes

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from bisect import bisect_left, bisect_right
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -44,6 +43,7 @@ from .happens_before import (
     HBConfig,
 )
 from .operations import Operation
+from repro.obs import current_tracer
 from .trace import (
     ExecutionTrace,
     field_of_location,
@@ -253,41 +253,51 @@ class RaceDetector:
         self.hb: Optional[HappensBefore] = None
 
     def detect(self) -> RaceReport:
-        start = time.perf_counter()
-        hb = HappensBefore(
-            self.trace,
-            config=self.config,
-            coalesce=self.coalesce,
-            saturation=self.saturation,
-            backend=self.backend,
-        )
-        self.hb = hb
-        report = RaceReport(
-            trace_name=self.trace.name,
-            trace_length=len(self.trace),
-            node_count=len(hb.graph),
-            reduction_ratio=hb.graph.reduction_ratio,
-        )
-        seen: set = set()  # (location, category) dedup keys
-        if self.enumeration == ENUM_BATCHED:
-            if self.backend == BACKEND_CHAINS:
-                self._enumerate_chains(hb, report, seen)
-            else:
-                self._enumerate_batched(hb, report, seen)
-        else:
-            self._enumerate_pairwise(hb, report, seen)
-        report.races.sort(key=lambda race: (race.op_i.index, race.op_j.index))
-        report.closure = {
-            "backend": hb.stats.backend,
-            "chain_count": hb.stats.chain_count,
-            "memory_bytes": hb.stats.closure_memory_bytes,
-            "st_edges": hb.stats.st_edges,
-            "mt_edges": hb.stats.mt_edges,
-            "fifo_edges": hb.stats.fifo_edges,
-            "nopre_edges": hb.stats.nopre_edges,
-            "outer_iterations": hb.stats.outer_iterations,
-        }
-        report.analysis_seconds = time.perf_counter() - start
+        # Timing flows through the tracer (a single source of truth for
+        # ``analysis_seconds``); under the default NULL_TRACER the spans
+        # still measure wall time but record nothing.
+        tracer = current_tracer()
+        with tracer.span(
+            "detect", trace=self.trace.name, backend=self.backend
+        ) as detect_span:
+            with tracer.span("detect.closure"):
+                hb = HappensBefore(
+                    self.trace,
+                    config=self.config,
+                    coalesce=self.coalesce,
+                    saturation=self.saturation,
+                    backend=self.backend,
+                )
+            self.hb = hb
+            report = RaceReport(
+                trace_name=self.trace.name,
+                trace_length=len(self.trace),
+                node_count=len(hb.graph),
+                reduction_ratio=hb.graph.reduction_ratio,
+            )
+            seen: set = set()  # (location, category) dedup keys
+            with tracer.span("detect.enumerate", strategy=self.enumeration):
+                if self.enumeration == ENUM_BATCHED:
+                    if self.backend == BACKEND_CHAINS:
+                        self._enumerate_chains(hb, report, seen)
+                    else:
+                        self._enumerate_batched(hb, report, seen)
+                else:
+                    self._enumerate_pairwise(hb, report, seen)
+                report.races.sort(key=lambda race: (race.op_i.index, race.op_j.index))
+            report.closure = {
+                "backend": hb.stats.backend,
+                "chain_count": hb.stats.chain_count,
+                "memory_bytes": hb.stats.closure_memory_bytes,
+                "st_edges": hb.stats.st_edges,
+                "mt_edges": hb.stats.mt_edges,
+                "fifo_edges": hb.stats.fifo_edges,
+                "nopre_edges": hb.stats.nopre_edges,
+                "outer_iterations": hb.stats.outer_iterations,
+            }
+            tracer.count("detect.races", len(report.races))
+            tracer.count("detect.racy_pairs", report.racy_pair_count)
+        report.analysis_seconds = detect_span.wall_seconds
         return report
 
     def _enumerate_batched(

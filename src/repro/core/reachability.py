@@ -60,6 +60,28 @@ becomes a source for the next pass — necessary because TRANS-MT's
 different-thread side condition lets a row gain facts through an
 intermediate changed row without reaching any edge source (see
 :meth:`ChainIndex.saturate_delta`).
+
+Invariants this module guarantees (and the tests that pin them):
+
+* **Bit-identity with the bitmask backend** — for every trace, rule
+  preset, coalescing mode, and saturation strategy, the chain index
+  answers every ``ordered(i, j)`` query identically to the dense rows,
+  derives the same FIFO/NOPRE edges in the same outer rounds (identical
+  :class:`~repro.core.happens_before.ClosureStats`), and yields
+  byte-identical race reports in identical order.  Property-tested in
+  ``tests/test_reachability_backend.py``; CI's ``--reachability-smoke``
+  gate re-checks it on every push, including the fork/lock hand-off
+  counterexample topology.
+* **O(n·C) memory** — the reach table is ``4·n·C`` bytes of machine
+  ints plus O(n) bookkeeping; ``memory_bytes()`` reports the resident
+  total, surfaced as ``closure.memory_bytes`` in report JSON, and the
+  CI gate fails if it ever exceeds twice the budget.
+* **Forward edges only** — like the bitmask engine, every inserted edge
+  satisfies ``i < j``, so high-to-low sweeps see final rows.
+
+Backend selection guidance lives in "Reachability backends" in
+``docs/architecture.md``; the spans the closure engine emits while
+saturating (either backend) are documented in ``docs/observability.md``.
 """
 
 from __future__ import annotations

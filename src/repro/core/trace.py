@@ -362,8 +362,13 @@ class ExecutionTrace:
         strict: bool = True,
     ) -> "ExecutionTrace":
         """Stream a JSONL trace file from disk."""
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_lines(handle, name=name or str(path), strict=strict)
+        from repro.obs import current_tracer
+
+        with current_tracer().span("trace.load", path=str(path)) as span:
+            with open(path, "r", encoding="utf-8") as handle:
+                trace = cls.from_lines(handle, name=name or str(path), strict=strict)
+            span.set(ops=len(trace))
+            return trace
 
     def render(self) -> str:
         """Human-readable rendering in the style of the paper's Figure 3."""

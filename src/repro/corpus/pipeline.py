@@ -3,28 +3,49 @@
 Fans race detection out over a ``multiprocessing`` pool (``jobs=N``,
 default ``os.cpu_count()``), degrading gracefully to serial in-process
 execution when ``jobs=1``, when there is only one trace to analyze, or
-when a worker pool cannot be created (restricted environments).  Each
-trace is isolated: a malformed trace or a detector crash fails that
-entry with a recorded error, never the batch.
+when a worker pool cannot be created (restricted environments).
 
-Workers receive ``(digest, path, name, DetectorConfig)`` and return
-plain dictionaries — every payload crossing the process boundary is
-picklable by construction.  Results are cached through
-:class:`repro.corpus.cache.ResultCache` keyed on
-``(trace_digest, config_digest)``.
+Invariants this module maintains:
+
+* **Worker error isolation** — each trace is its own failure domain: a
+  malformed trace (``TraceFormatError`` naming the offending line) or a
+  detector crash converts into an error string on that entry's
+  :class:`TraceResult`, never a batch failure, and never a lost result
+  for the other traces.
+* **Picklability by construction** — workers receive
+  ``(digest, path, name, DetectorConfig, collect_obs)`` tuples and
+  return ``(digest, report_dict, error, seconds, obs_snapshot)``
+  tuples of plain values; nothing that crosses the process boundary
+  holds a handle, a lock, or a live object.
+* **Bit-identity of cached results** — detection is a pure function of
+  ``(trace, config)``; the :class:`~repro.corpus.cache.ResultCache`
+  keys on exactly ``(trace_digest, config_digest)``, so a cache hit is
+  indistinguishable from a re-run (differentially tested in
+  ``tests/test_corpus.py``).
+
+Observability (see ``docs/observability.md``): when the current
+:mod:`repro.obs` tracer is enabled, each worker builds its own tracer
+around its trace (``corpus.trace`` span over ``trace.load`` → ``detect``
+→ ...), snapshots it into the result tuple, and the parent merges the
+worker's span tree under its ``corpus.analyze`` span — one timeline
+across processes.  All batch timing (``TraceResult.seconds``,
+``BatchResult.wall_seconds``) is span-derived; there are no ad-hoc
+``perf_counter`` sites left in this module.  The wider pipeline is
+described in "Trace corpus & batch analysis" of ``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.race_detector import DetectorConfig, RaceReport
 from repro.core.trace import ExecutionTrace
+from repro.obs import Tracer, current_tracer, use_tracer
 
 from .cache import ResultCache
 from .store import TraceEntry, TraceStore
@@ -94,8 +115,8 @@ class BatchResult:
 
 
 #: Worker argument / result shapes (kept as plain tuples for pickling).
-_WorkerArgs = Tuple[str, str, str, DetectorConfig]
-_WorkerResult = Tuple[str, Optional[dict], Optional[str], float]
+_WorkerArgs = Tuple[str, str, str, DetectorConfig, bool]
+_WorkerResult = Tuple[str, Optional[dict], Optional[str], float, Optional[dict]]
 
 
 def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
@@ -104,16 +125,27 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
     Module-level so ``multiprocessing`` can pickle it; also the serial
     fallback path, so both modes share one code path per trace.  All
     failures are converted into an error string — isolation guarantee.
+
+    When ``collect_obs`` is set the trace is analyzed under a fresh
+    :class:`~repro.obs.Tracer` whose picklable snapshot rides home in
+    the result tuple (the parent merges it); per-trace wall time is the
+    ``corpus.trace`` span either way, so cached and fresh results report
+    timing from a single source.
     """
-    digest, path, name, config = args
-    start = time.perf_counter()
-    try:
-        trace = ExecutionTrace.load(path, name=name, strict=True)
-        report = config.build_detector(trace).detect()
-        return (digest, report.to_dict(), None, time.perf_counter() - start)
-    except Exception as exc:  # noqa: BLE001 — isolation boundary
-        reason = "%s: %s" % (exc.__class__.__name__, exc)
-        return (digest, None, reason, time.perf_counter() - start)
+    digest, path, name, config, collect_obs = args
+    tracer = Tracer() if collect_obs else current_tracer()
+    report_dict: Optional[dict] = None
+    error: Optional[str] = None
+    with use_tracer(tracer) if collect_obs else nullcontext():
+        with tracer.span("corpus.trace", trace=name, digest=digest[:12]) as span:
+            try:
+                trace = ExecutionTrace.load(path, name=name, strict=True)
+                report_dict = config.build_detector(trace).detect().to_dict()
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                error = "%s: %s" % (exc.__class__.__name__, exc)
+                span.set(error=error)
+    obs = tracer.snapshot() if collect_obs else None
+    return (digest, report_dict, error, span.wall_seconds, obs)
 
 
 class BatchAnalyzer:
@@ -132,57 +164,80 @@ class BatchAnalyzer:
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
 
     def analyze(self, digests: Optional[Sequence[str]] = None) -> BatchResult:
-        start = time.perf_counter()
-        if digests is None:
-            entries = self.store.entries()
-        else:
-            entries = [self.store.get(d) for d in digests]
-        config_digest = self.config.digest()
+        tracer = current_tracer()
+        with tracer.span("corpus.analyze", jobs=self.jobs) as batch_span:
+            if digests is None:
+                entries = self.store.entries()
+            else:
+                entries = [self.store.get(d) for d in digests]
+            config_digest = self.config.digest()
 
-        batch = BatchResult(jobs=max(1, self.jobs))
-        by_digest: Dict[str, TraceResult] = {}
-        todo: List[TraceEntry] = []
-        hits0 = self.cache.hits if self.cache else 0
-        misses0 = self.cache.misses if self.cache else 0
-        for entry in entries:
-            cached = (
-                self.cache.get(entry.digest, config_digest) if self.cache else None
+            batch = BatchResult(jobs=max(1, self.jobs))
+            by_digest: Dict[str, TraceResult] = {}
+            todo: List[TraceEntry] = []
+            hits0 = self.cache.hits if self.cache else 0
+            misses0 = self.cache.misses if self.cache else 0
+            with tracer.span("corpus.cache_lookup", traces=len(entries)):
+                for entry in entries:
+                    cached = (
+                        self.cache.get(entry.digest, config_digest)
+                        if self.cache
+                        else None
+                    )
+                    if cached is not None:
+                        by_digest[entry.digest] = TraceResult(
+                            entry=entry, report=cached, cached=True
+                        )
+                    else:
+                        todo.append(entry)
+
+            raw, parallel = self._run(todo, collect_obs=tracer.enabled)
+            batch.parallel = parallel
+            for digest, report_dict, error, seconds, obs in raw:
+                entry = self.store.get(digest)
+                if obs is not None:
+                    # Graft the worker's span tree (and counters) under
+                    # this batch's span — one merged timeline.
+                    tracer.merge(obs, parent=batch_span)
+                if report_dict is not None:
+                    report = RaceReport.from_dict(report_dict)
+                    if self.cache is not None:
+                        self.cache.put(digest, config_digest, report)
+                    by_digest[digest] = TraceResult(
+                        entry=entry, report=report, seconds=seconds
+                    )
+                else:
+                    by_digest[digest] = TraceResult(
+                        entry=entry, error=error, seconds=seconds
+                    )
+
+            batch.results = [by_digest[entry.digest] for entry in entries]
+            if self.cache is not None:
+                batch.cache_hits = self.cache.hits - hits0
+                batch.cache_misses = self.cache.misses - misses0
+            tracer.count("corpus.traces", len(entries))
+            tracer.count("corpus.cache_hits", batch.cache_hits)
+            tracer.count("corpus.cache_misses", batch.cache_misses)
+            tracer.count("corpus.errors", len(batch.errors()))
+            batch_span.set(
+                traces=len(entries), parallel=parallel, errors=len(batch.errors())
             )
-            if cached is not None:
-                by_digest[entry.digest] = TraceResult(
-                    entry=entry, report=cached, cached=True
-                )
-            else:
-                todo.append(entry)
-
-        raw, parallel = self._run(todo)
-        batch.parallel = parallel
-        for digest, report_dict, error, seconds in raw:
-            entry = self.store.get(digest)
-            if report_dict is not None:
-                report = RaceReport.from_dict(report_dict)
-                if self.cache is not None:
-                    self.cache.put(digest, config_digest, report)
-                by_digest[digest] = TraceResult(
-                    entry=entry, report=report, seconds=seconds
-                )
-            else:
-                by_digest[digest] = TraceResult(
-                    entry=entry, error=error, seconds=seconds
-                )
-
-        batch.results = [by_digest[entry.digest] for entry in entries]
-        if self.cache is not None:
-            batch.cache_hits = self.cache.hits - hits0
-            batch.cache_misses = self.cache.misses - misses0
-        batch.wall_seconds = time.perf_counter() - start
+        batch.wall_seconds = batch_span.wall_seconds
         return batch
 
     # -- execution strategies ------------------------------------------------
 
-    def _run(self, todo: Sequence[TraceEntry]) -> Tuple[List[_WorkerResult], bool]:
+    def _run(
+        self, todo: Sequence[TraceEntry], collect_obs: bool = False
+    ) -> Tuple[List[_WorkerResult], bool]:
         args = [
-            (e.digest, str(self.store.path_for(e.digest)), e.name, self.config)
+            (
+                e.digest,
+                str(self.store.path_for(e.digest)),
+                e.name,
+                self.config,
+                collect_obs,
+            )
             for e in todo
         ]
         if not args:

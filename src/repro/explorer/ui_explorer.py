@@ -7,8 +7,28 @@ only after the previous one is fully consumed (quiescence).
 
 An application is anything implementing :class:`AppModel`: a factory that
 builds a booted :class:`~repro.android.system.AndroidSystem` with the app
-launched.  Determinism of the runtime (fixed seed) makes prefix replay
-exact.
+launched.
+
+Invariants this module maintains:
+
+* **Sequence-DB replay** — every run is recorded in a
+  :class:`~repro.explorer.sequence_store.SequenceStore` as
+  ``(event sequence, scheduling decisions, trace)``; because the runtime
+  is deterministic per seed, replaying a stored prefix reproduces its
+  trace byte-for-byte, which is what makes DFS-by-re-execution sound.
+  A replay that *diverges* (a stored event no longer enabled) is
+  recorded but never extended.
+* **One event per quiescence** — events fire only when no thread can
+  run and no message is pending, so each trace prefix is a complete
+  consequence of the events fired so far (§5's dispatch discipline).
+* **Corpus hand-off** — with ``trace_store=`` every finished trace is
+  ingested into a :class:`repro.corpus.TraceStore` (content-addressed,
+  so re-exploration deduplicates); see "Trace corpus & batch analysis"
+  in ``docs/architecture.md``.
+
+Observability: exploration emits ``explore`` / ``explore.sequence``
+spans and ``explore.runs`` / ``explore.events`` counters through
+:mod:`repro.obs` (schema in ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -19,6 +39,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 from repro.android.system import AndroidSystem
 from repro.android.views import UIEvent
 from repro.core.trace import ExecutionTrace
+from repro.obs import current_tracer
 
 from .events import event_key, filter_events, find_event
 from .sequence_store import RunRecord, SequenceStore
@@ -100,7 +121,11 @@ class UIExplorer:
     def explore(self) -> ExplorationResult:
         """Run the depth-first exploration; returns all recorded runs."""
         self._runs_executed = 0
-        self._explore_from(())
+        with current_tracer().span(
+            "explore", app=self.app.name, depth=self.depth
+        ) as span:
+            self._explore_from(())
+            span.set(runs=self._runs_executed)
         return ExplorationResult(
             app_name=self.app.name,
             store=self.store,
@@ -110,27 +135,36 @@ class UIExplorer:
 
     def run_sequence(self, sequence: Sequence[str]) -> RunRecord:
         """Execute (or replay) one event sequence and record it."""
-        system = self.app.build(self.seed)
-        system.run_to_quiescence()
-        fired: List[str] = []
-        for key in sequence:
-            event = find_event(system.enabled_events(), key)
-            if event is None:
-                break  # divergence: the stored event is no longer enabled
-            system.fire(event)
+        tracer = current_tracer()
+        with tracer.span(
+            "explore.sequence",
+            app=self.app.name,
+            sequence=",".join(sequence) or "-",
+        ) as span:
+            system = self.app.build(self.seed)
             system.run_to_quiescence()
-            fired.append(key)
-        enabled = self._candidate_events(system)
-        trace = system.finish("%s[%s]" % (self.app.name, ",".join(fired) or "-"))
-        if self.trace_store is not None:
-            self.trace_store.ingest(trace, app=self.app.name)
-        self._runs_executed += 1
-        return self.store.record(
-            fired,
-            trace,
-            decisions=system.env.decisions,
-            enabled_after=[event_key(e) for e in enabled],
-        )
+            fired: List[str] = []
+            for key in sequence:
+                event = find_event(system.enabled_events(), key)
+                if event is None:
+                    break  # divergence: the stored event is no longer enabled
+                system.fire(event)
+                system.run_to_quiescence()
+                fired.append(key)
+            enabled = self._candidate_events(system)
+            trace = system.finish("%s[%s]" % (self.app.name, ",".join(fired) or "-"))
+            if self.trace_store is not None:
+                self.trace_store.ingest(trace, app=self.app.name)
+            self._runs_executed += 1
+            tracer.count("explore.runs")
+            tracer.count("explore.events", len(fired))
+            span.set(ops=len(trace))
+            return self.store.record(
+                fired,
+                trace,
+                decisions=system.env.decisions,
+                enabled_after=[event_key(e) for e in enabled],
+            )
 
     # -- DFS -----------------------------------------------------------------------
 

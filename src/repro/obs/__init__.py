@@ -1,0 +1,70 @@
+"""Pipeline observability: hierarchical spans, counters, pluggable sinks.
+
+The paper's evaluation (§6–7) is about *measured* pipeline behaviour —
+trace lengths, coalescing ratios, closure cost per round, races per
+phase — and every performance PR needs a before/after story.  This
+package is the single instrumentation surface the whole pipeline shares:
+
+* :class:`Tracer` / :func:`current_tracer` — span context managers with
+  wall+CPU time, nesting, and exception capture; named counters/gauges;
+* :mod:`repro.obs.sinks` — in-memory (default), JSONL event log, stderr
+  summary table, and Chrome ``trace_event`` export
+  (``chrome://tracing`` / Perfetto);
+* cross-process merge — workers snapshot their tracer into a picklable
+  dict, parents :meth:`Tracer.merge` it (the corpus batch pipeline does
+  this through its existing result tuples).
+
+Instrumentation is always compiled in and never changes results: the
+default :data:`NULL_TRACER` records nothing (spans still measure wall
+time so fields like ``analysis_seconds`` keep one source of truth), and
+the differential tests in ``tests/test_obs.py`` pin that race reports
+are identical with tracing on and off.
+
+CLI surface: ``--metrics`` (summary table on stderr) and
+``--trace-out FILE`` (Chrome trace JSON) on ``run``, ``analyze``, and
+``corpus analyze``; a ``metrics`` block in ``--json`` reports.
+Schema, naming conventions, and a Perfetto walkthrough:
+``docs/observability.md``.
+"""
+
+from .sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    Sink,
+    SummarySink,
+    aggregate_spans,
+    chrome_trace_dict,
+    read_jsonl,
+    render_summary,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_TRACER",
+    "NullTracer",
+    "Sink",
+    "Span",
+    "SpanRecord",
+    "SummarySink",
+    "Tracer",
+    "aggregate_spans",
+    "chrome_trace_dict",
+    "current_tracer",
+    "read_jsonl",
+    "render_summary",
+    "set_tracer",
+    "use_tracer",
+]

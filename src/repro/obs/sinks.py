@@ -1,0 +1,286 @@
+"""Span sinks: where finished :class:`~repro.obs.tracer.SpanRecord`\\ s go.
+
+Every sink implements two methods:
+
+* ``on_span(record)`` — called once per finished span, in completion
+  order (children before parents, merged worker spans at merge time);
+* ``on_close(tracer)`` — called by :meth:`Tracer.finish`; file sinks
+  write/flush here, the summary sink prints here.
+
+Provided sinks:
+
+* :class:`MemorySink` — list of records in memory (the default; the
+  tracer's ``spans``/``summary()``/``snapshot()`` read from it);
+* :class:`JsonlSink` — one JSON object per line, spans as they finish,
+  counters/gauges at close (:func:`read_jsonl` round-trips the file
+  back into a mergeable snapshot);
+* :class:`SummarySink` — human-readable per-span-name table (wall, CPU,
+  self time, calls, errors) plus counters/gauges, printed to stderr at
+  close — the ``--metrics`` CLI flag;
+* :class:`ChromeTraceSink` — Chrome ``trace_event`` JSON, viewable in
+  ``chrome://tracing`` or https://ui.perfetto.dev — the ``--trace-out``
+  CLI flag.  Spans from merged worker snapshots appear as separate
+  process lanes (records carry their origin pid).
+
+See ``docs/observability.md`` for a worked Perfetto walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, IO, List, Optional, Union
+
+from .tracer import SpanRecord
+
+__all__ = [
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "Sink",
+    "SummarySink",
+    "aggregate_spans",
+    "chrome_trace_dict",
+    "read_jsonl",
+    "render_summary",
+]
+
+
+class Sink:
+    """Base class: a sink that ignores everything."""
+
+    def on_span(self, record: SpanRecord) -> None:
+        pass
+
+    def on_close(self, tracer) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keep every record in a list (zero-dependency default)."""
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+
+    def on_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+
+class JsonlSink(Sink):
+    """Append-only JSONL event log.
+
+    Span records stream out as they finish (``{"type": "span", ...}``);
+    counters and gauges are written at close.  Accepts a path (opened
+    and closed by the sink) or an open file object (left open).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._handle = open(target, "w", encoding="utf-8")
+            self._owns = True
+
+    def on_span(self, record: SpanRecord) -> None:
+        payload = dict(record.to_dict(), type="span")
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def on_close(self, tracer) -> None:
+        for name, value in sorted(tracer.counters.items()):
+            self._handle.write(
+                json.dumps({"type": "counter", "name": name, "value": value})
+                + "\n"
+            )
+        for name, value in sorted(tracer.gauges.items()):
+            self._handle.write(
+                json.dumps({"type": "gauge", "name": name, "value": value})
+                + "\n"
+            )
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+
+
+def read_jsonl(path: str) -> dict:
+    """Load a :class:`JsonlSink` file back into a snapshot dict — the
+    same shape :meth:`Tracer.snapshot` produces, so a logged run can be
+    re-merged into a live tracer (``tracer.merge(read_jsonl(path))``)."""
+    spans: List[dict] = []
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            kind = payload.pop("type", "span")
+            if kind == "span":
+                spans.append(payload)
+            elif kind == "counter":
+                counters[payload["name"]] = payload["value"]
+            elif kind == "gauge":
+                gauges[payload["name"]] = payload["value"]
+    return {"spans": spans, "counters": counters, "gauges": gauges}
+
+
+# -- aggregation and rendering --------------------------------------------------
+
+
+def aggregate_spans(records: List[SpanRecord]) -> List[dict]:
+    """Per-name aggregates, sorted by total wall time descending.
+
+    ``self_seconds`` is wall time not covered by direct children —
+    the number that tells you *which* phase to optimize when spans nest.
+    """
+    child_wall: Dict[Optional[int], float] = {}
+    for record in records:
+        if record.parent_id is not None:
+            child_wall[record.parent_id] = (
+                child_wall.get(record.parent_id, 0.0) + record.wall_seconds
+            )
+    rows: Dict[str, dict] = {}
+    for record in records:
+        row = rows.get(record.name)
+        if row is None:
+            row = rows[record.name] = {
+                "name": record.name,
+                "count": 0,
+                "wall_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "self_seconds": 0.0,
+                "errors": 0,
+            }
+        row["count"] += 1
+        row["wall_seconds"] += record.wall_seconds
+        row["cpu_seconds"] += record.cpu_seconds
+        row["self_seconds"] += max(
+            0.0, record.wall_seconds - child_wall.get(record.span_id, 0.0)
+        )
+        if record.status == "error":
+            row["errors"] += 1
+    return sorted(rows.values(), key=lambda row: -row["wall_seconds"])
+
+
+def render_summary(
+    records: List[SpanRecord],
+    counters: Dict[str, float],
+    gauges: Dict[str, Any],
+) -> str:
+    """The ``--metrics`` table: one row per span name plus counters."""
+    rows = aggregate_spans(records)
+    width = max([len(row["name"]) for row in rows] + [4])
+    lines = [
+        "-- metrics " + "-" * max(0, width + 44 - 11),
+        "%-*s %6s %9s %9s %9s %4s"
+        % (width, "span", "calls", "wall(s)", "self(s)", "cpu(s)", "err"),
+    ]
+    for row in rows:
+        lines.append(
+            "%-*s %6d %9.4f %9.4f %9.4f %4d"
+            % (
+                width,
+                row["name"],
+                row["count"],
+                row["wall_seconds"],
+                row["self_seconds"],
+                row["cpu_seconds"],
+                row["errors"],
+            )
+        )
+    for name, value in sorted(counters.items()):
+        lines.append("counter %-*s %s" % (width, name, value))
+    for name, value in sorted(gauges.items()):
+        lines.append("gauge   %-*s %s" % (width, name, value))
+    return "\n".join(lines)
+
+
+class SummarySink(Sink):
+    """Print :func:`render_summary` to a stream (stderr) at close."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream
+        self.spans: List[SpanRecord] = []
+
+    def on_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+    def on_close(self, tracer) -> None:
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(render_summary(self.spans, tracer.counters, tracer.gauges), file=stream)
+
+
+# -- Chrome trace_event export --------------------------------------------------
+
+
+def chrome_trace_dict(
+    records: List[SpanRecord],
+    counters: Optional[Dict[str, float]] = None,
+    gauges: Optional[Dict[str, Any]] = None,
+) -> dict:
+    """Records as a Chrome ``trace_event`` JSON object.
+
+    Each span becomes one complete (``"ph": "X"``) event; timestamps are
+    microseconds relative to the earliest span, so cross-process records
+    (epoch-based ``start_wall``) line up on one timeline.  Thread lanes
+    get ``thread_name`` metadata; counters/gauges ride in ``otherData``.
+    """
+    events: List[dict] = []
+    epoch = min((r.start_wall for r in records), default=0.0)
+    lanes: Dict[tuple, int] = {}
+    for record in records:
+        lane = (record.pid, record.thread)
+        if lane not in lanes:
+            tid = lanes[lane] = len(lanes)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": record.pid,
+                    "tid": tid,
+                    "args": {"name": record.thread},
+                }
+            )
+        args = dict(record.attrs)
+        if record.status != "ok":
+            args["status"] = record.status
+            if record.error:
+                args["error"] = record.error
+        events.append(
+            {
+                "ph": "X",
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ts": (record.start_wall - epoch) * 1e6,
+                "dur": record.wall_seconds * 1e6,
+                "pid": record.pid,
+                "tid": lanes[lane],
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(sorted((counters or {}).items())),
+            "gauges": dict(sorted((gauges or {}).items())),
+        },
+    }
+
+
+class ChromeTraceSink(Sink):
+    """Write a ``chrome://tracing``/Perfetto-loadable JSON file at close."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.spans: List[SpanRecord] = []
+
+    def on_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+    def on_close(self, tracer) -> None:
+        payload = chrome_trace_dict(self.spans, tracer.counters, tracer.gauges)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,415 @@
+"""Hierarchical span tracer: the measurement half of :mod:`repro.obs`.
+
+One :class:`Tracer` instance owns everything a pipeline run measures:
+
+* **spans** — ``with tracer.span("closure.saturate") as sp:`` captures
+  wall time (``time.perf_counter``), CPU time (``time.process_time``),
+  nesting (parent/depth via a per-thread stack), and exception status
+  (a raising block is recorded with ``status="error"`` and re-raised);
+* **counters** — monotonically accumulated named totals
+  (``tracer.count("closure.fifo_edges", 3)``), summed on merge;
+* **gauges** — last-write-wins named values (``tracer.gauge(...)``).
+
+Finished spans are fanned out to pluggable sinks (:mod:`repro.obs.sinks`);
+the default configuration is a single in-memory sink, so the tracer is
+zero-dependency and allocation-light unless a file sink is attached.
+
+The *current* tracer is process-global (:func:`current_tracer`), and the
+default is :data:`NULL_TRACER` — a null object whose spans still measure
+wall time (so timing fields like ``RaceReport.analysis_seconds`` have a
+single source of truth) but record nothing and never touch a sink.
+Instrumented code therefore calls ``current_tracer().span(...)``
+unconditionally; enabling observability is swapping the current tracer
+(:func:`use_tracer`), never a code change.
+
+Cross-process protocol: a worker builds its own ``Tracer``, runs, and
+ships ``tracer.snapshot()`` — a plain picklable dict — back with its
+result; the parent calls :meth:`Tracer.merge` to graft the worker's span
+tree (ids remapped, optionally re-rooted under a parent span) and sum
+its counters.  ``SpanRecord.start_wall`` is ``time.time()``-based, so
+merged spans stay on one comparable timeline across processes.
+
+See ``docs/observability.md`` for the span/counter schema and naming
+conventions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span — the unit every sink consumes.
+
+    ``start_wall`` is epoch-based (``time.time()``) so records from
+    different processes share a timeline; ``wall_seconds`` is measured
+    with ``time.perf_counter()`` for resolution.  ``cpu_seconds`` is
+    process CPU time and includes the span's children.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    start_wall: float
+    wall_seconds: float
+    cpu_seconds: float
+    status: str = "ok"  # "ok" | "error"
+    error: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: int = 0
+    thread: str = "MainThread"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start_wall": self.start_wall,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+            "error": self.error,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+            "thread": self.thread,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpanRecord":
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            depth=data["depth"],
+            start_wall=data["start_wall"],
+            wall_seconds=data["wall_seconds"],
+            cpu_seconds=data["cpu_seconds"],
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            attrs=dict(data.get("attrs", {})),
+            pid=data.get("pid", 0),
+            thread=data.get("thread", "MainThread"),
+        )
+
+
+class Span:
+    """Live handle yielded by :meth:`Tracer.span`.
+
+    Usable inside the block (``sp.set(ops=123)`` attaches attributes)
+    and after it — ``wall_seconds``/``cpu_seconds``/``status`` are final
+    once the ``with`` block exits.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_wall",
+        "wall_seconds",
+        "cpu_seconds",
+        "status",
+        "error",
+        "_t0",
+        "_c0",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+        depth: int,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.start_wall = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (merged into ``attrs``)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self.start_wall = time.time()
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter()
+        c1 = time.process_time()
+        self.wall_seconds = t1 - self._t0
+        self.cpu_seconds = c1 - self._c0
+        if exc_type is not None:
+            self.status = "error"
+            self.error = "%s: %s" % (exc_type.__name__, exc)
+        self.tracer._pop(self)
+        return False  # never swallow
+
+
+class _NullSpan:
+    """Span stand-in used when tracing is disabled: measures wall time
+    (timing fields still need one source of truth) and drops the rest."""
+
+    __slots__ = ("_t0", "wall_seconds", "cpu_seconds", "status", "error")
+
+    def __init__(self) -> None:
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_seconds = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.status = "error"
+        return False
+
+
+class NullTracer:
+    """Tracing disabled: spans time themselves, nothing is recorded."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NullSpan()
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+#: The process-wide default tracer (observability off).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans, counters, and gauges; fans spans out to sinks.
+
+    ``sinks`` defaults to a single in-memory sink
+    (:class:`repro.obs.sinks.MemorySink`); pass an explicit list to
+    change the fan-out.  Thread-safe: the span stack is per-thread
+    (nesting follows each thread's own call structure) while records,
+    counters, and gauges are shared under one lock.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Optional[Sequence] = None):
+        from .sinks import MemorySink  # late import: sinks import SpanRecord
+
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self.sinks = list(sinks) if sinks is not None else [MemorySink()]
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, Any] = {}
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(
+            self,
+            name,
+            attrs,
+            span_id,
+            parent.span_id if parent is not None else None,
+            len(stack),
+        )
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            depth=span.depth,
+            start_wall=span.start_wall,
+            wall_seconds=span.wall_seconds,
+            cpu_seconds=span.cpu_seconds,
+            status=span.status,
+            error=span.error,
+            attrs=span.attrs,
+            pid=os.getpid(),
+            thread=threading.current_thread().name,
+        )
+        self._emit(record)
+
+    def _emit(self, record: SpanRecord) -> None:
+        with self._lock:
+            for sink in self.sinks:
+                sink.on_span(record)
+
+    # -- counters and gauges --------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Any) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    # -- read-out -------------------------------------------------------------
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """Records held by the first in-memory sink (empty if none)."""
+        from .sinks import MemorySink
+
+        for sink in self.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.spans
+        return []
+
+    def summary(self) -> List[dict]:
+        """Per-name aggregates over the in-memory records (see
+        :func:`repro.obs.sinks.aggregate_spans`)."""
+        from .sinks import aggregate_spans
+
+        return aggregate_spans(self.spans)
+
+    def metrics_dict(self) -> dict:
+        """The ``metrics`` block emitted into ``--json`` reports."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "spans": self.summary(),
+        }
+
+    def finish(self) -> None:
+        """Flush every sink (summary tables print, files are written)."""
+        for sink in self.sinks:
+            sink.on_close(self)
+
+    # -- cross-process merge ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain picklable dict of everything recorded so far — ships a
+        worker's span tree and counters across a process boundary."""
+        return {
+            "pid": os.getpid(),
+            "spans": [record.to_dict() for record in self.spans],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def merge(self, snapshot: dict, parent: Optional[Span] = None) -> None:
+        """Graft a :meth:`snapshot` into this tracer.
+
+        Span ids are remapped to stay unique; root spans of the snapshot
+        are re-parented under ``parent`` (when given) so a worker's tree
+        nests below the span that dispatched it.  Counters are summed;
+        gauges are last-write-wins.
+        """
+        records = [SpanRecord.from_dict(d) for d in snapshot.get("spans", ())]
+        if records:
+            with self._lock:
+                offset = self._next_id
+                self._next_id += max(r.span_id for r in records) + 1
+            base_depth = parent.depth + 1 if parent is not None else 0
+            for record in records:
+                record.span_id += offset
+                if record.parent_id is not None:
+                    record.parent_id += offset
+                elif parent is not None:
+                    record.parent_id = parent.span_id
+                record.depth += base_depth
+                self._emit(record)
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+
+
+# -- the current tracer --------------------------------------------------------
+
+_CURRENT = NULL_TRACER
+
+
+def current_tracer():
+    """The process-global active tracer (:data:`NULL_TRACER` by default)."""
+    return _CURRENT
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` as the current tracer; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    return previous
+
+
+class use_tracer:
+    """``with use_tracer(t):`` — install ``t`` for the block, restore after."""
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_tracer(self._previous)
+        return False

@@ -1,0 +1,465 @@
+"""Tests for the observability layer (:mod:`repro.obs`).
+
+Covers the tracer itself (nesting, exception capture, thread safety,
+counters), the cross-process snapshot/merge protocol (spawn and fork
+start methods), every sink round-trip (JSONL, summary, Chrome
+``trace_event``), the CLI surface (``--metrics`` / ``--trace-out``), and
+the central guarantee: instrumentation never changes race reports.
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.apps.paper_traces import figure4_trace
+from repro.apps.registry import paper_app
+from repro.cli import main
+from repro.core import detect_races
+from repro.corpus import BatchAnalyzer, TraceStore, report_to_json
+from repro.obs import (
+    NULL_TRACER,
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    SummarySink,
+    Tracer,
+    chrome_trace_dict,
+    current_tracer,
+    read_jsonl,
+    render_summary,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_nesting_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("middle"):
+                pass
+        by_name = {}
+        for record in tracer.spans:
+            by_name.setdefault(record.name, []).append(record)
+        assert by_name["outer"][0].parent_id is None
+        assert by_name["outer"][0].depth == 0
+        assert all(r.parent_id == outer.span_id for r in by_name["middle"])
+        assert all(r.depth == 1 for r in by_name["middle"])
+        assert by_name["inner"][0].parent_id == by_name["middle"][0].span_id
+        assert by_name["inner"][0].depth == 2
+        # children finish (and are recorded) before their parents
+        names = [r.name for r in tracer.spans]
+        assert names == ["inner", "middle", "middle", "outer"]
+
+    def test_wall_and_cpu_time_measured(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            sum(range(10_000))
+        assert span.wall_seconds > 0
+        assert tracer.spans[0].wall_seconds == span.wall_seconds
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (record,) = tracer.spans
+        assert record.status == "error"
+        assert record.error == "ValueError: boom"
+
+    def test_attributes_at_open_and_mid_flight(self):
+        tracer = Tracer()
+        with tracer.span("phase", backend="chains") as span:
+            span.set(edges=7)
+        assert tracer.spans[0].attrs == {"backend": "chains", "edges": 7}
+
+    def test_per_thread_stacks(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker-span"):
+                done.wait(5)
+
+        thread = threading.Thread(target=worker, name="obs-worker")
+        with tracer.span("main-span"):
+            thread.start()
+            done.set()
+            thread.join()
+        records = {r.name: r for r in tracer.spans}
+        # the worker's span must not become a child of the main thread's
+        assert records["worker-span"].parent_id is None
+        assert records["worker-span"].thread == "obs-worker"
+        assert records["main-span"].parent_id is None
+
+    def test_counters_and_gauges(self):
+        tracer = Tracer()
+        tracer.count("hits")
+        tracer.count("hits", 4)
+        tracer.gauge("jobs", 2)
+        tracer.gauge("jobs", 8)
+        assert tracer.counters == {"hits": 5}
+        assert tracer.gauges == {"jobs": 8}
+
+    def test_null_tracer_measures_but_records_nothing(self):
+        with NULL_TRACER.span("anything") as span:
+            sum(range(1000))
+        assert span.wall_seconds > 0
+        NULL_TRACER.count("ignored")
+        assert not NULL_TRACER.enabled
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        assert current_tracer() is NULL_TRACER
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+
+def _spawn_child(args):
+    """Module-level so every multiprocessing start method can pickle it."""
+    n = args
+    tracer = Tracer()
+    with tracer.span("child.work", index=n):
+        tracer.count("child.items", n)
+    return tracer.snapshot()
+
+
+class TestMerge:
+    def test_in_process_merge_remaps_and_reroots(self):
+        parent = Tracer()
+        child = Tracer()
+        with child.span("child.outer"):
+            with child.span("child.inner"):
+                pass
+        with parent.span("parent") as top:
+            pass
+        parent.merge(child.snapshot(), parent=top)
+        records = {r.name: r for r in parent.spans}
+        assert records["child.outer"].parent_id == top.span_id
+        assert records["child.outer"].depth == top.depth + 1
+        assert records["child.inner"].parent_id == records["child.outer"].span_id
+        assert records["child.inner"].depth == top.depth + 2
+        ids = [r.span_id for r in parent.spans]
+        assert len(ids) == len(set(ids)), "merged span ids must stay unique"
+
+    def test_merge_sums_counters(self):
+        tracer = Tracer()
+        tracer.count("n", 1)
+        tracer.merge({"spans": [], "counters": {"n": 2}, "gauges": {"g": 9}})
+        assert tracer.counters == {"n": 3}
+        assert tracer.gauges == {"g": 9}
+
+    @pytest.mark.parametrize("method", multiprocessing.get_all_start_methods())
+    def test_cross_process_merge(self, method):
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(2) as pool:
+            snapshots = pool.map(_spawn_child, [1, 2, 3])
+        tracer = Tracer()
+        with tracer.span("batch") as top:
+            pass
+        for snapshot in snapshots:
+            tracer.merge(snapshot, parent=top)
+        assert tracer.counters["child.items"] == 6
+        work = [r for r in tracer.spans if r.name == "child.work"]
+        assert len(work) == 3
+        assert all(r.parent_id == top.span_id for r in work)
+        assert {r.attrs["index"] for r in work} == {1, 2, 3}
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer(sinks=[MemorySink(), JsonlSink(path)])
+        with tracer.span("a", k="v"):
+            with tracer.span("b"):
+                pass
+        tracer.count("total", 3)
+        tracer.gauge("level", "high")
+        tracer.finish()
+
+        snapshot = read_jsonl(path)
+        assert snapshot["counters"] == {"total": 3}
+        assert snapshot["gauges"] == {"level": "high"}
+        replay = Tracer()
+        replay.merge(snapshot)
+        assert [r.to_dict() for r in replay.spans] == [
+            r.to_dict() for r in tracer.spans
+        ]
+
+    def test_summary_render(self):
+        tracer = Tracer()
+        with tracer.span("loop"):
+            with tracer.span("step"):
+                pass
+            with tracer.span("step"):
+                pass
+        tracer.count("edges", 12)
+        text = render_summary(tracer.spans, tracer.counters, tracer.gauges)
+        lines = text.splitlines()
+        assert any("loop" in line and " 1 " in line for line in lines)
+        assert any("step" in line and " 2 " in line for line in lines)
+        assert any("counter" in line and "edges" in line for line in lines)
+
+    def test_summary_self_seconds_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                sum(range(50_000))
+        rows = {row["name"]: row for row in tracer.summary()}
+        assert rows["parent"]["self_seconds"] <= rows["parent"]["wall_seconds"]
+        assert rows["child"]["self_seconds"] == pytest.approx(
+            rows["child"]["wall_seconds"]
+        )
+
+    def test_summary_sink_prints_at_close(self):
+        import io
+
+        stream = io.StringIO()
+        tracer = Tracer(sinks=[SummarySink(stream)])
+        with tracer.span("only"):
+            pass
+        tracer.finish()
+        assert "only" in stream.getvalue()
+
+    def test_chrome_trace_structure(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        tracer = Tracer(sinks=[MemorySink(), ChromeTraceSink(path)])
+        with tracer.span("outer"):
+            with tracer.span("inner", n=2):
+                pass
+        tracer.count("c", 1)
+        tracer.finish()
+
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        events = payload["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in slices} == {"outer", "inner"}
+        assert meta and meta[0]["name"] == "thread_name"
+        inner = next(e for e in slices if e["name"] == "inner")
+        outer = next(e for e in slices if e["name"] == "outer")
+        assert inner["args"]["n"] == 2
+        assert inner["cat"] == "inner" and outer["cat"] == "outer"
+        # the child slice lies within the parent slice on the timeline
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+        assert payload["otherData"]["counters"] == {"c": 1}
+
+    def test_chrome_trace_separates_process_lanes(self):
+        tracer = Tracer()
+        with tracer.span("parent") as top:
+            pass
+        fake_pid_snapshot = {
+            "pid": 99999,
+            "spans": [
+                {
+                    "name": "worker",
+                    "span_id": 0,
+                    "parent_id": None,
+                    "depth": 0,
+                    "start_wall": tracer.spans[0].start_wall,
+                    "wall_seconds": 0.01,
+                    "cpu_seconds": 0.01,
+                    "pid": 99999,
+                    "thread": "MainThread",
+                }
+            ],
+            "counters": {},
+            "gauges": {},
+        }
+        tracer.merge(fake_pid_snapshot, parent=top)
+        payload = chrome_trace_dict(tracer.spans)
+        pids = {e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) == 2
+
+
+class TestPipelineInstrumentation:
+    def test_detect_emits_span_tree(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            detect_races(figure4_trace())
+        names = {r.name for r in tracer.spans}
+        assert {"detect", "detect.closure", "detect.enumerate"} <= names
+        assert {"closure.graph", "closure.saturate", "closure.round"} <= names
+        assert tracer.counters["closure.builds"] == 1
+        assert tracer.counters["detect.races"] == 2
+
+    def test_instrumentation_never_changes_reports(self):
+        baseline = detect_races(figure4_trace())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = detect_races(figure4_trace())
+        assert [r.to_dict() for r in traced.races] == [
+            r.to_dict() for r in baseline.races
+        ]
+        assert traced.racy_pair_count == baseline.racy_pair_count
+
+    def test_analysis_seconds_span_derived_even_untraced(self):
+        report = detect_races(figure4_trace())
+        assert report.analysis_seconds > 0
+
+    def test_batch_analyzer_merges_worker_spans(self, tmp_path):
+        store = TraceStore(tmp_path)
+        app = paper_app("Music Player", scale=0.1)
+        for seed in range(3):
+            _, trace = app.run(seed=seed)
+            store.ingest(trace, app="Music Player")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            batch = BatchAnalyzer(store, cache=None, jobs=2).analyze()
+        assert not batch.errors()
+        per_trace = [r for r in tracer.spans if r.name == "corpus.trace"]
+        assert len(per_trace) == len(store)
+        (batch_record,) = [r for r in tracer.spans if r.name == "corpus.analyze"]
+        assert all(r.parent_id == batch_record.span_id for r in per_trace)
+        assert tracer.counters["corpus.traces"] == len(store)
+        # each worker's detect tree rode home inside its corpus.trace span
+        assert any(r.name == "detect" for r in tracer.spans)
+        assert batch.wall_seconds == batch_record.wall_seconds
+
+
+class TestCliSurface:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "music.jsonl"
+        app = paper_app("Music Player", scale=0.15)
+        _, trace = app.run(seed=5)
+        path.write_text(trace.to_jsonl())
+        return str(path)
+
+    def test_json_without_flags_byte_identical(self, trace_path, capsys):
+        assert main(["analyze", trace_path, "--json"]) == 0
+        out = capsys.readouterr().out
+        from repro.core.trace import ExecutionTrace
+
+        report = detect_races(ExecutionTrace.load(trace_path, name=trace_path))
+        expected = report_to_json(report)
+        # analysis_seconds varies run to run; compare everything else
+        got = json.loads(out)
+        want = json.loads(expected)
+        got.pop("analysis_seconds"), want.pop("analysis_seconds")
+        assert got == want
+        assert "metrics" not in got
+
+    def test_json_with_metrics_block(self, trace_path, capsys):
+        assert main(["analyze", trace_path, "--json", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        metrics = payload["metrics"]
+        assert metrics["counters"]["closure.builds"] == 1
+        span_names = {row["name"] for row in metrics["spans"]}
+        # the cli.analyze wrapper span is still open while the JSON is
+        # printed, so the metrics block holds the pipeline spans only
+        assert "detect" in span_names and "trace.load" in span_names
+        assert "cli.analyze" not in span_names
+        assert "-- metrics" in captured.err
+        assert "cli.analyze" in captured.err  # ...but the stderr table has it
+
+    def test_trace_out_valid_chrome_trace_with_coverage(
+        self, trace_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "pipeline.json"
+        assert main(["analyze", trace_path, "--trace-out", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        assert "pipeline trace written" in captured.err
+
+        payload = json.loads(out_path.read_text())
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert slices, "trace must contain complete events"
+        top = max(slices, key=lambda e: e["dur"])
+        assert top["name"] == "cli.analyze"
+        assert top["dur"] > 0
+        # the span tree must cover >= 90% of the measured command wall
+        # time: the top span's direct children account for the work
+        children = [
+            e for e in slices if e is not top and e["name"] in ("trace.load", "detect")
+        ]
+        covered = sum(e["dur"] for e in children)
+        assert covered >= 0.9 * top["dur"]
+        assert covered <= top["dur"] * 1.01
+
+    def test_metrics_never_changes_cli_report(self, trace_path, capsys):
+        assert main(["analyze", trace_path]) == 0
+        plain = capsys.readouterr().out
+        assert main(["analyze", trace_path, "--metrics"]) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+    def test_corpus_analyze_metrics_json(self, trace_path, tmp_path, capsys):
+        store_dir = str(tmp_path / "corpus")
+        assert main(["corpus", "ingest", trace_path, "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "corpus",
+                    "analyze",
+                    "--store",
+                    store_dir,
+                    "--json",
+                    "--metrics",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        metrics = payload["metrics"]
+        assert metrics["counters"]["corpus.traces"] == 1
+        span_names = {row["name"] for row in metrics["spans"]}
+        assert "corpus.analyze" in span_names
+        assert "corpus.trace" in span_names
+
+
+class TestDocsCheck:
+    def test_extractor_finds_only_runnable_droidracer_lines(self):
+        import pathlib
+        import sys
+
+        tools = str(pathlib.Path(__file__).resolve().parent.parent / "tools")
+        sys.path.insert(0, tools)
+        try:
+            from docs_check import REQUIRED_COVERAGE, extract_commands
+        finally:
+            sys.path.remove(tools)
+        markdown = "\n".join(
+            [
+                "```bash",
+                "droidracer run Browser --scale 0.2   # comment",
+                "pip install -e .",
+                "droidracer analyze <your-trace>.jsonl",
+                "droidracer table2 --scale 9 # docs-check: skip",
+                "```",
+                "```",
+                "droidracer explore messenger   (untagged block: ignored)",
+                "```",
+            ]
+        )
+        assert extract_commands(markdown) == ["droidracer run Browser --scale 0.2"]
+        assert "corpus ingest" in REQUIRED_COVERAGE
+
+    def test_repo_docs_cover_every_subcommand(self):
+        import pathlib
+        import sys
+
+        tools = str(pathlib.Path(__file__).resolve().parent.parent / "tools")
+        sys.path.insert(0, tools)
+        try:
+            from docs_check import DOCUMENTS, REPO, REQUIRED_COVERAGE, extract_commands
+        finally:
+            sys.path.remove(tools)
+        commands = []
+        for rel in DOCUMENTS:
+            commands.extend(
+                extract_commands((REPO / rel).read_text(encoding="utf-8"))
+            )
+        for sub in REQUIRED_COVERAGE:
+            assert any(
+                cmd.startswith("droidracer %s" % sub) for cmd in commands
+            ), "no documented example for %r" % sub

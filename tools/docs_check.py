@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Docs-check: keep the documented CLI examples runnable.
+
+Extracts every ```bash fenced block from ``README.md`` and ``docs/*.md``
+and executes each ``droidracer ...`` line in it (substituting the
+installed entry point with ``<python> -m repro.cli`` so the check needs
+no installation step).  Lines that do not start with ``droidracer`` —
+``pip install``, ``pytest``, comments — are ignored, as are lines
+containing ``<...>`` placeholders or an explicit ``# docs-check: skip``
+marker.
+
+Each document gets its own scratch working directory and its blocks run
+in file order, so examples may build on earlier examples *within* one
+document (``run --save-trace x.jsonl`` then ``analyze x.jsonl``) but
+never across documents — every file stays independently reproducible.
+
+Finally the check asserts *coverage*: every CLI subcommand must appear
+in at least one executed example, so a new subcommand without a
+documented, working invocation fails CI.
+
+Usage:
+
+    PYTHONPATH=src python tools/docs_check.py            # run everything
+    PYTHONPATH=src python tools/docs_check.py --list     # show the commands
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: Documents scanned, in order.
+DOCUMENTS = ["README.md"] + sorted(
+    str(p.relative_to(REPO)) for p in (REPO / "docs").glob("*.md")
+)
+
+#: Every subcommand must be exercised by at least one documented example.
+REQUIRED_COVERAGE = [
+    "table2",
+    "table3",
+    "performance",
+    "run",
+    "demo",
+    "explore",
+    "analyze",
+    "corpus ingest",
+    "corpus analyze",
+    "corpus report",
+]
+
+FENCE_RE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+PLACEHOLDER_RE = re.compile(r"<[^>]*>")
+SKIP_MARKER = "# docs-check: skip"
+
+
+def extract_commands(markdown: str):
+    """``droidracer ...`` lines from every ```bash block, in order."""
+    commands = []
+    for match in FENCE_RE.finditer(markdown):
+        for line in match.group(1).splitlines():
+            line = line.strip()
+            if not line.startswith("droidracer"):
+                continue
+            if SKIP_MARKER in line:
+                continue
+            line = line.split("#", 1)[0].rstrip()  # drop trailing comments
+            if PLACEHOLDER_RE.search(line):
+                continue
+            commands.append(line)
+    return commands
+
+
+def run_command(command: str, cwd: Path) -> float:
+    """Execute one documented line; returns its wall time, dies on failure."""
+    rewritten = command.replace(
+        "droidracer", "%s -m repro.cli" % shlex.quote(sys.executable), 1
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        rewritten,
+        shell=True,
+        cwd=str(cwd),
+        capture_output=True,
+        text=True,
+        env=dict(PYTHONPATH=str(SRC), PATH="/usr/bin:/bin:/usr/local/bin"),
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(
+            "docs-check FAILED (exit %d): %s\n--- stdout ---\n%s\n"
+            "--- stderr ---\n%s\n" % (proc.returncode, command, proc.stdout, proc.stderr)
+        )
+        raise SystemExit(1)
+    return elapsed
+
+
+def main(argv) -> int:
+    list_only = "--list" in argv
+    per_doc = {}
+    for rel in DOCUMENTS:
+        path = REPO / rel
+        per_doc[rel] = extract_commands(path.read_text(encoding="utf-8"))
+
+    executed = []
+    for rel, commands in per_doc.items():
+        if not commands:
+            continue
+        print("== %s (%d commands)" % (rel, len(commands)))
+        if list_only:
+            for command in commands:
+                print("   %s" % command)
+            executed.extend(commands)
+            continue
+        with tempfile.TemporaryDirectory(prefix="docs-check-") as scratch:
+            for command in commands:
+                elapsed = run_command(command, Path(scratch))
+                print("   ok %5.1fs  %s" % (elapsed, command))
+                executed.append(command)
+
+    missing = [
+        sub
+        for sub in REQUIRED_COVERAGE
+        if not any(cmd.startswith("droidracer %s" % sub) for cmd in executed)
+    ]
+    if missing:
+        sys.stderr.write(
+            "docs-check FAILED: no documented example for: %s\n"
+            % ", ".join(missing)
+        )
+        return 1
+    print(
+        "docs-check OK: %d documented commands%s, all %d subcommands covered"
+        % (
+            len(executed),
+            " listed" if list_only else " executed",
+            len(REQUIRED_COVERAGE),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
