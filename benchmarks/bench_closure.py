@@ -38,8 +38,18 @@ smoke runs use second-sized traces: ``--smoke`` asserts the incremental
 path is not slower than the full sweep, ``--reachability-smoke`` asserts
 the chains backend is bit-identical to bitmask on a mid-size ladder and
 stays within 2x of its O(n·C) memory budget.
+
+When a run-history directory is configured (``--history DIR`` or
+``$DROIDRACER_HISTORY``, see ``docs/observability.md``), every sweep
+additionally appends a :class:`repro.obs.RunRecord` — command
+``bench.closure`` / ``bench.reachability`` — whose ``extra["payload"]``
+on full runs is the exact result document above, making the committed
+``BENCH_*.json`` files derived views (``droidracer obs history
+--export-bench``).  Without a history dir the script writes exactly
+what it always wrote.
 """
 
+import hashlib
 import json
 import pathlib
 import subprocess
@@ -58,7 +68,14 @@ from repro.core import (  # noqa: E402
     detect_races,
 )
 from repro.core.race_detector import ENUM_BATCHED, ENUM_PAIRWISE  # noqa: E402
-from repro.obs import Tracer  # noqa: E402
+from repro.obs import (  # noqa: E402
+    HistoryStore,
+    RunRecord,
+    Tracer,
+    combine_digests,
+    report_digest,
+    resolve_history_dir,
+)
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
 
@@ -86,6 +103,55 @@ MIN_MEMORY_RATIO = 5.0
 #: twice this envelope means the O(n·C) bound is broken in practice.
 def _chains_budget_bytes(nodes, chains):
     return nodes * (4 * chains + 256)
+
+
+def _parse_history(argv):
+    """Split ``--history DIR`` out of ``argv``; fall back to
+    ``$DROIDRACER_HISTORY``.  Returns ``(store_or_None, rest_argv)`` —
+    with no history configured the script stays inert (no store is
+    constructed, nothing extra is written)."""
+    rest = []
+    explicit = None
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--history" and i + 1 < len(argv):
+            explicit = argv[i + 1]
+            i += 2
+            continue
+        rest.append(argv[i])
+        i += 1
+    history_dir = resolve_history_dir(explicit)
+    return (HistoryStore(history_dir) if history_dir else None), rest
+
+
+def _span_row(name, seconds, count):
+    """A synthetic ``aggregate_spans``-shaped row: benchmark timings are
+    best-of minima, not live span trees, so the record carries them as
+    pre-aggregated rows the regression gate can diff by name."""
+    return {
+        "name": name,
+        "count": count,
+        "wall_seconds": seconds,
+        "cpu_seconds": 0.0,
+        "self_seconds": seconds,
+        "errors": 0,
+    }
+
+
+def _append_record(store, record):
+    store.append(record)
+    print(
+        "history: run record %s appended to %s" % (record.run_id[:12], store.root),
+        file=sys.stderr,
+    )
+
+
+def _config_digest(descriptor):
+    """Digest of the sweep's workload descriptor — the benchmark
+    analogue of ``DetectorConfig.digest()``: smoke and full sweeps get
+    distinct history keys because their workloads are incomparable."""
+    blob = json.dumps(descriptor, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def _best_of(runs, fn, label="bench.run"):
@@ -302,13 +368,19 @@ def _check_handoff_counterexample():
             )
 
 
-def run_reachability(smoke):
+def run_reachability(smoke, history=None):
     if smoke:
         _check_handoff_counterexample()
         levels, width, body = REACH_SMOKE_SIZE
         trace = ladder_trace(levels, width, body=body)
-        hb_bit = HappensBefore(trace, backend=BACKEND_BITMASK)
-        hb_chain = HappensBefore(trace, backend=BACKEND_CHAINS)
+        bit_secs, hb_bit = _best_of(
+            3, lambda: HappensBefore(trace, backend=BACKEND_BITMASK),
+            label="bench.backend.bitmask",
+        )
+        chain_secs, hb_chain = _best_of(
+            3, lambda: HappensBefore(trace, backend=BACKEND_CHAINS),
+            label="bench.backend.chains",
+        )
         assert _stat_key(hb_bit.stats) == _stat_key(hb_chain.stats), (
             "rule statistics diverge between backends on the smoke ladder"
         )
@@ -334,6 +406,43 @@ def run_reachability(smoke):
             "%.0f KB of %.0f KB budget" % (n, hb_chain.stats.chain_count,
                                            used / 1024.0, 2 * budget / 1024.0)
         )
+        if history is not None:
+            descriptor = {
+                "benchmark": "reachability-backends",
+                "mode": "smoke",
+                "sizes": [list(REACH_SMOKE_SIZE)],
+            }
+            _append_record(
+                history,
+                RunRecord(
+                    command="bench.reachability",
+                    trace_digest=combine_digests(
+                        ["ladder:%d:%d:%d" % REACH_SMOKE_SIZE]
+                    ),
+                    config_digest=_config_digest(descriptor),
+                    app="ladder",
+                    trace_name="reachability smoke",
+                    trace_count=1,
+                    trace_length=len(trace),
+                    backend=BACKEND_CHAINS,
+                    report_digest=report_digest(
+                        {
+                            "nodes": n,
+                            "chains": hb_chain.stats.chain_count,
+                            "stat_key": list(_stat_key(hb_bit.stats)),
+                            "races": _report_key(rep_bit),
+                        }
+                    ),
+                    race_count=len(rep_bit.races),
+                    racy_pairs=rep_bit.racy_pair_count,
+                    spans=[
+                        _span_row("bench.backend.bitmask", bit_secs, 1),
+                        _span_row("bench.backend.chains", chain_secs, 1),
+                    ],
+                    gauges={"closure.memory_bytes": used},
+                    extra=descriptor,
+                ),
+            )
         return 0
 
     rows = []
@@ -367,27 +476,78 @@ def run_reachability(smoke):
     )
     RESULTS.mkdir(exist_ok=True)
     out = RESULTS / "BENCH_reachability.json"
-    out.write_text(
-        json.dumps(
-            {
-                "benchmark": "reachability-backends",
-                "trace_family": "repro.apps.ladder",
-                "min_memory_ratio_floor": MIN_MEMORY_RATIO,
-                "configs": rows,
-                "largest_memory_ratio": largest["memory_ratio"],
-                "largest_time_ratio": largest["time_ratio"],
-            },
-            indent=2,
-        )
-        + "\n"
-    )
+    doc = {
+        "benchmark": "reachability-backends",
+        "trace_family": "repro.apps.ladder",
+        "min_memory_ratio_floor": MIN_MEMORY_RATIO,
+        "configs": rows,
+        "largest_memory_ratio": largest["memory_ratio"],
+        "largest_time_ratio": largest["time_ratio"],
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
     print("wrote %s" % out)
+    if history is not None:
+        descriptor = {
+            "benchmark": "reachability-backends",
+            "mode": "full",
+            "sizes": [list(size) for size in REACH_SIZES],
+        }
+        _append_record(
+            history,
+            RunRecord(
+                command="bench.reachability",
+                trace_digest=combine_digests(
+                    "ladder:%d:%d:%d" % tuple(size) for size in REACH_SIZES
+                ),
+                config_digest=_config_digest(descriptor),
+                app="ladder",
+                trace_name="reachability sweep",
+                trace_count=len(rows),
+                trace_length=sum(r["trace_length"] for r in rows),
+                backend=BACKEND_CHAINS,
+                report_digest=report_digest(
+                    {
+                        "configs": [
+                            {
+                                k: row[k]
+                                for k in (
+                                    "levels", "width", "body",
+                                    "trace_length", "nodes", "chains",
+                                    "outer_rounds",
+                                )
+                            }
+                            for row in rows
+                        ]
+                    }
+                ),
+                spans=[
+                    _span_row(
+                        "bench.backend.bitmask",
+                        sum(r["bitmask"]["seconds"] for r in rows),
+                        len(rows),
+                    ),
+                    _span_row(
+                        "bench.backend.chains",
+                        sum(r["chains_backend"]["seconds"] for r in rows),
+                        len(rows),
+                    ),
+                ],
+                gauges={
+                    "closure.memory_bytes": largest["chains_backend"][
+                        "closure_memory_bytes"
+                    ],
+                    "bench.memory_ratio": largest["memory_ratio"],
+                },
+                extra={"payload": doc, **descriptor},
+            ),
+        )
     return 0
 
 
 def main(argv):
+    history, argv = _parse_history(argv)
     if "--reachability" in argv or "--reachability-smoke" in argv:
-        return run_reachability("--reachability-smoke" in argv)
+        return run_reachability("--reachability-smoke" in argv, history=history)
     smoke = "--smoke" in argv
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     runs = 3 if smoke else 1
@@ -423,6 +583,10 @@ def main(argv):
             <= largest["saturation"]["full_seconds"]
         ), "incremental saturation slower than full on the smoke trace"
         print("smoke OK: incremental not slower than full")
+        if history is not None:
+            _append_record(
+                history, _saturation_record(rows, sizes, mode="smoke")
+            )
         return 0
 
     assert largest["saturation"]["speedup"] >= MIN_SPEEDUP, (
@@ -431,22 +595,92 @@ def main(argv):
     )
     RESULTS.mkdir(exist_ok=True)
     out = RESULTS / "BENCH_closure.json"
-    out.write_text(
-        json.dumps(
-            {
-                "benchmark": "closure-engine",
-                "trace_family": "repro.apps.ladder",
-                "min_speedup_floor": MIN_SPEEDUP,
-                "configs": rows,
-                "largest_saturation_speedup": largest["saturation"]["speedup"],
-                "largest_detection_speedup": largest["detection"]["speedup"],
-            },
-            indent=2,
-        )
-        + "\n"
-    )
+    doc = {
+        "benchmark": "closure-engine",
+        "trace_family": "repro.apps.ladder",
+        "min_speedup_floor": MIN_SPEEDUP,
+        "configs": rows,
+        "largest_saturation_speedup": largest["saturation"]["speedup"],
+        "largest_detection_speedup": largest["detection"]["speedup"],
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
     print("wrote %s" % out)
+    if history is not None:
+        _append_record(
+            history, _saturation_record(rows, sizes, mode="full", payload=doc)
+        )
     return 0
+
+
+def _saturation_record(rows, sizes, mode, payload=None):
+    """The saturation sweep as one :class:`RunRecord`: per-measure
+    best-of timings become aggregate span rows, the per-config race
+    counts and closure statistics become the correctness digest, and a
+    full run's entire result document rides in ``extra["payload"]`` so
+    ``BENCH_closure.json`` is a derived view of the store."""
+    descriptor = {
+        "benchmark": "closure-engine",
+        "mode": mode,
+        "sizes": [list(size) for size in sizes],
+    }
+    extra = dict(descriptor)
+    if payload is not None:
+        extra["payload"] = payload
+    return RunRecord(
+        command="bench.closure",
+        trace_digest=combine_digests(
+            "ladder:%d:%d" % tuple(size) for size in sizes
+        ),
+        config_digest=_config_digest(descriptor),
+        app="ladder",
+        trace_name="saturation sweep",
+        trace_count=len(rows),
+        trace_length=sum(r["trace_length"] for r in rows),
+        saturation=SAT_INCREMENTAL,
+        enumeration=ENUM_BATCHED,
+        report_digest=report_digest(
+            {
+                "configs": [
+                    {
+                        k: row[k]
+                        for k in (
+                            "levels", "width", "trace_length",
+                            "nodes", "outer_rounds", "races",
+                        )
+                    }
+                    for row in rows
+                ]
+            }
+        ),
+        race_count=sum(r["races"] for r in rows),
+        spans=[
+            _span_row(
+                "bench.saturation.full",
+                sum(r["saturation"]["full_seconds"] for r in rows),
+                len(rows),
+            ),
+            _span_row(
+                "bench.saturation.incremental",
+                sum(r["saturation"]["incremental_seconds"] for r in rows),
+                len(rows),
+            ),
+            _span_row(
+                "bench.detection.full_pairwise",
+                sum(r["detection"]["full_pairwise_seconds"] for r in rows),
+                len(rows),
+            ),
+            _span_row(
+                "bench.detection.incremental_batched",
+                sum(r["detection"]["incremental_batched_seconds"] for r in rows),
+                len(rows),
+            ),
+        ],
+        gauges={
+            "bench.saturation_speedup": rows[-1]["saturation"]["speedup"],
+            "bench.detection_speedup": rows[-1]["detection"]["speedup"],
+        },
+        extra=extra,
+    )
 
 
 if __name__ == "__main__":

@@ -11,6 +11,13 @@ then measures:
 Parallel speedup depends on available cores (a 1-core container shows
 none — the numbers are published either way); the cache speedup
 assertion is hardware-independent.
+
+When ``$DROIDRACER_HISTORY`` names a run-history directory (see
+``docs/observability.md``), the throughput benchmark appends one
+``bench.corpus`` :class:`repro.obs.RunRecord` per jobs setting so batch
+wall clock and per-trace race counts accumulate in the same store the
+``droidracer obs`` tooling gates and charts.  Unset (the default), the
+benchmark writes nothing beyond its published tables.
 """
 
 import pytest
@@ -18,12 +25,73 @@ import pytest
 from conftest import publish
 from repro.apps.specs import OPEN_SOURCE_SPECS
 from repro.apps.synthetic import SyntheticApp
+from repro.core.happens_before import SAT_INCREMENTAL
+from repro.core.race_detector import ENUM_BATCHED
 from repro.corpus import BatchAnalyzer, ResultCache, TraceStore, aggregate
-from repro.obs import Tracer, use_tracer
+from repro.obs import (
+    HistoryStore,
+    RunRecord,
+    Tracer,
+    aggregate_spans,
+    combine_digests,
+    report_digest,
+    resolve_history_dir,
+    use_tracer,
+)
 
 SUBJECTS = 4
 SEEDS = 6
 SCALE = 0.1
+
+
+def _maybe_record_history(analyzer, batch, tracer, jobs):
+    """Append one ``bench.corpus`` run record when a history dir is
+    configured (``$DROIDRACER_HISTORY``); inert otherwise.  Mirrors the
+    multi-trace record shape ``droidracer corpus analyze`` emits, so CLI
+    batches and this benchmark land on comparable records."""
+    history_dir = resolve_history_dir(None)
+    if not history_dir:
+        return
+    config = analyzer.config
+    entries = [
+        (result.entry.digest, result.report.to_dict())
+        for result in batch.results
+        if result.report is not None
+    ]
+    if not entries:
+        return
+    reports = [report for _, report in entries]
+    per_category = {}
+    for report in reports:
+        for race in report.get("races", ()):
+            category = race.get("category", "?")
+            per_category[category] = per_category.get(category, 0) + 1
+    HistoryStore(history_dir).append(
+        RunRecord(
+            command="bench.corpus",
+            trace_digest=combine_digests(digest for digest, _ in entries),
+            config_digest=config.digest(),
+            app="corpus",
+            trace_name="corpus throughput (jobs=%d)" % jobs,
+            trace_count=len(entries),
+            trace_length=sum(r["trace_length"] for r in reports),
+            backend=config.backend,
+            saturation=SAT_INCREMENTAL,
+            enumeration=ENUM_BATCHED,
+            coalesce=config.coalesce,
+            report_digest=combine_digests(
+                "%s:%s" % (digest, report_digest(report))
+                for digest, report in entries
+            ),
+            race_count=sum(len(r["races"]) for r in reports),
+            racy_pairs=sum(r["racy_pair_count"] for r in reports),
+            per_category=per_category,
+            spans=aggregate_spans(tracer.spans),
+            counters=dict(tracer.counters),
+            gauges=dict(tracer.gauges),
+            extra={"jobs": jobs, "parallel": batch.parallel},
+        )
+    )
 
 
 @pytest.fixture(scope="module")
@@ -47,11 +115,13 @@ def test_batch_throughput(corpus_root):
     timings = []
     for jobs in (1, 4):
         tracer = Tracer()
+        analyzer = BatchAnalyzer(store, cache=None, jobs=jobs)
         with use_tracer(tracer):
-            batch = BatchAnalyzer(store, cache=None, jobs=jobs).analyze()
+            batch = analyzer.analyze()
         assert not batch.errors()
         (span,) = [s for s in tracer.spans if s.name == "corpus.analyze"]
         timings.append((jobs, batch.parallel, len(batch.results), span.wall_seconds))
+        _maybe_record_history(analyzer, batch, tracer, jobs)
     lines = [
         "%6s | %8s | %7s | %10s | %12s"
         % ("jobs", "mode", "traces", "wall (s)", "traces/sec"),

@@ -11,13 +11,20 @@ Subcommands mirror the tool's workflow:
 * ``droidracer analyze <trace.jsonl>`` — offline detection on a trace file;
 * ``droidracer corpus ingest|analyze|report`` — the persistent trace
   corpus: content-addressed store, parallel cached batch analysis, and
-  corpus-level aggregated race reports.
+  corpus-level aggregated race reports;
+* ``droidracer obs history|compare|gate|dashboard`` — the run-history
+  store: list recorded runs, diff two runs span by span, gate on
+  correctness/performance drift, render a static HTML dashboard.
 
-Observability (``run``, ``analyze``, ``corpus analyze``; see
-``docs/observability.md``): ``--metrics`` prints a per-span summary
-table to stderr, ``--trace-out FILE`` writes Chrome ``trace_event``
-JSON for ``chrome://tracing`` / Perfetto, and ``--json`` reports gain a
-``metrics`` block whenever either flag is active.  Instrumentation
+Observability (``run``, ``demo``, ``explore``, ``analyze``, ``corpus
+analyze``, and the table commands; see ``docs/observability.md``):
+``--metrics`` prints a per-span summary table to stderr, ``--trace-out
+FILE`` writes Chrome ``trace_event`` JSON for ``chrome://tracing`` /
+Perfetto, and ``--json`` reports gain a ``metrics`` block whenever
+either flag is active.  ``--history DIR`` (default:
+``$DROIDRACER_HISTORY``) appends a structured ``RunRecord`` for the
+invocation to a persistent store — with no history dir configured
+nothing is written and reports are byte-identical.  Instrumentation
 never changes race reports.
 """
 
@@ -88,6 +95,20 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         help="write the pipeline's span tree as Chrome trace_event JSON "
         "(open in chrome://tracing or https://ui.perfetto.dev)",
     )
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        help="append a RunRecord for this invocation to the run-history "
+        "store at DIR (default: $DROIDRACER_HISTORY; unset = no recording)",
+    )
+
+
+def _add_history(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        help="run-history store directory (default: $DROIDRACER_HISTORY)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -105,6 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             help="only the 10 open-source subjects",
         )
         _add_scale(p)
+        _add_obs(p)
 
     p_run = sub.add_parser("run", help="run one calibrated subject")
     p_run.add_argument("app", choices=sorted(SPEC_BY_NAME))
@@ -128,6 +150,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_demo.add_argument("--events", nargs="*", default=None, metavar="EVENT",
                         help="event keys to fire (default: every enabled click)")
     p_demo.add_argument("--save-trace", metavar="PATH")
+    _add_obs(p_demo)
 
     p_explore = sub.add_parser("explore", help="systematically explore a demo app")
     p_explore.add_argument("app", choices=sorted(DEMO_APPS))
@@ -139,6 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also ingest every generated trace into this corpus store",
     )
+    _add_obs(p_explore)
 
     p_analyze = sub.add_parser("analyze", help="detect races in a trace file (JSONL)")
     p_analyze.add_argument("trace", help="path to a trace in JSONL format")
@@ -198,16 +222,107 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_creport.add_argument("--json", action="store_true")
     _add_backend(p_creport)
 
+    p_obs = sub.add_parser(
+        "obs", help="run-history store: list, compare, gate, dashboard"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_ohistory = obs_sub.add_parser("history", help="list recorded runs")
+    _add_history(p_ohistory)
+    p_ohistory.add_argument(
+        "--command",
+        dest="command_filter",
+        metavar="CMD",
+        help="only runs of this command (run, analyze, corpus.analyze, ...)",
+    )
+    p_ohistory.add_argument("--app", help="only runs of this app")
+    p_ohistory.add_argument(
+        "--limit", type=int, default=0, metavar="N", help="newest N runs only"
+    )
+    p_ohistory.add_argument("--json", action="store_true")
+    p_ohistory.add_argument(
+        "--export-bench",
+        metavar="DIR",
+        help="write the BENCH_*.json files to DIR as derived views of the "
+        "latest recorded benchmark runs",
+    )
+
+    p_ocompare = obs_sub.add_parser(
+        "compare", help="span-by-span diff of two recorded runs"
+    )
+    p_ocompare.add_argument("a", help="run id prefix or 1-based position")
+    p_ocompare.add_argument("b", help="run id prefix or 1-based position")
+    p_ocompare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        metavar="FRAC",
+        help="wall-time noise band (default: %(default)s = ±20%%)",
+    )
+    p_ocompare.add_argument("--json", action="store_true")
+    _add_history(p_ocompare)
+
+    p_ogate = obs_sub.add_parser(
+        "gate",
+        help="exit non-zero on correctness drift or performance regression",
+    )
+    _add_history(p_ogate)
+    p_ogate.add_argument(
+        "--baseline",
+        metavar="DIR",
+        help="baseline history store to gate against (default: self-check "
+        "the --history store's internal consistency)",
+    )
+    p_ogate.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="allowed span slowdown as a fraction (default: %(default)s "
+        "= +50%%)",
+    )
+    p_ogate.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="ignore spans whose baseline wall time is below S "
+        "(default: %(default)s)",
+    )
+    p_ogate.add_argument("--json", action="store_true")
+
+    p_odash = obs_sub.add_parser(
+        "dashboard", help="render the store as a self-contained HTML page"
+    )
+    _add_history(p_odash)
+    p_odash.add_argument(
+        "--out",
+        default="droidracer-dashboard.html",
+        metavar="FILE",
+        help="output path (default: %(default)s)",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "obs":
+        return _obs_main(args)
 
     metrics = getattr(args, "metrics", False)
     trace_out = getattr(args, "trace_out", None)
-    if not (metrics or trace_out):
+    history_dir = None
+    if hasattr(args, "metrics"):  # only obs-capable subcommands record
+        from repro.obs import resolve_history_dir
+
+        history_dir = resolve_history_dir(getattr(args, "history", None))
+    if not (metrics or trace_out or history_dir):
         return _dispatch(args)
 
     # Observability requested: run the whole command under a real tracer
     # inside one top-level span (so the exported Chrome trace covers the
-    # full command wall time), then flush the sinks.
+    # full command wall time), then flush the sinks.  A configured
+    # history dir needs the tracer too (RunRecords carry the span
+    # aggregates) but adds no sink — stdout/stderr stay untouched until
+    # the record is appended.
     from repro.obs import ChromeTraceSink, MemorySink, SummarySink, Tracer, use_tracer
 
     sinks: list = [MemorySink()]
@@ -219,16 +334,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     command = args.command
     if command == "corpus":
         command = "corpus.%s" % args.corpus_command
+    if history_dir:
+        args._history_notes = []
     with use_tracer(tracer):
         with tracer.span("cli.%s" % command):
             code = _dispatch(args)
     tracer.finish()
     if trace_out:
         print("pipeline trace written to %s" % trace_out, file=sys.stderr)
+    if history_dir and code == 0 and getattr(args, "_history_notes", None):
+        appended = _record_history(
+            history_dir, command, args._history_notes, tracer
+        )
+        print(
+            "history: %d run record(s) appended to %s" % (appended, history_dir),
+            file=sys.stderr,
+        )
     return code
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    notes = getattr(args, "_history_notes", None)
+
     if args.command in ("table2", "table3", "performance"):
         specs = OPEN_SOURCE_SPECS if args.open_source_only else ALL_SPECS
         results = run_all(specs, scale=args.scale, seed=args.seed)
@@ -238,6 +365,21 @@ def _dispatch(args: argparse.Namespace) -> int:
             "performance": render_performance,
         }[args.command]
         print(renderer(results))
+        if notes is not None:
+            from repro.core.race_detector import DetectorConfig
+
+            for result in results:
+                notes.append(
+                    {
+                        "kind": "report",
+                        "app": result.spec.name,
+                        "trace_name": result.trace.name,
+                        "trace_digest": result.trace.canonical_digest(),
+                        "report": result.report.to_dict(),
+                        "config": DetectorConfig(),
+                        "span_root_app": result.spec.name,
+                    }
+                )
         return 0
 
     if args.command == "run":
@@ -248,8 +390,21 @@ def _dispatch(args: argparse.Namespace) -> int:
                 handle.write(trace.to_jsonl())
             print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
         report = detect_races(trace, backend=args.backend)
+        if notes is not None:
+            from repro.core.race_detector import DetectorConfig
+
+            notes.append(
+                {
+                    "kind": "report",
+                    "app": args.app,
+                    "trace_name": trace.name,
+                    "trace_digest": trace.canonical_digest(),
+                    "report": report.to_dict(),
+                    "config": DetectorConfig(backend=args.backend),
+                }
+            )
         if args.json:
-            print(_report_json(report))
+            print(_report_json(report, args))
             return 0
         print(report.summary())
         for race in report.races:
@@ -286,6 +441,19 @@ def _dispatch(args: argparse.Namespace) -> int:
                 handle.write(trace.to_jsonl())
             print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
         report = detect_races(trace)
+        if notes is not None:
+            from repro.core.race_detector import DetectorConfig
+
+            notes.append(
+                {
+                    "kind": "report",
+                    "app": args.app,
+                    "trace_name": trace.name,
+                    "trace_digest": trace.canonical_digest(),
+                    "report": report.to_dict(),
+                    "config": DetectorConfig(),
+                }
+            )
         print(report.summary())
         for race in report.races:
             print("  ", race)
@@ -312,11 +480,30 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(
                 "corpus %s now holds %d trace(s)" % (args.store, len(trace_store))
             )
+        entries = []
         for run in result.store.runs:
             report = detect_races(run.trace)
+            if notes is not None:
+                entries.append(
+                    {
+                        "trace_digest": run.trace.canonical_digest(),
+                        "report": report.to_dict(),
+                    }
+                )
             print("  %s -> %s" % (run.describe(), report.summary()))
             for race in report.races:
                 print("      ", race)
+        if notes is not None and entries:
+            from repro.core.race_detector import DetectorConfig
+
+            notes.append(
+                {
+                    "kind": "multi",
+                    "app": args.app,
+                    "entries": entries,
+                    "config": DetectorConfig(),
+                }
+            )
         return 0
 
     if args.command == "analyze":
@@ -330,8 +517,20 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 1
         detector = RaceDetector(trace, backend=args.backend)
         report = detector.detect()
+        if notes is not None:
+            from repro.core.race_detector import DetectorConfig
+
+            notes.append(
+                {
+                    "kind": "report",
+                    "trace_name": trace.name,
+                    "trace_digest": trace.canonical_digest(),
+                    "report": report.to_dict(),
+                    "config": DetectorConfig(backend=args.backend),
+                }
+            )
         if args.json:
-            print(_report_json(report))
+            print(_report_json(report, args))
             return 0
         print(report.summary())
         for race in report.races:
@@ -348,17 +547,28 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 1
 
 
-def _report_json(report) -> str:
+def _want_metrics_block(args: argparse.Namespace) -> bool:
+    """The ``metrics`` block rides in ``--json`` reports only when the
+    user explicitly asked for instrumentation output.  ``--history``
+    alone also runs under a tracer, but recording a run must keep the
+    report byte-identical — the history store is a side channel, not a
+    report change."""
+    return bool(
+        getattr(args, "metrics", False) or getattr(args, "trace_out", None)
+    )
+
+
+def _report_json(report, args: argparse.Namespace) -> str:
     """One trace's report as JSON — byte-identical to the historical
-    ``report_to_json`` output unless observability is on, in which case a
-    ``metrics`` block (span/counter aggregates) is added."""
+    ``report_to_json`` output unless ``--metrics``/``--trace-out`` is
+    on, in which case a ``metrics`` block (span/counter aggregates) is
+    added."""
     from repro.corpus import report_to_json
     from repro.obs import current_tracer
 
-    tracer = current_tracer()
-    if not tracer.enabled:
+    if not _want_metrics_block(args) or not current_tracer().enabled:
         return report_to_json(report)
-    payload = dict(report.to_dict(), metrics=tracer.metrics_dict())
+    payload = dict(report.to_dict(), metrics=current_tracer().metrics_dict())
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -408,12 +618,25 @@ def _corpus_main(args: argparse.Namespace) -> int:
     batch = analyzer.analyze()
     corpus_report = aggregate(batch)
 
+    notes = getattr(args, "_history_notes", None)
+    if notes is not None and args.corpus_command == "analyze":
+        entries = [
+            {
+                "trace_digest": result.entry.digest,
+                "report": result.report.to_dict(),
+            }
+            for result in batch.results
+            if result.report is not None
+        ]
+        if entries:
+            notes.append({"kind": "multi", "entries": entries, "config": config})
+
     if args.corpus_command == "analyze":
         if args.json:
             from repro.obs import current_tracer
 
             payload = corpus_report.to_dict()
-            if current_tracer().enabled:
+            if _want_metrics_block(args) and current_tracer().enabled:
                 payload["metrics"] = current_tracer().metrics_dict()
             payload["traces"] = [
                 {
@@ -439,6 +662,234 @@ def _corpus_main(args: argparse.Namespace) -> int:
     else:
         print(corpus_report.render())
     return 0
+
+
+def _per_category(reports: List[dict]) -> dict:
+    counts: dict = {}
+    for report in reports:
+        for race in report.get("races", ()):
+            category = race.get("category", "?")
+            counts[category] = counts.get(category, 0) + 1
+    return counts
+
+
+def _record_history(history_dir: str, command: str, notes, tracer) -> int:
+    """Turn the dispatch's history notes into appended ``RunRecord``\\ s.
+
+    Single-report commands (``run``, ``demo``, ``analyze``) get one
+    record carrying the whole run's span aggregates and counters;
+    table commands get one record per app with that app's ``bench.app``
+    span subtree; multi-trace commands (``explore``,
+    ``corpus.analyze``) get one combined record whose digests are
+    order-independent combinations of the per-trace digests.
+    """
+    from repro.core.happens_before import SAT_INCREMENTAL
+    from repro.core.race_detector import ENUM_BATCHED
+    from repro.obs import (
+        HistoryStore,
+        RunRecord,
+        aggregate_spans,
+        combine_digests,
+        report_digest,
+        subtree_spans,
+    )
+
+    store = HistoryStore(history_dir)
+    all_spans = tracer.spans
+    full_rows = aggregate_spans(all_spans)
+    per_app = sum(1 for note in notes if note["kind"] == "report") > 1
+    appended = 0
+    for note in notes:
+        config = note["config"]
+        if note["kind"] == "multi":
+            entries = note["entries"]
+            reports = [entry["report"] for entry in entries]
+            record = RunRecord(
+                command=command,
+                trace_digest=combine_digests(
+                    entry["trace_digest"] for entry in entries
+                ),
+                config_digest=config.digest(),
+                app=note.get("app"),
+                trace_count=len(entries),
+                trace_length=sum(r["trace_length"] for r in reports),
+                backend=config.backend,
+                saturation=SAT_INCREMENTAL,
+                enumeration=ENUM_BATCHED,
+                coalesce=config.coalesce,
+                report_digest=combine_digests(
+                    "%s:%s" % (entry["trace_digest"], report_digest(entry["report"]))
+                    for entry in entries
+                ),
+                race_count=sum(len(r["races"]) for r in reports),
+                racy_pairs=sum(r["racy_pair_count"] for r in reports),
+                per_category=_per_category(reports),
+                spans=full_rows,
+                counters=dict(tracer.counters),
+                gauges=dict(tracer.gauges),
+            )
+        else:
+            report = note["report"]
+            closure = dict(report.get("closure") or {})
+            closure["nodes"] = report["node_count"]
+            closure["reduction_ratio"] = report["reduction_ratio"]
+            rows = full_rows
+            counters = dict(tracer.counters)
+            gauges = dict(tracer.gauges)
+            if per_app:
+                # A table run analyzes many apps under one tracer:
+                # attribute only this app's bench.app subtree, and skip
+                # the run-wide counters (they would repeat per record).
+                root = next(
+                    (
+                        s
+                        for s in all_spans
+                        if s.name == "bench.app"
+                        and s.attrs.get("app") == note.get("span_root_app")
+                    ),
+                    None,
+                )
+                rows = (
+                    aggregate_spans(subtree_spans(all_spans, root.span_id))
+                    if root is not None
+                    else []
+                )
+                counters, gauges = {}, {}
+            record = RunRecord(
+                command=command,
+                trace_digest=note["trace_digest"],
+                config_digest=config.digest(),
+                app=note.get("app"),
+                trace_name=note.get("trace_name"),
+                trace_count=1,
+                trace_length=report["trace_length"],
+                backend=config.backend,
+                saturation=SAT_INCREMENTAL,
+                enumeration=ENUM_BATCHED,
+                coalesce=config.coalesce,
+                closure=closure,
+                report_digest=report_digest(report),
+                race_count=len(report["races"]),
+                racy_pairs=report["racy_pair_count"],
+                per_category=_per_category([report]),
+                spans=rows,
+                counters=counters,
+                gauges=gauges,
+            )
+        store.append(record)
+        appended += 1
+    return appended
+
+
+def _obs_main(args: argparse.Namespace) -> int:
+    """The ``droidracer obs`` subcommand family (read-only over the
+    store, except ``dashboard``/``--export-bench`` which write derived
+    views)."""
+    from repro.obs import (
+        HistoryStore,
+        compare,
+        export_bench,
+        gate,
+        resolve_history_dir,
+        write_dashboard,
+    )
+    from repro.obs.history import RunRecordError
+
+    history_dir = resolve_history_dir(getattr(args, "history", None))
+    if not history_dir:
+        print(
+            "no history store configured: pass --history DIR or set "
+            "$DROIDRACER_HISTORY",
+            file=sys.stderr,
+        )
+        return 1
+    store = HistoryStore(history_dir)
+
+    if args.obs_command == "history":
+        if args.export_bench:
+            written = export_bench(store, args.export_bench)
+            for path in written:
+                print("wrote %s" % path)
+            if not written:
+                print(
+                    "no benchmark runs recorded in %s — run "
+                    "benchmarks/bench_closure.py with the history dir set"
+                    % history_dir,
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+        records = store.records(
+            command=getattr(args, "command_filter", None), app=args.app
+        )
+        if args.limit:
+            records = records[-args.limit :]
+        if args.json:
+            print(
+                json.dumps(
+                    [record.to_dict() for record in records],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        if not records:
+            print("history %s holds no matching runs" % history_dir)
+            return 0
+        print(
+            "%-13s %-16s %-24s %-8s %s"
+            % ("run", "command", "subject", "backend", "races")
+        )
+        for record in records:
+            print(record.describe())
+        return 0
+
+    if args.obs_command == "compare":
+        try:
+            base = store.resolve(args.a)
+            current = store.resolve(args.b)
+        except RunRecordError as exc:
+            print("obs compare: %s" % exc, file=sys.stderr)
+            return 1
+        comparison = compare(base, current, tolerance=args.tolerance)
+        if args.json:
+            print(json.dumps(comparison.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(comparison.render())
+        return 0
+
+    if args.obs_command == "gate":
+        current = store.records()
+        if not current:
+            print("history %s is empty" % history_dir, file=sys.stderr)
+            return 1
+        baseline_records = None
+        if args.baseline:
+            baseline_store = HistoryStore(args.baseline)
+            baseline_records = baseline_store.records()
+            if not baseline_records:
+                print(
+                    "baseline store %s is empty" % args.baseline, file=sys.stderr
+                )
+                return 1
+        result = gate(
+            current,
+            baseline_records,
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(result.render())
+        return 0 if result.ok else 1
+
+    if args.obs_command == "dashboard":
+        count = write_dashboard(store, args.out)
+        print("dashboard with %d run(s) written to %s" % (count, args.out))
+        return 0
+
+    return 1
 
 
 if __name__ == "__main__":

@@ -285,6 +285,10 @@ class HappensBefore:
         tracer.count("closure.rounds", self.stats.outer_iterations)
         tracer.count("closure.fifo_edges", self.stats.fifo_edges)
         tracer.count("closure.nopre_edges", self.stats.nopre_edges)
+        # Gauges merge as max across worker processes: these read as the
+        # largest closure a run (or batch) built.
+        tracer.gauge("closure.nodes", self.stats.node_count)
+        tracer.gauge("closure.memory_bytes", self.stats.closure_memory_bytes)
 
     def _closure_memory_bytes(self) -> int:
         """Resident bytes of the closure representation *and* the indexes

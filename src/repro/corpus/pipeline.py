@@ -140,6 +140,8 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
         with tracer.span("corpus.trace", trace=name, digest=digest[:12]) as span:
             try:
                 trace = ExecutionTrace.load(path, name=name, strict=True)
+                # Max-merged across workers: the batch's largest trace.
+                tracer.gauge("corpus.trace_ops", len(trace))
                 report_dict = config.build_detector(trace).detect().to_dict()
             except Exception as exc:  # noqa: BLE001 — isolation boundary
                 error = "%s: %s" % (exc.__class__.__name__, exc)

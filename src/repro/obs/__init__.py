@@ -20,13 +20,46 @@ time so fields like ``analysis_seconds`` keep one source of truth), and
 the differential tests in ``tests/test_obs.py`` pin that race reports
 are identical with tracing on and off.
 
-CLI surface: ``--metrics`` (summary table on stderr) and
-``--trace-out FILE`` (Chrome trace JSON) on ``run``, ``analyze``, and
-``corpus analyze``; a ``metrics`` block in ``--json`` reports.
+On top of the tracer sits the **run history** layer:
+
+* :mod:`repro.obs.history` — append-only :class:`RunRecord` store
+  (``runs.jsonl`` + index keyed by ``(trace_digest, config_digest)``),
+  written by every CLI invocation and benchmark when a history dir is
+  configured (``--history`` / ``$DROIDRACER_HISTORY``), inert otherwise;
+* :mod:`repro.obs.regression` — span-by-span run comparison and the
+  correctness/performance regression gate CI runs;
+* :mod:`repro.obs.dashboard` — self-contained static HTML time series
+  over the store.
+
+CLI surface: ``--metrics`` (summary table on stderr), ``--trace-out
+FILE`` (Chrome trace JSON), and ``--history DIR`` on ``run``, ``demo``,
+``explore``, ``analyze``, ``corpus analyze``, and the table commands; a
+``metrics`` block in ``--json`` reports; the ``droidracer obs
+history|compare|gate|dashboard`` subcommand family over the store.
 Schema, naming conventions, and a Perfetto walkthrough:
 ``docs/observability.md``.
 """
 
+from .dashboard import render_dashboard, write_dashboard
+from .history import (
+    HISTORY_ENV,
+    HistoryStore,
+    RunRecord,
+    combine_digests,
+    environment_fingerprint,
+    export_bench,
+    report_digest,
+    resolve_history_dir,
+    subtree_spans,
+)
+from .regression import (
+    GateResult,
+    GateViolation,
+    RunComparison,
+    SpanDelta,
+    compare,
+    gate,
+)
 from .sinks import (
     ChromeTraceSink,
     JsonlSink,
@@ -51,20 +84,37 @@ from .tracer import (
 
 __all__ = [
     "ChromeTraceSink",
+    "GateResult",
+    "GateViolation",
+    "HISTORY_ENV",
+    "HistoryStore",
     "JsonlSink",
     "MemorySink",
     "NULL_TRACER",
     "NullTracer",
+    "RunComparison",
+    "RunRecord",
     "Sink",
     "Span",
+    "SpanDelta",
     "SpanRecord",
     "SummarySink",
     "Tracer",
     "aggregate_spans",
     "chrome_trace_dict",
+    "combine_digests",
+    "compare",
     "current_tracer",
+    "environment_fingerprint",
+    "export_bench",
+    "gate",
     "read_jsonl",
+    "render_dashboard",
     "render_summary",
+    "report_digest",
+    "resolve_history_dir",
     "set_tracer",
+    "subtree_spans",
     "use_tracer",
+    "write_dashboard",
 ]

@@ -1,0 +1,357 @@
+"""Static HTML dashboard over the run-history store.
+
+``droidracer obs dashboard`` renders one self-contained HTML file —
+inline SVG, inline CSS, zero external dependencies, works from a
+``file://`` URL — showing, per ``(trace, config)`` key, the time series
+the evaluation cares about:
+
+* saturation wall seconds (the ``closure.saturate`` span aggregate);
+* closure memory bytes (``closure.memory_bytes``);
+* node-coalescing reduction ratio (graph nodes / trace ops);
+* reported race count.
+
+Each chart is a single series (the key names it), so there are no
+legends; every marker carries a native ``<title>`` tooltip with the
+run id, date, and exact value, and a full run table sits below the
+charts.  Light and dark render from the same markup via CSS custom
+properties (the OS preference is honored, a ``data-theme`` stamp on
+``<html>`` wins both ways).
+"""
+
+from __future__ import annotations
+
+import html
+from datetime import datetime, timezone
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .history import HistoryStore, RunRecord
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+#: Chart geometry (one small multiple).
+_W, _H = 300, 130
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 44, 14, 12, 22
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --ink-1: #0b0b0b;
+  --ink-2: #52514e;
+  --ink-muted: #898781;
+  --gridline: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --border: rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --ink-1: #ffffff;
+    --ink-2: #c3c2b7;
+    --ink-muted: #898781;
+    --gridline: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --ink-1: #ffffff;
+  --ink-2: #c3c2b7;
+  --ink-muted: #898781;
+  --gridline: #2c2c2a;
+  --baseline: #383835;
+  --series-1: #3987e5;
+  --border: rgba(255, 255, 255, 0.10);
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 14px 16px 10px;
+  margin: 0 0 16px;
+}
+.card h2 { font-size: 14px; font-weight: 600; margin: 0; }
+.card .key { color: var(--ink-muted); font-size: 12px; margin: 2px 0 8px; }
+.row { display: flex; flex-wrap: wrap; gap: 8px; }
+.chart { flex: 0 0 auto; }
+.chart .title {
+  font-size: 12px;
+  color: var(--ink-2);
+  margin: 0 0 2px 6px;
+}
+svg { display: block; }
+table {
+  border-collapse: collapse;
+  width: 100%;
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  font-size: 12.5px;
+}
+th, td {
+  text-align: left;
+  padding: 6px 10px;
+  border-top: 1px solid var(--gridline);
+  white-space: nowrap;
+}
+th { color: var(--ink-2); font-weight: 600; border-top: none; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.empty { color: var(--ink-muted); font-size: 12px; padding: 28px 6px; }
+"""
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return "{:,}".format(int(value))
+    if abs(value) >= 100:
+        return "{:,.0f}".format(value)
+    if abs(value) >= 1:
+        return "%.2f" % value
+    return "%.4f" % value
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit, div in (("MB", 1e6), ("KB", 1e3)):
+        if abs(value) >= div:
+            return "%.1f%s" % (value / div, unit)
+    return "%dB" % value
+
+
+def _ticks(lo: float, hi: float) -> List[float]:
+    if hi <= lo:
+        return [lo]
+    return [lo, (lo + hi) / 2.0, hi]
+
+
+def _chart_svg(
+    points: Sequence[Tuple[RunRecord, float]],
+    fmt: Callable[[float], str],
+) -> str:
+    """One small-multiple line chart: 2px line, >=8px markers with a
+    2px surface ring, hairline gridlines, native tooltips."""
+    if not points:
+        return '<div class="empty">no data recorded</div>'
+    values = [v for _, v in points]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        lo, hi = lo - max(abs(lo) * 0.1, 0.5), hi + max(abs(hi) * 0.1, 0.5)
+    x0, x1 = _PAD_L, _W - _PAD_R
+    y0, y1 = _H - _PAD_B, _PAD_T
+
+    def x_at(i: int) -> float:
+        if len(points) == 1:
+            return (x0 + x1) / 2.0
+        return x0 + (x1 - x0) * i / (len(points) - 1)
+
+    def y_at(v: float) -> float:
+        return y0 + (y1 - y0) * (v - lo) / (hi - lo)
+
+    parts = [
+        '<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">'
+        % (_W, _H, _W, _H)
+    ]
+    for tick in _ticks(lo, hi):
+        ty = y_at(tick)
+        parts.append(
+            '<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" '
+            'stroke="var(--gridline)" stroke-width="1"/>' % (x0, ty, x1, ty)
+        )
+        parts.append(
+            '<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle" '
+            'font-size="10" fill="var(--ink-muted)" '
+            'style="font-variant-numeric: tabular-nums">%s</text>'
+            % (x0 - 6, ty, html.escape(fmt(tick)))
+        )
+    parts.append(
+        '<line x1="%d" y1="%d" x2="%d" y2="%d" '
+        'stroke="var(--baseline)" stroke-width="1"/>' % (x0, y0, x1, y0)
+    )
+    if len(points) > 1:
+        coords = " ".join(
+            "%.1f,%.1f" % (x_at(i), y_at(v)) for i, (_, v) in enumerate(points)
+        )
+        parts.append(
+            '<polyline points="%s" fill="none" stroke="var(--series-1)" '
+            'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+            % coords
+        )
+    for i, (record, value) in enumerate(points):
+        when = datetime.fromtimestamp(
+            record.timestamp, tz=timezone.utc
+        ).strftime("%Y-%m-%d %H:%M UTC")
+        tooltip = "run %s · %s · %s" % (record.run_id[:12], when, fmt(value))
+        parts.append(
+            '<circle cx="%.1f" cy="%.1f" r="4" fill="var(--series-1)" '
+            'stroke="var(--surface-1)" stroke-width="2">'
+            "<title>%s</title></circle>"
+            % (x_at(i), y_at(value), html.escape(tooltip))
+        )
+    parts.append(
+        '<text x="%d" y="%d" font-size="10" fill="var(--ink-muted)">run 1</text>'
+        % (x0, _H - 6)
+    )
+    if len(points) > 1:
+        parts.append(
+            '<text x="%d" y="%d" text-anchor="end" font-size="10" '
+            'fill="var(--ink-muted)">run %d</text>' % (x1, _H - 6, len(points))
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _metric_series(
+    records: Sequence[RunRecord],
+    value_of: Callable[[RunRecord], Optional[float]],
+) -> List[Tuple[RunRecord, float]]:
+    out: List[Tuple[RunRecord, float]] = []
+    for record in records:
+        value = value_of(record)
+        if value is not None:
+            out.append((record, float(value)))
+    return out
+
+
+def _saturation_seconds(record: RunRecord) -> Optional[float]:
+    row = record.span_row("closure.saturate")
+    if row is None:
+        row = record.span_row("bench.saturation.incremental")
+    return row.get("wall_seconds") if row else None
+
+
+def _closure_memory(record: RunRecord) -> Optional[float]:
+    if record.closure:
+        return record.closure.get("memory_bytes")
+    return None
+
+
+def _reduction_ratio(record: RunRecord) -> Optional[float]:
+    if record.closure:
+        return record.closure.get("reduction_ratio")
+    return None
+
+
+#: The four per-key charts: (title, extractor, value formatter).
+_METRICS: List[Tuple[str, Callable, Callable[[float], str]]] = [
+    ("saturation wall (s)", _saturation_seconds, lambda v: "%.4gs" % v),
+    ("closure memory", _closure_memory, _fmt_bytes),
+    ("coalescing ratio", _reduction_ratio, lambda v: "%.3g" % v),
+    ("race reports", lambda r: float(r.race_count), _fmt_value),
+]
+
+
+def _key_label(record: RunRecord) -> str:
+    subject = record.app or record.trace_name or record.trace_digest[:12]
+    bits = [record.command, subject]
+    if record.backend:
+        bits.append(record.backend)
+    return " · ".join(bits)
+
+
+def render_dashboard(records: List[RunRecord], title: str = "droidracer runs") -> str:
+    """The complete HTML document as a string."""
+    by_key: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        by_key.setdefault(record.key, []).append(record)
+    # Busiest keys first: trend lines before single points.
+    keys = sorted(by_key, key=lambda k: (-len(by_key[k]), by_key[k][0].timestamp))
+
+    cards: List[str] = []
+    for key in keys:
+        group = by_key[key]
+        charts: List[str] = []
+        for chart_title, value_of, fmt in _METRICS:
+            series = _metric_series(group, value_of)
+            charts.append(
+                '<div class="chart"><p class="title">%s</p>%s</div>'
+                % (html.escape(chart_title), _chart_svg(series, fmt))
+            )
+        cards.append(
+            '<section class="card"><h2>%s</h2>'
+            '<p class="key">%d run(s) · key %s</p>'
+            '<div class="row">%s</div></section>'
+            % (
+                html.escape(_key_label(group[-1])),
+                len(group),
+                html.escape(key[:12] + "…" + key.split(":")[1][:8]),
+                "".join(charts),
+            )
+        )
+    if not cards:
+        cards.append('<section class="card"><p class="empty">no runs recorded'
+                     " — append some with --history or $DROIDRACER_HISTORY"
+                     "</p></section>")
+
+    rows: List[str] = []
+    for record in records:
+        when = datetime.fromtimestamp(
+            record.timestamp, tz=timezone.utc
+        ).strftime("%Y-%m-%d %H:%M")
+        rows.append(
+            "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td>"
+            '<td class="num">%s</td><td class="num">%d</td>'
+            "<td>%s</td></tr>"
+            % (
+                html.escape(record.run_id[:12]),
+                html.escape(when),
+                html.escape(record.command),
+                html.escape(record.app or record.trace_name or "—"),
+                "{:,}".format(record.trace_length),
+                record.race_count,
+                html.escape((record.report_digest or "—")[:12]),
+            )
+        )
+
+    generated = ""
+    if records:
+        generated = datetime.fromtimestamp(
+            max(r.timestamp for r in records), tz=timezone.utc
+        ).strftime("%Y-%m-%d %H:%M UTC")
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        "<title>%(title)s</title>\n<style>%(css)s</style>\n</head>\n<body>\n"
+        "<h1>%(title)s</h1>\n"
+        '<p class="sub">%(count)d recorded run(s)%(generated)s</p>\n'
+        "%(cards)s\n"
+        "<table>\n<thead><tr><th>run</th><th>when (UTC)</th><th>command</th>"
+        '<th>subject</th><th class="num">trace ops</th>'
+        '<th class="num">races</th><th>report digest</th></tr></thead>\n'
+        "<tbody>\n%(rows)s\n</tbody>\n</table>\n"
+        "</body>\n</html>\n"
+        % {
+            "title": html.escape(title),
+            "css": _CSS,
+            "count": len(records),
+            "generated": (" · newest %s" % generated) if generated else "",
+            "cards": "\n".join(cards),
+            "rows": "\n".join(rows),
+        }
+    )
+
+
+def write_dashboard(store: HistoryStore, out_path: str) -> int:
+    """Render ``store`` to ``out_path``; returns the run count."""
+    records = store.records()
+    document = render_dashboard(records)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return len(records)

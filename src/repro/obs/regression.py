@@ -1,0 +1,428 @@
+"""Cross-run regression analysis over the history store.
+
+Two operations, both pure functions of :class:`~repro.obs.history.RunRecord`
+lists (no I/O here — the CLI owns the stores):
+
+* :func:`compare` — a span-by-span, counter-by-counter diff of two
+  runs with a noise tolerance, for humans (``droidracer obs compare``);
+* :func:`gate` — the CI contract (``droidracer obs gate``): exit
+  non-zero when
+
+  - **correctness drifts** — the race-report digest changed for an
+    already-seen ``(trace_digest, config_digest)`` key.  Report digests
+    exclude wall time and measured memory
+    (:func:`repro.obs.history.report_digest`), so any difference means
+    the detector's *answer* changed — there is no tolerance on this
+    axis;
+  - **performance drifts** — a span aggregate's wall time grew beyond
+    ``threshold`` (a fraction: ``0.5`` = +50%) against the baseline,
+    for spans whose baseline wall time is at least ``min_seconds``
+    (sub-noise spans never gate).
+
+Without a baseline store, :func:`gate` self-checks one store: every
+key's records must agree on the report digest, and the latest record
+per key is measured against its predecessor.  With a committed baseline
+(CI mode), the current store's latest record per key is measured
+against the baseline's latest record for the same key; keys absent
+from the baseline are reported as unchecked, never as failures — a new
+benchmark must not break the gate that predates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .history import RunRecord
+
+__all__ = [
+    "GateResult",
+    "GateViolation",
+    "RunComparison",
+    "SpanDelta",
+    "compare",
+    "gate",
+]
+
+
+@dataclass
+class SpanDelta:
+    """One span name's wall/CPU movement between two runs."""
+
+    name: str
+    base_wall: float
+    cur_wall: float
+    base_cpu: float
+    cur_cpu: float
+    significant: bool
+
+    @property
+    def delta_wall(self) -> float:
+        return self.cur_wall - self.base_wall
+
+    @property
+    def ratio(self) -> float:
+        """``cur/base`` wall ratio (``inf`` for a new span)."""
+        if self.base_wall <= 0.0:
+            return float("inf") if self.cur_wall > 0.0 else 1.0
+        return self.cur_wall / self.base_wall
+
+    def describe(self) -> str:
+        marker = " *" if self.significant else ""
+        return "%-24s %9.4fs -> %9.4fs  (%+7.1f%%)%s" % (
+            self.name,
+            self.base_wall,
+            self.cur_wall,
+            (self.ratio - 1.0) * 100.0 if self.base_wall > 0 else float("inf"),
+            marker,
+        )
+
+
+@dataclass
+class RunComparison:
+    """Everything :func:`compare` derives from two records."""
+
+    base: RunRecord
+    current: RunRecord
+    tolerance: float
+    span_deltas: List[SpanDelta] = field(default_factory=list)
+    counter_diffs: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    closure_diffs: Dict[str, Tuple[object, object]] = field(default_factory=dict)
+    report_drift: bool = False
+    same_key: bool = True
+
+    def significant(self) -> List[SpanDelta]:
+        return [d for d in self.span_deltas if d.significant]
+
+    def render(self) -> str:
+        lines = [
+            "comparing %s (%s) -> %s (%s)"
+            % (
+                self.base.run_id[:12] or "?",
+                self.base.command,
+                self.current.run_id[:12] or "?",
+                self.current.command,
+            )
+        ]
+        if not self.same_key:
+            lines.append(
+                "note: runs have different (trace, config) keys — timing "
+                "deltas compare different workloads"
+            )
+        if self.report_drift:
+            lines.append(
+                "CORRECTNESS DRIFT: race-report digest changed "
+                "(%s -> %s); races %d -> %d"
+                % (
+                    (self.base.report_digest or "-")[:12],
+                    (self.current.report_digest or "-")[:12],
+                    self.base.race_count,
+                    self.current.race_count,
+                )
+            )
+        elif self.same_key:
+            lines.append(
+                "report: identical digest, %d race(s)" % self.current.race_count
+            )
+        else:
+            lines.append(
+                "report: %d -> %d race(s) (digests not comparable across keys)"
+                % (self.base.race_count, self.current.race_count)
+            )
+        lines.append("")
+        lines.append(
+            "%-24s %10s    %10s   %9s"
+            % ("span", "base(s)", "current(s)", "delta")
+        )
+        for delta in self.span_deltas:
+            lines.append(delta.describe())
+        if not self.span_deltas:
+            lines.append("(no span aggregates recorded)")
+        lines.append(
+            "(* = outside the %.0f%% noise tolerance)" % (self.tolerance * 100)
+        )
+        if self.counter_diffs:
+            lines.append("")
+            lines.append("counters that changed:")
+            for name, (a, b) in sorted(self.counter_diffs.items()):
+                lines.append("  %-24s %s -> %s" % (name, a, b))
+        if self.closure_diffs:
+            lines.append("")
+            lines.append("closure statistics that changed:")
+            for name, (a, b) in sorted(self.closure_diffs.items()):
+                lines.append("  %-24s %s -> %s" % (name, a, b))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "base": self.base.run_id,
+            "current": self.current.run_id,
+            "tolerance": self.tolerance,
+            "same_key": self.same_key,
+            "report_drift": self.report_drift,
+            "spans": [
+                {
+                    "name": d.name,
+                    "base_wall": d.base_wall,
+                    "cur_wall": d.cur_wall,
+                    "base_cpu": d.base_cpu,
+                    "cur_cpu": d.cur_cpu,
+                    "significant": d.significant,
+                }
+                for d in self.span_deltas
+            ],
+            "counters": {
+                name: list(pair) for name, pair in sorted(self.counter_diffs.items())
+            },
+            "closure": {
+                name: list(pair) for name, pair in sorted(self.closure_diffs.items())
+            },
+        }
+
+
+def compare(
+    base: RunRecord, current: RunRecord, tolerance: float = 0.2
+) -> RunComparison:
+    """Diff two runs.  ``tolerance`` is the wall-time noise band as a
+    fraction (0.2 = moves within ±20% are not flagged significant)."""
+    comparison = RunComparison(
+        base=base,
+        current=current,
+        tolerance=tolerance,
+        same_key=base.key == current.key,
+    )
+    base_rows = {row["name"]: row for row in base.spans}
+    cur_rows = {row["name"]: row for row in current.spans}
+    names = list(base_rows)
+    names.extend(n for n in cur_rows if n not in base_rows)
+    for name in names:
+        b = base_rows.get(name, {})
+        c = cur_rows.get(name, {})
+        base_wall = float(b.get("wall_seconds", 0.0))
+        cur_wall = float(c.get("wall_seconds", 0.0))
+        if base_wall > 0.0:
+            significant = abs(cur_wall - base_wall) > tolerance * base_wall
+        else:
+            significant = cur_wall > 0.0
+        comparison.span_deltas.append(
+            SpanDelta(
+                name=name,
+                base_wall=base_wall,
+                cur_wall=cur_wall,
+                base_cpu=float(b.get("cpu_seconds", 0.0)),
+                cur_cpu=float(c.get("cpu_seconds", 0.0)),
+                significant=significant,
+            )
+        )
+    comparison.span_deltas.sort(key=lambda d: -max(d.base_wall, d.cur_wall))
+    for name in sorted(set(base.counters) | set(current.counters)):
+        a, b = base.counters.get(name, 0), current.counters.get(name, 0)
+        if a != b:
+            comparison.counter_diffs[name] = (a, b)
+    base_closure = base.closure or {}
+    cur_closure = current.closure or {}
+    for name in sorted(set(base_closure) | set(cur_closure)):
+        a, b = base_closure.get(name), cur_closure.get(name)
+        if a != b:
+            comparison.closure_diffs[name] = (a, b)
+    # Digest drift only means something on one (trace, config) key —
+    # different keys legitimately produce different reports.
+    if comparison.same_key and base.report_digest and current.report_digest:
+        comparison.report_drift = base.report_digest != current.report_digest
+    return comparison
+
+
+@dataclass
+class GateViolation:
+    """One reason the gate fails."""
+
+    kind: str  # "correctness" | "performance"
+    key: str
+    message: str
+    base_run: str = ""
+    current_run: str = ""
+
+    def describe(self) -> str:
+        return "[%s] %s" % (self.kind, self.message)
+
+
+@dataclass
+class GateResult:
+    """What :func:`gate` decided and why."""
+
+    violations: List[GateViolation] = field(default_factory=list)
+    checked_keys: int = 0
+    unchecked_keys: int = 0
+    threshold: float = 0.5
+    min_seconds: float = 0.05
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            "gate: %d key(s) checked, %d without a baseline "
+            "(threshold +%.0f%%, min span %.3fs)"
+            % (
+                self.checked_keys,
+                self.unchecked_keys,
+                self.threshold * 100,
+                self.min_seconds,
+            )
+        ]
+        for violation in self.violations:
+            lines.append("  " + violation.describe())
+        lines.append("gate: %s" % ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checked_keys": self.checked_keys,
+            "unchecked_keys": self.unchecked_keys,
+            "threshold": self.threshold,
+            "min_seconds": self.min_seconds,
+            "violations": [
+                {
+                    "kind": v.kind,
+                    "key": v.key,
+                    "message": v.message,
+                    "base_run": v.base_run,
+                    "current_run": v.current_run,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+def _subject(record: RunRecord) -> str:
+    return record.app or record.trace_name or record.trace_digest[:12]
+
+
+def _check_pair(
+    base: RunRecord,
+    current: RunRecord,
+    result: GateResult,
+    threshold: float,
+    min_seconds: float,
+) -> None:
+    """Append violations for one (baseline record, current record) pair."""
+    if (
+        base.report_digest
+        and current.report_digest
+        and base.report_digest != current.report_digest
+    ):
+        result.violations.append(
+            GateViolation(
+                kind="correctness",
+                key=current.key,
+                base_run=base.run_id,
+                current_run=current.run_id,
+                message=(
+                    "%s (%s): race-report digest changed %s -> %s "
+                    "(races %d -> %d)"
+                    % (
+                        _subject(current),
+                        current.command,
+                        (base.report_digest or "")[:12],
+                        (current.report_digest or "")[:12],
+                        base.race_count,
+                        current.race_count,
+                    )
+                ),
+            )
+        )
+    base_rows = {row["name"]: row for row in base.spans}
+    for row in current.spans:
+        name = row.get("name")
+        b = base_rows.get(name)
+        if b is None:
+            continue
+        base_wall = float(b.get("wall_seconds", 0.0))
+        cur_wall = float(row.get("wall_seconds", 0.0))
+        if base_wall < min_seconds:
+            continue
+        if cur_wall > base_wall * (1.0 + threshold):
+            result.violations.append(
+                GateViolation(
+                    kind="performance",
+                    key=current.key,
+                    base_run=base.run_id,
+                    current_run=current.run_id,
+                    message=(
+                        "%s (%s): span %s slowed %.4fs -> %.4fs "
+                        "(%.2fx > %.2fx allowed)"
+                        % (
+                            _subject(current),
+                            current.command,
+                            name,
+                            base_wall,
+                            cur_wall,
+                            cur_wall / base_wall,
+                            1.0 + threshold,
+                        )
+                    ),
+                )
+            )
+
+
+def gate(
+    current: List[RunRecord],
+    baseline: Optional[List[RunRecord]] = None,
+    threshold: float = 0.5,
+    min_seconds: float = 0.05,
+) -> GateResult:
+    """Run the regression gate.  See the module docstring for the
+    contract; returns a :class:`GateResult` whose ``ok`` decides the
+    exit code."""
+    result = GateResult(threshold=threshold, min_seconds=min_seconds)
+
+    if baseline is None:
+        # Self-check mode: one store must be internally consistent.
+        by_key: Dict[str, List[RunRecord]] = {}
+        for record in current:
+            by_key.setdefault(record.key, []).append(record)
+        for key, records in by_key.items():
+            digests = [r.report_digest for r in records if r.report_digest]
+            if digests and len(set(digests)) > 1:
+                first = next(r for r in records if r.report_digest)
+                last = next(
+                    r for r in reversed(records) if r.report_digest
+                )
+                result.violations.append(
+                    GateViolation(
+                        kind="correctness",
+                        key=key,
+                        base_run=first.run_id,
+                        current_run=last.run_id,
+                        message=(
+                            "%s (%s): %d runs on one (trace, config) key "
+                            "disagree on the race-report digest"
+                            % (_subject(last), last.command, len(records))
+                        ),
+                    )
+                )
+            if len(records) >= 2:
+                result.checked_keys += 1
+                _check_pair(
+                    records[-2], records[-1], result, threshold, min_seconds
+                )
+            else:
+                result.unchecked_keys += 1
+        return result
+
+    base_latest: Dict[str, RunRecord] = {}
+    for record in baseline:
+        base_latest[record.key] = record
+    cur_latest: Dict[str, RunRecord] = {}
+    for record in current:
+        cur_latest[record.key] = record
+    for key, record in cur_latest.items():
+        base = base_latest.get(key)
+        if base is None:
+            result.unchecked_keys += 1
+            continue
+        result.checked_keys += 1
+        _check_pair(base, record, result, threshold, min_seconds)
+    return result

@@ -8,7 +8,12 @@ One :class:`Tracer` instance owns everything a pipeline run measures:
   (a raising block is recorded with ``status="error"`` and re-raised);
 * **counters** — monotonically accumulated named totals
   (``tracer.count("closure.fifo_edges", 3)``), summed on merge;
-* **gauges** — last-write-wins named values (``tracer.gauge(...)``).
+* **gauges** — last-write-wins named values (``tracer.gauge(...)``);
+  on cross-process :meth:`Tracer.merge`, numeric gauges combine as
+  **max** (worker order is nondeterministic, so "largest observed"
+  is the only merge that is both meaningful and order-independent —
+  e.g. peak closure memory across a pool); non-numeric gauges stay
+  last-write-wins.
 
 Finished spans are fanned out to pluggable sinks (:mod:`repro.obs.sinks`);
 the default configuration is a single in-memory sink, so the tracer is
@@ -224,6 +229,12 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+def _is_numeric(value: Any) -> bool:
+    """True for int/float gauge values (bool is a mode flag, not a
+    magnitude — it keeps last-write-wins on merge)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 class Tracer:
     """Collects spans, counters, and gauges; fans spans out to sinks.
 
@@ -358,8 +369,13 @@ class Tracer:
 
         Span ids are remapped to stay unique; root spans of the snapshot
         are re-parented under ``parent`` (when given) so a worker's tree
-        nests below the span that dispatched it.  Counters are summed;
-        gauges are last-write-wins.
+        nests below the span that dispatched it.  Counters are summed.
+        Numeric gauges merge as **max** — pool workers finish in
+        nondeterministic order, so any last-write-wins rule would make
+        the merged value depend on scheduling; taking the maximum keeps
+        the merge commutative and reads as "largest observed" (peak
+        memory, largest trace).  Non-numeric gauges (mode strings and
+        the like) keep last-write-wins.
         """
         records = [SpanRecord.from_dict(d) for d in snapshot.get("spans", ())]
         if records:
@@ -378,7 +394,12 @@ class Tracer:
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, value)
         for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name, value)
+            with self._lock:
+                old = self.gauges.get(name)
+                if _is_numeric(old) and _is_numeric(value):
+                    self.gauges[name] = max(old, value)
+                else:
+                    self.gauges[name] = value
 
 
 # -- the current tracer --------------------------------------------------------

@@ -193,3 +193,228 @@ class TestCorpusCommands:
         assert main(["corpus", "report", "--store", store]) == 0
         out = capsys.readouterr().out
         assert "music-player" in out
+
+
+class TestExploreDemoMetrics:
+    """Satellite of the observability PR: ``--metrics`` / ``--trace-out``
+    reach every pipeline command, including ``explore`` and ``demo``."""
+
+    def test_explore_metrics_and_trace_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "explore-trace.json"
+        assert (
+            main(
+                [
+                    "explore",
+                    "music-player",
+                    "--depth",
+                    "1",
+                    "--max-runs",
+                    "3",
+                    "--metrics",
+                    "--trace-out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "-- metrics" in captured.err
+        assert "pipeline trace written" in captured.err
+        payload = json.loads(out_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "cli.explore" in names and "detect" in names
+
+    def test_demo_metrics_and_trace_out(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "demo-trace.json"
+        assert (
+            main(
+                ["demo", "music-player", "--metrics", "--trace-out", str(out_path)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "-- metrics" in captured.err
+        payload = json.loads(out_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "cli.demo" in names and "detect" in names
+
+    def test_metrics_never_changes_explore_report(self, capsys):
+        argv = ["explore", "music-player", "--depth", "1", "--max-runs", "3"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--metrics"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestObsCommands:
+    """The ``droidracer obs`` family over a real history store."""
+
+    @pytest.fixture(autouse=True)
+    def _no_ambient_history(self, monkeypatch):
+        from repro.obs import HISTORY_ENV
+
+        monkeypatch.delenv(HISTORY_ENV, raising=False)
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        from repro.apps.paper_traces import figure4_trace
+
+        path = tmp_path / "fig4.jsonl"
+        path.write_text(figure4_trace().to_jsonl())
+        return str(path)
+
+    @pytest.fixture()
+    def history(self, tmp_path, trace_path, capsys):
+        hist = str(tmp_path / "hist")
+        assert main(["analyze", trace_path, "--history", hist]) == 0
+        assert main(["analyze", trace_path, "--history", hist]) == 0
+        err = capsys.readouterr().err
+        assert err.count("history:") == 2
+        return hist
+
+    def test_obs_without_history_dir_is_an_error(self, capsys):
+        assert main(["obs", "history"]) == 1
+        assert "no history store configured" in capsys.readouterr().err
+
+    def test_history_listing_and_json(self, history, capsys):
+        import json
+
+        assert main(["obs", "history", "--history", history]) == 0
+        out = capsys.readouterr().out
+        assert "analyze" in out and out.count("\n") >= 3
+        assert main(["obs", "history", "--history", history, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert records[0]["report_digest"] == records[1]["report_digest"]
+        assert records[0]["race_count"] == 2
+
+    def test_history_env_var_supplies_default(
+        self, tmp_path, trace_path, monkeypatch, capsys
+    ):
+        from repro.obs import HISTORY_ENV
+
+        hist = str(tmp_path / "envhist")
+        monkeypatch.setenv(HISTORY_ENV, hist)
+        assert main(["analyze", trace_path]) == 0
+        assert "history:" in capsys.readouterr().err
+        assert main(["obs", "history"]) == 0
+        assert "analyze" in capsys.readouterr().out
+
+    def test_compare_same_key(self, history, capsys):
+        assert main(["obs", "compare", "1", "2", "--history", history]) == 0
+        out = capsys.readouterr().out
+        assert "report digests match" in out or "race(s)" in out
+        assert "CORRECTNESS DRIFT" not in out
+
+    def test_compare_unknown_run_is_an_error(self, history, capsys):
+        assert main(["obs", "compare", "1", "zzzz", "--history", history]) == 1
+        assert "obs compare" in capsys.readouterr().err
+
+    def test_gate_clean_then_injected_correctness_drift(self, history, capsys):
+        from repro.obs import HistoryStore
+
+        assert main(["obs", "gate", "--history", history]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+        store = HistoryStore(history)
+        tampered = store.records()[-1]
+        tampered.report_digest = "0" * 64
+        tampered.race_count += 5
+        store.append(tampered)
+        assert main(["obs", "gate", "--history", history]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "correctness" in out
+
+    def test_gate_injected_perf_drift_beyond_threshold(
+        self, history, tmp_path, capsys
+    ):
+        from repro.obs import HistoryStore
+
+        baseline = str(tmp_path / "baseline")
+        base_store = HistoryStore(baseline)
+        slow_store = HistoryStore(history)
+        slowed = slow_store.records()[-1]
+        for row in slowed.spans:
+            row["wall_seconds"] *= 100.0
+        base_store.append(slow_store.records()[0])
+        slow_store.append(slowed)
+        argv = [
+            "obs",
+            "gate",
+            "--history",
+            history,
+            "--baseline",
+            baseline,
+            "--min-seconds",
+            "0.000001",
+        ]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "performance" in out
+        # A generous threshold lets the same slowdown through.
+        assert main(argv + ["--threshold", "1000"]) == 0
+
+    def test_dashboard_writes_self_contained_html(self, history, tmp_path, capsys):
+        out_path = tmp_path / "dash.html"
+        assert (
+            main(
+                ["obs", "dashboard", "--history", history, "--out", str(out_path)]
+            )
+            == 0
+        )
+        assert "dashboard" in capsys.readouterr().out
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>") and "<svg" in html
+        assert "<script src" not in html.lower()
+
+    def test_export_bench_round_trips_payload(self, history, tmp_path, capsys):
+        from repro.obs import HistoryStore, RunRecord
+
+        # Nothing benchmark-shaped recorded yet: explicit failure.
+        export_dir = str(tmp_path / "views")
+        argv = [
+            "obs",
+            "history",
+            "--history",
+            history,
+            "--export-bench",
+            export_dir,
+        ]
+        assert main(argv) == 1
+        assert "no benchmark runs" in capsys.readouterr().err
+
+        import json
+
+        payload = {"benchmark": "closure-engine", "configs": [{"races": 12}]}
+        HistoryStore(history).append(
+            RunRecord(
+                command="bench.closure",
+                trace_digest="t" * 64,
+                config_digest="c" * 64,
+                extra={"payload": payload},
+            )
+        )
+        assert main(argv) == 0
+        capsys.readouterr()
+        written = json.loads(
+            (tmp_path / "views" / "BENCH_closure.json").read_text()
+        )
+        assert written == payload
+
+    def test_history_never_changes_report_output(self, trace_path, tmp_path, capsys):
+        import json
+
+        assert main(["analyze", trace_path, "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        hist = str(tmp_path / "hist2")
+        assert main(["analyze", trace_path, "--json", "--history", hist]) == 0
+        captured = capsys.readouterr()
+        recorded = json.loads(captured.out)
+        plain.pop("analysis_seconds"), recorded.pop("analysis_seconds")
+        assert recorded == plain
+        assert "metrics" not in recorded
+        assert "history:" in captured.err

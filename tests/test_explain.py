@@ -7,7 +7,14 @@ from repro.apps.paper_traces import (
     figure3_trace,
     figure4_trace,
 )
-from repro.core import HappensBefore, detect_races
+from repro.core import (
+    BACKEND_BITMASK,
+    BACKEND_CHAINS,
+    HappensBefore,
+    SAT_FULL,
+    SAT_INCREMENTAL,
+    detect_races,
+)
 from repro.core.classification import RaceCategory
 from repro.core.explain import explain_race, hb_witness, render_witness
 
@@ -132,3 +139,81 @@ class TestWitness:
         trace = figure3_trace()
         hb = HappensBefore(trace)
         assert hb_witness(hb, 16, 7) is None
+
+
+class TestBackendDifferential:
+    """Explanations are a *view* of the closure, so every closure knob
+    combination must tell the same story: witness paths are valid HB
+    chains under each backend, and rendered explanations are identical
+    across ``bitmask``/``chains`` and ``full``/``incremental``."""
+
+    KNOBS = [
+        (backend, saturation)
+        for backend in (BACKEND_BITMASK, BACKEND_CHAINS)
+        for saturation in (SAT_FULL, SAT_INCREMENTAL)
+    ]
+
+    @pytest.fixture(scope="class", params=["figure3", "figure4", "music"])
+    def subject(self, request):
+        if request.param == "figure3":
+            return request.param, figure3_trace()
+        if request.param == "figure4":
+            return request.param, figure4_trace()
+        from repro.apps.registry import paper_app
+
+        _, trace = paper_app("Music Player", scale=0.05).run(seed=3)
+        return request.param, trace
+
+    def test_witness_paths_are_valid_hb_chains_everywhere(self, subject):
+        _, trace = subject
+        reference = HappensBefore(trace)
+        node_of = reference.graph.node_of_op
+        n = len(trace)
+        # Strided pair sample: dense enough to cross coalesced-node,
+        # cross-thread, and unreachable pairs without a quadratic sweep.
+        stride_i = max(1, n // 40)
+        stride_j = max(1, n // 60)
+        for backend, saturation in self.KNOBS:
+            hb = HappensBefore(trace, backend=backend, saturation=saturation)
+            for i in range(0, n, stride_i):
+                for j in range(i, n, stride_j):
+                    path = hb_witness(hb, i, j)
+                    if node_of[i] == node_of[j]:
+                        # Coalesced into one node: program order decides.
+                        assert path == ([i, j] if i <= j else None)
+                        continue
+                    assert (path is not None) == reference.ordered(i, j), (
+                        "witness existence diverges at (%d, %d) under (%s, %s)"
+                        % (i, j, backend, saturation)
+                    )
+                    if path is None:
+                        continue
+                    # Node-level path: endpoints land on i's and j's nodes
+                    # (the witness uses each node's first operation).
+                    assert node_of[path[0]] == node_of[i]
+                    assert node_of[path[-1]] == node_of[j]
+                    for a, b in zip(path, path[1:]):
+                        # Each step must be an HB fact of *both* the
+                        # producing closure and the reference one.
+                        assert hb.ordered(a, b)
+                        assert reference.ordered(a, b)
+
+    def test_explanations_agree_across_all_knobs(self, subject):
+        name, trace = subject
+        from repro.core.race_detector import RaceDetector
+
+        renderings = {}
+        for backend, saturation in self.KNOBS:
+            detector = RaceDetector(trace, backend=backend, saturation=saturation)
+            report = detector.detect()
+            renderings[(backend, saturation)] = [
+                explain_race(trace, detector.hb, race).render()
+                for race in report.races
+            ]
+        baseline = renderings[(BACKEND_BITMASK, SAT_INCREMENTAL)]
+        if name != "figure3":  # figure3 is the race-free paper example
+            assert baseline, "differential subjects must actually race"
+        for knobs, rendered in renderings.items():
+            assert rendered == baseline, (
+                "explanation text diverges under %s/%s" % knobs
+            )

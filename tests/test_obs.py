@@ -1,10 +1,13 @@
 """Tests for the observability layer (:mod:`repro.obs`).
 
 Covers the tracer itself (nesting, exception capture, thread safety,
-counters), the cross-process snapshot/merge protocol (spawn and fork
-start methods), every sink round-trip (JSONL, summary, Chrome
-``trace_event``), the CLI surface (``--metrics`` / ``--trace-out``), and
-the central guarantee: instrumentation never changes race reports.
+counters, the gauge max-merge pin), the cross-process snapshot/merge
+protocol (spawn and fork start methods), every sink round-trip (JSONL,
+summary, Chrome ``trace_event``), the CLI surface (``--metrics`` /
+``--trace-out``), the run-history store and regression gate
+(:mod:`repro.obs.history` / :mod:`repro.obs.regression`), the static
+dashboard, and the central guarantee: instrumentation never changes
+race reports.
 """
 
 import json
@@ -21,16 +24,24 @@ from repro.corpus import BatchAnalyzer, TraceStore, report_to_json
 from repro.obs import (
     NULL_TRACER,
     ChromeTraceSink,
+    HistoryStore,
     JsonlSink,
     MemorySink,
+    RunRecord,
     SummarySink,
     Tracer,
     chrome_trace_dict,
+    combine_digests,
+    compare,
     current_tracer,
+    gate,
     read_jsonl,
+    render_dashboard,
     render_summary,
+    report_digest,
     use_tracer,
 )
+from repro.obs.history import RunRecordError
 
 
 class TestSpans:
@@ -126,6 +137,7 @@ def _spawn_child(args):
     tracer = Tracer()
     with tracer.span("child.work", index=n):
         tracer.count("child.items", n)
+        tracer.gauge("child.peak", n)
     return tracer.snapshot()
 
 
@@ -154,6 +166,27 @@ class TestMerge:
         assert tracer.counters == {"n": 3}
         assert tracer.gauges == {"g": 9}
 
+    def test_merge_takes_max_of_numeric_gauges(self):
+        # Pinned semantics (docs/observability.md): merging snapshots is
+        # commutative for numeric gauges — the merged value is the max,
+        # regardless of worker arrival order.
+        tracer = Tracer()
+        tracer.gauge("peak", 5)
+        tracer.merge({"spans": [], "counters": {}, "gauges": {"peak": 3}})
+        assert tracer.gauges == {"peak": 5}, "a smaller arrival must not regress"
+        tracer.merge({"spans": [], "counters": {}, "gauges": {"peak": 9}})
+        assert tracer.gauges == {"peak": 9}
+        # bools are not numeric for this purpose: last write wins.
+        tracer.gauge("flag", True)
+        tracer.merge({"spans": [], "counters": {}, "gauges": {"flag": False}})
+        assert tracer.gauges["flag"] is False
+
+    def test_merge_non_numeric_gauges_last_write_wins(self):
+        tracer = Tracer()
+        tracer.gauge("mode", "serial")
+        tracer.merge({"spans": [], "counters": {}, "gauges": {"mode": "pool"}})
+        assert tracer.gauges["mode"] == "pool"
+
     @pytest.mark.parametrize("method", multiprocessing.get_all_start_methods())
     def test_cross_process_merge(self, method):
         ctx = multiprocessing.get_context(method)
@@ -169,6 +202,20 @@ class TestMerge:
         assert len(work) == 3
         assert all(r.parent_id == top.span_id for r in work)
         assert {r.attrs["index"] for r in work} == {1, 2, 3}
+
+    @pytest.mark.parametrize("method", multiprocessing.get_all_start_methods())
+    def test_cross_process_gauge_merge_takes_max(self, method):
+        # Satellite of the max-merge pin: the same guarantee must hold
+        # across real process boundaries under every start method the
+        # platform offers (fork and spawn pickle snapshots differently).
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(2) as pool:
+            snapshots = pool.map(_spawn_child, [1, 3, 2])
+        tracer = Tracer()
+        tracer.gauge("child.peak", 0)
+        for snapshot in snapshots:
+            tracer.merge(snapshot)
+        assert tracer.gauges["child.peak"] == 3
 
 
 class TestSinks:
@@ -463,3 +510,193 @@ class TestDocsCheck:
             assert any(
                 cmd.startswith("droidracer %s" % sub) for cmd in commands
             ), "no documented example for %r" % sub
+
+
+def _make_record(races=3, wall=1.0, digest_salt="", key_salt=""):
+    """A synthetic, fully-populated run record for store/gate tests."""
+    report = {
+        "races": [{"field": "f%d" % i, "category": "delayed"} for i in range(races)],
+        "racy_pair_count": races,
+        "trace_length": 100,
+        "node_count": 40,
+        "salt": digest_salt,
+    }
+    return RunRecord(
+        command="analyze",
+        trace_digest="t" * 60 + (key_salt or "0000"),
+        config_digest="c" * 64,
+        app="Music Player",
+        trace_length=100,
+        backend="bitmask",
+        report_digest=report_digest(report),
+        race_count=races,
+        racy_pairs=races,
+        per_category={"delayed": races},
+        spans=[
+            {
+                "name": "closure.saturate",
+                "count": 1,
+                "wall_seconds": wall,
+                "cpu_seconds": wall,
+                "self_seconds": wall,
+                "errors": 0,
+            },
+            {
+                "name": "detect",
+                "count": 1,
+                "wall_seconds": wall * 2,
+                "cpu_seconds": wall * 2,
+                "self_seconds": wall,
+                "errors": 0,
+            },
+        ],
+        counters={"closure.builds": 1},
+        gauges={"closure.nodes": 40},
+    )
+
+
+class TestHistoryStore:
+    def test_construction_is_inert(self, tmp_path):
+        root = tmp_path / "hist"
+        store = HistoryStore(str(root))
+        assert not root.exists(), "constructing a store must not touch disk"
+        assert store.records() == []
+        assert not store.exists()
+
+    def test_append_assigns_ids_and_round_trips(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        first = store.append(_make_record())
+        second = store.append(_make_record(races=5, digest_salt="x"))
+        assert first.run_id and second.run_id
+        assert first.run_id != second.run_id
+        assert first.environment["python"]
+        loaded = store.records()
+        assert [r.run_id for r in loaded] == [first.run_id, second.run_id]
+        assert loaded[0].to_dict() == first.to_dict()
+        index = json.loads((tmp_path / "hist" / "index.json").read_text())
+        assert index["runs"] == 2
+        assert index["keys"][first.key] == [first.run_id, second.run_id]
+
+    def test_resolve_by_position_and_prefix(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        first = store.append(_make_record())
+        second = store.append(_make_record(races=5))
+        assert store.resolve("1").run_id == first.run_id
+        assert store.resolve("-1").run_id == second.run_id
+        assert store.resolve(first.run_id[:8]).run_id == first.run_id
+        with pytest.raises(RunRecordError):
+            store.resolve("0")
+        with pytest.raises(RunRecordError):
+            store.resolve("99")
+        with pytest.raises(RunRecordError):
+            store.resolve("zzzz")
+
+    def test_filters_and_latest_by_key(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "hist"))
+        store.append(_make_record())
+        newer = store.append(_make_record(races=7))
+        other = _make_record(key_salt="ffff")
+        other.command = "run"
+        other.app = "Browser"
+        store.append(other)
+        assert len(store.records(command="analyze")) == 2
+        assert len(store.records(app="Browser")) == 1
+        latest = store.latest_by_key()
+        assert len(latest) == 2
+        assert latest[newer.key].run_id == newer.run_id
+
+    def test_report_digest_ignores_volatile_fields(self):
+        base = {"races": [], "racy_pair_count": 0, "closure": {"memory_bytes": 10}}
+        noisy = dict(base, analysis_seconds=9.9, trace_name="elsewhere.jsonl")
+        noisy["closure"] = {"memory_bytes": 999}
+        assert report_digest(base) == report_digest(noisy)
+        changed = dict(base, racy_pair_count=1)
+        assert report_digest(base) != report_digest(changed)
+
+    def test_combine_digests_is_order_independent(self):
+        assert combine_digests(["a", "b", "c"]) == combine_digests(["c", "a", "b"])
+        assert combine_digests(["a", "b"]) != combine_digests(["a", "x"])
+
+
+class TestRegressionGate:
+    def test_compare_flags_significant_spans_only(self):
+        base = _make_record(wall=1.0)
+        current = _make_record(wall=1.1)
+        comparison = compare(base, current, tolerance=0.2)
+        assert not comparison.report_drift
+        assert all(not d.significant for d in comparison.span_deltas)
+        slower = _make_record(wall=2.0)
+        comparison = compare(base, slower, tolerance=0.2)
+        assert any(
+            d.significant and d.name == "closure.saturate"
+            for d in comparison.span_deltas
+        )
+        assert "gate" not in comparison.render()
+
+    def test_compare_detects_report_drift_on_same_key(self):
+        base = _make_record()
+        drifted = _make_record(races=4, digest_salt="different")
+        comparison = compare(base, drifted)
+        assert comparison.same_key and comparison.report_drift
+        assert "CORRECTNESS DRIFT" in comparison.render()
+
+    def test_compare_never_claims_drift_across_keys(self):
+        a = _make_record()
+        b = _make_record(digest_salt="other", key_salt="ffff")
+        comparison = compare(a, b)
+        assert not comparison.same_key
+        assert not comparison.report_drift
+        assert "not comparable" in comparison.render()
+
+    def test_gate_passes_clean_history(self):
+        records = [_make_record(), _make_record()]
+        result = gate(records)
+        assert result.ok
+        assert "PASS" in result.render()
+
+    def test_gate_fails_on_injected_race_count_drift(self):
+        records = [_make_record(), _make_record(races=4, digest_salt="oops")]
+        result = gate(records)
+        assert not result.ok
+        assert any(v.kind == "correctness" for v in result.violations)
+        assert "FAIL" in result.render()
+
+    def test_gate_fails_on_perf_drift_beyond_threshold(self):
+        base = [_make_record(wall=1.0)]
+        slow = [_make_record(wall=2.0)]
+        result = gate(slow, baseline=base, threshold=0.5)
+        assert not result.ok
+        assert all(v.kind == "performance" for v in result.violations)
+        fast = [_make_record(wall=1.2)]
+        assert gate(fast, baseline=base, threshold=0.5).ok
+
+    def test_gate_skips_spans_below_min_seconds(self):
+        base = [_make_record(wall=0.001)]
+        slow = [_make_record(wall=0.1)]
+        assert gate(slow, baseline=base, threshold=0.5, min_seconds=0.05).ok
+
+    def test_gate_reports_unchecked_keys_without_failing(self):
+        baseline = [_make_record()]
+        current = [_make_record(), _make_record(key_salt="ffff")]
+        result = gate(current, baseline=baseline)
+        assert result.ok
+        assert result.checked_keys == 1
+        assert result.unchecked_keys == 1
+
+
+class TestDashboard:
+    def test_render_contains_metrics_and_no_external_deps(self):
+        records = [_make_record(wall=1.0), _make_record(races=3, wall=1.2)]
+        html = render_dashboard(records, title="test dashboard")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "</svg>" in html
+        assert "test dashboard" in html
+        for needle in ("saturation", "memory", "race", "Music Player"):
+            assert needle in html
+        lowered = html.lower()
+        assert "http://" not in lowered and "https://" not in lowered
+        assert "<script src" not in lowered
+
+    def test_render_empty_history(self):
+        html = render_dashboard([], title="empty")
+        assert "no runs recorded" in html.lower()

@@ -54,6 +54,10 @@ REQUIRED_COVERAGE = [
     "corpus ingest",
     "corpus analyze",
     "corpus report",
+    "obs history",
+    "obs compare",
+    "obs gate",
+    "obs dashboard",
 ]
 
 FENCE_RE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Populate a run-history store with the canonical gate workload.
+
+One script produces both sides of the CI regression gate
+(``droidracer obs gate``, see docs/observability.md):
+
+* the **committed baseline** — run it with no arguments and commit the
+  result under ``benchmarks/results/history_baseline`` whenever
+  detector output legitimately changes;
+* the **current side** — CI runs it against a scratch directory
+  (``python tools/make_history_baseline.py ci-history --trace``) and
+  gates that store against the committed one.
+
+Because both stores come from the same command list, their
+``(trace_digest, config_digest)`` keys line up and every record is
+actually checked; keys that appear on only one side are reported by the
+gate as unchecked, never failed.
+
+The workload is deterministic end to end: a fixed-seed synthetic app
+run, two re-analyses of the saved trace (both reachability backends),
+and the two closure benchmark smoke sweeps.
+
+Usage:
+
+    PYTHONPATH=src python tools/make_history_baseline.py [DIR] [--trace]
+
+DIR defaults to ``benchmarks/results/history_baseline``; an existing
+store there is replaced, not appended to.  ``--trace`` additionally
+writes a Chrome trace next to the store (CI uploads it as a failure
+artifact; the committed baseline does not carry one).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DEFAULT_DIR = REPO / "benchmarks" / "results" / "history_baseline"
+
+sys.path.insert(0, str(SRC))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.obs.history import INDEX_FILE, RUNS_FILE  # noqa: E402
+
+
+def run_cli(argv):
+    code = cli_main(argv)
+    if code != 0:
+        raise SystemExit("droidracer %s failed with exit %d" % (argv[0], code))
+
+
+def run_bench(extra, history):
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "benchmarks" / "bench_closure.py"),
+            extra,
+            "--history",
+            history,
+        ],
+        cwd=str(REPO),
+    )
+    if proc.returncode != 0:
+        raise SystemExit("bench_closure.py %s failed" % extra)
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    history = str(Path(args[0]).resolve()) if args else str(DEFAULT_DIR)
+    with_trace = "--trace" in argv
+
+    # Replace, never append: the store must hold exactly one workload.
+    for name in (RUNS_FILE, INDEX_FILE):
+        path = os.path.join(history, name)
+        if os.path.exists(path):
+            os.remove(path)
+
+    with tempfile.TemporaryDirectory(prefix="history-baseline-") as scratch:
+        trace_path = os.path.join(scratch, "music-player.jsonl")
+        run_cli(
+            [
+                "run",
+                "Music Player",
+                "--scale",
+                "0.1",
+                "--save-trace",
+                trace_path,
+                "--history",
+                history,
+            ]
+        )
+        analyze = ["analyze", trace_path, "--history", history]
+        if with_trace:
+            analyze += ["--trace-out", os.path.join(history, "pipeline-trace.json")]
+        run_cli(analyze)
+        run_cli(
+            ["analyze", trace_path, "--backend", "chains", "--history", history]
+        )
+    run_bench("--smoke", history)
+    run_bench("--reachability-smoke", history)
+
+    print("history store written to %s" % history)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
