@@ -1,0 +1,242 @@
+"""Service benchmark: ingest and end-to-end analysis latency for
+``droidracer serve`` through a real socket.
+
+Boots an in-process :class:`BackgroundServer` (inline workers — on CI
+hardware a process pool would measure fork cost, not service cost) and
+drives ladder traces of increasing size through the full HTTP path,
+measuring three latencies per configuration:
+
+* **ingest** — upload with ``analyze=0``: parse + content-address +
+  store, no job;
+* **end-to-end** — upload + queue + analyze + poll-to-done: what a
+  fleet driver waits for a fresh trace;
+* **cached** — resubmitting the same trace: the
+  ``(trace_digest, config_digest)`` key short-circuits through the
+  result cache without touching the queue bound or a worker.
+
+Every configuration also verifies the served report against in-process
+detection (``report_digest`` equality) before recording a time — the
+numbers can never come from a diverging analysis.
+
+    python benchmarks/bench_service.py          # full sweep, writes BENCH_service.json
+    python benchmarks/bench_service.py --smoke  # tiny sizes, CI gate
+
+With a run-history directory configured (``--history DIR`` or
+``$DROIDRACER_HISTORY``), the full sweep appends a
+:class:`repro.obs.RunRecord` (command ``bench.service``) whose
+``extra["payload"]`` is the exact result document, making the
+committed ``BENCH_service.json`` a derived view (``droidracer obs
+history --export-bench``).
+"""
+
+import hashlib
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+sys.path.insert(0, SRC_DIR)
+
+from repro.apps.ladder import ladder_trace  # noqa: E402
+from repro.core.race_detector import DetectorConfig  # noqa: E402
+from repro.obs import (  # noqa: E402
+    HistoryStore,
+    RunRecord,
+    combine_digests,
+    report_digest,
+    resolve_history_dir,
+)
+from repro.service import BackgroundServer, ServiceClient  # noqa: E402
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+#: (levels, width) ladder sizes.
+SMOKE_SIZES = [(4, 2)]
+FULL_SIZES = [(6, 3), (10, 6), (14, 8)]
+
+
+def _parse_history(argv):
+    rest = []
+    explicit = None
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--history" and i + 1 < len(argv):
+            explicit = argv[i + 1]
+            i += 2
+            continue
+        rest.append(argv[i])
+        i += 1
+    history_dir = resolve_history_dir(explicit)
+    return (HistoryStore(history_dir) if history_dir else None), rest
+
+
+def _span_row(name, seconds, count):
+    return {
+        "name": name,
+        "count": count,
+        "wall_seconds": seconds,
+        "cpu_seconds": 0.0,
+        "self_seconds": seconds,
+        "errors": 0,
+    }
+
+
+def measure(client, levels, width, config):
+    trace = ladder_trace(levels, width, name="bench-%dx%d" % (levels, width))
+    jsonl = trace.to_jsonl()
+
+    t0 = time.perf_counter()
+    stored = client.upload(jsonl, name=trace.name + "-stored", analyze=False)
+    ingest_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    payload = client.upload(jsonl, name=trace.name)
+    job = client.wait(payload["job"]["job_id"], timeout=300, poll=0.01)
+    e2e_seconds = time.perf_counter() - t0
+    assert job["state"] == "done", "job failed: %s" % job.get("error")
+    assert stored["trace_digest"] == payload["trace_digest"]
+
+    # Correctness before timing: the served answer must match offline
+    # detection bit for bit on every digest-bearing field.
+    served = client.report(payload["trace_digest"])
+    offline = config.build_detector(trace).detect().to_dict()
+    assert report_digest(served) == report_digest(offline), (
+        "served report diverges from offline detection at %dx%d"
+        % (levels, width)
+    )
+
+    cached_seconds = min(
+        _timed_resubmit(client, jsonl, trace.name) for _ in range(3)
+    )
+    return {
+        "levels": levels,
+        "width": width,
+        "trace_length": len(trace),
+        "races": len(served["races"]),
+        "trace_digest": payload["trace_digest"],
+        "ingest_seconds": ingest_seconds,
+        "e2e_seconds": e2e_seconds,
+        "analysis_seconds": job["seconds"],
+        "cached_seconds": cached_seconds,
+        "ops_per_sec_e2e": len(trace) / e2e_seconds,
+    }
+
+
+def _timed_resubmit(client, jsonl, name):
+    t0 = time.perf_counter()
+    payload = client.upload(jsonl, name=name)
+    elapsed = time.perf_counter() - t0
+    assert payload["job"]["state"] == "done"
+    return elapsed
+
+
+def main(argv):
+    history, argv = _parse_history(argv)
+    smoke = "--smoke" in argv
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    config = DetectorConfig()
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        with BackgroundServer(
+            store_root=tmp, config=config, jobs=0, queue_depth=64
+        ) as server:
+            client = ServiceClient(server.base_url, timeout=300)
+            for levels, width in sizes:
+                row = measure(client, levels, width, config)
+                rows.append(row)
+                print(
+                    "ladder %2dx%-2d  %5d ops  %d races  ingest %6.1fms  "
+                    "e2e %7.1fms (analysis %6.1fms)  cached %5.1fms"
+                    % (
+                        levels,
+                        width,
+                        row["trace_length"],
+                        row["races"],
+                        row["ingest_seconds"] * 1e3,
+                        row["e2e_seconds"] * 1e3,
+                        row["analysis_seconds"] * 1e3,
+                        row["cached_seconds"] * 1e3,
+                    )
+                )
+            status = server.service.status()
+            assert status["queue"]["failed"] == 0, status["queue"]
+            client.close()
+
+    largest = rows[-1]
+    if smoke:
+        # CI gate: a cached resubmission must beat fresh end-to-end
+        # analysis — if it does not, the cache short-circuit is broken.
+        assert largest["cached_seconds"] < largest["e2e_seconds"], (
+            "cached resubmit (%.1fms) not faster than fresh analysis (%.1fms)"
+            % (largest["cached_seconds"] * 1e3, largest["e2e_seconds"] * 1e3)
+        )
+        print("smoke OK: reports identical, cache short-circuit effective")
+        return 0
+
+    doc = {
+        "benchmark": "service",
+        "trace_family": "repro.apps.ladder",
+        "workers": "inline",
+        "configs": [
+            {k: v for k, v in row.items() if k != "trace_digest"}
+            for row in rows
+        ],
+        "largest_cached_speedup": largest["e2e_seconds"]
+        / largest["cached_seconds"],
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_service.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print("wrote %s" % out)
+
+    if history is not None:
+        descriptor = {
+            "benchmark": "service",
+            "mode": "full",
+            "sizes": [list(size) for size in sizes],
+        }
+        record = RunRecord(
+            command="bench.service",
+            trace_digest=combine_digests(row["trace_digest"] for row in rows),
+            config_digest=hashlib.sha256(
+                json.dumps(descriptor, sort_keys=True).encode("utf-8")
+            ).hexdigest(),
+            app="ladder",
+            trace_name="service sweep",
+            trace_count=len(rows),
+            trace_length=sum(row["trace_length"] for row in rows),
+            backend=config.backend,
+            race_count=sum(row["races"] for row in rows),
+            spans=[
+                _span_row(
+                    "bench.service.ingest",
+                    sum(row["ingest_seconds"] for row in rows),
+                    len(rows),
+                ),
+                _span_row(
+                    "bench.service.e2e",
+                    sum(row["e2e_seconds"] for row in rows),
+                    len(rows),
+                ),
+                _span_row(
+                    "bench.service.cached",
+                    sum(row["cached_seconds"] for row in rows),
+                    len(rows),
+                ),
+            ],
+            extra={"payload": doc, **descriptor},
+        )
+        history.append(record)
+        print(
+            "history: run record %s appended to %s"
+            % (record.run_id[:12], history.root),
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

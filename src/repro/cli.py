@@ -12,6 +12,9 @@ Subcommands mirror the tool's workflow:
 * ``droidracer corpus ingest|analyze|report`` — the persistent trace
   corpus: content-addressed store, parallel cached batch analysis, and
   corpus-level aggregated race reports;
+* ``droidracer serve`` — long-running async HTTP service over the same
+  corpus: trace uploads, a durable bounded job queue, a persistent
+  worker pool, and report/streaming endpoints (``docs/service.md``);
 * ``droidracer obs history|compare|gate|dashboard`` — the run-history
   store: list recorded runs, diff two runs span by span, gate on
   correctness/performance drift, render a static HTML dashboard.
@@ -210,6 +213,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_canalyze.add_argument(
         "--no-cache", action="store_true", help="ignore and do not write the result cache"
     )
+    p_canalyze.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trace analysis budget; expiry becomes an AnalysisTimeout "
+        "error on that trace instead of hanging the batch",
+    )
     p_canalyze.add_argument("--json", action="store_true")
     _add_backend(p_canalyze)
     _add_obs(p_canalyze)
@@ -221,6 +232,78 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_creport.add_argument("--jobs", type=int, default=None, metavar="N")
     p_creport.add_argument("--json", action="store_true")
     _add_backend(p_creport)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the async race-analysis service over a shared corpus",
+    )
+    _add_store(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default: 0 = an ephemeral port, printed at boot)",
+    )
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analysis worker processes (default: os.cpu_count(); "
+        "0 = inline, no worker pool)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        metavar="N",
+        help="max queued-not-running jobs before uploads get 429 "
+        "(default: %(default)s; 0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="analysis attempts per job before a worker-death failure "
+        "parks it as failed (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trace analysis budget (expiry fails the job instead of "
+        "wedging a worker)",
+    )
+    p_serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="request body cap (default: 64 MiB)",
+    )
+    p_serve.add_argument(
+        "--history",
+        metavar="DIR",
+        help="append a RunRecord per completed analysis to the run-history "
+        "store at DIR (default: $DROIDRACER_HISTORY; unset = no recording)",
+    )
+    _add_backend(p_serve)
+    p_serve.add_argument(
+        "--self-test",
+        action="store_true",
+        help="boot an ephemeral server against a temp corpus, upload a "
+        "known trace, verify the served report against offline analysis, "
+        "and exit (used by docs_check and CI)",
+    )
+    p_serve.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="accept and journal jobs but never dispatch them (queue "
+        "inspection / restart-recovery testing)",
+    )
 
     p_obs = sub.add_parser(
         "obs", help="run-history store: list, compare, gate, dashboard"
@@ -544,6 +627,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "corpus":
         return _corpus_main(args)
 
+    if args.command == "serve":
+        return _serve_main(args)
+
     return 1
 
 
@@ -614,7 +700,13 @@ def _corpus_main(args: argparse.Namespace) -> int:
     use_cache = not getattr(args, "no_cache", False)
     cache = ResultCache(args.store) if use_cache else None
     config = DetectorConfig(backend=args.backend)
-    analyzer = BatchAnalyzer(store, cache=cache, jobs=args.jobs, config=config)
+    analyzer = BatchAnalyzer(
+        store,
+        cache=cache,
+        jobs=args.jobs,
+        config=config,
+        timeout=getattr(args, "timeout", None),
+    )
     batch = analyzer.analyze()
     corpus_report = aggregate(batch)
 
@@ -661,6 +753,128 @@ def _corpus_main(args: argparse.Namespace) -> int:
         print(corpus_report_to_json(corpus_report))
     else:
         print(corpus_report.render())
+    return 0
+
+
+def _serve_main(args: argparse.Namespace) -> int:
+    from repro.core.race_detector import DetectorConfig
+    from repro.obs import resolve_history_dir
+
+    config = DetectorConfig(backend=args.backend)
+    history_dir = resolve_history_dir(getattr(args, "history", None))
+
+    if args.self_test:
+        return _serve_self_test(config, history_dir)
+
+    import asyncio
+    import signal
+
+    from repro.service import RaceService
+    from repro.service.http import DEFAULT_MAX_BODY_BYTES
+
+    service = RaceService(
+        store_root=args.store,
+        config=config,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        max_attempts=args.max_attempts,
+        timeout=args.timeout,
+        history_dir=history_dir,
+        drain=not args.no_drain,
+        max_body_bytes=args.max_body_bytes or DEFAULT_MAX_BODY_BYTES,
+    )
+
+    async def _amain() -> None:
+        await service.start()
+        print(
+            "droidracer serve listening on http://%s:%d "
+            "(store: %s, config: %s, workers: %s%s)"
+            % (
+                service.host,
+                service.port,
+                args.store,
+                service.config_digest[:12],
+                service.jobs if service.jobs > 0 else "inline",
+                ", DRAINING DISABLED" if args.no_drain else "",
+            ),
+            flush=True,
+        )
+        if service.queue.recovered:
+            print(
+                "recovered %d unfinished job(s) from the journal"
+                % service.queue.recovered,
+                flush=True,
+            )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_stop)
+            except (NotImplementedError, ValueError):
+                pass
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _serve_self_test(config, history_dir: Optional[str]) -> int:
+    """Boot an ephemeral server on a temp corpus, drive one trace
+    through the full upload → analyze → report → stream path over a
+    real socket, and verify the served report against in-process
+    detection.  The runnable ``serve`` example for docs_check and CI."""
+    import tempfile
+
+    from repro.apps.paper_traces import figure4_trace
+    from repro.obs import report_digest
+    from repro.service import BackgroundServer, ServiceClient
+
+    trace = figure4_trace()
+    with tempfile.TemporaryDirectory(prefix="droidracer-selftest-") as tmp:
+        with BackgroundServer(
+            store_root=tmp,
+            config=config,
+            jobs=0,
+            queue_depth=8,
+            history_dir=history_dir,
+        ) as server:
+            client = ServiceClient(server.base_url)
+            payload = client.upload(
+                trace.to_jsonl(), name=trace.name, compress=True
+            )
+            job = client.wait(payload["job"]["job_id"], timeout=60)
+            if job["state"] != "done":
+                print(
+                    "serve self-test FAILED: job ended %s (%s)"
+                    % (job["state"], job.get("error")),
+                    file=sys.stderr,
+                )
+                return 1
+            served = client.report(payload["trace_digest"])
+            offline = config.build_detector(trace).detect().to_dict()
+            if report_digest(served) != report_digest(offline):
+                print(
+                    "serve self-test FAILED: served report digest differs "
+                    "from offline analysis",
+                    file=sys.stderr,
+                )
+                return 1
+            events = list(client.stream(after=0, max_events=1, timeout=10))
+            if not events or events[0]["job"]["state"] != "done":
+                print(
+                    "serve self-test FAILED: no completion event on /v1/stream",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                "serve self-test OK: %s analyzed over HTTP "
+                "(%d races, report digest matches offline analysis)"
+                % (trace.name, job["race_count"])
+            )
     return 0
 
 

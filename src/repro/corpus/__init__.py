@@ -16,7 +16,7 @@ half at scale:
 """
 
 from .cache import ResultCache
-from .pipeline import BatchAnalyzer, BatchResult, TraceResult
+from .pipeline import AnalysisTimeout, BatchAnalyzer, BatchResult, TraceResult
 from .report import (
     CATEGORY_ORDER,
     CorpusRace,
@@ -28,6 +28,7 @@ from .report import (
 from .store import CorpusError, TraceEntry, TraceStore, app_of_trace_name
 
 __all__ = [
+    "AnalysisTimeout",
     "BatchAnalyzer",
     "BatchResult",
     "CATEGORY_ORDER",

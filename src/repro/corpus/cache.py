@@ -21,6 +21,8 @@ from typing import Optional, Union
 
 from repro.core.race_detector import RaceReport
 
+from .store import _atomic_write_text
+
 RESULTS_DIR = "results"
 
 
@@ -57,11 +59,9 @@ class ResultCache:
     def put(self, trace_digest: str, config_digest: str, report: RaceReport) -> None:
         path = self.path_for(trace_digest, config_digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(report.to_dict(), sort_keys=True), encoding="utf-8"
-        )
-        tmp.replace(path)
+        # Unique temp name + os.replace: concurrent writers of the same
+        # key (service scheduler + a batch run) each land a complete file.
+        _atomic_write_text(path, json.dumps(report.to_dict(), sort_keys=True))
 
     def clear(self) -> int:
         """Delete every cached report; returns the number removed."""

@@ -13,10 +13,14 @@ Invariants this module maintains:
   :class:`TraceResult`, never a batch failure, and never a lost result
   for the other traces.
 * **Picklability by construction** — workers receive
-  ``(digest, path, name, DetectorConfig, collect_obs)`` tuples and
-  return ``(digest, report_dict, error, seconds, obs_snapshot)``
+  ``(digest, path, name, DetectorConfig, collect_obs, timeout)`` tuples
+  and return ``(digest, report_dict, error, seconds, obs_snapshot)``
   tuples of plain values; nothing that crosses the process boundary
   holds a handle, a lock, or a live object.
+* **Bounded time per trace** — an optional ``timeout`` budget aborts a
+  runaway analysis inside the worker (``SIGALRM``) and surfaces as an
+  ``AnalysisTimeout`` error on that trace's result; the batch never
+  hangs on one adversarial trace.
 * **Bit-identity of cached results** — detection is a pure function of
   ``(trace, config)``; the :class:`~repro.corpus.cache.ResultCache`
   keys on exactly ``(trace_digest, config_digest)``, so a cache hit is
@@ -38,8 +42,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import warnings
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -49,6 +54,45 @@ from repro.obs import Tracer, current_tracer, use_tracer
 
 from .cache import ResultCache
 from .store import TraceEntry, TraceStore
+
+
+class AnalysisTimeout(Exception):
+    """A per-trace analysis budget expired (see ``BatchAnalyzer(timeout=)``)."""
+
+
+@contextmanager
+def _analysis_budget(seconds: Optional[float]):
+    """Abort the enclosed block with :class:`AnalysisTimeout` after
+    ``seconds`` of wall time.
+
+    Implemented with ``SIGALRM`` (workers and the serial fallback both
+    run analysis on their process's main thread); on platforms without
+    it — or when analysis runs off the main thread, where signals
+    cannot be installed (``droidracer serve --jobs 0`` inline mode) —
+    the budget is a documented no-op.  The previous handler and any
+    pending itimer are restored, so nested pipelines keep their own
+    alarms.
+    """
+    import threading
+
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise AnalysisTimeout("analysis exceeded %.3fs budget" % seconds)
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass
@@ -64,6 +108,12 @@ class TraceResult:
     @property
     def ok(self) -> bool:
         return self.report is not None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.error is not None and self.error.startswith(
+            AnalysisTimeout.__name__
+        )
 
     def describe(self) -> str:
         if self.error is not None:
@@ -89,6 +139,9 @@ class BatchResult:
     def errors(self) -> List[TraceResult]:
         return [r for r in self.results if r.error is not None]
 
+    def timeouts(self) -> List[TraceResult]:
+        return [r for r in self.results if r.timed_out]
+
     def reports(self) -> List[RaceReport]:
         return [r.report for r in self.results if r.report is not None]
 
@@ -98,12 +151,14 @@ class BatchResult:
 
     def summary(self) -> str:
         races = sum(len(report.races) for report in self.reports())
+        timeouts = len(self.timeouts())
         return (
-            "%d traces analyzed (%d errors), %d race reports, "
+            "%d traces analyzed (%d errors%s), %d race reports, "
             "%d cache hits / %d misses, %.3fs wall (%s, jobs=%d)"
             % (
                 len(self.results),
                 len(self.errors()),
+                ", %d timeouts" % timeouts if timeouts else "",
                 races,
                 self.cache_hits,
                 self.cache_misses,
@@ -115,7 +170,7 @@ class BatchResult:
 
 
 #: Worker argument / result shapes (kept as plain tuples for pickling).
-_WorkerArgs = Tuple[str, str, str, DetectorConfig, bool]
+_WorkerArgs = Tuple[str, str, str, DetectorConfig, bool, Optional[float]]
 _WorkerResult = Tuple[str, Optional[dict], Optional[str], float, Optional[dict]]
 
 
@@ -123,8 +178,10 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
     """Load one stored trace and run detection on it.
 
     Module-level so ``multiprocessing`` can pickle it; also the serial
-    fallback path, so both modes share one code path per trace.  All
-    failures are converted into an error string — isolation guarantee.
+    fallback path and the ``droidracer serve`` worker entry point, so
+    every mode shares one code path per trace.  All failures — including
+    an expired ``timeout`` budget — are converted into an error string,
+    never a batch (or pool) failure: isolation guarantee.
 
     When ``collect_obs`` is set the trace is analyzed under a fresh
     :class:`~repro.obs.Tracer` whose picklable snapshot rides home in
@@ -132,18 +189,22 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
     ``corpus.trace`` span either way, so cached and fresh results report
     timing from a single source.
     """
-    digest, path, name, config, collect_obs = args
+    digest, path, name, config, collect_obs, timeout = args
     tracer = Tracer() if collect_obs else current_tracer()
     report_dict: Optional[dict] = None
     error: Optional[str] = None
     with use_tracer(tracer) if collect_obs else nullcontext():
         with tracer.span("corpus.trace", trace=name, digest=digest[:12]) as span:
             try:
-                trace = ExecutionTrace.load(path, name=name, strict=True)
-                # Max-merged across workers: the batch's largest trace.
-                tracer.gauge("corpus.trace_ops", len(trace))
-                report_dict = config.build_detector(trace).detect().to_dict()
+                with _analysis_budget(timeout):
+                    trace = ExecutionTrace.load(path, name=name, strict=True)
+                    # Max-merged across workers: the batch's largest trace.
+                    tracer.gauge("corpus.trace_ops", len(trace))
+                    report_dict = (
+                        config.build_detector(trace).detect().to_dict()
+                    )
             except Exception as exc:  # noqa: BLE001 — isolation boundary
+                report_dict = None
                 error = "%s: %s" % (exc.__class__.__name__, exc)
                 span.set(error=error)
     obs = tracer.snapshot() if collect_obs else None
@@ -159,11 +220,16 @@ class BatchAnalyzer:
         cache: Optional[ResultCache] = None,
         config: Optional[DetectorConfig] = None,
         jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
     ):
         self.store = store
         self.cache = cache
         self.config = config or DetectorConfig()
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        #: Per-trace wall-clock analysis budget in seconds (``None`` =
+        #: unlimited).  Expiry yields an ``AnalysisTimeout: ...`` error
+        #: on that trace's result, never a hung batch.
+        self.timeout = timeout
 
     def analyze(self, digests: Optional[Sequence[str]] = None) -> BatchResult:
         tracer = current_tracer()
@@ -221,6 +287,7 @@ class BatchAnalyzer:
             tracer.count("corpus.cache_hits", batch.cache_hits)
             tracer.count("corpus.cache_misses", batch.cache_misses)
             tracer.count("corpus.errors", len(batch.errors()))
+            tracer.count("corpus.timeouts", len(batch.timeouts()))
             batch_span.set(
                 traces=len(entries), parallel=parallel, errors=len(batch.errors())
             )
@@ -239,6 +306,7 @@ class BatchAnalyzer:
                 e.name,
                 self.config,
                 collect_obs,
+                self.timeout,
             )
             for e in todo
         ]

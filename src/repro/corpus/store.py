@@ -1,16 +1,36 @@
-"""The on-disk trace corpus: a content-addressed store of execution traces.
+"""The on-disk trace corpus: a sharded, content-addressed store of
+execution traces safe for concurrent multi-process access.
 
 DroidRacer's workflow (paper, §5) generates *many* bounded event
-sequences and analyzes every resulting trace offline.  This store is the
-persistence layer of that corpus:
+sequences and analyzes every resulting trace offline.  At fleet scale
+(the ``droidracer serve`` ingest service) many writer processes ingest
+into one corpus while readers list and load mid-flight, so the store is
+built from nothing but atomic filesystem primitives:
 
 * traces are saved as canonical JSONL under
   ``<root>/traces/<d0d1>/<digest>.jsonl`` where ``digest`` is the
   SHA-256 of the canonical serialization
   (:meth:`repro.core.trace.ExecutionTrace.canonical_digest`) — ingesting
-  the same operations twice is a no-op, regardless of trace names;
-* ``<root>/manifest.json`` indexes every stored trace: display name,
-  originating app, length, thread count, async-task count.
+  the same operations twice is a cheap no-op (an existing payload is
+  never re-serialized), regardless of trace names;
+* each shard directory ``traces/<d0d1>/`` holds its own manifest in two
+  layers: a compacted ``manifest.json`` snapshot plus one
+  ``<digest>.entry.json`` journal file per not-yet-compacted trace.
+  Every write is a unique temp file + :func:`os.replace`, so a manifest
+  can never be observed torn, and two processes ingesting the same
+  digest converge on identical files;
+* :meth:`TraceStore.compact` folds journal entries into the shard
+  snapshot under a per-shard ``flock`` (skipped, never blocked on, when
+  another compactor holds it) and only unlinks the journal files it
+  incorporated — a concurrent writer's fresh entry file survives, and a
+  crash mid-compaction loses nothing (worst case an entry exists in
+  both layers and deduplicates by digest);
+* optional multi-tenant namespaces live under
+  ``<root>/namespaces/<tenant>/`` as full stores of the same layout.
+
+Stores written by the pre-sharded layout (one global
+``<root>/manifest.json``) are still readable; ``compact()`` migrates
+the global manifest into per-shard snapshots and removes it.
 
 ``ingest()`` accepts live :class:`ExecutionTrace` objects (the explorer
 hook), JSONL files, and directories of JSONL files.
@@ -20,9 +40,11 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.trace import ExecutionTrace
 
@@ -31,10 +53,18 @@ Ingestible = Union[ExecutionTrace, str, "os.PathLike[str]", Iterable]
 
 MANIFEST_NAME = "manifest.json"
 TRACES_DIR = "traces"
+NAMESPACES_DIR = "namespaces"
+ENTRY_SUFFIX = ".entry.json"
+COMPACT_LOCK = ".compact.lock"
+
+#: Journal files per shard before ``ingest`` compacts it opportunistically.
+DEFAULT_COMPACT_THRESHOLD = 64
+
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 class CorpusError(ValueError):
-    """Raised for malformed stores or unknown digests."""
+    """Raised for malformed stores, unknown digests, or bad namespaces."""
 
 
 @dataclass(frozen=True)
@@ -68,16 +98,116 @@ def app_of_trace_name(name: str) -> str:
     return name.split("[", 1)[0].strip() or "unknown"
 
 
-class TraceStore:
-    """Persistent, content-addressed corpus of execution traces."""
+def valid_namespace(name: str) -> bool:
+    """Tenant names are path-safe single components: alphanumeric plus
+    ``. _ -``, not starting with a dot, at most 64 characters."""
+    return bool(_NAMESPACE_RE.match(name))
 
-    def __init__(self, root: Union[str, "os.PathLike[str]"]):
-        self.root = Path(root)
+
+def list_namespaces(root: Union[str, "os.PathLike[str]"]) -> List[str]:
+    """Tenant namespaces present under a corpus root (sorted)."""
+    ns_dir = Path(root) / NAMESPACES_DIR
+    if not ns_dir.is_dir():
+        return []
+    return sorted(p.name for p in ns_dir.iterdir() if p.is_dir())
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` through a uniquely named temp file in
+    the same directory + :func:`os.replace` — atomic on POSIX, and safe
+    against concurrent writers of the same target (each gets its own
+    temp file; last replace wins with a complete file either way)."""
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class _ShardLock:
+    """Best-effort exclusive per-shard lock for compaction.
+
+    Uses ``flock`` where available (auto-released on process death);
+    acquisition never blocks — compaction is an optimization, so on
+    contention the caller simply skips the shard.
+    """
+
+    def __init__(self, shard: Path):
+        self.path = shard / COMPACT_LOCK
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> bool:
+        try:
+            import fcntl
+        except ImportError:  # non-POSIX: no safe lock, skip compaction
+            return False
+        try:
+            fd = os.open(str(self.path), os.O_CREAT | os.O_RDWR)
+        except OSError:
+            return False
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)  # closing drops the flock
+            self._fd = None
+
+
+class TraceStore:
+    """Persistent, content-addressed, concurrency-safe trace corpus.
+
+    The in-memory entry map is a *view*: it reflects what this process
+    has ingested plus whatever was on disk at construction (or the last
+    :meth:`refresh`).  Concurrent writers' entries become visible after
+    ``refresh()`` — disk is the source of truth.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, "os.PathLike[str]"],
+        namespace: Optional[str] = None,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ):
+        base = Path(root)
+        if namespace is not None:
+            if not valid_namespace(namespace):
+                raise CorpusError("invalid namespace %r" % namespace)
+            base = base / NAMESPACES_DIR / namespace
+        self.base_root = Path(root)
+        self.namespace = namespace
+        self.root = base
         self.traces_dir = self.root / TRACES_DIR
-        self.manifest_path = self.root / MANIFEST_NAME
-        self._entries: dict = {}  # digest -> TraceEntry
-        if self.manifest_path.exists():
-            self._load_manifest()
+        self.manifest_path = self.root / MANIFEST_NAME  # legacy global manifest
+        self.compact_threshold = compact_threshold
+        self._entries: Dict[str, TraceEntry] = {}
+        self.refresh()
+
+    def namespace_store(self, namespace: str) -> "TraceStore":
+        """A sibling store for one tenant (``<root>/namespaces/<ns>/``)."""
+        if self.namespace is not None:
+            raise CorpusError(
+                "cannot nest namespaces (store already scoped to %r)"
+                % self.namespace
+            )
+        return TraceStore(
+            self.base_root,
+            namespace=namespace,
+            compact_threshold=self.compact_threshold,
+        )
 
     # -- ingestion -----------------------------------------------------------
 
@@ -130,15 +260,16 @@ class TraceStore:
         name: Optional[str] = None,
     ) -> TraceEntry:
         digest = trace.canonical_digest()
-        existing = self._entries.get(digest)
-        if existing is not None:
-            return existing
         path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(trace.to_jsonl(), encoding="utf-8")
-        tmp.replace(path)
-        entry = TraceEntry(
+        existing = self._entries.get(digest)
+        if existing is not None and path.exists():
+            # Already present: no re-serialization, no manifest touch.
+            return existing
+        shard = path.parent
+        shard.mkdir(parents=True, exist_ok=True)
+        if not path.exists():
+            _atomic_write_text(path, trace.to_jsonl())
+        entry = existing or TraceEntry(
             digest=digest,
             name=name or trace.name,
             app=app or app_of_trace_name(trace.name),
@@ -146,17 +277,32 @@ class TraceStore:
             threads=len(trace.threads),
             tasks=len(trace.tasks),
         )
-        self._entries[digest] = entry
-        self._save_manifest()
+        if existing is None:
+            _atomic_write_text(
+                self.entry_path(digest),
+                json.dumps(asdict(entry), sort_keys=True),
+            )
+            self._entries[digest] = entry
+            self._maybe_compact(shard)
         return entry
 
     # -- retrieval -----------------------------------------------------------
 
+    def shard_dir(self, digest: str) -> Path:
+        return self.traces_dir / digest[:2]
+
     def path_for(self, digest: str) -> Path:
-        return self.traces_dir / digest[:2] / ("%s.jsonl" % digest)
+        return self.shard_dir(digest) / ("%s.jsonl" % digest)
+
+    def entry_path(self, digest: str) -> Path:
+        return self.shard_dir(digest) / (digest + ENTRY_SUFFIX)
 
     def get(self, digest: str) -> TraceEntry:
         entry = self._entries.get(digest)
+        if entry is None:
+            # A concurrent writer may have added it since our last scan.
+            self.refresh()
+            entry = self._entries.get(digest)
         if entry is None:
             raise CorpusError("unknown trace digest %s" % digest)
         return entry
@@ -168,8 +314,8 @@ class TraceStore:
         )
 
     def entries(self) -> List[TraceEntry]:
-        """All manifest rows, sorted by (app, name, digest) for stable
-        iteration order across runs and platforms."""
+        """All known manifest rows, sorted by (app, name, digest) for
+        stable iteration order across runs and platforms."""
         return sorted(
             self._entries.values(), key=lambda e: (e.app, e.name, e.digest)
         )
@@ -183,9 +329,29 @@ class TraceStore:
     def __iter__(self) -> Iterator[TraceEntry]:
         return iter(self.entries())
 
-    # -- manifest ------------------------------------------------------------
+    # -- manifests -----------------------------------------------------------
 
-    def _load_manifest(self) -> None:
+    def refresh(self) -> int:
+        """Re-scan every manifest layer on disk; returns the entry count.
+
+        Reading races benignly with writers and compactors: snapshots
+        are replaced atomically (a reader sees the old or the new file,
+        never a torn one), and a journal entry that vanishes mid-scan
+        was just compacted — its row is picked up by re-reading that
+        shard's snapshot.
+        """
+        entries: Dict[str, TraceEntry] = {}
+        self._read_legacy_manifest(entries)
+        if self.traces_dir.is_dir():
+            for shard in sorted(self.traces_dir.iterdir()):
+                if shard.is_dir():
+                    self._read_shard(shard, entries)
+        self._entries = entries
+        return len(entries)
+
+    def _read_legacy_manifest(self, into: Dict[str, TraceEntry]) -> None:
+        if not self.manifest_path.exists():
+            return
         try:
             records = json.loads(self.manifest_path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
@@ -194,13 +360,147 @@ class TraceStore:
             )
         for rec in records:
             entry = TraceEntry(**rec)
-            self._entries[entry.digest] = entry
+            into[entry.digest] = entry
 
-    def _save_manifest(self) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
-        records = [asdict(entry) for entry in self.entries()]
-        tmp = self.manifest_path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(records, indent=2, sort_keys=True), encoding="utf-8"
+    def _read_shard(self, shard: Path, into: Dict[str, TraceEntry]) -> None:
+        self._read_snapshot(shard, into)
+        compacted_away = False
+        for entry_file in sorted(shard.glob("*" + ENTRY_SUFFIX)):
+            try:
+                rec = json.loads(entry_file.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                compacted_away = True
+                continue
+            except (OSError, ValueError) as exc:
+                raise CorpusError(
+                    "corrupt manifest entry %s: %s" % (entry_file, exc)
+                )
+            entry = TraceEntry(**rec)
+            into[entry.digest] = entry
+        if compacted_away:
+            # The vanished entries were folded into the snapshot.
+            self._read_snapshot(shard, into)
+
+    def _read_snapshot(self, shard: Path, into: Dict[str, TraceEntry]) -> None:
+        snapshot = shard / MANIFEST_NAME
+        try:
+            records = json.loads(snapshot.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError) as exc:
+            raise CorpusError("corrupt shard manifest %s: %s" % (snapshot, exc))
+        for rec in records:
+            entry = TraceEntry(**rec)
+            into.setdefault(entry.digest, entry)
+
+    def _save_manifest(self, shard: Path, rows: List[TraceEntry]) -> None:
+        """Write one shard's compacted snapshot atomically (unique temp
+        file + ``os.replace`` — never an in-place truncation, so a
+        concurrent reader can never observe a torn manifest)."""
+        records = [
+            asdict(entry)
+            for entry in sorted(rows, key=lambda e: (e.app, e.name, e.digest))
+        ]
+        _atomic_write_text(
+            shard / MANIFEST_NAME,
+            json.dumps(records, indent=2, sort_keys=True),
         )
-        tmp.replace(self.manifest_path)
+
+    def _journal_files(self, shard: Path) -> List[Path]:
+        return sorted(shard.glob("*" + ENTRY_SUFFIX))
+
+    def _maybe_compact(self, shard: Path) -> None:
+        try:
+            pending = len(self._journal_files(shard))
+        except OSError:
+            return
+        if self.compact_threshold and pending >= self.compact_threshold:
+            self._compact_shard(shard)
+
+    def _compact_shard(
+        self, shard: Path, extra_rows: Optional[List[TraceEntry]] = None
+    ) -> bool:
+        """Fold journal entry files (plus ``extra_rows`` from a legacy
+        manifest) into the shard snapshot.  Returns False when another
+        compactor holds the shard lock (nothing is lost — the journal
+        stays authoritative until someone else folds it)."""
+        lock = _ShardLock(shard)
+        if not lock.acquire():
+            return False
+        try:
+            rows: Dict[str, TraceEntry] = {}
+            self._read_snapshot(shard, rows)
+            for entry in extra_rows or ():
+                rows.setdefault(entry.digest, entry)
+            absorbed: List[Path] = []
+            for entry_file in self._journal_files(shard):
+                try:
+                    rec = json.loads(entry_file.read_text(encoding="utf-8"))
+                except FileNotFoundError:
+                    continue
+                except (OSError, ValueError):
+                    continue  # torn-impossible; treat unreadable as absent
+                entry = TraceEntry(**rec)
+                rows[entry.digest] = entry
+                absorbed.append(entry_file)
+            self._save_manifest(shard, list(rows.values()))
+            for entry_file in absorbed:
+                try:
+                    entry_file.unlink()
+                except OSError:
+                    pass
+        finally:
+            lock.release()
+        return True
+
+    def compact(self) -> int:
+        """Fold every shard's journal into its snapshot and migrate a
+        legacy (pre-sharded) global manifest into the shard layer.
+        Returns the number of entries now held in snapshots."""
+        legacy: Dict[str, TraceEntry] = {}
+        if self.manifest_path.exists():
+            self._read_legacy_manifest(legacy)
+        by_shard: Dict[str, List[TraceEntry]] = {}
+        for entry in legacy.values():
+            by_shard.setdefault(entry.digest[:2], []).append(entry)
+        shards = set(by_shard)
+        if self.traces_dir.is_dir():
+            shards.update(
+                p.name for p in self.traces_dir.iterdir() if p.is_dir()
+            )
+        all_folded = True
+        total = 0
+        for shard_name in sorted(shards):
+            shard = self.traces_dir / shard_name
+            shard.mkdir(parents=True, exist_ok=True)
+            folded = self._compact_shard(
+                shard, extra_rows=by_shard.get(shard_name)
+            )
+            all_folded = all_folded and folded
+            rows: Dict[str, TraceEntry] = {}
+            self._read_snapshot(shard, rows)
+            total += len(rows)
+        if legacy and all_folded:
+            try:
+                self.manifest_path.unlink()
+            except OSError:
+                pass
+        self.refresh()
+        return total
+
+    def stats(self) -> dict:
+        """Shape of the on-disk store (for ``serve`` status endpoints)."""
+        shards = 0
+        journal = 0
+        if self.traces_dir.is_dir():
+            for shard in self.traces_dir.iterdir():
+                if shard.is_dir():
+                    shards += 1
+                    journal += len(self._journal_files(shard))
+        return {
+            "entries": len(self._entries),
+            "shards": shards,
+            "journal_entries": journal,
+            "namespace": self.namespace,
+            "root": str(self.root),
+        }

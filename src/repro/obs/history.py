@@ -415,6 +415,7 @@ class HistoryStore:
 BENCH_VIEWS = {
     "bench.closure": "BENCH_closure.json",
     "bench.reachability": "BENCH_reachability.json",
+    "bench.service": "BENCH_service.json",
 }
 
 

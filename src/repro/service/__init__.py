@@ -1,0 +1,48 @@
+"""``droidracer serve``: the async race-analysis service.
+
+A stdlib-only asyncio HTTP front end over the sharded trace corpus —
+device sessions POST execution traces, the service ingests, enqueues,
+analyzes on a persistent worker pool, and serves job status plus
+:class:`RaceReport` JSON identical to the offline ``droidracer
+analyze`` path.  Layout:
+
+* :mod:`repro.service.http` — minimal HTTP/1.1 parsing/serialization;
+* :mod:`repro.service.jobs` — durable, bounded, idempotent job queue;
+* :mod:`repro.service.app` — :class:`RaceService` (routes + scheduler +
+  worker pool) and :class:`BackgroundServer` (thread-hosted instance
+  for tests/benchmarks);
+* :mod:`repro.service.client` — blocking :class:`ServiceClient` used by
+  tests, the CI smoke driver, and ``serve --self-test``.
+
+Full API and operational semantics: ``docs/service.md``.
+"""
+
+from .app import BackgroundServer, RaceService
+from .client import ServiceClient, ServiceError
+from .http import HttpError, Request, Response
+from .jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    Job,
+    JobQueue,
+    QueueFullError,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "HttpError",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+    "RaceService",
+    "Request",
+    "Response",
+    "ServiceClient",
+    "ServiceError",
+]

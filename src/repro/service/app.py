@@ -1,0 +1,843 @@
+"""The ``droidracer serve`` race-analysis service.
+
+A long-running asyncio front end over the sharded trace corpus: device
+sessions (or a fleet driver) POST execution traces, the service ingests
+them into the content-addressed :class:`~repro.corpus.store.TraceStore`,
+enqueues one analysis job per ``(trace_digest, config_digest)`` key in
+the durable :class:`~repro.service.jobs.JobQueue`, fans jobs out to a
+persistent ``ProcessPoolExecutor`` running the exact
+:func:`repro.corpus.pipeline._analyze_one` worker the offline batch
+pipeline uses, and serves job status plus :class:`RaceReport` JSON that
+is byte-identical (modulo the volatile timing fields the regression
+gate also ignores) to ``droidracer analyze --json``.
+
+Endpoints (see ``docs/service.md`` for the full walkthrough)::
+
+    GET  /healthz                 liveness
+    GET  /v1/status               queue, pool, corpus, counters
+    POST /v1/traces               upload one trace (JSONL body, optional
+                                  gzip Content-Encoding); 202 + job
+    POST /v1/traces:batch         upload many ({"traces": [...]})
+    GET  /v1/jobs                 list jobs (?state=&namespace=&limit=)
+    GET  /v1/jobs/<id>            one job
+    GET  /v1/reports/<digest>     RaceReport JSON (?config=<digest>)
+    GET  /v1/corpus               manifest rows (?namespace=)
+    GET  /v1/stream               NDJSON (or SSE) of results as they
+                                  complete (?after=<seq> replays)
+    POST /v1/compact              fold store manifests
+
+Durability and flow control live in :mod:`repro.service.jobs`; raw
+HTTP plumbing in :mod:`repro.service.http`.  Every completed analysis
+appends a :class:`~repro.obs.RunRecord` (command ``service.analyze``)
+when a history dir is configured, so per-tenant observability and the
+``droidracer obs gate`` regression machinery cover served traffic for
+free; ``service.*`` counters and spans flow through :mod:`repro.obs`
+whenever the current tracer is enabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Set, Union
+
+from repro.core.race_detector import DetectorConfig, RaceReport
+from repro.core.trace import ExecutionTrace, InvalidTraceError
+from repro.corpus import ResultCache, TraceStore, report_to_json
+from repro.corpus.pipeline import _analyze_one
+from repro.corpus.store import CorpusError, list_namespaces, valid_namespace
+from repro.obs import current_tracer
+
+from .http import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpError,
+    Request,
+    Response,
+    json_response,
+    read_request,
+    start_stream,
+    write_response,
+)
+from .jobs import JOB_DONE, Job, JobQueue, QueueFullError
+
+__all__ = ["BackgroundServer", "RaceService", "SERVICE_DIR"]
+
+#: Service state (job journal) lives under ``<store_root>/service/``.
+SERVICE_DIR = "service"
+
+#: Sentinel a route handler returns after taking over the transport.
+_STREAMED = object()
+
+
+class RaceService:
+    """One service instance: corpus + cache + queue + pool + HTTP."""
+
+    def __init__(
+        self,
+        store_root: Union[str, "os.PathLike[str]"],
+        config: Optional[DetectorConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: Optional[int] = None,
+        queue_depth: int = 256,
+        max_attempts: int = 3,
+        timeout: Optional[float] = None,
+        history_dir: Optional[str] = None,
+        drain: bool = True,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ):
+        self.store_root = str(store_root)
+        self.config = config or DetectorConfig()
+        self.config_digest = self.config.digest()
+        self.host = host
+        self.port = port
+        #: ``jobs > 0``: a persistent process pool of that many workers.
+        #: ``jobs <= 0``: run analysis inline on the event loop's thread
+        #: pool (no child processes — fast startup for tests).
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.timeout = timeout
+        self.drain = drain
+        self.max_body_bytes = max_body_bytes
+
+        self.root_store = TraceStore(self.store_root)
+        self._stores: Dict[Optional[str], TraceStore] = {None: self.root_store}
+        self.cache = ResultCache(self.store_root)
+        self.queue = JobQueue(
+            os.path.join(self.store_root, SERVICE_DIR, "jobs.jsonl"),
+            max_depth=queue_depth,
+            max_attempts=max_attempts,
+        )
+        self.history = None
+        if history_dir:
+            from repro.obs import HistoryStore
+
+            self.history = HistoryStore(history_dir)
+
+        self.tracer = current_tracer()
+        self.counters: Dict[str, float] = {}
+        self.started_at = time.time()
+        self.pool_restarts = 0
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._inflight = 0
+        self._max_inflight = self.jobs if self.jobs > 0 else 1
+        self._published_seq = 0
+        self._subscribers: Set[asyncio.Queue] = set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._conn_tasks: Set["asyncio.Task"] = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, recover journaled jobs, start the scheduler."""
+        self._wake = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self._running = True
+        self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._scheduler_task = asyncio.create_task(self._scheduler())
+        self._publish_events(initial=True)
+        self._wake.set()
+
+    def _recover(self) -> None:
+        """Finish journal recovery: queued keys whose report is already
+        in the result cache complete instantly instead of re-analyzing
+        (the restart guarantee — completed work is never redone)."""
+        for job in self.queue.jobs(state="queued"):
+            report = self.cache.get(job.trace_digest, job.config_digest)
+            if report is not None:
+                self.queue.complete(
+                    job.job_id, cached=True, race_count=len(report.races)
+                )
+                self._count("service.recovered_from_cache")
+        if self.queue.recovered:
+            self._count("service.jobs_recovered", self.queue.recovered)
+
+    async def serve_forever(self) -> None:
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._scheduler_task is not None:
+            self._wake.set()
+            try:
+                await asyncio.wait_for(self._scheduler_task, timeout=5)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                self._scheduler_task.cancel()
+        # Let open connection handlers exit on their own (cancelling
+        # them mid-read makes asyncio's stream protocol log noise):
+        # wake stream subscribers, close transports, then wait.
+        for sub in list(self._subscribers):
+            sub.put_nowait(None)
+        for conn_writer in list(self._connections):
+            try:
+                conn_writer.close()
+            except OSError:
+                pass
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=5)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.queue.close()
+
+    def request_stop(self) -> None:
+        """Signal ``serve_forever`` to exit (safe from signal handlers)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _ensure_executor(self) -> Optional[concurrent.futures.Executor]:
+        if self.jobs <= 0:
+            return None  # event loop's default thread pool (inline mode)
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs
+            )
+        return self._executor
+
+    def _rebuild_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.pool_restarts += 1
+        self._count("service.pool_restarts")
+
+    # -- scheduling ----------------------------------------------------------
+
+    async def _scheduler(self) -> None:
+        while self._running:
+            self._wake.clear()
+            if self.drain:
+                while self._inflight < self._max_inflight:
+                    job = self.queue.next_job()
+                    if job is None:
+                        break
+                    self._inflight += 1
+                    asyncio.create_task(self._run_job(job))
+            await self._wake.wait()
+
+    @property
+    def collect_obs(self) -> bool:
+        return self.history is not None or self.tracer.enabled
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        store = self._store(job.namespace)
+        args = (
+            job.trace_digest,
+            str(store.path_for(job.trace_digest)),
+            job.trace_name,
+            self.config,
+            self.collect_obs,
+            self.timeout,
+        )
+        try:
+            try:
+                executor = self._ensure_executor()
+                result = await loop.run_in_executor(
+                    executor, _analyze_one, args
+                )
+            except concurrent.futures.BrokenExecutor as exc:
+                # A worker process died mid-job (OOM-killer, SIGKILL).
+                # The pool is unusable: rebuild it and retry the job
+                # until its attempt budget runs out.
+                self._rebuild_executor()
+                retried = self.queue.fail(
+                    job.job_id, "worker pool broke: %s" % exc, retry=True
+                )
+                self._count(
+                    "service.retries" if retried else "service.jobs_failed"
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 — keep the loop alive
+                self.queue.fail(
+                    job.job_id, "%s: %s" % (exc.__class__.__name__, exc)
+                )
+                self._count("service.jobs_failed")
+                return
+            digest, report_dict, error, seconds, obs = result
+            if obs and self.tracer.enabled:
+                self.tracer.merge(obs)
+            if report_dict is not None:
+                report = RaceReport.from_dict(report_dict)
+                self.cache.put(digest, self.config_digest, report)
+                self.queue.complete(
+                    job.job_id, seconds=seconds, race_count=len(report.races)
+                )
+                self._count("service.jobs_completed")
+                self._count("service.races_found", len(report.races))
+                self._record_history(job, report_dict, obs, seconds)
+            else:
+                self.queue.fail(job.job_id, error or "analysis failed")
+                self._count("service.jobs_failed")
+                if error and error.startswith("AnalysisTimeout"):
+                    self._count("service.job_timeouts")
+        finally:
+            self._inflight -= 1
+            self._publish_events()
+            self._wake.set()
+
+    # -- history / observability ----------------------------------------------
+
+    def _count(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+        self.tracer.count(name, value)
+
+    def _record_history(
+        self,
+        job: Job,
+        report_dict: dict,
+        obs: Optional[dict],
+        seconds: float,
+    ) -> None:
+        if self.history is None:
+            return
+        from repro.core.happens_before import SAT_INCREMENTAL
+        from repro.core.race_detector import ENUM_BATCHED
+        from repro.obs import RunRecord, aggregate_spans, report_digest
+        from repro.obs.tracer import SpanRecord
+
+        rows: List[dict] = []
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        if obs:
+            rows = aggregate_spans(
+                [SpanRecord.from_dict(d) for d in obs.get("spans", ())]
+            )
+            counters = dict(obs.get("counters", {}))
+            gauges = dict(obs.get("gauges", {}))
+        closure = dict(report_dict.get("closure") or {})
+        closure["nodes"] = report_dict["node_count"]
+        closure["reduction_ratio"] = report_dict["reduction_ratio"]
+        per_category: Dict[str, int] = {}
+        for race in report_dict.get("races", ()):
+            category = race.get("category", "?")
+            per_category[category] = per_category.get(category, 0) + 1
+        record = RunRecord(
+            command="service.analyze",
+            trace_digest=job.trace_digest,
+            config_digest=job.config_digest,
+            app=job.app,
+            trace_name=job.trace_name,
+            trace_count=1,
+            trace_length=report_dict["trace_length"],
+            backend=self.config.backend,
+            saturation=SAT_INCREMENTAL,
+            enumeration=ENUM_BATCHED,
+            coalesce=self.config.coalesce,
+            closure=closure,
+            report_digest=report_digest(report_dict),
+            race_count=len(report_dict["races"]),
+            racy_pairs=report_dict["racy_pair_count"],
+            per_category=per_category,
+            spans=rows,
+            counters=counters,
+            gauges=gauges,
+            extra={
+                "namespace": job.namespace,
+                "job_id": job.job_id,
+                "seconds": seconds,
+            },
+        )
+        self.history.append(record)
+
+    # -- stream fan-out -------------------------------------------------------
+
+    def _publish_events(self, initial: bool = False) -> None:
+        events = self.queue.events_since(self._published_seq)
+        if events:
+            self._published_seq = events[-1]["seq"]
+        if initial:
+            return  # recovery events are replayable, not live-pushed
+        for event in events:
+            for sub in self._subscribers:
+                sub.put_nowait(event)
+
+    # -- stores ---------------------------------------------------------------
+
+    def _store(self, namespace: Optional[str]) -> TraceStore:
+        if namespace is not None and not valid_namespace(namespace):
+            raise HttpError(400, "invalid namespace %r" % namespace)
+        store = self._stores.get(namespace)
+        if store is None:
+            store = self.root_store.namespace_store(namespace)
+            self._stores[namespace] = store
+        return store
+
+    def _namespace_of(self, request: Request) -> Optional[str]:
+        namespace = request.param("namespace")
+        return namespace or None
+
+    # -- HTTP ----------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(writer)
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, self.max_body_bytes)
+                except HttpError as exc:
+                    await write_response(
+                        writer, json_response(exc.payload, exc.status), False
+                    )
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if request is None:
+                    break
+                self._count("service.requests")
+                outcome = await self._safe_route(request, writer)
+                if outcome is _STREAMED:
+                    break
+                self._count("service.responses_%dxx" % (outcome.status // 100))
+                try:
+                    await write_response(writer, outcome, request.keep_alive)
+                except ConnectionError:
+                    break
+                if not request.keep_alive:
+                    break
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _safe_route(self, request: Request, writer):
+        with self.tracer.span(
+            "service.request", method=request.method, path=request.path
+        ) as span:
+            try:
+                return await self._route(request, writer)
+            except HttpError as exc:
+                span.set(status=exc.status)
+                return json_response(exc.payload, exc.status)
+            except QueueFullError as exc:
+                self._count("service.rejected_429")
+                span.set(status=429)
+                response = json_response({"error": str(exc)}, 429)
+                response.headers["Retry-After"] = "1"
+                return response
+            except (CorpusError, InvalidTraceError) as exc:
+                span.set(status=400)
+                return json_response({"error": str(exc)}, 400)
+            except Exception as exc:  # noqa: BLE001 — server must survive
+                self._count("service.internal_errors")
+                span.set(status=500, error=str(exc))
+                return json_response(
+                    {"error": "%s: %s" % (exc.__class__.__name__, exc)}, 500
+                )
+
+    async def _route(self, request: Request, writer):
+        method, path = request.method, request.path
+        if path == "/healthz" and method == "GET":
+            return json_response({"ok": True})
+        if path == "/" and method == "GET":
+            return json_response(self._index())
+        if path == "/v1/status" and method == "GET":
+            return json_response(self.status())
+        if path == "/v1/traces" and method == "POST":
+            return self._handle_upload(request)
+        if path == "/v1/traces:batch" and method == "POST":
+            return self._handle_batch(request)
+        if path == "/v1/jobs" and method == "GET":
+            return self._handle_jobs(request)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._handle_job(path[len("/v1/jobs/"):])
+        if path.startswith("/v1/reports/") and method == "GET":
+            return self._handle_report(request, path[len("/v1/reports/"):])
+        if path == "/v1/corpus" and method == "GET":
+            return self._handle_corpus(request)
+        if path == "/v1/stream" and method == "GET":
+            await self._handle_stream(request, writer)
+            return _STREAMED
+        if path == "/v1/compact" and method == "POST":
+            return self._handle_compact()
+        known = {
+            "/healthz", "/", "/v1/status", "/v1/traces", "/v1/traces:batch",
+            "/v1/jobs", "/v1/corpus", "/v1/stream", "/v1/compact",
+        }
+        if path in known or path.startswith(("/v1/jobs/", "/v1/reports/")):
+            raise HttpError(405, "%s not allowed on %s" % (method, path))
+        raise HttpError(404, "unknown endpoint %s" % path)
+
+    def _index(self) -> dict:
+        return {
+            "service": "droidracer",
+            "endpoints": [
+                "GET /healthz",
+                "GET /v1/status",
+                "POST /v1/traces",
+                "POST /v1/traces:batch",
+                "GET /v1/jobs",
+                "GET /v1/jobs/<job_id>",
+                "GET /v1/reports/<trace_digest>",
+                "GET /v1/corpus",
+                "GET /v1/stream",
+                "POST /v1/compact",
+            ],
+            "config_digest": self.config_digest,
+            "backend": self.config.backend,
+        }
+
+    def status(self) -> dict:
+        corpus: Dict[str, dict] = {"default": self.root_store.stats()}
+        for namespace in list_namespaces(self.store_root):
+            corpus[namespace] = self._store(namespace).stats()
+        return {
+            "ok": True,
+            "uptime_seconds": time.time() - self.started_at,
+            "queue": self.queue.counts(),
+            "pool": {
+                "mode": "process" if self.jobs > 0 else "inline",
+                "workers": self._max_inflight,
+                "inflight": self._inflight,
+                "restarts": self.pool_restarts,
+                "draining": self.drain,
+            },
+            "corpus": corpus,
+            "cache": {"hits": self.cache.hits, "misses": self.cache.misses},
+            "counters": dict(sorted(self.counters.items())),
+            "config_digest": self.config_digest,
+            "backend": self.config.backend,
+            "timeout": self.timeout,
+        }
+
+    # -- upload & jobs --------------------------------------------------------
+
+    def _parse_trace(
+        self, text: str, name: Optional[str]
+    ) -> ExecutionTrace:
+        try:
+            trace = ExecutionTrace.from_jsonl(text, name=name or "upload")
+        except InvalidTraceError as exc:
+            raise HttpError(400, "malformed trace: %s" % exc)
+        if not len(trace):
+            raise HttpError(400, "empty trace upload")
+        if name is None:
+            trace.name = "upload-%s" % trace.canonical_digest()[:12]
+        return trace
+
+    def _ingest_and_submit(
+        self,
+        text: str,
+        name: Optional[str],
+        app: Optional[str],
+        namespace: Optional[str],
+        analyze: bool,
+    ) -> dict:
+        store = self._store(namespace)
+        trace = self._parse_trace(text, name)
+        entry = store.ingest(trace, app=app, name=name)[0]
+        self._count("service.traces_ingested")
+        payload = {
+            "trace_digest": entry.digest,
+            "entry": {
+                "name": entry.name,
+                "app": entry.app,
+                "length": entry.length,
+            },
+            "namespace": namespace,
+        }
+        if not analyze:
+            payload["job"] = None
+            return payload
+        cached_report = self.cache.get(entry.digest, self.config_digest)
+        job, created = self.queue.submit(
+            entry.digest,
+            self.config_digest,
+            trace_name=entry.name,
+            app=entry.app,
+            namespace=namespace,
+            cached=cached_report is not None,
+        )
+        if created:
+            self._count("service.jobs_submitted")
+            if job.state == JOB_DONE:
+                self._count("service.cache_short_circuits")
+                self._publish_events()
+            else:
+                self._wake.set()
+        else:
+            self._count("service.jobs_deduplicated")
+        payload["job"] = self._job_dict(job)
+        return payload
+
+    @staticmethod
+    def _wants_analysis(request: Request) -> bool:
+        return request.param("analyze", "1") not in ("0", "false", "no")
+
+    def _handle_upload(self, request: Request) -> Response:
+        namespace = self._namespace_of(request)
+        payload = self._ingest_and_submit(
+            request.text(),
+            request.param("name"),
+            request.param("app"),
+            namespace,
+            self._wants_analysis(request),
+        )
+        status = 202 if payload.get("job") else 200
+        return json_response(payload, status)
+
+    def _handle_batch(self, request: Request) -> Response:
+        namespace = self._namespace_of(request)
+        analyze = self._wants_analysis(request)
+        body = request.json()
+        if not isinstance(body, dict) or not isinstance(
+            body.get("traces"), list
+        ):
+            raise HttpError(400, 'batch body must be {"traces": [...]}')
+        items: List[dict] = []
+        accepted = 0
+        for i, item in enumerate(body["traces"]):
+            if not isinstance(item, dict) or "jsonl" not in item:
+                items.append(
+                    {"index": i, "status": 400, "error": "item needs a 'jsonl' field"}
+                )
+                continue
+            try:
+                payload = self._ingest_and_submit(
+                    item["jsonl"],
+                    item.get("name"),
+                    item.get("app"),
+                    item.get("namespace", namespace),
+                    analyze,
+                )
+            except HttpError as exc:
+                items.append(dict(exc.payload, index=i, status=exc.status))
+                continue
+            except QueueFullError as exc:
+                self._count("service.rejected_429")
+                items.append({"index": i, "status": 429, "error": str(exc)})
+                continue
+            items.append(dict(payload, index=i, status=202 if analyze else 200))
+            accepted += 1
+        status = 202 if accepted else 400
+        return json_response(
+            {"accepted": accepted, "total": len(body["traces"]), "items": items},
+            status,
+        )
+
+    def _job_dict(self, job: Job) -> dict:
+        payload = job.to_dict()
+        if job.state == JOB_DONE:
+            report_path = "/v1/reports/%s?config=%s" % (
+                job.trace_digest,
+                job.config_digest,
+            )
+            if job.namespace:
+                report_path += "&namespace=%s" % job.namespace
+            payload["report_path"] = report_path
+        return payload
+
+    def _handle_jobs(self, request: Request) -> Response:
+        limit_raw = request.param("limit", "0")
+        try:
+            limit = int(limit_raw)
+        except ValueError:
+            raise HttpError(400, "invalid limit %r" % limit_raw)
+        jobs = self.queue.jobs(
+            state=request.param("state"),
+            namespace=request.param("namespace"),
+            limit=limit,
+        )
+        return json_response(
+            {"jobs": [self._job_dict(job) for job in jobs], "counts": self.queue.counts()}
+        )
+
+    def _handle_job(self, job_id: str) -> Response:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise HttpError(404, "unknown job %s" % job_id)
+        return json_response(self._job_dict(job))
+
+    def _handle_report(self, request: Request, digest: str) -> Response:
+        config_digest = request.param("config") or self.config_digest
+        report = self.cache.get(digest, config_digest)
+        if report is None:
+            job = self.queue.find(
+                digest, config_digest, self._namespace_of(request)
+            )
+            raise HttpError(
+                404,
+                "no report for trace %s under config %s"
+                % (digest[:12], config_digest[:12]),
+                job_state=job.state if job else None,
+            )
+        # Byte-for-byte the offline CLI's ``analyze --json`` output
+        # (stdout print appends the trailing newline there; we do here).
+        body = (report_to_json(report) + "\n").encode("utf-8")
+        return Response(status=200, body=body)
+
+    def _handle_corpus(self, request: Request) -> Response:
+        store = self._store(self._namespace_of(request))
+        store.refresh()
+        return json_response(
+            {
+                "stats": store.stats(),
+                "entries": [
+                    {
+                        "digest": e.digest,
+                        "name": e.name,
+                        "app": e.app,
+                        "length": e.length,
+                        "threads": e.threads,
+                        "tasks": e.tasks,
+                    }
+                    for e in store.entries()
+                ],
+            }
+        )
+
+    def _handle_compact(self) -> Response:
+        totals = {"default": self.root_store.compact()}
+        for namespace in list_namespaces(self.store_root):
+            totals[namespace] = self._store(namespace).compact()
+        return json_response({"compacted": totals})
+
+    async def _handle_stream(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        after_raw = request.param("after", "0")
+        try:
+            after = int(after_raw)
+        except ValueError:
+            raise HttpError(400, "invalid after %r" % after_raw)
+        sse = "text/event-stream" in request.headers.get("accept", "")
+        await start_stream(
+            writer,
+            "text/event-stream" if sse else "application/x-ndjson",
+        )
+        self._count("service.stream_connections")
+        sub: asyncio.Queue = asyncio.Queue()
+        self._subscribers.add(sub)
+        sent = after
+        try:
+            for event in self.queue.events_since(after):
+                self._write_event(writer, event, sse)
+                sent = event["seq"]
+            await writer.drain()
+            while True:
+                event = await sub.get()
+                if event is None:
+                    break  # server shutdown
+                if event["seq"] <= sent:
+                    continue  # already replayed
+                self._write_event(writer, event, sse)
+                sent = event["seq"]
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away
+        finally:
+            self._subscribers.discard(sub)
+
+    @staticmethod
+    def _write_event(
+        writer: asyncio.StreamWriter, event: dict, sse: bool
+    ) -> None:
+        blob = json.dumps(event, sort_keys=True)
+        if sse:
+            writer.write(("data: %s\n\n" % blob).encode("utf-8"))
+        else:
+            writer.write((blob + "\n").encode("utf-8"))
+
+
+class BackgroundServer:
+    """Run a :class:`RaceService` on a daemon thread with its own event
+    loop — the in-process harness tests, benchmarks, and ``serve
+    --self-test`` drive through a real socket.
+
+    Usable as a context manager::
+
+        with BackgroundServer(store_root=tmp, jobs=0) as server:
+            client = ServiceClient(server.base_url)
+    """
+
+    def __init__(self, **service_kwargs):
+        self._kwargs = service_kwargs
+        self.service: Optional[RaceService] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return "http://%s:%d" % (
+            self._kwargs.get("host", "127.0.0.1"),
+            self.port,
+        )
+
+    def start(self, timeout: float = 30.0) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="droidracer-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service did not start within %.1fs" % timeout)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "service failed to start: %s" % self._startup_error
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to starter
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _amain(self) -> None:
+        try:
+            self.service = RaceService(**self._kwargs)
+            await self.service.start()
+        except BaseException as exc:  # noqa: BLE001
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self.port = self.service.port
+        self._ready.set()
+        await self.service.serve_forever()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self.service is not None:
+            self._loop.call_soon_threadsafe(self.service.request_stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,246 @@
+"""Blocking client for the ``droidracer serve`` HTTP API.
+
+Stdlib-only (``http.client``), synchronous, and deliberately thin: the
+test-suite, the CI smoke driver, ``serve --self-test``, and the service
+benchmark all drive the server through this — over a real socket, the
+same way a fleet driver would.  Each call opens/uses one keep-alive
+connection; the client is not thread-safe (give each thread its own).
+"""
+
+from __future__ import annotations
+
+import gzip
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlencode, urlsplit
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response (or a timed-out wait)."""
+
+    def __init__(self, status: int, payload):
+        message = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__("HTTP %d: %s" % (status, message))
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to one running service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        split = urlsplit(base_url)
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, str]] = None,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
+        """One request; returns ``(status, raw_body)``.  Retries once on
+        a dropped keep-alive connection."""
+        if params:
+            path = "%s?%s" % (path, urlencode(params))
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers or {})
+                response = conn.getresponse()
+                data = response.read()
+                return response.status, data
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def request_json(self, method: str, path: str, **kwargs):
+        status, data = self.request(method, path, **kwargs)
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except ValueError:
+            payload = data.decode("utf-8", "replace")
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request_json("GET", "/healthz")
+
+    def status(self) -> dict:
+        return self.request_json("GET", "/v1/status")
+
+    def upload(
+        self,
+        jsonl: str,
+        name: Optional[str] = None,
+        app: Optional[str] = None,
+        namespace: Optional[str] = None,
+        analyze: bool = True,
+        compress: bool = False,
+    ) -> dict:
+        """Upload one trace (canonical JSONL text); returns the ingest
+        payload (``trace_digest`` + ``job``).  ``compress=True`` gzips
+        the body and sets ``Content-Encoding: gzip``."""
+        params = {}
+        if name:
+            params["name"] = name
+        if app:
+            params["app"] = app
+        if namespace:
+            params["namespace"] = namespace
+        if not analyze:
+            params["analyze"] = "0"
+        body = jsonl.encode("utf-8")
+        headers = {"Content-Type": "application/x-ndjson"}
+        if compress:
+            body = gzip.compress(body)
+            headers["Content-Encoding"] = "gzip"
+        return self.request_json(
+            "POST", "/v1/traces", params=params, body=body, headers=headers
+        )
+
+    def upload_batch(
+        self,
+        traces: List[dict],
+        namespace: Optional[str] = None,
+        analyze: bool = True,
+    ) -> dict:
+        """Upload many traces (items: ``{"jsonl": ..., "name"?, "app"?}``)."""
+        params = {}
+        if namespace:
+            params["namespace"] = namespace
+        if not analyze:
+            params["analyze"] = "0"
+        body = json.dumps({"traces": traces}).encode("utf-8")
+        return self.request_json(
+            "POST",
+            "/v1/traces:batch",
+            params=params,
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+
+    def job(self, job_id: str) -> dict:
+        return self.request_json("GET", "/v1/jobs/%s" % job_id)
+
+    def jobs(
+        self,
+        state: Optional[str] = None,
+        namespace: Optional[str] = None,
+        limit: int = 0,
+    ) -> dict:
+        params = {}
+        if state:
+            params["state"] = state
+        if namespace:
+            params["namespace"] = namespace
+        if limit:
+            params["limit"] = str(limit)
+        return self.request_json("GET", "/v1/jobs", params=params)
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    504, {"error": "job %s still %s after %.1fs"
+                          % (job_id, job["state"], timeout)}
+                )
+            time.sleep(poll)
+
+    def report_text(
+        self,
+        trace_digest: str,
+        config_digest: Optional[str] = None,
+        namespace: Optional[str] = None,
+    ) -> str:
+        """The report as raw text — byte-comparable against the offline
+        ``droidracer analyze --json`` output."""
+        params = {}
+        if config_digest:
+            params["config"] = config_digest
+        if namespace:
+            params["namespace"] = namespace
+        status, data = self.request(
+            "GET", "/v1/reports/%s" % trace_digest, params=params
+        )
+        if status >= 400:
+            try:
+                payload = json.loads(data.decode("utf-8"))
+            except ValueError:
+                payload = data.decode("utf-8", "replace")
+            raise ServiceError(status, payload)
+        return data.decode("utf-8")
+
+    def report(self, trace_digest: str, **kwargs) -> dict:
+        return json.loads(self.report_text(trace_digest, **kwargs))
+
+    def corpus(self, namespace: Optional[str] = None) -> dict:
+        params = {"namespace": namespace} if namespace else None
+        return self.request_json("GET", "/v1/corpus", params=params)
+
+    def compact(self) -> dict:
+        return self.request_json("POST", "/v1/compact")
+
+    def stream(
+        self, after: int = 0, max_events: int = 0, timeout: Optional[float] = None
+    ) -> Iterator[dict]:
+        """Yield completion events from ``/v1/stream`` (NDJSON) as they
+        arrive; stops after ``max_events`` when nonzero.  Uses its own
+        connection (the stream holds it open)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            conn.request("GET", "/v1/stream?after=%d" % after)
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    response.status,
+                    {"error": response.read().decode("utf-8", "replace")},
+                )
+            seen = 0
+            while True:
+                line = response.fp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                yield json.loads(line.decode("utf-8"))
+                seen += 1
+                if max_events and seen >= max_events:
+                    return
+        finally:
+            conn.close()

@@ -1,0 +1,225 @@
+"""Minimal asyncio HTTP/1.1 plumbing for ``droidracer serve``.
+
+Deliberately stdlib-only (the container bakes no web framework): just
+enough of HTTP/1.1 for a JSON ingest API — request-line + header
+parsing, ``Content-Length`` bodies with a configurable cap, optional
+``Content-Encoding: gzip`` request bodies, keep-alive, and hand-rolled
+responses.  Anything fancier (chunked *request* bodies, pipelining,
+TLS) is out of scope and rejected cleanly.
+
+The route layer (:mod:`repro.service.app`) works in terms of
+:class:`Request` in and :class:`Response` out; streaming endpoints
+(NDJSON / SSE) bypass :class:`Response` and write to the transport
+directly after :func:`start_stream`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gzip
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "Response",
+    "json_response",
+    "read_request",
+    "start_stream",
+    "write_response",
+]
+
+#: Hard cap on the request head (request line + headers).
+MAX_HEAD_BYTES = 32 * 1024
+#: Default cap on request bodies; the service can raise it.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpError(Exception):
+    """A request-level failure with an HTTP status and JSON payload."""
+
+    def __init__(self, status: int, message: str, **extra):
+        super().__init__(message)
+        self.status = status
+        self.payload = dict(extra, error=message)
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # keys lower-cased
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.query.get(name, default)
+
+    def text(self) -> str:
+        try:
+            return self.body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise HttpError(400, "request body is not valid UTF-8: %s" % exc)
+
+    def json(self):
+        try:
+            return json.loads(self.text())
+        except ValueError as exc:
+            raise HttpError(400, "request body is not valid JSON: %s" % exc)
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(payload, status: int = 200) -> Response:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` for malformed heads, unsupported framing
+    (chunked request bodies), or bodies beyond ``max_body_bytes``.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request head exceeds %d bytes" % MAX_HEAD_BYTES)
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(400, "request head exceeds %d bytes" % MAX_HEAD_BYTES)
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line %r" % lines[0][:120])
+    method, target, _version = parts
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line %r" % line[:120])
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, "invalid Content-Length %r" % length)
+        if n > max_body_bytes:
+            raise HttpError(
+                413, "request body of %d bytes exceeds the %d-byte limit"
+                % (n, max_body_bytes)
+            )
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+
+    if headers.get("content-encoding", "").lower() == "gzip":
+        try:
+            body = gzip.decompress(body)
+        except (OSError, EOFError) as exc:
+            raise HttpError(400, "invalid gzip request body: %s" % exc)
+        if len(body) > max_body_bytes:
+            raise HttpError(
+                413,
+                "decompressed body of %d bytes exceeds the %d-byte limit"
+                % (len(body), max_body_bytes),
+            )
+        headers.pop("content-encoding")
+
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head_bytes(
+    status: int, headers: Dict[str, str], content_type: str, length: Optional[int]
+) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    out = ["HTTP/1.1 %d %s" % (status, reason)]
+    out.append("Content-Type: %s" % content_type)
+    if length is not None:
+        out.append("Content-Length: %d" % length)
+    for name, value in headers.items():
+        out.append("%s: %s" % (name, value))
+    return ("\r\n".join(out) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> None:
+    headers = dict(response.headers)
+    headers["Connection"] = "keep-alive" if keep_alive else "close"
+    writer.write(
+        _head_bytes(
+            response.status, headers, response.content_type, len(response.body)
+        )
+    )
+    writer.write(response.body)
+    await writer.drain()
+
+
+async def start_stream(
+    writer: asyncio.StreamWriter, content_type: str
+) -> None:
+    """Send the head of an unbounded streaming response.
+
+    No ``Content-Length``: the stream ends when the server closes the
+    connection (``Connection: close`` tells the client not to expect
+    reuse)."""
+    writer.write(
+        _head_bytes(200, {"Connection": "close"}, content_type, None)
+    )
+    await writer.drain()

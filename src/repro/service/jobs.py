@@ -1,0 +1,411 @@
+"""Durable, bounded, idempotent analysis job queue for ``droidracer serve``.
+
+The service's unit of work is one *(trace, config)* analysis.  This
+module keeps those jobs:
+
+* **durable** — every state transition is one JSON line appended to an
+  on-disk journal (``jobs.jsonl``); a killed-and-restarted server
+  replays the journal and resumes exactly the submitted-but-unfinished
+  jobs, in submission order;
+* **bounded** — at most ``max_depth`` jobs may be queued-not-running;
+  :meth:`JobQueue.submit` raises :class:`QueueFullError` beyond that and
+  the HTTP layer turns it into ``429 Too Many Requests`` backpressure;
+* **idempotent** — jobs are keyed by
+  ``(namespace, trace_digest, config_digest)``.  Re-submitting an
+  active key returns the existing job; re-submitting a completed key
+  whose report is still in the :class:`~repro.corpus.cache.ResultCache`
+  completes instantly (``cached=True``) without touching the worker
+  pool;
+* **retried with a limit** — a worker-death failure re-queues the job
+  until ``max_attempts`` is exhausted, then parks it as ``failed``.
+  Deterministic analysis errors (malformed trace, detector exception)
+  fail immediately: retrying a pure function cannot help.
+
+The queue is synchronous and thread-safe; the asyncio service wraps it
+(`repro.service.app`) and a test can drive it directly.  Completion and
+failure produce monotonically numbered *events* which the streaming
+endpoint replays (``/v1/stream?after=N``) and tails live.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "Job",
+    "JobQueue",
+    "QueueFullError",
+]
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+#: States a key counts as "active" in (idempotent resubmission returns
+#: the existing job instead of creating another).
+_ACTIVE_STATES = (JOB_QUEUED, JOB_RUNNING)
+
+JOURNAL_NAME = "jobs.jsonl"
+
+
+class QueueFullError(Exception):
+    """The queue is at ``max_depth`` — callers must back off (HTTP 429)."""
+
+
+@dataclass
+class Job:
+    """One analysis request's lifecycle record."""
+
+    job_id: str
+    trace_digest: str
+    config_digest: str
+    trace_name: str
+    app: str
+    namespace: Optional[str] = None
+    state: str = JOB_QUEUED
+    attempts: int = 0
+    cached: bool = False
+    error: Optional[str] = None
+    seconds: float = 0.0
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    race_count: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.namespace or "", self.trace_digest, self.config_digest)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JOB_DONE, JOB_FAILED)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        return cls(**data)
+
+
+class JobQueue:
+    """Journaled FIFO of analysis jobs (see module docstring).
+
+    ``journal_path`` may live in a directory that does not exist yet —
+    it is created on the first append.  Passing ``journal_path=None``
+    runs the queue purely in memory (tests, ephemeral servers).
+    """
+
+    def __init__(
+        self,
+        journal_path: Optional[str] = None,
+        max_depth: int = 0,
+        max_attempts: int = 3,
+    ):
+        self.journal_path = str(journal_path) if journal_path else None
+        self.max_depth = max_depth
+        self.max_attempts = max_attempts
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # submission order, for listing
+        self._by_key: Dict[Tuple[str, str, str], str] = {}
+        self._pending: Deque[str] = deque()
+        self._events: List[dict] = []  # completion/failure events, seq'd
+        self._seq = 0
+        self._journal_handle = None
+        self.recovered = 0
+        if self.journal_path and os.path.exists(self.journal_path):
+            self.recovered = self._replay()
+
+    # -- journal -------------------------------------------------------------
+
+    def _append(self, event: str, payload: dict) -> None:
+        if self.journal_path is None:
+            return
+        if self._journal_handle is None:
+            os.makedirs(
+                os.path.dirname(self.journal_path) or ".", exist_ok=True
+            )
+            self._journal_handle = open(
+                self.journal_path, "a", encoding="utf-8"
+            )
+        record = dict(payload, event=event)
+        self._journal_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal_handle.flush()
+
+    def _replay(self) -> int:
+        """Rebuild queue state from the journal.
+
+        Jobs whose last event left them queued or running come back as
+        queued (a ``running`` job at replay time was interrupted by the
+        crash — its attempt counter is preserved, and it must run
+        again); ``done``/``failed`` jobs are terminal.  Returns the
+        number of jobs re-queued.
+        """
+        with open(self.journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                event = record.get("event")
+                if event == "submit":
+                    job = Job.from_dict(record["job"])
+                    self._jobs[job.job_id] = job
+                    self._order.append(job.job_id)
+                    self._by_key[job.key] = job.job_id
+                    continue
+                job = self._jobs.get(record.get("job_id", ""))
+                if job is None:
+                    continue
+                if event == "start":
+                    job.state = JOB_RUNNING
+                    job.attempts = record.get("attempts", job.attempts + 1)
+                elif event == "requeue":
+                    job.state = JOB_QUEUED
+                    job.error = record.get("error")
+                elif event == "done":
+                    job.state = JOB_DONE
+                    job.error = None
+                    job.cached = record.get("cached", False)
+                    job.seconds = record.get("seconds", 0.0)
+                    job.finished_at = record.get("finished_at", 0.0)
+                    job.race_count = record.get("race_count")
+                    self._record_event(job)
+                elif event == "fail":
+                    job.state = JOB_FAILED
+                    job.error = record.get("error")
+                    job.finished_at = record.get("finished_at", 0.0)
+                    self._record_event(job)
+        requeued = 0
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if job.state in _ACTIVE_STATES:
+                job.state = JOB_QUEUED
+                self._pending.append(job_id)
+                requeued += 1
+        return requeued
+
+    def _record_event(self, job: Job) -> None:
+        self._seq += 1
+        self._events.append({"seq": self._seq, "job": job.to_dict()})
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        trace_digest: str,
+        config_digest: str,
+        trace_name: str,
+        app: str,
+        namespace: Optional[str] = None,
+        cached: bool = False,
+    ) -> Tuple[Job, bool]:
+        """Enqueue one analysis; returns ``(job, created)``.
+
+        ``cached=True`` means the caller already holds the report for
+        this key (ResultCache hit): the job is journaled and completed
+        in one step, bypassing both the depth bound and the worker pool.
+        Idempotency: an active job for the same key is returned as-is
+        (``created=False``); a finished one is returned as-is only when
+        its report is still available (``cached``), otherwise the key is
+        re-analyzed through a fresh job.
+        """
+        with self._lock:
+            key = (namespace or "", trace_digest, config_digest)
+            existing_id = self._by_key.get(key)
+            if existing_id is not None:
+                existing = self._jobs[existing_id]
+                if existing.state in _ACTIVE_STATES:
+                    return existing, False
+                if existing.state == JOB_DONE and cached:
+                    return existing, False
+            if not cached and self.max_depth and len(self._pending) >= self.max_depth:
+                raise QueueFullError(
+                    "job queue is full (%d queued, max_depth=%d)"
+                    % (len(self._pending), self.max_depth)
+                )
+            job = Job(
+                job_id=self._new_job_id(key),
+                trace_digest=trace_digest,
+                config_digest=config_digest,
+                trace_name=trace_name,
+                app=app,
+                namespace=namespace,
+                submitted_at=time.time(),
+            )
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            self._by_key[key] = job.job_id
+            self._append("submit", {"job": job.to_dict()})
+            if cached:
+                self._complete_locked(job, seconds=0.0, cached=True)
+            else:
+                self._pending.append(job.job_id)
+            return job, True
+
+    def _new_job_id(self, key: Tuple[str, str, str]) -> str:
+        seed = json.dumps([len(self._order), time.time(), key])
+        return hashlib.sha256(seed.encode("utf-8")).hexdigest()[:16]
+
+    # -- worker-side transitions ----------------------------------------------
+
+    def next_job(self) -> Optional[Job]:
+        """Claim the oldest queued job (FIFO); marks it running."""
+        with self._lock:
+            while self._pending:
+                job_id = self._pending.popleft()
+                job = self._jobs[job_id]
+                if job.state != JOB_QUEUED:
+                    continue
+                job.state = JOB_RUNNING
+                job.attempts += 1
+                self._append(
+                    "start", {"job_id": job_id, "attempts": job.attempts}
+                )
+                return job
+            return None
+
+    def complete(
+        self,
+        job_id: str,
+        seconds: float = 0.0,
+        cached: bool = False,
+        race_count: Optional[int] = None,
+    ) -> Job:
+        with self._lock:
+            job = self._jobs[job_id]
+            self._complete_locked(
+                job, seconds=seconds, cached=cached, race_count=race_count
+            )
+            return job
+
+    def _complete_locked(
+        self,
+        job: Job,
+        seconds: float,
+        cached: bool,
+        race_count: Optional[int] = None,
+    ) -> None:
+        job.state = JOB_DONE
+        job.cached = cached
+        job.seconds = seconds
+        job.error = None
+        job.race_count = race_count
+        job.finished_at = time.time()
+        self._append(
+            "done",
+            {
+                "job_id": job.job_id,
+                "seconds": seconds,
+                "cached": cached,
+                "race_count": race_count,
+                "finished_at": job.finished_at,
+            },
+        )
+        self._record_event(job)
+
+    def fail(self, job_id: str, error: str, retry: bool = False) -> bool:
+        """Record a failure; returns True when the job was re-queued.
+
+        ``retry=True`` marks a *transient* failure (worker death): the
+        job goes back to the queue until ``max_attempts`` starts have
+        been consumed.  ``retry=False`` (deterministic analysis error)
+        parks the job as failed immediately.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            if retry and job.attempts < self.max_attempts:
+                job.state = JOB_QUEUED
+                job.error = error
+                self._pending.append(job_id)
+                self._append("requeue", {"job_id": job_id, "error": error})
+                return True
+            job.state = JOB_FAILED
+            job.error = error
+            job.finished_at = time.time()
+            self._append(
+                "fail",
+                {
+                    "job_id": job_id,
+                    "error": error,
+                    "finished_at": job.finished_at,
+                },
+            )
+            self._record_event(job)
+            return False
+
+    # -- introspection --------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def find(
+        self,
+        trace_digest: str,
+        config_digest: str,
+        namespace: Optional[str] = None,
+    ) -> Optional[Job]:
+        with self._lock:
+            job_id = self._by_key.get(
+                (namespace or "", trace_digest, config_digest)
+            )
+            return self._jobs.get(job_id) if job_id else None
+
+    def jobs(
+        self,
+        state: Optional[str] = None,
+        namespace: Optional[str] = None,
+        limit: int = 0,
+    ) -> List[Job]:
+        with self._lock:
+            out = [self._jobs[job_id] for job_id in self._order]
+        if state is not None:
+            out = [job for job in out if job.state == state]
+        if namespace is not None:
+            out = [job for job in out if (job.namespace or "") == namespace]
+        if limit:
+            out = out[-limit:]
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {
+                JOB_QUEUED: 0,
+                JOB_RUNNING: 0,
+                JOB_DONE: 0,
+                JOB_FAILED: 0,
+            }
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            counts["depth"] = len(self._pending)
+            counts["max_depth"] = self.max_depth
+            return counts
+
+    def events_since(self, after: int = 0) -> List[dict]:
+        """Completion/failure events with ``seq > after`` (for stream
+        replay); events are never discarded for the queue's lifetime."""
+        with self._lock:
+            return [event for event in self._events if event["seq"] > after]
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def close(self) -> None:
+        if self._journal_handle is not None:
+            self._journal_handle.close()
+            self._journal_handle = None

@@ -1,0 +1,220 @@
+"""Multi-process hammer tests for the sharded trace store.
+
+The service's whole premise is many writers ingesting into one corpus
+while readers list/load and compaction folds manifests mid-flight.
+These tests drive that contention pattern with real processes: no
+entry may be lost, no manifest may be observed torn, and every stored
+trace must load back digest-identical.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.operations import (
+    attachq,
+    begin,
+    end,
+    looponq,
+    post,
+    read,
+    threadinit,
+    write,
+)
+from repro.core.trace import ExecutionTrace, TraceBuilder
+from repro.corpus import TraceStore
+from repro.corpus.store import ENTRY_SUFFIX, MANIFEST_NAME
+
+
+def make_trace(writer_id: int, i: int) -> ExecutionTrace:
+    """A small valid trace whose content (hence digest) is unique per
+    ``(writer_id, i)``."""
+    b = TraceBuilder("hammer-w%d-t%d" % (writer_id, i))
+    location = "Obj@%d.f%d" % (writer_id, i)
+    b.extend(
+        [
+            threadinit("t0"),
+            attachq("t0"),
+            looponq("t0"),
+            post("t0", "p1", "t0"),
+            post("t0", "p2", "t0"),
+            begin("t0", "p1"),
+            write("t0", location),
+            end("t0", "p1"),
+            begin("t0", "p2"),
+            read("t0", location),
+            end("t0", "p2"),
+        ]
+    )
+    return b.build()
+
+
+def _writer_proc(root: str, writer_id: int, count: int) -> None:
+    # Tiny threshold: every writer triggers compaction repeatedly, so
+    # ingest and compaction contend for real.
+    store = TraceStore(root, compact_threshold=3)
+    for i in range(count):
+        store.ingest(make_trace(writer_id, i))
+
+
+def _compactor_proc(root: str, rounds: int) -> None:
+    store = TraceStore(root, compact_threshold=0)
+    for _ in range(rounds):
+        store.compact()
+
+
+def _reader_proc(root: str, rounds: int) -> None:
+    # Readers re-scan manifests mid-write/mid-compaction; any torn
+    # manifest or half-written trace file would raise here.
+    for _ in range(rounds):
+        store = TraceStore(root)
+        for entry in store.entries():
+            loaded = store.load(entry.digest)
+            assert loaded.canonical_digest() == entry.digest
+
+
+@pytest.mark.parametrize("writers,per_writer", [(4, 10)])
+def test_concurrent_ingest_hammer(tmp_path, writers, per_writer):
+    root = str(tmp_path / "corpus")
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(target=_writer_proc, args=(root, w, per_writer))
+        for w in range(writers)
+    ]
+    procs.append(ctx.Process(target=_compactor_proc, args=(root, 12)))
+    procs.append(ctx.Process(target=_reader_proc, args=(root, 12)))
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert not p.is_alive(), "hammer process wedged"
+        assert p.exitcode == 0, "hammer process failed (exit %s)" % p.exitcode
+
+    # Every entry every writer ingested is present — nothing lost to a
+    # concurrent compaction or a clobbered manifest write.
+    store = TraceStore(root)
+    expected = {
+        make_trace(w, i).canonical_digest()
+        for w in range(writers)
+        for i in range(per_writer)
+    }
+    assert {e.digest for e in store.entries()} == expected
+
+    # Every stored payload loads back digest-identical.
+    for digest in expected:
+        assert store.load(digest).canonical_digest() == digest
+
+    # No torn files anywhere: every manifest layer parses.
+    traces_dir = tmp_path / "corpus" / "traces"
+    for shard in traces_dir.iterdir():
+        if not shard.is_dir():
+            continue
+        snapshot = shard / MANIFEST_NAME
+        if snapshot.exists():
+            json.loads(snapshot.read_text())
+        for entry_file in shard.glob("*" + ENTRY_SUFFIX):
+            json.loads(entry_file.read_text())
+
+    # A final compaction folds everything into snapshots and keeps the
+    # same view.
+    store.compact()
+    assert len(store) == len(expected)
+    leftover = [
+        f
+        for shard in traces_dir.iterdir()
+        if shard.is_dir()
+        for f in shard.glob("*" + ENTRY_SUFFIX)
+    ]
+    assert leftover == []
+
+
+def test_same_digest_concurrent_ingest(tmp_path):
+    """All writers racing on the *same* trace converge on one entry."""
+    root = str(tmp_path / "corpus")
+    trace = make_trace(99, 0)
+    digest = trace.canonical_digest()
+
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(target=_same_trace_writer, args=(root,)) for _ in range(4)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+
+    store = TraceStore(root)
+    assert [e.digest for e in store.entries()] == [digest]
+    assert store.load(digest).canonical_digest() == digest
+
+
+def _same_trace_writer(root: str) -> None:
+    store = TraceStore(root, compact_threshold=2)
+    for _ in range(8):
+        store.ingest(make_trace(99, 0))
+
+
+def test_reingest_is_cheap_noop(tmp_path):
+    """Satellite: ingesting an already-present digest must not rewrite
+    the payload or touch the manifest layers."""
+    store = TraceStore(str(tmp_path))
+    trace = make_trace(0, 0)
+    (entry,) = store.ingest(trace)
+    payload = store.path_for(entry.digest)
+    entry_file = store.entry_path(entry.digest)
+    payload_stat = os.stat(payload)
+    entry_stat = os.stat(entry_file)
+
+    (again,) = store.ingest(trace)
+    assert again is entry  # the in-memory row, not a re-serialization
+    assert os.stat(payload).st_mtime_ns == payload_stat.st_mtime_ns
+    assert os.stat(payload).st_ino == payload_stat.st_ino
+    assert os.stat(entry_file).st_mtime_ns == entry_stat.st_mtime_ns
+
+
+def test_atomic_manifest_write_leaves_no_tmp(tmp_path):
+    store = TraceStore(str(tmp_path), compact_threshold=0)
+    for i in range(5):
+        store.ingest(make_trace(1, i))
+    store.compact()
+    stray = [p for p in (tmp_path / "traces").rglob("*.tmp")]
+    assert stray == []
+
+
+def test_namespaces_are_isolated(tmp_path):
+    root = TraceStore(str(tmp_path))
+    tenant_a = root.namespace_store("team-a")
+    tenant_b = root.namespace_store("team-b")
+    tenant_a.ingest(make_trace(7, 7))
+    tenant_b.ingest(make_trace(8, 8))
+    assert len(tenant_a) == 1
+    assert len(tenant_b) == 1
+    assert len(root) == 0
+    assert TraceStore(str(tmp_path), namespace="team-a").entries()
+    from repro.corpus.store import list_namespaces
+
+    assert list_namespaces(str(tmp_path)) == ["team-a", "team-b"]
+
+
+def test_invalid_namespace_rejected(tmp_path):
+    from repro.corpus import CorpusError
+
+    root = TraceStore(str(tmp_path))
+    for bad in ("", ".", "../evil", "a/b", "x" * 65):
+        with pytest.raises(CorpusError):
+            root.namespace_store(bad)
+    with pytest.raises(CorpusError):
+        root.namespace_store("ok").namespace_store("nested")
+
+
+def test_refresh_sees_other_writers(tmp_path):
+    a = TraceStore(str(tmp_path))
+    b = TraceStore(str(tmp_path))
+    trace = make_trace(3, 3)
+    (entry,) = a.ingest(trace)
+    assert entry.digest not in b
+    # get() refreshes on a miss instead of failing.
+    assert b.get(entry.digest).digest == entry.digest

@@ -54,6 +54,7 @@ REQUIRED_COVERAGE = [
     "corpus ingest",
     "corpus analyze",
     "corpus report",
+    "serve",
     "obs history",
     "obs compare",
     "obs gate",

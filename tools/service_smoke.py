@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""CI smoke for ``droidracer serve``: boot the real CLI entry point as a
+subprocess on an ephemeral port and drive it over the socket.
+
+Asserts, in order:
+
+1. **Report identity** — every served report is byte-identical to the
+   offline ``droidracer analyze --json`` output for the same trace,
+   modulo exactly the volatile fields the regression gate ignores
+   (``analysis_seconds``, ``closure.memory_bytes``, ``trace_name``).
+2. **Backpressure** — under ``--queue-depth 1 --no-drain`` the second
+   distinct upload is refused with ``429`` while its trace still lands
+   in the corpus.
+3. **Restart recovery** — after SIGKILLing that server, a fresh boot
+   replays the journal: the parked job completes without re-upload,
+   and previously completed keys stay terminal (nothing re-queued).
+
+State lives under ``--dir`` (default ``ci-service/``); on success the
+directory is removed, on failure it is left behind for CI to upload as
+an artifact (journal, corpus, reports — everything needed post-mortem).
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+from repro.apps.paper_traces import figure3_trace, figure4_trace  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+def strip_volatile(text: str) -> str:
+    text = re.sub(r'"analysis_seconds": [-0-9.e+]+', '"analysis_seconds": 0', text)
+    text = re.sub(r'"memory_bytes": \d+', '"memory_bytes": 0', text)
+    return re.sub(r'"trace_name": "[^"]*"', '"trace_name": ""', text)
+
+
+def start_server(store: pathlib.Path, *extra_args: str) -> tuple:
+    """Launch ``droidracer serve`` and wait for its listen line."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", str(store), "--port", "0", *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    deadline = time.monotonic() + 60
+    banner = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        banner.append(line)
+        match = LISTEN_RE.search(line)
+        if match:
+            return proc, "http://%s:%s" % match.groups()
+    proc.kill()
+    raise SystemExit(
+        "service did not report a listen address; output:\n%s" % "".join(banner)
+    )
+
+
+def stop_server(proc: subprocess.Popen, sig=signal.SIGTERM) -> None:
+    proc.send_signal(sig)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=30)
+
+
+def offline_analyze_json(trace_file: pathlib.Path) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "analyze", str(trace_file), "--json"],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    if proc.returncode != 0:
+        raise SystemExit("offline analyze failed:\n%s" % proc.stderr)
+    return proc.stdout
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit("service smoke FAILED: %s" % message)
+
+
+def main(argv) -> int:
+    workdir = pathlib.Path(argv[argv.index("--dir") + 1]) if "--dir" in argv else (
+        pathlib.Path.cwd() / "ci-service"
+    )
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    store = workdir / "corpus"
+
+    traces = {"figure3": figure3_trace(), "figure4": figure4_trace()}
+    files = {}
+    for name, trace in traces.items():
+        files[name] = workdir / ("%s.jsonl" % name)
+        files[name].write_text(trace.to_jsonl())
+
+    # -- phase 1: serve vs offline analyze, byte for byte --------------------
+    proc, base_url = start_server(store, "--jobs", "1")
+    try:
+        client = ServiceClient(base_url)
+        digests = {}
+        for i, (name, trace) in enumerate(sorted(traces.items())):
+            payload = client.upload(
+                trace.to_jsonl(), name=str(files[name]), compress=bool(i % 2)
+            )
+            job = client.wait(payload["job"]["job_id"], timeout=120)
+            check(job["state"] == "done", "%s job ended %s (%s)"
+                  % (name, job["state"], job.get("error")))
+            digests[name] = payload["trace_digest"]
+            served = client.report_text(payload["trace_digest"])
+            offline = offline_analyze_json(files[name])
+            check(
+                strip_volatile(served) == strip_volatile(offline),
+                "%s: served report differs from droidracer analyze" % name,
+            )
+            print("smoke: %s served == offline (%d races)" % (name, job["race_count"]))
+        done_jobs = {j["job_id"] for j in client.jobs(state="done")["jobs"]}
+        client.close()
+    finally:
+        stop_server(proc)
+    check(proc.returncode == 0, "server exited %s on SIGTERM" % proc.returncode)
+
+    # -- phase 2: backpressure under a tiny bound ----------------------------
+    proc, base_url = start_server(
+        store, "--jobs", "0", "--queue-depth", "1", "--no-drain"
+    )
+    try:
+        client = ServiceClient(base_url)
+        # Distinct fresh traces (unknown to the cache) so both need jobs.
+        from repro.apps.ladder import ladder_trace
+
+        first = client.upload(ladder_trace(3, 2).to_jsonl(), name="bp-first")
+        check(first["job"]["state"] == "queued", "first upload not queued")
+        try:
+            client.upload(ladder_trace(4, 2).to_jsonl(), name="bp-second")
+            check(False, "second upload was not refused")
+        except ServiceError as exc:
+            check(exc.status == 429, "expected 429, got %d" % exc.status)
+        check(
+            len(client.corpus()["entries"]) == len(traces) + 2,
+            "refused upload did not ingest its trace",
+        )
+        parked_job = first["job"]["job_id"]
+        parked_digest = first["trace_digest"]
+        print("smoke: 429 backpressure OK (queue_depth=1)")
+        client.close()
+    finally:
+        stop_server(proc, signal.SIGKILL)  # simulate a crash mid-queue
+
+    # -- phase 3: restart resumes the journal --------------------------------
+    proc, base_url = start_server(store, "--jobs", "0")
+    try:
+        client = ServiceClient(base_url)
+        job = client.wait(parked_job, timeout=120)
+        check(job["state"] == "done", "parked job did not resume: %s" % job)
+        client.report_text(parked_digest)  # the report materialized
+        for job_id in done_jobs:
+            check(
+                client.job(job_id)["state"] == "done",
+                "completed key %s lost its terminal state" % job_id,
+            )
+        counts = client.status()["queue"]
+        check(counts["queued"] == 0, "jobs left queued after recovery: %s" % counts)
+        print("smoke: restart resumed %d job(s), completed keys stayed done"
+              % 1)
+        client.close()
+    finally:
+        stop_server(proc)
+
+    shutil.rmtree(workdir)
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
