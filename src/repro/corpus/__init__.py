@@ -15,7 +15,7 @@ half at scale:
   (Table 3 style) with human-readable and JSON rendering.
 """
 
-from .cache import ResultCache
+from .cache import ResultCache, valid_digest
 from .pipeline import AnalysisTimeout, BatchAnalyzer, BatchResult, TraceResult
 from .report import (
     CATEGORY_ORDER,
@@ -43,4 +43,5 @@ __all__ = [
     "app_of_trace_name",
     "corpus_report_to_json",
     "report_to_json",
+    "valid_digest",
 ]

@@ -16,14 +16,27 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.core.race_detector import RaceReport
 
-from .store import _atomic_write_text
+from .store import CorpusError, _atomic_write_text
 
 RESULTS_DIR = "results"
+
+#: Cache keys are SHA-256 hex digests (possibly truncated, never shorter
+#: than 8 chars).  Anything else — ``..``, separators, URL-decoded
+#: traversal — must never reach a filesystem join: ``get`` unlinks what
+#: it cannot parse, so a traversing key could read *or delete* files
+#: outside the cache root.
+_DIGEST_RE = re.compile(r"[0-9a-f]{8,64}")
+
+
+def valid_digest(value: str) -> bool:
+    """True when ``value`` is a plausible (lowercase-hex) content digest."""
+    return isinstance(value, str) and _DIGEST_RE.fullmatch(value) is not None
 
 
 class ResultCache:
@@ -35,6 +48,11 @@ class ResultCache:
         self.misses = 0
 
     def path_for(self, trace_digest: str, config_digest: str) -> Path:
+        if not valid_digest(trace_digest) or not valid_digest(config_digest):
+            raise CorpusError(
+                "invalid cache key (%r, %r): digests must be lowercase hex"
+                % (trace_digest, config_digest)
+            )
         return self.root / trace_digest / ("%s.json" % config_digest)
 
     def get(self, trace_digest: str, config_digest: str) -> Optional[RaceReport]:

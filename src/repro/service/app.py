@@ -39,15 +39,16 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import functools
 import json
 import os
 import threading
 import time
-from typing import Dict, List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.race_detector import DetectorConfig, RaceReport
 from repro.core.trace import ExecutionTrace, InvalidTraceError
-from repro.corpus import ResultCache, TraceStore, report_to_json
+from repro.corpus import ResultCache, TraceStore, report_to_json, valid_digest
 from repro.corpus.pipeline import _analyze_one
 from repro.corpus.store import CorpusError, list_namespaces, valid_namespace
 from repro.obs import current_tracer
@@ -122,6 +123,9 @@ class RaceService:
         self.started_at = time.time()
         self.pool_restarts = 0
         self._executor: Optional[concurrent.futures.Executor] = None
+        #: Incremented each time a fresh pool is built; a failing job
+        #: may only tear down the pool generation it actually ran on.
+        self._executor_gen = 0
         self._inflight = 0
         self._max_inflight = self.jobs if self.jobs > 0 else 1
         self._published_seq = 0
@@ -205,16 +209,31 @@ class RaceService:
 
     # -- worker pool ---------------------------------------------------------
 
-    def _ensure_executor(self) -> Optional[concurrent.futures.Executor]:
+    def _ensure_executor(
+        self,
+    ) -> Tuple[Optional[concurrent.futures.Executor], int]:
+        """The current pool and its generation number.
+
+        Inline mode (``jobs <= 0``) uses the event loop's default
+        thread pool and never rebuilds.
+        """
         if self.jobs <= 0:
-            return None  # event loop's default thread pool (inline mode)
+            return None, self._executor_gen
         if self._executor is None:
             self._executor = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.jobs
             )
-        return self._executor
+            self._executor_gen += 1
+        return self._executor, self._executor_gen
 
-    def _rebuild_executor(self) -> None:
+    def _rebuild_executor(self, generation: int) -> None:
+        """Tear down the broken pool — but only if ``generation`` is
+        still the live one.  When several inflight jobs fail against the
+        same broken pool, the first failure rebuilds it; the stragglers
+        must not shut down (and cancel jobs on) the healthy replacement.
+        """
+        if generation != self._executor_gen:
+            return  # a sibling failure already replaced this pool
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -252,17 +271,31 @@ class RaceService:
         )
         try:
             try:
-                executor = self._ensure_executor()
+                executor, generation = self._ensure_executor()
                 result = await loop.run_in_executor(
                     executor, _analyze_one, args
                 )
             except concurrent.futures.BrokenExecutor as exc:
                 # A worker process died mid-job (OOM-killer, SIGKILL).
-                # The pool is unusable: rebuild it and retry the job
+                # The pool is unusable: rebuild it (generation-guarded —
+                # a sibling failure may already have) and retry the job
                 # until its attempt budget runs out.
-                self._rebuild_executor()
+                self._rebuild_executor(generation)
                 retried = self.queue.fail(
                     job.job_id, "worker pool broke: %s" % exc, retry=True
+                )
+                self._count(
+                    "service.retries" if retried else "service.jobs_failed"
+                )
+                return
+            except asyncio.CancelledError:
+                # Our future was cancelled out from under us — a pool
+                # rebuild's cancel_futures, or server shutdown.  The
+                # job did nothing wrong: re-queue it (journaled, so a
+                # restart resumes it) instead of stranding it in
+                # ``running`` forever.
+                retried = self.queue.fail(
+                    job.job_id, "analysis cancelled (pool shutdown)", retry=True
                 )
                 self._count(
                     "service.retries" if retried else "service.jobs_failed"
@@ -462,24 +495,28 @@ class RaceService:
         if path == "/" and method == "GET":
             return json_response(self._index())
         if path == "/v1/status" and method == "GET":
-            return json_response(self.status())
+            # The shard-directory scan is disk work — off the loop.
+            status = await asyncio.get_running_loop().run_in_executor(
+                None, self.status
+            )
+            return json_response(status)
         if path == "/v1/traces" and method == "POST":
-            return self._handle_upload(request)
+            return await self._handle_upload(request)
         if path == "/v1/traces:batch" and method == "POST":
-            return self._handle_batch(request)
+            return await self._handle_batch(request)
         if path == "/v1/jobs" and method == "GET":
             return self._handle_jobs(request)
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._handle_job(path[len("/v1/jobs/"):])
         if path.startswith("/v1/reports/") and method == "GET":
-            return self._handle_report(request, path[len("/v1/reports/"):])
+            return await self._handle_report(request, path[len("/v1/reports/"):])
         if path == "/v1/corpus" and method == "GET":
-            return self._handle_corpus(request)
+            return await self._handle_corpus(request)
         if path == "/v1/stream" and method == "GET":
             await self._handle_stream(request, writer)
             return _STREAMED
         if path == "/v1/compact" and method == "POST":
-            return self._handle_compact()
+            return await self._handle_compact()
         known = {
             "/healthz", "/", "/v1/status", "/v1/traces", "/v1/traces:batch",
             "/v1/jobs", "/v1/corpus", "/v1/stream", "/v1/compact",
@@ -545,7 +582,19 @@ class RaceService:
             trace.name = "upload-%s" % trace.canonical_digest()[:12]
         return trace
 
-    def _ingest_and_submit(
+    def _parse_and_ingest(
+        self,
+        store: TraceStore,
+        text: str,
+        name: Optional[str],
+        app: Optional[str],
+    ):
+        """Parse + persist one upload (blocking; runs on a worker thread
+        so multi-MB bodies never stall the event loop)."""
+        trace = self._parse_trace(text, name)
+        return store.ingest(trace, app=app, name=name)[0]
+
+    async def _ingest_and_submit(
         self,
         text: str,
         name: Optional[str],
@@ -553,9 +602,11 @@ class RaceService:
         namespace: Optional[str],
         analyze: bool,
     ) -> dict:
+        loop = asyncio.get_running_loop()
         store = self._store(namespace)
-        trace = self._parse_trace(text, name)
-        entry = store.ingest(trace, app=app, name=name)[0]
+        entry = await loop.run_in_executor(
+            None, self._parse_and_ingest, store, text, name, app
+        )
         self._count("service.traces_ingested")
         payload = {
             "trace_digest": entry.digest,
@@ -569,14 +620,23 @@ class RaceService:
         if not analyze:
             payload["job"] = None
             return payload
-        cached_report = self.cache.get(entry.digest, self.config_digest)
-        job, created = self.queue.submit(
-            entry.digest,
-            self.config_digest,
-            trace_name=entry.name,
-            app=entry.app,
-            namespace=namespace,
-            cached=cached_report is not None,
+        # Cache probe (disk read) and submit (journal fsync) are also
+        # blocking; the queue is thread-safe, so only the wake/publish
+        # bookkeeping below must stay on the loop.
+        cached_report = await loop.run_in_executor(
+            None, self.cache.get, entry.digest, self.config_digest
+        )
+        job, created = await loop.run_in_executor(
+            None,
+            functools.partial(
+                self.queue.submit,
+                entry.digest,
+                self.config_digest,
+                trace_name=entry.name,
+                app=entry.app,
+                namespace=namespace,
+                cached=cached_report is not None,
+            ),
         )
         if created:
             self._count("service.jobs_submitted")
@@ -594,10 +654,12 @@ class RaceService:
     def _wants_analysis(request: Request) -> bool:
         return request.param("analyze", "1") not in ("0", "false", "no")
 
-    def _handle_upload(self, request: Request) -> Response:
+    async def _handle_upload(self, request: Request) -> Response:
         namespace = self._namespace_of(request)
-        payload = self._ingest_and_submit(
-            request.text(),
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(None, request.text)
+        payload = await self._ingest_and_submit(
+            text,
             request.param("name"),
             request.param("app"),
             namespace,
@@ -606,10 +668,11 @@ class RaceService:
         status = 202 if payload.get("job") else 200
         return json_response(payload, status)
 
-    def _handle_batch(self, request: Request) -> Response:
+    async def _handle_batch(self, request: Request) -> Response:
         namespace = self._namespace_of(request)
         analyze = self._wants_analysis(request)
-        body = request.json()
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(None, request.json)
         if not isinstance(body, dict) or not isinstance(
             body.get("traces"), list
         ):
@@ -623,7 +686,7 @@ class RaceService:
                 )
                 continue
             try:
-                payload = self._ingest_and_submit(
+                payload = await self._ingest_and_submit(
                     item["jsonl"],
                     item.get("name"),
                     item.get("app"),
@@ -678,9 +741,20 @@ class RaceService:
             raise HttpError(404, "unknown job %s" % job_id)
         return json_response(self._job_dict(job))
 
-    def _handle_report(self, request: Request, digest: str) -> Response:
+    async def _handle_report(self, request: Request, digest: str) -> Response:
+        # The digest and config come straight off the URL: reject
+        # anything that is not a hex content digest *before* they reach
+        # a filesystem join (the cache also re-checks — defense in
+        # depth against path traversal).
+        if not valid_digest(digest):
+            raise HttpError(400, "invalid trace digest %r" % digest[:80])
         config_digest = request.param("config") or self.config_digest
-        report = self.cache.get(digest, config_digest)
+        if not valid_digest(config_digest):
+            raise HttpError(400, "invalid config digest %r" % config_digest[:80])
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, self.cache.get, digest, config_digest
+        )
         if report is None:
             job = self.queue.find(
                 digest, config_digest, self._namespace_of(request)
@@ -696,31 +770,41 @@ class RaceService:
         body = (report_to_json(report) + "\n").encode("utf-8")
         return Response(status=200, body=body)
 
-    def _handle_corpus(self, request: Request) -> Response:
+    async def _handle_corpus(self, request: Request) -> Response:
         store = self._store(self._namespace_of(request))
-        store.refresh()
+        loop = asyncio.get_running_loop()
         return json_response(
-            {
-                "stats": store.stats(),
-                "entries": [
-                    {
-                        "digest": e.digest,
-                        "name": e.name,
-                        "app": e.app,
-                        "length": e.length,
-                        "threads": e.threads,
-                        "tasks": e.tasks,
-                    }
-                    for e in store.entries()
-                ],
-            }
+            await loop.run_in_executor(None, self._corpus_payload, store)
         )
 
-    def _handle_compact(self) -> Response:
+    @staticmethod
+    def _corpus_payload(store: TraceStore) -> dict:
+        store.refresh()
+        return {
+            "stats": store.stats(),
+            "entries": [
+                {
+                    "digest": e.digest,
+                    "name": e.name,
+                    "app": e.app,
+                    "length": e.length,
+                    "threads": e.threads,
+                    "tasks": e.tasks,
+                }
+                for e in store.entries()
+            ],
+        }
+
+    async def _handle_compact(self) -> Response:
+        loop = asyncio.get_running_loop()
+        totals = await loop.run_in_executor(None, self._compact_all)
+        return json_response({"compacted": totals})
+
+    def _compact_all(self) -> Dict[str, int]:
         totals = {"default": self.root_store.compact()}
         for namespace in list_namespaces(self.store_root):
             totals[namespace] = self._store(namespace).compact()
-        return json_response({"compacted": totals})
+        return totals
 
     async def _handle_stream(
         self, request: Request, writer: asyncio.StreamWriter

@@ -16,8 +16,8 @@ directly after :func:`start_stream`.
 from __future__ import annotations
 
 import asyncio
-import gzip
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qsl, unquote, urlsplit
@@ -36,6 +36,8 @@ __all__ = [
 MAX_HEAD_BYTES = 32 * 1024
 #: Default cap on request bodies; the service can raise it.
 DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Output granularity for incremental gzip inflation.
+_GUNZIP_CHUNK = 256 * 1024
 
 REASONS = {
     200: "OK",
@@ -105,6 +107,54 @@ def json_response(payload, status: int = 200) -> Response:
     return Response(status=status, body=body)
 
 
+def _gunzip_capped(data: bytes, max_body_bytes: int) -> bytes:
+    """Inflate a gzip request body, never materializing more than
+    ``max_body_bytes`` of output.
+
+    A whole-buffer ``gzip.decompress`` would let a ~64 KiB compressed
+    bomb expand to gigabytes in memory *before* any size check ran, so
+    inflation is incremental: abort with ``413`` the moment the output
+    budget is exceeded.  Concatenated gzip members (which
+    ``gzip.decompress`` accepts) are inflated member by member.
+    """
+    chunks = []
+    total = 0
+    budget = max_body_bytes + 1  # one extra byte proves the overflow
+    try:
+        while data:
+            decomp = zlib.decompressobj(16 + zlib.MAX_WBITS)
+            while True:
+                chunk = decomp.decompress(data, min(_GUNZIP_CHUNK, budget - total))
+                data = decomp.unconsumed_tail
+                if chunk:
+                    total += len(chunk)
+                    if total > max_body_bytes:
+                        raise HttpError(
+                            413,
+                            "decompressed body exceeds the %d-byte limit"
+                            % max_body_bytes,
+                        )
+                    chunks.append(chunk)
+                if decomp.eof or not data:
+                    break
+            tail = decomp.flush()
+            if tail:
+                total += len(tail)
+                if total > max_body_bytes:
+                    raise HttpError(
+                        413,
+                        "decompressed body exceeds the %d-byte limit"
+                        % max_body_bytes,
+                    )
+                chunks.append(tail)
+            if not decomp.eof:
+                raise HttpError(400, "invalid gzip request body: truncated stream")
+            data = decomp.unused_data.lstrip(b"\x00")  # next member, if any
+    except zlib.error as exc:
+        raise HttpError(400, "invalid gzip request body: %s" % exc)
+    return b"".join(chunks)
+
+
 async def read_request(
     reader: asyncio.StreamReader,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
@@ -163,16 +213,7 @@ async def read_request(
             raise HttpError(400, "truncated request body")
 
     if headers.get("content-encoding", "").lower() == "gzip":
-        try:
-            body = gzip.decompress(body)
-        except (OSError, EOFError) as exc:
-            raise HttpError(400, "invalid gzip request body: %s" % exc)
-        if len(body) > max_body_bytes:
-            raise HttpError(
-                413,
-                "decompressed body of %d bytes exceeds the %d-byte limit"
-                % (len(body), max_body_bytes),
-            )
+        body = _gunzip_capped(body, max_body_bytes)
         headers.pop("content-encoding")
 
     return Request(

@@ -19,7 +19,14 @@ module keeps those jobs:
 * **retried with a limit** — a worker-death failure re-queues the job
   until ``max_attempts`` is exhausted, then parks it as ``failed``.
   Deterministic analysis errors (malformed trace, detector exception)
-  fail immediately: retrying a pure function cannot help.
+  fail immediately: retrying a pure function cannot help;
+* **bounded in memory** — a long-running service must not grow without
+  limit: completion events are kept in a sliding window of the most
+  recent ``event_window`` (older ones age out of ``/v1/stream`` replay;
+  the journal on disk remains the full record), and once more than
+  ``retain_jobs`` job records exist the oldest *terminal* ones are
+  pruned (their reports stay in the result cache, so a resubmission of
+  a pruned key still short-circuits — it just gets a fresh job id).
 
 The queue is synchronous and thread-safe; the asyncio service wraps it
 (`repro.service.app`) and a test can drive it directly.  Completion and
@@ -58,6 +65,11 @@ JOB_FAILED = "failed"
 _ACTIVE_STATES = (JOB_QUEUED, JOB_RUNNING)
 
 JOURNAL_NAME = "jobs.jsonl"
+
+#: Completion/failure events retained for ``/v1/stream`` replay.
+DEFAULT_EVENT_WINDOW = 1024
+#: Job records kept in memory before the oldest terminal ones prune.
+DEFAULT_RETAIN_JOBS = 4096
 
 
 class QueueFullError(Exception):
@@ -112,16 +124,21 @@ class JobQueue:
         journal_path: Optional[str] = None,
         max_depth: int = 0,
         max_attempts: int = 3,
+        event_window: int = DEFAULT_EVENT_WINDOW,
+        retain_jobs: int = DEFAULT_RETAIN_JOBS,
     ):
         self.journal_path = str(journal_path) if journal_path else None
         self.max_depth = max_depth
         self.max_attempts = max_attempts
+        self.retain_jobs = retain_jobs
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # submission order, for listing
         self._by_key: Dict[Tuple[str, str, str], str] = {}
         self._pending: Deque[str] = deque()
-        self._events: List[dict] = []  # completion/failure events, seq'd
+        # Sliding window of completion/failure events, seq'd; ``0`` or
+        # ``None`` keeps every event (tests, short-lived queues).
+        self._events: Deque[dict] = deque(maxlen=event_window or None)
         self._seq = 0
         self._journal_handle = None
         self.recovered = 0
@@ -195,11 +212,37 @@ class JobQueue:
                 job.state = JOB_QUEUED
                 self._pending.append(job_id)
                 requeued += 1
+        self._prune_locked()
         return requeued
 
     def _record_event(self, job: Job) -> None:
         self._seq += 1
         self._events.append({"seq": self._seq, "job": job.to_dict()})
+
+    def _prune_locked(self) -> None:
+        """Drop the oldest *terminal* job records once more than
+        ``retain_jobs`` exist — active jobs are never pruned.  A pruned
+        key loses its idempotency memory, but its report lives on in
+        the result cache, so resubmission still short-circuits."""
+        if not self.retain_jobs:
+            return
+        excess = len(self._jobs) - self.retain_jobs
+        if excess <= 0:
+            return
+        removed = set()
+        for job_id in self._order:
+            if excess <= 0:
+                break
+            job = self._jobs[job_id]
+            if not job.finished:
+                continue
+            del self._jobs[job_id]
+            if self._by_key.get(job.key) == job_id:
+                del self._by_key[job.key]
+            removed.add(job_id)
+            excess -= 1
+        if removed:
+            self._order = [j for j in self._order if j not in removed]
 
     # -- submission ----------------------------------------------------------
 
@@ -315,6 +358,7 @@ class JobQueue:
             },
         )
         self._record_event(job)
+        self._prune_locked()
 
     def fail(self, job_id: str, error: str, retry: bool = False) -> bool:
         """Record a failure; returns True when the job was re-queued.
@@ -344,6 +388,7 @@ class JobQueue:
                 },
             )
             self._record_event(job)
+            self._prune_locked()
             return False
 
     # -- introspection --------------------------------------------------------
@@ -396,9 +441,18 @@ class JobQueue:
 
     def events_since(self, after: int = 0) -> List[dict]:
         """Completion/failure events with ``seq > after`` (for stream
-        replay); events are never discarded for the queue's lifetime."""
+        replay).  Only the most recent ``event_window`` events are
+        retained — a subscriber asking for history older than the
+        window gets what is still held (see :attr:`first_retained_seq`)."""
         with self._lock:
             return [event for event in self._events if event["seq"] > after]
+
+    @property
+    def first_retained_seq(self) -> int:
+        """Sequence number of the oldest event still replayable
+        (0 when no events have been recorded or retained)."""
+        with self._lock:
+            return self._events[0]["seq"] if self._events else 0
 
     @property
     def last_seq(self) -> int:

@@ -3,6 +3,7 @@ analysis budgets, and the HTTP service end-to-end through a real
 socket (threaded :class:`ServiceClient` against an in-process
 :class:`BackgroundServer`)."""
 
+import gzip
 import re
 import threading
 import time
@@ -11,7 +12,13 @@ import pytest
 
 from repro.apps.paper_traces import figure4_trace
 from repro.core.race_detector import DetectorConfig
-from repro.corpus import BatchAnalyzer, TraceStore, report_to_json
+from repro.corpus import (
+    BatchAnalyzer,
+    CorpusError,
+    ResultCache,
+    TraceStore,
+    report_to_json,
+)
 from repro.corpus.pipeline import AnalysisTimeout, _analysis_budget
 from repro.service import (
     BackgroundServer,
@@ -20,6 +27,8 @@ from repro.service import (
     ServiceClient,
     ServiceError,
 )
+from repro.service.app import RaceService
+from repro.service.http import HttpError, _gunzip_capped
 from tests.test_store_concurrency import make_trace
 
 CONFIG = DetectorConfig()
@@ -121,6 +130,112 @@ def test_queue_events_are_monotonic():
     assert seqs == [1, 2, 3]
     assert [e["seq"] for e in queue.events_since(2)] == [3]
     assert queue.last_seq == 3
+
+
+def test_queue_event_window_and_terminal_job_pruning():
+    # A long-running service must not grow without bound: only the most
+    # recent events stay replayable and old *terminal* jobs are pruned.
+    queue = JobQueue(event_window=2, retain_jobs=3)
+    done = []
+    for digest in ("a", "b", "c", "d", "e"):
+        job, _ = submit(queue, digest)
+        queue.next_job()
+        queue.complete(job.job_id)
+        done.append(job.job_id)
+    assert [e["seq"] for e in queue.events_since(0)] == [4, 5]
+    assert queue.first_retained_seq == 4
+    assert queue.last_seq == 5
+    assert [j.job_id for j in queue.jobs()] == done[-3:]
+    assert queue.get(done[0]) is None
+    # A pruned key lost its dedup memory: resubmission makes a new job.
+    fresh, created = submit(queue, "a")
+    assert created and fresh.job_id != done[0]
+
+
+def test_queue_never_prunes_active_jobs():
+    queue = JobQueue(retain_jobs=2)
+    for digest in ("a", "b", "c", "d"):
+        submit(queue, digest)
+    claimed = queue.next_job()  # 'a'
+    queue.complete(claimed.job_id)
+    # Over the retention limit, but only terminal records may go: the
+    # finished 'a' is pruned, the three still-queued jobs all survive.
+    remaining = queue.jobs()
+    assert len(remaining) == 3
+    assert all(j.state == "queued" for j in remaining)
+    assert queue.get(claimed.job_id) is None
+
+
+# -- request-body inflation (gzip-bomb hardening) ----------------------------
+
+
+def test_gunzip_capped_roundtrip_and_members():
+    data = b"hello race service " * 100
+    assert _gunzip_capped(gzip.compress(data), len(data)) == data
+    # Concatenated gzip members inflate like gzip.decompress did.
+    two = gzip.compress(b"abc") + gzip.compress(b"def")
+    assert _gunzip_capped(two, 64) == b"abcdef"
+
+
+def test_gunzip_capped_rejects_bombs_and_garbage():
+    # A ~4 KiB-of-zeros bomb against a 1 KiB budget dies at 413 without
+    # the full payload ever being materialized.
+    with pytest.raises(HttpError) as err:
+        _gunzip_capped(gzip.compress(b"0" * 4096), 1024)
+    assert err.value.status == 413
+    with pytest.raises(HttpError) as err:
+        _gunzip_capped(gzip.compress(b"0" * 4096)[:-4], 1 << 20)  # truncated
+    assert err.value.status == 400
+    with pytest.raises(HttpError) as err:
+        _gunzip_capped(b"definitely not gzip", 1024)
+    assert err.value.status == 400
+
+
+# -- result-cache key validation (path-traversal hardening) ------------------
+
+
+def test_result_cache_rejects_traversal_keys(tmp_path):
+    cache = ResultCache(str(tmp_path / "store"))
+    victim = tmp_path / "store" / "victim.json"
+    victim.parent.mkdir(parents=True, exist_ok=True)
+    victim.write_text("{}", encoding="utf-8")
+    for trace_key, config_key in (
+        ("..", "victim"),
+        ("../..", "victim"),
+        ("b" * 64, "../victim"),
+        ("A" * 64, "b" * 64),  # digests are lowercase hex
+        ("abc", "b" * 64),  # too short to be a digest
+    ):
+        with pytest.raises(CorpusError):
+            cache.path_for(trace_key, config_key)
+        with pytest.raises(CorpusError):
+            cache.get(trace_key, config_key)
+    # Nothing outside the cache root was read or unlinked.
+    assert victim.exists()
+
+
+# -- worker-pool rebuild (broken-pool cascade hardening) ---------------------
+
+
+def test_pool_rebuild_is_generation_guarded(tmp_path):
+    service = RaceService(store_root=str(tmp_path / "corpus"), jobs=1)
+    try:
+        _first, gen1 = service._ensure_executor()
+        service._rebuild_executor(gen1)
+        assert service.pool_restarts == 1 and service._executor is None
+        replacement, gen2 = service._ensure_executor()
+        assert gen2 == gen1 + 1
+        # A straggler job failing against the *old* pool must not tear
+        # down (and cancel jobs on) the healthy replacement.
+        service._rebuild_executor(gen1)
+        assert service.pool_restarts == 1
+        assert service._executor is replacement
+        service._rebuild_executor(gen2)
+        assert service.pool_restarts == 2 and service._executor is None
+    finally:
+        if service._executor is not None:
+            service._executor.shutdown(wait=False, cancel_futures=True)
+        service.queue.close()
 
 
 # -- analysis budget (satellite: BatchAnalyzer --timeout) --------------------
@@ -268,6 +383,44 @@ def test_e2e_error_responses(client):
     assert status == 404
     status, _ = client.request("DELETE", "/v1/jobs")
     assert status == 405
+
+
+def test_e2e_report_path_traversal_rejected(server, client, tmp_path):
+    # Before digest validation, GET /v1/reports/..?config=victim joined
+    # the URL components straight into a filesystem path one level above
+    # the results dir — and the corrupt-entry handler would *unlink* the
+    # resolved file.  Plant a victim and prove it survives a 400.
+    victim = tmp_path / "corpus" / "victim.json"
+    victim.parent.mkdir(parents=True, exist_ok=True)
+    victim.write_text("{}", encoding="utf-8")
+    for digest in ("..", "..%2F..", "zzzz", "%2e%2e"):
+        status, _ = client.request(
+            "GET", "/v1/reports/%s" % digest, params={"config": "victim"}
+        )
+        assert status == 400
+    # A well-formed trace digest with a traversing config is rejected too.
+    status, _ = client.request(
+        "GET", "/v1/reports/%s" % ("0" * 64), params={"config": "../victim"}
+    )
+    assert status == 400
+    assert victim.exists()
+
+
+def test_e2e_gzip_bomb_rejected(tmp_path):
+    with BackgroundServer(
+        store_root=str(tmp_path / "corpus"), jobs=0, max_body_bytes=4096
+    ) as srv:
+        client = ServiceClient(srv.base_url)
+        bomb = gzip.compress(b"0" * (1 << 20))  # ~1 KiB wire, 1 MiB inflated
+        assert len(bomb) <= 4096  # passes the compressed-size check
+        status, _ = client.request(
+            "POST",
+            "/v1/traces",
+            body=bomb,
+            headers={"Content-Encoding": "gzip"},
+        )
+        assert status == 413
+        client.close()
 
 
 def test_e2e_status_and_compact(client):
