@@ -20,7 +20,14 @@ A second sweep compares the two *reachability backends* (``bitmask``
 vs ``chains``, see :mod:`repro.core.reachability`) across trace sizes,
 reporting wall time and peak/steady-state closure memory — the chains
 backend trades O(n²) bits for O(n·C) ints, so its advantage grows with
-the node-per-chain ratio (the ``body`` ladder parameter).
+the node-per-chain ratio (the ``body`` ladder parameter).  Its full run
+ends with the PR-7 **100k-node saturation point**: a
+:func:`repro.apps.ladder.scaled_ladder_trace` closed with the previous
+best configuration (chains + incremental, reference kernel, no merging)
+against the optimised one (word-batched kernel + chain merging), plus
+the same optimised closure sharded across each ``--workers N[,M...]``
+count — every configuration must reproduce the same sampled closure
+rows, and the optimised saturation must beat the baseline by ≥ 5x.
 
 This is a plain script, not a pytest file (the pytest benchmark suite in
 this directory regenerates the paper's tables; this one guards a code
@@ -58,15 +65,23 @@ import sys
 SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "src")
 sys.path.insert(0, SRC_DIR)
 
-from repro.apps.ladder import ladder_trace, lock_handoff_trace  # noqa: E402
+from repro.apps.ladder import (  # noqa: E402
+    ladder_trace,
+    lock_handoff_trace,
+    wide_trace,
+)
 from repro.core import (  # noqa: E402
     BACKEND_BITMASK,
     BACKEND_CHAINS,
     HappensBefore,
+    KERNEL_AUTO,
+    KERNEL_PYTHON,
+    KERNEL_WORDS,
     SAT_FULL,
     SAT_INCREMENTAL,
     detect_races,
 )
+from repro.core.reachability import fork_available  # noqa: E402
 from repro.core.race_detector import ENUM_BATCHED, ENUM_PAIRWISE  # noqa: E402
 from repro.obs import (  # noqa: E402
     HistoryStore,
@@ -75,6 +90,7 @@ from repro.obs import (  # noqa: E402
     combine_digests,
     report_digest,
     resolve_history_dir,
+    use_tracer,
 )
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
@@ -97,6 +113,19 @@ MIN_SPEEDUP = 5.0
 #: Acceptance floor for the backend sweep: closure-memory reduction of
 #: chains vs bitmask on the largest (>= 10k node) ladder.
 MIN_MEMORY_RATIO = 5.0
+
+#: The 100k-node saturation point (PR 7): requested size for
+#: :func:`repro.apps.ladder.scaled_ladder_trace` (the coalesced graph
+#: must still exceed 100k nodes) and the acceptance floor for the
+#: optimised configuration (auto kernel + chain merging) against the
+#: previous best (chains backend, reference kernel, no merging) —
+#: measured on saturation wall-clock only, rule derivation excluded.
+SCALE_NODES = 102_000
+MIN_SATURATION_SPEEDUP = 5.0
+
+#: Loop-stall guard for the sharded sweeps: one smoke saturation must
+#: never need more than this many ``closure.shard_pass`` fan-outs.
+SHARD_PASS_BUDGET = 48
 
 #: The chains backend's own budget: the reach table is ``4·n·C`` bytes
 #: and every other structure is O(n) with a small constant; exceeding
@@ -344,6 +373,219 @@ def measure_reachability(levels, width, body):
     }
 
 
+#: Fresh-interpreter child for the 100k saturation point.  argv[1] is a
+#: JSON config ``{nodes, kernel, merge_chains, workers}``, argv[2] the
+#: src path.  The child builds the scaled ladder, runs the chains backend
+#: with the requested scale levers, and reports saturation-only wall time
+#: (the ``closure.saturate``/``closure.resaturate`` spans — rule
+#: derivation is identical across configs and would dilute the ratio)
+#: plus a row-sample digest the parent uses to prove bit-identity.
+_SCALE_CHILD_SRC = r"""
+import hashlib, json, resource, sys
+
+cfg = json.loads(sys.argv[1])
+sys.path.insert(0, sys.argv[2])
+from repro.apps.ladder import scaled_ladder_trace
+from repro.core import BACKEND_CHAINS, HappensBefore
+from repro.obs import Tracer, use_tracer
+
+trace = scaled_ladder_trace(cfg["nodes"])
+tracer = Tracer()
+with use_tracer(tracer):
+    with tracer.span("closure.build") as span:
+        hb = HappensBefore(
+            trace,
+            backend=BACKEND_CHAINS,
+            kernel=cfg["kernel"],
+            merge_chains=cfg["merge_chains"],
+            workers=cfg["workers"],
+        )
+build_seconds = span.wall_seconds
+saturation_seconds = sum(
+    s.wall_seconds
+    for s in tracer.spans
+    if s.name in ("closure.saturate", "closure.resaturate")
+)
+shard_passes = sum(1 for s in tracer.spans if s.name == "closure.shard_pass")
+
+graph = hb.graph
+n = len(graph)
+width = (n + 7) // 8
+digest = hashlib.sha256()
+for i in range(0, n, 97):
+    digest.update(graph.hb_row(i).to_bytes(width, "little"))
+
+stats = hb.stats
+print(json.dumps({
+    "build_seconds": build_seconds,
+    "saturation_seconds": saturation_seconds,
+    "shard_passes": shard_passes,
+    "peak_rss_bytes": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+    "closure_memory_bytes": stats.closure_memory_bytes,
+    "nodes": n,
+    "trace_length": len(trace),
+    "chains": stats.chain_count,
+    "chains_merged": stats.chains_merged,
+    "outer_rounds": stats.outer_iterations,
+    "stat_key": [stats.st_edges, stats.mt_edges, stats.fifo_edges,
+                 stats.nopre_edges, stats.outer_iterations],
+    "row_digest": digest.hexdigest(),
+}))
+"""
+
+
+def _measure_scaled(kernel, merge_chains, workers, label):
+    """One 100k-point configuration in a fresh interpreter (same
+    rationale as :func:`_measure_backend`: unperturbed wall times and a
+    true ``ru_maxrss``; the forked shard workers are the child's own)."""
+    cfg = {
+        "nodes": SCALE_NODES,
+        "kernel": kernel,
+        "merge_chains": merge_chains,
+        "workers": workers,
+    }
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCALE_CHILD_SRC, json.dumps(cfg), SRC_DIR],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            "scale measurement child %r failed:\n%s" % (label, proc.stderr)
+        )
+    row = json.loads(proc.stdout)
+    row.update(label=label, kernel=kernel,
+               merge_chains=merge_chains, workers=workers)
+    return row
+
+
+def run_scale_point(workers_list):
+    """The 100k-node saturation point: previous best (chains backend +
+    incremental, reference kernel, no merging) vs the PR-7 levers —
+    word-batched kernel + chain merging, then the same optimised
+    configuration sharded across each requested worker count.  Every
+    configuration must reproduce the same sampled closure rows."""
+    configs = [
+        ("baseline", KERNEL_PYTHON, False, 1),
+        ("optimized", KERNEL_AUTO, True, 1),
+    ]
+    for workers in workers_list:
+        if workers > 1:
+            configs.append(
+                ("optimized-w%d" % workers, KERNEL_AUTO, True, workers)
+            )
+    rows = []
+    for label, kernel, merge, workers in configs:
+        row = _measure_scaled(kernel, merge, workers, label)
+        rows.append(row)
+        print(
+            "scale %-12s kernel=%-6s merge=%-5s workers=%d  "
+            "%6d nodes %3d chains  saturation %7.2fs  build %7.2fs  rss %5.0fMB"
+            % (
+                label, row["kernel"], row["merge_chains"], workers,
+                row["nodes"], row["chains"],
+                row["saturation_seconds"], row["build_seconds"],
+                row["peak_rss_bytes"] / 1e6,
+            )
+        )
+
+    reference = rows[0]
+    assert reference["nodes"] >= 100_000, (
+        "scaled ladder has only %d nodes" % reference["nodes"]
+    )
+    for row in rows[1:]:
+        assert row["stat_key"] == reference["stat_key"], (
+            "closure statistics diverge in scale config %s" % row["label"]
+        )
+        assert row["row_digest"] == reference["row_digest"], (
+            "sampled closure rows diverge in scale config %s" % row["label"]
+        )
+    optimized = rows[1]
+    speedup = (
+        reference["saturation_seconds"] / optimized["saturation_seconds"]
+    )
+    assert speedup >= MIN_SATURATION_SPEEDUP, (
+        "100k saturation speedup %.2fx below the %.1fx floor"
+        % (speedup, MIN_SATURATION_SPEEDUP)
+    )
+    print(
+        "scale point OK: %d nodes, saturation %.2fs -> %.2fs (%.1fx)"
+        % (
+            reference["nodes"], reference["saturation_seconds"],
+            optimized["saturation_seconds"], speedup,
+        )
+    )
+    return {
+        "requested_nodes": SCALE_NODES,
+        "nodes": reference["nodes"],
+        "trace_length": reference["trace_length"],
+        "outer_rounds": reference["outer_rounds"],
+        "chains": reference["chains"],
+        "chains_merged": optimized["chains_merged"],
+        "min_speedup_floor": MIN_SATURATION_SPEEDUP,
+        "saturation_speedup": speedup,
+        "row_digest": reference["row_digest"],
+        "configs": rows,
+    }
+
+
+def _check_scale_knob_identity(trace):
+    """Smoke-grade differential over the PR-7 levers: on ``trace``, every
+    kernel x merging combination — and a workers=2 sharded run per
+    backend — must reproduce the reference report exactly."""
+    for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+        reference = detect_races(
+            trace, backend=backend, kernel=KERNEL_PYTHON, merge_chains=False
+        )
+        for kernel in (KERNEL_PYTHON, KERNEL_WORDS):
+            for merge in (False, True):
+                report = detect_races(
+                    trace, backend=backend, kernel=kernel, merge_chains=merge
+                )
+                assert _report_key(report) == _report_key(reference), (
+                    "scale knobs changed the report (%s, %s, merge=%s)"
+                    % (backend, kernel, merge)
+                )
+        sharded = detect_races(trace, backend=backend, closure_workers=2)
+        assert _report_key(sharded) == _report_key(reference), (
+            "sharded saturation changed the report (%s)" % backend
+        )
+
+
+def _check_shard_span_budget(trace):
+    """Sharded saturation must engage (when fork exists) and must not
+    stall: the fan-out count per smoke closure stays under a fixed
+    budget — a runaway frontier shows up here before it shows up as a
+    CI timeout."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        HappensBefore(trace, backend=BACKEND_CHAINS, workers=2)
+        HappensBefore(trace, backend=BACKEND_BITMASK, workers=2)
+    passes = [s for s in tracer.spans if s.name == "closure.shard_pass"]
+    if fork_available():
+        assert passes, "workers=2 never fanned out despite fork support"
+    assert len(passes) <= SHARD_PASS_BUDGET, (
+        "%d shard passes exceed the %d-pass smoke budget"
+        % (len(passes), SHARD_PASS_BUDGET)
+    )
+
+
+def _check_merge_engages():
+    """Chain merging must actually fire on its target shape (many short
+    same-thread chains) and leave the report untouched."""
+    trace = wide_trace(4, tasks_per_thread=2, seed=1)
+    merged = HappensBefore(trace, backend=BACKEND_CHAINS)
+    assert merged.stats.chains_merged == 4, (
+        "expected one pre-loop merge per worker thread, got %d"
+        % merged.stats.chains_merged
+    )
+    plain = detect_races(trace, merge_chains=False)
+    fused = detect_races(trace, backend=BACKEND_CHAINS, merge_chains=True)
+    assert _report_key(plain) == _report_key(fused), (
+        "chain merging changed the wide-trace report"
+    )
+
+
 def _check_handoff_counterexample():
     """Directed divergence check the ladder sweep cannot provide: the
     fork/lock hand-off topology whose delta gains are invisible to any
@@ -368,7 +610,7 @@ def _check_handoff_counterexample():
             )
 
 
-def run_reachability(smoke, history=None):
+def run_reachability(smoke, history=None, workers_list=(1, 2)):
     if smoke:
         _check_handoff_counterexample()
         levels, width, body = REACH_SMOKE_SIZE
@@ -401,8 +643,12 @@ def run_reachability(smoke, history=None):
             "chains closure memory %d bytes exceeds 2x the O(n*C) budget %d"
             % (used, budget)
         )
+        _check_scale_knob_identity(trace)
+        _check_shard_span_budget(trace)
+        _check_merge_engages()
         print(
             "reachability smoke OK: %d nodes, %d chains, backends identical, "
+            "scale knobs identical (workers 1 == 2), "
             "%.0f KB of %.0f KB budget" % (n, hb_chain.stats.chain_count,
                                            used / 1024.0, 2 * budget / 1024.0)
         )
@@ -474,6 +720,7 @@ def run_reachability(smoke, history=None):
         "closure-memory reduction %.2fx below the %.1fx floor"
         % (largest["memory_ratio"], MIN_MEMORY_RATIO)
     )
+    scale = run_scale_point(workers_list)
     RESULTS.mkdir(exist_ok=True)
     out = RESULTS / "BENCH_reachability.json"
     doc = {
@@ -483,6 +730,7 @@ def run_reachability(smoke, history=None):
         "configs": rows,
         "largest_memory_ratio": largest["memory_ratio"],
         "largest_time_ratio": largest["time_ratio"],
+        "saturation_100k": scale,
     }
     out.write_text(json.dumps(doc, indent=2) + "\n")
     print("wrote %s" % out)
@@ -517,7 +765,15 @@ def run_reachability(smoke, history=None):
                                 )
                             }
                             for row in rows
-                        ]
+                        ],
+                        "saturation_100k": {
+                            k: scale[k]
+                            for k in (
+                                "nodes", "trace_length", "chains",
+                                "chains_merged", "outer_rounds",
+                                "row_digest",
+                            )
+                        },
                     }
                 ),
                 spans=[
@@ -531,12 +787,25 @@ def run_reachability(smoke, history=None):
                         sum(r["chains_backend"]["seconds"] for r in rows),
                         len(rows),
                     ),
+                    _span_row(
+                        "bench.scale.saturation.baseline",
+                        scale["configs"][0]["saturation_seconds"],
+                        1,
+                    ),
+                    _span_row(
+                        "bench.scale.saturation.optimized",
+                        scale["configs"][1]["saturation_seconds"],
+                        1,
+                    ),
                 ],
                 gauges={
                     "closure.memory_bytes": largest["chains_backend"][
                         "closure_memory_bytes"
                     ],
                     "bench.memory_ratio": largest["memory_ratio"],
+                    "bench.saturation100k_speedup": scale[
+                        "saturation_speedup"
+                    ],
                 },
                 extra={"payload": doc, **descriptor},
             ),
@@ -544,10 +813,35 @@ def run_reachability(smoke, history=None):
     return 0
 
 
+def _parse_workers(argv):
+    """Split ``--workers N[,M...]`` out of ``argv`` — the worker counts
+    the 100k scale point sweeps (default ``1,2``)."""
+    workers_list = [1, 2]
+    rest = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--workers" and i + 1 < len(argv):
+            workers_list = sorted(
+                {int(w) for w in argv[i + 1].split(",") if w}
+            )
+            if not workers_list or workers_list[0] < 1:
+                raise SystemExit("--workers wants positive counts")
+            i += 2
+            continue
+        rest.append(argv[i])
+        i += 1
+    return workers_list, rest
+
+
 def main(argv):
     history, argv = _parse_history(argv)
+    workers_list, argv = _parse_workers(argv)
     if "--reachability" in argv or "--reachability-smoke" in argv:
-        return run_reachability("--reachability-smoke" in argv, history=history)
+        return run_reachability(
+            "--reachability-smoke" in argv,
+            history=history,
+            workers_list=workers_list,
+        )
     smoke = "--smoke" in argv
     sizes = SMOKE_SIZES if smoke else FULL_SIZES
     runs = 3 if smoke else 1

@@ -28,6 +28,8 @@ locations and produce genuine races.
 
 from __future__ import annotations
 
+import random
+
 from .. import core  # noqa: F401  (package import order)
 from ..core.operations import (
     acquire,
@@ -124,6 +126,94 @@ def ladder_trace(
                 b.add(write(t, "%s.state" % t))
                 b.add(write(t, "app.shared"))
                 b.add(end(t, rtask))
+    return b.build()
+
+
+def scaled_ladder_trace(
+    nodes: int,
+    levels: int = 12,
+    width: int = 16,
+    loopers: int = 6,
+    rogues: int = 1,
+    name: str = None,
+) -> ExecutionTrace:
+    """A closure ladder sized to roughly ``nodes`` graph nodes with
+    *bounded per-round fan-out* — the 100k-node benchmark input.
+
+    ``ladder_trace`` scales node count through ``levels × width``, but the
+    FIFO/NOPRE pair lists grow quadratically in tasks-per-looper, so a
+    100k-node ladder built that way spends minutes in rule premises before
+    saturation even starts.  This variant keeps the task count (and with
+    it every per-round edge list) fixed at ``levels × width`` and inflates
+    the per-task ``body`` instead: lock-broken access cycles add nodes
+    without adding FIFO pairs, NOPRE candidates, or races, so node count
+    scales to 100k+ while the trace still builds in seconds and the outer
+    fixpoint still runs ``levels`` rounds.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be positive")
+    tasks = levels * width
+    # Per task the coalesced graph holds ~5 fixed nodes (begin/end, the
+    # coalesced writes, the chaining post) plus 3 per body cycle (the lock
+    # operations break access coalescing).
+    body = max(0, round((nodes / tasks - 5) / 3))
+    return ladder_trace(
+        levels,
+        width,
+        loopers=loopers,
+        rogues=rogues,
+        body=body,
+        name=name or "ladder-%dk" % max(1, round(nodes / 1000)),
+    )
+
+
+def wide_trace(
+    threads: int,
+    tasks_per_thread: int = 3,
+    body: int = 2,
+    shared_locations: int = 4,
+    seed: int = 0,
+    name: str = None,
+) -> ExecutionTrace:
+    """Many-short-chains stress input for chain merging.
+
+    A driver forks ``threads`` looper threads; each runs a short pre-loop
+    segment (init write, ``attachQ``/``loopOnQ``) and then
+    ``tasks_per_thread`` driver-posted tasks of ``body`` writes each.  The
+    chain decomposition yields ``1 + tasks_per_thread`` chains per thread
+    — exactly the shape where C balloons relative to n.  Chain merging
+    coalesces each thread's pre-loop chain with its *first* task (NO-Q-PO
+    contributes the static bridge edge) but must leave the remaining
+    same-looper tasks separate: driver posts order them only through
+    FIFO, which is derived *after* merging runs, so merging them would be
+    the unsound interleaved-chain merge the directed tests rule out.
+
+    Each task writes per-thread private state plus a seeded pick of
+    ``shared_locations`` globals; unordered cross-thread writers of the
+    same global produce genuine races.
+    """
+    if threads < 1 or tasks_per_thread < 1:
+        raise ValueError("threads and tasks_per_thread must be positive")
+    rng = random.Random(seed)
+    b = TraceBuilder(name or "wide-%dx%d" % (threads, tasks_per_thread))
+    b.add(threadinit("driver"))
+    workers = ["w%d" % k for k in range(threads)]
+    for t in workers:
+        b.add(fork("driver", t))
+        b.extend(
+            [threadinit(t), write(t, "%s.init" % t), attachq(t), looponq(t)]
+        )
+    for round_no in range(tasks_per_thread):
+        for t in workers:
+            b.add(post("driver", "%s_task%d" % (t, round_no), t))
+    for round_no in range(tasks_per_thread):
+        for t in workers:
+            task = "%s_task%d" % (t, round_no)
+            b.add(begin(t, task))
+            for _ in range(body):
+                b.add(write(t, "%s.state" % t))
+            b.add(write(t, "shared%d" % rng.randrange(shared_locations)))
+            b.add(end(t, task))
     return b.build()
 
 

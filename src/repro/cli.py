@@ -46,7 +46,14 @@ from repro.bench import (
     render_table3,
     run_all,
 )
-from repro.core import BACKEND_BITMASK, BACKEND_CHAINS, detect_races
+from repro.core import (
+    BACKEND_BITMASK,
+    BACKEND_CHAINS,
+    KERNEL_AUTO,
+    KERNEL_PYTHON,
+    KERNEL_WORDS,
+    detect_races,
+)
 from repro.core.trace import ExecutionTrace
 from repro.explorer import UIExplorer
 
@@ -73,6 +80,31 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         help="happens-before reachability backend: dense bitmask rows "
         "(default) or the O(n*C) chain index for large traces "
         "(results are identical)",
+    )
+    parser.add_argument(
+        "--closure-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="saturate closure full sweeps across N forked worker "
+        "processes (default 1 = serial; any N yields byte-identical "
+        "reports, and platforms without fork fall back to serial)",
+    )
+    parser.add_argument(
+        "--closure-kernel",
+        choices=(KERNEL_AUTO, KERNEL_PYTHON, KERNEL_WORDS),
+        default=KERNEL_AUTO,
+        help="closure row kernel: 'words' = word-batched sweeps (numpy "
+        "fast path when installed), 'python' = reference big-int loops, "
+        "'auto' (default) = words exactly when numpy is available "
+        "(results are identical)",
+    )
+    parser.add_argument(
+        "--no-merge-chains",
+        dest="merge_chains",
+        action="store_false",
+        help="disable the pre-saturation chain-merging pass (chains "
+        "backend; results are identical — ablation/debug knob)",
     )
 
 
@@ -472,7 +504,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             with open(args.save_trace, "w") as handle:
                 handle.write(trace.to_jsonl())
             print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
-        report = detect_races(trace, backend=args.backend)
+        report = detect_races(
+            trace,
+            backend=args.backend,
+            kernel=args.closure_kernel,
+            merge_chains=args.merge_chains,
+            closure_workers=args.closure_workers,
+        )
         if notes is not None:
             from repro.core.race_detector import DetectorConfig
 
@@ -598,7 +636,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print("cannot load %s: %s" % (args.trace, exc), file=sys.stderr)
             return 1
-        detector = RaceDetector(trace, backend=args.backend)
+        detector = RaceDetector(
+            trace,
+            backend=args.backend,
+            kernel=args.closure_kernel,
+            merge_chains=args.merge_chains,
+            closure_workers=args.closure_workers,
+        )
         report = detector.detect()
         if notes is not None:
             from repro.core.race_detector import DetectorConfig
@@ -699,7 +743,12 @@ def _corpus_main(args: argparse.Namespace) -> int:
 
     use_cache = not getattr(args, "no_cache", False)
     cache = ResultCache(args.store) if use_cache else None
-    config = DetectorConfig(backend=args.backend)
+    config = DetectorConfig(
+        backend=args.backend,
+        kernel=args.closure_kernel,
+        merge_chains=args.merge_chains,
+        closure_workers=args.closure_workers,
+    )
     analyzer = BatchAnalyzer(
         store,
         cache=cache,
@@ -760,7 +809,12 @@ def _serve_main(args: argparse.Namespace) -> int:
     from repro.core.race_detector import DetectorConfig
     from repro.obs import resolve_history_dir
 
-    config = DetectorConfig(backend=args.backend)
+    config = DetectorConfig(
+        backend=args.backend,
+        kernel=args.closure_kernel,
+        merge_chains=args.merge_chains,
+        closure_workers=args.closure_workers,
+    )
     history_dir = resolve_history_dir(getattr(args, "history", None))
 
     if args.self_test:

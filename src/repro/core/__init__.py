@@ -19,14 +19,18 @@ from .happens_before import (
     ANDROID_HB,
     BACKEND_BITMASK,
     BACKEND_CHAINS,
+    KERNEL_AUTO,
+    KERNEL_PYTHON,
+    KERNEL_WORDS,
     SAT_FULL,
     SAT_INCREMENTAL,
     ClosureStats,
     HappensBefore,
     HBConfig,
     HBStats,
+    peak_rss_bytes,
 )
-from .reachability import ChainIndex
+from .reachability import ChainIndex, have_numpy, resolve_kernel
 from .lifecycle_model import (
     ActivityLifecycle,
     LifecycleError,
@@ -55,6 +59,9 @@ __all__ = [
     "HBNode",
     "HBStats",
     "InvalidTraceError",
+    "KERNEL_AUTO",
+    "KERNEL_PYTHON",
+    "KERNEL_WORDS",
     "LifecycleError",
     "OpKind",
     "Operation",
@@ -77,9 +84,12 @@ __all__ = [
     "detect_races",
     "detect_races_vc",
     "explain_race",
+    "have_numpy",
     "hb_witness",
     "is_valid_trace",
     "iter_bits",
+    "peak_rss_bytes",
     "render_witness",
+    "resolve_kernel",
     "validate_trace",
 ]

@@ -49,13 +49,28 @@ from __future__ import annotations
 import heapq
 import itertools
 import sys
+from array import array
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from .graph import HBGraph, HBNode, iter_bits
 from .operations import OpKind, Operation
-from .reachability import BACKEND_BITMASK, BACKEND_CHAINS, ChainIndex
-from repro.obs import current_tracer
+from .reachability import (
+    BACKEND_BITMASK,
+    BACKEND_CHAINS,
+    KERNEL_AUTO,
+    KERNEL_PYTHON,
+    KERNEL_WORDS,
+    KERNELS,
+    ChainIndex,
+    fork_available,
+    map_shards,
+    resolve_kernel,
+    shard_ranges,
+    words_saturate_decomposed,
+    words_saturate_plain,
+)
+from repro.obs import Tracer, current_tracer, use_tracer
 from .trace import ExecutionTrace, TaskInfo
 
 #: ``program_order`` settings.
@@ -82,6 +97,22 @@ SAT_FULL = "full"  # re-sweep every row after each outer round
 #: O(n²) bits; ``"chains"`` stores a per-node earliest-reachable-member
 #: vector over the chain decomposition, O(n·C) ints.
 BACKENDS = (BACKEND_BITMASK, BACKEND_CHAINS)
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process in bytes (0 where the
+    ``resource`` module is unavailable).  Surfaced in :class:`ClosureStats`
+    and the report ``closure`` block so the memory claims stay auditable
+    at 100k-node scale — note it is a *process* high-water mark, so batch
+    workers report the largest closure they ever held, not the current
+    one."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover — non-POSIX platforms
+        return 0
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return rss if sys.platform == "darwin" else rss * 1024
 
 
 @dataclass(frozen=True)
@@ -140,6 +171,13 @@ class HBStats:
     backend: str = BACKEND_BITMASK
     chain_count: int = 0
     closure_memory_bytes: int = 0
+    #: Chains coalesced away by the merge pass (0 for bitmask or with
+    #: ``merge_chains=False``); ``chain_count`` is the post-merge count.
+    chains_merged: int = 0
+    #: Process peak RSS in bytes when the closure finished (0 where the
+    #: ``resource`` module is unavailable).  Nondeterministic — excluded
+    #: from report digests, like ``memory_bytes``.
+    peak_rss_bytes: int = 0
 
 
 #: The closure-statistics record under the name the detector/CLI layers
@@ -172,6 +210,26 @@ class HappensBefore:
         every ordering query identically and derive the same rule edges in
         the same rounds — the switch trades closure memory (O(n²) bits vs
         O(n·C) ints) against per-query constants.
+    kernel:
+        Row-kernel selection for the full saturation sweeps: ``"python"``
+        runs the original big-int / ``array('i')`` reference loops;
+        ``"words"`` runs the word-batched kernels of
+        :mod:`repro.core.reachability` (numpy fast path when importable,
+        portable word arrays otherwise); ``"auto"`` (default) picks
+        ``"words"`` exactly when numpy is available.  A pure performance
+        knob — rows and reports are bit-identical either way.
+    merge_chains:
+        Run the pre-saturation chain-merging pass (chains backend only;
+        default on).  Coalesces chains that remain totally ordered forever
+        — see :meth:`ChainIndex.merge_compatible_chains` — shrinking the C
+        in the O(n·C) bound.  Results are identical with it off; the knob
+        exists for differential tests and ablation benchmarks.
+    workers:
+        Saturate full sweeps across this many forked worker processes
+        (default 1 = serial).  Any worker count computes the same least
+        fixpoint — rows and reports are byte-identical — and platforms
+        without ``fork`` silently run serially.  Incremental round deltas
+        stay serial (they touch few rows by design).
     """
 
     def __init__(
@@ -181,15 +239,23 @@ class HappensBefore:
         coalesce: bool = True,
         saturation: str = SAT_INCREMENTAL,
         backend: str = BACKEND_BITMASK,
+        kernel: str = KERNEL_AUTO,
+        merge_chains: bool = True,
+        workers: int = 1,
     ):
         if saturation not in (SAT_INCREMENTAL, SAT_FULL):
             raise ValueError("bad saturation %r" % saturation)
         if backend not in BACKENDS:
             raise ValueError("bad backend %r" % backend)
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % (workers,))
         self.trace = trace
         self.config = config
         self.saturation = saturation
         self.backend = backend
+        self.kernel = resolve_kernel(kernel)
+        self.merge_chains = merge_chains
+        self.workers = workers
         tracer = current_tracer()
         with tracer.span("closure.graph", coalesce=coalesce, backend=backend) as sp:
             self.graph = HBGraph(trace, coalesce=coalesce, backend=backend)
@@ -199,6 +265,7 @@ class HappensBefore:
                     self.graph,
                     config.program_order,
                     plain=config.transitivity == TRANS_PLAIN,
+                    kernel=self.kernel,
                 )
                 self.graph.attach_index(self._index)
             sp.set(nodes=len(self.graph), ops=len(trace))
@@ -239,8 +306,22 @@ class HappensBefore:
         tracer = current_tracer()
         with tracer.span("closure.static_edges"):
             self._add_static_edges()
+        if self._index is not None and self.merge_chains:
+            # Merging needs the static st edges (they are the bridge
+            # criterion) and must precede the first saturation (the pass
+            # reallocates the reach rows; ``saturate`` re-seeds them from
+            # the retained adjacency).
+            with tracer.span("closure.merge_chains") as merge_span:
+                merged = self._index.merge_compatible_chains()
+                merge_span.set(merged=merged, chains=self._index.chain_count)
+            self.stats.chain_count = self._index.chain_count
+            self.stats.chains_merged = merged
         with tracer.span(
-            "closure.saturate", backend=self.backend, saturation=self.saturation
+            "closure.saturate",
+            backend=self.backend,
+            saturation=self.saturation,
+            kernel=self.kernel,
+            workers=self.workers,
         ):
             self._saturate()
         incremental = self.saturation == SAT_INCREMENTAL
@@ -271,16 +352,19 @@ class HappensBefore:
                         # (premise queries must read the start-of-round
                         # closure); seed the round's edges now and re-close.
                         if incremental:
-                            index.saturate_delta(self._round_edges)
+                            index.saturate_delta(
+                                self._round_edges, workers=self.workers
+                            )
                         else:
                             index.apply_edges(self._round_edges)
-                            index.saturate()
+                            index.saturate(workers=self.workers)
                     elif incremental:
                         self._saturate_delta(self._round_edges)
                     else:
                         self._saturate()
         self.stats.st_edges, self.stats.mt_edges = self.graph.edge_count()
         self.stats.closure_memory_bytes = self._closure_memory_bytes()
+        self.stats.peak_rss_bytes = peak_rss_bytes()
         tracer.count("closure.builds")
         tracer.count("closure.rounds", self.stats.outer_iterations)
         tracer.count("closure.fifo_edges", self.stats.fifo_edges)
@@ -289,6 +373,7 @@ class HappensBefore:
         # largest closure a run (or batch) built.
         tracer.gauge("closure.nodes", self.stats.node_count)
         tracer.gauge("closure.memory_bytes", self.stats.closure_memory_bytes)
+        tracer.gauge("closure.peak_rss_bytes", self.stats.peak_rss_bytes)
 
     def _closure_memory_bytes(self) -> int:
         """Resident bytes of the closure representation *and* the indexes
@@ -720,14 +805,24 @@ class HappensBefore:
 
     def _saturate(self) -> None:
         if self._index is not None:
-            self._index.saturate()
+            self._index.saturate(workers=self.workers)
         elif self.config.transitivity == TRANS_PLAIN:
             self._saturate_plain()
         else:
             self._saturate_decomposed()
 
     def _saturate_plain(self) -> None:
-        """Plain reachability closure of the edge union (naive baseline)."""
+        """Plain reachability closure of the edge union (naive baseline).
+
+        With ``workers > 1`` the sweep shards across forked processes;
+        under the ``"words"`` kernel it runs word-batched — both compute
+        the identical least fixpoint (see :mod:`repro.core.reachability`).
+        """
+        if self.workers > 1 and self._saturate_bitmask_sharded(plain=True):
+            return
+        if self.kernel == KERNEL_WORDS:
+            words_saturate_plain(self.graph)
+            return
         st = self.graph.st
         for i in range(len(st) - 1, -1, -1):
             row = st[i]
@@ -745,7 +840,16 @@ class HappensBefore:
 
         * TRANS-ST: ``st[i] |= ⋃ st[k] for k ∈ st[i]``;
         * TRANS-MT: ``mt[i] |= (⋃ hb[k] for k ∈ hb[i]) ∩ diff-thread(i)``.
+
+        With ``workers > 1`` the sweep shards across forked processes;
+        under the ``"words"`` kernel it runs word-batched — both compute
+        the identical least fixpoint (see :mod:`repro.core.reachability`).
         """
+        if self.workers > 1 and self._saturate_bitmask_sharded(plain=False):
+            return
+        if self.kernel == KERNEL_WORDS:
+            words_saturate_decomposed(self.graph)
+            return
         graph = self.graph
         st, mt = graph.st, graph.mt
         n = len(graph)
@@ -764,6 +868,166 @@ class HappensBefore:
                 if st_new == st_row and mt_new == mt_row:
                     break
                 st[i], mt[i] = st_new, mt_new
+
+    # -- process-sharded full sweeps (bitmask backend) -------------------------
+
+    def _close_bitmask_row(self, i: int, plain: bool) -> bool:
+        """Re-close one bitmask row against the current global rows; returns
+        True if the row changed.  A re-close recomputes the full fold from
+        the row's member rows, so unlike the chain index no ``gained``
+        bookkeeping is needed: the result changes only if a member row
+        changed since the last visit."""
+        graph = self.graph
+        st = graph.st
+        if plain:
+            row = st[i]
+            closure = row
+            for k in iter_bits(row):
+                closure |= st[k]
+            if closure == row:
+                return False
+            st[i] = closure
+            return True
+        mt = graph.mt
+        diff = graph.diff_thread_mask(graph.node(i).thread)
+        changed = False
+        while True:
+            st_row, mt_row = st[i], mt[i]
+            st_new = st_row
+            for k in iter_bits(st_row):
+                st_new |= st[k]
+            hb_row = st_new | mt_row
+            comp = 0
+            for k in iter_bits(hb_row):
+                comp |= st[k] | mt[k]
+            mt_new = mt_row | (comp & diff)
+            if st_new == st_row and mt_new == mt_row:
+                return changed
+            st[i], mt[i] = st_new, mt_new
+            changed = True
+
+    def _close_bitmask_shard(
+        self,
+        lo: int,
+        hi: int,
+        dirty: Optional[List[int]],
+        plain: bool,
+        collect_obs: bool,
+    ):
+        """Worker body for one shard of a sharded full sweep: close this
+        range's (dirty) rows high-to-low against the forked row snapshot
+        and ship the changed rows home as fixed-width little-endian bytes
+        (+ an optional tracer snapshot, merged into the parent's pass
+        span — the corpus ``BatchAnalyzer`` worker discipline)."""
+        if dirty is None:
+            rows: object = range(hi - 1, lo - 1, -1)
+            count = hi - lo
+        else:
+            rows = [i for i in reversed(dirty) if lo <= i < hi]
+            count = len(rows)
+        tracer = Tracer() if collect_obs else current_tracer()
+        changed = array("i")
+        with use_tracer(tracer):
+            with tracer.span("closure.shard", lo=lo, hi=hi, rows=count):
+                for i in rows:
+                    if self._close_bitmask_row(i, plain):
+                        changed.append(i)
+        graph = self.graph
+        width = (len(graph) + 7) // 8 or 1
+        st, mt = graph.st, graph.mt
+        parts: List[bytes] = []
+        for i in changed:
+            parts.append(st[i].to_bytes(width, "little"))
+            if not plain:
+                parts.append(mt[i].to_bytes(width, "little"))
+        obs = tracer.snapshot() if collect_obs else None
+        return changed.tobytes(), b"".join(parts), obs
+
+    def _bitmask_dirty_rows(self, changed: List[int], plain: bool) -> List[int]:
+        """Rows whose next re-close could gain facts: anything whose closure
+        already reaches a row that changed in the last pass."""
+        graph = self.graph
+        st, mt = graph.st, graph.mt
+        changed_mask = 0
+        for i in changed:
+            changed_mask |= 1 << i
+        if plain:
+            return [i for i in range(len(graph)) if st[i] & changed_mask]
+        return [i for i in range(len(graph)) if (st[i] | mt[i]) & changed_mask]
+
+    def _saturate_bitmask_sharded(self, plain: bool) -> bool:
+        """Shard a full bitmask sweep by contiguous row range; returns True
+        when the sharded path ran to the fixpoint (False → caller runs the
+        serial sweep).
+
+        Pass 1 closes every shard against the pre-sweep rows (forked
+        copy-on-write snapshots — nothing is shipped into a worker); each
+        later pass re-closes only the rows whose closure reaches a row the
+        previous pass changed.  Rows move monotonically toward the unique
+        least fixpoint, so any worker count — and a mid-run pool failure
+        finished serially — yields byte-identical rows."""
+        graph = self.graph
+        n = len(graph)
+        ranges = shard_ranges(n, self.workers)
+        if len(ranges) < 2 or not fork_available():
+            return False
+        tracer = current_tracer()
+        st, mt = graph.st, graph.mt
+        width = (n + 7) // 8 or 1
+        stride = width if plain else 2 * width
+        dirty: Optional[List[int]] = None  # None: pass 1 closes every row
+        pass_no = 0
+        while True:
+            pass_no += 1
+            with tracer.span(
+                "closure.shard_pass",
+                index=pass_no,
+                shards=len(ranges),
+                rows=n if dirty is None else len(dirty),
+            ) as span:
+                collect = tracer.enabled
+                results = map_shards(
+                    lambda lo, hi: self._close_bitmask_shard(
+                        lo, hi, dirty, plain, collect
+                    ),
+                    ranges,
+                )
+                if results is None:
+                    span.set(fallback=True)
+                    if pass_no == 1:
+                        return False  # nothing ran; caller sweeps serially
+                    self._finish_bitmask_serial(dirty, plain)
+                    return True
+                changed: List[int] = []
+                for ids_bytes, payload, obs in results:
+                    if obs is not None:
+                        tracer.merge(obs, parent=span)
+                    ids = array("i")
+                    ids.frombytes(ids_bytes)
+                    for k, i in enumerate(ids):
+                        off = k * stride
+                        st[i] = int.from_bytes(payload[off : off + width], "little")
+                        if not plain:
+                            mt[i] = int.from_bytes(
+                                payload[off + width : off + stride], "little"
+                            )
+                    changed.extend(ids)
+                span.set(changed=len(changed))
+            if not changed:
+                return True
+            dirty = self._bitmask_dirty_rows(changed, plain)
+            if not dirty:
+                return True
+
+    def _finish_bitmask_serial(self, dirty: List[int], plain: bool) -> None:
+        """Complete the sharded fixpoint in-process after a pool failure
+        (sound: partial rows sit on the monotone path to the unique least
+        fixpoint, and this delta loop closes the remaining gap)."""
+        while dirty:
+            changed = [i for i in reversed(dirty) if self._close_bitmask_row(i, plain)]
+            if not changed:
+                return
+            dirty = self._bitmask_dirty_rows(changed, plain)
 
     # -- incremental delta saturation ------------------------------------------
 

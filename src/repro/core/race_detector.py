@@ -37,11 +37,13 @@ from .happens_before import (
     BACKEND_BITMASK,
     BACKEND_CHAINS,
     BACKENDS,
+    KERNEL_AUTO,
     SAT_FULL,
     SAT_INCREMENTAL,
     HappensBefore,
     HBConfig,
 )
+from .reachability import resolve_kernel
 from .operations import Operation
 from repro.obs import current_tracer
 from .trace import (
@@ -70,6 +72,14 @@ class DetectorConfig:
     coalesce: bool = True
     cancelled_tasks: Tuple[str, ...] = ()
     backend: str = BACKEND_BITMASK
+    #: Closure performance knobs (kernel / chain merging / sharded
+    #: saturation — see :class:`~repro.core.happens_before.HappensBefore`).
+    #: Deliberately EXCLUDED from :meth:`canonical_dict`: they never change
+    #: a report, so cache/history keys stay stable across knob settings
+    #: (and across deployments with and without numpy).
+    kernel: str = KERNEL_AUTO
+    merge_chains: bool = True
+    closure_workers: int = 1
 
     def canonical_dict(self) -> dict:
         return {
@@ -90,6 +100,9 @@ class DetectorConfig:
             coalesce=self.coalesce,
             cancelled_tasks=self.cancelled_tasks,
             backend=self.backend,
+            kernel=self.kernel,
+            merge_chains=self.merge_chains,
+            closure_workers=self.closure_workers,
         )
 
 
@@ -232,6 +245,9 @@ class RaceDetector:
         saturation: str = SAT_INCREMENTAL,
         enumeration: str = ENUM_BATCHED,
         backend: str = BACKEND_BITMASK,
+        kernel: str = KERNEL_AUTO,
+        merge_chains: bool = True,
+        closure_workers: int = 1,
     ):
         if enumeration not in (ENUM_BATCHED, ENUM_PAIRWISE):
             raise ValueError("bad enumeration %r" % enumeration)
@@ -239,6 +255,11 @@ class RaceDetector:
             raise ValueError("bad saturation %r" % saturation)
         if backend not in BACKENDS:
             raise ValueError("bad backend %r" % backend)
+        if closure_workers < 1:
+            raise ValueError(
+                "closure_workers must be >= 1, got %r" % (closure_workers,)
+            )
+        kernel = resolve_kernel(kernel)
         cancelled = list(cancelled_tasks)
         if cancelled:
             # §4.2: cancellation is handled by removing the corresponding
@@ -250,6 +271,9 @@ class RaceDetector:
         self.saturation = saturation
         self.enumeration = enumeration
         self.backend = backend
+        self.kernel = kernel
+        self.merge_chains = merge_chains
+        self.closure_workers = closure_workers
         self.hb: Optional[HappensBefore] = None
 
     def detect(self) -> RaceReport:
@@ -267,6 +291,9 @@ class RaceDetector:
                     coalesce=self.coalesce,
                     saturation=self.saturation,
                     backend=self.backend,
+                    kernel=self.kernel,
+                    merge_chains=self.merge_chains,
+                    workers=self.closure_workers,
                 )
             self.hb = hb
             report = RaceReport(
@@ -288,7 +315,9 @@ class RaceDetector:
             report.closure = {
                 "backend": hb.stats.backend,
                 "chain_count": hb.stats.chain_count,
+                "chains_merged": hb.stats.chains_merged,
                 "memory_bytes": hb.stats.closure_memory_bytes,
+                "peak_rss_bytes": hb.stats.peak_rss_bytes,
                 "st_edges": hb.stats.st_edges,
                 "mt_edges": hb.stats.mt_edges,
                 "fifo_edges": hb.stats.fifo_edges,
@@ -470,6 +499,9 @@ def detect_races(
     saturation: str = SAT_INCREMENTAL,
     enumeration: str = ENUM_BATCHED,
     backend: str = BACKEND_BITMASK,
+    kernel: str = KERNEL_AUTO,
+    merge_chains: bool = True,
+    closure_workers: int = 1,
 ) -> RaceReport:
     """One-call convenience wrapper: build, run, and return the report."""
     return RaceDetector(
@@ -480,4 +512,7 @@ def detect_races(
         saturation=saturation,
         enumeration=enumeration,
         backend=backend,
+        kernel=kernel,
+        merge_chains=merge_chains,
+        closure_workers=closure_workers,
     ).detect()

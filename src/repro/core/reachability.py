@@ -61,21 +61,54 @@ different-thread side condition lets a row gain facts through an
 intermediate changed row without reaching any edge source (see
 :meth:`ChainIndex.saturate_delta`).
 
+Three scale levers sit behind this abstraction (all performance knobs —
+results are bit-identical to the reference paths):
+
+* **Word-batched kernels** (``kernel="words"``, the default under
+  ``"auto"`` when numpy is importable): the bitmask backend's full
+  sweeps run over fixed-width word matrices instead of unbounded Python
+  ints (:func:`words_saturate_decomposed` / :func:`words_saturate_plain`
+  — numpy ``uint64`` rows with C-speed gather/reduce when available,
+  ``array('Q')`` words with ``int.bit_count`` popcount change detection
+  otherwise), and the chain index stores its reach table as one
+  ``int32`` matrix with vectorized fold/scan steps.  numpy is strictly
+  optional: every path has a pure-python fallback and ``"auto"``
+  resolves to ``"python"`` when numpy is absent.
+* **Chain merging** (:meth:`ChainIndex.merge_compatible_chains`): a
+  pre-saturation pass that coalesces chains which stay totally ordered
+  forever — same thread, node ranges strictly disjoint, and a *static*
+  thread-local edge from the earlier chain's last member to the later
+  chain's first member (e.g. NO-Q-PO's pre-loop → first-task edge).
+  Merging never touches interleaved chains (two tasks on one looper may
+  be unordered — the paper's precision device) and only shrinks the C
+  in the O(n·C) bound.
+* **Process-sharded saturation** (``HappensBefore(workers=N)``):
+  contiguous row ranges saturate in forked worker processes (the same
+  fork/merge machinery the corpus ``BatchAnalyzer`` uses, including
+  worker tracer snapshots merged into the parent timeline), with a
+  parent-side fixpoint over the cross-shard dirty frontier.  The least
+  fixpoint is unique, so any worker count yields byte-identical rows;
+  on platforms without ``fork`` (or inside daemonized pool workers) the
+  engine silently falls back to the serial sweep.
+
 Invariants this module guarantees (and the tests that pin them):
 
 * **Bit-identity with the bitmask backend** — for every trace, rule
-  preset, coalescing mode, and saturation strategy, the chain index
-  answers every ``ordered(i, j)`` query identically to the dense rows,
-  derives the same FIFO/NOPRE edges in the same outer rounds (identical
+  preset, coalescing mode, saturation strategy, kernel, merge setting,
+  and worker count, the chain index answers every ``ordered(i, j)``
+  query identically to the dense rows, derives the same FIFO/NOPRE
+  edges in the same outer rounds (identical
   :class:`~repro.core.happens_before.ClosureStats`), and yields
   byte-identical race reports in identical order.  Property-tested in
   ``tests/test_reachability_backend.py``; CI's ``--reachability-smoke``
   gate re-checks it on every push, including the fork/lock hand-off
-  counterexample topology.
+  counterexample topology and a workers=1-vs-2 report comparison.
 * **O(n·C) memory** — the reach table is ``4·n·C`` bytes of machine
   ints plus O(n) bookkeeping; ``memory_bytes()`` reports the resident
-  total, surfaced as ``closure.memory_bytes`` in report JSON, and the
-  CI gate fails if it ever exceeds twice the budget.
+  total *including* the auxiliary structures (adjacency, chain arrays,
+  merge bookkeeping, dirty-frontier scratch), surfaced as
+  ``closure.memory_bytes`` in report JSON, and the CI gate fails if it
+  ever exceeds twice the budget.
 * **Forward edges only** — like the bitmask engine, every inserted edge
   satisfies ``i < j``, so high-to-low sweeps see final rows.
 
@@ -86,15 +119,289 @@ saturating (either backend) are documented in ``docs/observability.md``.
 
 from __future__ import annotations
 
+import multiprocessing
 import sys
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs import Tracer, current_tracer, use_tracer
+
+try:  # optional fast path for the word-batched kernels — never required
+    import numpy as _np
+except Exception:  # pragma: no cover — exercised via the kernel knob
+    _np = None
 
 #: ``backend`` settings for the closure engine (performance/memory knob —
 #: results are identical; see :class:`repro.core.happens_before.HappensBefore`).
 BACKEND_BITMASK = "bitmask"
 BACKEND_CHAINS = "chains"
+
+#: ``kernel`` settings (performance knob — results are identical).
+#: ``"python"`` is the original big-int / ``array('i')``-row reference
+#: path; ``"words"`` runs the word-batched kernels (numpy fast path when
+#: importable, portable ``array('Q')`` words otherwise); ``"auto"``
+#: resolves to ``"words"`` exactly when numpy is available — the pure-
+#: python word loops are a portability/testing path, not a speedup.
+KERNEL_AUTO = "auto"
+KERNEL_PYTHON = "python"
+KERNEL_WORDS = "words"
+KERNELS = (KERNEL_AUTO, KERNEL_PYTHON, KERNEL_WORDS)
+
+
+def have_numpy() -> bool:
+    """True when the optional numpy fast path is importable."""
+    return _np is not None
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Validate ``kernel`` and resolve ``"auto"`` against the environment."""
+    if kernel not in KERNELS:
+        raise ValueError("bad kernel %r" % (kernel,))
+    if kernel == KERNEL_AUTO:
+        return KERNEL_WORDS if _np is not None else KERNEL_PYTHON
+    return kernel
+
+
+# -- process-sharded sweeps ---------------------------------------------------
+#
+# The same worker/merge discipline the corpus BatchAnalyzer uses: fork a
+# pool, map one contiguous row range per worker, and merge the workers'
+# results (changed rows + an optional tracer snapshot) in the parent.
+# Workers are forked fresh for every pass so they inherit the parent's
+# current row state by copy-on-write — nothing is shipped *into* a worker,
+# only changed rows ride home.
+
+#: The per-pass shard callable, published module-globally immediately
+#: before the fork so :func:`_shard_entry` can reach it from the child
+#: (the callable itself is never pickled).
+_SHARD_CALL: Optional[Callable[[int, int], object]] = None
+
+
+def _shard_entry(rng: Tuple[int, int]):
+    lo, hi = rng
+    return _SHARD_CALL(lo, hi)
+
+
+def shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Partition ``range(n)`` into at most ``shards`` contiguous ranges."""
+    shards = max(1, min(shards, n))
+    step = (n + shards - 1) // shards
+    return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+
+
+def fork_available() -> bool:
+    """Whether sharded saturation can run here: the ``fork`` start method
+    must exist (COW state inheritance is what makes per-pass worker spawns
+    cheap) and the current process must not itself be a daemonized pool
+    worker (those may not create pools of their own)."""
+    try:
+        if multiprocessing.current_process().daemon:
+            return False
+        multiprocessing.get_context("fork")
+    except (ValueError, ImportError):  # pragma: no cover — platform-specific
+        return False
+    return True
+
+
+def map_shards(fn: Callable[[int, int], object], ranges: Sequence[Tuple[int, int]]):
+    """Run ``fn(lo, hi)`` in one forked worker per range; returns the list
+    of results in range order, or ``None`` when no pool could be created
+    (the caller falls back to the serial path — partial progress, if any,
+    is sound: rows only ever move toward the unique least fixpoint)."""
+    global _SHARD_CALL
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except (ValueError, ImportError):  # pragma: no cover — platform-specific
+        return None
+    _SHARD_CALL = fn
+    try:
+        with ctx.Pool(processes=len(ranges)) as pool:
+            return pool.map(_shard_entry, list(ranges))
+    except (OSError, ValueError, ImportError, MemoryError):
+        return None
+    finally:
+        _SHARD_CALL = None
+
+
+# -- word-batched bitmask kernels ---------------------------------------------
+
+#: Bits per word of the fixed-width row layout (both storage variants).
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+#: numpy bit-level kernels assume little-endian word packing; on the (rare)
+#: big-endian platform the ``array('Q')`` fallback runs instead.
+_NP_BITS = _np is not None and sys.byteorder == "little"
+
+
+def _word_count(n: int) -> int:
+    return (n + _WORD_BITS - 1) // _WORD_BITS or 1
+
+
+def _pack_rows_np(rows: Sequence[int], words: int):
+    """Big-int rows → a ``(len(rows), words)`` uint64 matrix."""
+    nbytes = words * 8
+    buf = b"".join(r.to_bytes(nbytes, "little") for r in rows)
+    return _np.frombuffer(buf, dtype="<u8").reshape(len(rows), words).copy()
+
+
+def _unpack_rows_np(matrix) -> List[int]:
+    nbytes = matrix.shape[1] * 8
+    data = matrix.tobytes()
+    return [
+        int.from_bytes(data[i * nbytes : (i + 1) * nbytes], "little")
+        for i in range(matrix.shape[0])
+    ]
+
+
+def _np_row_bits(row):
+    """Set-bit indices of one packed row, ascending."""
+    return _np.nonzero(_np.unpackbits(row.view(_np.uint8), bitorder="little"))[0]
+
+
+def _pack_row_q(value: int, words: int) -> array:
+    return array(
+        "Q", ((value >> (_WORD_BITS * w)) & _WORD_MASK for w in range(words))
+    )
+
+
+def _unpack_row_q(row: array) -> int:
+    return int.from_bytes(row.tobytes(), "little")
+
+
+def _q_row_bits(row: array) -> List[int]:
+    out: List[int] = []
+    base = 0
+    for w in row:
+        while w:
+            low = w & -w
+            out.append(base + low.bit_length() - 1)
+            w ^= low
+        base += _WORD_BITS
+    return out
+
+
+def _q_popcount(row: array) -> int:
+    """Word-batched popcount (``int.bit_count`` per word) — rows only ever
+    gain bits, so popcount equality doubles as change detection."""
+    return sum(w.bit_count() for w in row)
+
+
+def _q_or_into(dst: array, src: array) -> None:
+    for w in range(len(dst)):
+        v = src[w]
+        if v:
+            dst[w] |= v
+
+
+def words_saturate_decomposed(graph) -> None:
+    """Word-batched TRANS-ST/TRANS-MT full sweep over the bitmask rows.
+
+    Bit-identical to ``HappensBefore._saturate_decomposed``: the same
+    high-to-low sweep with the same per-row fixpoint against already-final
+    higher rows, so both converge to the same least closure — only the row
+    representation changes (fixed-width words instead of unbounded ints,
+    eliminating the O(n²/64) big-int reallocation per ``|=`` fold).
+    """
+    n = len(graph.nodes)
+    if not n:
+        return
+    if _NP_BITS:
+        _np_saturate_decomposed(graph, n)
+    else:
+        _q_saturate_decomposed(graph, n)
+
+
+def words_saturate_plain(graph) -> None:
+    """Word-batched plain-reachability full sweep (naive baseline).
+
+    Mirrors ``HappensBefore._saturate_plain`` exactly: one fold per row
+    over the row's pre-fold members (higher rows are final, so plain —
+    right-recursive — reachability needs no inner fixpoint).
+    """
+    n = len(graph.nodes)
+    if not n:
+        return
+    words = _word_count(n)
+    st = graph.st
+    if _NP_BITS:
+        ST = _pack_rows_np(st, words)
+        for i in range(n - 1, -1, -1):
+            members = _np_row_bits(ST[i])
+            if members.size:
+                ST[i] |= _np.bitwise_or.reduce(ST[members], axis=0)
+        st[:] = _unpack_rows_np(ST)
+        return
+    rows = [_pack_row_q(r, words) for r in st]
+    for i in range(n - 1, -1, -1):
+        row = rows[i]
+        for k in _q_row_bits(row):
+            _q_or_into(row, rows[k])
+    st[:] = [_unpack_row_q(row) for row in rows]
+
+
+def _np_saturate_decomposed(graph, n: int) -> None:
+    words = _word_count(n)
+    ST = _pack_rows_np(graph.st, words)
+    MT = _pack_rows_np(graph.mt, words)
+    threads = [node.thread for node in graph.nodes]
+    diffs = {
+        t: _pack_rows_np([graph.diff_thread_mask(t)], words)[0]
+        for t in set(threads)
+    }
+    for i in range(n - 1, -1, -1):
+        diff = diffs[threads[i]]
+        while True:
+            st_row = ST[i]
+            mt_row = MT[i]
+            members = _np_row_bits(st_row)
+            if members.size:
+                st_new = st_row | _np.bitwise_or.reduce(ST[members], axis=0)
+            else:
+                st_new = st_row.copy()
+            hb_members = _np_row_bits(st_new | mt_row)
+            if hb_members.size:
+                comp = _np.bitwise_or.reduce(ST[hb_members], axis=0)
+                comp |= _np.bitwise_or.reduce(MT[hb_members], axis=0)
+                mt_new = mt_row | (comp & diff)
+            else:
+                mt_new = mt_row.copy()
+            if _np.array_equal(st_new, st_row) and _np.array_equal(mt_new, mt_row):
+                break
+            ST[i] = st_new
+            MT[i] = mt_new
+    graph.st[:] = _unpack_rows_np(ST)
+    graph.mt[:] = _unpack_rows_np(MT)
+
+
+def _q_saturate_decomposed(graph, n: int) -> None:
+    words = _word_count(n)
+    ST = [_pack_row_q(r, words) for r in graph.st]
+    MT = [_pack_row_q(r, words) for r in graph.mt]
+    threads = [node.thread for node in graph.nodes]
+    diffs = {
+        t: _pack_row_q(graph.diff_thread_mask(t), words) for t in set(threads)
+    }
+    for i in range(n - 1, -1, -1):
+        diff = diffs[threads[i]]
+        st_row = ST[i]
+        mt_row = MT[i]
+        while True:
+            before = _q_popcount(st_row) + _q_popcount(mt_row)
+            for k in _q_row_bits(st_row):
+                _q_or_into(st_row, ST[k])
+            comp = array("Q", bytes(8 * words))
+            hb = array("Q", (st_row[w] | mt_row[w] for w in range(words)))
+            for k in _q_row_bits(hb):
+                _q_or_into(comp, ST[k])
+                _q_or_into(comp, MT[k])
+            for w in range(words):
+                mt_row[w] |= comp[w] & diff[w]
+            if _q_popcount(st_row) + _q_popcount(mt_row) == before:
+                break
+    graph.st[:] = [_unpack_row_q(row) for row in ST]
+    graph.mt[:] = [_unpack_row_q(row) for row in MT]
 
 
 def _build_chains(graph, program_order: str) -> Tuple[array, List[List[int]], List[str]]:
@@ -138,11 +445,25 @@ class ChainIndex:
     Drop-in reachability backend for :class:`~repro.core.graph.HBGraph`:
     the graph delegates ``add_st``/``add_mt``/``ordered``/``hb_row`` here
     when built with ``backend="chains"``.
+
+    ``kernel="words"`` (with numpy importable) stores the reach table as
+    one contiguous ``int32`` matrix whose rows are views, so the fold and
+    frontier-scan steps vectorize; without numpy — or under
+    ``kernel="python"`` — the original ``array('i')`` rows are used (an
+    ``array('i')`` row already *is* a fixed-width word vector, so the two
+    storages are byte-interchangeable and sharded workers can mix them).
     """
 
-    def __init__(self, graph, program_order: str, plain: bool):
+    def __init__(
+        self,
+        graph,
+        program_order: str,
+        plain: bool,
+        kernel: str = KERNEL_PYTHON,
+    ):
         self.graph = graph
         self.plain = plain  # TRANS_PLAIN: single relation, no fold filter
+        self.kernel = kernel
         n = len(graph.nodes)
         self.n = n
         self.INF = n  # sentinel: larger than any node id
@@ -150,16 +471,40 @@ class ChainIndex:
             graph, program_order
         )
         self.chain_count = len(self.chains)
+        #: Chains coalesced away by :meth:`merge_compatible_chains` (0
+        #: until — and unless — the merge pass runs).
+        self.merged_chains = 0
         # Thread identity as small ints so the fold filter compares ints.
         tids: Dict[str, int] = {}
         for node in graph.nodes:
             tids.setdefault(node.thread, len(tids))
-        self._chain_tid = array("i", (tids[t] for t in self.chain_threads))
+        self._tids = tids
         self._node_tid = array("i", (tids[node.thread] for node in graph.nodes))
-        inf_row = array("i", [n]) * self.chain_count if self.chain_count else array("i")
-        self.reach: List[array] = [array("i", inf_row) for _ in range(n)]
+        self._chain_tid = array("i", (tids[t] for t in self.chain_threads))
+        self._chain_tid_np = None
+        self._matrix = None  # numpy int32 (n, C) storage under kernel="words"
         self.succ_st: List[List[int]] = [[] for _ in range(n)]
         self.succ_mt: List[List[int]] = [[] for _ in range(n)]
+        self._delta_scratch_bytes = 0
+        self._gained_cache: Optional[Tuple[bytearray, object]] = None
+        self._diff_masks: Dict[int, object] = {}
+        self._alloc_rows()
+
+    def _alloc_rows(self) -> None:
+        """(Re-)allocate the reach storage at the current chain count,
+        every entry +∞.  Also called after a merge pass changes the row
+        width — callers must saturate afterwards."""
+        n, C = self.n, self.chain_count
+        self._diff_masks = {}
+        if self.kernel == KERNEL_WORDS and _np is not None and n and C:
+            self._matrix = _np.full((n, C), self.INF, dtype=_np.intc)
+            self.reach: List = [self._matrix[i] for i in range(n)]
+            self._chain_tid_np = _np.asarray(self._chain_tid, dtype=_np.intc)
+        else:
+            self._matrix = None
+            self._chain_tid_np = None
+            inf_row = array("i", [self.INF]) * C if C else array("i")
+            self.reach = [array("i", inf_row) for _ in range(n)]
 
     # -- edge insertion ------------------------------------------------------
 
@@ -225,6 +570,8 @@ class ChainIndex:
         """Closure sizes ``(st, mt)`` — the numbers the bitmask backend's
         popcounts report.  Same-thread chains hold ≺st facts, other-thread
         chains ≺mt facts; in plain mode everything counts as st."""
+        if self._matrix is not None:
+            return self._edge_count_np()
         st_edges = 0
         mt_edges = 0
         chains = self.chains
@@ -246,13 +593,45 @@ class ChainIndex:
                     mt_edges += count
         return st_edges, mt_edges
 
+    def _edge_count_np(self) -> Tuple[int, int]:
+        """Column-vectorized :meth:`edge_count` for the matrix storage —
+        one searchsorted per chain instead of an n×C python loop."""
+        st_edges = 0
+        mt_edges = 0
+        node_tid = _np.asarray(self._node_tid, dtype=_np.intc)
+        for c in range(self.chain_count):
+            col = self._matrix[:, c]
+            rows = _np.flatnonzero(col < self.INF)
+            if not rows.size:
+                continue
+            members = _np.asarray(self.chains[c], dtype=_np.intc)
+            counts = members.size - _np.searchsorted(members, col[rows])
+            if self.plain:
+                st_edges += int(counts.sum())
+                continue
+            same = node_tid[rows] == self._chain_tid[c]
+            st_edges += int(counts[same].sum())
+            mt_edges += int(counts[~same].sum())
+        return st_edges, mt_edges
+
     def memory_bytes(self) -> int:
-        """Bytes held by the index: the reach table plus adjacency and
-        chain bookkeeping (the backend's answer to the bitmask rows'
-        ``memory_bytes``)."""
-        total = sys.getsizeof(self.reach)
-        for row in self.reach:
-            total += sys.getsizeof(row)
+        """Bytes held by the index: the reach table plus *every* auxiliary
+        structure kept alive to maintain it — successor adjacency, chain
+        membership arrays, the merge/thread bookkeeping, and the
+        dirty-frontier scratch of the last delta re-closure (high-water
+        size).  The backend's answer to the bitmask rows'
+        ``memory_bytes``, and the number the 6.3x memory claim is audited
+        against."""
+        if self._matrix is not None:
+            total = int(self._matrix.nbytes)
+            total += sys.getsizeof(self.reach)
+            if self.reach:
+                total += len(self.reach) * sys.getsizeof(self.reach[0])
+            total += int(self._chain_tid_np.nbytes)
+        else:
+            total = sys.getsizeof(self.reach)
+            for row in self.reach:
+                total += sys.getsizeof(row)
         for adj in (self.succ_st, self.succ_mt):
             total += sys.getsizeof(adj)
             for lst in adj:
@@ -261,24 +640,132 @@ class ChainIndex:
         total += sys.getsizeof(self.chains)
         for members in self.chains:
             total += sys.getsizeof(members) + 8 * len(members)
+        total += sys.getsizeof(self.chain_threads)
         total += sys.getsizeof(self._chain_tid) + sys.getsizeof(self._node_tid)
+        total += self._delta_scratch_bytes
         return total
+
+    # -- chain merging -------------------------------------------------------
+
+    def merge_compatible_chains(self) -> int:
+        """Coalesce chains that stay totally ordered forever; returns the
+        number of chains merged away.
+
+        Two chains ``c1 < c2`` may merge only when the union remains
+        totally ordered by the thread-local relation *at all times* — the
+        invariant the lowest-reached-member representation rests on.  The
+        static criterion used here guarantees exactly that:
+
+        * same thread (so the fold filter keeps classifying the merged
+          chain's facts correctly),
+        * ``max(c1) < min(c2)`` — the node ranges are strictly disjoint,
+          never interleaved (two tasks on one looper interleave *in
+          eligibility*, not in ids, but they fail the next clause), and
+        * a **static** thread-local edge ``last(c1) → first(c2)`` exists
+          (e.g. NO-Q-PO's pre-loop → first-task edge): the relation only
+          grows, so once transitivity composes the chain-internal orders
+          across that bridge, every earlier member precedes every later
+          member — in the decomposed engine via TRANS-ST, in plain mode
+          via plain reachability.
+
+        Greedy deterministic matching: chains are walked in ascending id
+        order; each group extends from its tail along the smallest-target
+        eligible static edge, and every chain joins at most one group.
+        Must run after static edges are inserted and before the first
+        :meth:`saturate` — the pass rebuilds the chain structures and
+        reallocates the (unsaturated) reach rows.
+        """
+        if self.chain_count < 2:
+            return 0
+        chains = self.chains
+        chain_threads = self.chain_threads
+        first_of = {members[0]: c for c, members in enumerate(chains)}
+        absorbed = bytearray(self.chain_count)
+        groups: List[List[int]] = []
+        merged = 0
+        for c in range(self.chain_count):
+            if absorbed[c]:
+                continue
+            group = [c]
+            tail = c
+            while True:
+                u = chains[tail][-1]
+                best: Optional[Tuple[int, int]] = None
+                for v in self.succ_st[u]:
+                    nc = first_of.get(v)
+                    if (
+                        nc is None
+                        or absorbed[nc]
+                        or nc == c
+                        or chain_threads[nc] != chain_threads[c]
+                    ):
+                        continue
+                    if best is None or v < best[0]:
+                        best = (v, nc)
+                if best is None:
+                    break
+                nc = best[1]
+                absorbed[nc] = 1
+                group.append(nc)
+                tail = nc
+                merged += 1
+            groups.append(group)
+        if not merged:
+            return 0
+        new_chains: List[List[int]] = []
+        new_threads: List[str] = []
+        for group in groups:
+            members: List[int] = []
+            for oc in group:
+                members.extend(chains[oc])
+            new_chains.append(members)  # parts are disjoint ascending ranges
+            new_threads.append(chain_threads[group[0]])
+        self.chains = new_chains
+        self.chain_threads = new_threads
+        self.chain_count = len(new_chains)
+        chain_of = self.chain_of
+        for c, members in enumerate(new_chains):
+            for nid in members:
+                chain_of[nid] = c
+        self._chain_tid = array(
+            "i", (self._node_tid[members[0]] for members in new_chains)
+        )
+        self.merged_chains += merged
+        self._alloc_rows()
+        return merged
 
     # -- saturation ----------------------------------------------------------
 
-    def _fold(self, row: array, mrow: array, allow_all: bool, ti: int) -> List[int]:
+    def _fold(self, row, mrow, allow_all: bool, ti: int) -> List[int]:
         """Take the min of ``row`` and ``mrow`` per chain; returns the
         chains lowered.  ``allow_all`` folds every chain (st member or
         plain mode); otherwise only chains on threads other than ``ti``
         (mt member — TRANS-MT's different-thread side condition)."""
-        lowered: List[int] = []
+        out: List[int] = []
         chain_tid = self._chain_tid
         for c in range(self.chain_count):
             v = mrow[c]
             if v < row[c] and (allow_all or chain_tid[c] != ti):
                 row[c] = v
-                lowered.append(c)
-        return lowered
+                out.append(c)
+        return out
+
+    def _gained_marks(self, gained: bytearray):
+        """A (cached) live uint8 view over the round's ``gained`` marks —
+        created once per buffer instead of once per re-closed row."""
+        cache = self._gained_cache
+        if cache is not None and cache[0] is gained:
+            return cache[1]
+        marks = _np.frombuffer(gained, dtype=_np.uint8)
+        self._gained_cache = (gained, marks)
+        return marks
+
+    def _diff_mask_np(self, ti: int):
+        """Cached boolean mask of chains on threads other than ``ti``."""
+        mask = self._diff_masks.get(ti)
+        if mask is None:
+            mask = self._diff_masks[ti] = self._chain_tid_np != ti
+        return mask
 
     def _close_row(self, i: int, gained: Optional[bytearray]) -> bool:
         """(Re-)close row ``i`` against the already-closed higher rows.
@@ -289,6 +776,8 @@ class ChainIndex:
         new facts need not be visible through any direct successor (the
         mt relation is left-recursive).
         """
+        if self._matrix is not None:
+            return self._close_row_np(i, gained)
         row = self.reach[i]
         ti = self._node_tid[i]
         plain = self.plain
@@ -346,18 +835,260 @@ class ChainIndex:
             pending = nxt
         return changed
 
-    def saturate(self) -> None:
-        """Full sweep: reset every row to its direct-edge seeds and close
-        high-to-low (the analogue of the bitmask full re-sweep)."""
-        n = self.n
-        if not n:
+    def _close_row_np(self, i: int, gained: Optional[bytearray]) -> bool:
+        """Vectorized :meth:`_close_row` for the matrix storage.
+
+        Per-successor folds collapse into one gather + min-reduce per
+        relation (min is associative, so batching the folds reaches the
+        same per-row fixpoint the sequential reference path does), and
+        each expansion round folds all pending chain minima in one batch.
+        A handful of C-speed array ops per row replace the O(C) python
+        loops — the constant the 100k bench point stands on.
+        """
+        matrix = self._matrix
+        row = matrix[i]
+        ti = self._node_tid[i]
+        plain = self.plain
+        chain_of = self.chain_of
+        changed = False
+        for j in self.succ_st[i]:
+            c = chain_of[j]
+            if j < row[c]:
+                row[c] = j
+                changed = True
+        for j in self.succ_mt[i]:
+            c = chain_of[j]
+            if j < row[c]:
+                row[c] = j
+                changed = True
+        sts = self.succ_st[i]
+        if sts:
+            mrow = matrix[sts[0]] if len(sts) == 1 else matrix[sts].min(axis=0)
+            lower = mrow < row
+            if lower.any():
+                _np.copyto(row, mrow, where=lower)
+                changed = True
+        pending: List[int] = []
+        mts = self.succ_mt[i]
+        if mts:
+            mrow = matrix[mts[0]] if len(mts) == 1 else matrix[mts].min(axis=0)
+            lower = mrow < row
+            if not plain:
+                lower &= self._diff_mask_np(ti)
+            lowered = _np.flatnonzero(lower)
+            if lowered.size:
+                row[lowered] = mrow[lowered]
+                changed = True
+                if not plain:
+                    pending = lowered.tolist()
+        if gained is not None and not plain:
+            idx = _np.flatnonzero((row < self.INF) & self._diff_mask_np(ti))
+            if idx.size:
+                marks = self._gained_marks(gained)
+                stale = idx[marks[row[idx]] != 0]
+                if stale.size:
+                    pending.extend(stale.tolist())
+        expanded: Dict[int, int] = {}
+        while pending:
+            targets: List[int] = []
+            for c in pending:
+                m = int(row[c])
+                if expanded.get(c) == m:
+                    continue
+                expanded[c] = m
+                targets.append(m)
+            pending = []
+            if not targets:
+                break
+            mrow = (
+                matrix[targets[0]]
+                if len(targets) == 1
+                else matrix[targets].min(axis=0)
+            )
+            lower = (mrow < row) & self._diff_mask_np(ti)
+            lowered = _np.flatnonzero(lower)
+            if lowered.size:
+                row[lowered] = mrow[lowered]
+                changed = True
+                pending = lowered.tolist()
+        return changed
+
+    def _reset_rows(self) -> None:
+        if self._matrix is not None:
+            self._matrix.fill(self.INF)
             return
         inf_row = array("i", [self.INF]) * self.chain_count
         reach = self.reach
-        for i in range(n):
+        for i in range(self.n):
             reach[i] = array("i", inf_row)
+
+    def saturate(self, workers: int = 1) -> None:
+        """Full sweep: reset every row to its direct-edge seeds and close
+        high-to-low (the analogue of the bitmask full re-sweep).  With
+        ``workers > 1`` the sweep is sharded across forked processes (see
+        :meth:`_saturate_sharded`); any worker count computes the same
+        least fixpoint, so the rows are byte-identical."""
+        n = self.n
+        if not n:
+            return
+        self._reset_rows()
+        if workers > 1 and self._saturate_sharded(workers):
+            return
         for i in range(n - 1, -1, -1):
             self._close_row(i, None)
+
+    # -- sharded saturation --------------------------------------------------
+
+    def _row_bytes(self, i: int) -> bytes:
+        if self._matrix is not None:
+            return self._matrix[i].tobytes()
+        return self.reach[i].tobytes()
+
+    def _set_row_bytes(self, i: int, data: bytes) -> None:
+        if self._matrix is not None:
+            self._matrix[i] = _np.frombuffer(data, dtype=self._matrix.dtype)
+            return
+        row = array("i")
+        row.frombytes(data)
+        self.reach[i] = row
+
+    def _close_shard(
+        self,
+        lo: int,
+        hi: int,
+        dirty: Optional[List[int]],
+        gained: Optional[bytearray],
+        collect_obs: bool,
+    ):
+        """Worker body: close this shard's (dirty) rows high-to-low against
+        the forked snapshot; ship home the changed rows (+ an optional
+        tracer snapshot, merged into the parent's pass span — the same
+        discipline as the corpus BatchAnalyzer workers)."""
+        if dirty is None:
+            rows: Iterator[int] = range(hi - 1, lo - 1, -1)
+            count = hi - lo
+        else:
+            rows = [i for i in reversed(dirty) if lo <= i < hi]
+            count = len(rows)
+        tracer = Tracer() if collect_obs else current_tracer()
+        changed = array("i")
+        with use_tracer(tracer):
+            with tracer.span("closure.shard", lo=lo, hi=hi, rows=count):
+                for i in rows:
+                    if self._close_row(i, gained):
+                        if gained is not None:
+                            gained[i] = 1
+                        changed.append(i)
+        payload = b"".join(self._row_bytes(i) for i in changed)
+        obs = tracer.snapshot() if collect_obs else None
+        return changed.tobytes(), payload, obs
+
+    def _apply_shard_rows(self, ids_bytes: bytes, payload: bytes) -> List[int]:
+        ids = array("i")
+        ids.frombytes(ids_bytes)
+        width = 4 * self.chain_count
+        for k, i in enumerate(ids):
+            self._set_row_bytes(i, payload[k * width : (k + 1) * width])
+        return list(ids)
+
+    def _dirty_rows(self, changed: List[int]) -> List[int]:
+        """Rows whose next re-close could gain facts: anything whose reach
+        vector already points at or below a changed row on that row's
+        chain (the same conservative frontier test
+        :meth:`saturate_delta` uses)."""
+        frontier: Dict[int, int] = {}
+        chain_of = self.chain_of
+        for i in changed:
+            c = chain_of[i]
+            if i > frontier.get(c, -1):
+                frontier[c] = i
+        bounds = sorted(frontier.items())
+        if self._matrix is not None:
+            cs = _np.fromiter((c for c, _ in bounds), dtype=_np.intp, count=len(bounds))
+            bs = _np.fromiter(
+                (b for _, b in bounds), dtype=self._matrix.dtype, count=len(bounds)
+            )
+            hit = (self._matrix[:, cs] <= bs).any(axis=1)
+            return _np.flatnonzero(hit).tolist()
+        out: List[int] = []
+        for i in range(self.n):
+            row = self.reach[i]
+            for c, bound in bounds:
+                if row[c] <= bound:
+                    out.append(i)
+                    break
+        return out
+
+    def _saturate_sharded(self, workers: int) -> bool:
+        """Shard the full sweep by contiguous row range; returns True when
+        the sharded path ran to the fixpoint.
+
+        Pass 1 closes every shard against the seed rows; each later pass
+        re-closes only the dirty frontier of the previous pass's changed
+        rows, with cumulative ``gained`` marks so stale chain minima
+        re-expand (the delta discipline of :meth:`saturate_delta`).  Rows
+        only move monotonically toward the unique least fixpoint, so the
+        pass loop terminates with exactly the serial sweep's rows — and a
+        mid-run pool failure can safely finish serially on the partial
+        state."""
+        ranges = shard_ranges(self.n, workers)
+        if len(ranges) < 2 or not fork_available():
+            return False
+        tracer = current_tracer()
+        gained = bytearray(self.n)
+        dirty: Optional[List[int]] = None  # None: pass 1 closes every row
+        pass_no = 0
+        while True:
+            pass_no += 1
+            with tracer.span(
+                "closure.shard_pass",
+                index=pass_no,
+                shards=len(ranges),
+                rows=self.n if dirty is None else len(dirty),
+            ) as span:
+                pass_gained = gained if pass_no > 1 else None
+                collect = tracer.enabled
+                results = map_shards(
+                    lambda lo, hi: self._close_shard(
+                        lo, hi, dirty, pass_gained, collect
+                    ),
+                    ranges,
+                )
+                if results is None:
+                    span.set(fallback=True)
+                    if pass_no == 1:
+                        return False  # nothing ran; caller sweeps serially
+                    self._finish_serial(dirty, gained)
+                    return True
+                changed: List[int] = []
+                for ids_bytes, payload, obs in results:
+                    if obs is not None:
+                        tracer.merge(obs, parent=span)
+                    changed.extend(self._apply_shard_rows(ids_bytes, payload))
+                span.set(changed=len(changed))
+            if not changed:
+                return True
+            for i in changed:
+                gained[i] = 1
+            dirty = self._dirty_rows(changed)
+            if not dirty:
+                return True
+
+    def _finish_serial(self, dirty: List[int], gained: bytearray) -> None:
+        """Complete the sharded fixpoint in-process after a pool failure
+        (sound: the partial rows are on the monotone path to the unique
+        least fixpoint, and the delta loop closes the remaining gap)."""
+        while dirty:
+            changed: List[int] = []
+            for i in reversed(dirty):
+                if self._close_row(i, gained):
+                    gained[i] = 1
+                    changed.append(i)
+            if not changed:
+                return
+            dirty = self._dirty_rows(changed)
+
+    # -- incremental delta re-closure -----------------------------------------
 
     def apply_edges(self, edges: List[Tuple[int, int]]) -> None:
         """Record a round's new base edges (rule applications defer index
@@ -366,7 +1097,7 @@ class ChainIndex:
         for u, v in edges:
             self.add_st(u, v)
 
-    def saturate_delta(self, edges: List[Tuple[int, int]]) -> None:
+    def saturate_delta(self, edges: List[Tuple[int, int]], workers: int = 1) -> None:
         """Re-close after a FIFO/NOPRE round inserted ``edges``.
 
         A row whose closure changes need *not* reach an edge source: the
@@ -388,6 +1119,14 @@ class ChainIndex:
         that reach a changed row are exactly what the next pass picks up.
         A pass's dirty scan skips rows the previous pass re-closed — they
         already absorbed the very gains that seed the new frontier.
+
+        Under the matrix storage, a round whose first dirty set already
+        covers most of the graph switches to a fresh full sweep instead:
+        a delta re-close pays for gained-mark scans and repeated passes
+        that the from-scratch sweep avoids, so beyond roughly a third of
+        the rows the sweep is strictly cheaper — and, computing the same
+        unique least fixpoint, bit-identical.  (The python-kernel path
+        never switches; it is the differential reference.)
         """
         if not edges:
             return
@@ -408,20 +1147,41 @@ class ChainIndex:
                 frontier[c] = u
         first = True
         closed = bytearray(n)  # re-closed in the pass that built frontier
+        self._delta_scratch_bytes = max(
+            self._delta_scratch_bytes,
+            sys.getsizeof(gained) + sys.getsizeof(closed),
+        )
+        matrix = self._matrix
         while frontier:
             bounds = sorted(frontier.items())
-            dirty: List[int] = []
-            for i in range(n):
-                if closed[i]:
-                    continue
-                if first and gained[i]:
-                    dirty.append(i)
-                    continue
-                row = reach[i]
-                for c, bound in bounds:
-                    if row[c] <= bound:
+            if matrix is not None:
+                cs = _np.fromiter(
+                    (c for c, _ in bounds), dtype=_np.intp, count=len(bounds)
+                )
+                bs = _np.fromiter(
+                    (b for _, b in bounds), dtype=matrix.dtype, count=len(bounds)
+                )
+                hit = (matrix[:, cs] <= bs).any(axis=1)
+                if first:
+                    hit |= _np.frombuffer(gained, dtype=_np.uint8) != 0
+                hit &= _np.frombuffer(closed, dtype=_np.uint8) == 0
+                dirty = _np.flatnonzero(hit).tolist()
+                if first and 3 * len(dirty) > n:
+                    self.saturate(workers=workers)
+                    return
+            else:
+                dirty = []
+                for i in range(n):
+                    if closed[i]:
+                        continue
+                    if first and gained[i]:
                         dirty.append(i)
-                        break
+                        continue
+                    row = reach[i]
+                    for c, bound in bounds:
+                        if row[c] <= bound:
+                            dirty.append(i)
+                            break
             first = False
             frontier = {}
             closed = bytearray(n)

@@ -72,7 +72,7 @@ INDEX_FILE = "index.json"
 #: not; ``trace_name`` is presentation (the same trace content analyzed
 #: from two paths carries two names but one answer).
 _VOLATILE_REPORT_FIELDS = ("analysis_seconds", "trace_name")
-_VOLATILE_CLOSURE_FIELDS = ("memory_bytes",)
+_VOLATILE_CLOSURE_FIELDS = ("memory_bytes", "peak_rss_bytes")
 
 
 def resolve_history_dir(explicit: Optional[str] = None) -> Optional[str]:

@@ -116,3 +116,59 @@ class TestStrategyValidation:
         detector = RaceDetector(ladder_trace(2, 1))
         assert detector.saturation == SAT_INCREMENTAL
         assert detector.enumeration == ENUM_BATCHED
+
+
+class TestKernelAndWorkerAxes:
+    """The incremental/full equivalence must also hold under the PR-7
+    scale levers: word-batched kernels and process-sharded sweeps."""
+
+    def test_ladder_words_kernel_and_workers(self):
+        from repro.core import KERNEL_PYTHON, KERNEL_WORDS
+
+        trace = ladder_trace(5, 2, body=2)
+        reference = HappensBefore(
+            trace, saturation=SAT_FULL, kernel=KERNEL_PYTHON
+        )
+        for saturation in (SAT_FULL, SAT_INCREMENTAL):
+            for workers in (1, 2):
+                hb = HappensBefore(
+                    trace,
+                    saturation=saturation,
+                    kernel=KERNEL_WORDS,
+                    workers=workers,
+                )
+                assert hb.graph.st == reference.graph.st, (saturation, workers)
+                assert hb.graph.mt == reference.graph.mt, (saturation, workers)
+                assert (
+                    hb.stats.outer_iterations
+                    == reference.stats.outer_iterations
+                )
+
+    def test_lock_handoff_all_axes_empty_report(self):
+        from repro.apps.ladder import lock_handoff_trace
+        from repro.core import KERNEL_PYTHON, KERNEL_WORDS
+
+        trace = lock_handoff_trace()
+        for saturation in (SAT_FULL, SAT_INCREMENTAL):
+            for kernel in (KERNEL_PYTHON, KERNEL_WORDS):
+                for workers in (1, 2):
+                    report = detect_races(
+                        trace,
+                        saturation=saturation,
+                        kernel=kernel,
+                        closure_workers=workers,
+                    )
+                    assert not report.races, (saturation, kernel, workers)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_words_kernel(self, seed):
+        from repro.core import KERNEL_PYTHON, KERNEL_WORDS
+
+        trace = run_random_app(seed).build_trace()
+        full = HappensBefore(trace, saturation=SAT_FULL, kernel=KERNEL_PYTHON)
+        inc = HappensBefore(
+            trace, saturation=SAT_INCREMENTAL, kernel=KERNEL_WORDS
+        )
+        assert full.graph.st == inc.graph.st
+        assert full.graph.mt == inc.graph.mt

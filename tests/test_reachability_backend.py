@@ -16,11 +16,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.apps.ladder import ladder_trace, lock_handoff_trace
+from repro.apps.ladder import ladder_trace, lock_handoff_trace, wide_trace
 from repro.core import (
     BACKEND_BITMASK,
     BACKEND_CHAINS,
     HappensBefore,
+    KERNEL_AUTO,
+    KERNEL_PYTHON,
+    KERNEL_WORDS,
     SAT_FULL,
     SAT_INCREMENTAL,
     detect_races,
@@ -34,6 +37,7 @@ from repro.core.race_detector import (
     RaceDetector,
     RaceReport,
 )
+from repro.core import reachability
 from repro.core.reachability import ChainIndex
 from tests.test_property import run_random_app
 
@@ -297,3 +301,258 @@ class TestIterBits:
         assert next(gen) == 63
         with pytest.raises(StopIteration):
             next(gen)
+
+
+def closure_core(report):
+    """The deterministic slice of the closure block: everything except the
+    machine-dependent measurements and the backend/knob-specific stats."""
+    core = dict(report.closure)
+    for volatile in (
+        "memory_bytes",
+        "peak_rss_bytes",
+        "backend",
+        "chain_count",
+        "chains_merged",
+    ):
+        core.pop(volatile, None)
+    return core
+
+
+#: Traces the scale-knob differentials run over.  ``wide_trace`` is the
+#: chain-merging stress shape (many short same-thread chains), the ladder
+#: drives many outer rounds, and ``lock_handoff_trace`` is the known
+#: adversarial topology for incremental frontiers.
+SCALE_TRACES = {
+    "ladder": lambda: ladder_trace(4, 3, rogues=2, body=1),
+    "wide": lambda: wide_trace(6, tasks_per_thread=3, seed=7),
+    "handoff": lock_handoff_trace,
+}
+
+
+class TestScaleKnobDifferentials:
+    """The three PR-7 scale levers — word-batched kernels, chain merging,
+    and process-sharded saturation — are *performance knobs*: every
+    combination must reproduce the reference report bit for bit."""
+
+    @pytest.mark.parametrize("shape", sorted(SCALE_TRACES))
+    def test_full_knob_product_matches_reference(self, shape):
+        trace = SCALE_TRACES[shape]()
+        reference = detect_races(
+            trace, kernel=KERNEL_PYTHON, merge_chains=False
+        )
+        for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+            for kernel in (KERNEL_PYTHON, KERNEL_WORDS, KERNEL_AUTO):
+                for merge in (False, True):
+                    report = detect_races(
+                        trace,
+                        backend=backend,
+                        kernel=kernel,
+                        merge_chains=merge,
+                    )
+                    key = (backend, kernel, merge)
+                    assert report_key(report) == report_key(reference), key
+                    assert closure_core(report) == closure_core(reference), key
+
+    @pytest.mark.parametrize("shape", sorted(SCALE_TRACES))
+    @pytest.mark.parametrize("backend", [BACKEND_BITMASK, BACKEND_CHAINS])
+    def test_sharded_saturation_matches_serial(self, shape, backend):
+        # workers=2 exercises the fork/merge machinery end to end; the
+        # least fixpoint is unique, so any worker count is byte-identical.
+        trace = SCALE_TRACES[shape]()
+        for saturation in (SAT_FULL, SAT_INCREMENTAL):
+            serial = detect_races(
+                trace, backend=backend, saturation=saturation
+            )
+            sharded = detect_races(
+                trace,
+                backend=backend,
+                saturation=saturation,
+                closure_workers=2,
+            )
+            assert report_key(sharded) == report_key(serial)
+            assert closure_core(sharded) == closure_core(serial)
+
+    def test_sharded_rows_identical(self):
+        trace = ladder_trace(4, 2, body=2)
+        for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+            serial = HappensBefore(trace, backend=backend)
+            sharded = HappensBefore(trace, backend=backend, workers=2)
+            for i in range(len(serial.graph)):
+                assert serial.graph.hb_row(i) == sharded.graph.hb_row(i), i
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps_kernels_and_merging(self, seed):
+        trace = run_random_app(seed).build_trace()
+        reference = detect_races(
+            trace, kernel=KERNEL_PYTHON, merge_chains=False
+        )
+        for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+            report = detect_races(
+                trace, backend=backend, kernel=KERNEL_WORDS, merge_chains=True
+            )
+            assert report_key(report) == report_key(reference)
+
+
+class TestChainMerging:
+    """Directed tests for the pre-saturation merge pass: it must coalesce
+    exactly the statically-bridged same-thread chain pairs and never the
+    merely-FIFO-ordered (interleavable) ones."""
+
+    THREADS = 5
+
+    def _indexes(self):
+        trace = wide_trace(self.THREADS, tasks_per_thread=3, seed=3)
+        off = HappensBefore(trace, backend=BACKEND_CHAINS, merge_chains=False)
+        on = HappensBefore(trace, backend=BACKEND_CHAINS, merge_chains=True)
+        return off, on
+
+    def test_merges_exactly_the_preloop_first_task_pairs(self):
+        off, on = self._indexes()
+        # Per worker thread: the pre-loop chain merges with the first
+        # task (NO-Q-PO contributes the static bridge edge); nothing else.
+        assert on.stats.chains_merged == self.THREADS
+        assert (
+            on.stats.chain_count
+            == off.stats.chain_count - self.THREADS
+        )
+        assert on.graph.reach.chain_count == on.stats.chain_count
+
+    def test_never_merges_interleavable_chains(self):
+        off, on = self._indexes()
+        original = off.graph.reach.chains
+        merged = on.graph.reach.chains
+        # Every merged chain is a concatenation of whole original chains
+        # in ascending node order — merged ranges never interleave.
+        starts = {chain[0]: list(chain) for chain in original}
+        for chain in merged:
+            assert list(chain) == sorted(chain)
+            pos = 0
+            while pos < len(chain):
+                part = starts[chain[pos]]
+                assert list(chain[pos : pos + len(part)]) == part
+                pos += len(part)
+        # The driver-posted tasks of one looper are ordered only through
+        # FIFO (derived after merging runs), so they must stay separate:
+        # no merged chain may span two of them.
+        tids = on.graph.reach.chain_threads
+        by_thread = {}
+        for c, chain in enumerate(merged):
+            by_thread.setdefault(tids[c], []).append(chain)
+        workers = [t for t in by_thread if t.startswith("w")]
+        assert len(workers) == self.THREADS
+        for t in workers:
+            # pre-loop+first-task, plus the two later tasks.
+            assert len(by_thread[t]) == 3
+
+    def test_merged_partition_is_total(self):
+        _, on = self._indexes()
+        index = on.graph.reach
+        members = sorted(nid for chain in index.chains for nid in chain)
+        assert members == list(range(len(on.graph)))
+        assert index.chain_count == len(index.chains)
+
+    def test_merging_keeps_wide_trace_races(self):
+        trace = wide_trace(6, tasks_per_thread=3, seed=7)
+        reference = detect_races(trace, merge_chains=False)
+        assert reference.races  # unordered cross-thread shared writers
+        merged = detect_races(
+            trace, backend=BACKEND_CHAINS, merge_chains=True
+        )
+        assert report_key(merged) == report_key(reference)
+
+    def test_merge_count_surfaces_in_report(self):
+        report = detect_races(
+            wide_trace(4, tasks_per_thread=2), backend=BACKEND_CHAINS
+        )
+        assert report.closure["chains_merged"] == 4
+        assert report.closure["peak_rss_bytes"] >= 0
+
+    def test_ladder_merges_nothing_bitmask_reports_zero(self):
+        # Bitmask has no chains, so the stat must stay zero there.
+        report = detect_races(ladder_trace(3, 2))
+        assert report.closure["chains_merged"] == 0
+
+
+class TestNumpyOptional:
+    """The kernels must degrade gracefully when numpy is absent: ``auto``
+    resolves to the reference kernel, and an explicit ``words`` request
+    runs the ``array('Q')`` fallback — with identical results."""
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(reachability, "_np", None)
+        monkeypatch.setattr(reachability, "_NP_BITS", False)
+
+    def test_auto_resolves_to_python(self, no_numpy):
+        assert not reachability.have_numpy()
+        assert reachability.resolve_kernel(KERNEL_AUTO) == KERNEL_PYTHON
+        hb = HappensBefore(ladder_trace(2, 1))
+        assert hb.kernel == KERNEL_PYTHON
+
+    def test_words_fallback_matches_reference(self, no_numpy):
+        trace = SCALE_TRACES["wide"]()
+        reference = detect_races(
+            trace, kernel=KERNEL_PYTHON, merge_chains=False
+        )
+        for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+            report = detect_races(
+                trace, backend=backend, kernel=KERNEL_WORDS, merge_chains=True
+            )
+            assert report_key(report) == report_key(reference), backend
+
+    def test_words_fallback_sharded(self, no_numpy):
+        trace = lock_handoff_trace()
+        for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+            report = detect_races(
+                trace, backend=backend, kernel=KERNEL_WORDS, closure_workers=2
+            )
+            assert not report.races, backend
+
+    def test_chain_rows_fall_back_to_arrays(self, no_numpy):
+        hb = HappensBefore(ladder_trace(3, 2), backend=BACKEND_CHAINS,
+                           kernel=KERNEL_WORDS)
+        index = hb.graph.reach
+        assert index.memory_bytes() > 0
+        assert getattr(index, "_matrix", None) is None
+
+
+class TestScaleKnobConfig:
+    def test_knobs_do_not_change_digest(self):
+        # The knobs never change reports, so they are deliberately
+        # excluded from the canonical config — cached corpus results and
+        # history baselines stay valid across kernel/worker settings.
+        base = DetectorConfig()
+        tweaked = DetectorConfig(
+            kernel=KERNEL_PYTHON, merge_chains=False, closure_workers=4
+        )
+        assert base.digest() == tweaked.digest()
+        for key in ("kernel", "merge_chains", "closure_workers"):
+            assert key not in base.canonical_dict()
+
+    def test_build_detector_propagates_knobs(self):
+        config = DetectorConfig(
+            backend=BACKEND_CHAINS,
+            kernel=KERNEL_PYTHON,
+            merge_chains=False,
+            closure_workers=2,
+        )
+        detector = config.build_detector(ladder_trace(2, 1))
+        assert detector.kernel == KERNEL_PYTHON
+        assert detector.merge_chains is False
+        assert detector.closure_workers == 2
+        assert detector.detect().closure["chains_merged"] == 0
+
+    def test_bad_knobs_rejected(self):
+        trace = ladder_trace(2, 1)
+        with pytest.raises(ValueError):
+            HappensBefore(trace, workers=0)
+        with pytest.raises(ValueError):
+            RaceDetector(trace, closure_workers=0)
+        with pytest.raises(ValueError):
+            reachability.resolve_kernel("magic")
+
+    def test_auto_kernel_resolves_eagerly(self):
+        hb = HappensBefore(ladder_trace(2, 1))
+        assert hb.kernel in (KERNEL_PYTHON, KERNEL_WORDS)
+        assert hb.kernel == reachability.resolve_kernel(KERNEL_AUTO)
