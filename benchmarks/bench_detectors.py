@@ -14,9 +14,16 @@ import time
 import pytest
 
 from conftest import publish
+from repro.apps.ladder import scaled_ladder_trace
 from repro.apps.specs import SPEC_BY_NAME
 from repro.apps.synthetic import SyntheticApp
-from repro.core import detect_races, detect_races_vc
+from repro.core import (
+    BACKEND_CHAINS,
+    HappensBefore,
+    detect_races,
+    detect_races_vc,
+    triage_races,
+)
 from repro.core.baselines import MULTITHREADED_ONLY
 
 
@@ -65,3 +72,43 @@ def test_graph_mt_only_speed(benchmark, mt_traces):
         lambda: detect_races(trace, config=MULTITHREADED_ONLY), rounds=2, iterations=1
     )
     assert report is not None
+
+
+def test_triage_sweep_scale_point():
+    """PR 8 triage sweep — the streaming vc triage pass against the
+    optimised closure at the committed 101k-node point (``SCALE_NODES``
+    in ``bench_closure.py``).  Unlike the classic vc detector above,
+    the triage pass under-approximates the *android* relation
+    (FIFO/NOPRE included), so its verdict soundly gates the closure:
+    the closure's racy locations must be a subset of the vc pass's.
+    The closure side times graph construction + saturation only
+    (chains backend, auto kernel, chain merging — the committed
+    fastest configuration), which understates the closure's full cost
+    and therefore understates the triage advantage."""
+    trace = scaled_ladder_trace(102_000)
+
+    start = time.perf_counter()
+    vc_report = triage_races(trace)
+    vc_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    hb = HappensBefore(trace, backend=BACKEND_CHAINS, merge_chains=True)
+    closure_time = time.perf_counter() - start
+
+    assert len(hb.graph) >= 100_000
+    assert vc_report.races, "scaled ladder's rogue races invisible to triage"
+    advantage = closure_time / vc_time
+    lines = [
+        "101k-node triage sweep (scaled ladder, %d ops, %d nodes)"
+        % (len(trace), len(hb.graph)),
+        "vc triage pass : %8.2fs  (%d races at %d locations)"
+        % (vc_time, len(vc_report.races), len(vc_report.racy_locations())),
+        "closure build  : %8.2fs  (chains backend, merged, saturation only)"
+        % closure_time,
+        "triage advantage: %.1fx" % advantage,
+    ]
+    publish("triage_sweep.txt", "\n".join(lines))
+    assert advantage >= 3.0, (
+        "vc triage only %.1fx faster than the closure at 101k nodes"
+        % advantage
+    )

@@ -52,6 +52,9 @@ from repro.core import (
     KERNEL_AUTO,
     KERNEL_PYTHON,
     KERNEL_WORDS,
+    TRIAGE_OFF,
+    TRIAGE_VC,
+    TRIAGES,
     detect_races,
 )
 from repro.core.trace import ExecutionTrace
@@ -105,6 +108,16 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="disable the pre-saturation chain-merging pass (chains "
         "backend; results are identical — ablation/debug knob)",
+    )
+    parser.add_argument(
+        "--triage",
+        choices=TRIAGES,
+        default=TRIAGE_OFF,
+        help="linear-time triage tier: 'vc' runs a streaming "
+        "vector-clock pass that soundly under-approximates the Android "
+        "happens-before relation and skips the closure on traces it "
+        "proves race-free; racy traces escalate to the full closure "
+        "and report byte-identically (default: %(default)s)",
     )
 
 
@@ -504,6 +517,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             with open(args.save_trace, "w") as handle:
                 handle.write(trace.to_jsonl())
             print("trace written to %s (%d operations)" % (args.save_trace, len(trace)))
+        triage_extra = None
+        if args.triage == TRIAGE_VC:
+            vc_report, filtered = _run_triage(trace)
+            if filtered:
+                return _print_vc_report(vc_report, args)
+            triage_extra = _triage_extra(vc_report)
         report = detect_races(
             trace,
             backend=args.backend,
@@ -522,6 +541,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     "trace_digest": trace.canonical_digest(),
                     "report": report.to_dict(),
                     "config": DetectorConfig(backend=args.backend),
+                    "triage": triage_extra,
                 }
             )
         if args.json:
@@ -636,6 +656,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print("cannot load %s: %s" % (args.trace, exc), file=sys.stderr)
             return 1
+        triage_extra = None
+        if args.triage == TRIAGE_VC:
+            vc_report, filtered = _run_triage(trace)
+            if filtered:
+                return _print_vc_report(vc_report, args)
+            triage_extra = _triage_extra(vc_report)
         detector = RaceDetector(
             trace,
             backend=args.backend,
@@ -654,6 +680,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     "trace_digest": trace.canonical_digest(),
                     "report": report.to_dict(),
                     "config": DetectorConfig(backend=args.backend),
+                    "triage": triage_extra,
                 }
             )
         if args.json:
@@ -702,6 +729,65 @@ def _report_json(report, args: argparse.Namespace) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _run_triage(trace):
+    """The vc triage pass for single-trace commands: returns the
+    :class:`VCReport` and whether the trace was proven race-free (in
+    which case the closure is skipped entirely).  On escalation a note
+    goes to stderr so stdout stays byte-identical to a triage-off run."""
+    from repro.core import triage_races
+    from repro.obs import current_tracer
+
+    vc_report = triage_races(trace)
+    filtered = not vc_report.races
+    current_tracer().count("triage.filtered" if filtered else "triage.escalated")
+    if not filtered:
+        print(
+            "triage: vc found %d race(s) in %s — escalating to the full closure"
+            % (len(vc_report.races), vc_report.trace_name),
+            file=sys.stderr,
+        )
+    return vc_report, filtered
+
+
+def _triage_extra(vc_report) -> dict:
+    """Triage summary attached to history records of escalated runs."""
+    return {
+        "mode": TRIAGE_VC,
+        "verdict": "escalated",
+        "vc_races": len(vc_report.races),
+        "racy_locations": vc_report.racy_locations(),
+        "seconds": vc_report.analysis_seconds,
+    }
+
+
+def _print_vc_report(vc_report, args) -> int:
+    """Render a filtered (race-free) triage verdict.  ``--json`` emits
+    the vc report dict — same envelope discipline as ``RaceReport``
+    JSON, including the opt-in ``metrics`` block."""
+    if getattr(args, "json", False):
+        from repro.obs import current_tracer
+
+        payload = dict(
+            vc_report.to_dict(), triage={"mode": TRIAGE_VC, "verdict": "filtered"}
+        )
+        if _want_metrics_block(args) and current_tracer().enabled:
+            payload["metrics"] = current_tracer().metrics_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        "%s: race-free by vc triage in %.3fs — closure skipped "
+        "(%d locations checked, %d dangling joins, %d orphan begins)"
+        % (
+            vc_report.trace_name,
+            vc_report.analysis_seconds,
+            vc_report.locations_checked,
+            vc_report.dangling_joins,
+            vc_report.orphan_begins,
+        )
+    )
+    return 0
+
+
 def _corpus_main(args: argparse.Namespace) -> int:
     from repro.core.race_detector import DetectorConfig
     from repro.corpus import (
@@ -748,6 +834,7 @@ def _corpus_main(args: argparse.Namespace) -> int:
         kernel=args.closure_kernel,
         merge_chains=args.merge_chains,
         closure_workers=args.closure_workers,
+        triage=args.triage,
     )
     analyzer = BatchAnalyzer(
         store,
@@ -770,7 +857,14 @@ def _corpus_main(args: argparse.Namespace) -> int:
             if result.report is not None
         ]
         if entries:
-            notes.append({"kind": "multi", "entries": entries, "config": config})
+            note = {"kind": "multi", "entries": entries, "config": config}
+            if config.triage != TRIAGE_OFF:
+                note["triage"] = {
+                    "mode": config.triage,
+                    "filtered": batch.triage_filtered,
+                    "escalated": batch.triage_escalated,
+                }
+            notes.append(note)
 
     if args.corpus_command == "analyze":
         if args.json:
@@ -786,6 +880,8 @@ def _corpus_main(args: argparse.Namespace) -> int:
                     "app": result.entry.app,
                     "cached": result.cached,
                     "error": result.error,
+                    "filtered": result.filtered,
+                    "triage": result.triage,
                     "report": result.report.to_dict() if result.report else None,
                 }
                 for result in batch.results
@@ -814,6 +910,7 @@ def _serve_main(args: argparse.Namespace) -> int:
         kernel=args.closure_kernel,
         merge_chains=args.merge_chains,
         closure_workers=args.closure_workers,
+        triage=args.triage,
     )
     history_dir = resolve_history_dir(getattr(args, "history", None))
 
@@ -969,6 +1066,7 @@ def _record_history(history_dir: str, command: str, notes, tracer) -> int:
     appended = 0
     for note in notes:
         config = note["config"]
+        extra = {"triage": note["triage"]} if note.get("triage") else {}
         if note["kind"] == "multi":
             entries = note["entries"]
             reports = [entry["report"] for entry in entries]
@@ -995,6 +1093,7 @@ def _record_history(history_dir: str, command: str, notes, tracer) -> int:
                 spans=full_rows,
                 counters=dict(tracer.counters),
                 gauges=dict(tracer.gauges),
+                extra=extra,
             )
         else:
             report = note["report"]
@@ -1043,6 +1142,7 @@ def _record_history(history_dir: str, command: str, notes, tracer) -> int:
                 spans=rows,
                 counters=counters,
                 gauges=gauges,
+                extra=extra,
             )
         store.append(record)
         appended += 1

@@ -41,6 +41,13 @@ from .operations import OpKind, Operation
 from .race_detector import DetectorConfig, Race, RaceDetector, RaceReport, detect_races
 from .semantics import ApplicationState, SemanticsError, is_valid_trace, validate_trace
 from .trace import ExecutionTrace, InvalidTraceError, TraceBuilder, TraceFormatError
+from .vc_triage import (
+    TRIAGE_OFF,
+    TRIAGE_VC,
+    TRIAGES,
+    TriageRaceDetector,
+    triage_races,
+)
 from .vector_clock import VCRace, VCReport, VectorClockRaceDetector, detect_races_vc
 
 __all__ = [
@@ -75,8 +82,12 @@ __all__ = [
     "SAT_INCREMENTAL",
     "SemanticsError",
     "ServiceLifecycle",
+    "TRIAGE_OFF",
+    "TRIAGE_VC",
+    "TRIAGES",
     "TraceBuilder",
     "TraceFormatError",
+    "TriageRaceDetector",
     "VCRace",
     "VCReport",
     "VectorClockRaceDetector",
@@ -91,5 +102,6 @@ __all__ = [
     "peak_rss_bytes",
     "render_witness",
     "resolve_kernel",
+    "triage_races",
     "validate_trace",
 ]

@@ -45,6 +45,7 @@ from .happens_before import (
 )
 from .reachability import resolve_kernel
 from .operations import Operation
+from .vc_triage import TRIAGE_OFF, TRIAGES
 from repro.obs import current_tracer
 from .trace import (
     ExecutionTrace,
@@ -80,6 +81,17 @@ class DetectorConfig:
     kernel: str = KERNEL_AUTO
     merge_chains: bool = True
     closure_workers: int = 1
+    #: Streaming vector-clock triage tier (``"vc"`` | ``"off"``): a sound
+    #: under-approximation of the relation that lets race-free traces skip
+    #: the closure entirely (:mod:`repro.core.vc_triage`).  Also EXCLUDED
+    #: from :meth:`canonical_dict`: escalated traces run the exact same
+    #: closure, so reports — and with them cache and history keys — are
+    #: byte-identical with triage on or off.
+    triage: str = TRIAGE_OFF
+
+    def __post_init__(self) -> None:
+        if self.triage not in TRIAGES:
+            raise ValueError("bad triage %r" % (self.triage,))
 
     def canonical_dict(self) -> dict:
         return {

@@ -1,0 +1,438 @@
+"""Android-aware streaming vector-clock triage (the ``triage="vc"`` tier).
+
+One linear pass over the trace that soundly **under-approximates** the
+paper's ``≺st ∪ ≺mt`` relation, so its racy-location set is a *superset*
+of the graph closure's: a zero-race verdict here proves the closure would
+find nothing either, and the trace can skip the super-linear closure
+entirely.  Corpus and service pipelines use it as a cheap corpus-wide
+filter, escalating only vc-racy traces to the bitmask/chains backends.
+
+Unlike the classic multithreaded detector of
+:mod:`repro.core.vector_clock` (full per-thread program order — hides
+every single-threaded race), each run-to-completion looper task is its
+own clock **scope**:
+
+* ops before ``loopOnQ`` (and all ops of threads without a queue) share
+  the thread's scope — the full pre-loop program order of NO-Q-PO;
+* ops inside task ``p`` on looper ``t`` share scope ``(t, p)``, seeded
+  from ``t``'s final pre-loop clock (NO-Q-PO: every pre-loop op precedes
+  every later op of the thread) — ASYNC-PO within the task, nothing
+  across tasks;
+* post-loop ops outside any task get a **unique scope each**, seeded
+  from the pre-loop clock only — faithful to the paper, where such ops
+  (e.g. ``threadexit`` on a looper) are ordered after the pre-loop
+  segment but *not* after the tasks that ran before them.
+
+Edges applied, every one an instance of a paper rule: fork/join, lock
+release→acquire **between different threads only** (the LOCK side
+condition), post→begin, enable→post, attachQ→post, and — eagerly, at
+each ``begin`` — FIFO (with the §4.2 delayed-post refinement) and NOPRE
+against every already-ended task of the looper.
+
+Why a plain vector clock would be *unsound* here, and what this one does
+about it: the paper's relation is deliberately not transitively closed —
+TRANS-MT only emits different-thread pairs, so knowledge that detours
+through another thread must never order two tasks of the same looper
+(locks record observed order, not necessary order).  A single clock per
+scope closes transitively and would claim exactly those orderings.  This
+detector therefore keeps the **clean-clock invariant**: every entry
+``(scope', k)`` of a scope's clock witnesses a real ``≺`` fact.  Joins
+are *censored* — an incoming entry for another scope of the *same real
+thread* is dropped unless that scope is provably ``≺st`` the importing
+scope (the pre-loop scope, the importing scope itself, or a task in the
+importing task's FIFO/NOPRE-derived ``st`` ancestor set).  Dropping an
+entry can only lose orderings, never invent them: the under-approximation
+direction the filter needs.  Same-looper ``st`` ancestry is tracked per
+task as a bitmask over the looper's task ordinals.
+
+Races are checked per memory location against FastTrack-style adaptive
+epoch/vector access histories keyed by *scope* — two accesses in the
+same scope are program-ordered, two scopes of the same looper race
+unless ``st``-ordered, which is exactly the class of single-threaded
+races the classic detector can never see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .operations import OpKind, Operation
+from .trace import ExecutionTrace, TaskInfo
+from .vector_clock import AccessHistory, VCRace, VCReport, VectorClock
+
+#: ``triage`` settings of :class:`repro.core.race_detector.DetectorConfig`.
+TRIAGE_OFF = "off"
+TRIAGE_VC = "vc"
+TRIAGES = (TRIAGE_OFF, TRIAGE_VC)
+
+#: Scope-tuple tags: thread (pre-loop / no queue), task, unique (post-loop
+#: out-of-task).  Tuples keep the real thread at index 1 for censoring.
+_THREAD = "t"
+_TASK = "q"
+_UNIQUE = "u"
+
+
+def scope_label(scope: Tuple) -> str:
+    """Render a scope tuple for reports: ``thread``, ``thread/task`` or
+    ``thread@index``."""
+    if scope[0] == _THREAD:
+        return scope[1]
+    if scope[0] == _TASK:
+        return "%s/%s" % (scope[1], scope[2])
+    return "%s@%d" % (scope[1], scope[2])
+
+
+class _EndedTask:
+    """What the eager FIFO/NOPRE scan needs from an already-ended task."""
+
+    __slots__ = ("scope", "ordinal", "info", "end_clock", "post_epoch", "st_mask")
+
+    def __init__(self, scope, ordinal, info, end_clock, post_epoch, st_mask):
+        self.scope = scope
+        self.ordinal = ordinal
+        self.info = info
+        self.end_clock = end_clock  # final clock — the task never runs again
+        self.post_epoch = post_epoch  # (scope, time) of the post op, or None
+        self.st_mask = st_mask  # same-looper st ancestors at end time
+
+
+class TriageRaceDetector:
+    """One-pass streaming under-approximation of the paper's relation."""
+
+    def __init__(self, trace: ExecutionTrace):
+        self.trace = trace
+        self.scope_clocks: Dict[Tuple, VectorClock] = {}
+        self.lock_clocks: Dict[str, Dict[str, VectorClock]] = {}
+        self.fork_snapshots: Dict[str, VectorClock] = {}
+        self.exit_snapshots: Dict[str, VectorClock] = {}
+        self.attach_snapshots: Dict[str, VectorClock] = {}
+        self.post_clocks: Dict[str, VectorClock] = {}
+        self.post_epochs: Dict[str, Tuple[Tuple, int]] = {}
+        self.enable_clocks: Dict[str, VectorClock] = {}
+        self.histories: Dict[str, AccessHistory] = {}
+        self.ended: Dict[str, List[_EndedTask]] = {}  # looper -> ended tasks
+        self.st_masks: Dict[Tuple, int] = {}  # task scope -> ancestor bitmask
+        self.scope_ordinals: Dict[Tuple, int] = {}  # task scope -> looper ordinal
+        self._next_ordinal: Dict[str, int] = {}  # looper -> next task ordinal
+
+    # -- scopes and clocks --------------------------------------------------
+
+    def _scope_of(self, op: Operation) -> Tuple:
+        t = op.thread
+        if not self.trace.looped_before(t, op.index):
+            return (_THREAD, t)
+        task = self.trace.task_name_of(op.index)
+        if task is not None:
+            return (_TASK, t, task)
+        return (_UNIQUE, t, op.index)
+
+    def _clock(self, scope: Tuple) -> VectorClock:
+        clock = self.scope_clocks.get(scope)
+        if clock is None:
+            clock = VectorClock({scope: 1})
+            if scope[0] != _THREAD:
+                # NO-Q-PO: the thread's (final) pre-loop clock precedes
+                # every later op of the thread.
+                base = self.scope_clocks.get((_THREAD, scope[1]))
+                if base is not None:
+                    clock.join(base)
+            self.scope_clocks[scope] = clock
+        return clock
+
+    def _censored_join(self, scope: Tuple, clock: VectorClock, incoming: VectorClock) -> None:
+        """Join ``incoming`` under the clean-clock invariant: entries for
+        *other* scopes of the importing scope's real thread are dropped
+        unless provably ``≺st`` the importing scope.  The paper's TRANS-MT
+        side condition blocks exactly those compositions, so keeping them
+        would over-approximate the relation and could hide real races."""
+        t = scope[1]
+        mask = self.st_masks.get(scope, 0)
+        target = clock.clocks
+        for src, time in incoming.clocks.items():
+            if src[1] == t and src != scope and src[0] != _THREAD:
+                if src[0] != _TASK:
+                    continue  # unique scopes are never st-ordered onward
+                ordinal = self.scope_ordinals.get(src)
+                if ordinal is None or not mask >> ordinal & 1:
+                    continue
+            if time > target.get(src, 0):
+                target[src] = time
+        return None
+
+    # -- the pass -----------------------------------------------------------
+
+    def detect(self) -> VCReport:
+        report = VCReport(trace_name=self.trace.name)
+        for op in self.trace:
+            self._step(op, report)
+        report.locations_checked = len(self.histories)
+        return report
+
+    def _step(self, op: Operation, report: VCReport) -> None:
+        kind = op.kind
+        if kind is OpKind.READ:
+            self._on_read(op, report)
+            return
+        if kind is OpKind.WRITE:
+            self._on_write(op, report)
+            return
+        if kind is OpKind.BEGIN:
+            self._on_begin(op, report)
+            return
+        if kind is OpKind.END:
+            self._on_end(op)
+            return
+        if kind is OpKind.POST:
+            self._on_post(op)
+            return
+        if kind is OpKind.ACQUIRE:
+            scope = self._scope_of(op)
+            clock = self._clock(scope)
+            # LOCK: all earlier releases of this lock by *other* real
+            # threads (the t ≠ t' side condition — same-thread critical
+            # sections on a looper must stay unordered).
+            for rel_thread, rel_clock in self.lock_clocks.get(op.lock, {}).items():
+                if rel_thread != op.thread:
+                    self._censored_join(scope, clock, rel_clock)
+            return
+        if kind is OpKind.RELEASE:
+            scope = self._scope_of(op)
+            clock = self._clock(scope)
+            per_thread = self.lock_clocks.setdefault(op.lock, {})
+            acc = per_thread.get(op.thread)
+            if acc is None:
+                per_thread[op.thread] = clock.copy()
+            else:
+                # Accumulate, don't overwrite: two releases in different
+                # tasks of one looper are mutually unordered, yet each is
+                # an edge source for later cross-thread acquires.
+                acc.join(clock)
+            clock.tick(scope)
+            return
+        if kind is OpKind.FORK:
+            scope = self._scope_of(op)
+            clock = self._clock(scope)
+            self.fork_snapshots[op.target] = clock.copy()
+            clock.tick(scope)
+            return
+        if kind is OpKind.THREAD_INIT:
+            scope = self._scope_of(op)
+            clock = self._clock(scope)
+            snapshot = self.fork_snapshots.pop(op.thread, None)
+            if snapshot is not None:
+                self._censored_join(scope, clock, snapshot)
+            return
+        if kind is OpKind.THREAD_EXIT:
+            # On a looper this op sits in a unique scope: the snapshot
+            # carries pre-loop knowledge only, exactly the graph's edge set
+            # (the exit of a looper is *not* ordered after its tasks).
+            self.exit_snapshots[op.thread] = self._clock(self._scope_of(op)).copy()
+            return
+        if kind is OpKind.JOIN:
+            snapshot = self.exit_snapshots.get(op.target)
+            if snapshot is None:
+                report.dangling_joins += 1
+                return
+            scope = self._scope_of(op)
+            self._censored_join(scope, self._clock(scope), snapshot)
+            return
+        if kind is OpKind.ATTACH_Q:
+            self.attach_snapshots[op.thread] = self._clock(self._scope_of(op)).copy()
+            return
+        if kind is OpKind.ENABLE:
+            scope = self._scope_of(op)
+            clock = self._clock(scope)
+            acc = self.enable_clocks.get(op.task)
+            if acc is None:
+                self.enable_clocks[op.task] = clock.copy()
+            else:
+                acc.join(clock)
+            clock.tick(scope)
+            return
+        # loopOnQ: the boundary itself needs no clock action — scope
+        # assignment switches on trace.looped_before.
+
+    def _on_post(self, op: Operation) -> None:
+        scope = self._scope_of(op)
+        clock = self._clock(scope)
+        # ATTACH-Q-MT: attachQ(target) ≺mt this post when threads differ.
+        if op.thread != op.target:
+            attach = self.attach_snapshots.get(op.target)
+            if attach is not None:
+                self._censored_join(scope, clock, attach)
+        # ENABLE-ST/MT: every prior enable of this task — matched by task
+        # instance name or by the event tag naming the enabling operation.
+        keys = (op.task,) if not op.event else (op.task, op.event)
+        for key in keys:
+            enabled = self.enable_clocks.get(key)
+            if enabled is not None:
+                self._censored_join(scope, clock, enabled)
+        self.post_epochs[op.task] = (scope, clock.time_of(scope))
+        self.post_clocks[op.task] = clock.copy()
+        clock.tick(scope)
+
+    def _on_begin(self, op: Operation, report: VCReport) -> None:
+        t = op.thread
+        post_clock = self.post_clocks.pop(op.task, None)
+        if not self.trace.looped_before(t, op.index):
+            # A task on a thread that never loops runs in the thread's own
+            # scope (full pre-loop program order) — like the classic
+            # detector, only the post→begin edge applies.
+            scope = (_THREAD, t)
+            if post_clock is None:
+                report.orphan_begins += 1
+            else:
+                self._censored_join(scope, self._clock(scope), post_clock)
+            return
+        scope = (_TASK, t, op.task)
+        ordinal = self._next_ordinal.get(t, 0)
+        self._next_ordinal[t] = ordinal + 1
+        self.scope_ordinals[scope] = ordinal
+        clock = self._clock(scope)  # fresh scope + NO-Q-PO pre-loop seed
+        info = self.trace.tasks.get(op.task)
+        mask = 0
+        # Eager FIFO + NOPRE against every ended task of this looper.  The
+        # graph runs these rules to a fixpoint; evaluating the premises
+        # against the streaming clocks available *now* derives a subset of
+        # those edges — each one still an instance of the paper rule.
+        ended = self.ended.get(t, ()) if post_clock is not None and info else ()
+        for rec in ended:
+            if mask >> rec.ordinal & 1:
+                continue  # already an st ancestor (via another rec's mask)
+            hit = False
+            if _fifo_applicable(rec.info, info):
+                epoch = rec.post_epoch
+                # FIFO premise: post(p1) ≺ post(p2), tested against the
+                # clean clock taken at post(p2).
+                if epoch is not None and post_clock.dominates(epoch[0], epoch[1]):
+                    hit = True
+            if not hit and post_clock.time_of(rec.scope) >= 1:
+                # NOPRE premise: some operation of p1 ≺ post(p2) — any
+                # knowledge of p1's scope at post(p2) witnesses it (the
+                # reflexive post-inside-p1 case included).
+                hit = True
+            if hit:
+                mask |= 1 << rec.ordinal | rec.st_mask
+                # p1 and its st ancestors are now st ancestors of this
+                # task; p1's end clock carries their final times, and its
+                # same-looper entries are all inside the new mask, so the
+                # uncensored join preserves the clean-clock invariant.
+                clock.join(rec.end_clock)
+        self.st_masks[scope] = mask
+        if post_clock is None:
+            report.orphan_begins += 1
+        else:
+            self._censored_join(scope, clock, post_clock)
+
+    def _on_end(self, op: Operation) -> None:
+        t = op.thread
+        if not self.trace.looped_before(t, op.index):
+            return
+        scope = (_TASK, t, op.task)
+        ordinal = self.scope_ordinals.get(scope)
+        if ordinal is None:
+            return
+        end_clock = self.scope_clocks.pop(scope, None)
+        if end_clock is None:
+            end_clock = self._clock(scope)
+            self.scope_clocks.pop(scope, None)
+        self.ended.setdefault(t, []).append(
+            _EndedTask(
+                scope,
+                ordinal,
+                self.trace.tasks.get(op.task),
+                end_clock,
+                self.post_epochs.get(op.task),
+                self.st_masks.get(scope, 0),
+            )
+        )
+
+    # -- access checks ------------------------------------------------------
+
+    def _history(self, location: str) -> AccessHistory:
+        history = self.histories.get(location)
+        if history is None:
+            history = AccessHistory()
+            # FastTrack's epoch collapse is UNSOUND here: it forgets an
+            # older access once a newer one is "ordered" after it, which
+            # assumes ordered-before is transitive.  The paper's relation
+            # is not (a ≺ b and b ≺ c do not give a ≺ c when a and c sit
+            # in different tasks of one looper), so a forgotten access
+            # could be exactly the racing one.  Full per-scope vectors
+            # keep every scope's latest access; within one scope program
+            # order *is* transitive, so per-scope latest suffices.
+            history.write_vector = {}
+            history.read_vector = {}
+            self.histories[location] = history
+        return history
+
+    def _on_read(self, op: Operation, report: VCReport) -> None:
+        scope = self._scope_of(op)
+        clock = self._clock(scope)
+        history = self._history(op.location)
+        conflict = history.write_races_with(clock)
+        if conflict is not None and conflict.thread != scope:
+            report.races.append(
+                VCRace(
+                    op.location,
+                    scope_label(conflict.thread),
+                    conflict.time,
+                    op,
+                    "write-read",
+                )
+            )
+        history.record_read(scope, clock)
+
+    def _on_write(self, op: Operation, report: VCReport) -> None:
+        scope = self._scope_of(op)
+        clock = self._clock(scope)
+        history = self._history(op.location)
+        write_conflict = history.write_races_with(clock)
+        if write_conflict is not None and write_conflict.thread != scope:
+            report.races.append(
+                VCRace(
+                    op.location,
+                    scope_label(write_conflict.thread),
+                    write_conflict.time,
+                    op,
+                    "write-write",
+                )
+            )
+        read_conflict = history.read_races_with(clock)
+        if read_conflict is not None and read_conflict.thread != scope:
+            report.races.append(
+                VCRace(
+                    op.location,
+                    scope_label(read_conflict.thread),
+                    read_conflict.time,
+                    op,
+                    "read-write",
+                )
+            )
+        history.record_write(scope, clock, ordered=False)
+
+
+def _fifo_applicable(t1: Optional[TaskInfo], t2: TaskInfo) -> bool:
+    """FIFO applicability with the §4.2 delayed-post refinement — mirrors
+    ``HappensBefore._fifo_applicable`` under the paper's default config."""
+    if t1 is None or t1.post_index is None or t2.post_index is None:
+        return False
+    if t1.at_front or t2.at_front:
+        return False  # post-to-the-front overrides FIFO (future work)
+    if not t1.is_delayed:
+        return True
+    return t2.is_delayed and (t1.delay or 0) <= (t2.delay or 0)
+
+
+def triage_races(trace: ExecutionTrace) -> VCReport:
+    """One-call streaming triage: the report's racy-location set is a
+    superset of what the graph closure would find, so an empty ``races``
+    list safely filters the trace out of closure analysis."""
+    from repro.obs import current_tracer
+
+    tracer = current_tracer()
+    with tracer.span("triage.pass", trace=trace.name, ops=len(trace)) as span:
+        report = TriageRaceDetector(trace).detect()
+        span.set(races=len(report.races), locations=report.locations_checked)
+    report.analysis_seconds = span.wall_seconds
+    return report

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .operations import OpKind, Operation
-from .trace import ExecutionTrace
+from .trace import ExecutionTrace, operation_from_record, operation_to_record
 
 
 class VectorClock:
@@ -159,18 +159,69 @@ class VCRace:
             self.access.render(),
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "location": self.location,
+            "prior_thread": self.prior_thread,
+            "prior_time": self.prior_time,
+            "kind": self.kind,
+            "access": dict(operation_to_record(self.access), index=self.access.index),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VCRace":
+        return cls(
+            location=data["location"],
+            prior_thread=data["prior_thread"],
+            prior_time=data["prior_time"],
+            access=operation_from_record(data["access"]),
+            kind=data["kind"],
+        )
+
 
 @dataclass
 class VCReport:
     races: List[VCRace] = field(default_factory=list)
     locations_checked: int = 0
     epochs_inflated: int = 0
+    #: Silent no-op edges: a ``join`` whose target never recorded a
+    #: ``threadexit`` snapshot, and a ``begin`` whose task was never
+    #: posted.  Each drops a happens-before edge; surfacing the counts
+    #: keeps malformed or truncated traces auditable instead of silently
+    #: under-ordered.
+    dangling_joins: int = 0
+    orphan_begins: int = 0
+    trace_name: str = "trace"
+    analysis_seconds: float = 0.0
 
     def racy_locations(self) -> List[str]:
         seen: Dict[str, None] = {}
         for race in self.races:
             seen.setdefault(race.location, None)
         return list(seen)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_name": self.trace_name,
+            "races": [race.to_dict() for race in self.races],
+            "locations_checked": self.locations_checked,
+            "epochs_inflated": self.epochs_inflated,
+            "dangling_joins": self.dangling_joins,
+            "orphan_begins": self.orphan_begins,
+            "analysis_seconds": self.analysis_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VCReport":
+        return cls(
+            races=[VCRace.from_dict(rec) for rec in data["races"]],
+            locations_checked=data["locations_checked"],
+            epochs_inflated=data["epochs_inflated"],
+            dangling_joins=data.get("dangling_joins", 0),
+            orphan_begins=data.get("orphan_begins", 0),
+            trace_name=data.get("trace_name", "trace"),
+            analysis_seconds=data.get("analysis_seconds", 0.0),
+        )
 
 
 class VectorClockRaceDetector:
@@ -193,7 +244,7 @@ class VectorClockRaceDetector:
         return clock
 
     def detect(self) -> VCReport:
-        report = VCReport()
+        report = VCReport(trace_name=self.trace.name)
         for op in self.trace:
             self._step(op, report)
         report.locations_checked = len(self.histories)
@@ -219,7 +270,9 @@ class VectorClockRaceDetector:
             return
         if kind is OpKind.JOIN:
             snapshot = self.exit_snapshots.get(op.target)
-            if snapshot is not None:
+            if snapshot is None:
+                report.dangling_joins += 1  # no exit seen: edge dropped
+            else:
                 self._clock(thread).join(snapshot)
             return
         if kind is OpKind.ACQUIRE:
@@ -239,7 +292,9 @@ class VectorClockRaceDetector:
             return
         if kind is OpKind.BEGIN:
             snapshot = self.post_snapshots.pop(op.task, None)
-            if snapshot is not None:
+            if snapshot is None:
+                report.orphan_begins += 1  # never posted: edge dropped
+            else:
                 self._clock(thread).join(snapshot)
             return
         if kind is OpKind.READ:
@@ -304,4 +359,10 @@ class VectorClockRaceDetector:
 
 def detect_races_vc(trace: ExecutionTrace) -> VCReport:
     """One-call vector-clock detection (classic multithreaded relation)."""
-    return VectorClockRaceDetector(trace).detect()
+    from repro.obs import current_tracer
+
+    with current_tracer().span("detect.vc", trace=trace.name) as span:
+        report = VectorClockRaceDetector(trace).detect()
+        span.set(races=len(report.races))
+    report.analysis_seconds = span.wall_seconds
+    return report

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.race_detector import DetectorConfig, RaceReport
 from repro.core.trace import ExecutionTrace
+from repro.core.vc_triage import TRIAGE_VC, triage_races
 from repro.obs import Tracer, current_tracer, use_tracer
 
 from .cache import ResultCache
@@ -104,10 +105,16 @@ class TraceResult:
     error: Optional[str] = None
     cached: bool = False
     seconds: float = 0.0
+    #: Triage-tier outcome (``triage="vc"`` runs only): ``filtered`` means
+    #: the streaming vc pass proved the trace race-free and the closure
+    #: never ran (``report`` stays ``None`` — a verdict, not a failure);
+    #: ``triage`` carries the vc pass summary for escalated traces too.
+    filtered: bool = False
+    triage: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
-        return self.report is not None
+        return self.report is not None or self.filtered
 
     @property
     def timed_out(self) -> bool:
@@ -118,6 +125,8 @@ class TraceResult:
     def describe(self) -> str:
         if self.error is not None:
             return "%s: ERROR %s" % (self.entry.name, self.error)
+        if self.filtered:
+            return "%s: race-free (vc triage, closure skipped)" % self.entry.name
         status = " [cached]" if self.cached else ""
         return "%s%s" % (self.report.summary(), status)
 
@@ -132,6 +141,10 @@ class BatchResult:
     wall_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Triage-tier tallies (zero when ``triage="off"``): traces the vc
+    #: pass proved race-free (closure skipped) vs escalated to the closure.
+    triage_filtered: int = 0
+    triage_escalated: int = 0
 
     def ok(self) -> List[TraceResult]:
         return [r for r in self.results if r.ok]
@@ -141,6 +154,9 @@ class BatchResult:
 
     def timeouts(self) -> List[TraceResult]:
         return [r for r in self.results if r.timed_out]
+
+    def filtered(self) -> List[TraceResult]:
+        return [r for r in self.results if r.filtered]
 
     def reports(self) -> List[RaceReport]:
         return [r.report for r in self.results if r.report is not None]
@@ -152,14 +168,21 @@ class BatchResult:
     def summary(self) -> str:
         races = sum(len(report.races) for report in self.reports())
         timeouts = len(self.timeouts())
+        triage = ""
+        if self.triage_filtered or self.triage_escalated:
+            triage = ", triage: %d filtered / %d escalated" % (
+                self.triage_filtered,
+                self.triage_escalated,
+            )
         return (
-            "%d traces analyzed (%d errors%s), %d race reports, "
+            "%d traces analyzed (%d errors%s), %d race reports%s, "
             "%d cache hits / %d misses, %.3fs wall (%s, jobs=%d)"
             % (
                 len(self.results),
                 len(self.errors()),
                 ", %d timeouts" % timeouts if timeouts else "",
                 races,
+                triage,
                 self.cache_hits,
                 self.cache_misses,
                 self.wall_seconds,
@@ -171,7 +194,9 @@ class BatchResult:
 
 #: Worker argument / result shapes (kept as plain tuples for pickling).
 _WorkerArgs = Tuple[str, str, str, DetectorConfig, bool, Optional[float]]
-_WorkerResult = Tuple[str, Optional[dict], Optional[str], float, Optional[dict]]
+_WorkerResult = Tuple[
+    str, Optional[dict], Optional[str], float, Optional[dict], Optional[dict]
+]
 
 
 def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
@@ -183,6 +208,14 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
     an expired ``timeout`` budget — are converted into an error string,
     never a batch (or pool) failure: isolation guarantee.
 
+    With ``config.triage == "vc"`` the trace runs the streaming
+    vector-clock pass first (:mod:`repro.core.vc_triage`): a zero-race
+    verdict skips the closure and returns a *triage summary* instead of a
+    report (the last tuple slot); a racy verdict escalates to the closure
+    in-process — the trace is already loaded — and the report is
+    byte-identical to a triage-off run by construction, since the same
+    detector runs on the same trace.
+
     When ``collect_obs`` is set the trace is analyzed under a fresh
     :class:`~repro.obs.Tracer` whose picklable snapshot rides home in
     the result tuple (the parent merges it); per-trace wall time is the
@@ -193,6 +226,7 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
     tracer = Tracer() if collect_obs else current_tracer()
     report_dict: Optional[dict] = None
     error: Optional[str] = None
+    triage_dict: Optional[dict] = None
     with use_tracer(tracer) if collect_obs else nullcontext():
         with tracer.span("corpus.trace", trace=name, digest=digest[:12]) as span:
             try:
@@ -200,15 +234,32 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
                     trace = ExecutionTrace.load(path, name=name, strict=True)
                     # Max-merged across workers: the batch's largest trace.
                     tracer.gauge("corpus.trace_ops", len(trace))
-                    report_dict = (
-                        config.build_detector(trace).detect().to_dict()
-                    )
+                    filtered = False
+                    if config.triage == TRIAGE_VC:
+                        vc = triage_races(trace)
+                        filtered = not vc.races
+                        triage_dict = {
+                            "verdict": "filtered" if filtered else "escalated",
+                            "races": len(vc.races),
+                            "racy_locations": vc.racy_locations(),
+                            "seconds": vc.analysis_seconds,
+                            "dangling_joins": vc.dangling_joins,
+                            "orphan_begins": vc.orphan_begins,
+                        }
+                        tracer.count(
+                            "triage.filtered" if filtered else "triage.escalated"
+                        )
+                        span.set(triage=triage_dict["verdict"])
+                    if not filtered:
+                        report_dict = (
+                            config.build_detector(trace).detect().to_dict()
+                        )
             except Exception as exc:  # noqa: BLE001 — isolation boundary
                 report_dict = None
                 error = "%s: %s" % (exc.__class__.__name__, exc)
                 span.set(error=error)
     obs = tracer.snapshot() if collect_obs else None
-    return (digest, report_dict, error, span.wall_seconds, obs)
+    return (digest, report_dict, error, span.wall_seconds, obs, triage_dict)
 
 
 class BatchAnalyzer:
@@ -261,22 +312,39 @@ class BatchAnalyzer:
 
             raw, parallel = self._run(todo, collect_obs=tracer.enabled)
             batch.parallel = parallel
-            for digest, report_dict, error, seconds, obs in raw:
+            for digest, report_dict, error, seconds, obs, triage in raw:
                 entry = self.store.get(digest)
                 if obs is not None:
                     # Graft the worker's span tree (and counters) under
                     # this batch's span — one merged timeline.
                     tracer.merge(obs, parent=batch_span)
+                filtered = (
+                    triage is not None and triage.get("verdict") == "filtered"
+                )
+                if filtered:
+                    batch.triage_filtered += 1
+                elif triage is not None:
+                    batch.triage_escalated += 1
                 if report_dict is not None:
                     report = RaceReport.from_dict(report_dict)
+                    # Escalated reports are cached under the canonical
+                    # (triage-excluded) config digest: the closure ran, so
+                    # the report is the same one a triage-off run produces.
                     if self.cache is not None:
                         self.cache.put(digest, config_digest, report)
                     by_digest[digest] = TraceResult(
-                        entry=entry, report=report, seconds=seconds
+                        entry=entry, report=report, seconds=seconds, triage=triage
+                    )
+                elif filtered:
+                    # A verdict, not a report: never cached — the cache key
+                    # excludes ``triage``, and a triage-off run of the same
+                    # (trace, config) must still build the closure.
+                    by_digest[digest] = TraceResult(
+                        entry=entry, seconds=seconds, filtered=True, triage=triage
                     )
                 else:
                     by_digest[digest] = TraceResult(
-                        entry=entry, error=error, seconds=seconds
+                        entry=entry, error=error, seconds=seconds, triage=triage
                     )
 
             batch.results = [by_digest[entry.digest] for entry in entries]
@@ -288,6 +356,10 @@ class BatchAnalyzer:
             tracer.count("corpus.cache_misses", batch.cache_misses)
             tracer.count("corpus.errors", len(batch.errors()))
             tracer.count("corpus.timeouts", len(batch.timeouts()))
+            batch_span.set(
+                triage_filtered=batch.triage_filtered,
+                triage_escalated=batch.triage_escalated,
+            )
             batch_span.set(
                 traces=len(entries), parallel=parallel, errors=len(batch.errors())
             )

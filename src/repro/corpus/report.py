@@ -75,6 +75,13 @@ class CorpusReport:
     wall_seconds: float = 0.0
     jobs: int = 1
     parallel: bool = False
+    #: Triage tier accounting (``--triage vc``): mode that ran, traces the
+    #: vc pass proved race-free (closure skipped) and traces escalated to
+    #: the full closure.  ``triage_mode == "off"`` means the tier was
+    #: disabled and the counts stay zero.
+    triage_mode: str = "off"
+    triage_filtered: int = 0
+    triage_escalated: int = 0
 
     def per_category(self) -> Dict[RaceCategory, int]:
         out = {category: 0 for category in CATEGORY_ORDER}
@@ -123,6 +130,12 @@ class CorpusReport:
             lines.append("%d trace(s) failed:" % len(self.errors))
             for name, error in self.errors:
                 lines.append("  %s: %s" % (name, error))
+        if self.triage_mode != "off":
+            lines.append("")
+            lines.append(
+                "triage (%s): %d trace(s) filtered race-free, %d escalated to closure"
+                % (self.triage_mode, self.triage_filtered, self.triage_escalated)
+            )
         lines.append("")
         lines.append(
             "analyzed %d/%d traces in %.3fs (%s, jobs=%d); cache: "
@@ -141,7 +154,7 @@ class CorpusReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "traces_total": self.traces_total,
             "traces_analyzed": self.traces_analyzed,
             "traces_failed": self.traces_failed,
@@ -166,6 +179,13 @@ class CorpusReport:
             "jobs": self.jobs,
             "parallel": self.parallel,
         }
+        if self.triage_mode != "off":
+            out["triage"] = {
+                "mode": self.triage_mode,
+                "filtered": self.triage_filtered,
+                "escalated": self.triage_escalated,
+            }
+        return out
 
 
 def aggregate(batch: BatchResult) -> CorpusReport:
@@ -179,7 +199,11 @@ def aggregate(batch: BatchResult) -> CorpusReport:
         wall_seconds=batch.wall_seconds,
         jobs=batch.jobs,
         parallel=batch.parallel,
+        triage_filtered=batch.triage_filtered,
+        triage_escalated=batch.triage_escalated,
     )
+    if batch.triage_filtered or batch.triage_escalated:
+        report.triage_mode = "vc"
     # (location, category) -> [field, apps set, trace digests set, example]
     merged: Dict[Tuple[str, RaceCategory], list] = {}
     for result in batch.results:
@@ -188,6 +212,8 @@ def aggregate(batch: BatchResult) -> CorpusReport:
             continue
         app = result.entry.app
         report.per_app.setdefault(app, {c: 0 for c in CATEGORY_ORDER})
+        if result.report is None:
+            continue  # vc-triage filtered: proven race-free, nothing to merge
         for race in result.report.races:
             key = (race.location, race.category)
             slot = merged.get(key)

@@ -416,6 +416,7 @@ BENCH_VIEWS = {
     "bench.closure": "BENCH_closure.json",
     "bench.reachability": "BENCH_reachability.json",
     "bench.service": "BENCH_service.json",
+    "bench.triage": "BENCH_triage.json",
 }
 
 

@@ -307,18 +307,34 @@ class RaceService:
                 )
                 self._count("service.jobs_failed")
                 return
-            digest, report_dict, error, seconds, obs = result
+            digest, report_dict, error, seconds, obs, triage = result
             if obs and self.tracer.enabled:
                 self.tracer.merge(obs)
+            verdict = triage.get("verdict") if triage else None
             if report_dict is not None:
                 report = RaceReport.from_dict(report_dict)
                 self.cache.put(digest, self.config_digest, report)
                 self.queue.complete(
-                    job.job_id, seconds=seconds, race_count=len(report.races)
+                    job.job_id,
+                    seconds=seconds,
+                    race_count=len(report.races),
+                    triage=verdict,
                 )
                 self._count("service.jobs_completed")
                 self._count("service.races_found", len(report.races))
-                self._record_history(job, report_dict, obs, seconds)
+                if verdict == "escalated":
+                    self._count("service.triage_escalated")
+                self._record_history(job, report_dict, obs, seconds, triage)
+            elif verdict == "filtered":
+                # The vc triage pass proved the trace race-free: the job
+                # completes with zero races and no stored report (filtered
+                # verdicts are never cached — the cache key excludes the
+                # triage knob).
+                self.queue.complete(
+                    job.job_id, seconds=seconds, race_count=0, triage=verdict
+                )
+                self._count("service.jobs_completed")
+                self._count("service.triage_filtered")
             else:
                 self.queue.fail(job.job_id, error or "analysis failed")
                 self._count("service.jobs_failed")
@@ -341,6 +357,7 @@ class RaceService:
         report_dict: dict,
         obs: Optional[dict],
         seconds: float,
+        triage: Optional[dict] = None,
     ) -> None:
         if self.history is None:
             return
@@ -385,12 +402,15 @@ class RaceService:
             spans=rows,
             counters=counters,
             gauges=gauges,
-            extra={
-                "namespace": job.namespace,
-                "job_id": job.job_id,
-                "seconds": seconds,
-            },
         )
+        extra = {
+            "namespace": job.namespace,
+            "job_id": job.job_id,
+            "seconds": seconds,
+        }
+        if triage:
+            extra["triage"] = triage
+        record.extra = extra
         self.history.append(record)
 
     # -- stream fan-out -------------------------------------------------------
@@ -710,7 +730,9 @@ class RaceService:
 
     def _job_dict(self, job: Job) -> dict:
         payload = job.to_dict()
-        if job.state == JOB_DONE:
+        # A triage-filtered job has no stored report (the vc verdict is
+        # never cached), so there is no report path to offer.
+        if job.state == JOB_DONE and job.triage != "filtered":
             report_path = "/v1/reports/%s?config=%s" % (
                 job.trace_digest,
                 job.config_digest,

@@ -94,6 +94,11 @@ class Job:
     submitted_at: float = 0.0
     finished_at: float = 0.0
     race_count: Optional[int] = None
+    #: Triage tier verdict: ``"filtered"`` (vc pass proved the trace
+    #: race-free, closure skipped — there is no stored report),
+    #: ``"escalated"`` (vc found races, full closure ran), or ``None``
+    #: (triage off).
+    triage: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str, str]:
@@ -199,6 +204,7 @@ class JobQueue:
                     job.seconds = record.get("seconds", 0.0)
                     job.finished_at = record.get("finished_at", 0.0)
                     job.race_count = record.get("race_count")
+                    job.triage = record.get("triage")
                     self._record_event(job)
                 elif event == "fail":
                     job.state = JOB_FAILED
@@ -326,11 +332,16 @@ class JobQueue:
         seconds: float = 0.0,
         cached: bool = False,
         race_count: Optional[int] = None,
+        triage: Optional[str] = None,
     ) -> Job:
         with self._lock:
             job = self._jobs[job_id]
             self._complete_locked(
-                job, seconds=seconds, cached=cached, race_count=race_count
+                job,
+                seconds=seconds,
+                cached=cached,
+                race_count=race_count,
+                triage=triage,
             )
             return job
 
@@ -340,12 +351,14 @@ class JobQueue:
         seconds: float,
         cached: bool,
         race_count: Optional[int] = None,
+        triage: Optional[str] = None,
     ) -> None:
         job.state = JOB_DONE
         job.cached = cached
         job.seconds = seconds
         job.error = None
         job.race_count = race_count
+        job.triage = triage
         job.finished_at = time.time()
         self._append(
             "done",
@@ -354,6 +367,7 @@ class JobQueue:
                 "seconds": seconds,
                 "cached": cached,
                 "race_count": race_count,
+                "triage": triage,
                 "finished_at": job.finished_at,
             },
         )

@@ -1,0 +1,425 @@
+"""Tests for the vector-clock triage tier (:mod:`repro.core.vc_triage`).
+
+The triage detector soundly *under-approximates* the paper's Android
+happens-before relation: every edge the closure derives is also derived
+by the streaming pass, so the set of locations the closure reports racy
+is always a subset of the triage's racy-location set.  That subset
+property — checked here differentially against the graph engine across
+presets, coalescing, and backends — is exactly what makes a zero-race
+triage verdict a safe reason to skip the closure.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.ladder import (
+    ladder_trace,
+    lock_handoff_trace,
+    scaled_ladder_trace,
+    wide_trace,
+)
+from repro.core import (
+    TRIAGE_OFF,
+    TRIAGE_VC,
+    TRIAGES,
+    detect_races,
+    triage_races,
+)
+from repro.core.operations import (
+    attachq,
+    begin,
+    end,
+    fork,
+    join,
+    looponq,
+    post,
+    read,
+    threadexit,
+    threadinit,
+    write,
+)
+from repro.core.race_detector import DetectorConfig
+from repro.core.trace import ExecutionTrace
+from repro.core.vector_clock import VCRace, VCReport, detect_races_vc
+from repro.core.happens_before import BACKEND_BITMASK, BACKEND_CHAINS
+
+from tests.test_property import run_random_app
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+def trace_of(*ops):
+    return ExecutionTrace(list(ops))
+
+
+def closure_locations(trace, **kw):
+    return {r.location for r in detect_races(trace, **kw).races}
+
+
+def triage_locations(trace):
+    return set(triage_races(trace).racy_locations())
+
+
+def assert_subset(trace, **kw):
+    closure = closure_locations(trace, **kw)
+    vc = triage_locations(trace)
+    assert closure <= vc, (sorted(closure - vc), sorted(vc))
+
+
+class TestSoundness:
+    """Closure-racy locations ⊆ triage-racy locations, always."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+    def test_random_apps(self, seed):
+        trace = run_random_app(seed).build_trace()
+        vc = triage_locations(trace)
+        for coalesce in (True, False):
+            for backend in (BACKEND_BITMASK, BACKEND_CHAINS):
+                closure = closure_locations(
+                    trace, coalesce=coalesce, backend=backend
+                )
+                assert closure <= vc, (coalesce, backend, sorted(closure - vc))
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            ladder_trace(3, 4),
+            ladder_trace(4, 4, loopers=3),
+            ladder_trace(3, 5, rogues=0),
+            wide_trace(8, tasks_per_thread=4),
+            lock_handoff_trace(),
+            scaled_ladder_trace(3_000),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_synthetic_families(self, trace):
+        assert_subset(trace)
+
+    def test_lock_handoff_escalates(self):
+        """The lock-handoff pattern is race-free under the closure (the
+        paper's LOCK rule records observed cross-thread order) but the
+        triage pass may over-report — it must escalate, never filter a
+        racy trace."""
+        trace = lock_handoff_trace()
+        assert closure_locations(trace) == set()
+        # Whatever the triage says, it is allowed to over-approximate
+        # (escalation) but a filter verdict would also be correct; the
+        # subset property is the invariant.
+        assert closure_locations(trace) <= triage_locations(trace)
+
+    def test_demo_apps(self):
+        from repro.apps.registry import DEMO_APPS
+
+        for name in ("dictionary", "browser", "notes"):
+            system = DEMO_APPS[name].build(seed=3)
+            system.run_to_quiescence()
+            for event in list(system.enabled_events()):
+                if event.kind == "click":
+                    system.fire(event)
+                    system.run_to_quiescence()
+            assert_subset(system.finish())
+
+
+class TestSingleThreadedRaces:
+    def test_catches_what_the_classic_detector_misses(self):
+        """Two unordered tasks on one looper: invisible to the classic
+        vector-clock detector (full program order), racy to the paper's
+        closure — and racy to the triage tier (per-task epochs)."""
+        trace = trace_of(
+            threadinit("t"),
+            attachq("t"),
+            looponq("t"),
+            threadinit("u"),
+            threadinit("v"),
+            post("u", "p1", "t"),
+            post("v", "p2", "t"),
+            begin("t", "p1"),
+            write("t", "x", in_task="p1"),
+            end("t", "p1"),
+            begin("t", "p2"),
+            write("t", "x", in_task="p2"),
+            end("t", "p2"),
+        )
+        assert detect_races_vc(trace).races == []  # classic: blind
+        assert "x" in closure_locations(trace)  # paper: race
+        assert "x" in triage_locations(trace)  # triage: race (escalate)
+
+    def test_fifo_ordered_tasks_do_not_race(self):
+        """Two non-delayed posts from one thread: FIFO orders the tasks,
+        so the triage pass must not report a race (no false escalation
+        pressure from same-looper FIFO chains)."""
+        trace = trace_of(
+            threadinit("t"),
+            attachq("t"),
+            looponq("t"),
+            threadinit("u"),
+            post("u", "p1", "t"),
+            post("u", "p2", "t"),
+            begin("t", "p1"),
+            write("t", "x", in_task="p1"),
+            end("t", "p1"),
+            begin("t", "p2"),
+            write("t", "x", in_task="p2"),
+            end("t", "p2"),
+        )
+        assert triage_locations(trace) == set()
+        assert closure_locations(trace) == set()
+
+    def test_fork_join_ordering_respected(self):
+        trace = trace_of(
+            threadinit("m"),
+            write("m", "x"),
+            fork("m", "w"),
+            threadinit("w"),
+            write("w", "x"),
+            threadexit("w"),
+            join("m", "w"),
+            write("m", "x"),
+        )
+        assert triage_locations(trace) == set()
+
+
+class TestClassicDetectorAudits:
+    """Satellite: the classic detector now counts its silently dropped
+    edges instead of losing them."""
+
+    def test_dangling_join_counted(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("m"),
+                join("m", "ghost"),  # no threadexit snapshot: edge dropped
+            )
+        )
+        assert report.dangling_joins == 1
+        assert report.orphan_begins == 0
+
+    def test_orphan_begin_counted(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                attachq("t"),
+                looponq("t"),
+                begin("t", "never-posted"),
+                end("t", "never-posted"),
+            )
+        )
+        assert report.orphan_begins == 1
+        assert report.dangling_joins == 0
+
+    def test_clean_trace_has_zero_audit_counts(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("m"),
+                fork("m", "w"),
+                threadinit("w"),
+                threadexit("w"),
+                join("m", "w"),
+            )
+        )
+        assert report.dangling_joins == 0
+        assert report.orphan_begins == 0
+
+    def test_triage_counts_dangling_edges_too(self):
+        report = triage_races(
+            trace_of(
+                threadinit("m"),
+                join("m", "ghost"),
+            )
+        )
+        assert report.dangling_joins == 1
+
+
+class TestVCReportSerialization:
+    """Satellite: VCReport/VCRace round-trip like RaceReport does."""
+
+    def roundtrip(self, report):
+        data = json.loads(json.dumps(report.to_dict(), sort_keys=True))
+        return VCReport.from_dict(data)
+
+    def test_racy_report_roundtrips(self):
+        report = detect_races_vc(
+            trace_of(
+                threadinit("t"),
+                threadinit("u"),
+                write("t", "x"),
+                write("u", "x"),
+            )
+        )
+        assert report.races
+        back = self.roundtrip(report)
+        assert back.to_dict() == report.to_dict()
+        assert [str(r) for r in back.races] == [str(r) for r in report.races]
+
+    def test_triage_report_roundtrips(self):
+        report = triage_races(ladder_trace(3, 4))
+        back = self.roundtrip(report)
+        assert back.to_dict() == report.to_dict()
+        assert back.racy_locations() == report.racy_locations()
+
+    def test_vcrace_roundtrip_preserves_access(self):
+        report = detect_races_vc(
+            trace_of(threadinit("t"), threadinit("u"), write("t", "x"), write("u", "x"))
+        )
+        race = report.races[0]
+        back = VCRace.from_dict(json.loads(json.dumps(race.to_dict())))
+        assert back.access.index == race.access.index
+        assert back.access.kind is race.access.kind
+        assert back.location == race.location
+
+    def test_report_defaults_tolerate_old_payloads(self):
+        data = detect_races_vc(trace_of(threadinit("t"))).to_dict()
+        for legacy_missing in ("dangling_joins", "orphan_begins", "trace_name"):
+            data.pop(legacy_missing)
+        back = VCReport.from_dict(data)
+        assert back.dangling_joins == 0
+        assert back.trace_name == "trace"
+
+
+class TestDetectorConfig:
+    def test_triage_values_validated(self):
+        DetectorConfig(triage=TRIAGE_OFF)
+        DetectorConfig(triage=TRIAGE_VC)
+        with pytest.raises(ValueError):
+            DetectorConfig(triage="fast")
+
+    def test_triage_excluded_from_canonical_dict(self):
+        """Cache and history keys must not move when the triage knob
+        does — escalated traces run the exact same closure."""
+        on = DetectorConfig(triage=TRIAGE_VC)
+        off = DetectorConfig(triage=TRIAGE_OFF)
+        assert on.canonical_dict() == off.canonical_dict()
+        assert on.digest() == off.digest()
+        assert TRIAGE_VC in TRIAGES and TRIAGE_OFF in TRIAGES
+
+
+class TestBatchTriage:
+    """Two-phase corpus flow: cheap vc pass, closure only on escalation."""
+
+    @pytest.fixture()
+    def corpus(self, tmp_path):
+        from repro.corpus import TraceStore
+
+        store = TraceStore(tmp_path / "corpus")
+        store.ingest(self._quiet_trace(), app="quiet")
+        store.ingest(ladder_trace(3, 4, name="racy-ladder"), app="racy")
+        store.ingest(lock_handoff_trace(), app="handoff")
+        return store
+
+    @staticmethod
+    def _quiet_trace():
+        return trace_of(
+            threadinit("m"),
+            write("m", "a.x"),
+            fork("m", "w"),
+            threadinit("w"),
+            read("w", "a.x"),
+        )
+
+    def test_filtered_and_escalated_counts(self, corpus):
+        from repro.corpus import BatchAnalyzer, aggregate
+
+        config = DetectorConfig(triage=TRIAGE_VC)
+        batch = BatchAnalyzer(corpus, cache=None, jobs=1, config=config).analyze()
+        assert batch.triage_filtered == 1  # quiet
+        assert batch.triage_escalated == 2  # racy-ladder + lock-handoff
+        filtered = batch.filtered()
+        assert len(filtered) == 1 and filtered[0].entry.app == "quiet"
+        assert filtered[0].ok and filtered[0].report is None
+        assert "triage" in batch.summary()
+
+        report = aggregate(batch)
+        assert report.triage_mode == TRIAGE_VC
+        assert report.triage_filtered == 1
+        assert report.traces_analyzed == 3
+        assert report.to_dict()["triage"] == {
+            "mode": TRIAGE_VC,
+            "filtered": 1,
+            "escalated": 2,
+        }
+        assert "triage (vc)" in report.render()
+
+    def test_triage_off_leaves_report_untouched(self, corpus):
+        from repro.corpus import BatchAnalyzer, aggregate
+
+        batch = BatchAnalyzer(corpus, cache=None, jobs=1).analyze()
+        assert batch.triage_filtered == 0 and batch.triage_escalated == 0
+        report = aggregate(batch)
+        assert report.triage_mode == TRIAGE_OFF
+        assert "triage" not in report.to_dict()
+        assert "triage" not in report.render()
+
+    def test_escalated_reports_byte_identical_to_closure_only(self, corpus):
+        """The zero-missed-races contract: every trace the closure finds
+        racy is escalated, and its escalated report digests identically
+        to the closure-only run's."""
+        from repro.corpus import BatchAnalyzer
+        from repro.obs import report_digest
+
+        plain = BatchAnalyzer(corpus, cache=None, jobs=1).analyze()
+        triaged = BatchAnalyzer(
+            corpus, cache=None, jobs=1, config=DetectorConfig(triage=TRIAGE_VC)
+        ).analyze()
+        plain_by_digest = {r.entry.digest: r for r in plain.results}
+        for result in triaged.results:
+            baseline = plain_by_digest[result.entry.digest]
+            if result.filtered:
+                assert baseline.report is not None
+                assert baseline.report.races == []  # zero missed races
+            else:
+                assert report_digest(result.report.to_dict()) == report_digest(
+                    baseline.report.to_dict()
+                )
+
+    def test_filtered_verdicts_are_never_cached(self, corpus, tmp_path):
+        """The cache key excludes the triage knob, so a filtered verdict
+        must not poison a later triage-off run with a missing report."""
+        from repro.corpus import BatchAnalyzer, ResultCache
+
+        cache = ResultCache(corpus.root)
+        config = DetectorConfig(triage=TRIAGE_VC)
+        triaged = BatchAnalyzer(corpus, cache=cache, jobs=1, config=config).analyze()
+        assert triaged.triage_filtered == 1
+        plain = BatchAnalyzer(corpus, cache=cache, jobs=1).analyze()
+        assert all(r.report is not None for r in plain.results)
+        # Escalated reports were cached; the filtered one was analyzed fresh.
+        assert plain.cache_hits == 2 and plain.cache_misses == 1
+
+    def test_parallel_matches_serial(self, corpus):
+        from repro.corpus import BatchAnalyzer
+
+        config = DetectorConfig(triage=TRIAGE_VC)
+        serial = BatchAnalyzer(corpus, cache=None, jobs=1, config=config).analyze()
+        parallel = BatchAnalyzer(corpus, cache=None, jobs=2, config=config).analyze()
+        assert serial.triage_filtered == parallel.triage_filtered
+        assert serial.triage_escalated == parallel.triage_escalated
+        from repro.obs import report_digest
+
+        key = lambda b: {
+            r.entry.digest: (
+                r.filtered,
+                report_digest(r.report.to_dict()) if r.report else None,
+            )
+            for r in b.results
+        }
+        assert key(serial) == key(parallel)
+
+
+class TestJobQueueTriage:
+    def test_complete_journals_and_replays_triage(self, tmp_path):
+        from repro.service.jobs import JobQueue
+
+        path = str(tmp_path / "jobs.jsonl")
+        queue = JobQueue(path)
+        job, _ = queue.submit("a" * 64, "b" * 64, trace_name="t", app="app")
+        queue.next_job()
+        queue.complete(job.job_id, race_count=0, triage="filtered")
+        queue.close()
+        replayed = JobQueue(path)
+        back = replayed.get(job.job_id)
+        assert back.triage == "filtered"
+        assert back.race_count == 0
+        replayed.close()

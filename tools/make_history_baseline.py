@@ -17,8 +17,10 @@ actually checked; keys that appear on only one side are reported by the
 gate as unchecked, never failed.
 
 The workload is deterministic end to end: a fixed-seed synthetic app
-run, two re-analyses of the saved trace (both reachability backends),
-and the two closure benchmark smoke sweeps.
+run, three re-analyses of the saved trace (both reachability backends
+plus an escalated ``--triage vc`` run, which must reproduce the plain
+run's report digest), the two closure benchmark smoke sweeps, and the
+triage benchmark smoke gate.
 
 Usage:
 
@@ -54,11 +56,11 @@ def run_cli(argv):
         raise SystemExit("droidracer %s failed with exit %d" % (argv[0], code))
 
 
-def run_bench(extra, history):
+def run_bench(extra, history, script="bench_closure.py"):
     proc = subprocess.run(
         [
             sys.executable,
-            str(REPO / "benchmarks" / "bench_closure.py"),
+            str(REPO / "benchmarks" / script),
             extra,
             "--history",
             history,
@@ -66,7 +68,7 @@ def run_bench(extra, history):
         cwd=str(REPO),
     )
     if proc.returncode != 0:
-        raise SystemExit("bench_closure.py %s failed" % extra)
+        raise SystemExit("%s %s failed" % (script, extra))
 
 
 def main(argv):
@@ -101,8 +103,16 @@ def main(argv):
         run_cli(
             ["analyze", trace_path, "--backend", "chains", "--history", history]
         )
+        # Escalated-triage run: shares its (trace, config) key with the
+        # plain analyze above (the triage knob is excluded from config
+        # digests), so the gate enforces the byte-identical-reports
+        # contract between baseline and CI stores.
+        run_cli(
+            ["analyze", trace_path, "--triage", "vc", "--history", history]
+        )
     run_bench("--smoke", history)
     run_bench("--reachability-smoke", history)
+    run_bench("--smoke", history, script="bench_triage.py")
 
     print("history store written to %s" % history)
     return 0
