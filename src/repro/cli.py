@@ -15,7 +15,7 @@ Subcommands mirror the tool's workflow:
 * ``droidracer serve`` — long-running async HTTP service over the same
   corpus: trace uploads, a durable bounded job queue, a persistent
   worker pool, and report/streaming endpoints (``docs/service.md``);
-* ``droidracer obs history|compare|gate|dashboard`` — the run-history
+* ``droidracer obs history|compare|gate|dashboard|suspicion`` — the run-history
   store: list recorded runs, diff two runs span by span, gate on
   correctness/performance drift, render a static HTML dashboard.
 
@@ -202,9 +202,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_explore = sub.add_parser("explore", help="systematically explore a demo app")
     p_explore.add_argument("app", choices=sorted(DEMO_APPS))
+    p_explore.add_argument(
+        "--strategy",
+        choices=("dfs", "monkey", "dynodroid", "guided"),
+        default="dfs",
+        help="exploration strategy: systematic depth-first (default), a "
+        "random baseline, or suspiciousness-guided (mines the run "
+        "history; see docs/exploration.md)",
+    )
     p_explore.add_argument("--depth", type=int, default=2)
     p_explore.add_argument("--seed", type=int, default=0)
     p_explore.add_argument("--max-runs", type=int, default=25)
+    p_explore.add_argument(
+        "--budget",
+        type=int,
+        default=4,
+        help="events per sequence (monkey/dynodroid/guided strategies)",
+    )
+    p_explore.add_argument(
+        "--sequences",
+        type=int,
+        default=4,
+        help="event sequences to run (monkey/dynodroid/guided strategies)",
+    )
     p_explore.add_argument(
         "--store",
         metavar="DIR",
@@ -351,7 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     p_obs = sub.add_parser(
-        "obs", help="run-history store: list, compare, gate, dashboard"
+        "obs", help="run-history store: list, compare, gate, dashboard, suspicion"
     )
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
 
@@ -428,6 +448,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="droidracer-dashboard.html",
         metavar="FILE",
         help="output path (default: %(default)s)",
+    )
+
+    p_osusp = obs_sub.add_parser(
+        "suspicion",
+        help="mine the store's per-location suspicion index (the guided "
+        "explorer's input)",
+    )
+    _add_history(p_osusp)
+    p_osusp.add_argument("--app", help="only this app's locations")
+    p_osusp.add_argument(
+        "--limit", type=int, default=10, metavar="N",
+        help="top N locations per app (default: %(default)s)",
+    )
+    p_osusp.add_argument("--json", action="store_true")
+    p_osusp.add_argument(
+        "--export",
+        metavar="DIR",
+        help="also write the index as suspicion_index.json under DIR "
+        "(the export_suspicion derived view)",
     )
 
     args = parser.parse_args(argv)
@@ -601,51 +640,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "explore":
-        trace_store = None
-        if args.store:
-            from repro.corpus import TraceStore
-
-            trace_store = TraceStore(args.store)
-        explorer = UIExplorer(
-            demo_app(args.app),
-            depth=args.depth,
-            seed=args.seed,
-            max_runs=args.max_runs,
-            trace_store=trace_store,
-        )
-        result = explorer.explore()
-        print(
-            "%s: %d runs at depth <= %d" % (args.app, result.runs_executed, args.depth)
-        )
-        if trace_store is not None:
-            print(
-                "corpus %s now holds %d trace(s)" % (args.store, len(trace_store))
-            )
-        entries = []
-        for run in result.store.runs:
-            report = detect_races(run.trace)
-            if notes is not None:
-                entries.append(
-                    {
-                        "trace_digest": run.trace.canonical_digest(),
-                        "report": report.to_dict(),
-                    }
-                )
-            print("  %s -> %s" % (run.describe(), report.summary()))
-            for race in report.races:
-                print("      ", race)
-        if notes is not None and entries:
-            from repro.core.race_detector import DetectorConfig
-
-            notes.append(
-                {
-                    "kind": "multi",
-                    "app": args.app,
-                    "entries": entries,
-                    "config": DetectorConfig(),
-                }
-            )
-        return 0
+        return _explore_main(args, notes)
 
     if args.command == "analyze":
         from repro.core.explain import explain_race
@@ -702,6 +697,210 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _serve_main(args)
 
     return 1
+
+
+def _explore_main(args: argparse.Namespace, notes) -> int:
+    """``droidracer explore``: systematic DFS (the default), the random
+    baselines, or suspiciousness-guided exploration.
+
+    Every strategy records the same history shape when ``--history`` is
+    set: one combined ``multi`` record whose ``extra["suspicion"]``
+    carries the per-trace signal documents the guided explorer mines —
+    so a DFS exploration today is the suspicion index a guided
+    exploration draws on tomorrow.  Without ``--history`` nothing is
+    recorded and output is byte-identical to the pre-feedback CLI.
+    """
+    from repro.core.race_detector import DetectorConfig, RaceDetector
+    from repro.explorer import (
+        DynodroidExplorer,
+        GuidedExplorer,
+        MonkeyExplorer,
+        SuspicionIndex,
+        signal_document,
+    )
+
+    app = demo_app(args.app)
+    trace_store = None
+    if args.store:
+        from repro.corpus import TraceStore
+
+        trace_store = TraceStore(args.store)
+
+    entries: List[dict] = []
+    suspicion_docs: List[dict] = []
+    exploration_extra: Optional[dict] = None
+
+    def _collect(trace, detector, report, events) -> None:
+        """Per-trace bookkeeping shared by all strategies (history notes
+        are only assembled when recording is on)."""
+        if notes is None:
+            return
+        entries.append(
+            {
+                "trace_digest": trace.canonical_digest(),
+                "report": report.to_dict(),
+            }
+        )
+        suspicion_docs.append(
+            signal_document(args.app, trace, detector.hb, report, events=events)
+        )
+
+    if args.strategy == "dfs":
+        explorer = UIExplorer(
+            app,
+            depth=args.depth,
+            seed=args.seed,
+            max_runs=args.max_runs,
+            trace_store=trace_store,
+        )
+        result = explorer.explore()
+        print(
+            "%s: %d runs at depth <= %d" % (args.app, result.runs_executed, args.depth)
+        )
+        if trace_store is not None:
+            print(
+                "corpus %s now holds %d trace(s)" % (args.store, len(trace_store))
+            )
+        for run in result.store.runs:
+            detector = RaceDetector(run.trace)
+            report = detector.detect()
+            _collect(run.trace, detector, report, run.sequence)
+            print("  %s -> %s" % (run.describe(), report.summary()))
+            for race in report.races:
+                print("      ", race)
+
+    elif args.strategy in ("monkey", "dynodroid"):
+        explorer_cls = (
+            MonkeyExplorer if args.strategy == "monkey" else DynodroidExplorer
+        )
+        races = set()
+        first_race_at = None
+        sessions = 0
+        for s in range(args.sequences):
+            run = explorer_cls(app, budget=args.budget, seed=args.seed + s).run()
+            sessions += 1
+            if trace_store is not None:
+                trace_store.ingest(run.trace, app=app.name)
+            detector = RaceDetector(run.trace)
+            report = detector.detect()
+            _collect(run.trace, detector, report, run.events_fired)
+            new = [
+                (race.location, race.category.value)
+                for race in report.races
+                if (race.location, race.category.value) not in races
+            ]
+            races.update(new)
+            if new and first_race_at is None:
+                first_race_at = sessions
+            print(
+                "  #%d [%s] -> %s (%d new)"
+                % (sessions, " -> ".join(run.events_fired) or "<empty>",
+                   report.summary(), len(new))
+            )
+        print(
+            "%s/%s: %d distinct races over %d sequences"
+            % (args.app, args.strategy, len(races), sessions)
+        )
+        exploration_extra = {
+            "strategy": args.strategy,
+            "budget": args.budget,
+            "sequences": sessions,
+            "seed": args.seed,
+            "races_found": len(races),
+            "sequences_to_first_race": first_race_at,
+            "races_per_100_sequences": (
+                round(100.0 * len(races) / sessions, 4) if sessions else 0.0
+            ),
+        }
+
+    else:  # guided
+        from repro.obs import resolve_history_dir
+
+        history_dir = resolve_history_dir(getattr(args, "history", None))
+        index = SuspicionIndex()
+        if history_dir:
+            from repro.obs import HistoryStore
+
+            store = HistoryStore(history_dir)
+            if store.exists():
+                index = SuspicionIndex.mine(store.records(), app=args.app)
+        locations = len(index.signals(args.app))
+        if locations:
+            print(
+                "suspicion index: %d scored location(s) for %s (history: %s)"
+                % (locations, args.app, history_dir)
+            )
+        else:
+            print(
+                "suspicion index is empty for %s — guided exploration "
+                "degrades to seeded-random" % args.app
+            )
+        explorer = GuidedExplorer(
+            app,
+            index=index,
+            budget=args.budget,
+            sequences=args.sequences,
+            seed=args.seed,
+            history_ref=history_dir,
+        )
+        result = explorer.run()
+        for session in result.sessions:
+            if trace_store is not None:
+                trace_store.ingest(session.trace, app=app.name)
+            if notes is not None:
+                # The explorer analyzed each session as it ran; reuse its
+                # report and signal document instead of re-deriving them.
+                entries.append(
+                    {
+                        "trace_digest": session.trace.canonical_digest(),
+                        "report": session.report.to_dict(),
+                    }
+                )
+                suspicion_docs.append(session.signals)
+            print(
+                "  #%d %-7s [%s] -> %s (%d new, %d near-miss)"
+                % (
+                    session.index + 1,
+                    session.kind,
+                    " -> ".join(session.sequence) or "<empty>",
+                    session.report.summary(),
+                    len(session.new_races),
+                    session.near_misses,
+                )
+            )
+        print(result.describe())
+        exploration_extra = {
+            "strategy": "guided",
+            "budget": args.budget,
+            "sequences": result.sequence_count,
+            "seed": args.seed,
+            "history_ref": history_dir,
+            "index_locations": locations,
+            "races_found": len(result.races),
+            "sequences_to_first_race": result.sequences_to_first_race,
+            "races_per_100_sequences": round(
+                result.races_per_100_sequences(), 4
+            ),
+        }
+        if trace_store is not None:
+            print(
+                "corpus %s now holds %d trace(s)" % (args.store, len(trace_store))
+            )
+
+    if notes is not None and entries:
+        from repro.core.race_detector import DetectorConfig
+
+        note = {
+            "kind": "multi",
+            "app": args.app,
+            "entries": entries,
+            "config": DetectorConfig(),
+            "suspicion": suspicion_docs,
+        }
+        if exploration_extra is not None:
+            note["exploration"] = exploration_extra
+        notes.append(note)
+    return 0
 
 
 def _want_metrics_block(args: argparse.Namespace) -> bool:
@@ -1067,6 +1266,12 @@ def _record_history(history_dir: str, command: str, notes, tracer) -> int:
     for note in notes:
         config = note["config"]
         extra = {"triage": note["triage"]} if note.get("triage") else {}
+        # Feedback-loop payloads: per-trace suspicion signal documents
+        # (what SuspicionIndex.mine consumes) and the exploration
+        # summary (what the dashboard's strategy panel charts).
+        for key in ("suspicion", "exploration"):
+            if note.get(key):
+                extra[key] = note[key]
         if note["kind"] == "multi":
             entries = note["entries"]
             reports = [entry["report"] for entry in entries]
@@ -1255,6 +1460,28 @@ def _obs_main(args: argparse.Namespace) -> int:
     if args.obs_command == "dashboard":
         count = write_dashboard(store, args.out)
         print("dashboard with %d run(s) written to %s" % (count, args.out))
+        return 0
+
+    if args.obs_command == "suspicion":
+        from repro.explorer import SuspicionIndex
+        from repro.obs import export_suspicion
+
+        index = SuspicionIndex.mine(store.records(), app=args.app)
+        if index.is_empty(args.app):
+            print(
+                "no suspicion signals recorded in %s — run "
+                "`droidracer explore --history %s` (any strategy) first"
+                % (history_dir, history_dir),
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            print(json.dumps(index.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(index.render(app=args.app, limit=args.limit))
+        if args.export:
+            path = export_suspicion(store, args.export, app=args.app)
+            print("suspicion index written to %s" % path)
         return 0
 
     return 1

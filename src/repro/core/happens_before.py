@@ -281,6 +281,12 @@ class HappensBefore:
             self._task_pair_list = self._build_task_pairs()
             self._round_edges: List[Tuple[int, int]] = []
             self._round_new: Set[Tuple[int, int]] = set()  # chains round edges
+            # Every FIFO/NOPRE/AT-FRONT edge, as (src_node, dst_node).  The
+            # counts already live in stats; the endpoints feed the near-miss
+            # post-pass in explorer/suspicion.py (pairs ordered by exactly
+            # one derived edge).  Rule-edge populations are tiny relative to
+            # the closure, so keeping the list costs nothing measurable.
+            self.rule_edges: List[Tuple[int, int]] = []
             self._pred_st: List[int] = []
             self._pred_mt: List[int] = []
             self._diff_by_node: List[int] = []
@@ -797,9 +803,11 @@ class HappensBefore:
                 return False
             self._round_new.add(key)
             self._round_edges.append(key)
+            self.rule_edges.append(key)
             return True
         if self.graph.add_st(i, j):
             self._round_edges.append((i, j))
+            self.rule_edges.append((i, j))
             return True
         return False
 

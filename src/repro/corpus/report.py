@@ -93,6 +93,42 @@ class CorpusReport:
         requests = self.cache_hits + self.cache_misses
         return self.cache_hits / requests if requests else 0.0
 
+    def location_aggregates(self) -> Dict[str, dict]:
+        """Per-location mining view of the corpus findings.
+
+        Groups the deduplicated races by memory location: which apps hit
+        it, which categories it was classified under, and how many traces
+        manifested it.  This is the corpus-side input to suspiciousness
+        mining (``repro.explorer.suspicion``) — a location racing in many
+        traces under several categories is a prime perturbation target.
+
+        Deliberately *not* part of :meth:`to_dict`: the report JSON seen
+        by ``corpus analyze --json`` consumers stays byte-stable.
+        """
+        out: Dict[str, dict] = {}
+        for race in self.races:
+            slot = out.setdefault(
+                race.location,
+                {
+                    "field": race.field_name,
+                    "apps": set(),
+                    "categories": set(),
+                    "trace_count": 0,
+                },
+            )
+            slot["apps"].update(race.apps)
+            slot["categories"].add(race.category.value)
+            slot["trace_count"] = max(slot["trace_count"], race.trace_count)
+        return {
+            location: {
+                "field": slot["field"],
+                "apps": sorted(slot["apps"]),
+                "categories": sorted(slot["categories"]),
+                "trace_count": slot["trace_count"],
+            }
+            for location, slot in sorted(out.items())
+        }
+
     # -- rendering -----------------------------------------------------------
 
     def render(self) -> str:

@@ -2,11 +2,24 @@
 with backtracking and replay (paper, §5)."""
 
 from .events import SUPPORTED_KINDS, event_key, filter_events, find_event
+from .guided_explorer import (
+    GuidedExplorationResult,
+    GuidedExplorer,
+    GuidedSession,
+)
 from .random_explorer import (
     DynodroidExplorer,
     MonkeyExplorer,
     RandomRunResult,
     compare_strategies,
+)
+from .suspicion import (
+    DEFAULT_WEIGHTS,
+    LocationSignal,
+    ScoreWeights,
+    SuspicionIndex,
+    collect_signals,
+    signal_document,
 )
 from .schedule_explorer import (
     OrderObservation,
@@ -18,9 +31,18 @@ from .ui_explorer import AppModel, ExplorationResult, UIExplorer, explore
 
 __all__ = [
     "AppModel",
+    "DEFAULT_WEIGHTS",
     "DynodroidExplorer",
     "ExplorationResult",
+    "GuidedExplorationResult",
+    "GuidedExplorer",
+    "GuidedSession",
+    "LocationSignal",
     "MonkeyExplorer",
+    "ScoreWeights",
+    "SuspicionIndex",
+    "collect_signals",
+    "signal_document",
     "OrderObservation",
     "RandomRunResult",
     "RunRecord",

@@ -1,0 +1,399 @@
+"""Suspiciousness-guided exploration: the feedback loop's consumer.
+
+The :class:`GuidedExplorer` closes the corpus -> explorer loop: prior
+runs (mined into a :class:`~repro.explorer.suspicion.SuspicionIndex`)
+tell it which memory locations are race-prone and which event keys were
+present when those locations signalled; it spends its budget firing the
+implicated events and *perturbing* the sequences that raced or nearly
+raced:
+
+* **reorder** — swap the hottest event with its predecessor (a different
+  post order around the suspicious location);
+* **inject** — insert a lifecycle event (rotation, else BACK) adjacent
+  to the hottest event, forcing a pause/resume or re-creation between
+  the racing posts;
+* **reseed** — replay the same sequence under a different build seed
+  (a different schedule of the same events).
+
+With no prior signal for the app (empty index, empty history) guided
+exploration degrades — by construction, not by accident — to seeded
+uniform random over the same event vocabulary as
+:class:`~repro.explorer.random_explorer.MonkeyExplorer`: the first
+session under seed ``s`` fires exactly the sequence ``MonkeyExplorer``
+with seed ``s`` would.  Tests pin this equivalence.
+
+Each completed session is analyzed immediately; the resulting signal
+document feeds an *online* index, so discoveries made mid-run steer the
+remaining sessions even when the prior index was cold.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.race_detector import RaceDetector, RaceReport
+from repro.core.trace import ExecutionTrace
+
+from .events import event_key, filter_events, find_event
+from .sequence_store import SequenceStore
+from .suspicion import SuspicionIndex, signal_document
+from .ui_explorer import AppModel
+
+__all__ = [
+    "GuidedExplorer",
+    "GuidedExplorationResult",
+    "GuidedSession",
+    "LIFECYCLE_MARKER",
+]
+
+#: Plan placeholder resolved at fire time to whichever lifecycle event
+#: (rotation preferred, BACK otherwise) is actually enabled.
+LIFECYCLE_MARKER = "__lifecycle__"
+
+#: Lifecycle event kinds, in injection-preference order.
+_LIFECYCLE_KINDS = ("rotate", "back")
+
+#: Weight of the mined (prior) affinity relative to online affinity.
+_PRIOR_WEIGHT = 1.0
+
+
+@dataclass
+class GuidedSession:
+    """One event sequence the guided explorer ran and analyzed."""
+
+    index: int
+    kind: str  # "greedy" | "random" | "reseed" | "reorder" | "inject"
+    sequence: Tuple[str, ...]
+    build_seed: int
+    trace: ExecutionTrace
+    report: RaceReport
+    new_races: Tuple[Tuple[str, str], ...]  # (location, category) firsts
+    near_misses: int
+    signals: dict = field(default_factory=dict)  # the run's signal_document
+
+
+@dataclass
+class GuidedExplorationResult:
+    """Outcome of a guided exploration run."""
+
+    app_name: str
+    strategy: str
+    sessions: List[GuidedSession]
+    races: List[Tuple[str, str]]  # distinct (location, category), sorted
+    sequences_to_first_race: Optional[int]  # 1-based; None if none found
+    store: SequenceStore = field(default_factory=SequenceStore)
+
+    @property
+    def sequence_count(self) -> int:
+        return len(self.sessions)
+
+    def races_per_100_sequences(self) -> float:
+        if not self.sessions:
+            return 0.0
+        return 100.0 * len(self.races) / len(self.sessions)
+
+    def describe(self) -> str:
+        first = (
+            "first race at sequence %d" % self.sequences_to_first_race
+            if self.sequences_to_first_race is not None
+            else "no race found"
+        )
+        return "%s/%s: %d races over %d sequences (%s)" % (
+            self.app_name,
+            self.strategy,
+            len(self.races),
+            len(self.sessions),
+            first,
+        )
+
+
+class GuidedExplorer:
+    """Suspiciousness-guided event-sequence exploration."""
+
+    strategy = "guided"
+    #: Monkey's vocabulary — identical on purpose, so the empty-index
+    #: degradation to MonkeyExplorer is exact (same candidate lists).
+    include_kinds: Sequence[str] = ("click", "long-click", "text", "back")
+    exclude_kinds: Sequence[str] = ("rotate",)
+
+    def __init__(
+        self,
+        app: AppModel,
+        index: Optional[SuspicionIndex] = None,
+        budget: int = 4,
+        sequences: int = 4,
+        seed: int = 0,
+        history_ref: Optional[str] = None,
+        stop_after_no_new: Optional[int] = None,
+        max_perturbations: int = 8,
+        detector_kwargs: Optional[dict] = None,
+    ):
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        if sequences < 1:
+            raise ValueError("sequences must be >= 1")
+        self.app = app
+        self.prior = index if index is not None else SuspicionIndex()
+        self.budget = budget
+        self.sequences = sequences
+        self.seed = seed
+        self.history_ref = history_ref
+        self.stop_after_no_new = stop_after_no_new
+        self.max_perturbations = max_perturbations
+        self.detector_kwargs = dict(detector_kwargs or {})
+        self.online = SuspicionIndex()
+        self.store = SequenceStore()
+        self._plans: Deque[Tuple[str, Tuple[str, ...], int]] = deque()
+        self._planned: Set[Tuple[Tuple[str, ...], int]] = set()
+        self._seen_races: Set[Tuple[str, str]] = set()
+        self._fired_counts: Dict[str, int] = {}
+        self._prior_affinity = self.prior.event_affinity(app.name)
+
+    # -- event scoring -------------------------------------------------------
+
+    def _affinity(self) -> Dict[str, float]:
+        combined: Dict[str, float] = {}
+        for key, value in self._prior_affinity.items():
+            combined[key] = combined.get(key, 0.0) + _PRIOR_WEIGHT * value
+        for key, value in self.online.event_affinity(self.app.name).items():
+            combined[key] = combined.get(key, 0.0) + value
+        return combined
+
+    def _choose(
+        self,
+        events,
+        fired_keys: Set[str],
+        rng: random.Random,
+        final_step: bool = False,
+    ):
+        """Cover the implicated-event set, then revisit its strongest
+        member.
+
+        Within a session, prefer the highest-affinity event not yet
+        fired (co-enabled races need several specific events in *one*
+        sequence, so the whole implicated set gets covered first); once
+        every implicated event was tried, *repeat* the best one rather
+        than wander into zero-affinity events — re-dispatching a handler
+        races its task against the first dispatch.  BACK is deferred to
+        the final step: it can finish the activity and end the session,
+        so firing it earlier forfeits the remaining budget (while as the
+        *last* event it still exercises destruction races).  Affinity is
+        discounted by how often the event fired in earlier sessions, so
+        successive greedy sessions walk different orderings.  Ties break
+        by seeded choice."""
+        affinity = self._affinity()
+
+        def _score(event) -> float:
+            key = event_key(event)
+            return affinity.get(key, 0.0) / (
+                1.0 + self._fired_counts.get(key, 0)
+            )
+
+        positives = [e for e in events if _score(e) > 0.0]
+        if not final_step:
+            safe = [e for e in positives if e.kind != "back"]
+            if safe:
+                positives = safe
+        candidates = [
+            e for e in positives if event_key(e) not in fired_keys
+        ] or positives or list(events)
+        best = max(_score(e) for e in candidates)
+        tied = [e for e in candidates if _score(e) == best]
+        return rng.choice(tied)
+
+    # -- session execution ---------------------------------------------------
+
+    def _enabled(self, system):
+        return filter_events(
+            system.enabled_events(),
+            include_kinds=self.include_kinds,
+            exclude_kinds=self.exclude_kinds,
+        )
+
+    def _lifecycle_event(self, system):
+        """An enabled lifecycle event, rotation preferred — injection
+        deliberately reaches outside the monkey vocabulary (perturbing
+        the activity lifecycle is the point)."""
+        enabled = system.enabled_events()
+        for kind in _LIFECYCLE_KINDS:
+            for event in enabled:
+                if event.kind == kind:
+                    return event
+        return None
+
+    def _run_session(
+        self, session_index: int, kind: str, plan: Optional[Tuple[str, ...]],
+        build_seed: int,
+    ) -> Optional[GuidedSession]:
+        system = self.app.build(build_seed)
+        system.run_to_quiescence()
+        rng = random.Random(self.seed + session_index)
+        # Guided only when some event has positive affinity; with uniform
+        # (all-zero) scores every draw is MonkeyExplorer's draw, exactly.
+        guided = bool(self._affinity())
+        fired: List[str] = []
+        fired_keys: Set[str] = set()
+        steps = plan if plan is not None else range(self.budget)
+        for step in steps:
+            if plan is not None:
+                if step == LIFECYCLE_MARKER:
+                    event = self._lifecycle_event(system)
+                else:
+                    event = find_event(self._enabled(system), step)
+                if event is None:
+                    continue  # replay diverged; skip the missing event
+            else:
+                events = self._enabled(system)
+                if not events:
+                    break
+                if guided:
+                    event = self._choose(
+                        events, fired_keys, rng,
+                        final_step=step == self.budget - 1,
+                    )
+                else:
+                    # No signal anywhere: exactly MonkeyExplorer's draw.
+                    event = rng.choice(events)
+            system.fire(event)
+            system.run_to_quiescence()
+            key = event_key(event)
+            fired.append(key)
+            fired_keys.add(key)
+        trace = system.finish(
+            "%s[%s#%d]" % (self.app.name, self.strategy, session_index)
+        )
+        detector = RaceDetector(trace, **self.detector_kwargs)
+        report = detector.detect()
+        doc = signal_document(
+            self.app.name, trace, detector.hb, report, events=fired
+        )
+        self.online.observe(doc)
+        new = []
+        for race in report.races:
+            item = (race.location, race.category.value)
+            if item not in self._seen_races:
+                self._seen_races.add(item)
+                new.append(item)
+        near = sum(
+            sig.get("near_misses", 0) for sig in doc["locations"].values()
+        )
+        for key in fired_keys:
+            self._fired_counts[key] = self._fired_counts.get(key, 0) + 1
+        self.store.record(
+            fired,
+            trace,
+            enabled_after=[event_key(e) for e in self._enabled(system)],
+            strategy=self.strategy if kind == "greedy" else
+            "%s.%s" % (self.strategy, kind),
+            seed=build_seed,
+            history_ref=self.history_ref,
+        )
+        return GuidedSession(
+            index=session_index,
+            kind=kind,
+            sequence=tuple(fired),
+            build_seed=build_seed,
+            trace=trace,
+            report=report,
+            new_races=tuple(new),
+            near_misses=near,
+            signals=doc,
+        )
+
+    # -- perturbation planning -----------------------------------------------
+
+    def _hot_position(self, sequence: Tuple[str, ...]) -> int:
+        """Index of the highest-affinity event in the sequence (the one
+        most implicated in the racy/near-miss signal)."""
+        if not sequence:
+            return 0
+        affinity = self._affinity()
+        return max(
+            range(len(sequence)), key=lambda i: (affinity.get(sequence[i], 0.0), -i)
+        )
+
+    def _enqueue(self, kind: str, sequence: Tuple[str, ...], build_seed: int):
+        if len(self._plans) >= self.max_perturbations:
+            return
+        key = (sequence, build_seed)
+        if key in self._planned:
+            return
+        if kind != "reseed" and self.store.explored(sequence):
+            return
+        self._planned.add(key)
+        self._plans.append((kind, sequence, build_seed))
+
+    def _plan_perturbations(self, session: GuidedSession) -> None:
+        """Queue variants of a sequence that raced or nearly raced.
+
+        Perturbed sequences that found *new* races are themselves
+        perturbed further (a productive injection deserves its own
+        reorder/reseed); only lifecycle markers never stack, so the
+        variant tree stays shallow.
+        """
+        if session.kind in ("greedy", "random"):
+            if not (session.new_races or session.near_misses):
+                return
+        elif not session.new_races:
+            return  # derived variants must pay their way to spawn more
+        seq = session.sequence
+        hot = self._hot_position(seq)
+        if seq:
+            # Inject: a lifecycle event right before the hot event.
+            # Queued first — forcing a pause/resume or re-creation between
+            # the racing posts perturbs the schedule the hardest.  Never
+            # stacks: an already-injected variant (or one that rotated on
+            # its own) is not injected again, so rotation cannot be farmed
+            # for ever-fresh activity generations.
+            if session.kind != "inject" and "rotate" not in seq:
+                injected = list(seq)
+                injected.insert(hot, LIFECYCLE_MARKER)
+                self._enqueue("inject", tuple(injected), session.build_seed)
+            # Reorder: swap the hot event with its neighbour.
+            swapped = list(seq)
+            other = hot - 1 if hot > 0 else min(1, len(seq) - 1)
+            if other != hot:
+                swapped[hot], swapped[other] = swapped[other], swapped[hot]
+                self._enqueue("reorder", tuple(swapped), session.build_seed)
+        # Re-seed: same events, different schedule.
+        self._enqueue("reseed", seq, session.build_seed + 1 + len(self._plans))
+
+    # -- the exploration loop ------------------------------------------------
+
+    def run(self) -> GuidedExplorationResult:
+        sessions: List[GuidedSession] = []
+        first_race_at: Optional[int] = None
+        stale = 0
+        for s in range(self.sequences):
+            if self._plans:
+                kind, plan, build_seed = self._plans.popleft()
+                session = self._run_session(s, kind, plan, build_seed)
+            else:
+                kind = "greedy" if self._affinity() else "random"
+                session = self._run_session(s, kind, None, self.seed)
+            if session is None:
+                continue
+            sessions.append(session)
+            if session.new_races:
+                stale = 0
+                if first_race_at is None:
+                    first_race_at = len(sessions)
+            else:
+                stale += 1
+            self._plan_perturbations(session)
+            if (
+                self.stop_after_no_new is not None
+                and stale >= self.stop_after_no_new
+            ):
+                break
+        return GuidedExplorationResult(
+            app_name=self.app.name,
+            strategy=self.strategy,
+            sessions=sessions,
+            races=sorted(self._seen_races),
+            sequences_to_first_race=first_race_at,
+            store=self.store,
+        )

@@ -25,6 +25,13 @@ class RunRecord:
     trace: Optional[ExecutionTrace]
     decisions: Tuple[str, ...] = ()  # scheduler decisions, for replay
     enabled_after: Tuple[str, ...] = ()  # events enabled at the end
+    # Provenance: which strategy produced the sequence, under which build
+    # seed, and (for guided runs) which history directory seeded the
+    # suspicion index.  Optional — records written before these fields
+    # existed load with the defaults.
+    strategy: Optional[str] = None
+    seed: Optional[int] = None
+    history_ref: Optional[str] = None
 
     @property
     def depth(self) -> int:
@@ -48,6 +55,9 @@ class SequenceStore:
         trace: Optional[ExecutionTrace],
         decisions: Sequence[str] = (),
         enabled_after: Sequence[str] = (),
+        strategy: Optional[str] = None,
+        seed: Optional[int] = None,
+        history_ref: Optional[str] = None,
     ) -> RunRecord:
         run = RunRecord(
             run_id=len(self._runs),
@@ -55,6 +65,9 @@ class SequenceStore:
             trace=trace,
             decisions=tuple(decisions),
             enabled_after=tuple(enabled_after),
+            strategy=strategy,
+            seed=seed,
+            history_ref=history_ref,
         )
         self._runs.append(run)
         self._by_sequence[run.sequence] = run.run_id
@@ -111,17 +124,30 @@ class SequenceStore:
                     trace=None,
                     decisions=rec.get("decisions", ()),
                     enabled_after=rec.get("enabled_after", ()),
+                    strategy=rec.get("strategy"),
+                    seed=rec.get("seed"),
+                    history_ref=rec.get("history_ref"),
                 )
         return store
 
     @staticmethod
     def _record_dict(run: RunRecord) -> dict:
-        return {
+        out = {
             "run_id": run.run_id,
             "sequence": list(run.sequence),
             "decisions": list(run.decisions),
             "enabled_after": list(run.enabled_after),
         }
+        # Provenance keys are emitted only when set, so stores written by
+        # provenance-unaware strategies stay byte-identical to the old
+        # schema (and old files, lacking the keys, load fine above).
+        if run.strategy is not None:
+            out["strategy"] = run.strategy
+        if run.seed is not None:
+            out["seed"] = run.seed
+        if run.history_ref is not None:
+            out["history_ref"] = run.history_ref
+        return out
 
     def to_json(self) -> str:
         records = [self._record_dict(run) for run in self._runs]
@@ -136,5 +162,8 @@ class SequenceStore:
                 trace=None,
                 decisions=rec.get("decisions", ()),
                 enabled_after=rec.get("enabled_after", ()),
+                strategy=rec.get("strategy"),
+                seed=rec.get("seed"),
+                history_ref=rec.get("history_ref"),
             )
         return store

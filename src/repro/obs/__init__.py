@@ -48,6 +48,7 @@ from .history import (
     combine_digests,
     environment_fingerprint,
     export_bench,
+    export_suspicion,
     report_digest,
     resolve_history_dir,
     subtree_spans,
@@ -107,6 +108,7 @@ __all__ = [
     "current_tracer",
     "environment_fingerprint",
     "export_bench",
+    "export_suspicion",
     "gate",
     "read_jsonl",
     "render_dashboard",

@@ -10,6 +10,12 @@ the evaluation cares about:
 * node-coalescing reduction ratio (graph nodes / trace ops);
 * reported race count.
 
+A dedicated exploration panel sits above the per-key cards whenever the
+store holds ``bench.exploration`` records: one small multiple per
+strategy (guided / monkey / dynodroid / dfs) charting races found per
+100 sequences across benchmark runs — the guided-vs-blind gap over
+time, straight off each record's ``extra["exploration"]`` summary.
+
 Each chart is a single series (the key names it), so there are no
 legends; every marker carries a native ``<title>`` tooltip with the
 run id, date, and exact value, and a full run table sits below the
@@ -257,6 +263,63 @@ _METRICS: List[Tuple[str, Callable, Callable[[float], str]]] = [
 ]
 
 
+#: Exploration-panel chart order: the strategy under test first, then
+#: the blind baselines it is measured against.
+_STRATEGY_ORDER = ("guided", "monkey", "dynodroid", "dfs")
+
+
+def _exploration_summary(record: RunRecord) -> Optional[dict]:
+    """The per-strategy aggregate of one ``bench.exploration`` record —
+    ``extra["exploration"]``, falling back to the full payload's
+    ``strategies`` map for records written without the summary."""
+    extra = record.extra or {}
+    summary = extra.get("exploration")
+    if isinstance(summary, dict) and summary:
+        return summary
+    payload = extra.get("payload")
+    if isinstance(payload, dict):
+        strategies = payload.get("strategies")
+        if isinstance(strategies, dict) and strategies:
+            return strategies
+    return None
+
+
+def _exploration_panel(records: Sequence[RunRecord]) -> Optional[str]:
+    """The strategy small-multiples card, or ``None`` without data."""
+    bench = [
+        record
+        for record in records
+        if record.command == "bench.exploration"
+        and _exploration_summary(record) is not None
+    ]
+    if not bench:
+        return None
+    charts: List[str] = []
+    for strategy in _STRATEGY_ORDER:
+
+        def races_per_100(record: RunRecord, s: str = strategy) -> Optional[float]:
+            stats = _exploration_summary(record).get(s)
+            if isinstance(stats, dict):
+                return stats.get("races_per_100_sequences")
+            return None
+
+        series = _metric_series(bench, races_per_100)
+        if not series:
+            continue
+        charts.append(
+            '<div class="chart"><p class="title">%s</p>%s</div>'
+            % (html.escape(strategy), _chart_svg(series, _fmt_value))
+        )
+    if not charts:
+        return None
+    return (
+        '<section class="card"><h2>exploration: races per 100 sequences</h2>'
+        '<p class="key">%d benchmark run(s) · one chart per strategy '
+        "(bench.exploration)</p>"
+        '<div class="row">%s</div></section>' % (len(bench), "".join(charts))
+    )
+
+
 def _key_label(record: RunRecord) -> str:
     subject = record.app or record.trace_name or record.trace_digest[:12]
     bits = [record.command, subject]
@@ -274,6 +337,9 @@ def render_dashboard(records: List[RunRecord], title: str = "droidracer runs") -
     keys = sorted(by_key, key=lambda k: (-len(by_key[k]), by_key[k][0].timestamp))
 
     cards: List[str] = []
+    exploration = _exploration_panel(records)
+    if exploration is not None:
+        cards.append(exploration)
     for key in keys:
         group = by_key[key]
         charts: List[str] = []

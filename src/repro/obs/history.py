@@ -55,6 +55,7 @@ __all__ = [
     "combine_digests",
     "environment_fingerprint",
     "export_bench",
+    "export_suspicion",
     "report_digest",
     "resolve_history_dir",
     "subtree_spans",
@@ -414,10 +415,14 @@ class HistoryStore:
 #: JSON file each one projects to (``obs history --export-bench``).
 BENCH_VIEWS = {
     "bench.closure": "BENCH_closure.json",
+    "bench.exploration": "BENCH_exploration.json",
     "bench.reachability": "BENCH_reachability.json",
     "bench.service": "BENCH_service.json",
     "bench.triage": "BENCH_triage.json",
 }
+
+#: File name of the :func:`export_suspicion` derived view.
+SUSPICION_FILE = "suspicion_index.json"
 
 
 def export_bench(store: HistoryStore, out_dir: str) -> List[str]:
@@ -442,3 +447,25 @@ def export_bench(store: HistoryStore, out_dir: str) -> List[str]:
             handle.write("\n")
         written.append(path)
     return written
+
+
+def export_suspicion(
+    store: HistoryStore, out_dir: str, app: Optional[str] = None
+) -> Optional[str]:
+    """Write the mined suspicion index as a derived view, keyed like
+    :func:`export_bench`: every record carrying ``extra["suspicion"]``
+    signal documents contributes, and the result
+    (``suspicion_index.json``) is exactly what
+    ``GuidedExplorer`` would mine from this store.  Returns the path
+    written, or ``None`` when no record carries signals."""
+    from repro.explorer.suspicion import SuspicionIndex
+
+    index = SuspicionIndex.mine(store.records(), app=app)
+    if index.is_empty():
+        return None
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, SUSPICION_FILE)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(index.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -418,3 +418,97 @@ class TestObsCommands:
         assert recorded == plain
         assert "metrics" not in recorded
         assert "history:" in captured.err
+
+
+class TestGuidedExploreCli:
+    """The corpus -> explorer feedback loop at the CLI surface."""
+
+    @pytest.fixture(autouse=True)
+    def _no_ambient_history(self, monkeypatch):
+        from repro.obs import HISTORY_ENV
+
+        monkeypatch.delenv(HISTORY_ENV, raising=False)
+
+    def test_guided_without_history_degrades(self, capsys):
+        argv = [
+            "explore", "music-player", "--strategy", "guided",
+            "--budget", "3", "--sequences", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "degrades to seeded-random" in out
+        assert "music-player/guided:" in out
+
+    def test_random_baseline_strategies(self, capsys):
+        for strategy in ("monkey", "dynodroid"):
+            argv = [
+                "explore", "music-player", "--strategy", strategy,
+                "--budget", "3", "--sequences", "2",
+            ]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "music-player/%s" % strategy in out
+
+    def test_feedback_loop_end_to_end(self, tmp_path, capsys):
+        import json
+
+        hist = str(tmp_path / "hist")
+        # Seed: a systematic exploration records suspicion documents.
+        assert main(
+            ["explore", "music-player", "--depth", "1", "--max-runs", "4",
+             "--history", hist]
+        ) == 0
+        capsys.readouterr()
+        # Mine and inspect the index.
+        assert main(["obs", "suspicion", "--history", hist]) == 0
+        out = capsys.readouterr().out
+        assert "location" in out and "score" in out
+        assert main(
+            ["obs", "suspicion", "--history", hist, "--app", "music-player",
+             "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "music-player" in doc["apps"]
+        # Consume: guided exploration mines the same store.
+        assert main(
+            ["explore", "music-player", "--strategy", "guided",
+             "--budget", "3", "--sequences", "2", "--history", hist]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "suspicion index:" in out and "scored location" in out
+
+    def test_obs_suspicion_export(self, tmp_path, capsys):
+        hist = str(tmp_path / "hist")
+        assert main(
+            ["explore", "music-player", "--depth", "1", "--max-runs", "4",
+             "--history", hist]
+        ) == 0
+        capsys.readouterr()
+        export = tmp_path / "exported"
+        assert main(
+            ["obs", "suspicion", "--history", hist, "--export", str(export)]
+        ) == 0
+        assert (export / "suspicion_index.json").exists()
+
+    def test_obs_suspicion_without_signals_is_an_error(self, tmp_path, capsys):
+        from repro.apps.paper_traces import figure4_trace
+
+        trace = tmp_path / "fig4.jsonl"
+        trace.write_text(figure4_trace().to_jsonl())
+        hist = str(tmp_path / "hist")
+        assert main(["analyze", str(trace), "--history", hist]) == 0
+        capsys.readouterr()
+        assert main(["obs", "suspicion", "--history", hist]) == 1
+        assert "no suspicion signals" in capsys.readouterr().err
+
+    def test_history_never_changes_explore_output(self, tmp_path, capsys):
+        """The feedback loop is additive: a DFS exploration's stdout is
+        byte-identical with and without ``--history``."""
+        argv = ["explore", "music-player", "--depth", "1", "--max-runs", "3"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        hist = str(tmp_path / "hist")
+        assert main(argv + ["--history", hist]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "history:" in captured.err

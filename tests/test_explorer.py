@@ -64,6 +64,43 @@ class TestSequenceStore:
         run = store.record([], trace=None)
         assert "<empty>" in run.describe()
 
+    def test_provenance_round_trip(self, tmp_path):
+        store = SequenceStore()
+        store.record(
+            ["a", "b"],
+            trace=None,
+            strategy="guided.inject",
+            seed=7,
+            history_ref="runs",
+        )
+        path = tmp_path / "store.jsonl"
+        store.save(path)
+        run = SequenceStore.load(path).lookup(["a", "b"])
+        assert run.strategy == "guided.inject"
+        assert run.seed == 7
+        assert run.history_ref == "runs"
+
+    def test_provenance_unaware_records_keep_old_schema(self):
+        """Records without provenance serialize without the keys — stores
+        written by older strategies stay byte-identical."""
+        import json
+
+        store = SequenceStore()
+        store.record(["a"], trace=None, enabled_after=["b"])
+        (record,) = json.loads(store.to_json())
+        assert set(record) == {"run_id", "sequence", "decisions", "enabled_after"}
+
+    def test_old_files_without_provenance_load(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"run_id": 0, "sequence": ["a"], "decisions": [], '
+            '"enabled_after": []}\n'
+        )
+        run = SequenceStore.load(path).lookup(["a"])
+        assert run.strategy is None
+        assert run.seed is None
+        assert run.history_ref is None
+
 
 class TestExploration:
     def test_depth_zero_single_run(self):

@@ -386,10 +386,15 @@ class TestCliSurface:
 
         report = detect_races(ExecutionTrace.load(trace_path, name=trace_path))
         expected = report_to_json(report)
-        # analysis_seconds varies run to run; compare everything else
+        # analysis_seconds and the machine-volatile closure memory fields
+        # (the ones report digests exclude) vary run to run; compare
+        # everything else
         got = json.loads(out)
         want = json.loads(expected)
         got.pop("analysis_seconds"), want.pop("analysis_seconds")
+        for doc in (got, want):
+            for key in ("memory_bytes", "peak_rss_bytes"):
+                doc.get("closure", {}).pop(key, None)
         assert got == want
         assert "metrics" not in got
 
@@ -700,3 +705,46 @@ class TestDashboard:
     def test_render_empty_history(self):
         html = render_dashboard([], title="empty")
         assert "no runs recorded" in html.lower()
+
+    def test_exploration_panel_from_bench_records(self):
+        summary = {
+            strategy: {"races_per_100_sequences": per100}
+            for strategy, per100 in (
+                ("guided", 1600.0),
+                ("monkey", 980.0),
+                ("dynodroid", 610.0),
+                ("dfs", 880.0),
+            )
+        }
+        bench = RunRecord(
+            command="bench.exploration",
+            trace_digest="e" * 64,
+            config_digest="c" * 64,
+            race_count=42,
+            extra={"exploration": summary},
+        )
+        html = render_dashboard([bench, _make_record()])
+        assert "exploration: races per 100 sequences" in html
+        for strategy in ("guided", "monkey", "dynodroid", "dfs"):
+            assert ">%s</p>" % strategy in html
+
+    def test_exploration_panel_falls_back_to_payload(self):
+        bench = RunRecord(
+            command="bench.exploration",
+            trace_digest="e" * 64,
+            config_digest="c" * 64,
+            extra={
+                "payload": {
+                    "strategies": {
+                        "guided": {"races_per_100_sequences": 1500.0}
+                    }
+                }
+            },
+        )
+        html = render_dashboard([bench])
+        assert "exploration: races per 100 sequences" in html
+        assert ">guided</p>" in html
+
+    def test_no_exploration_panel_without_bench_records(self):
+        html = render_dashboard([_make_record()])
+        assert "exploration: races per 100 sequences" not in html

@@ -1,0 +1,271 @@
+"""Tests for the suspiciousness feedback loop: per-location scoring,
+index mining, and guided exploration's use (and non-use) of the signal."""
+
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.paper_traces import figure4_trace
+from repro.apps.registry import DEMO_APPS
+from repro.core.classification import RaceCategory
+from repro.core.race_detector import RaceDetector
+from repro.explorer import (
+    GuidedExplorer,
+    LocationSignal,
+    MonkeyExplorer,
+    SuspicionIndex,
+    signal_document,
+)
+
+
+def _document(trace, app="app", events=(), escalated=False):
+    detector = RaceDetector(trace)
+    report = detector.detect()
+    return signal_document(
+        app, trace, detector.hb, report, events=events, escalated=escalated
+    ), report
+
+
+class TestScoring:
+    def test_docs_worked_example(self):
+        """The worked example in docs/exploration.md, pinned: 10 pairs,
+        4 racy, 2 near misses, 2 categories, 1 of 2 traces escalated."""
+        signal = LocationSignal(location="L")
+        signal.merge(
+            {
+                "conflicting_pairs": 5,
+                "racy_pairs": 2,
+                "near_misses": 1,
+                "categories": ["multithreaded"],
+            },
+            events=["click:a"],
+            escalated=True,
+        )
+        signal.merge(
+            {
+                "conflicting_pairs": 5,
+                "racy_pairs": 2,
+                "near_misses": 1,
+                "categories": ["co-enabled"],
+            },
+            events=["click:a"],
+            escalated=False,
+        )
+        assert signal.traces == 2
+        assert signal.score() == pytest.approx(0.35)
+
+    def test_race_free_location_scores_zero(self):
+        signal = LocationSignal(location="L")
+        signal.merge(
+            {"conflicting_pairs": 8, "racy_pairs": 0, "near_misses": 0,
+             "categories": []},
+            events=["click:a"],
+            escalated=False,
+        )
+        assert signal.score() == 0.0
+        # Race-free runs teach nothing about provoking events either.
+        assert signal.events == {}
+
+    def test_unordered_pair_density_dominates(self):
+        """A location with unordered conflicting pairs outscores an
+        otherwise-identical race-free one."""
+        racy = LocationSignal(location="racy")
+        quiet = LocationSignal(location="quiet")
+        racy.merge(
+            {"conflicting_pairs": 10, "racy_pairs": 4, "near_misses": 0,
+             "categories": ["multithreaded"]},
+            events=["click:a"],
+            escalated=False,
+        )
+        quiet.merge(
+            {"conflicting_pairs": 10, "racy_pairs": 0, "near_misses": 0,
+             "categories": []},
+            events=["click:a"],
+            escalated=False,
+        )
+        assert racy.score() > quiet.score() == 0.0
+
+    def test_scores_stay_in_unit_interval(self):
+        signal = LocationSignal(location="L")
+        signal.merge(
+            {
+                "conflicting_pairs": 4,
+                "racy_pairs": 4,
+                "near_misses": 0,
+                "categories": [c.value for c in RaceCategory],
+            },
+            events=["click:a"],
+            escalated=True,
+        )
+        assert 0.0 <= signal.score() <= 1.0
+
+
+class TestCollectSignals:
+    def test_figure4_racy_location_signals(self):
+        doc, report = _document(figure4_trace(), events=["back"])
+        assert report.races, "figure 4 must race"
+        racy_location = report.races[0].location
+        locations = doc["locations"]
+        assert racy_location in locations
+        signal = locations[racy_location]
+        assert signal["racy_pairs"] >= 1
+        assert signal["conflicting_pairs"] >= signal["racy_pairs"]
+        assert signal["categories"]
+
+    def test_signals_deterministic(self):
+        doc_a, _ = _document(figure4_trace(), events=["back"])
+        doc_b, _ = _document(figure4_trace(), events=["back"])
+        assert doc_a == doc_b
+
+    def test_racy_location_ranks_top(self):
+        doc, report = _document(figure4_trace())
+        index = SuspicionIndex()
+        index.observe(doc)
+        top = index.top("app", 1)
+        assert top and top[0][0] == report.races[0].location
+        assert top[0][1] > 0.0
+
+
+class TestSuspicionIndex:
+    def test_empty_index_uniform(self):
+        index = SuspicionIndex()
+        assert index.is_empty()
+        assert index.scores("any") == {}
+        assert index.event_affinity("any") == {}
+
+    def test_mine_filters_by_app(self):
+        doc, _ = _document(figure4_trace(), app="music")
+        records = [
+            types.SimpleNamespace(extra={"suspicion": doc}),
+            types.SimpleNamespace(extra={}),  # no signal: skipped
+            types.SimpleNamespace(extra={"suspicion": [doc, doc]}),  # multi
+        ]
+        index = SuspicionIndex.mine(records)
+        assert index.apps == ["music"]
+        assert SuspicionIndex.mine(records, app="other").is_empty()
+
+    def test_round_trip_preserves_scores(self):
+        doc, _ = _document(figure4_trace(), events=["back"], escalated=True)
+        index = SuspicionIndex()
+        index.observe(doc)
+        restored = SuspicionIndex.from_dict(index.to_dict())
+        assert restored.scores("app") == index.scores("app")
+        assert restored.event_affinity("app") == index.event_affinity("app")
+
+
+@st.composite
+def signal_documents(draw):
+    conflicting = draw(st.integers(min_value=0, max_value=20))
+    racy = draw(st.integers(min_value=0, max_value=conflicting))
+    near = draw(st.integers(min_value=0, max_value=conflicting - racy))
+    categories = draw(
+        st.lists(
+            st.sampled_from([c.value for c in RaceCategory]),
+            unique=True,
+            max_size=3,
+        )
+    )
+    events = draw(
+        st.lists(
+            st.sampled_from(["click:a", "click:b", "text:f='x'", "back"]),
+            unique=True,
+            max_size=3,
+        )
+    )
+    return {
+        "version": 1,
+        "app": "app",
+        "trace_name": "t",
+        "events": events,
+        "escalated": draw(st.booleans()),
+        "locations": {
+            "Loc@1.field": {
+                "conflicting_pairs": conflicting,
+                "racy_pairs": racy,
+                "near_misses": near,
+                "categories": categories,
+            }
+        },
+    }
+
+
+class TestDuplicationInvariance:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        docs=st.lists(signal_documents(), min_size=1, max_size=4),
+        copies=st.integers(min_value=2, max_value=4),
+    )
+    def test_scores_invariant_under_trace_duplication(self, docs, copies):
+        """Ten copies of the same run must not look ten times as
+        suspicious: every signal is a ratio."""
+        once = SuspicionIndex()
+        duplicated = SuspicionIndex()
+        for doc in docs:
+            once.observe(doc)
+            for _ in range(copies):
+                duplicated.observe(doc)
+        assert duplicated.scores("app") == pytest.approx(once.scores("app"))
+        assert duplicated.event_affinity("app") == pytest.approx(
+            once.event_affinity("app")
+        )
+
+
+class TestGuidedExplorer:
+    def test_empty_index_degrades_to_monkey_exactly(self):
+        """With no prior signal, the first guided session is bit-for-bit
+        MonkeyExplorer's sequence — same vocabulary, same draws."""
+        for seed in (0, 1, 5):
+            app = DEMO_APPS["music-player"]
+            guided = GuidedExplorer(app, budget=5, sequences=1, seed=seed).run()
+            monkey = MonkeyExplorer(app, budget=5, seed=seed).run()
+            assert guided.sessions[0].kind == "random"
+            assert guided.sessions[0].sequence == tuple(monkey.events_fired)
+
+    def test_guided_run_deterministic(self):
+        app = DEMO_APPS["music-player"]
+
+        def explore():
+            seed_doc, _ = _document(
+                figure4_trace(), app=app.name, events=["back"]
+            )
+            index = SuspicionIndex()
+            index.observe(seed_doc)
+            return GuidedExplorer(
+                app, index=index, budget=4, sequences=3, seed=0
+            ).run()
+
+        first, second = explore(), explore()
+        assert [s.sequence for s in first.sessions] == [
+            s.sequence for s in second.sessions
+        ]
+        assert first.races == second.races
+
+    def test_provenance_recorded(self):
+        app = DEMO_APPS["music-player"]
+        result = GuidedExplorer(
+            app, budget=3, sequences=2, seed=0, history_ref="hist-dir"
+        ).run()
+        assert result.store.runs
+        for run in result.store.runs:
+            assert run.strategy.startswith("guided")
+            assert run.seed is not None
+            assert run.history_ref == "hist-dir"
+
+    def test_online_index_learns_mid_run(self):
+        """Even with a cold prior, session results feed the online index,
+        so later sessions switch from random to guided."""
+        app = DEMO_APPS["music-player"]
+        result = GuidedExplorer(app, budget=4, sequences=4, seed=0).run()
+        kinds = [session.kind for session in result.sessions]
+        assert kinds[0] == "random"
+        if result.races:
+            assert any(kind != "random" for kind in kinds[1:])
+
+    def test_budget_and_sequences_validated(self):
+        app = DEMO_APPS["music-player"]
+        with pytest.raises(ValueError):
+            GuidedExplorer(app, budget=0)
+        with pytest.raises(ValueError):
+            GuidedExplorer(app, sequences=0)

@@ -59,6 +59,7 @@ REQUIRED_COVERAGE = [
     "obs compare",
     "obs gate",
     "obs dashboard",
+    "obs suspicion",
 ]
 
 FENCE_RE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)

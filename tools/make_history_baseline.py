@@ -19,8 +19,12 @@ gate as unchecked, never failed.
 The workload is deterministic end to end: a fixed-seed synthetic app
 run, three re-analyses of the saved trace (both reachability backends
 plus an escalated ``--triage vc`` run, which must reproduce the plain
-run's report digest), the two closure benchmark smoke sweeps, and the
-triage benchmark smoke gate.
+run's report digest), a DFS exploration followed by a guided one over
+the same store (covering ``extra["suspicion"]`` and
+``extra["exploration"]`` record shapes), the two closure benchmark
+smoke sweeps, the triage benchmark smoke gate, and the exploration
+benchmark smoke (the guided-vs-monkey floor, recorded as a
+``bench.exploration`` run).
 
 Usage:
 
@@ -110,9 +114,23 @@ def main(argv):
         run_cli(
             ["analyze", trace_path, "--triage", "vc", "--history", history]
         )
+    # Feedback-loop records: a DFS exploration seeds the store with
+    # suspicion signal documents, then a guided run mines that same
+    # store — together they pin the extra["suspicion"] and
+    # extra["exploration"] record shapes the dashboard and obs suspicion
+    # consume.
+    run_cli(
+        ["explore", "music-player", "--depth", "1", "--max-runs", "4",
+         "--history", history]
+    )
+    run_cli(
+        ["explore", "music-player", "--strategy", "guided", "--budget", "3",
+         "--sequences", "2", "--history", history]
+    )
     run_bench("--smoke", history)
     run_bench("--reachability-smoke", history)
     run_bench("--smoke", history, script="bench_triage.py")
+    run_bench("--smoke", history, script="bench_exploration.py")
 
     print("history store written to %s" % history)
     return 0
