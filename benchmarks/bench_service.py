@@ -18,6 +18,13 @@ Every configuration also verifies the served report against in-process
 detection (``report_digest`` equality) before recording a time — the
 numbers can never come from a diverging analysis.
 
+Beyond the per-size wall-clock rows, the sweep records
+histogram-derived latency quantiles (``service_latency`` in the result
+document): the server's own request-latency and job-run histograms
+scraped from ``/v1/metrics.json``, plus a client-side histogram over
+every cached resubmission — p50/p95/p99 each, landing in both
+``BENCH_service.json`` and the ``bench.service`` run-history payload.
+
     python benchmarks/bench_service.py          # full sweep, writes BENCH_service.json
     python benchmarks/bench_service.py --smoke  # tiny sizes, CI gate
 
@@ -42,6 +49,7 @@ sys.path.insert(0, SRC_DIR)
 from repro.apps.ladder import ladder_trace  # noqa: E402
 from repro.core.race_detector import DetectorConfig  # noqa: E402
 from repro.obs import (  # noqa: E402
+    Histogram,
     HistoryStore,
     RunRecord,
     combine_digests,
@@ -83,7 +91,37 @@ def _span_row(name, seconds, count):
     }
 
 
-def measure(client, levels, width, config):
+def _histogram_quantiles(hist_doc):
+    """p50/p95/p99 (+count) from one ``/v1/metrics.json`` histogram
+    aggregate or a local :class:`Histogram`'s ``to_json()``."""
+    return {
+        "count": int(hist_doc.get("count", 0)),
+        "p50": hist_doc.get("p50", 0.0),
+        "p95": hist_doc.get("p95", 0.0),
+        "p99": hist_doc.get("p99", 0.0),
+    }
+
+
+def service_latency_doc(client, cached_hist):
+    """Histogram-derived latency quantiles: the server's own
+    request-latency and job-run histograms (scraped from
+    ``/v1/metrics.json``) plus the client-observed cached-resubmit
+    histogram."""
+    telemetry = client.metrics_json()
+    by_name = {fam["name"]: fam for fam in telemetry.get("families", [])}
+
+    def aggregate(name):
+        fam = by_name.get(name) or {}
+        return _histogram_quantiles(fam.get("aggregate") or {})
+
+    return {
+        "http_request_seconds": aggregate("droidracer_http_request_seconds"),
+        "job_run_seconds": aggregate("droidracer_job_run_seconds"),
+        "cached_resubmit_seconds": _histogram_quantiles(cached_hist.to_json()),
+    }
+
+
+def measure(client, levels, width, config, cached_hist):
     trace = ladder_trace(levels, width, name="bench-%dx%d" % (levels, width))
     jsonl = trace.to_jsonl()
 
@@ -107,9 +145,10 @@ def measure(client, levels, width, config):
         % (levels, width)
     )
 
-    cached_seconds = min(
-        _timed_resubmit(client, jsonl, trace.name) for _ in range(3)
-    )
+    samples = [_timed_resubmit(client, jsonl, trace.name) for _ in range(3)]
+    for sample in samples:
+        cached_hist.observe(sample)
+    cached_seconds = min(samples)
     return {
         "levels": levels,
         "width": width,
@@ -144,8 +183,9 @@ def main(argv):
             store_root=tmp, config=config, jobs=0, queue_depth=64
         ) as server:
             client = ServiceClient(server.base_url, timeout=300)
+            cached_hist = Histogram()
             for levels, width in sizes:
-                row = measure(client, levels, width, config)
+                row = measure(client, levels, width, config, cached_hist)
                 rows.append(row)
                 print(
                     "ladder %2dx%-2d  %5d ops  %d races  ingest %6.1fms  "
@@ -163,7 +203,20 @@ def main(argv):
                 )
             status = server.service.status()
             assert status["queue"]["failed"] == 0, status["queue"]
+            latency = service_latency_doc(client, cached_hist)
             client.close()
+
+    request_agg = latency["http_request_seconds"]
+    print(
+        "server-side request latency  p50 %5.1fms  p95 %5.1fms  p99 %5.1fms"
+        "  (%d requests)"
+        % (
+            request_agg["p50"] * 1e3,
+            request_agg["p95"] * 1e3,
+            request_agg["p99"] * 1e3,
+            request_agg["count"],
+        )
+    )
 
     largest = rows[-1]
     if smoke:
@@ -173,6 +226,13 @@ def main(argv):
             "cached resubmit (%.1fms) not faster than fresh analysis (%.1fms)"
             % (largest["cached_seconds"] * 1e3, largest["e2e_seconds"] * 1e3)
         )
+        # The scraped histograms must be populated and monotone — the
+        # telemetry path runs under CI too, not only in tests.
+        for name, agg in latency.items():
+            assert agg["count"] > 0, "empty latency histogram %s" % name
+            assert 0.0 <= agg["p50"] <= agg["p95"] <= agg["p99"], (
+                "non-monotone quantiles in %s: %s" % (name, agg)
+            )
         print("smoke OK: reports identical, cache short-circuit effective")
         return 0
 
@@ -186,6 +246,7 @@ def main(argv):
         ],
         "largest_cached_speedup": largest["e2e_seconds"]
         / largest["cached_seconds"],
+        "service_latency": latency,
     }
     RESULTS.mkdir(exist_ok=True)
     out = RESULTS / "BENCH_service.json"

@@ -357,11 +357,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_backend(p_serve)
     p_serve.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="append structured JSON-lines event records (request ids "
+        "correlated to job ids, trace/config digests, active span) to "
+        "PATH; '-' logs to stderr",
+    )
+    p_serve.add_argument(
         "--self-test",
         action="store_true",
         help="boot an ephemeral server against a temp corpus, upload a "
         "known trace, verify the served report against offline analysis, "
         "and exit (used by docs_check and CI)",
+    )
+    p_serve.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="with --self-test: also save the server's /v1/metrics.json "
+        "document to FILE (a snapshot `droidracer obs top --snapshot` "
+        "can render)",
     )
     p_serve.add_argument(
         "--no-drain",
@@ -371,7 +385,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     p_obs = sub.add_parser(
-        "obs", help="run-history store: list, compare, gate, dashboard, suspicion"
+        "obs",
+        help="observability: history, compare, gate, dashboard, suspicion, "
+        "and live `top` over a running service",
     )
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
 
@@ -448,6 +464,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="droidracer-dashboard.html",
         metavar="FILE",
         help="output path (default: %(default)s)",
+    )
+
+    p_otop = obs_sub.add_parser(
+        "top",
+        help="live terminal view of a running service's telemetry "
+        "(qps, latency quantiles, queue depth, triage filter rate)",
+    )
+    p_otop.add_argument(
+        "--url",
+        metavar="URL",
+        help="poll a running service (e.g. http://127.0.0.1:8333)",
+    )
+    p_otop.add_argument(
+        "--snapshot",
+        metavar="FILE",
+        help="render a saved /v1/metrics.json document instead of polling "
+        "(e.g. from `droidracer serve --self-test --metrics-out FILE`)",
+    )
+    p_otop.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll/redraw interval on a TTY (default: %(default)s)",
+    )
+    p_otop.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N redraws (default: 0 = until interrupted; "
+        "a non-TTY stdout always renders exactly one static snapshot)",
     )
 
     p_osusp = obs_sub.add_parser(
@@ -1114,7 +1162,12 @@ def _serve_main(args: argparse.Namespace) -> int:
     history_dir = resolve_history_dir(getattr(args, "history", None))
 
     if args.self_test:
-        return _serve_self_test(config, history_dir)
+        return _serve_self_test(
+            config,
+            history_dir,
+            metrics_out=getattr(args, "metrics_out", None),
+            log_json=getattr(args, "log_json", None),
+        )
 
     import asyncio
     import signal
@@ -1134,6 +1187,7 @@ def _serve_main(args: argparse.Namespace) -> int:
         history_dir=history_dir,
         drain=not args.no_drain,
         max_body_bytes=args.max_body_bytes or DEFAULT_MAX_BODY_BYTES,
+        log_json=args.log_json,
     )
 
     async def _amain() -> None:
@@ -1172,11 +1226,18 @@ def _serve_main(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_self_test(config, history_dir: Optional[str]) -> int:
+def _serve_self_test(
+    config,
+    history_dir: Optional[str],
+    metrics_out: Optional[str] = None,
+    log_json: Optional[str] = None,
+) -> int:
     """Boot an ephemeral server on a temp corpus, drive one trace
     through the full upload → analyze → report → stream path over a
     real socket, and verify the served report against in-process
-    detection.  The runnable ``serve`` example for docs_check and CI."""
+    detection.  The runnable ``serve`` example for docs_check and CI.
+    ``metrics_out`` saves the server's ``/v1/metrics.json`` document —
+    a snapshot ``droidracer obs top --snapshot`` can render offline."""
     import tempfile
 
     from repro.apps.paper_traces import figure4_trace
@@ -1191,6 +1252,7 @@ def _serve_self_test(config, history_dir: Optional[str]) -> int:
             jobs=0,
             queue_depth=8,
             history_dir=history_dir,
+            log_json=log_json,
         ) as server:
             client = ServiceClient(server.base_url)
             payload = client.upload(
@@ -1220,6 +1282,12 @@ def _serve_self_test(config, history_dir: Optional[str]) -> int:
                     file=sys.stderr,
                 )
                 return 1
+            if metrics_out:
+                doc = client.metrics_json()
+                with open(metrics_out, "w", encoding="utf-8") as handle:
+                    json.dump(doc, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                print("metrics snapshot written to %s" % metrics_out)
             print(
                 "serve self-test OK: %s analyzed over HTTP "
                 "(%d races, report digest matches offline analysis)"
@@ -1367,6 +1435,23 @@ def _obs_main(args: argparse.Namespace) -> int:
         write_dashboard,
     )
     from repro.obs.history import RunRecordError
+
+    if args.obs_command == "top":
+        # Live telemetry, not the history store: no --history required.
+        from repro.obs.top import run_top
+
+        if bool(args.url) == bool(args.snapshot):
+            print(
+                "obs top: pass exactly one of --url or --snapshot",
+                file=sys.stderr,
+            )
+            return 1
+        return run_top(
+            url=args.url,
+            snapshot=args.snapshot,
+            interval=args.interval,
+            iterations=args.iterations,
+        )
 
     history_dir = resolve_history_dir(getattr(args, "history", None))
     if not history_dir:

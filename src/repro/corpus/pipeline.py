@@ -14,9 +14,10 @@ Invariants this module maintains:
   for the other traces.
 * **Picklability by construction** — workers receive
   ``(digest, path, name, DetectorConfig, collect_obs, timeout)`` tuples
-  and return ``(digest, report_dict, error, seconds, obs_snapshot)``
-  tuples of plain values; nothing that crosses the process boundary
-  holds a handle, a lock, or a live object.
+  and return ``(digest, report_dict, error, seconds, obs_snapshot,
+  triage)`` tuples of plain values (the obs snapshot carries a
+  ``"metrics"`` registry snapshot when collected); nothing that crosses
+  the process boundary holds a handle, a lock, or a live object.
 * **Bounded time per trace** — an optional ``timeout`` budget aborts a
   runaway analysis inside the worker (``SIGALRM``) and surfaces as an
   ``AnalysisTimeout`` error on that trace's result; the batch never
@@ -51,7 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.race_detector import DetectorConfig, RaceReport
 from repro.core.trace import ExecutionTrace
 from repro.core.vc_triage import TRIAGE_VC, triage_races
-from repro.obs import Tracer, current_tracer, use_tracer
+from repro.obs import Tracer, current_registry, current_tracer, use_tracer
 
 from .cache import ResultCache
 from .store import TraceEntry, TraceStore
@@ -223,7 +224,21 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
     timing from a single source.
     """
     digest, path, name, config, collect_obs, timeout = args
-    tracer = Tracer() if collect_obs else current_tracer()
+    if collect_obs:
+        # The worker's spans double as live-metrics data: a private
+        # registry bridged to the tracer accumulates per-span-name
+        # histograms, and its picklable snapshot rides home in the obs
+        # dict (`obs["metrics"]`) for an order-independent merge into
+        # the parent's registry.  The service ignores this slot — its
+        # own bridged tracer histograms merged worker spans directly.
+        from repro.obs.metrics import MetricsRegistry, SpanHistogramSink
+
+        registry = MetricsRegistry()
+        tracer = Tracer(sinks=None)
+        tracer.sinks.append(SpanHistogramSink(registry))
+    else:
+        registry = None
+        tracer = current_tracer()
     report_dict: Optional[dict] = None
     error: Optional[str] = None
     triage_dict: Optional[dict] = None
@@ -259,6 +274,8 @@ def _analyze_one(args: _WorkerArgs) -> _WorkerResult:
                 error = "%s: %s" % (exc.__class__.__name__, exc)
                 span.set(error=error)
     obs = tracer.snapshot() if collect_obs else None
+    if obs is not None and registry is not None:
+        obs["metrics"] = registry.snapshot()
     return (digest, report_dict, error, span.wall_seconds, obs, triage_dict)
 
 
@@ -318,6 +335,9 @@ class BatchAnalyzer:
                     # Graft the worker's span tree (and counters) under
                     # this batch's span — one merged timeline.
                     tracer.merge(obs, parent=batch_span)
+                    registry = current_registry()
+                    if registry.enabled and obs.get("metrics"):
+                        registry.merge(obs["metrics"])
                 filtered = (
                     triage is not None and triage.get("verdict") == "filtered"
                 )

@@ -31,11 +31,25 @@ On top of the tracer sits the **run history** layer:
 * :mod:`repro.obs.dashboard` — self-contained static HTML time series
   over the store.
 
+Alongside the post-hoc layers sits the **live telemetry** layer:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of labeled
+  counters, gauges, and base-2 exponential :class:`Histogram`\\ s with
+  interpolated quantiles, picklable order-independent snapshots, a
+  Prometheus text renderer (:func:`render_prometheus`), and the
+  :class:`SpanHistogramSink` tracer bridge (every finished span's wall
+  time becomes histogram data, zero call-site changes);
+* :mod:`repro.obs.logging` — :class:`JsonLogger`, JSON-lines events
+  with correlation ids and the active span name
+  (``serve --log-json``);
+* :mod:`repro.obs.top` — ``droidracer obs top``, a live terminal view
+  over ``/v1/metrics.json`` or a snapshot file.
+
 CLI surface: ``--metrics`` (summary table on stderr), ``--trace-out
 FILE`` (Chrome trace JSON), and ``--history DIR`` on ``run``, ``demo``,
 ``explore``, ``analyze``, ``corpus analyze``, and the table commands; a
 ``metrics`` block in ``--json`` reports; the ``droidracer obs
-history|compare|gate|dashboard`` subcommand family over the store.
+history|compare|gate|dashboard|top`` subcommand family.
 Schema, naming conventions, and a Perfetto walkthrough:
 ``docs/observability.md``.
 """
@@ -52,6 +66,22 @@ from .history import (
     report_digest,
     resolve_history_dir,
     subtree_spans,
+)
+from .logging import JsonLogger, NULL_LOGGER, NullLogger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    SpanHistogramSink,
+    current_registry,
+    render_prometheus,
+    rss_bytes,
+    set_registry,
+    use_registry,
 )
 from .regression import (
     GateResult,
@@ -85,19 +115,30 @@ from .tracer import (
 
 __all__ = [
     "ChromeTraceSink",
+    "Counter",
+    "Gauge",
     "GateResult",
     "GateViolation",
     "HISTORY_ENV",
+    "Histogram",
     "HistoryStore",
+    "JsonLogger",
     "JsonlSink",
     "MemorySink",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_LOGGER",
+    "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullLogger",
+    "NullRegistry",
     "NullTracer",
     "RunComparison",
     "RunRecord",
     "Sink",
     "Span",
     "SpanDelta",
+    "SpanHistogramSink",
     "SpanRecord",
     "SummarySink",
     "Tracer",
@@ -105,6 +146,7 @@ __all__ = [
     "chrome_trace_dict",
     "combine_digests",
     "compare",
+    "current_registry",
     "current_tracer",
     "environment_fingerprint",
     "export_bench",
@@ -112,11 +154,15 @@ __all__ = [
     "gate",
     "read_jsonl",
     "render_dashboard",
+    "render_prometheus",
     "render_summary",
     "report_digest",
     "resolve_history_dir",
+    "rss_bytes",
+    "set_registry",
     "set_tracer",
     "subtree_spans",
+    "use_registry",
     "use_tracer",
     "write_dashboard",
 ]

@@ -15,6 +15,10 @@ store holds ``bench.exploration`` records: one small multiple per
 strategy (guided / monkey / dynodroid / dfs) charting races found per
 100 sequences across benchmark runs — the guided-vs-blind gap over
 time, straight off each record's ``extra["exploration"]`` summary.
+Likewise a service panel appears whenever ``bench.service`` records
+exist, charting the histogram-derived latency quantiles (request
+p50/p95/p99, job-run p95, cached-resubmit p95) from each record's
+``service_latency`` payload.
 
 Each chart is a single series (the key names it), so there are no
 legends; every marker carries a native ``<title>`` tooltip with the
@@ -320,6 +324,64 @@ def _exploration_panel(records: Sequence[RunRecord]) -> Optional[str]:
     )
 
 
+#: Service-latency charts: (title, ``service_latency`` family, quantile).
+_SERVICE_CHARTS = (
+    ("request p50", "http_request_seconds", "p50"),
+    ("request p95", "http_request_seconds", "p95"),
+    ("request p99", "http_request_seconds", "p99"),
+    ("job run p95", "job_run_seconds", "p95"),
+    ("cached resubmit p95", "cached_resubmit_seconds", "p95"),
+)
+
+
+def _service_latency(record: RunRecord) -> Optional[dict]:
+    """The ``service_latency`` block of one ``bench.service`` payload."""
+    payload = (record.extra or {}).get("payload")
+    if isinstance(payload, dict):
+        latency = payload.get("service_latency")
+        if isinstance(latency, dict) and latency:
+            return latency
+    return None
+
+
+def _service_panel(records: Sequence[RunRecord]) -> Optional[str]:
+    """The service latency-quantile card, or ``None`` without data."""
+    bench = [
+        record
+        for record in records
+        if record.command == "bench.service"
+        and _service_latency(record) is not None
+    ]
+    if not bench:
+        return None
+    charts: List[str] = []
+    for title, family, quantile in _SERVICE_CHARTS:
+
+        def value_of(
+            record: RunRecord, f: str = family, q: str = quantile
+        ) -> Optional[float]:
+            stats = _service_latency(record).get(f)
+            if isinstance(stats, dict):
+                return stats.get(q)
+            return None
+
+        series = _metric_series(bench, value_of)
+        if not series:
+            continue
+        charts.append(
+            '<div class="chart"><p class="title">%s</p>%s</div>'
+            % (html.escape(title), _chart_svg(series, lambda v: "%.1fms" % (v * 1e3)))
+        )
+    if not charts:
+        return None
+    return (
+        '<section class="card"><h2>service: latency quantiles</h2>'
+        '<p class="key">%d benchmark run(s) · histogram-derived p50/p95/p99 '
+        "(bench.service)</p>"
+        '<div class="row">%s</div></section>' % (len(bench), "".join(charts))
+    )
+
+
 def _key_label(record: RunRecord) -> str:
     subject = record.app or record.trace_name or record.trace_digest[:12]
     bits = [record.command, subject]
@@ -340,6 +402,9 @@ def render_dashboard(records: List[RunRecord], title: str = "droidracer runs") -
     exploration = _exploration_panel(records)
     if exploration is not None:
         cards.append(exploration)
+    service = _service_panel(records)
+    if service is not None:
+        cards.append(service)
     for key in keys:
         group = by_key[key]
         charts: List[str] = []

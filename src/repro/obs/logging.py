@@ -1,0 +1,161 @@
+"""Structured JSON-lines event logging with correlation ids.
+
+The service used ad-hoc ``print(..., file=sys.stderr)`` for operational
+events, which is unparseable and loses the context an operator needs
+("which job? which trace?").  :class:`JsonLogger` replaces that with one
+JSON object per line::
+
+    {"ts": 1754650000.123, "level": "info", "event": "job.done",
+     "span": "service.job", "request_id": "req-000017",
+     "job_id": "job-...", "trace_digest": "sha256:...",
+     "config_digest": "sha256:...", "seconds": 0.04, "races": 2}
+
+Conventions:
+
+* ``event`` is dotted ``area.action`` (``request.done``, ``job.start``,
+  ``pool.rebuild``), mirroring span and counter naming;
+* correlation ids are plain fields — ``request_id`` is minted per HTTP
+  request and propagated to the ``job.*`` events of the job that
+  request submitted, which carry ``job_id``/``trace_digest``/
+  ``config_digest``, so one ``grep`` follows a trace end to end;
+* every record carries the active tracer span name under ``span``
+  (when a tracer is live), so logs join against Chrome traces and span
+  histograms on the same key.
+
+:meth:`JsonLogger.bind` returns a child logger with fields pre-bound
+(e.g. a per-request logger with ``request_id`` fixed); children share
+the parent's stream and lock.  :data:`NULL_LOGGER` is the no-op default
+so call sites never guard on "is logging on?".
+
+Enabled via ``droidracer serve --log-json PATH`` (``-`` for stderr).
+See ``docs/observability.md`` for the event schema.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional, Union
+
+from .tracer import current_tracer
+
+__all__ = [
+    "JsonLogger",
+    "NULL_LOGGER",
+    "NullLogger",
+]
+
+
+class NullLogger:
+    """Logging disabled: every call is a no-op."""
+
+    enabled = False
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> None:
+        pass
+
+    def error(self, event: str, **fields: Any) -> None:
+        pass
+
+    def warn(self, event: str, **fields: Any) -> None:
+        pass
+
+    def bind(self, **fields: Any) -> "NullLogger":
+        return self
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared no-op logger (structured logging off).
+NULL_LOGGER = NullLogger()
+
+
+class JsonLogger:
+    """Append JSON-lines event records to a stream or file.
+
+    Accepts a path (opened/closed by the logger), ``"-"`` (stderr, left
+    open), or an open file object (left open).  Thread-safe: one lock
+    serializes writes, and each record is a single ``write`` call so
+    lines never interleave.  Non-serializable field values degrade to
+    ``repr`` rather than raising — logging must never take down the
+    request it describes.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        tracer: Optional[Any] = None,
+        _parent: Optional["JsonLogger"] = None,
+        _bound: Optional[Dict[str, Any]] = None,
+    ):
+        #: Where the ``span`` field comes from: an explicit tracer (the
+        #: service passes its own, which is not the process global) or,
+        #: when ``None``, whatever ``current_tracer()`` resolves to.
+        self._tracer = tracer if tracer is not None else (
+            _parent._tracer if _parent is not None else None
+        )
+        if _parent is not None:
+            self._handle = _parent._handle
+            self._lock = _parent._lock
+            self._owns = False
+        elif hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._lock = threading.Lock()
+            self._owns = False
+        elif target == "-":
+            self._handle = sys.stderr
+            self._lock = threading.Lock()
+            self._owns = False
+        else:
+            self._handle = open(target, "a", encoding="utf-8")
+            self._lock = threading.Lock()
+            self._owns = True
+        self._bound: Dict[str, Any] = dict(_bound or {})
+
+    def bind(self, **fields: Any) -> "JsonLogger":
+        """A child logger with ``fields`` merged into every record."""
+        merged = dict(self._bound)
+        merged.update(fields)
+        return JsonLogger("", _parent=self, _bound=merged)
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> None:
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+        }
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        span = tracer.current_span_name()
+        if span is not None:
+            record["span"] = span
+        record.update(self._bound)
+        record.update(fields)
+        try:
+            line = json.dumps(record, sort_keys=True, default=repr)
+        except Exception:  # a field whose repr() itself raises
+            line = json.dumps({"ts": record["ts"], "level": "error",
+                               "event": "log.unserializable", "source": event})
+        with self._lock:
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except (OSError, ValueError):
+                pass  # a torn pipe must not kill the server
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(event, level="error", **fields)
+
+    def warn(self, event: str, **fields: Any) -> None:
+        self.log(event, level="warn", **fields)
+
+    def close(self) -> None:
+        if self._owns:
+            try:
+                self._handle.close()
+            except OSError:
+                pass

@@ -1,0 +1,684 @@
+"""Live metrics: labeled counters, gauges, and exponential histograms.
+
+Where :mod:`repro.obs.tracer` answers *what happened* (a span tree you
+read after the run), this module answers *what is happening* — compact
+aggregates a live endpoint can serve on every scrape:
+
+* **Counter** — monotonically increasing totals (requests served,
+  traces triage-filtered).  Merging snapshots sums them.
+* **Gauge** — point-in-time values (queue depth, RSS).  Numeric gauges
+  merge as **max**, matching the tracer's gauge convention: worker
+  order is nondeterministic, so "largest observed" is the only merge
+  that is both meaningful and order-independent.
+* **Histogram** — base-2 exponential buckets over positive values.
+  A value ``v`` lands in the bucket with upper bound ``2**k`` where
+  ``2**(k-1) < v <= 2**k`` (``math.frexp`` gives the exponent without
+  logarithms).  Buckets are a sparse dict, so the dynamic range is
+  wide (nanoseconds to gigabytes) at no cost for unused decades.
+  Quantiles (:meth:`Histogram.quantile`) interpolate linearly inside
+  the covering bucket and clamp to the observed min/max, which keeps
+  ``q -> quantile(q)`` monotone — property-tested in
+  ``tests/test_metrics.py``.
+
+All three are addressed through a :class:`MetricsRegistry` of *families*
+(one name + label-name tuple, many labeled children), mirroring the
+Prometheus data model so :func:`render_prometheus` is a direct dump
+(text exposition format v0.0.4).
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain picklable dicts;
+:meth:`MetricsRegistry.merge` is order-independent (counters and
+histogram buckets sum, numeric gauges max), so BatchAnalyzer pool
+workers can each record into a private registry and the parent can fold
+the results in any completion order.
+
+The process-global *current* registry defaults to
+:data:`NULL_REGISTRY`, whose instruments are shared no-op singletons —
+``current_registry().counter(...).inc()`` allocates nothing when
+metrics are off, so hot paths may call it unconditionally.
+:class:`SpanHistogramSink` bridges the tracer: attach it to a
+:class:`~repro.obs.tracer.Tracer` and every finished span's wall time
+feeds a histogram keyed by span name — existing instrumentation becomes
+histogram data with zero call-site changes.
+
+See ``docs/observability.md`` for naming conventions and the scrape
+endpoints.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SpanHistogramSink",
+    "current_registry",
+    "render_prometheus",
+    "rss_bytes",
+    "set_registry",
+    "use_registry",
+]
+
+
+# -- histogram -----------------------------------------------------------------
+
+#: Bucket exponents are clamped to [_MIN_EXP, _MAX_EXP]: 2**-30 ~ 1ns as
+#: seconds up to 2**30 ~ 1 GiB as bytes — one scheme covers both units.
+_MIN_EXP = -30
+_MAX_EXP = 30
+
+
+def bucket_exponent(value: float) -> int:
+    """The ``k`` with ``2**(k-1) < value <= 2**k`` (clamped).
+
+    Non-positive values collapse into the smallest bucket: latencies and
+    sizes are non-negative by construction, and a degenerate 0.0 (clock
+    granularity) should count toward the count/sum without inventing a
+    sign-aware bucket scheme.
+    """
+    if value <= 0.0:
+        return _MIN_EXP
+    mantissa, exp = math.frexp(value)  # value = mantissa * 2**exp, 0.5 <= m < 1
+    if mantissa == 0.5:  # exact power of two sits on its bucket boundary
+        exp -= 1
+    return min(_MAX_EXP, max(_MIN_EXP, exp))
+
+
+class Histogram:
+    """Base-2 exponential histogram with interpolated quantiles.
+
+    Thread-safe for ``observe``; ``snapshot``/``merge`` are guarded by
+    the same lock.  State is four scalars plus a sparse exponent->count
+    dict, so snapshots stay small and picklable no matter how many
+    values were observed.
+    """
+
+    __slots__ = ("_lock", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        exp = bucket_exponent(value)
+        with self._lock:
+            self.buckets[exp] = self.buckets.get(exp, 0) + 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    # -- read-out --------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1), interpolated within the
+        covering bucket and clamped to the observed min/max.  Returns
+        0.0 for an empty histogram."""
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        target = q * self.count
+        cumulative = 0
+        for exp in sorted(self.buckets):
+            in_bucket = self.buckets[exp]
+            if cumulative + in_bucket >= target:
+                lo = 0.0 if exp <= _MIN_EXP else 2.0 ** (exp - 1)
+                hi = 2.0**exp
+                fraction = (target - cumulative) / in_bucket
+                value = lo + (hi - lo) * fraction
+                return min(self.max, max(self.min, value))
+            cumulative += in_bucket
+        return self.max
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        with self._lock:
+            return [self._quantile_locked(q) for q in qs]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "buckets": dict(self.buckets),
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+            }
+
+    def merge(self, snap: dict) -> None:
+        with self._lock:
+            for exp, n in snap.get("buckets", {}).items():
+                exp = int(exp)
+                self.buckets[exp] = self.buckets.get(exp, 0) + n
+            self.count += snap.get("count", 0)
+            self.sum += snap.get("sum", 0.0)
+            if snap.get("min") is not None:
+                self.min = min(self.min, snap["min"])
+            if snap.get("max") is not None:
+                self.max = max(self.max, snap["max"])
+
+    def to_json(self) -> dict:
+        """Snapshot plus derived quantiles — the ``/v1/metrics.json``
+        shape for one histogram child."""
+        with self._lock:
+            p50, p95, p99 = (self._quantile_locked(q) for q in (0.5, 0.95, 0.99))
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+                "buckets": dict(self.buckets),
+            }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Histogram":
+        hist = cls()
+        hist.merge(snap)
+        return hist
+
+
+# -- counters and gauges -------------------------------------------------------
+
+
+class Counter:
+    """Monotonic float total (per labeled child)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value; ``set_function`` makes it lazy (resolved
+    at collect/snapshot time — queue depth, RSS)."""
+
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+            self._fn = None
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return 0.0
+        with self._lock:
+            return self._value
+
+
+# -- the null instrument (shared, allocation-free) -----------------------------
+
+
+class _NullInstrument:
+    """Stands in for every instrument of :class:`NullRegistry`.
+
+    One shared instance answers every method, so disabled metrics cost
+    a dict miss and an attribute call — no allocation on the hot path.
+    """
+
+    def labels(self, **_labels: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    value = 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+# -- families ------------------------------------------------------------------
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricFamily:
+    """One metric name + label names; children keyed by label values.
+
+    A label-less family acts as its own single child: ``family.inc()``
+    is ``family.labels().inc()``.
+    """
+
+    def __init__(self, name: str, kind: str, help: str, labelnames: Tuple[str, ...]):
+        if kind not in _KINDS:
+            raise ValueError("unknown metric kind: %r" % (kind,))
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _make_child(self) -> Any:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram()
+
+    def labels(self, **labels: str) -> Any:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                "%s expects labels %r, got %r"
+                % (self.name, self.labelnames, tuple(sorted(labels)))
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    # label-less convenience: the family is its single child
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self.labels().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self.labels().quantile(q)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+    def aggregate(self) -> Histogram:
+        """All children folded into one histogram (histogram families
+        only) — the cross-label quantile ``obs top`` renders."""
+        merged = Histogram()
+        for _key, child in self.children():
+            merged.merge(child.snapshot())
+        return merged
+
+
+class MetricsRegistry:
+    """A process- or service-scoped set of metric families.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create by name (the
+    registered kind and label names must match on re-registration, so a
+    typo cannot silently fork a family).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(
+        self, name: str, kind: str, help: str, labelnames: Tuple[str, ...]
+    ) -> MetricFamily:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = MetricFamily(
+                    name, kind, help, labelnames
+                )
+            elif family.kind != kind or family.labelnames != labelnames:
+                raise ValueError(
+                    "metric %r re-registered as %s%r (was %s%r)"
+                    % (name, kind, labelnames, family.kind, family.labelnames)
+                )
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, tuple(labelnames))
+
+    def histogram(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, tuple(labelnames))
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain picklable dict of every family — the cross-process
+        wire format (workers snapshot, the parent merges)."""
+        families = []
+        for family in self.families():
+            children = []
+            for key, child in family.children():
+                if family.kind == "counter":
+                    data: Any = child.value
+                elif family.kind == "gauge":
+                    data = child.value
+                else:
+                    data = child.snapshot()
+                children.append({"labels": list(key), "data": data})
+            families.append(
+                {
+                    "name": family.name,
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labelnames": list(family.labelnames),
+                    "children": children,
+                }
+            )
+        return {"pid": os.getpid(), "families": families}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` in: counters and histogram buckets
+        sum, numeric gauges take the max — order-independent, so pool
+        workers may land in any completion order."""
+        for fam in snapshot.get("families", ()):
+            family = self._family(
+                fam["name"], fam["kind"], fam.get("help", ""),
+                tuple(fam.get("labelnames", ())),
+            )
+            for child in fam.get("children", ()):
+                labels = dict(zip(family.labelnames, child.get("labels", ())))
+                instrument = family.labels(**labels)
+                data = child.get("data")
+                if family.kind == "counter":
+                    instrument.inc(float(data))
+                elif family.kind == "gauge":
+                    instrument.set(max(instrument.value, float(data)))
+                else:
+                    instrument.merge(data)
+
+    def to_json_dict(self) -> dict:
+        """The ``/v1/metrics.json`` document: every family with values,
+        histogram children carrying derived p50/p95/p99, plus a merged
+        cross-label ``aggregate`` per histogram family."""
+        families = []
+        for family in self.families():
+            children = []
+            for key, child in family.children():
+                labels = dict(zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    children.append({"labels": labels, **child.to_json()})
+                else:
+                    children.append({"labels": labels, "value": child.value})
+            doc = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "children": children,
+            }
+            if family.kind == "histogram":
+                doc["aggregate"] = family.aggregate().to_json()
+            families.append(doc)
+        return {"families": families}
+
+
+class NullRegistry:
+    """Metrics disabled: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", labelnames: Iterable[str] = ()):
+        return _NULL_INSTRUMENT
+
+    def families(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"pid": os.getpid(), "families": []}
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+    def to_json_dict(self) -> dict:
+        return {"families": []}
+
+
+#: The process-wide default registry (metrics off).
+NULL_REGISTRY = NullRegistry()
+
+_CURRENT = NULL_REGISTRY
+
+
+def current_registry():
+    """The process-global active registry (:data:`NULL_REGISTRY` by
+    default)."""
+    return _CURRENT
+
+
+def set_registry(registry) -> object:
+    """Install ``registry`` as current; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = registry
+    return previous
+
+
+class use_registry:
+    """``with use_registry(r):`` — install for the block, restore after."""
+
+    def __init__(self, registry):
+        self.registry = registry
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_registry(self._previous)
+        return False
+
+
+# -- tracer bridge -------------------------------------------------------------
+
+
+class SpanHistogramSink:
+    """Tracer sink feeding every finished span's wall time into a
+    histogram keyed by span name.
+
+    Attach to a :class:`~repro.obs.tracer.Tracer` (``sinks=[...]``) and
+    all existing span instrumentation becomes live histogram data —
+    no call-site changes, and nothing is retained per span (duck-typed;
+    deliberately not importing :class:`repro.obs.sinks.Sink` to keep
+    this module import-free within the package).
+    """
+
+    def __init__(self, registry: MetricsRegistry, name: str = "droidracer_span_seconds"):
+        self._family = registry.histogram(
+            name, "wall seconds of finished tracer spans", ("span",)
+        )
+        self._errors = registry.counter(
+            "droidracer_span_errors_total", "spans finished with status=error", ("span",)
+        )
+
+    def on_span(self, record) -> None:
+        self._family.labels(span=record.name).observe(record.wall_seconds)
+        if record.status == "error":
+            self._errors.labels(span=record.name).inc()
+
+    def on_close(self, tracer) -> None:
+        pass
+
+
+# -- Prometheus text exposition (v0.0.4) ---------------------------------------
+
+#: Content type a scrape endpoint should serve.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames: Tuple[str, ...], key: Tuple[str, ...], extra: str = "") -> str:
+    parts = [
+        '%s="%s"' % (name, _escape_label(value))
+        for name, value in zip(labelnames, key)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format v0.0.4.
+
+    Histogram buckets are emitted cumulatively with ``le`` bounds at the
+    powers of two that actually hold samples (plus ``+Inf``), so sparse
+    exponents never inflate the scrape.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append("# HELP %s %s" % (family.name, family.help or family.name))
+        lines.append("# TYPE %s %s" % (family.name, family.kind))
+        for key, child in family.children():
+            if family.kind in ("counter", "gauge"):
+                lines.append(
+                    "%s%s %s"
+                    % (
+                        family.name,
+                        _labels_text(family.labelnames, key),
+                        _format_value(child.value),
+                    )
+                )
+                continue
+            snap = child.snapshot()
+            cumulative = 0
+            for exp in sorted(snap["buckets"]):
+                cumulative += snap["buckets"][exp]
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (
+                        family.name,
+                        _labels_text(
+                            family.labelnames,
+                            key,
+                            'le="%s"' % _format_value(2.0**exp),
+                        ),
+                        cumulative,
+                    )
+                )
+            lines.append(
+                "%s_bucket%s %d"
+                % (
+                    family.name,
+                    _labels_text(family.labelnames, key, 'le="+Inf"'),
+                    snap["count"],
+                )
+            )
+            labels = _labels_text(family.labelnames, key)
+            lines.append(
+                "%s_sum%s %s" % (family.name, labels, _format_value(snap["sum"]))
+            )
+            lines.append("%s_count%s %d" % (family.name, labels, snap["count"]))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- process RSS ---------------------------------------------------------------
+
+
+def rss_bytes() -> int:
+    """Resident set size of this process in bytes (0 if unknown).
+
+    Reads ``/proc/self/statm`` (Linux); falls back to the ``resource``
+    module's peak RSS — a high-water mark, not the current value, but
+    still the right order of magnitude for a memory gauge.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak) * 1024  # Linux reports KiB
+    except Exception:
+        return 0

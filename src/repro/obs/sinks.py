@@ -15,8 +15,9 @@ Provided sinks:
   counters/gauges at close (:func:`read_jsonl` round-trips the file
   back into a mergeable snapshot);
 * :class:`SummarySink` — human-readable per-span-name table (wall, CPU,
-  self time, calls, errors) plus counters/gauges, printed to stderr at
-  close — the ``--metrics`` CLI flag;
+  self time, calls, histogram-derived p50/p95/max wall time, errors)
+  plus counters/gauges, printed to stderr at close — the ``--metrics``
+  CLI flag;
 * :class:`ChromeTraceSink` — Chrome ``trace_event`` JSON, viewable in
   ``chrome://tracing`` or https://ui.perfetto.dev — the ``--trace-out``
   CLI flag.  Spans from merged worker snapshots appear as separate
@@ -31,6 +32,7 @@ import json
 import sys
 from typing import Any, Dict, IO, List, Optional, Union
 
+from .metrics import Histogram
 from .tracer import SpanRecord
 
 __all__ = [
@@ -168,17 +170,41 @@ def render_summary(
     counters: Dict[str, float],
     gauges: Dict[str, Any],
 ) -> str:
-    """The ``--metrics`` table: one row per span name plus counters."""
+    """The ``--metrics`` table: one row per span name plus counters.
+
+    The p50/p95/max columns come from a per-name base-2
+    :class:`~repro.obs.metrics.Histogram` over individual span wall
+    times — tail latency, where the totals columns only show means.
+    """
     rows = aggregate_spans(records)
+    hists: Dict[str, Histogram] = {}
+    for record in records:
+        hist = hists.get(record.name)
+        if hist is None:
+            hist = hists[record.name] = Histogram()
+        hist.observe(record.wall_seconds)
     width = max([len(row["name"]) for row in rows] + [4])
     lines = [
-        "-- metrics " + "-" * max(0, width + 44 - 11),
-        "%-*s %6s %9s %9s %9s %4s"
-        % (width, "span", "calls", "wall(s)", "self(s)", "cpu(s)", "err"),
+        "-- metrics " + "-" * max(0, width + 74 - 11),
+        "%-*s %6s %9s %9s %9s %9s %9s %9s %4s"
+        % (
+            width,
+            "span",
+            "calls",
+            "wall(s)",
+            "self(s)",
+            "cpu(s)",
+            "p50(s)",
+            "p95(s)",
+            "max(s)",
+            "err",
+        ),
     ]
     for row in rows:
+        hist = hists[row["name"]]
+        p50, p95 = hist.quantiles((0.5, 0.95))
         lines.append(
-            "%-*s %6d %9.4f %9.4f %9.4f %4d"
+            "%-*s %6d %9.4f %9.4f %9.4f %9.4f %9.4f %9.4f %4d"
             % (
                 width,
                 row["name"],
@@ -186,6 +212,9 @@ def render_summary(
                 row["wall_seconds"],
                 row["self_seconds"],
                 row["cpu_seconds"],
+                p50,
+                p95,
+                hist.snapshot()["max"] or 0.0,
                 row["errors"],
             )
         )

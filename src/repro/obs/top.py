@@ -1,0 +1,226 @@
+"""``droidracer obs top`` — live terminal view over service telemetry.
+
+Polls a running service's ``/v1/metrics.json`` (``--url``) or reads a
+saved metrics document (``--snapshot``, e.g. from ``droidracer serve
+--self-test --metrics-out FILE``) and renders one screen of the numbers
+an operator wants first: request rate and latency quantiles, queue
+depth and staleness, worker utilization, job wait-vs-run time, and the
+triage tier's filter rate (a silent drop in filter rate means the cheap
+tier stopped proving traces race-free — a correctness signal, not just
+a performance one).
+
+On a TTY the screen redraws every ``--interval`` seconds (qps computed
+from the counter delta between polls); when stdout is **not** a TTY it
+degrades to a single static snapshot and exits, so piping to a file or
+running under CI does what you'd expect.  No dependencies beyond the
+standard library — the "client" is ``urllib`` against the same asyncio
+server the tests boot.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, IO, Optional
+
+__all__ = ["derive_stats", "load_metrics", "render_screen", "run_top"]
+
+
+def load_metrics(
+    url: Optional[str] = None,
+    snapshot: Optional[str] = None,
+    timeout: float = 5.0,
+) -> dict:
+    """One metrics document, from a live service or a saved file."""
+    if url:
+        target = url.rstrip("/") + "/v1/metrics.json"
+        with urllib.request.urlopen(target, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    if snapshot:
+        with open(snapshot, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    raise ValueError("need a --url or a --snapshot file")
+
+
+def _family(doc: dict, name: str) -> Optional[dict]:
+    for fam in doc.get("families", ()):
+        if fam.get("name") == name:
+            return fam
+    return None
+
+
+def _gauge_value(doc: dict, name: str) -> float:
+    fam = _family(doc, name)
+    if not fam:
+        return 0.0
+    children = fam.get("children", ())
+    return float(children[0]["value"]) if children else 0.0
+
+
+def _aggregate(doc: dict, name: str) -> dict:
+    fam = _family(doc, name)
+    return (fam or {}).get("aggregate") or {"count": 0, "p50": 0, "p95": 0, "p99": 0}
+
+
+def derive_stats(
+    doc: dict,
+    previous: Optional[dict] = None,
+    interval: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Screen-ready numbers from one (or two consecutive) documents.
+
+    With a ``previous`` poll and the ``interval`` between them, qps is
+    the counter delta over the wall interval; a single document falls
+    back to the lifetime average (requests / uptime).
+    """
+    counters = doc.get("counters", {})
+    requests = float(counters.get("service.requests", 0))
+    uptime = float(doc.get("uptime_seconds", 0.0)) or 1e-9
+    if previous is not None and interval:
+        prev_requests = float(
+            previous.get("counters", {}).get("service.requests", 0)
+        )
+        qps = max(0.0, requests - prev_requests) / interval
+    else:
+        qps = requests / uptime
+    queue = doc.get("queue", {})
+    pool = doc.get("pool", {})
+    workers = int(pool.get("workers", 0)) or 1
+    inflight = int(pool.get("inflight", 0))
+    filtered = float(counters.get("service.triage_filtered", 0))
+    escalated = float(counters.get("service.triage_escalated", 0))
+    triaged = filtered + escalated
+    return {
+        "uptime_seconds": uptime,
+        "qps": qps,
+        "requests": int(requests),
+        "request_latency": _aggregate(doc, "droidracer_http_request_seconds"),
+        "job_wait": _aggregate(doc, "droidracer_job_wait_seconds"),
+        "job_run": _aggregate(doc, "droidracer_job_run_seconds"),
+        "queue_depth": int(queue.get("depth", 0)),
+        "queue_oldest_seconds": _gauge_value(
+            doc, "droidracer_queue_oldest_age_seconds"
+        ),
+        "queue_done": int(queue.get("done", 0)),
+        "queue_failed": int(queue.get("failed", 0)),
+        "workers": workers,
+        "inflight": inflight,
+        "utilization": inflight / workers,
+        "pool_mode": pool.get("mode", "?"),
+        "pool_restarts": int(pool.get("restarts", 0)),
+        "triage_filtered": int(filtered),
+        "triage_escalated": int(escalated),
+        "triage_filter_rate": (filtered / triaged) if triaged else None,
+        "rss_bytes": _gauge_value(doc, "droidracer_rss_bytes"),
+        "jobs_completed": int(counters.get("service.jobs_completed", 0)),
+        "races_found": int(counters.get("service.races_found", 0)),
+    }
+
+
+def _ms(seconds: Any) -> str:
+    return "%.1fms" % (float(seconds or 0.0) * 1e3)
+
+
+def _mib(num_bytes: float) -> str:
+    return "%.1fMiB" % (num_bytes / (1 << 20))
+
+
+def render_screen(stats: Dict[str, Any]) -> str:
+    """The ``obs top`` screen as plain text (no escape codes — the
+    caller owns clearing/looping)."""
+    req = stats["request_latency"]
+    run = stats["job_run"]
+    wait = stats["job_wait"]
+    rate = stats["triage_filter_rate"]
+    lines = [
+        "droidracer obs top — uptime %.1fs   qps %.1f   rss %s"
+        % (stats["uptime_seconds"], stats["qps"], _mib(stats["rss_bytes"])),
+        "",
+        "requests  %-8d p50 %-9s p95 %-9s p99 %-9s (n=%d)"
+        % (
+            stats["requests"],
+            _ms(req.get("p50")),
+            _ms(req.get("p95")),
+            _ms(req.get("p99")),
+            int(req.get("count", 0)),
+        ),
+        "jobs      wait p50 %-9s run p50 %-9s p95 %-9s p99 %s"
+        % (
+            _ms(wait.get("p50")),
+            _ms(run.get("p50")),
+            _ms(run.get("p95")),
+            _ms(run.get("p99")),
+        ),
+        "queue     depth %-4d oldest %-8s done %-6d failed %d"
+        % (
+            stats["queue_depth"],
+            "%.1fs" % stats["queue_oldest_seconds"],
+            stats["queue_done"],
+            stats["queue_failed"],
+        ),
+        "workers   %d/%d busy (%.0f%% util, %s pool, %d restarts)"
+        % (
+            stats["inflight"],
+            stats["workers"],
+            stats["utilization"] * 100.0,
+            stats["pool_mode"],
+            stats["pool_restarts"],
+        ),
+        "triage    %s  (%d filtered / %d escalated)"
+        % (
+            "filter rate %.0f%%" % (rate * 100.0) if rate is not None else "no verdicts yet",
+            stats["triage_filtered"],
+            stats["triage_escalated"],
+        ),
+        "analysis  %d jobs completed, %d races found"
+        % (stats["jobs_completed"], stats["races_found"]),
+    ]
+    return "\n".join(lines)
+
+
+def run_top(
+    url: Optional[str] = None,
+    snapshot: Optional[str] = None,
+    interval: float = 2.0,
+    iterations: int = 0,
+    stream: Optional[IO[str]] = None,
+    force_live: bool = False,
+) -> int:
+    """Drive the view.  ``iterations=0`` means "until interrupted" on a
+    TTY; a non-TTY stream always renders exactly one static snapshot.
+    Returns a process exit code."""
+    out = stream if stream is not None else sys.stdout
+    live = force_live or (hasattr(out, "isatty") and out.isatty())
+    if snapshot and not url:
+        live = False  # a file is a point-in-time document; looping is noise
+    try:
+        doc = load_metrics(url=url, snapshot=snapshot)
+    except (OSError, urllib.error.URLError, json.JSONDecodeError, ValueError) as exc:
+        print("obs top: %s" % exc, file=sys.stderr)
+        return 1
+    if not live:
+        print(render_screen(derive_stats(doc)), file=out)
+        return 0
+    previous = doc
+    shown = 0
+    try:
+        while True:
+            out.write("\x1b[2J\x1b[H")  # clear + home
+            out.write(render_screen(derive_stats(doc, None if shown == 0 else previous, interval)))
+            out.write("\n")
+            out.flush()
+            shown += 1
+            if iterations and shown >= iterations:
+                return 0
+            time.sleep(interval)
+            previous = doc
+            try:
+                doc = load_metrics(url=url, snapshot=snapshot)
+            except (OSError, urllib.error.URLError, json.JSONDecodeError) as exc:
+                print("obs top: %s" % exc, file=sys.stderr)
+                return 1
+    except KeyboardInterrupt:
+        return 0

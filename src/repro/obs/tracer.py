@@ -224,6 +224,9 @@ class NullTracer:
     def gauge(self, name: str, value: float) -> None:
         pass
 
+    def current_span_name(self) -> Optional[str]:
+        return None
+
 
 #: The process-wide default tracer (observability off).
 NULL_TRACER = NullTracer()
@@ -282,6 +285,12 @@ class Tracer:
 
     def _push(self, span: Span) -> None:
         self._stack().append(span)
+
+    def current_span_name(self) -> Optional[str]:
+        """Name of this thread's innermost open span (``None`` outside
+        any span) — structured log records join against traces on it."""
+        stack = self._stack()
+        return stack[-1].name if stack else None
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()

@@ -25,6 +25,8 @@ Endpoints (see ``docs/service.md`` for the full walkthrough)::
     GET  /v1/stream               NDJSON (or SSE) of results as they
                                   complete (?after=<seq> replays)
     POST /v1/compact              fold store manifests
+    GET  /metrics                 Prometheus text exposition (v0.0.4)
+    GET  /v1/metrics.json         same registry as JSON + queue/pool
 
 Durability and flow control live in :mod:`repro.service.jobs`; raw
 HTTP plumbing in :mod:`repro.service.http`.  Every completed analysis
@@ -33,6 +35,17 @@ when a history dir is configured, so per-tenant observability and the
 ``droidracer obs gate`` regression machinery cover served traffic for
 free; ``service.*`` counters and spans flow through :mod:`repro.obs`
 whenever the current tracer is enabled.
+
+Live telemetry is always on: every instance owns a
+:class:`~repro.obs.metrics.MetricsRegistry` (request latency/status/
+body-size histograms per normalized route, queue depth and oldest-job
+age, job wait-vs-run histograms, triage filtered/escalated rates, pool
+rebuilds, RSS) scraped at ``GET /metrics`` (Prometheus text v0.0.4) or
+``GET /v1/metrics.json`` (what ``droidracer obs top`` polls), and a
+span->histogram bridge turns every ``service.*`` span and merged worker
+span into quantile data.  ``--log-json PATH|-`` adds the structured
+JSON-lines event log (request ids propagated to job ids; see
+:mod:`repro.obs.logging`).
 """
 
 from __future__ import annotations
@@ -51,7 +64,15 @@ from repro.core.trace import ExecutionTrace, InvalidTraceError
 from repro.corpus import ResultCache, TraceStore, report_to_json, valid_digest
 from repro.corpus.pipeline import _analyze_one
 from repro.corpus.store import CorpusError, list_namespaces, valid_namespace
-from repro.obs import current_tracer
+from repro.obs import NULL_LOGGER, JsonLogger, current_tracer
+from repro.obs.metrics import (
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    SpanHistogramSink,
+    render_prometheus,
+    rss_bytes,
+)
+from repro.obs.tracer import Tracer
 
 from .http import (
     DEFAULT_MAX_BODY_BYTES,
@@ -73,6 +94,37 @@ SERVICE_DIR = "service"
 #: Sentinel a route handler returns after taking over the transport.
 _STREAMED = object()
 
+#: Exact paths that label themselves in request metrics.
+_KNOWN_ROUTES = frozenset(
+    {
+        "/",
+        "/healthz",
+        "/metrics",
+        "/v1/status",
+        "/v1/metrics.json",
+        "/v1/traces",
+        "/v1/traces:batch",
+        "/v1/jobs",
+        "/v1/corpus",
+        "/v1/stream",
+        "/v1/compact",
+    }
+)
+
+
+def _route_label(path: str) -> str:
+    """Metric label for a request path, with bounded cardinality:
+    parameterized paths collapse to their pattern and everything
+    unrecognized (scanners, typos) to ``"other"`` so an abusive client
+    cannot mint unbounded label values."""
+    if path in _KNOWN_ROUTES:
+        return path
+    if path.startswith("/v1/jobs/"):
+        return "/v1/jobs/:id"
+    if path.startswith("/v1/reports/"):
+        return "/v1/reports/:digest"
+    return "other"
+
 
 class RaceService:
     """One service instance: corpus + cache + queue + pool + HTTP."""
@@ -90,6 +142,8 @@ class RaceService:
         history_dir: Optional[str] = None,
         drain: bool = True,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        log_json: Optional[str] = None,
+        status_ttl: float = 2.0,
     ):
         self.store_root = str(store_root)
         self.config = config or DetectorConfig()
@@ -118,7 +172,26 @@ class RaceService:
 
             self.history = HistoryStore(history_dir)
 
+        #: Live telemetry is always on for a service instance: the
+        #: registry is per-service (not the process global — several
+        #: BackgroundServers can share one test process), and when no
+        #: external tracer is active a private one is created whose only
+        #: sink is the span->histogram bridge, so every ``service.*``
+        #: span and merged worker span becomes quantile data without
+        #: retaining records.  Served reports stay byte-identical: the
+        #: tracer/registry never touch report content (differentially
+        #: pinned by tools/service_smoke.py).
+        self.metrics = MetricsRegistry()
         self.tracer = current_tracer()
+        if not self.tracer.enabled:
+            self.tracer = Tracer(sinks=[SpanHistogramSink(self.metrics)])
+        else:
+            self.tracer.sinks.append(SpanHistogramSink(self.metrics))
+        self.log = JsonLogger(log_json, tracer=self.tracer) if log_json else NULL_LOGGER
+        self.status_ttl = status_ttl
+        self._status_lock = threading.Lock()
+        self._corpus_cache: Optional[Tuple[float, Dict[str, dict]]] = None
+        self._next_request_id = 0
         self.counters: Dict[str, float] = {}
         self.started_at = time.time()
         self.pool_restarts = 0
@@ -137,6 +210,86 @@ class RaceService:
         self._wake: Optional[asyncio.Event] = None
         self._stopping: Optional[asyncio.Event] = None
         self._running = False
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Register the service's metric families up front.
+
+        Counters that a scrape must always see (the smoke gate asserts
+        the triage-rate series exist even on an idle server) are
+        pre-created at zero; gauges that mirror live state are
+        function-backed so they resolve at scrape time instead of
+        needing a refresh hook on every code path that changes them.
+        """
+        metrics = self.metrics
+        self._m_req_seconds = metrics.histogram(
+            "droidracer_http_request_seconds",
+            "wall time per HTTP request",
+            ("method", "route"),
+        )
+        self._m_req_total = metrics.counter(
+            "droidracer_http_requests_total",
+            "HTTP requests by route and status code",
+            ("method", "route", "code"),
+        )
+        self._m_req_body = metrics.histogram(
+            "droidracer_http_request_body_bytes",
+            "request body size on ingest routes",
+            ("route",),
+        )
+        self._m_job_wait = metrics.histogram(
+            "droidracer_job_wait_seconds",
+            "queue wait: submit to worker claim",
+        )
+        self._m_job_run = metrics.histogram(
+            "droidracer_job_run_seconds",
+            "analysis wall time per completed job",
+        )
+        # ``service.*`` counters that must be present-at-zero on scrape.
+        for name in (
+            "requests",
+            "traces_ingested",
+            "jobs_submitted",
+            "jobs_completed",
+            "jobs_failed",
+            "jobs_deduplicated",
+            "job_timeouts",
+            "retries",
+            "rejected_429",
+            "cache_short_circuits",
+            "pool_restarts",
+            "internal_errors",
+            "races_found",
+            "triage_filtered",
+            "triage_escalated",
+        ):
+            metrics.counter(
+                "droidracer_service_%s_total" % name,
+                "service event counter service.%s" % name,
+            )
+        metrics.gauge(
+            "droidracer_queue_depth", "analysis jobs queued, not yet running"
+        ).set_function(lambda: self.queue.counts()["depth"])
+        metrics.gauge(
+            "droidracer_queue_oldest_age_seconds",
+            "seconds the oldest queued job has waited",
+        ).set_function(self.queue.oldest_queued_age)
+        metrics.gauge(
+            "droidracer_pool_inflight", "jobs currently executing"
+        ).set_function(lambda: self._inflight)
+        metrics.gauge(
+            "droidracer_pool_workers", "worker slots (pool size)"
+        ).set_function(lambda: self._max_inflight)
+        metrics.gauge(
+            "droidracer_uptime_seconds", "seconds since service start"
+        ).set_function(lambda: time.time() - self.started_at)
+        metrics.gauge(
+            "droidracer_rss_bytes", "resident set size of the server process"
+        ).set_function(rss_bytes)
+        metrics.gauge(
+            "droidracer_status_corpus_age_seconds",
+            "age of the cached /v1/status corpus payload",
+        ).set_function(self._corpus_cache_age)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -153,6 +306,15 @@ class RaceService:
         self._scheduler_task = asyncio.create_task(self._scheduler())
         self._publish_events(initial=True)
         self._wake.set()
+        self.log.log(
+            "service.start",
+            host=self.host,
+            port=self.port,
+            workers=self._max_inflight,
+            backend=self.config.backend,
+            config_digest=self.config_digest,
+            recovered=self.queue.recovered,
+        )
 
     def _recover(self) -> None:
         """Finish journal recovery: queued keys whose report is already
@@ -201,6 +363,11 @@ class RaceService:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
         self.queue.close()
+        self.log.log(
+            "service.stop",
+            uptime_seconds=round(time.time() - self.started_at, 3),
+        )
+        self.log.close()
 
     def request_stop(self) -> None:
         """Signal ``serve_forever`` to exit (safe from signal handlers)."""
@@ -239,6 +406,7 @@ class RaceService:
             self._executor = None
         self.pool_restarts += 1
         self._count("service.pool_restarts")
+        self.log.warn("pool.rebuild", restarts=self.pool_restarts)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -261,6 +429,15 @@ class RaceService:
     async def _run_job(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
         store = self._store(job.namespace)
+        if job.started_at and job.submitted_at:
+            self._m_job_wait.observe(max(0.0, job.started_at - job.submitted_at))
+        job_log = self.log.bind(
+            job_id=job.job_id,
+            request_id=job.request_id,
+            trace_digest=job.trace_digest,
+            config_digest=job.config_digest,
+        )
+        job_log.log("job.start", attempt=job.attempts, namespace=job.namespace)
         args = (
             job.trace_digest,
             str(store.path_for(job.trace_digest)),
@@ -287,6 +464,10 @@ class RaceService:
                 self._count(
                     "service.retries" if retried else "service.jobs_failed"
                 )
+                job_log.warn(
+                    "job.retry" if retried else "job.failed",
+                    error="worker pool broke: %s" % exc,
+                )
                 return
             except asyncio.CancelledError:
                 # Our future was cancelled out from under us — a pool
@@ -300,12 +481,16 @@ class RaceService:
                 self._count(
                     "service.retries" if retried else "service.jobs_failed"
                 )
+                job_log.warn(
+                    "job.retry" if retried else "job.failed",
+                    error="analysis cancelled (pool shutdown)",
+                )
                 return
             except Exception as exc:  # noqa: BLE001 — keep the loop alive
-                self.queue.fail(
-                    job.job_id, "%s: %s" % (exc.__class__.__name__, exc)
-                )
+                error = "%s: %s" % (exc.__class__.__name__, exc)
+                self.queue.fail(job.job_id, error)
                 self._count("service.jobs_failed")
+                job_log.error("job.failed", error=error)
                 return
             digest, report_dict, error, seconds, obs, triage = result
             if obs and self.tracer.enabled:
@@ -324,6 +509,13 @@ class RaceService:
                 self._count("service.races_found", len(report.races))
                 if verdict == "escalated":
                     self._count("service.triage_escalated")
+                self._m_job_run.observe(seconds)
+                job_log.log(
+                    "job.done",
+                    seconds=round(seconds, 6),
+                    races=len(report.races),
+                    triage=verdict,
+                )
                 self._record_history(job, report_dict, obs, seconds, triage)
             elif verdict == "filtered":
                 # The vc triage pass proved the trace race-free: the job
@@ -335,11 +527,17 @@ class RaceService:
                 )
                 self._count("service.jobs_completed")
                 self._count("service.triage_filtered")
+                self._m_job_run.observe(seconds)
+                job_log.log(
+                    "job.done", seconds=round(seconds, 6), races=0,
+                    triage=verdict,
+                )
             else:
                 self.queue.fail(job.job_id, error or "analysis failed")
                 self._count("service.jobs_failed")
                 if error and error.startswith("AnalysisTimeout"):
                     self._count("service.job_timeouts")
+                job_log.error("job.failed", error=error or "analysis failed")
         finally:
             self._inflight -= 1
             self._publish_events()
@@ -350,6 +548,13 @@ class RaceService:
     def _count(self, name: str, value: float = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + value
         self.tracer.count(name, value)
+        # Mirror into the Prometheus registry: "service.foo" becomes
+        # "droidracer_service_foo_total" (get-or-create, so counters
+        # beyond the pre-registered set still export).
+        self.metrics.counter(
+            "droidracer_service_%s_total" % name.split(".", 1)[-1],
+            "service event counter %s" % name,
+        ).inc(value)
 
     def _record_history(
         self,
@@ -463,7 +668,33 @@ class RaceService:
                 if request is None:
                     break
                 self._count("service.requests")
+                self._next_request_id += 1
+                request.req_id = "req-%06d" % self._next_request_id
+                route = _route_label(request.path)
+                t0 = time.perf_counter()
                 outcome = await self._safe_route(request, writer)
+                seconds = time.perf_counter() - t0
+                status = 200 if outcome is _STREAMED else outcome.status
+                self._m_req_seconds.labels(
+                    method=request.method, route=route
+                ).observe(seconds)
+                self._m_req_total.labels(
+                    method=request.method, route=route, code=str(status)
+                ).inc()
+                if request.body:
+                    self._m_req_body.labels(route=route).observe(
+                        len(request.body)
+                    )
+                self.log.log(
+                    "request.done",
+                    request_id=request.req_id,
+                    method=request.method,
+                    path=request.path,
+                    route=route,
+                    status=status,
+                    seconds=round(seconds, 6),
+                    bytes_in=len(request.body),
+                )
                 if outcome is _STREAMED:
                     break
                 self._count("service.responses_%dxx" % (outcome.status // 100))
@@ -537,9 +768,18 @@ class RaceService:
             return _STREAMED
         if path == "/v1/compact" and method == "POST":
             return await self._handle_compact()
+        if path == "/metrics" and method == "GET":
+            return Response(
+                status=200,
+                body=render_prometheus(self.metrics).encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        if path == "/v1/metrics.json" and method == "GET":
+            return json_response(self.metrics_json())
         known = {
             "/healthz", "/", "/v1/status", "/v1/traces", "/v1/traces:batch",
             "/v1/jobs", "/v1/corpus", "/v1/stream", "/v1/compact",
+            "/metrics", "/v1/metrics.json",
         }
         if path in known or path.startswith(("/v1/jobs/", "/v1/reports/")):
             raise HttpError(405, "%s not allowed on %s" % (method, path))
@@ -559,18 +799,57 @@ class RaceService:
                 "GET /v1/corpus",
                 "GET /v1/stream",
                 "POST /v1/compact",
+                "GET /metrics",
+                "GET /v1/metrics.json",
             ],
             "config_digest": self.config_digest,
             "backend": self.config.backend,
         }
 
-    def status(self) -> dict:
+    def _corpus_stats(self) -> Tuple[Dict[str, dict], float]:
+        """Per-namespace corpus stats behind a short TTL.
+
+        The shard-directory scan walks every namespace on disk; a
+        polling client (``obs top`` defaults to 2s) must not turn each
+        poll into a full store walk.  Queue/pool/counter fields stay
+        live — only this payload is cached.  Ingest invalidates the
+        cache (see :meth:`_ingest_and_submit`), so a just-uploaded
+        trace is always visible in the next ``/v1/status``.
+        Returns ``(stats, age_seconds)``.
+        """
+        now = time.time()
+        with self._status_lock:
+            if (
+                self._corpus_cache is not None
+                and now - self._corpus_cache[0] < self.status_ttl
+            ):
+                built_at, corpus = self._corpus_cache
+                return corpus, now - built_at
         corpus: Dict[str, dict] = {"default": self.root_store.stats()}
         for namespace in list_namespaces(self.store_root):
             corpus[namespace] = self._store(namespace).stats()
+        with self._status_lock:
+            self._corpus_cache = (now, corpus)
+        return corpus, 0.0
+
+    def _corpus_cache_age(self) -> float:
+        """Age of the cached corpus payload (0.0 when empty/fresh) —
+        exported as ``droidracer_status_corpus_age_seconds``."""
+        with self._status_lock:
+            if self._corpus_cache is None:
+                return 0.0
+            return max(0.0, time.time() - self._corpus_cache[0])
+
+    def _invalidate_corpus_cache(self) -> None:
+        with self._status_lock:
+            self._corpus_cache = None
+
+    def status(self) -> dict:
+        corpus, corpus_age = self._corpus_stats()
         return {
             "ok": True,
             "uptime_seconds": time.time() - self.started_at,
+            "corpus_age_seconds": round(corpus_age, 3),
             "queue": self.queue.counts(),
             "pool": {
                 "mode": "process" if self.jobs > 0 else "inline",
@@ -585,6 +864,25 @@ class RaceService:
             "config_digest": self.config_digest,
             "backend": self.config.backend,
             "timeout": self.timeout,
+        }
+
+    def metrics_json(self) -> dict:
+        """The ``/v1/metrics.json`` document ``obs top`` polls: the
+        full registry (histogram children carry p50/p95/p99, histogram
+        families a cross-label aggregate) plus the live queue/pool
+        block so one poll renders the whole screen."""
+        return {
+            "ok": True,
+            "uptime_seconds": time.time() - self.started_at,
+            "queue": self.queue.counts(),
+            "pool": {
+                "mode": "process" if self.jobs > 0 else "inline",
+                "workers": self._max_inflight,
+                "inflight": self._inflight,
+                "restarts": self.pool_restarts,
+            },
+            "counters": dict(sorted(self.counters.items())),
+            **self.metrics.to_json_dict(),
         }
 
     # -- upload & jobs --------------------------------------------------------
@@ -621,6 +919,7 @@ class RaceService:
         app: Optional[str],
         namespace: Optional[str],
         analyze: bool,
+        request_id: str = "",
     ) -> dict:
         loop = asyncio.get_running_loop()
         store = self._store(namespace)
@@ -628,6 +927,7 @@ class RaceService:
             None, self._parse_and_ingest, store, text, name, app
         )
         self._count("service.traces_ingested")
+        self._invalidate_corpus_cache()
         payload = {
             "trace_digest": entry.digest,
             "entry": {
@@ -656,10 +956,20 @@ class RaceService:
                 app=entry.app,
                 namespace=namespace,
                 cached=cached_report is not None,
+                request_id=request_id,
             ),
         )
         if created:
             self._count("service.jobs_submitted")
+            self.log.log(
+                "job.submitted",
+                request_id=request_id,
+                job_id=job.job_id,
+                trace_digest=entry.digest,
+                config_digest=self.config_digest,
+                namespace=namespace,
+                cached=job.state == JOB_DONE,
+            )
             if job.state == JOB_DONE:
                 self._count("service.cache_short_circuits")
                 self._publish_events()
@@ -684,6 +994,7 @@ class RaceService:
             request.param("app"),
             namespace,
             self._wants_analysis(request),
+            request_id=request.req_id,
         )
         status = 202 if payload.get("job") else 200
         return json_response(payload, status)
@@ -712,6 +1023,7 @@ class RaceService:
                     item.get("app"),
                     item.get("namespace", namespace),
                     analyze,
+                    request_id=request.req_id,
                 )
             except HttpError as exc:
                 items.append(dict(exc.payload, index=i, status=exc.status))

@@ -96,6 +96,17 @@ class ServiceClient:
     def status(self) -> dict:
         return self.request_json("GET", "/v1/status")
 
+    def metrics_json(self) -> dict:
+        """The ``/v1/metrics.json`` document (what ``obs top`` polls)."""
+        return self.request_json("GET", "/v1/metrics.json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition from ``GET /metrics``."""
+        status, data = self.request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(status, data.decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
     def upload(
         self,
         jsonl: str,

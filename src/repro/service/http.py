@@ -73,6 +73,9 @@ class Request:
     query: Dict[str, str]
     headers: Dict[str, str]  # keys lower-cased
     body: bytes = b""
+    #: Correlation id minted by the connection handler ("req-000042");
+    #: carried into structured log records and job submissions.
+    req_id: str = ""
 
     @property
     def keep_alive(self) -> bool:

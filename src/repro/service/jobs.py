@@ -92,7 +92,14 @@ class Job:
     error: Optional[str] = None
     seconds: float = 0.0
     submitted_at: float = 0.0
+    #: When the job was (last) claimed by a worker — ``started_at -
+    #: submitted_at`` is the queue wait the service's wait-time
+    #: histogram observes.  0.0 until first claimed.
+    started_at: float = 0.0
     finished_at: float = 0.0
+    #: HTTP request id that submitted this job (correlation id for the
+    #: structured log; empty for journal-recovered or pre-upgrade jobs).
+    request_id: str = ""
     race_count: Optional[int] = None
     #: Triage tier verdict: ``"filtered"`` (vc pass proved the trace
     #: race-free, closure skipped — there is no stored report),
@@ -194,6 +201,7 @@ class JobQueue:
                 if event == "start":
                     job.state = JOB_RUNNING
                     job.attempts = record.get("attempts", job.attempts + 1)
+                    job.started_at = record.get("started_at", 0.0)
                 elif event == "requeue":
                     job.state = JOB_QUEUED
                     job.error = record.get("error")
@@ -260,6 +268,7 @@ class JobQueue:
         app: str,
         namespace: Optional[str] = None,
         cached: bool = False,
+        request_id: str = "",
     ) -> Tuple[Job, bool]:
         """Enqueue one analysis; returns ``(job, created)``.
 
@@ -293,6 +302,7 @@ class JobQueue:
                 app=app,
                 namespace=namespace,
                 submitted_at=time.time(),
+                request_id=request_id,
             )
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
@@ -320,8 +330,14 @@ class JobQueue:
                     continue
                 job.state = JOB_RUNNING
                 job.attempts += 1
+                job.started_at = time.time()
                 self._append(
-                    "start", {"job_id": job_id, "attempts": job.attempts}
+                    "start",
+                    {
+                        "job_id": job_id,
+                        "attempts": job.attempts,
+                        "started_at": job.started_at,
+                    },
                 )
                 return job
             return None
@@ -452,6 +468,18 @@ class JobQueue:
             counts["depth"] = len(self._pending)
             counts["max_depth"] = self.max_depth
             return counts
+
+    def oldest_queued_age(self, now: Optional[float] = None) -> float:
+        """Seconds the oldest still-queued job has waited (0.0 when the
+        queue is empty) — the backlog-staleness gauge ``/metrics``
+        exposes: depth says how many, this says how stuck."""
+        now = time.time() if now is None else now
+        with self._lock:
+            for job_id in self._pending:
+                job = self._jobs.get(job_id)
+                if job is not None and job.state == JOB_QUEUED:
+                    return max(0.0, now - job.submitted_at)
+            return 0.0
 
     def events_since(self, after: int = 0) -> List[dict]:
         """Completion/failure events with ``seq > after`` (for stream

@@ -1,0 +1,468 @@
+"""Live-telemetry tests: histograms, registry, Prometheus exposition,
+structured logging, and the ``/metrics`` service surface.
+
+The histogram property tests pin the algebra the cross-process merge
+relies on: merging snapshots is associative and commutative (pool
+workers land in any order), quantiles are monotone in ``q`` and bounded
+by the observed min/max, and a snapshot round-trips losslessly.
+"""
+
+import io
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.logging import JsonLogger, NULL_LOGGER
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    SpanHistogramSink,
+    bucket_exponent,
+    current_registry,
+    render_prometheus,
+    rss_bytes,
+    use_registry,
+)
+from repro.obs.tracer import Tracer
+from repro.obs.top import derive_stats, render_screen
+
+
+def _filled(values):
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+# -- bucket scheme -------------------------------------------------------------
+
+
+def test_bucket_exponent_boundaries():
+    # 2**(k-1) < v <= 2**k: exact powers of two land in their own bucket.
+    assert bucket_exponent(1.0) == 0
+    assert bucket_exponent(1.0001) == 1
+    assert bucket_exponent(2.0) == 1
+    assert bucket_exponent(0.5) == -1
+    assert bucket_exponent(0.500001) == 0
+    assert bucket_exponent(1e-300) == -30  # clamped
+    assert bucket_exponent(1e300) == 30  # clamped
+    assert bucket_exponent(0.0) == -30
+    assert bucket_exponent(-5.0) == -30
+
+
+values_strategy = st.lists(
+    st.floats(
+        min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+# -- quantile properties -------------------------------------------------------
+
+
+@given(values_strategy)
+def test_quantile_monotone_and_bounded(values):
+    hist = _filled(values)
+    qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+    results = hist.quantiles(qs)
+    for lo, hi in zip(results, results[1:]):
+        assert lo <= hi
+    assert results[0] >= min(values)
+    assert results[-1] <= max(values)
+
+
+@given(values_strategy)
+def test_quantile_within_bucket_accuracy(values):
+    # A bucket spans [2**(k-1), 2**k], so any quantile is within a
+    # factor of 2 of the true order statistic (up to interpolation).
+    hist = _filled(values)
+    ordered = sorted(values)
+    true_median = ordered[(len(ordered) - 1) // 2]
+    estimate = hist.quantile(0.5)
+    assert estimate <= true_median * 2.0 + 1e-12
+    assert estimate >= true_median / 2.0 - 1e-12
+
+
+def test_quantile_empty():
+    assert Histogram().quantile(0.5) == 0.0
+
+
+# -- merge algebra -------------------------------------------------------------
+
+
+@given(values_strategy, values_strategy)
+def test_merge_commutative(a, b):
+    ab = _filled(a)
+    ab.merge(_filled(b).snapshot())
+    ba = _filled(b)
+    ba.merge(_filled(a).snapshot())
+    assert ab.snapshot()["buckets"] == ba.snapshot()["buckets"]
+    assert ab.count == ba.count
+    assert math.isclose(ab.sum, ba.sum, rel_tol=1e-9)
+    assert ab.min == ba.min and ab.max == ba.max
+    for q in (0.5, 0.95, 0.99):
+        assert math.isclose(
+            ab.quantile(q), ba.quantile(q), rel_tol=1e-9, abs_tol=1e-12
+        )
+
+
+@given(values_strategy, values_strategy, values_strategy)
+@settings(max_examples=50)
+def test_merge_associative(a, b, c):
+    left = _filled(a)
+    left.merge(_filled(b).snapshot())
+    left.merge(_filled(c).snapshot())
+    bc = _filled(b)
+    bc.merge(_filled(c).snapshot())
+    right = _filled(a)
+    right.merge(bc.snapshot())
+    assert left.snapshot()["buckets"] == right.snapshot()["buckets"]
+    assert left.count == right.count
+    assert math.isclose(left.sum, right.sum, rel_tol=1e-9)
+
+
+@given(values_strategy)
+def test_merge_equals_direct_observation(values):
+    split = len(values) // 2
+    merged = _filled(values[:split])
+    merged.merge(_filled(values[split:]).snapshot())
+    direct = _filled(values)
+    assert merged.snapshot()["buckets"] == direct.snapshot()["buckets"]
+    assert merged.min == direct.min and merged.max == direct.max
+
+
+@given(values_strategy)
+def test_snapshot_round_trip(values):
+    hist = _filled(values)
+    snap = hist.snapshot()
+    # The snapshot is picklable-plain: JSON round-trip must be lossless
+    # modulo JSON's string keys (merge() re-ints them).
+    revived = Histogram.from_snapshot(
+        json.loads(json.dumps(snap))
+    )
+    assert revived.snapshot() == snap
+    for q in (0.25, 0.5, 0.95):
+        assert revived.quantile(q) == hist.quantile(q)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_families_and_labels():
+    reg = MetricsRegistry()
+    requests = reg.counter("requests_total", "reqs", ("route",))
+    requests.labels(route="/a").inc()
+    requests.labels(route="/a").inc(2)
+    requests.labels(route="/b").inc()
+    assert requests.labels(route="/a").value == 3
+    with pytest.raises(ValueError):
+        requests.labels(method="GET")  # wrong label set
+    with pytest.raises(ValueError):
+        reg.gauge("requests_total")  # kind mismatch on re-registration
+
+
+def test_registry_snapshot_merge_order_independent():
+    def build(route_hits):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits_total", "", ("route",))
+        hist = reg.histogram("lat_seconds", "", ("route",))
+        gauge = reg.gauge("depth")
+        for route, hits in route_hits.items():
+            for i in range(hits):
+                counter.labels(route=route).inc()
+                hist.labels(route=route).observe(0.01 * (i + 1))
+        gauge.set(max(route_hits.values(), default=0))
+        return reg
+
+    a = build({"/x": 3, "/y": 1})
+    b = build({"/x": 2, "/z": 4})
+
+    ab = MetricsRegistry()
+    ab.merge(a.snapshot())
+    ab.merge(b.snapshot())
+    ba = MetricsRegistry()
+    ba.merge(b.snapshot())
+    ba.merge(a.snapshot())
+    assert render_prometheus(ab) == render_prometheus(ba)
+    assert ab.counter("hits_total", labelnames=("route",)).labels(route="/x").value == 5
+    # numeric gauges merge as max (tracer convention)
+    assert ab.gauge("depth").value == 4
+
+
+def test_null_registry_inert_and_shared():
+    instrument = NULL_REGISTRY.counter("x_total")
+    assert instrument is NULL_REGISTRY.histogram("y_seconds", labelnames=("a",))
+    instrument.inc()
+    instrument.observe(1.0)
+    instrument.labels(a="b").set(2.0)
+    assert NULL_REGISTRY.snapshot()["families"] == []
+    assert not NULL_REGISTRY.enabled
+
+
+def test_current_registry_scoping():
+    assert current_registry() is NULL_REGISTRY
+    reg = MetricsRegistry()
+    with use_registry(reg) as active:
+        assert active is reg
+        assert current_registry() is reg
+    assert current_registry() is NULL_REGISTRY
+
+
+# -- Prometheus exposition -----------------------------------------------------
+
+
+def test_render_prometheus_shape():
+    reg = MetricsRegistry()
+    reg.counter("req_total", "requests", ("code",)).labels(code="200").inc(7)
+    reg.gauge("depth", "queue depth").set(3)
+    hist = reg.histogram("lat_seconds", "latency")
+    hist.observe(0.010)
+    hist.observe(0.030)
+    hist.observe(0.200)
+    text = render_prometheus(reg)
+    lines = text.strip().splitlines()
+    assert "# TYPE req_total counter" in lines
+    assert 'req_total{code="200"} 7' in lines
+    assert "# TYPE depth gauge" in lines
+    assert "depth 3" in lines
+    assert "# TYPE lat_seconds histogram" in lines
+    # buckets are cumulative and close with +Inf == count
+    buckets = [l for l in lines if l.startswith("lat_seconds_bucket")]
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1].startswith('lat_seconds_bucket{le="+Inf"}')
+    assert counts[-1] == 3
+    assert "lat_seconds_count 3" in lines
+    assert any(l.startswith("lat_seconds_sum") for l in lines)
+    # no NaNs anywhere in a freshly-scraped registry
+    assert "NaN" not in text
+
+
+def test_render_prometheus_label_escaping():
+    reg = MetricsRegistry()
+    reg.counter("odd_total", "", ("name",)).labels(name='a"b\\c\nd').inc()
+    text = render_prometheus(reg)
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+
+# -- tracer bridge -------------------------------------------------------------
+
+
+def test_span_histogram_bridge():
+    reg = MetricsRegistry()
+    tracer = Tracer(sinks=[SpanHistogramSink(reg)])
+    for _ in range(5):
+        with tracer.span("phase.load"):
+            pass
+    with pytest.raises(RuntimeError):
+        with tracer.span("phase.boom"):
+            raise RuntimeError("x")
+    spans = reg.histogram("droidracer_span_seconds", labelnames=("span",))
+    assert spans.labels(span="phase.load").count == 5
+    assert spans.labels(span="phase.boom").count == 1
+    errors = reg.counter("droidracer_span_errors_total", labelnames=("span",))
+    assert errors.labels(span="phase.boom").value == 1
+
+
+def test_rss_bytes_positive():
+    assert rss_bytes() > 0
+
+
+# -- structured logging --------------------------------------------------------
+
+
+def test_json_logger_bind_and_span():
+    buf = io.StringIO()
+    tracer = Tracer()
+    log = JsonLogger(buf, tracer=tracer)
+    bound = log.bind(request_id="req-7")
+    with tracer.span("service.request"):
+        bound.log("request.done", status=200)
+    bound.error("job.failed", error="boom")
+    records = [json.loads(line) for line in buf.getvalue().splitlines()]
+    assert records[0]["event"] == "request.done"
+    assert records[0]["request_id"] == "req-7"
+    assert records[0]["span"] == "service.request"
+    assert records[1]["level"] == "error"
+    assert "span" not in records[1]  # outside any span
+
+
+def test_json_logger_survives_unserializable():
+    buf = io.StringIO()
+    log = JsonLogger(buf)
+
+    class Defiant:
+        def __repr__(self):
+            raise RuntimeError("nope")
+
+    log.log("weird", payload=Defiant())
+    record = json.loads(buf.getvalue())
+    assert record["event"] == "log.unserializable"
+
+
+def test_null_logger_noops():
+    NULL_LOGGER.log("x")
+    assert NULL_LOGGER.bind(a=1) is NULL_LOGGER
+    NULL_LOGGER.close()
+
+
+# -- obs top -------------------------------------------------------------------
+
+
+def _sample_doc():
+    reg = MetricsRegistry()
+    hist = reg.histogram(
+        "droidracer_http_request_seconds", "", ("method", "route")
+    )
+    for ms in (1, 2, 3, 50):
+        hist.labels(method="GET", route="/v1/status").observe(ms / 1e3)
+    run = reg.histogram("droidracer_job_run_seconds", "")
+    run.observe(0.2)
+    reg.gauge("droidracer_rss_bytes").set(64 << 20)
+    reg.gauge("droidracer_queue_oldest_age_seconds").set(1.5)
+    return {
+        "uptime_seconds": 10.0,
+        "queue": {"depth": 2, "done": 9, "failed": 1},
+        "pool": {"mode": "process", "workers": 4, "inflight": 3, "restarts": 0},
+        "counters": {
+            "service.requests": 40,
+            "service.triage_filtered": 8,
+            "service.triage_escalated": 2,
+            "service.jobs_completed": 9,
+            "service.races_found": 5,
+        },
+        **reg.to_json_dict(),
+    }
+
+
+def test_derive_stats_static_and_delta():
+    doc = _sample_doc()
+    stats = derive_stats(doc)
+    assert stats["qps"] == pytest.approx(4.0)  # lifetime average
+    assert stats["queue_depth"] == 2
+    assert stats["utilization"] == pytest.approx(0.75)
+    assert stats["triage_filter_rate"] == pytest.approx(0.8)
+    assert stats["queue_oldest_seconds"] == pytest.approx(1.5)
+    assert stats["request_latency"]["count"] == 4
+
+    later = json.loads(json.dumps(doc))
+    later["counters"]["service.requests"] = 50
+    delta = derive_stats(later, previous=doc, interval=2.0)
+    assert delta["qps"] == pytest.approx(5.0)  # (50-40)/2
+
+
+def test_render_screen_contains_key_series():
+    screen = render_screen(derive_stats(_sample_doc()))
+    assert "qps" in screen
+    assert "p95" in screen
+    assert "depth 2" in screen
+    assert "filter rate 80%" in screen
+    assert "3/4 busy" in screen
+
+
+# -- service surface (e2e over a real socket) ----------------------------------
+
+
+@pytest.fixture
+def metrics_server(tmp_path):
+    from repro.service import BackgroundServer
+
+    with BackgroundServer(
+        store_root=str(tmp_path / "corpus"), jobs=0, queue_depth=16
+    ) as server:
+        yield server
+
+
+def test_e2e_metrics_scrape(metrics_server, tmp_path):
+    from repro.apps.paper_traces import figure4_trace
+    from repro.service import ServiceClient
+
+    client = ServiceClient(metrics_server.base_url)
+    trace = figure4_trace()
+    payload = client.upload(trace.to_jsonl(), name=trace.name)
+    client.wait(payload["job"]["job_id"], timeout=30)
+
+    text = client.metrics_text()
+    # required series and label sets
+    assert "# TYPE droidracer_http_request_seconds histogram" in text
+    assert 'droidracer_http_request_seconds_bucket{method="POST",route="/v1/traces"' in text
+    assert "# TYPE droidracer_queue_depth gauge" in text
+    assert "# TYPE droidracer_service_triage_filtered_total counter" in text
+    assert "# TYPE droidracer_service_triage_escalated_total counter" in text
+    assert "droidracer_job_run_seconds_count 1" in text
+    assert "droidracer_service_jobs_completed_total 1" in text
+    assert "droidracer_rss_bytes" in text
+    assert "NaN" not in text
+
+    doc = client.metrics_json()
+    assert doc["ok"]
+    names = {fam["name"] for fam in doc["families"]}
+    assert "droidracer_http_request_seconds" in names
+    assert "droidracer_job_wait_seconds" in names
+    req = next(
+        fam for fam in doc["families"]
+        if fam["name"] == "droidracer_http_request_seconds"
+    )
+    assert req["aggregate"]["count"] >= 2
+    assert req["aggregate"]["p95"] >= req["aggregate"]["p50"] >= 0
+
+    # span bridge: merged worker spans show up as histogram series
+    span_fam = next(
+        fam for fam in doc["families"]
+        if fam["name"] == "droidracer_span_seconds"
+    )
+    span_labels = {child["labels"]["span"] for child in span_fam["children"]}
+    assert "service.request" in span_labels
+    assert "corpus.trace" in span_labels  # merged from the worker snapshot
+
+
+def test_e2e_status_corpus_cache(metrics_server):
+    from repro.apps.paper_traces import figure4_trace
+    from repro.service import ServiceClient
+
+    client = ServiceClient(metrics_server.base_url)
+    first = client.status()
+    assert first["corpus_age_seconds"] == 0.0
+    # within the TTL the corpus payload is served from cache, age grows
+    second = client.status()
+    assert second["corpus_age_seconds"] >= 0.0
+    # ingest invalidates: the fresh trace is immediately visible
+    client.upload(figure4_trace().to_jsonl(), name="t", analyze=False)
+    third = client.status()
+    assert third["corpus_age_seconds"] == 0.0
+    assert third["corpus"]["default"]["entries"] == 1
+
+
+def test_e2e_log_json_correlation(tmp_path):
+    from repro.apps.paper_traces import figure4_trace
+    from repro.service import BackgroundServer, ServiceClient
+
+    log_path = tmp_path / "events.jsonl"
+    with BackgroundServer(
+        store_root=str(tmp_path / "corpus"), jobs=0, log_json=str(log_path)
+    ) as server:
+        client = ServiceClient(server.base_url)
+        trace = figure4_trace()
+        payload = client.upload(trace.to_jsonl(), name=trace.name)
+        client.wait(payload["job"]["job_id"], timeout=30)
+    records = [
+        json.loads(line) for line in log_path.read_text().splitlines()
+    ]
+    events = {record["event"] for record in records}
+    assert {"service.start", "job.submitted", "job.start", "job.done",
+            "request.done", "service.stop"} <= events
+    submitted = next(r for r in records if r["event"] == "job.submitted")
+    done = next(r for r in records if r["event"] == "job.done")
+    # request id propagates from the upload request to the job's events
+    assert submitted["request_id"].startswith("req-")
+    assert done["request_id"] == submitted["request_id"]
+    assert done["job_id"] == submitted["job_id"]
+    assert done["trace_digest"] == payload["trace_digest"]
+    request_done = next(r for r in records if r["event"] == "request.done")
+    assert request_done["route"] == "/v1/traces"

@@ -290,6 +290,7 @@ def strip_volatile(text: str) -> str:
     (exactly what ``repro.obs.report_digest`` drops)."""
     text = re.sub(r'"analysis_seconds": [-0-9.e+]+', '"analysis_seconds": 0', text)
     text = re.sub(r'"memory_bytes": \d+', '"memory_bytes": 0', text)
+    text = re.sub(r'"peak_rss_bytes": \d+', '"peak_rss_bytes": 0', text)
     return re.sub(r'"trace_name": "[^"]*"', '"trace_name": ""', text)
 
 

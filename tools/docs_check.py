@@ -60,6 +60,7 @@ REQUIRED_COVERAGE = [
     "obs gate",
     "obs dashboard",
     "obs suspicion",
+    "obs top",
 ]
 
 FENCE_RE = re.compile(r"^```bash\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)

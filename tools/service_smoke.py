@@ -7,11 +7,17 @@ Asserts, in order:
 1. **Report identity** — every served report is byte-identical to the
    offline ``droidracer analyze --json`` output for the same trace,
    modulo exactly the volatile fields the regression gate ignores
-   (``analysis_seconds``, ``closure.memory_bytes``, ``trace_name``).
-2. **Backpressure** — under ``--queue-depth 1 --no-drain`` the second
+   (``analysis_seconds``, ``closure.memory_bytes``,
+   ``closure.peak_rss_bytes``, ``trace_name``).
+2. **Live telemetry** — with the byte-identity bar already passed
+   *under metrics and JSON logging enabled*, ``GET /metrics`` exposes
+   the required series (request-latency histograms for the exercised
+   routes, queue gauges, triage-rate counters) with sane, NaN-free
+   values, and the JSON log carries request→job correlated events.
+3. **Backpressure** — under ``--queue-depth 1 --no-drain`` the second
    distinct upload is refused with ``429`` while its trace still lands
    in the corpus.
-3. **Restart recovery** — after SIGKILLing that server, a fresh boot
+4. **Restart recovery** — after SIGKILLing that server, a fresh boot
    replays the journal: the parked job completes without re-upload,
    and previously completed keys stay terminal (nothing re-queued).
 
@@ -24,6 +30,8 @@ an artifact (journal, corpus, reports — everything needed post-mortem).
 
 from __future__ import annotations
 
+import json
+import math
 import pathlib
 import re
 import shutil
@@ -45,6 +53,7 @@ LISTEN_RE = re.compile(r"listening on http://([\d.]+):(\d+)")
 def strip_volatile(text: str) -> str:
     text = re.sub(r'"analysis_seconds": [-0-9.e+]+', '"analysis_seconds": 0', text)
     text = re.sub(r'"memory_bytes": \d+', '"memory_bytes": 0', text)
+    text = re.sub(r'"peak_rss_bytes": \d+', '"peak_rss_bytes": 0', text)
     return re.sub(r'"trace_name": "[^"]*"', '"trace_name": ""', text)
 
 
@@ -102,6 +111,83 @@ def check(condition: bool, message: str) -> None:
         raise SystemExit("service smoke FAILED: %s" % message)
 
 
+#: Series ``GET /metrics`` must expose after phase 1's uploads.  The
+#: histogram lines pin the label sets for the routes the phase
+#: exercised; the gauges/counters must exist (pre-registered at boot).
+REQUIRED_METRICS = [
+    'droidracer_http_request_seconds_bucket{method="POST",route="/v1/traces"',
+    'droidracer_http_request_seconds_bucket{method="GET",route="/v1/reports/:digest"',
+    'droidracer_http_requests_total{method="POST",route="/v1/traces",code="202"}',
+    'droidracer_http_requests_total{method="GET",route="/v1/reports/:digest",code="200"}',
+    "droidracer_job_wait_seconds_count",
+    "droidracer_job_run_seconds_count",
+    "droidracer_queue_depth",
+    "droidracer_queue_oldest_age_seconds",
+    "droidracer_pool_workers",
+    "droidracer_service_jobs_completed_total",
+    "droidracer_service_triage_filtered_total",
+    "droidracer_service_triage_escalated_total",
+    "droidracer_rss_bytes",
+    'droidracer_span_seconds_bucket{span="service.request"',
+]
+
+VALUE_RE = re.compile(r"^\S+ ([-+0-9.eEaAnNifIF]+)$")
+
+
+def check_metrics_text(text: str, jobs_done: int) -> None:
+    """Required series present, every exposed value finite."""
+    for needle in REQUIRED_METRICS:
+        check(needle in text, "GET /metrics missing series %r" % needle)
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        match = VALUE_RE.match(line)
+        check(match is not None, "unparseable exposition line %r" % line)
+        value = float(match.group(1))
+        check(not math.isnan(value), "NaN value in %r" % line)
+        check(not math.isinf(value), "infinite value in %r" % line)
+    completed = re.search(
+        r"^droidracer_service_jobs_completed_total (\d+)", text, re.MULTILINE
+    )
+    check(
+        completed is not None and int(completed.group(1)) == jobs_done,
+        "jobs_completed_total != %d" % jobs_done,
+    )
+    run_count = re.search(
+        r"^droidracer_job_run_seconds_count (\d+)", text, re.MULTILINE
+    )
+    check(
+        run_count is not None and int(run_count.group(1)) == jobs_done,
+        "job_run_seconds count != %d" % jobs_done,
+    )
+
+
+def check_log_correlation(log_path: pathlib.Path) -> None:
+    """The JSON log joins requests to jobs via the minted request id."""
+    check(log_path.exists(), "--log-json wrote no file")
+    records = []
+    for line in log_path.read_text().splitlines():
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            raise SystemExit("service smoke FAILED: non-JSON log line %r" % line)
+    events = {record["event"] for record in records}
+    for needed in ("service.start", "request.done", "job.submitted",
+                   "job.start", "job.done", "service.stop"):
+        check(needed in events, "log missing event %r" % needed)
+    submitted = [r for r in records if r["event"] == "job.submitted"]
+    done = {r["job_id"]: r for r in records if r["event"] == "job.done"}
+    check(bool(submitted), "no job.submitted events logged")
+    for record in submitted:
+        check(record["request_id"].startswith("req-"),
+              "job.submitted without a request id: %r" % record)
+        finished = done.get(record["job_id"])
+        check(finished is not None, "job %s never logged job.done" % record["job_id"])
+        check(finished["request_id"] == record["request_id"],
+              "request id lost between submit and done: %r" % finished)
+        check("trace_digest" in finished, "job.done without trace_digest")
+
+
 def main(argv) -> int:
     workdir = pathlib.Path(argv[argv.index("--dir") + 1]) if "--dir" in argv else (
         pathlib.Path.cwd() / "ci-service"
@@ -118,7 +204,12 @@ def main(argv) -> int:
         files[name].write_text(trace.to_jsonl())
 
     # -- phase 1: serve vs offline analyze, byte for byte --------------------
-    proc, base_url = start_server(store, "--jobs", "1")
+    # Metrics + JSON logging are ON for this phase: the byte-identity
+    # bar must hold with the telemetry path fully enabled.
+    log_path = workdir / "server-log.jsonl"
+    proc, base_url = start_server(
+        store, "--jobs", "1", "--log-json", str(log_path)
+    )
     try:
         client = ServiceClient(base_url)
         digests = {}
@@ -138,10 +229,22 @@ def main(argv) -> int:
             )
             print("smoke: %s served == offline (%d races)" % (name, job["race_count"]))
         done_jobs = {j["job_id"] for j in client.jobs(state="done")["jobs"]}
+        check_metrics_text(client.metrics_text(), jobs_done=len(traces))
+        doc = client.metrics_json()
+        agg = next(
+            fam for fam in doc["families"]
+            if fam["name"] == "droidracer_http_request_seconds"
+        )["aggregate"]
+        check(0.0 <= agg["p50"] <= agg["p95"] <= agg["p99"],
+              "latency quantiles not monotone: %s" % agg)
+        print("smoke: /metrics OK (%d required series, request p95 %.1fms)"
+              % (len(REQUIRED_METRICS), agg["p95"] * 1e3))
         client.close()
     finally:
         stop_server(proc)
     check(proc.returncode == 0, "server exited %s on SIGTERM" % proc.returncode)
+    check_log_correlation(log_path)
+    print("smoke: JSON log correlates requests to jobs")
 
     # -- phase 2: backpressure under a tiny bound ----------------------------
     proc, base_url = start_server(
